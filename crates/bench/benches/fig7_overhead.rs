@@ -1,0 +1,41 @@
+//! Figure 7 — overhead profile of a single bitvector filter: the two-table
+//! PKFK join executed with and without the filter at several build-side
+//! selectivities.
+
+use bqo_core::exec::ExecConfig;
+use bqo_core::workloads::{microbench, Scale};
+use bqo_core::{Database, OptimizerChoice};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn bench_fig7(c: &mut Criterion) {
+    let db = Database::from_catalog(microbench::build_catalog(Scale(0.05), 5));
+    let mut group = c.benchmark_group("fig7_overhead");
+    group.sample_size(10);
+    for keep in [1.0f64, 0.5, 0.1, 0.01] {
+        let query = microbench::query_with_selectivity(keep);
+        let optimized = db.optimize(&query, OptimizerChoice::BqoWithThreshold(0.0)).unwrap();
+        group.bench_with_input(BenchmarkId::new("with_filter", keep), &keep, |b, _| {
+            b.iter(|| {
+                black_box(
+                    db.execute_with(&optimized, ExecConfig::default())
+                        .unwrap()
+                        .output_rows,
+                )
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("without_filter", keep), &keep, |b, _| {
+            b.iter(|| {
+                black_box(
+                    db.execute_with(&optimized, ExecConfig::without_bitvectors())
+                        .unwrap()
+                        .output_rows,
+                )
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig7);
+criterion_main!(benches);

@@ -1,0 +1,37 @@
+//! Figure 8 — total workload execution cost under the baseline optimizer
+//! versus the bitvector-aware optimizer, per workload.
+
+use bqo_core::workloads::{job_like, tpcds_like, Scale};
+use bqo_core::{Database, OptimizerChoice};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn run_all(db: &Database, queries: &[bqo_core::QuerySpec], choice: OptimizerChoice) -> u64 {
+    queries
+        .iter()
+        .map(|q| db.run(q, choice).unwrap().1.output_rows)
+        .sum()
+}
+
+fn bench_fig8(c: &mut Criterion) {
+    let scale = Scale(0.03);
+    let workloads = [
+        ("tpcds", tpcds_like::generate(scale, 6, 1)),
+        ("job", job_like::generate(scale, 6, 2)),
+    ];
+    let mut group = c.benchmark_group("fig8_workload_cpu");
+    group.sample_size(10);
+    for (name, workload) in &workloads {
+        let db = Database::from_catalog(workload.catalog.clone());
+        group.bench_function(format!("{name}/original"), |b| {
+            b.iter(|| black_box(run_all(&db, &workload.queries, OptimizerChoice::Baseline)))
+        });
+        group.bench_function(format!("{name}/bqo"), |b| {
+            b.iter(|| black_box(run_all(&db, &workload.queries, OptimizerChoice::Bqo)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig8);
+criterion_main!(benches);

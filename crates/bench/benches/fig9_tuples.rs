@@ -1,0 +1,34 @@
+//! Figure 9 — execution with per-operator tuple accounting: measures the
+//! cost of running the TPC-DS-like workload while collecting the
+//! join/leaf/other tuple breakdown for both optimizers, and prints the
+//! resulting breakdown once.
+
+use bqo_core::experiment::{run_workload, RunOptions};
+use bqo_core::workloads::{tpcds_like, Scale};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench_fig9(c: &mut Criterion) {
+    let workload = tpcds_like::generate(Scale(0.03), 6, 1);
+    // Print the breakdown once so the bench run also documents the figure.
+    let report = run_workload(&workload, RunOptions::default()).unwrap();
+    let b = report.tuple_breakdown();
+    let total = b.baseline_total().max(1) as f64;
+    println!(
+        "fig9 tpcds tuple breakdown (normalized): original join {:.3} leaf {:.3} | bqo join {:.3} leaf {:.3}",
+        b.baseline_join as f64 / total,
+        b.baseline_leaf as f64 / total,
+        b.bqo_join as f64 / total,
+        b.bqo_leaf as f64 / total
+    );
+
+    let mut group = c.benchmark_group("fig9_tuples");
+    group.sample_size(10);
+    group.bench_function("tpcds_workload_with_accounting", |b| {
+        b.iter(|| black_box(run_workload(&workload, RunOptions::default()).unwrap().total_work_ratio()))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig9);
+criterion_main!(benches);

@@ -1,0 +1,44 @@
+//! Table 2 — optimization cost: exhaustively enumerating and costing the
+//! exponential right-deep plan space versus evaluating only the linear
+//! candidate set.
+
+use bqo_core::optimizer::{candidate_plans, enumerate_right_deep, exhaustive_best_right_deep};
+use bqo_core::plan::CostModel;
+use bqo_core::workloads::{star, Scale};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn bench_table2(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table2_plan_space");
+    group.sample_size(10);
+    for n in [4usize, 6, 7] {
+        let catalog = star::build_catalog(Scale(0.01), n, 11);
+        let predicates: Vec<(usize, i64)> = (0..n).map(|i| (i, 1 + (i as i64 * 7) % 20)).collect();
+        let query = star::build_query(format!("star{n}"), n, &predicates);
+        let graph = query.to_join_graph(&catalog).unwrap();
+        group.bench_with_input(BenchmarkId::new("exhaustive", n), &n, |b, _| {
+            b.iter(|| {
+                let model = CostModel::new(&graph);
+                black_box(exhaustive_best_right_deep(&graph, &model, true).unwrap().1)
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("candidates", n), &n, |b, _| {
+            b.iter(|| {
+                let model = CostModel::new(&graph);
+                let best = candidate_plans(&graph)
+                    .unwrap()
+                    .iter()
+                    .map(|p| model.cout_right_deep_total(p, true))
+                    .fold(f64::INFINITY, f64::min);
+                black_box(best)
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("enumerate_only", n), &n, |b, _| {
+            b.iter(|| black_box(enumerate_right_deep(&graph).len()))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_table2);
+criterion_main!(benches);

@@ -1,0 +1,67 @@
+//! Regenerates every table and figure of the paper's evaluation section.
+//!
+//! ```text
+//! cargo run -p bqo-bench --bin reproduce --release -- all
+//! cargo run -p bqo-bench --bin reproduce --release -- fig2 fig8
+//! BQO_SCALE=0.1 BQO_QUERIES=20 cargo run -p bqo-bench --bin reproduce --release -- fig8
+//! ```
+//!
+//! Available experiments: `fig2`, `table2`, `table3`, `fig7`, `fig8`, `fig9`,
+//! `fig10`, `table4`, `ablation_threshold`, `ablation_fpr`, `all`.
+
+use bqo_bench::{default_query_count, default_scale, experiments, report};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let selected: Vec<String> = if args.is_empty() {
+        vec!["all".to_string()]
+    } else {
+        args
+    };
+    let scale = default_scale();
+    let queries = default_query_count();
+    let wants = |name: &str| {
+        selected
+            .iter()
+            .any(|s| s.eq_ignore_ascii_case(name) || s.eq_ignore_ascii_case("all"))
+    };
+
+    println!(
+        "bitvector-aware query optimization — reproduction harness (scale {}, {} queries per workload)\n",
+        scale.0, queries
+    );
+
+    if wants("fig2") {
+        report::print_figure2(&experiments::run_figure2(scale));
+    }
+    if wants("table2") {
+        report::print_table2(&experiments::run_table2());
+    }
+    if wants("table3") {
+        report::print_table3(&experiments::run_table3(scale, queries));
+    }
+    if wants("fig7") {
+        report::print_figure7(&experiments::run_figure7(scale, 3));
+    }
+    if wants("fig8") || wants("fig9") || wants("fig10") {
+        let reports = experiments::run_workload_comparisons(scale, queries);
+        if wants("fig8") {
+            report::print_figure8(&reports);
+        }
+        if wants("fig9") {
+            report::print_figure9(&reports);
+        }
+        if wants("fig10") {
+            report::print_figure10(&reports, 60);
+        }
+    }
+    if wants("table4") {
+        report::print_table4(&experiments::run_table4(scale, queries));
+    }
+    if wants("ablation_threshold") {
+        report::print_ablation_threshold(&experiments::run_ablation_threshold(scale, queries));
+    }
+    if wants("ablation_fpr") {
+        report::print_ablation_filter_kind(&experiments::run_ablation_filter_kind(scale, queries));
+    }
+}

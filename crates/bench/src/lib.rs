@@ -1,0 +1,32 @@
+//! Shared experiment drivers for the benchmark harness.
+//!
+//! Every table and figure of the paper's evaluation section has a
+//! corresponding `run_*` function here returning a plain data structure, plus
+//! a `print_*` function rendering it the way the paper reports it. The
+//! `reproduce` binary and the Criterion benches are thin wrappers around
+//! these functions; EXPERIMENTS.md records their output next to the paper's
+//! numbers.
+
+pub mod experiments;
+pub mod report;
+
+use bqo_core::workloads::Scale;
+
+/// Default scale factor for benchmark workloads. Override with the
+/// `BQO_SCALE` environment variable (e.g. `BQO_SCALE=0.05` for a quick run,
+/// `1.0` for the full-size synthetic databases).
+pub fn default_scale() -> Scale {
+    match std::env::var("BQO_SCALE") {
+        Ok(v) => Scale(v.parse().unwrap_or(0.25)),
+        Err(_) => Scale(0.25),
+    }
+}
+
+/// Number of queries per workload used by the workload-level experiments.
+/// Override with `BQO_QUERIES`.
+pub fn default_query_count() -> usize {
+    match std::env::var("BQO_QUERIES") {
+        Ok(v) => v.parse().unwrap_or(30),
+        Err(_) => 30,
+    }
+}

@@ -1,0 +1,217 @@
+//! Range bitmap filter.
+//!
+//! Decision-support schemas join on dense surrogate keys, and the classic
+//! "bitvector filter" of the paper's title (bitmap / hash filter, [18]) is in
+//! that case literally a bitmap indexed by key value: one shift and one AND
+//! per probe, no hashing, no false positives. This is the cheapest possible
+//! filter probe and the implementation the executor uses by default; the
+//! Bloom variants remain available for the ablation experiments and for key
+//! domains too sparse for a bitmap.
+
+use crate::hash::FxHashSet;
+use crate::BitvectorFilter;
+
+/// How much larger than the number of inserted keys the key range may be
+/// before a bitmap is considered too sparse and the filter falls back to a
+/// hash set.
+const MAX_RANGE_EXPANSION: i64 = 64;
+
+/// A no-false-positive filter that uses a dense bitmap over the observed key
+/// range when the keys are dense enough, and a hash set otherwise.
+#[derive(Debug, Clone)]
+pub enum RangeBitmapFilter {
+    /// Dense representation: bit `key - min` is set for every inserted key.
+    Bitmap {
+        min: i64,
+        words: Vec<u64>,
+        inserted: usize,
+    },
+    /// Sparse fallback.
+    Sparse(FxHashSet<i64>),
+}
+
+impl RangeBitmapFilter {
+    /// Builds a filter from a slice of keys, choosing the dense or sparse
+    /// representation based on the observed key range.
+    pub fn from_keys(keys: &[i64]) -> Self {
+        if keys.is_empty() {
+            return RangeBitmapFilter::Bitmap {
+                min: 0,
+                words: Vec::new(),
+                inserted: 0,
+            };
+        }
+        let min = keys.iter().copied().min().unwrap();
+        let max = keys.iter().copied().max().unwrap();
+        let range = (max - min).saturating_add(1);
+        let dense_enough = range <= (keys.len() as i64).saturating_mul(MAX_RANGE_EXPANSION)
+            && range <= i64::MAX - 64;
+        if dense_enough {
+            let num_words = (range as usize).div_ceil(64);
+            let mut words = vec![0u64; num_words];
+            for &k in keys {
+                let offset = (k - min) as usize;
+                words[offset / 64] |= 1u64 << (offset % 64);
+            }
+            RangeBitmapFilter::Bitmap {
+                min,
+                words,
+                inserted: keys.len(),
+            }
+        } else {
+            let mut set = FxHashSet::with_capacity_and_hasher(keys.len(), Default::default());
+            set.extend(keys.iter().copied());
+            RangeBitmapFilter::Sparse(set)
+        }
+    }
+
+    /// True when the dense bitmap representation is in use.
+    pub fn is_dense(&self) -> bool {
+        matches!(self, RangeBitmapFilter::Bitmap { .. })
+    }
+}
+
+impl BitvectorFilter for RangeBitmapFilter {
+    fn insert(&mut self, key: i64) {
+        match self {
+            // Inserting outside the pre-sized range would require resizing;
+            // incremental insertion therefore always goes to the sparse form.
+            RangeBitmapFilter::Bitmap { min, words, inserted } => {
+                let offset = key - *min;
+                if offset >= 0 && (offset as usize) < words.len() * 64 {
+                    words[offset as usize / 64] |= 1u64 << (offset as usize % 64);
+                    *inserted += 1;
+                } else {
+                    // Degrade to the sparse representation, keeping the
+                    // already-inserted keys.
+                    let mut set = FxHashSet::default();
+                    for (w, word) in words.iter().enumerate() {
+                        let mut bits = *word;
+                        while bits != 0 {
+                            let b = bits.trailing_zeros() as i64;
+                            set.insert(*min + w as i64 * 64 + b);
+                            bits &= bits - 1;
+                        }
+                    }
+                    set.insert(key);
+                    *self = RangeBitmapFilter::Sparse(set);
+                }
+            }
+            RangeBitmapFilter::Sparse(set) => {
+                set.insert(key);
+            }
+        }
+    }
+
+    #[inline]
+    fn maybe_contains(&self, key: i64) -> bool {
+        match self {
+            RangeBitmapFilter::Bitmap { min, words, .. } => {
+                let offset = key.wrapping_sub(*min);
+                if offset < 0 || offset as usize >= words.len() * 64 {
+                    return false;
+                }
+                let offset = offset as usize;
+                words[offset / 64] & (1u64 << (offset % 64)) != 0
+            }
+            RangeBitmapFilter::Sparse(set) => set.contains(&key),
+        }
+    }
+
+    fn inserted(&self) -> usize {
+        match self {
+            RangeBitmapFilter::Bitmap { inserted, .. } => *inserted,
+            RangeBitmapFilter::Sparse(set) => set.len(),
+        }
+    }
+
+    fn byte_size(&self) -> usize {
+        match self {
+            RangeBitmapFilter::Bitmap { words, .. } => words.len() * 8,
+            RangeBitmapFilter::Sparse(set) => set.capacity() * 16,
+        }
+    }
+
+    fn expected_fpr(&self) -> f64 {
+        0.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dense_keys_use_bitmap() {
+        let keys: Vec<i64> = (100..1100).collect();
+        let f = RangeBitmapFilter::from_keys(&keys);
+        assert!(f.is_dense());
+        assert_eq!(f.inserted(), 1000);
+        for k in 100..1100 {
+            assert!(f.maybe_contains(k));
+        }
+        assert!(!f.maybe_contains(99));
+        assert!(!f.maybe_contains(1100));
+        assert!(!f.maybe_contains(-5));
+        assert_eq!(f.expected_fpr(), 0.0);
+    }
+
+    #[test]
+    fn sparse_keys_fall_back_to_hash_set() {
+        let keys: Vec<i64> = (0..100).map(|i| i * 1_000_000_000).collect();
+        let f = RangeBitmapFilter::from_keys(&keys);
+        assert!(!f.is_dense());
+        for &k in &keys {
+            assert!(f.maybe_contains(k));
+        }
+        assert!(!f.maybe_contains(12345));
+    }
+
+    #[test]
+    fn subset_of_dense_range_has_no_false_positives() {
+        let keys: Vec<i64> = (0..1000).filter(|k| k % 3 == 0).collect();
+        let f = RangeBitmapFilter::from_keys(&keys);
+        assert!(f.is_dense());
+        for k in 0..1000 {
+            assert_eq!(f.maybe_contains(k), k % 3 == 0);
+        }
+    }
+
+    #[test]
+    fn empty_filter_rejects_everything() {
+        let f = RangeBitmapFilter::from_keys(&[]);
+        assert!(!f.maybe_contains(0));
+        assert_eq!(f.inserted(), 0);
+        assert_eq!(f.byte_size(), 0);
+    }
+
+    #[test]
+    fn incremental_insert_within_range() {
+        let mut f = RangeBitmapFilter::from_keys(&[0, 99]);
+        assert!(f.is_dense());
+        f.insert(50);
+        assert!(f.maybe_contains(50));
+        assert!(f.is_dense());
+    }
+
+    #[test]
+    fn incremental_insert_outside_range_degrades_gracefully() {
+        let mut f = RangeBitmapFilter::from_keys(&[0, 1, 2, 3]);
+        f.insert(1_000_000);
+        assert!(!f.is_dense());
+        for k in 0..4 {
+            assert!(f.maybe_contains(k), "old key {k} must survive the downgrade");
+        }
+        assert!(f.maybe_contains(1_000_000));
+        assert!(!f.maybe_contains(17));
+    }
+
+    #[test]
+    fn negative_key_ranges_work() {
+        let keys: Vec<i64> = (-500..-100).collect();
+        let f = RangeBitmapFilter::from_keys(&keys);
+        assert!(f.is_dense());
+        assert!(f.maybe_contains(-300));
+        assert!(!f.maybe_contains(0));
+    }
+}

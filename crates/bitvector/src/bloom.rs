@@ -1,0 +1,181 @@
+//! Classic Bloom filter.
+
+use crate::hash::hash_key;
+use crate::BitvectorFilter;
+
+/// A standard Bloom filter over 64-bit keys.
+///
+/// The filter is sized to the next power of two so probe positions are
+/// computed with a bit mask instead of a modulo, and the number of hash
+/// functions is capped at four: a probe must stay much cheaper than the hash
+/// join probe it short-circuits, which is the whole premise of bitvector
+/// filtering (Section 6.3 of the paper derives the break-even from exactly
+/// this cost ratio). Two independent digests are derived from the key and
+/// combined with the Kirsch–Mitzenmacher double-hashing scheme, so only one
+/// expensive mix per probe is needed.
+#[derive(Debug, Clone)]
+pub struct BloomFilter {
+    bits: Vec<u64>,
+    /// `num_bits - 1`; `num_bits` is always a power of two.
+    bit_mask: u64,
+    num_bits: u64,
+    num_hashes: u32,
+    inserted: usize,
+}
+
+impl BloomFilter {
+    /// Creates a filter sized for `expected_keys` keys at `bits_per_key` bits
+    /// per key (rounded up to a power of two). Both values are clamped to
+    /// sane minima so tiny builds still work.
+    pub fn with_capacity(expected_keys: usize, bits_per_key: usize) -> Self {
+        let bits_per_key = bits_per_key.max(1);
+        let requested = ((expected_keys.max(1) * bits_per_key) as u64).max(64);
+        let num_bits = requested.next_power_of_two();
+        let num_words = (num_bits / 64) as usize;
+        let num_hashes = ((bits_per_key as f64 * std::f64::consts::LN_2).round() as u32).clamp(1, 4);
+        BloomFilter {
+            bits: vec![0u64; num_words],
+            bit_mask: num_bits - 1,
+            num_bits,
+            num_hashes,
+            inserted: 0,
+        }
+    }
+
+    /// Number of hash functions used per key.
+    pub fn num_hashes(&self) -> u32 {
+        self.num_hashes
+    }
+
+    /// Total number of bits in the filter.
+    pub fn num_bits(&self) -> u64 {
+        self.num_bits
+    }
+
+    /// Fraction of bits set to one (filter load).
+    pub fn load_factor(&self) -> f64 {
+        let ones: u64 = self.bits.iter().map(|w| w.count_ones() as u64).sum();
+        ones as f64 / self.num_bits as f64
+    }
+
+    #[inline]
+    fn probes(&self, key: i64) -> impl Iterator<Item = u64> + '_ {
+        let h = hash_key(key);
+        let h1 = h & 0xffff_ffff;
+        let h2 = (h >> 32) | 1; // force odd so the stride visits all positions
+        let mask = self.bit_mask;
+        (0..self.num_hashes as u64).map(move |i| h1.wrapping_add(i.wrapping_mul(h2)) & mask)
+    }
+}
+
+impl BitvectorFilter for BloomFilter {
+    fn insert(&mut self, key: i64) {
+        let positions: Vec<u64> = self.probes(key).collect();
+        for pos in positions {
+            self.bits[(pos / 64) as usize] |= 1u64 << (pos % 64);
+        }
+        self.inserted += 1;
+    }
+
+    fn maybe_contains(&self, key: i64) -> bool {
+        self.probes(key)
+            .all(|pos| self.bits[(pos / 64) as usize] & (1u64 << (pos % 64)) != 0)
+    }
+
+    fn inserted(&self) -> usize {
+        self.inserted
+    }
+
+    fn byte_size(&self) -> usize {
+        self.bits.len() * 8
+    }
+
+    fn expected_fpr(&self) -> f64 {
+        // (1 - e^{-kn/m})^k
+        let k = self.num_hashes as f64;
+        let n = self.inserted as f64;
+        let m = self.num_bits as f64;
+        (1.0 - (-k * n / m).exp()).powf(k)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn no_false_negatives() {
+        let mut f = BloomFilter::with_capacity(5000, 8);
+        for i in 0..5000i64 {
+            f.insert(i * 13);
+        }
+        for i in 0..5000i64 {
+            assert!(f.maybe_contains(i * 13));
+        }
+        assert_eq!(f.inserted(), 5000);
+    }
+
+    #[test]
+    fn fpr_decreases_with_more_bits() {
+        let keys: Vec<i64> = (0..20_000).collect();
+        let measure = |bits_per_key: usize| {
+            let mut f = BloomFilter::with_capacity(keys.len(), bits_per_key);
+            for &k in &keys {
+                f.insert(k);
+            }
+            (1_000_000..1_050_000)
+                .filter(|&k| f.maybe_contains(k))
+                .count() as f64
+                / 50_000.0
+        };
+        let fpr4 = measure(4);
+        let fpr12 = measure(12);
+        assert!(fpr12 < fpr4, "12 bits/key ({fpr12}) should beat 4 ({fpr4})");
+        assert!(fpr12 < 0.01);
+    }
+
+    #[test]
+    fn expected_fpr_tracks_observed() {
+        let mut f = BloomFilter::with_capacity(10_000, 8);
+        for i in 0..10_000i64 {
+            f.insert(i);
+        }
+        let observed = (1_000_000..1_100_000)
+            .filter(|&k| f.maybe_contains(k))
+            .count() as f64
+            / 100_000.0;
+        let expected = f.expected_fpr();
+        assert!(
+            (observed - expected).abs() < 0.02,
+            "observed {observed} vs expected {expected}"
+        );
+    }
+
+    #[test]
+    fn tiny_filter_does_not_panic() {
+        let mut f = BloomFilter::with_capacity(0, 0);
+        f.insert(5);
+        assert!(f.maybe_contains(5));
+        assert!(f.num_bits() >= 64);
+        assert!(f.num_hashes() >= 1);
+    }
+
+    #[test]
+    fn load_factor_reasonable() {
+        let mut f = BloomFilter::with_capacity(1000, 8);
+        for i in 0..1000 {
+            f.insert(i);
+        }
+        let load = f.load_factor();
+        // At optimal k the load is about 50%.
+        assert!(load > 0.3 && load < 0.7, "load = {load}");
+    }
+
+    #[test]
+    fn empty_filter_rejects_everything_probabilistically() {
+        let f = BloomFilter::with_capacity(100, 8);
+        assert!(!f.maybe_contains(1));
+        assert!(!f.maybe_contains(42));
+        assert_eq!(f.expected_fpr(), 0.0);
+    }
+}

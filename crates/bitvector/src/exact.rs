@@ -1,0 +1,107 @@
+//! Exact (no-false-positive) filter.
+
+use crate::hash::FxHashSet;
+use crate::BitvectorFilter;
+
+/// A filter backed by a hash set of the inserted keys.
+///
+/// This is the filter the paper's analysis assumes (Property 4 requires no
+/// false positives for the absorption rule to hold with equality). It is also
+/// what a bitmap filter over a dense key domain behaves like.
+#[derive(Debug, Clone, Default)]
+pub struct ExactFilter {
+    keys: FxHashSet<i64>,
+}
+
+impl ExactFilter {
+    /// Creates an empty filter.
+    pub fn new() -> Self {
+        ExactFilter::default()
+    }
+
+    /// Creates an empty filter pre-sized for `expected_keys` insertions.
+    pub fn with_capacity(expected_keys: usize) -> Self {
+        ExactFilter {
+            keys: FxHashSet::with_capacity_and_hasher(expected_keys, Default::default()),
+        }
+    }
+
+    /// Number of distinct keys stored.
+    pub fn distinct(&self) -> usize {
+        self.keys.len()
+    }
+}
+
+impl BitvectorFilter for ExactFilter {
+    fn insert(&mut self, key: i64) {
+        self.keys.insert(key);
+    }
+
+    fn maybe_contains(&self, key: i64) -> bool {
+        self.keys.contains(&key)
+    }
+
+    fn inserted(&self) -> usize {
+        self.keys.len()
+    }
+
+    fn byte_size(&self) -> usize {
+        // Approximation: each entry stores the key plus table overhead.
+        self.keys.capacity() * (std::mem::size_of::<i64>() + 8)
+    }
+
+    fn expected_fpr(&self) -> f64 {
+        0.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_and_query() {
+        let mut f = ExactFilter::new();
+        f.insert(1);
+        f.insert(2);
+        f.insert(2);
+        assert_eq!(f.inserted(), 2);
+        assert_eq!(f.distinct(), 2);
+        assert!(f.maybe_contains(1));
+        assert!(f.maybe_contains(2));
+        assert!(!f.maybe_contains(3));
+    }
+
+    #[test]
+    fn never_false_positive() {
+        let mut f = ExactFilter::with_capacity(100);
+        for i in 0..100 {
+            f.insert(i * 2);
+        }
+        for i in 0..100 {
+            assert!(f.maybe_contains(i * 2));
+            assert!(!f.maybe_contains(i * 2 + 1));
+        }
+        assert_eq!(f.expected_fpr(), 0.0);
+    }
+
+    #[test]
+    fn negative_keys_supported() {
+        let mut f = ExactFilter::new();
+        f.insert(-42);
+        f.insert(i64::MIN);
+        assert!(f.maybe_contains(-42));
+        assert!(f.maybe_contains(i64::MIN));
+        assert!(!f.maybe_contains(i64::MAX));
+    }
+
+    #[test]
+    fn byte_size_grows() {
+        let mut f = ExactFilter::new();
+        let initial = f.byte_size();
+        for i in 0..10_000 {
+            f.insert(i);
+        }
+        assert!(f.byte_size() > initial);
+    }
+}

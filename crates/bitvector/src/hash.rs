@@ -1,0 +1,159 @@
+//! Hashing helpers shared by the filters and the hash-join executor.
+//!
+//! A small FxHash-style multiplicative hasher is implemented locally so the
+//! hot join/probe paths do not pay SipHash's cost and no extra dependency is
+//! required (see the Rust performance guidance on alternative hashers).
+
+use std::hash::{BuildHasherDefault, Hasher};
+
+const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+/// FxHash-style 64-bit hasher: fast multiplicative mixing, good enough for
+/// integer keys, not HashDoS resistant (irrelevant for synthetic workloads).
+#[derive(Debug, Default, Clone, Copy)]
+pub struct FxHasher64 {
+    state: u64,
+}
+
+impl FxHasher64 {
+    #[inline]
+    fn mix(&mut self, word: u64) {
+        self.state = (self.state.rotate_left(5) ^ word).wrapping_mul(SEED);
+    }
+}
+
+impl Hasher for FxHasher64 {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.state
+    }
+
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        let mut chunks = bytes.chunks_exact(8);
+        for chunk in &mut chunks {
+            self.mix(u64::from_le_bytes(chunk.try_into().unwrap()));
+        }
+        let rem = chunks.remainder();
+        if !rem.is_empty() {
+            let mut buf = [0u8; 8];
+            buf[..rem.len()].copy_from_slice(rem);
+            self.mix(u64::from_le_bytes(buf));
+        }
+    }
+
+    #[inline]
+    fn write_u64(&mut self, v: u64) {
+        self.mix(v);
+    }
+
+    #[inline]
+    fn write_i64(&mut self, v: i64) {
+        self.mix(v as u64);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, v: usize) {
+        self.mix(v as u64);
+    }
+}
+
+/// `BuildHasher` for `HashMap`/`HashSet` with [`FxHasher64`].
+pub type FxBuildHasher = BuildHasherDefault<FxHasher64>;
+
+/// Hash map keyed by join keys using the fast hasher.
+pub type FxHashMap<K, V> = std::collections::HashMap<K, V, FxBuildHasher>;
+
+/// Hash set using the fast hasher.
+pub type FxHashSet<K> = std::collections::HashSet<K, FxBuildHasher>;
+
+/// Hashes a single 64-bit key to a well-mixed 64-bit digest
+/// (SplitMix64 finalizer).
+#[inline]
+pub fn hash_key(key: i64) -> u64 {
+    let mut z = (key as u64).wrapping_add(0x9e3779b97f4a7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+    z ^ (z >> 31)
+}
+
+/// Combines an accumulated hash with the next column's key, used to collapse
+/// composite join keys into a single 64-bit value.
+#[inline]
+pub fn hash_pair(acc: u64, key: i64) -> u64 {
+    // boost::hash_combine-style mixing on 64 bits.
+    acc ^ (hash_key(key)
+        .wrapping_add(0x9e3779b97f4a7c15)
+        .wrapping_add(acc << 6)
+        .wrapping_add(acc >> 2))
+}
+
+/// Collapses a composite key (one value per key column) into a single i64
+/// suitable for filter insertion and hash-table lookup.
+#[inline]
+pub fn combine_key(parts: &[i64]) -> i64 {
+    match parts {
+        [single] => *single,
+        _ => {
+            let mut acc = 0u64;
+            for &p in parts {
+                acc = hash_pair(acc, p);
+            }
+            acc as i64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+    use std::hash::{BuildHasher, Hash};
+
+    #[test]
+    fn hash_key_is_deterministic_and_spreads() {
+        assert_eq!(hash_key(42), hash_key(42));
+        let distinct: HashSet<u64> = (0..10_000).map(hash_key).collect();
+        assert_eq!(distinct.len(), 10_000, "no collisions expected on small sets");
+    }
+
+    #[test]
+    fn hash_pair_depends_on_order() {
+        assert_ne!(hash_pair(hash_key(1), 2), hash_pair(hash_key(2), 1));
+    }
+
+    #[test]
+    fn combine_key_single_is_identity() {
+        assert_eq!(combine_key(&[77]), 77);
+    }
+
+    #[test]
+    fn combine_key_composite_distinguishes_permutations() {
+        assert_ne!(combine_key(&[1, 2]), combine_key(&[2, 1]));
+        assert_ne!(combine_key(&[1, 2]), combine_key(&[1, 3]));
+        assert_eq!(combine_key(&[5, 9]), combine_key(&[5, 9]));
+    }
+
+    #[test]
+    fn fx_hasher_usable_in_hashmap() {
+        let mut m: FxHashMap<i64, usize> = FxHashMap::default();
+        for i in 0..1000 {
+            m.insert(i, i as usize);
+        }
+        assert_eq!(m.len(), 1000);
+        assert_eq!(m[&500], 500);
+    }
+
+    #[test]
+    fn fx_hasher_handles_unaligned_bytes() {
+        let bh = FxBuildHasher::default();
+        let h1 = bh.hash_one("abc");
+        let h2 = bh.hash_one("abd");
+        assert_ne!(h1, h2);
+        // Same value hashes the same.
+        assert_eq!(bh.hash_one(12345u64), bh.hash_one(12345u64));
+        let mut hasher = FxHasher64::default();
+        "hello world, this is more than eight bytes".hash(&mut hasher);
+        assert_ne!(hasher.finish(), 0);
+    }
+}

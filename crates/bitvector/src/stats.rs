@@ -1,0 +1,87 @@
+//! Runtime counters for bitvector filter effectiveness.
+
+/// Counters accumulated while a filter is probed during execution.
+///
+/// These drive the Figure 7 overhead profile and the Table 4 style
+/// effectiveness reports: how many tuples were checked against a pushed-down
+/// bitvector filter and how many were eliminated before reaching the join.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FilterStats {
+    /// Number of keys tested against the filter.
+    pub probed: u64,
+    /// Number of keys the filter rejected (eliminated before the join).
+    pub eliminated: u64,
+}
+
+impl FilterStats {
+    /// Creates zeroed counters.
+    pub fn new() -> Self {
+        FilterStats::default()
+    }
+
+    /// Records one probe and whether it was eliminated.
+    #[inline]
+    pub fn record(&mut self, eliminated: bool) {
+        self.probed += 1;
+        if eliminated {
+            self.eliminated += 1;
+        }
+    }
+
+    /// Number of keys that passed the filter.
+    pub fn passed(&self) -> u64 {
+        self.probed - self.eliminated
+    }
+
+    /// Fraction of probed keys that were eliminated (the paper's λ).
+    pub fn elimination_rate(&self) -> f64 {
+        if self.probed == 0 {
+            0.0
+        } else {
+            self.eliminated as f64 / self.probed as f64
+        }
+    }
+
+    /// Merges counters from another filter (e.g. across operators).
+    pub fn merge(&mut self, other: &FilterStats) {
+        self.probed += other.probed;
+        self.eliminated += other.eliminated;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_and_rates() {
+        let mut s = FilterStats::new();
+        for i in 0..10 {
+            s.record(i % 4 == 0);
+        }
+        assert_eq!(s.probed, 10);
+        assert_eq!(s.eliminated, 3);
+        assert_eq!(s.passed(), 7);
+        assert!((s.elimination_rate() - 0.3).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_rate_is_zero() {
+        assert_eq!(FilterStats::new().elimination_rate(), 0.0);
+    }
+
+    #[test]
+    fn merge_accumulates() {
+        let mut a = FilterStats {
+            probed: 10,
+            eliminated: 2,
+        };
+        let b = FilterStats {
+            probed: 5,
+            eliminated: 5,
+        };
+        a.merge(&b);
+        assert_eq!(a.probed, 15);
+        assert_eq!(a.eliminated, 7);
+    }
+}

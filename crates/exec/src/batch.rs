@@ -1,0 +1,289 @@
+//! Materialized intermediate results.
+
+use bqo_plan::{ColumnRef, RelId};
+use bqo_storage::{Column, Table};
+
+/// A fully materialized intermediate result: a set of columns, each tagged
+/// with the base relation and column name it originated from.
+#[derive(Debug, Clone)]
+pub struct Batch {
+    schema: Vec<ColumnRef>,
+    columns: Vec<Column>,
+    num_rows: usize,
+}
+
+impl Batch {
+    /// Creates a batch from matching schema and columns.
+    ///
+    /// # Panics
+    /// Panics if lengths are inconsistent.
+    pub fn new(schema: Vec<ColumnRef>, columns: Vec<Column>) -> Self {
+        assert_eq!(schema.len(), columns.len(), "schema / column count mismatch");
+        let num_rows = columns.first().map(|c| c.len()).unwrap_or(0);
+        for c in &columns {
+            assert_eq!(c.len(), num_rows, "all columns must have the same length");
+        }
+        Batch {
+            schema,
+            columns,
+            num_rows,
+        }
+    }
+
+    /// Creates an empty batch (no columns, no rows).
+    pub fn empty() -> Self {
+        Batch {
+            schema: Vec::new(),
+            columns: Vec::new(),
+            num_rows: 0,
+        }
+    }
+
+    /// Materializes a base table into a batch, qualifying every column with
+    /// the relation id it belongs to in the current query.
+    pub fn from_table(relation: RelId, table: &Table) -> Self {
+        let schema = table
+            .schema()
+            .fields()
+            .iter()
+            .map(|f| ColumnRef::new(relation, f.name.clone()))
+            .collect();
+        Batch::new(schema, table.columns().to_vec())
+    }
+
+    /// Number of rows.
+    pub fn num_rows(&self) -> usize {
+        self.num_rows
+    }
+
+    /// Number of columns.
+    pub fn num_columns(&self) -> usize {
+        self.columns.len()
+    }
+
+    /// The qualified schema.
+    pub fn schema(&self) -> &[ColumnRef] {
+        &self.schema
+    }
+
+    /// All columns.
+    pub fn columns(&self) -> &[Column] {
+        &self.columns
+    }
+
+    /// Index of a column by qualified reference.
+    pub fn index_of(&self, column: &ColumnRef) -> Option<usize> {
+        self.schema.iter().position(|c| c == column)
+    }
+
+    /// A column by qualified reference.
+    pub fn column(&self, column: &ColumnRef) -> Option<&Column> {
+        self.index_of(column).map(|i| &self.columns[i])
+    }
+
+    /// Index of a column by relation and name, ignoring qualification helper.
+    pub fn column_by_parts(&self, relation: RelId, name: &str) -> Option<&Column> {
+        self.schema
+            .iter()
+            .position(|c| c.relation == relation && c.column == name)
+            .map(|i| &self.columns[i])
+    }
+
+    /// Keeps only the rows where `mask` is true.
+    pub fn filter(&self, mask: &[bool]) -> Batch {
+        assert_eq!(mask.len(), self.num_rows, "mask length mismatch");
+        let columns: Vec<Column> = self.columns.iter().map(|c| c.filter(mask)).collect();
+        let num_rows = mask.iter().filter(|&&b| b).count();
+        Batch {
+            schema: self.schema.clone(),
+            columns,
+            num_rows,
+        }
+    }
+
+    /// Builds a new batch taking rows at `indices` (duplicates allowed).
+    pub fn take(&self, indices: &[usize]) -> Batch {
+        let columns: Vec<Column> = self.columns.iter().map(|c| c.take(indices)).collect();
+        Batch {
+            schema: self.schema.clone(),
+            columns,
+            num_rows: indices.len(),
+        }
+    }
+
+    /// Concatenates the columns of two row-aligned batches (used by hash join
+    /// output assembly after both sides were `take`n to the same length).
+    pub fn zip(left: Batch, right: Batch) -> Batch {
+        assert_eq!(left.num_rows, right.num_rows, "row count mismatch in zip");
+        let mut schema = left.schema;
+        schema.extend(right.schema);
+        let mut columns = left.columns;
+        columns.extend(right.columns);
+        Batch {
+            schema,
+            columns,
+            num_rows: left.num_rows,
+        }
+    }
+
+    /// Extracts the join-key values for every row, collapsing composite keys
+    /// into a single `i64` via hashing. Non-integer key columns hash their
+    /// string representation (never used by the generated workloads, which
+    /// join on integer surrogate keys).
+    pub fn key_values(&self, key_columns: &[ColumnRef]) -> Vec<i64> {
+        let cols: Vec<&Column> = key_columns
+            .iter()
+            .map(|c| {
+                self.column(c)
+                    .unwrap_or_else(|| panic!("key column {c:?} not found in batch"))
+            })
+            .collect();
+        if cols.len() == 1 {
+            if let Column::Int64(values) = cols[0] {
+                return values.clone();
+            }
+        }
+        let mut keys = Vec::with_capacity(self.num_rows);
+        for row in 0..self.num_rows {
+            let parts: Vec<i64> = cols
+                .iter()
+                .map(|c| match c {
+                    Column::Int64(v) => v[row],
+                    Column::Bool(v) => v[row] as i64,
+                    Column::Float64(v) => v[row].to_bits() as i64,
+                    Column::Utf8(v) => {
+                        let mut h: i64 = 1469598103934665603;
+                        for b in v[row].as_bytes() {
+                            h ^= *b as i64;
+                            h = h.wrapping_mul(1099511628211);
+                        }
+                        h
+                    }
+                })
+                .collect();
+            keys.push(bqo_bitvector::hash::combine_key(&parts));
+        }
+        keys
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bqo_storage::TableBuilder;
+
+    fn sample() -> Batch {
+        let t = TableBuilder::new("t")
+            .with_i64("id", vec![1, 2, 3, 4])
+            .with_utf8(
+                "name",
+                vec!["a".into(), "b".into(), "c".into(), "d".into()],
+            )
+            .build()
+            .unwrap();
+        Batch::from_table(RelId(0), &t)
+    }
+
+    #[test]
+    fn from_table_qualifies_columns() {
+        let b = sample();
+        assert_eq!(b.num_rows(), 4);
+        assert_eq!(b.num_columns(), 2);
+        assert!(b.column(&ColumnRef::new(RelId(0), "id")).is_some());
+        assert!(b.column(&ColumnRef::new(RelId(1), "id")).is_none());
+        assert!(b.column_by_parts(RelId(0), "name").is_some());
+    }
+
+    #[test]
+    fn filter_and_take() {
+        let b = sample();
+        let filtered = b.filter(&[true, false, true, false]);
+        assert_eq!(filtered.num_rows(), 2);
+        assert_eq!(
+            filtered
+                .column(&ColumnRef::new(RelId(0), "id"))
+                .unwrap()
+                .as_i64()
+                .unwrap(),
+            &[1, 3]
+        );
+        let taken = b.take(&[3, 3, 0]);
+        assert_eq!(taken.num_rows(), 3);
+        assert_eq!(
+            taken
+                .column(&ColumnRef::new(RelId(0), "id"))
+                .unwrap()
+                .as_i64()
+                .unwrap(),
+            &[4, 4, 1]
+        );
+    }
+
+    #[test]
+    fn zip_concatenates_columns() {
+        let left = sample().take(&[0, 1]);
+        let t2 = TableBuilder::new("u")
+            .with_f64("x", vec![0.5, 1.5])
+            .build()
+            .unwrap();
+        let right = Batch::from_table(RelId(1), &t2);
+        let zipped = Batch::zip(left, right);
+        assert_eq!(zipped.num_rows(), 2);
+        assert_eq!(zipped.num_columns(), 3);
+        assert!(zipped.column(&ColumnRef::new(RelId(1), "x")).is_some());
+    }
+
+    #[test]
+    #[should_panic(expected = "row count mismatch")]
+    fn zip_rejects_mismatched_rows() {
+        let left = sample();
+        let right = sample().take(&[0]);
+        Batch::zip(left, right);
+    }
+
+    #[test]
+    fn single_int_key_fast_path() {
+        let b = sample();
+        let keys = b.key_values(&[ColumnRef::new(RelId(0), "id")]);
+        assert_eq!(keys, vec![1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn composite_keys_are_stable_and_distinct() {
+        let t = TableBuilder::new("t")
+            .with_i64("a", vec![1, 1, 2])
+            .with_i64("b", vec![1, 2, 1])
+            .build()
+            .unwrap();
+        let b = Batch::from_table(RelId(0), &t);
+        let keys = b.key_values(&[
+            ColumnRef::new(RelId(0), "a"),
+            ColumnRef::new(RelId(0), "b"),
+        ]);
+        assert_eq!(keys.len(), 3);
+        assert_ne!(keys[0], keys[1]);
+        assert_ne!(keys[0], keys[2]);
+        assert_ne!(keys[1], keys[2]);
+        // Deterministic.
+        assert_eq!(
+            keys,
+            b.key_values(&[
+                ColumnRef::new(RelId(0), "a"),
+                ColumnRef::new(RelId(0), "b"),
+            ])
+        );
+    }
+
+    #[test]
+    fn empty_batch() {
+        let b = Batch::empty();
+        assert_eq!(b.num_rows(), 0);
+        assert_eq!(b.num_columns(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "key column")]
+    fn missing_key_column_panics() {
+        sample().key_values(&[ColumnRef::new(RelId(9), "id")]);
+    }
+}

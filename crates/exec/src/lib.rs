@@ -1,0 +1,23 @@
+//! Physical execution engine for the BQO reproduction.
+//!
+//! The paper's experiments execute plans inside Microsoft SQL Server and
+//! measure CPU time and per-operator tuple counts. This crate is the
+//! stand-in: a single-threaded, fully materialized executor for the physical
+//! plans produced by `bqo-plan` / `bqo-optimizer`, with
+//!
+//! * hash joins that create a bitvector filter from their build side,
+//! * bitvector filters applied wherever Algorithm 1 placed them (scans or
+//!   residual positions above joins),
+//! * per-operator metrics (tuples output by leaf / join / other operators,
+//!   bitvector probe and elimination counts, wall-clock time) matching the
+//!   quantities reported in Figures 7–10 and Table 4, and
+//! * a switch to ignore bitvector filters entirely, mirroring the
+//!   SQL Server option used for the Table 4 comparison.
+
+pub mod batch;
+pub mod executor;
+pub mod metrics;
+
+pub use batch::Batch;
+pub use executor::{ExecConfig, Executor, QueryResult};
+pub use metrics::{ExecutionMetrics, OperatorKind, OperatorMetrics};

@@ -1,0 +1,242 @@
+//! Algorithm 3: bitvector-aware join ordering for arbitrary decision support
+//! queries (multiple fact tables, arbitrary join graphs).
+//!
+//! The algorithm alternates two stages until the whole join graph is covered:
+//!
+//! 1. **Snowflake extraction** — among the not-yet-optimized fact tables pick
+//!    the one with the smallest cardinality and expand it into a snowflake:
+//!    the fact plus every dimension (and dimension-of-dimension) reachable
+//!    through PKFK edges pointing away from it that has not been claimed by a
+//!    previously extracted snowflake.
+//! 2. **Snowflake optimization** — run Algorithm 2 on the extracted subgraph.
+//!
+//! The optimized snowflakes are then stitched together into one plan: the
+//! snowflake of the smallest fact forms the probe pipeline bottom and each
+//! subsequent snowflake (in extraction order) joins onto it, preserving the
+//! right-deep-flavoured shape the paper's plan space favours.
+
+use crate::snowflake::optimize_snowflake;
+use bqo_plan::{CostModel, JoinGraph, JoinTree, RelId};
+use std::collections::BTreeSet;
+
+/// Produces a bitvector-aware join tree for an arbitrary join graph.
+pub fn optimize_join_graph(graph: &JoinGraph, cost_model: &CostModel<'_>) -> JoinTree {
+    assert!(graph.num_relations() > 0, "cannot optimize an empty join graph");
+    if graph.num_relations() == 1 {
+        return JoinTree::Leaf(RelId(0));
+    }
+
+    let est = cost_model.estimator();
+    let mut facts = graph.fact_tables();
+    if facts.is_empty() {
+        // Degenerate graphs (e.g. every relation is joined on its key by
+        // someone): treat the largest relation as the fact.
+        let largest = graph
+            .relation_ids()
+            .max_by(|a, b| est.base_card(*a).total_cmp(&est.base_card(*b)))
+            .expect("non-empty graph");
+        facts.push(largest);
+    }
+    // Smallest fact first (ExtractSnowflake, line 9).
+    facts.sort_by(|a, b| est.base_card(*a).total_cmp(&est.base_card(*b)));
+
+    // Assign every relation to the snowflake of exactly one fact.
+    let mut claimed: BTreeSet<RelId> = facts.iter().copied().collect();
+    let mut snowflakes: Vec<(RelId, BTreeSet<RelId>)> = Vec::new();
+    for &fact in &facts {
+        let members = expand_snowflake(graph, fact, &claimed);
+        claimed.extend(members.iter().copied());
+        snowflakes.push((fact, members));
+    }
+    // Relations still unclaimed (not reachable through PKFK edges from any
+    // fact, e.g. a detached dimension joined on a non-key column): attach
+    // each to the first snowflake it is adjacent to.
+    let unclaimed: Vec<RelId> = graph
+        .relation_ids()
+        .filter(|r| !claimed.contains(r))
+        .collect();
+    for rel in unclaimed {
+        let target = snowflakes
+            .iter_mut()
+            .find(|(_, members)| graph.neighbors(rel).iter().any(|n| members.contains(n)))
+            .map(|(_, members)| members);
+        if let Some(members) = target {
+            members.insert(rel);
+        } else if let Some((_, members)) = snowflakes.first_mut() {
+            members.insert(rel);
+        }
+    }
+
+    // Optimize each snowflake with Algorithm 2.
+    let mut optimized: Vec<(BTreeSet<RelId>, JoinTree)> = snowflakes
+        .iter()
+        .map(|(fact, members)| {
+            (
+                members.clone(),
+                optimize_snowflake(graph, cost_model, members, *fact),
+            )
+        })
+        .collect();
+
+    // Stitch the snowflake subplans together. Start from the first snowflake
+    // and repeatedly attach a subplan that shares a join edge with what has
+    // been assembled so far (there is always one while the graph is
+    // connected). The already-assembled part stays on the probe side so its
+    // filters keep flowing downwards.
+    let (mut assembled_set, mut assembled) = optimized.remove(0);
+    while !optimized.is_empty() {
+        let next_idx = optimized
+            .iter()
+            .position(|(set, _)| !graph.edges_across(&assembled_set, set).is_empty())
+            .unwrap_or(0);
+        let (set, tree) = optimized.remove(next_idx);
+        // Keep the smaller side as the build input.
+        let assembled_card = est.join_card(&assembled_set);
+        let next_card = est.join_card(&set);
+        assembled = if next_card <= assembled_card {
+            JoinTree::join(tree, assembled)
+        } else {
+            JoinTree::join(assembled, tree)
+        };
+        assembled_set.extend(set);
+    }
+    assembled
+}
+
+/// Expands a fact table into its snowflake: follow PKFK edges pointing away
+/// from the already-included relations, never claiming another fact table or
+/// a relation already claimed by an earlier snowflake.
+fn expand_snowflake(graph: &JoinGraph, fact: RelId, claimed: &BTreeSet<RelId>) -> BTreeSet<RelId> {
+    let mut members: BTreeSet<RelId> = [fact].into_iter().collect();
+    let mut frontier = vec![fact];
+    while let Some(current) = frontier.pop() {
+        for edge in graph.edges_of(current) {
+            let other = edge.other(current);
+            if members.contains(&other) {
+                continue;
+            }
+            if claimed.contains(&other) && other != fact {
+                continue;
+            }
+            // Follow the edge only if it points outwards (the join column is
+            // a key of `other`): that is what makes `other` a dimension of
+            // this snowflake.
+            if edge.unique_on(other) {
+                members.insert(other);
+                frontier.push(other);
+            }
+        }
+    }
+    members
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::enumerate::exhaustive_best_right_deep;
+    use bqo_plan::{GraphShape, JoinEdge, RelationInfo};
+
+    /// Single-fact snowflake — Algorithm 3 must behave exactly like
+    /// Algorithm 2.
+    fn single_fact() -> JoinGraph {
+        let mut g = JoinGraph::new();
+        let fact = g.add_relation(RelationInfo::new("fact", 1_000_000.0, 1_000_000.0));
+        let d1 = g.add_relation(RelationInfo::new("d1", 1000.0, 10.0));
+        let d2 = g.add_relation(RelationInfo::new("d2", 5000.0, 5000.0));
+        let d21 = g.add_relation(RelationInfo::new("d21", 50.0, 5.0));
+        g.add_edge(JoinEdge::pkfk(fact, "d1_sk", d1, "sk", 1000.0));
+        g.add_edge(JoinEdge::pkfk(fact, "d2_sk", d2, "sk", 5000.0));
+        g.add_edge(JoinEdge::pkfk(d2, "d21_sk", d21, "sk", 50.0));
+        g
+    }
+
+    /// Two fact tables sharing one dimension plus private dimensions; the
+    /// facts join each other on a non-key column (a JOB-style shape).
+    fn multi_fact() -> JoinGraph {
+        let mut g = JoinGraph::new();
+        let f1 = g.add_relation(RelationInfo::new("f1", 800_000.0, 800_000.0));
+        let f2 = g.add_relation(RelationInfo::new("f2", 300_000.0, 300_000.0));
+        let shared = g.add_relation(RelationInfo::new("shared_dim", 2000.0, 100.0));
+        let d1 = g.add_relation(RelationInfo::new("f1_dim", 500.0, 50.0));
+        let d2 = g.add_relation(RelationInfo::new("f2_dim", 800.0, 800.0));
+        g.add_edge(JoinEdge::pkfk(f1, "shared_sk", shared, "sk", 2000.0));
+        g.add_edge(JoinEdge::pkfk(f2, "shared_sk", shared, "sk", 2000.0));
+        g.add_edge(JoinEdge::pkfk(f1, "d1_sk", d1, "sk", 500.0));
+        g.add_edge(JoinEdge::pkfk(f2, "d2_sk", d2, "sk", 800.0));
+        g.add_edge(JoinEdge::new(f1, f2, "mid", "mid", 50_000.0, 50_000.0, false, false));
+        g
+    }
+
+    #[test]
+    fn single_fact_snowflake_matches_exhaustive_optimum() {
+        let g = single_fact();
+        assert!(matches!(g.classify(), GraphShape::Snowflake { .. }));
+        let model = CostModel::new(&g);
+        let tree = optimize_join_graph(&g, &model);
+        assert!(tree.has_no_cross_products(&g));
+        let cost = model.cout_join_tree(&tree, true).total;
+        let (_, best) = exhaustive_best_right_deep(&g, &model, true).unwrap();
+        assert!(cost <= best * (1.0 + 1e-9) + 1e-6, "{cost} vs {best}");
+    }
+
+    #[test]
+    fn multi_fact_graph_produces_complete_valid_plan() {
+        let g = multi_fact();
+        assert_eq!(g.fact_tables().len(), 2);
+        let model = CostModel::new(&g);
+        let tree = optimize_join_graph(&g, &model);
+        assert_eq!(tree.relation_set().len(), 5);
+        assert!(tree.has_no_cross_products(&g));
+    }
+
+    #[test]
+    fn multi_fact_plan_is_competitive_with_exhaustive_right_deep() {
+        let g = multi_fact();
+        let model = CostModel::new(&g);
+        let tree = optimize_join_graph(&g, &model);
+        let cost = model.cout_join_tree(&tree, true).total;
+        let (_, best) = exhaustive_best_right_deep(&g, &model, true).unwrap();
+        // Algorithm 3 is a heuristic; it should stay within a small factor of
+        // the exhaustive right-deep optimum on this 5-relation query.
+        assert!(
+            cost <= best * 3.0,
+            "algorithm 3 produced {cost}, exhaustive best is {best}"
+        );
+    }
+
+    #[test]
+    fn snowflake_expansion_claims_dimension_chains_but_not_other_facts() {
+        let g = multi_fact();
+        let f2 = g.relation_by_name("f2").unwrap();
+        let f1 = g.relation_by_name("f1").unwrap();
+        let shared = g.relation_by_name("shared_dim").unwrap();
+        let d2 = g.relation_by_name("f2_dim").unwrap();
+        let claimed: BTreeSet<RelId> = [f1, f2].into_iter().collect();
+        let members = expand_snowflake(&g, f2, &claimed);
+        assert!(members.contains(&f2));
+        assert!(members.contains(&shared));
+        assert!(members.contains(&d2));
+        assert!(!members.contains(&f1));
+    }
+
+    #[test]
+    fn dimension_only_graph_still_optimizes() {
+        // A graph where every relation is someone's key side: no fact table
+        // according to the Section 6.2 rule; the largest relation is used.
+        let mut g = JoinGraph::new();
+        let a = g.add_relation(RelationInfo::new("a", 1000.0, 1000.0));
+        let b = g.add_relation(RelationInfo::new("b", 100.0, 50.0));
+        g.add_edge(JoinEdge::new(a, b, "id", "a_id", 1000.0, 100.0, true, false));
+        let model = CostModel::new(&g);
+        let tree = optimize_join_graph(&g, &model);
+        assert_eq!(tree.relation_set().len(), 2);
+    }
+
+    #[test]
+    fn single_relation_graph() {
+        let mut g = JoinGraph::new();
+        g.add_relation(RelationInfo::new("only", 5.0, 5.0));
+        let model = CostModel::new(&g);
+        assert_eq!(optimize_join_graph(&g, &model), JoinTree::Leaf(RelId(0)));
+    }
+}

@@ -1,0 +1,285 @@
+//! Builds statistics-annotated join graphs from a catalog and a query
+//! specification.
+//!
+//! The workload crates describe queries as a [`QuerySpec`] (tables, equi-join
+//! conditions and local predicates). [`QuerySpec::to_join_graph`] resolves it
+//! against a [`Catalog`]: base cardinalities, per-predicate selectivities and
+//! join-column distinct/uniqueness statistics are read from the catalog's
+//! statistics, exactly the information the paper's host system (SQL Server's
+//! cardinality estimator) provides to its optimizer.
+
+use crate::graph::{JoinEdge, JoinGraph, RelationInfo};
+use crate::predicate::ColumnPredicate;
+use bqo_storage::{Catalog, StorageError};
+use std::collections::HashMap;
+
+/// One equi-join condition `left_table.left_column = right_table.right_column`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JoinCondition {
+    pub left_table: String,
+    pub left_column: String,
+    pub right_table: String,
+    pub right_column: String,
+}
+
+impl JoinCondition {
+    /// Creates a join condition.
+    pub fn new(
+        left_table: impl Into<String>,
+        left_column: impl Into<String>,
+        right_table: impl Into<String>,
+        right_column: impl Into<String>,
+    ) -> Self {
+        JoinCondition {
+            left_table: left_table.into(),
+            left_column: left_column.into(),
+            right_table: right_table.into(),
+            right_column: right_column.into(),
+        }
+    }
+}
+
+/// A declarative query: which tables are joined how, and which local
+/// predicates restrict them.
+#[derive(Debug, Clone, Default)]
+pub struct QuerySpec {
+    pub name: String,
+    pub tables: Vec<String>,
+    pub joins: Vec<JoinCondition>,
+    pub predicates: HashMap<String, Vec<ColumnPredicate>>,
+}
+
+impl QuerySpec {
+    /// Creates an empty query spec with a name.
+    pub fn new(name: impl Into<String>) -> Self {
+        QuerySpec {
+            name: name.into(),
+            ..Default::default()
+        }
+    }
+
+    /// Adds a table to the query.
+    pub fn table(mut self, name: impl Into<String>) -> Self {
+        self.tables.push(name.into());
+        self
+    }
+
+    /// Adds an equi-join condition.
+    pub fn join(
+        mut self,
+        left_table: impl Into<String>,
+        left_column: impl Into<String>,
+        right_table: impl Into<String>,
+        right_column: impl Into<String>,
+    ) -> Self {
+        self.joins.push(JoinCondition::new(
+            left_table,
+            left_column,
+            right_table,
+            right_column,
+        ));
+        self
+    }
+
+    /// Adds a local predicate to one of the tables.
+    pub fn predicate(mut self, table: impl Into<String>, predicate: ColumnPredicate) -> Self {
+        self.predicates
+            .entry(table.into())
+            .or_default()
+            .push(predicate);
+        self
+    }
+
+    /// Number of joins in the query.
+    pub fn num_joins(&self) -> usize {
+        self.joins.len()
+    }
+
+    /// Resolves the query against a catalog into a statistics-annotated
+    /// [`JoinGraph`].
+    pub fn to_join_graph(&self, catalog: &Catalog) -> Result<JoinGraph, StorageError> {
+        let mut graph = JoinGraph::new();
+        let mut ids = HashMap::new();
+        for table_name in &self.tables {
+            let meta = catalog.table_meta(table_name)?;
+            let base_rows = meta.stats.row_count as f64;
+            let predicates = self
+                .predicates
+                .get(table_name)
+                .cloned()
+                .unwrap_or_default();
+            let mut selectivity = 1.0;
+            for p in &predicates {
+                let col_stats =
+                    meta.stats
+                        .column(&p.column)
+                        .ok_or_else(|| StorageError::ColumnNotFound {
+                            table: table_name.clone(),
+                            column: p.column.clone(),
+                        })?;
+                selectivity *= p.estimate_selectivity(col_stats);
+            }
+            let filtered = (base_rows * selectivity).max(1.0).min(base_rows.max(1.0));
+            let info = RelationInfo::new(table_name.clone(), base_rows, filtered)
+                .with_predicates(predicates);
+            ids.insert(table_name.clone(), graph.add_relation(info));
+        }
+        for join in &self.joins {
+            let left = *ids
+                .get(&join.left_table)
+                .ok_or_else(|| StorageError::TableNotFound {
+                    table: join.left_table.clone(),
+                })?;
+            let right = *ids
+                .get(&join.right_table)
+                .ok_or_else(|| StorageError::TableNotFound {
+                    table: join.right_table.clone(),
+                })?;
+            let left_stats = catalog.stats(&join.left_table)?;
+            let right_stats = catalog.stats(&join.right_table)?;
+            let left_col = left_stats.column(&join.left_column).ok_or_else(|| {
+                StorageError::ColumnNotFound {
+                    table: join.left_table.clone(),
+                    column: join.left_column.clone(),
+                }
+            })?;
+            let right_col = right_stats.column(&join.right_column).ok_or_else(|| {
+                StorageError::ColumnNotFound {
+                    table: join.right_table.clone(),
+                    column: join.right_column.clone(),
+                }
+            })?;
+            let left_unique = catalog.is_unique_column(&join.left_table, &join.left_column);
+            let right_unique = catalog.is_unique_column(&join.right_table, &join.right_column);
+            graph.add_edge(JoinEdge::new(
+                left,
+                right,
+                join.left_column.clone(),
+                join.right_column.clone(),
+                left_col.distinct_count as f64,
+                right_col.distinct_count as f64,
+                left_unique,
+                right_unique,
+            ));
+        }
+        Ok(graph)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::GraphShape;
+    use crate::predicate::CompareOp;
+    use bqo_storage::generator::DataGenerator;
+    use bqo_storage::Catalog;
+
+    fn catalog() -> Catalog {
+        let gen = DataGenerator::new(7);
+        let mut catalog = Catalog::new();
+        let dim_a = gen.dimension_table("dim_a", 100, 10);
+        let dim_b = gen.dimension_table("dim_b", 50, 5);
+        let fact = gen.fact_table(
+            "fact",
+            10_000,
+            &[("dim_a".to_string(), 100, 0.0), ("dim_b".to_string(), 50, 0.0)],
+        );
+        catalog.register_table(dim_a);
+        catalog.register_table(dim_b);
+        catalog.register_table(fact);
+        catalog.declare_primary_key("dim_a", "dim_a_sk").unwrap();
+        catalog.declare_primary_key("dim_b", "dim_b_sk").unwrap();
+        catalog
+    }
+
+    fn spec() -> QuerySpec {
+        QuerySpec::new("q1")
+            .table("fact")
+            .table("dim_a")
+            .table("dim_b")
+            .join("fact", "dim_a_sk", "dim_a", "dim_a_sk")
+            .join("fact", "dim_b_sk", "dim_b", "dim_b_sk")
+            .predicate(
+                "dim_a",
+                ColumnPredicate::new("dim_a_category", CompareOp::Eq, 3i64),
+            )
+    }
+
+    #[test]
+    fn builds_star_graph_with_stats() {
+        let catalog = catalog();
+        let graph = spec().to_join_graph(&catalog).unwrap();
+        assert_eq!(graph.num_relations(), 3);
+        assert_eq!(graph.edges().len(), 2);
+        let fact = graph.relation_by_name("fact").unwrap();
+        let dim_a = graph.relation_by_name("dim_a").unwrap();
+        assert_eq!(graph.relation(fact).base_rows, 10_000.0);
+        // The category predicate keeps roughly 1/10 of dim_a.
+        let filtered = graph.relation(dim_a).filtered_rows;
+        assert!(filtered > 2.0 && filtered < 30.0, "got {filtered}");
+        // PKFK direction detected from declared primary keys.
+        assert!(graph.points_to(fact, dim_a));
+        assert!(matches!(graph.classify(), GraphShape::Star { .. }));
+    }
+
+    #[test]
+    fn unfiltered_tables_keep_base_cardinality() {
+        let catalog = catalog();
+        let graph = spec().to_join_graph(&catalog).unwrap();
+        let dim_b = graph.relation_by_name("dim_b").unwrap();
+        assert_eq!(
+            graph.relation(dim_b).base_rows,
+            graph.relation(dim_b).filtered_rows
+        );
+    }
+
+    #[test]
+    fn missing_table_is_an_error() {
+        let catalog = catalog();
+        let bad = QuerySpec::new("bad").table("nope");
+        assert!(matches!(
+            bad.to_join_graph(&catalog),
+            Err(StorageError::TableNotFound { .. })
+        ));
+    }
+
+    #[test]
+    fn missing_predicate_column_is_an_error() {
+        let catalog = catalog();
+        let bad = QuerySpec::new("bad").table("fact").predicate(
+            "fact",
+            ColumnPredicate::new("missing", CompareOp::Eq, 1i64),
+        );
+        assert!(matches!(
+            bad.to_join_graph(&catalog),
+            Err(StorageError::ColumnNotFound { .. })
+        ));
+    }
+
+    #[test]
+    fn missing_join_column_is_an_error() {
+        let catalog = catalog();
+        let bad = QuerySpec::new("bad")
+            .table("fact")
+            .table("dim_a")
+            .join("fact", "nope", "dim_a", "dim_a_sk");
+        assert!(matches!(
+            bad.to_join_graph(&catalog),
+            Err(StorageError::ColumnNotFound { .. })
+        ));
+    }
+
+    #[test]
+    fn join_referencing_unlisted_table_is_an_error() {
+        let catalog = catalog();
+        let bad = QuerySpec::new("bad")
+            .table("fact")
+            .join("fact", "dim_a_sk", "dim_a", "dim_a_sk");
+        assert!(bad.to_join_graph(&catalog).is_err());
+    }
+
+    #[test]
+    fn num_joins_reports_spec_size() {
+        assert_eq!(spec().num_joins(), 2);
+    }
+}

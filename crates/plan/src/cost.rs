@@ -1,0 +1,396 @@
+//! The `Cout` cost model (Eq. 1 of the paper), bitvector-aware.
+//!
+//! `Cout` sums the cardinalities of every base table (after local predicates
+//! and any bitvector filters pushed down to its scan) and every intermediate
+//! join result. The same routine covers three situations:
+//!
+//! * **No bitvectors** — plain `Cout`, what a conventional optimizer
+//!   minimizes (the paper's baseline costing).
+//! * **Bitvectors added by post-processing** — Algorithm 1 run on a plan that
+//!   was chosen without considering filters (Figure 2c).
+//! * **Bitvector-aware optimization** — the BQO algorithm evaluates candidate
+//!   right-deep trees under this same bitvector-aware `Cout` (Figure 2d).
+//!
+//! Estimated cardinalities come from [`CardinalityEstimator`]; the reduction
+//! of a scan or join output by pushed-down filters uses the no-false-positive
+//! semi-join semantics of Section 3.2.
+
+use crate::estimator::CardinalityEstimator;
+use crate::graph::{JoinGraph, RelId};
+use crate::physical::{NodeId, PhysicalNode, PhysicalPlan};
+use crate::pushdown::push_down_bitvectors;
+use crate::tree::{JoinTree, RightDeepTree};
+use std::collections::{BTreeSet, HashMap};
+
+/// Per-plan cost report.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CoutBreakdown {
+    /// Total `Cout`: sum of base-table and join-output cardinalities.
+    pub total: f64,
+    /// Sum over base-table scans (after filters pushed down to them).
+    pub base_total: f64,
+    /// Sum over join outputs.
+    pub join_total: f64,
+    /// Estimated output cardinality of every operator, by node id.
+    pub per_node: Vec<(NodeId, f64)>,
+}
+
+impl CoutBreakdown {
+    /// The estimated output cardinality of one operator.
+    pub fn card_of(&self, node: NodeId) -> Option<f64> {
+        self.per_node
+            .iter()
+            .find(|(id, _)| *id == node)
+            .map(|(_, c)| *c)
+    }
+}
+
+/// Bitvector-aware `Cout` cost model bound to one join graph.
+#[derive(Debug, Clone, Copy)]
+pub struct CostModel<'a> {
+    graph: &'a JoinGraph,
+    estimator: CardinalityEstimator<'a>,
+}
+
+impl<'a> CostModel<'a> {
+    /// Creates a cost model for a join graph.
+    pub fn new(graph: &'a JoinGraph) -> Self {
+        CostModel {
+            graph,
+            estimator: CardinalityEstimator::new(graph),
+        }
+    }
+
+    /// The underlying estimator.
+    pub fn estimator(&self) -> &CardinalityEstimator<'a> {
+        &self.estimator
+    }
+
+    /// `Cout` of a right-deep tree, with or without bitvector filters.
+    pub fn cout_right_deep(&self, tree: &RightDeepTree, with_bitvectors: bool) -> CoutBreakdown {
+        self.cout_join_tree(&tree.to_join_tree(), with_bitvectors)
+    }
+
+    /// Total `Cout` of a right-deep tree (convenience wrapper).
+    pub fn cout_right_deep_total(&self, tree: &RightDeepTree, with_bitvectors: bool) -> f64 {
+        self.cout_right_deep(tree, with_bitvectors).total
+    }
+
+    /// `Cout` of an arbitrary join tree, with or without bitvector filters.
+    /// When `with_bitvectors` is set, Algorithm 1 is run on the physical form
+    /// of the tree first (this is exactly the "post-processing" treatment a
+    /// conventional optimizer applies to its chosen plan).
+    pub fn cout_join_tree(&self, tree: &JoinTree, with_bitvectors: bool) -> CoutBreakdown {
+        let mut plan = PhysicalPlan::from_join_tree(self.graph, tree);
+        if with_bitvectors {
+            plan = push_down_bitvectors(self.graph, plan);
+        }
+        self.cout_physical(&plan)
+    }
+
+    /// `Cout` of a physical plan, honouring whatever bitvector placements it
+    /// carries.
+    pub fn cout_physical(&self, plan: &PhysicalPlan) -> CoutBreakdown {
+        let mut eff_sets: HashMap<NodeId, BTreeSet<RelId>> = HashMap::new();
+        self.effective_set(plan, plan.root(), &mut eff_sets);
+
+        let mut per_node = Vec::with_capacity(plan.num_nodes());
+        let mut base_total = 0.0;
+        let mut join_total = 0.0;
+        for (id, node) in plan.nodes() {
+            let rel_set = plan.relation_set(id);
+            let eff = eff_sets
+                .get(&id)
+                .cloned()
+                .unwrap_or_else(|| rel_set.clone());
+            let external: BTreeSet<RelId> = eff.difference(&rel_set).copied().collect();
+            let card = self.estimator.semi_reduced_card(&rel_set, &external);
+            per_node.push((id, card));
+            match node {
+                PhysicalNode::Scan { .. } => base_total += card,
+                PhysicalNode::HashJoin { .. } => join_total += card,
+            }
+        }
+        CoutBreakdown {
+            total: base_total + join_total,
+            base_total,
+            join_total,
+            per_node,
+        }
+    }
+
+    /// Estimated output cardinality of the whole plan (the final join
+    /// result), honouring bitvector placements.
+    pub fn estimated_output(&self, plan: &PhysicalPlan) -> f64 {
+        self.cout_physical(plan)
+            .card_of(plan.root())
+            .unwrap_or(0.0)
+    }
+
+    /// Estimated fraction of rows a bitvector filter eliminates at its target
+    /// (the paper's λ used by the cost-based filter selection, Section 6.3).
+    pub fn estimated_elimination_fraction(
+        &self,
+        plan: &PhysicalPlan,
+        placement_index: usize,
+    ) -> f64 {
+        let placement = &plan.placements[placement_index];
+        let mut eff_sets: HashMap<NodeId, BTreeSet<RelId>> = HashMap::new();
+        self.effective_set(plan, plan.root(), &mut eff_sets);
+
+        // Source side: the effective relation set feeding the filter.
+        let source_set = match plan.node(placement.source_join) {
+            PhysicalNode::HashJoin { build, .. } => eff_sets
+                .get(build)
+                .cloned()
+                .unwrap_or_else(|| plan.relation_set(*build)),
+            _ => return 0.0,
+        };
+        // Target side: cardinality before this particular filter, i.e. the
+        // target's relation set reduced by every *other* filter that reaches
+        // it.
+        let target_rels = plan.relation_set(placement.target);
+        let mut other_external: BTreeSet<RelId> = BTreeSet::new();
+        for (i, p) in plan.placements.iter().enumerate() {
+            if i == placement_index || p.target != placement.target {
+                continue;
+            }
+            if let PhysicalNode::HashJoin { build, .. } = plan.node(p.source_join) {
+                let s = eff_sets
+                    .get(build)
+                    .cloned()
+                    .unwrap_or_else(|| plan.relation_set(*build));
+                other_external.extend(s.difference(&target_rels).copied());
+            }
+        }
+        let before = self
+            .estimator
+            .semi_reduced_card(&target_rels, &other_external);
+        let mut with_this: BTreeSet<RelId> = other_external.clone();
+        with_this.extend(source_set.difference(&target_rels).copied());
+        let after = self.estimator.semi_reduced_card(&target_rels, &with_this);
+        if before <= 0.0 {
+            0.0
+        } else {
+            (1.0 - after / before).clamp(0.0, 1.0)
+        }
+    }
+
+    /// Computes, for every node, the "effective" relation set: the node's own
+    /// relations plus (transitively) the relations standing behind every
+    /// bitvector filter applied at or below it. The estimated cardinality of
+    /// the node is the semi-join-reduced cardinality of its relation set with
+    /// respect to the external part of this effective set.
+    fn effective_set(
+        &self,
+        plan: &PhysicalPlan,
+        node: NodeId,
+        memo: &mut HashMap<NodeId, BTreeSet<RelId>>,
+    ) -> BTreeSet<RelId> {
+        if let Some(set) = memo.get(&node) {
+            return set.clone();
+        }
+        let mut set: BTreeSet<RelId> = match plan.node(node) {
+            PhysicalNode::Scan { relation } => [*relation].into_iter().collect(),
+            PhysicalNode::HashJoin { build, probe, .. } => {
+                let mut s = self.effective_set(plan, *build, memo);
+                s.extend(self.effective_set(plan, *probe, memo));
+                s
+            }
+        };
+        // Filters applied at this node contribute the effective set of the
+        // source join's build side.
+        for placement in plan.placements_at(node) {
+            if let PhysicalNode::HashJoin { build, .. } = plan.node(placement.source_join) {
+                set.extend(self.effective_set(plan, *build, memo));
+            }
+        }
+        memo.insert(node, set.clone());
+        set
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::{JoinEdge, JoinGraph, RelationInfo};
+
+    /// Star: fact 1M rows; d1 100 rows filtered to 10; d2 1000 rows
+    /// unfiltered; d3 10 rows filtered to 2.
+    fn star() -> (JoinGraph, RelId, Vec<RelId>) {
+        let mut g = JoinGraph::new();
+        let fact = g.add_relation(RelationInfo::new("fact", 1_000_000.0, 1_000_000.0));
+        let d1 = g.add_relation(RelationInfo::new("d1", 100.0, 10.0));
+        let d2 = g.add_relation(RelationInfo::new("d2", 1000.0, 1000.0));
+        let d3 = g.add_relation(RelationInfo::new("d3", 10.0, 2.0));
+        g.add_edge(JoinEdge::pkfk(fact, "d1_sk", d1, "sk", 100.0));
+        g.add_edge(JoinEdge::pkfk(fact, "d2_sk", d2, "sk", 1000.0));
+        g.add_edge(JoinEdge::pkfk(fact, "d3_sk", d3, "sk", 10.0));
+        (g, fact, vec![d1, d2, d3])
+    }
+
+    #[test]
+    fn plain_cout_of_star_plan() {
+        let (g, fact, d) = star();
+        let model = CostModel::new(&g);
+        // T(fact, d1, d2, d3) without bitvectors:
+        // base: 1M + 10 + 1000 + 2
+        // joins: fact⋈d1 = 100k; ⋈d2 = 100k; ⋈d3 = 20k
+        let tree = RightDeepTree::new(vec![fact, d[0], d[1], d[2]]);
+        let cost = model.cout_right_deep(&tree, false);
+        let expected_base = 1_000_000.0 + 10.0 + 1000.0 + 2.0;
+        let expected_joins = 100_000.0 + 100_000.0 + 20_000.0;
+        assert!((cost.base_total - expected_base).abs() < 1e-6);
+        assert!((cost.join_total - expected_joins).abs() < 1e-6);
+        assert!((cost.total - (expected_base + expected_joins)).abs() < 1e-6);
+    }
+
+    #[test]
+    fn bitvector_cout_reduces_fact_scan_and_intermediates() {
+        let (g, fact, d) = star();
+        let model = CostModel::new(&g);
+        let tree = RightDeepTree::new(vec![fact, d[0], d[1], d[2]]);
+        let cost = model.cout_right_deep(&tree, true);
+        // With all three dimension filters pushed to the fact scan, the fact
+        // contributes |fact ⋈ d1 ⋈ d2 ⋈ d3| = 20k, and every join output is
+        // also 20k (Lemma 4).
+        let expected_base = 20_000.0 + 10.0 + 1000.0 + 2.0;
+        let expected_joins = 3.0 * 20_000.0;
+        assert!((cost.base_total - expected_base).abs() < 1e-3);
+        assert!((cost.join_total - expected_joins).abs() < 1e-3);
+        // And it is much cheaper than the same plan without bitvectors.
+        let plain = model.cout_right_deep(&tree, false);
+        assert!(cost.total < plain.total / 5.0);
+    }
+
+    #[test]
+    fn all_dimension_permutations_cost_the_same_with_fact_rightmost() {
+        // Lemma 4: with R0 as the right-most leaf, every permutation of the
+        // dimensions has the same bitvector-aware cost.
+        let (g, fact, d) = star();
+        let model = CostModel::new(&g);
+        let orders = [
+            vec![fact, d[0], d[1], d[2]],
+            vec![fact, d[2], d[1], d[0]],
+            vec![fact, d[1], d[0], d[2]],
+            vec![fact, d[2], d[0], d[1]],
+        ];
+        let costs: Vec<f64> = orders
+            .iter()
+            .map(|o| model.cout_right_deep_total(&RightDeepTree::new(o.clone()), true))
+            .collect();
+        for w in costs.windows(2) {
+            assert!((w[0] - w[1]).abs() < 1e-6, "costs differ: {costs:?}");
+        }
+    }
+
+    #[test]
+    fn dimension_first_plans_cost_the_same_regardless_of_remaining_order() {
+        // Lemma 5: with R_k as the right-most leaf followed by R0, the order
+        // of the remaining dimensions does not matter.
+        let (g, fact, d) = star();
+        let model = CostModel::new(&g);
+        let a = RightDeepTree::new(vec![d[0], fact, d[1], d[2]]);
+        let b = RightDeepTree::new(vec![d[0], fact, d[2], d[1]]);
+        let ca = model.cout_right_deep_total(&a, true);
+        let cb = model.cout_right_deep_total(&b, true);
+        assert!((ca - cb).abs() < 1e-6);
+    }
+
+    #[test]
+    fn post_processing_is_worse_than_bitvector_aware_choice() {
+        // The motivating observation (Figure 2): the plan that is best
+        // without bitvectors is not best once filters are considered. Build
+        // an asymmetric star where joining the highly selective dimension
+        // first is best without filters, but with filters another right-most
+        // leaf wins.
+        let mut g = JoinGraph::new();
+        let fact = g.add_relation(RelationInfo::new("fact", 4_500_000.0, 4_500_000.0));
+        // "title"-like dimension: large, mildly filtered.
+        let t = g.add_relation(RelationInfo::new("t", 2_500_000.0, 715_000.0));
+        // "keyword"-like dimension: small, selective.
+        let k = g.add_relation(RelationInfo::new("k", 134_000.0, 7000.0));
+        g.add_edge(JoinEdge::pkfk(fact, "t_sk", t, "sk", 2_500_000.0));
+        g.add_edge(JoinEdge::pkfk(fact, "k_sk", k, "sk", 134_000.0));
+        let model = CostModel::new(&g);
+
+        let candidates = [
+            RightDeepTree::new(vec![fact, t, k]),
+            RightDeepTree::new(vec![fact, k, t]),
+            RightDeepTree::new(vec![t, fact, k]),
+            RightDeepTree::new(vec![k, fact, t]),
+        ];
+        let best_plain = candidates
+            .iter()
+            .min_by(|a, b| {
+                model
+                    .cout_right_deep_total(a, false)
+                    .total_cmp(&model.cout_right_deep_total(b, false))
+            })
+            .unwrap();
+        let best_bv = candidates
+            .iter()
+            .min_by(|a, b| {
+                model
+                    .cout_right_deep_total(a, true)
+                    .total_cmp(&model.cout_right_deep_total(b, true))
+            })
+            .unwrap();
+        // Post-processing the plain-best plan with bitvectors must not beat
+        // the bitvector-aware best plan.
+        let post = model.cout_right_deep_total(best_plain, true);
+        let aware = model.cout_right_deep_total(best_bv, true);
+        assert!(aware <= post + 1e-9);
+        // And the bitvector-aware best plan would look suboptimal to a
+        // conventional optimizer.
+        assert!(
+            model.cout_right_deep_total(best_bv, false)
+                >= model.cout_right_deep_total(best_plain, false)
+        );
+    }
+
+    #[test]
+    fn estimated_output_matches_full_join_card() {
+        let (g, fact, d) = star();
+        let model = CostModel::new(&g);
+        let tree = RightDeepTree::new(vec![fact, d[0], d[1], d[2]]).to_join_tree();
+        let plan = push_down_bitvectors(&g, PhysicalPlan::from_join_tree(&g, &tree));
+        let out = model.estimated_output(&plan);
+        assert!((out - 20_000.0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn elimination_fraction_reflects_dimension_selectivity() {
+        let (g, fact, d) = star();
+        let model = CostModel::new(&g);
+        let tree = RightDeepTree::new(vec![fact, d[0], d[1], d[2]]).to_join_tree();
+        let plan = push_down_bitvectors(&g, PhysicalPlan::from_join_tree(&g, &tree));
+        // Find the placement sourced from the join whose build is d2 (the
+        // unfiltered dimension): it eliminates (almost) nothing.
+        for (idx, p) in plan.placements.iter().enumerate() {
+            let lambda = model.estimated_elimination_fraction(&plan, idx);
+            let src_build = match plan.node(p.source_join) {
+                PhysicalNode::HashJoin { build, .. } => *build,
+                _ => unreachable!(),
+            };
+            let src_rels = plan.relation_set(src_build);
+            if src_rels.contains(&d[1]) {
+                assert!(lambda < 0.05, "unfiltered dim should not eliminate: {lambda}");
+            }
+            if src_rels.contains(&d[2]) {
+                assert!(lambda > 0.5, "d3 keeps 20%, so λ should be ~0.8: {lambda}");
+            }
+        }
+    }
+
+    #[test]
+    fn breakdown_card_lookup() {
+        let (g, fact, d) = star();
+        let model = CostModel::new(&g);
+        let tree = RightDeepTree::new(vec![fact, d[0]]);
+        let cost = model.cout_right_deep(&tree, false);
+        assert_eq!(cost.per_node.len(), 3);
+        assert!(cost.card_of(NodeId(0)).is_some());
+        assert!(cost.card_of(NodeId(99)).is_none());
+    }
+}

@@ -1,0 +1,768 @@
+//! The join graph: relations, equi-join edges and PKFK metadata.
+
+use crate::predicate::ColumnPredicate;
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// Identifier of a relation inside one [`JoinGraph`] (dense index).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct RelId(pub usize);
+
+impl RelId {
+    /// The underlying index.
+    pub fn index(&self) -> usize {
+        self.0
+    }
+}
+
+impl fmt::Display for RelId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "R{}", self.0)
+    }
+}
+
+/// Statistics and predicates of one relation participating in a query.
+///
+/// `filtered_rows` is the estimated cardinality after local predicates
+/// (before any joins or bitvector filters) — the `|R|` the paper's cost
+/// function starts from for base tables.
+#[derive(Debug, Clone)]
+pub struct RelationInfo {
+    pub name: String,
+    pub base_rows: f64,
+    pub filtered_rows: f64,
+    pub predicates: Vec<ColumnPredicate>,
+}
+
+impl RelationInfo {
+    /// Creates relation info without local predicates.
+    pub fn new(name: impl Into<String>, base_rows: f64, filtered_rows: f64) -> Self {
+        RelationInfo {
+            name: name.into(),
+            base_rows: base_rows.max(1.0),
+            filtered_rows: filtered_rows.max(0.0),
+            predicates: Vec::new(),
+        }
+    }
+
+    /// Attaches executable local predicates (used by the executor; the
+    /// planner only looks at `filtered_rows`).
+    pub fn with_predicates(mut self, predicates: Vec<ColumnPredicate>) -> Self {
+        self.predicates = predicates;
+        self
+    }
+
+    /// Selectivity of the local predicates.
+    pub fn local_selectivity(&self) -> f64 {
+        if self.base_rows <= 0.0 {
+            1.0
+        } else {
+            (self.filtered_rows / self.base_rows).clamp(0.0, 1.0)
+        }
+    }
+}
+
+/// An equi-join edge `left.left_column = right.right_column` annotated with
+/// the statistics the estimator needs.
+#[derive(Debug, Clone)]
+pub struct JoinEdge {
+    pub left: RelId,
+    pub right: RelId,
+    pub left_column: String,
+    pub right_column: String,
+    /// Distinct values of `left_column` in the *base* (unfiltered) relation.
+    pub left_distinct: f64,
+    /// Distinct values of `right_column` in the *base* (unfiltered) relation.
+    pub right_distinct: f64,
+    /// True when `left_column` is a key of the left relation.
+    pub left_unique: bool,
+    /// True when `right_column` is a key of the right relation.
+    pub right_unique: bool,
+}
+
+impl JoinEdge {
+    /// Creates an edge with explicit statistics.
+    #[allow(clippy::too_many_arguments)]
+    pub fn new(
+        left: RelId,
+        right: RelId,
+        left_column: impl Into<String>,
+        right_column: impl Into<String>,
+        left_distinct: f64,
+        right_distinct: f64,
+        left_unique: bool,
+        right_unique: bool,
+    ) -> Self {
+        JoinEdge {
+            left,
+            right,
+            left_column: left_column.into(),
+            right_column: right_column.into(),
+            left_distinct: left_distinct.max(1.0),
+            right_distinct: right_distinct.max(1.0),
+            left_unique,
+            right_unique,
+        }
+    }
+
+    /// Convenience constructor for a PKFK edge `fk_rel.fk_col -> pk_rel.pk_col`
+    /// where the PK relation has `pk_rows` rows (its key is dense and unique).
+    pub fn pkfk(
+        fk_rel: RelId,
+        fk_col: impl Into<String>,
+        pk_rel: RelId,
+        pk_col: impl Into<String>,
+        pk_rows: f64,
+    ) -> Self {
+        JoinEdge::new(fk_rel, pk_rel, fk_col, pk_col, pk_rows, pk_rows, false, true)
+    }
+
+    /// True if the edge touches the relation.
+    pub fn touches(&self, rel: RelId) -> bool {
+        self.left == rel || self.right == rel
+    }
+
+    /// The endpoint opposite to `rel`.
+    ///
+    /// # Panics
+    /// Panics if `rel` is not an endpoint of this edge.
+    pub fn other(&self, rel: RelId) -> RelId {
+        if self.left == rel {
+            self.right
+        } else if self.right == rel {
+            self.left
+        } else {
+            panic!("relation {rel} is not an endpoint of this edge");
+        }
+    }
+
+    /// The join column on `rel`'s side.
+    pub fn column_of(&self, rel: RelId) -> &str {
+        if self.left == rel {
+            &self.left_column
+        } else {
+            &self.right_column
+        }
+    }
+
+    /// True when the join column is unique (a key) on `rel`'s side.
+    pub fn unique_on(&self, rel: RelId) -> bool {
+        if self.left == rel {
+            self.left_unique
+        } else {
+            self.right_unique
+        }
+    }
+
+    /// The classic equi-join selectivity `1 / max(d_l, d_r)`.
+    pub fn selectivity(&self) -> f64 {
+        1.0 / self.left_distinct.max(self.right_distinct)
+    }
+
+    /// True when this edge is a PKFK join in the paper's sense
+    /// `other -> rel_with_key` (the join column is a key on at least one side).
+    pub fn is_key_join(&self) -> bool {
+        self.left_unique || self.right_unique
+    }
+}
+
+/// Shape classification of a join graph, used to pick candidate plan sets.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum GraphShape {
+    /// Star query with PKFK joins (Definition 1): one fact table, every
+    /// dimension joins only the fact on the dimension's key.
+    Star { fact: RelId, dimensions: Vec<RelId> },
+    /// Snowflake query with PKFK joins (Definition 2): one fact table and
+    /// chains ("branches") of dimensions.
+    Snowflake {
+        fact: RelId,
+        /// Each branch ordered from the relation adjacent to the fact
+        /// (`R_{i,1}`) outwards (`R_{i,n_i}`).
+        branches: Vec<Vec<RelId>>,
+    },
+    /// A single chain `R_0 -> R_1 -> ... -> R_n` (Definition 4), ordered
+    /// from `R_0`.
+    Branch { order: Vec<RelId> },
+    /// Anything else: multiple fact tables, dimension-dimension cycles,
+    /// non-PKFK joins, disconnected graphs, ...
+    General,
+}
+
+/// A query's join graph together with the statistics the optimizer needs.
+#[derive(Debug, Clone, Default)]
+pub struct JoinGraph {
+    relations: Vec<RelationInfo>,
+    edges: Vec<JoinEdge>,
+    /// For each relation, the indices of incident edges.
+    adjacency: Vec<Vec<usize>>,
+}
+
+impl JoinGraph {
+    /// Creates an empty join graph.
+    pub fn new() -> Self {
+        JoinGraph::default()
+    }
+
+    /// Adds a relation and returns its id.
+    pub fn add_relation(&mut self, info: RelationInfo) -> RelId {
+        let id = RelId(self.relations.len());
+        self.relations.push(info);
+        self.adjacency.push(Vec::new());
+        id
+    }
+
+    /// Adds an equi-join edge.
+    ///
+    /// # Panics
+    /// Panics if either endpoint is out of range or the edge is a self-loop.
+    pub fn add_edge(&mut self, edge: JoinEdge) {
+        assert!(edge.left.0 < self.relations.len(), "left endpoint out of range");
+        assert!(edge.right.0 < self.relations.len(), "right endpoint out of range");
+        assert_ne!(edge.left, edge.right, "self-joins are not supported");
+        let idx = self.edges.len();
+        self.adjacency[edge.left.0].push(idx);
+        self.adjacency[edge.right.0].push(idx);
+        self.edges.push(edge);
+    }
+
+    /// Number of relations.
+    pub fn num_relations(&self) -> usize {
+        self.relations.len()
+    }
+
+    /// All relation ids.
+    pub fn relation_ids(&self) -> impl Iterator<Item = RelId> {
+        (0..self.relations.len()).map(RelId)
+    }
+
+    /// Info for one relation.
+    pub fn relation(&self, id: RelId) -> &RelationInfo {
+        &self.relations[id.0]
+    }
+
+    /// Mutable info for one relation (used by workload builders to adjust
+    /// estimated cardinalities).
+    pub fn relation_mut(&mut self, id: RelId) -> &mut RelationInfo {
+        &mut self.relations[id.0]
+    }
+
+    /// All relations.
+    pub fn relations(&self) -> &[RelationInfo] {
+        &self.relations
+    }
+
+    /// Looks up a relation by name.
+    pub fn relation_by_name(&self, name: &str) -> Option<RelId> {
+        self.relations.iter().position(|r| r.name == name).map(RelId)
+    }
+
+    /// All edges.
+    pub fn edges(&self) -> &[JoinEdge] {
+        &self.edges
+    }
+
+    /// Edges incident to a relation.
+    pub fn edges_of(&self, rel: RelId) -> impl Iterator<Item = &JoinEdge> {
+        self.adjacency[rel.0].iter().map(|&i| &self.edges[i])
+    }
+
+    /// All edges between two relations (composite join keys produce several).
+    pub fn edges_between(&self, a: RelId, b: RelId) -> Vec<&JoinEdge> {
+        self.adjacency[a.0]
+            .iter()
+            .map(|&i| &self.edges[i])
+            .filter(|e| e.touches(b))
+            .collect()
+    }
+
+    /// True if two relations share at least one join edge.
+    pub fn are_adjacent(&self, a: RelId, b: RelId) -> bool {
+        self.adjacency[a.0].iter().any(|&i| self.edges[i].touches(b))
+    }
+
+    /// Neighbouring relations of `rel` (deduplicated, unordered).
+    pub fn neighbors(&self, rel: RelId) -> Vec<RelId> {
+        let mut out: Vec<RelId> = self
+            .adjacency[rel.0]
+            .iter()
+            .map(|&i| self.edges[i].other(rel))
+            .collect();
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+
+    /// True if `rel` joins with at least one relation in `set`.
+    pub fn connects_to_set(&self, rel: RelId, set: &BTreeSet<RelId>) -> bool {
+        self.adjacency[rel.0]
+            .iter()
+            .any(|&i| set.contains(&self.edges[i].other(rel)))
+    }
+
+    /// Relations of `set` that `rel` joins with.
+    pub fn neighbors_in_set(&self, rel: RelId, set: &BTreeSet<RelId>) -> BTreeSet<RelId> {
+        self.adjacency[rel.0]
+            .iter()
+            .map(|&i| self.edges[i].other(rel))
+            .filter(|r| set.contains(r))
+            .collect()
+    }
+
+    /// Edges with exactly one endpoint in `a` and the other in `b`.
+    pub fn edges_across(&self, a: &BTreeSet<RelId>, b: &BTreeSet<RelId>) -> Vec<&JoinEdge> {
+        self.edges
+            .iter()
+            .filter(|e| {
+                (a.contains(&e.left) && b.contains(&e.right))
+                    || (a.contains(&e.right) && b.contains(&e.left))
+            })
+            .collect()
+    }
+
+    /// True if the induced subgraph on `set` is connected (singletons and the
+    /// empty set count as connected).
+    pub fn is_connected_subset(&self, set: &BTreeSet<RelId>) -> bool {
+        if set.len() <= 1 {
+            return true;
+        }
+        let start = *set.iter().next().unwrap();
+        let mut visited = BTreeSet::new();
+        let mut stack = vec![start];
+        visited.insert(start);
+        while let Some(r) = stack.pop() {
+            for edge in self.edges_of(r) {
+                let o = edge.other(r);
+                if set.contains(&o) && visited.insert(o) {
+                    stack.push(o);
+                }
+            }
+        }
+        visited.len() == set.len()
+    }
+
+    /// True if the whole graph is connected.
+    pub fn is_connected(&self) -> bool {
+        let all: BTreeSet<RelId> = self.relation_ids().collect();
+        self.is_connected_subset(&all)
+    }
+
+    /// Connected components of the graph with `excluded` removed.
+    pub fn components_excluding(&self, excluded: RelId) -> Vec<Vec<RelId>> {
+        let mut remaining: BTreeSet<RelId> =
+            self.relation_ids().filter(|&r| r != excluded).collect();
+        let mut components = Vec::new();
+        while let Some(&start) = remaining.iter().next() {
+            let mut component = Vec::new();
+            let mut stack = vec![start];
+            remaining.remove(&start);
+            while let Some(r) = stack.pop() {
+                component.push(r);
+                for edge in self.edges_of(r) {
+                    let o = edge.other(r);
+                    if o != excluded && remaining.remove(&o) {
+                        stack.push(o);
+                    }
+                }
+            }
+            component.sort_unstable();
+            components.push(component);
+        }
+        components
+    }
+
+    /// True if the join column of every edge between `a` and `b` is a key of
+    /// `b` — the paper's `a -> b` notation (so for PKFK joins, `a` carries the
+    /// foreign key and `b` the primary key).
+    pub fn points_to(&self, a: RelId, b: RelId) -> bool {
+        let edges = self.edges_between(a, b);
+        !edges.is_empty() && edges.iter().all(|e| e.unique_on(b))
+    }
+
+    /// Fact-table candidates following Section 6.2: a relation is a fact
+    /// table if no other relation joins it on its key columns (it is never on
+    /// the unique side of an incident edge).
+    pub fn fact_tables(&self) -> Vec<RelId> {
+        self.relation_ids()
+            .filter(|&r| {
+                let mut has_edge = false;
+                for e in self.edges_of(r) {
+                    has_edge = true;
+                    if e.unique_on(r) {
+                        return false;
+                    }
+                }
+                has_edge
+            })
+            .collect()
+    }
+
+    /// Classifies the graph shape (Definitions 1, 2 and 4 of the paper).
+    pub fn classify(&self) -> GraphShape {
+        if self.relations.is_empty() || !self.is_connected() {
+            return GraphShape::General;
+        }
+        if let Some(order) = self.try_branch() {
+            // A 2-relation chain is also a trivial star; prefer the chain
+            // classification only for length >= 3 so star logic handles the
+            // common case.
+            if order.len() >= 3 {
+                return GraphShape::Branch { order };
+            }
+        }
+        let facts = self.fact_tables();
+        if facts.len() != 1 {
+            return GraphShape::General;
+        }
+        let fact = facts[0];
+        if let Some(dims) = self.try_star(fact) {
+            return GraphShape::Star {
+                fact,
+                dimensions: dims,
+            };
+        }
+        if let Some(branches) = self.try_snowflake(fact) {
+            return GraphShape::Snowflake { fact, branches };
+        }
+        GraphShape::General
+    }
+
+    /// Star check: every non-fact relation has exactly one neighbour (the
+    /// fact) and the fact points to it (`R0 -> Rk`).
+    fn try_star(&self, fact: RelId) -> Option<Vec<RelId>> {
+        let mut dims = Vec::new();
+        for r in self.relation_ids() {
+            if r == fact {
+                continue;
+            }
+            let neighbors = self.neighbors(r);
+            if neighbors != vec![fact] || !self.points_to(fact, r) {
+                return None;
+            }
+            dims.push(r);
+        }
+        Some(dims)
+    }
+
+    /// Snowflake check: removing the fact leaves chains, each chain hangs off
+    /// the fact at one end and consecutive chain relations are PKFK joined
+    /// pointing outwards (`R_{i,j-1} -> R_{i,j}`).
+    fn try_snowflake(&self, fact: RelId) -> Option<Vec<Vec<RelId>>> {
+        let mut branches = Vec::new();
+        for component in self.components_excluding(fact) {
+            let branch = self.order_branch(fact, &component)?;
+            branches.push(branch);
+        }
+        Some(branches)
+    }
+
+    /// Orders the relations of one fact-less component into a chain
+    /// `R_{i,1}, ..., R_{i,n_i}` starting at the relation adjacent to the
+    /// fact. Returns `None` if the component is not a valid snowflake branch.
+    fn order_branch(&self, fact: RelId, component: &[RelId]) -> Option<Vec<RelId>> {
+        let set: BTreeSet<RelId> = component.iter().copied().collect();
+        // Exactly one relation of the branch joins the fact, and the fact
+        // must point to it.
+        let roots: Vec<RelId> = component
+            .iter()
+            .copied()
+            .filter(|&r| self.are_adjacent(r, fact))
+            .collect();
+        if roots.len() != 1 || !self.points_to(fact, roots[0]) {
+            return None;
+        }
+        let mut order = vec![roots[0]];
+        let mut prev: Option<RelId> = None;
+        let mut current = roots[0];
+        loop {
+            let next: Vec<RelId> = self
+                .neighbors(current)
+                .into_iter()
+                .filter(|&n| set.contains(&n) && Some(n) != prev)
+                .collect();
+            match next.len() {
+                0 => break,
+                1 => {
+                    let n = next[0];
+                    if !self.points_to(current, n) {
+                        return None;
+                    }
+                    order.push(n);
+                    prev = Some(current);
+                    current = n;
+                }
+                _ => return None, // branching inside a branch: not a chain
+            }
+        }
+        if order.len() != component.len() {
+            return None;
+        }
+        Some(order)
+    }
+
+    /// Chain check (Definition 4): the graph is a path `R_0 - R_1 - ... - R_n`
+    /// with `R_{k-1} -> R_k` for every consecutive pair. Returns the order
+    /// from `R_0`.
+    fn try_branch(&self) -> Option<Vec<RelId>> {
+        let n = self.num_relations();
+        if n < 2 {
+            return None;
+        }
+        // A path has exactly two endpoints of degree one and everything else
+        // of degree two.
+        let mut endpoints = Vec::new();
+        for r in self.relation_ids() {
+            match self.neighbors(r).len() {
+                1 => endpoints.push(r),
+                2 => {}
+                _ => return None,
+            }
+        }
+        if endpoints.len() != 2 {
+            return None;
+        }
+        // Walk the path from each endpoint and accept the orientation where
+        // every step points outwards (R_{k-1} -> R_k).
+        'outer: for &start in &endpoints {
+            let mut order = vec![start];
+            let mut prev: Option<RelId> = None;
+            let mut current = start;
+            while order.len() < n {
+                let next: Vec<RelId> = self
+                    .neighbors(current)
+                    .into_iter()
+                    .filter(|&x| Some(x) != prev)
+                    .collect();
+                if next.len() != 1 || !self.points_to(current, next[0]) {
+                    continue 'outer;
+                }
+                prev = Some(current);
+                current = next[0];
+                order.push(current);
+            }
+            return Some(order);
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// fact(1M) -> d1(100), d2(1000), d3(10)
+    fn star() -> (JoinGraph, RelId, Vec<RelId>) {
+        let mut g = JoinGraph::new();
+        let fact = g.add_relation(RelationInfo::new("fact", 1_000_000.0, 1_000_000.0));
+        let d1 = g.add_relation(RelationInfo::new("d1", 100.0, 10.0));
+        let d2 = g.add_relation(RelationInfo::new("d2", 1000.0, 1000.0));
+        let d3 = g.add_relation(RelationInfo::new("d3", 10.0, 2.0));
+        g.add_edge(JoinEdge::pkfk(fact, "d1_sk", d1, "sk", 100.0));
+        g.add_edge(JoinEdge::pkfk(fact, "d2_sk", d2, "sk", 1000.0));
+        g.add_edge(JoinEdge::pkfk(fact, "d3_sk", d3, "sk", 10.0));
+        (g, fact, vec![d1, d2, d3])
+    }
+
+    /// fact -> b1_1 -> b1_2 ; fact -> b2_1
+    fn snowflake() -> (JoinGraph, RelId) {
+        let mut g = JoinGraph::new();
+        let fact = g.add_relation(RelationInfo::new("fact", 1_000_000.0, 1_000_000.0));
+        let b1_1 = g.add_relation(RelationInfo::new("b1_1", 10_000.0, 1000.0));
+        let b1_2 = g.add_relation(RelationInfo::new("b1_2", 100.0, 10.0));
+        let b2_1 = g.add_relation(RelationInfo::new("b2_1", 500.0, 500.0));
+        g.add_edge(JoinEdge::pkfk(fact, "b1_1_sk", b1_1, "sk", 10_000.0));
+        g.add_edge(JoinEdge::pkfk(b1_1, "b1_2_sk", b1_2, "sk", 100.0));
+        g.add_edge(JoinEdge::pkfk(fact, "b2_1_sk", b2_1, "sk", 500.0));
+        (g, fact)
+    }
+
+    #[test]
+    fn adjacency_and_neighbors() {
+        let (g, fact, dims) = star();
+        assert_eq!(g.num_relations(), 4);
+        assert!(g.are_adjacent(fact, dims[0]));
+        assert!(!g.are_adjacent(dims[0], dims[1]));
+        assert_eq!(g.neighbors(fact).len(), 3);
+        assert_eq!(g.neighbors(dims[2]), vec![fact]);
+        assert_eq!(g.edges_between(fact, dims[1]).len(), 1);
+        assert!(g.edges_between(dims[0], dims[1]).is_empty());
+    }
+
+    #[test]
+    fn pkfk_direction() {
+        let (g, fact, dims) = star();
+        assert!(g.points_to(fact, dims[0]), "fact -> dim");
+        assert!(!g.points_to(dims[0], fact), "dim does not point to fact");
+    }
+
+    #[test]
+    fn edge_helpers() {
+        let e = JoinEdge::pkfk(RelId(0), "fk", RelId(1), "pk", 100.0);
+        assert!(e.touches(RelId(0)));
+        assert!(!e.touches(RelId(2)));
+        assert_eq!(e.other(RelId(0)), RelId(1));
+        assert_eq!(e.column_of(RelId(0)), "fk");
+        assert_eq!(e.column_of(RelId(1)), "pk");
+        assert!(e.unique_on(RelId(1)));
+        assert!(!e.unique_on(RelId(0)));
+        assert!((e.selectivity() - 0.01).abs() < 1e-12);
+        assert!(e.is_key_join());
+    }
+
+    #[test]
+    #[should_panic(expected = "not an endpoint")]
+    fn edge_other_panics_for_non_endpoint() {
+        let e = JoinEdge::pkfk(RelId(0), "fk", RelId(1), "pk", 100.0);
+        e.other(RelId(5));
+    }
+
+    #[test]
+    fn connectivity() {
+        let (g, fact, dims) = star();
+        assert!(g.is_connected());
+        let sub: BTreeSet<RelId> = [fact, dims[0]].into_iter().collect();
+        assert!(g.is_connected_subset(&sub));
+        let disconnected: BTreeSet<RelId> = [dims[0], dims[1]].into_iter().collect();
+        assert!(!g.is_connected_subset(&disconnected));
+        let empty = BTreeSet::new();
+        assert!(g.is_connected_subset(&empty));
+    }
+
+    #[test]
+    fn components_excluding_fact() {
+        let (g, fact) = snowflake();
+        let mut comps = g.components_excluding(fact);
+        comps.sort_by_key(|c| c.len());
+        assert_eq!(comps.len(), 2);
+        assert_eq!(comps[0].len(), 1);
+        assert_eq!(comps[1].len(), 2);
+    }
+
+    #[test]
+    fn fact_table_detection() {
+        let (g, fact, _) = star();
+        assert_eq!(g.fact_tables(), vec![fact]);
+        let (g2, fact2) = snowflake();
+        assert_eq!(g2.fact_tables(), vec![fact2]);
+    }
+
+    #[test]
+    fn classify_star() {
+        let (g, fact, dims) = star();
+        match g.classify() {
+            GraphShape::Star { fact: f, dimensions } => {
+                assert_eq!(f, fact);
+                assert_eq!(dimensions.len(), dims.len());
+            }
+            other => panic!("expected star, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn classify_snowflake() {
+        let (g, fact) = snowflake();
+        match g.classify() {
+            GraphShape::Snowflake { fact: f, branches } => {
+                assert_eq!(f, fact);
+                assert_eq!(branches.len(), 2);
+                let lens: BTreeSet<usize> = branches.iter().map(|b| b.len()).collect();
+                assert_eq!(lens, [1usize, 2].into_iter().collect());
+                // Branch of length 2 must start at the relation adjacent to
+                // the fact.
+                let long = branches.iter().find(|b| b.len() == 2).unwrap();
+                assert!(g.are_adjacent(long[0], f));
+                assert!(!g.are_adjacent(long[1], f));
+            }
+            other => panic!("expected snowflake, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn classify_branch_chain() {
+        let mut g = JoinGraph::new();
+        let r0 = g.add_relation(RelationInfo::new("r0", 10_000.0, 10_000.0));
+        let r1 = g.add_relation(RelationInfo::new("r1", 1000.0, 1000.0));
+        let r2 = g.add_relation(RelationInfo::new("r2", 100.0, 10.0));
+        g.add_edge(JoinEdge::pkfk(r0, "r1_sk", r1, "sk", 1000.0));
+        g.add_edge(JoinEdge::pkfk(r1, "r2_sk", r2, "sk", 100.0));
+        match g.classify() {
+            GraphShape::Branch { order } => assert_eq!(order, vec![r0, r1, r2]),
+            other => panic!("expected branch, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn classify_general_for_multi_fact() {
+        // Two fact tables sharing a dimension.
+        let mut g = JoinGraph::new();
+        let f1 = g.add_relation(RelationInfo::new("f1", 1_000_000.0, 1_000_000.0));
+        let f2 = g.add_relation(RelationInfo::new("f2", 500_000.0, 500_000.0));
+        let d = g.add_relation(RelationInfo::new("d", 100.0, 100.0));
+        g.add_edge(JoinEdge::pkfk(f1, "d_sk", d, "sk", 100.0));
+        g.add_edge(JoinEdge::pkfk(f2, "d_sk", d, "sk", 100.0));
+        assert_eq!(g.classify(), GraphShape::General);
+        assert_eq!(g.fact_tables().len(), 2);
+    }
+
+    #[test]
+    fn classify_general_for_disconnected() {
+        let mut g = JoinGraph::new();
+        let _a = g.add_relation(RelationInfo::new("a", 10.0, 10.0));
+        let _b = g.add_relation(RelationInfo::new("b", 10.0, 10.0));
+        assert_eq!(g.classify(), GraphShape::General);
+        assert!(!g.is_connected());
+    }
+
+    #[test]
+    fn classify_general_for_non_key_joins() {
+        // fact joined to a "dimension" on a non-unique column.
+        let mut g = JoinGraph::new();
+        let f = g.add_relation(RelationInfo::new("f", 1000.0, 1000.0));
+        let d = g.add_relation(RelationInfo::new("d", 100.0, 100.0));
+        g.add_edge(JoinEdge::new(f, d, "x", "y", 50.0, 60.0, false, false));
+        assert_eq!(g.classify(), GraphShape::General);
+    }
+
+    #[test]
+    fn two_relation_pkfk_classifies_as_star() {
+        let mut g = JoinGraph::new();
+        let f = g.add_relation(RelationInfo::new("f", 1000.0, 1000.0));
+        let d = g.add_relation(RelationInfo::new("d", 100.0, 100.0));
+        g.add_edge(JoinEdge::pkfk(f, "d_sk", d, "sk", 100.0));
+        assert!(matches!(g.classify(), GraphShape::Star { .. }));
+    }
+
+    #[test]
+    fn relation_lookup_by_name() {
+        let (g, fact, _) = star();
+        assert_eq!(g.relation_by_name("fact"), Some(fact));
+        assert_eq!(g.relation_by_name("nope"), None);
+        assert_eq!(g.relation(fact).name, "fact");
+    }
+
+    #[test]
+    fn local_selectivity() {
+        let r = RelationInfo::new("r", 100.0, 25.0);
+        assert!((r.local_selectivity() - 0.25).abs() < 1e-12);
+        let full = RelationInfo::new("r", 100.0, 100.0);
+        assert_eq!(full.local_selectivity(), 1.0);
+    }
+
+    #[test]
+    fn edges_across_sets() {
+        let (g, fact, dims) = star();
+        let left: BTreeSet<RelId> = [fact].into_iter().collect();
+        let right: BTreeSet<RelId> = [dims[0], dims[1]].into_iter().collect();
+        assert_eq!(g.edges_across(&left, &right).len(), 2);
+        let none: BTreeSet<RelId> = [dims[2]].into_iter().collect();
+        assert_eq!(g.edges_across(&right, &none).len(), 0);
+    }
+
+    #[test]
+    fn neighbors_in_set() {
+        let (g, fact, dims) = star();
+        let set: BTreeSet<RelId> = [dims[0], dims[2]].into_iter().collect();
+        let n = g.neighbors_in_set(fact, &set);
+        assert_eq!(n, set);
+        assert!(g.neighbors_in_set(dims[0], &set).is_empty());
+    }
+}

@@ -1,0 +1,38 @@
+//! Join graphs, plan trees, cardinality estimation, the `Cout` cost model and
+//! bitvector push-down (Algorithm 1 of the paper).
+//!
+//! This crate is the analytical heart of the reproduction. It contains:
+//!
+//! * [`graph`] — the join-graph model ([`JoinGraph`], [`RelationInfo`],
+//!   [`JoinEdge`]) with PKFK metadata and shape classification
+//!   (star / snowflake / branch / general, fact-table detection).
+//! * [`tree`] — join-tree representations, in particular the right-deep
+//!   trees the paper's analysis is about.
+//! * [`estimator`] — the cardinality estimator: join cardinalities over
+//!   relation sets and semi-join (bitvector) reduction factors.
+//! * [`cost`] — the `Cout` cost function (Eq. 1), with and without the
+//!   effect of bitvector filters.
+//! * [`physical`] — the physical plan (scans + hash joins) plus bitvector
+//!   filter placements.
+//! * [`pushdown`] — Algorithm 1: create a bitvector filter at each hash join
+//!   and push it to the lowest possible operator of the probe side.
+//! * [`builder`] — helpers that build a statistics-annotated [`JoinGraph`]
+//!   from a [`bqo_storage::Catalog`] and a query description.
+
+pub mod builder;
+pub mod cost;
+pub mod estimator;
+pub mod graph;
+pub mod physical;
+pub mod predicate;
+pub mod pushdown;
+pub mod tree;
+
+pub use builder::QuerySpec;
+pub use cost::{CostModel, CoutBreakdown};
+pub use estimator::CardinalityEstimator;
+pub use graph::{GraphShape, JoinEdge, JoinGraph, RelId, RelationInfo};
+pub use physical::{BitvectorPlacement, ColumnRef, JoinKeyPair, NodeId, PhysicalNode, PhysicalPlan};
+pub use predicate::{ColumnPredicate, CompareOp};
+pub use pushdown::push_down_bitvectors;
+pub use tree::{JoinTree, RightDeepTree};

@@ -1,0 +1,373 @@
+//! Physical plans: scans, hash joins and bitvector filter placements.
+//!
+//! A [`PhysicalPlan`] is an arena of operators plus a list of
+//! [`BitvectorPlacement`]s produced by Algorithm 1 (see
+//! [`crate::pushdown`]). The executor in `bqo-exec` interprets this structure
+//! directly; the cost model in [`crate::cost`] estimates `Cout` over it.
+
+use crate::graph::{JoinGraph, RelId};
+use crate::tree::JoinTree;
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// Identifier of a node inside one [`PhysicalPlan`] arena.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct NodeId(pub usize);
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "op{}", self.0)
+    }
+}
+
+/// A fully qualified column reference `relation.column`.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct ColumnRef {
+    pub relation: RelId,
+    pub column: String,
+}
+
+impl ColumnRef {
+    /// Creates a column reference.
+    pub fn new(relation: RelId, column: impl Into<String>) -> Self {
+        ColumnRef {
+            relation,
+            column: column.into(),
+        }
+    }
+}
+
+/// One equi-join key pair of a hash join: `build.column = probe.column`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JoinKeyPair {
+    pub build: ColumnRef,
+    pub probe: ColumnRef,
+}
+
+/// A physical operator.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PhysicalNode {
+    /// Scan of a base relation, applying its local predicates and any
+    /// bitvector filters pushed down to it.
+    Scan { relation: RelId },
+    /// Hash join: build a hash table from `build`, probe with `probe`.
+    HashJoin {
+        build: NodeId,
+        probe: NodeId,
+        keys: Vec<JoinKeyPair>,
+    },
+}
+
+/// Where a bitvector filter created at `source_join` is applied.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BitvectorPlacement {
+    /// The hash join whose build side creates the filter.
+    pub source_join: NodeId,
+    /// The operator whose output the filter is applied to. When this is a
+    /// scan, the filter was pushed all the way down (the interesting case for
+    /// `Cout`); when it is a join, the filter is a residual applied between
+    /// that join and its parent.
+    pub target: NodeId,
+    /// The probe-side columns the filter checks (one per join key; composite
+    /// keys are hashed together).
+    pub probe_columns: Vec<ColumnRef>,
+    /// The build-side columns the filter is created from.
+    pub build_columns: Vec<ColumnRef>,
+}
+
+/// A physical plan: an operator arena, its root, and bitvector placements.
+#[derive(Debug, Clone, Default)]
+pub struct PhysicalPlan {
+    nodes: Vec<PhysicalNode>,
+    root: Option<NodeId>,
+    pub placements: Vec<BitvectorPlacement>,
+}
+
+impl PhysicalPlan {
+    /// Creates an empty plan.
+    pub fn new() -> Self {
+        PhysicalPlan::default()
+    }
+
+    /// Adds a node and returns its id.
+    pub fn add_node(&mut self, node: PhysicalNode) -> NodeId {
+        let id = NodeId(self.nodes.len());
+        self.nodes.push(node);
+        id
+    }
+
+    /// Sets the root operator.
+    pub fn set_root(&mut self, root: NodeId) {
+        self.root = Some(root);
+    }
+
+    /// The root operator.
+    ///
+    /// # Panics
+    /// Panics if the plan is empty.
+    pub fn root(&self) -> NodeId {
+        self.root.expect("physical plan has no root")
+    }
+
+    /// The node behind an id.
+    pub fn node(&self, id: NodeId) -> &PhysicalNode {
+        &self.nodes[id.0]
+    }
+
+    /// All nodes with their ids.
+    pub fn nodes(&self) -> impl Iterator<Item = (NodeId, &PhysicalNode)> {
+        self.nodes.iter().enumerate().map(|(i, n)| (NodeId(i), n))
+    }
+
+    /// Number of operators.
+    pub fn num_nodes(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Number of hash joins.
+    pub fn num_joins(&self) -> usize {
+        self.nodes
+            .iter()
+            .filter(|n| matches!(n, PhysicalNode::HashJoin { .. }))
+            .count()
+    }
+
+    /// The set of base relations under a node.
+    pub fn relation_set(&self, id: NodeId) -> BTreeSet<RelId> {
+        match self.node(id) {
+            PhysicalNode::Scan { relation } => [*relation].into_iter().collect(),
+            PhysicalNode::HashJoin { build, probe, .. } => {
+                let mut set = self.relation_set(*build);
+                set.extend(self.relation_set(*probe));
+                set
+            }
+        }
+    }
+
+    /// Placements targeted at a given node.
+    pub fn placements_at(&self, target: NodeId) -> Vec<&BitvectorPlacement> {
+        self.placements
+            .iter()
+            .filter(|p| p.target == target)
+            .collect()
+    }
+
+    /// Placements created by a given join.
+    pub fn placements_from(&self, source_join: NodeId) -> Vec<&BitvectorPlacement> {
+        self.placements
+            .iter()
+            .filter(|p| p.source_join == source_join)
+            .collect()
+    }
+
+    /// Builds a physical plan (without bitvector placements) from a logical
+    /// join tree, deriving the hash-join key pairs from the join graph's
+    /// edges that cross each join's build/probe sets.
+    ///
+    /// # Panics
+    /// Panics if some join in the tree is a cross product (no edge between
+    /// its inputs); plans enumerated without cross products never hit this.
+    pub fn from_join_tree(graph: &JoinGraph, tree: &JoinTree) -> Self {
+        let mut plan = PhysicalPlan::new();
+        let root = plan.build_node(graph, tree);
+        plan.set_root(root);
+        plan
+    }
+
+    fn build_node(&mut self, graph: &JoinGraph, tree: &JoinTree) -> NodeId {
+        match tree {
+            JoinTree::Leaf(rel) => self.add_node(PhysicalNode::Scan { relation: *rel }),
+            JoinTree::Join { build, probe } => {
+                let build_set = build.relation_set();
+                let probe_set = probe.relation_set();
+                let build_id = self.build_node(graph, build);
+                let probe_id = self.build_node(graph, probe);
+                let keys: Vec<JoinKeyPair> = graph
+                    .edges_across(&build_set, &probe_set)
+                    .into_iter()
+                    .map(|edge| {
+                        let (build_rel, probe_rel) = if build_set.contains(&edge.left) {
+                            (edge.left, edge.right)
+                        } else {
+                            (edge.right, edge.left)
+                        };
+                        JoinKeyPair {
+                            build: ColumnRef::new(build_rel, edge.column_of(build_rel)),
+                            probe: ColumnRef::new(probe_rel, edge.column_of(probe_rel)),
+                        }
+                    })
+                    .collect();
+                assert!(
+                    !keys.is_empty(),
+                    "join between {build_set:?} and {probe_set:?} is a cross product"
+                );
+                self.add_node(PhysicalNode::HashJoin {
+                    build: build_id,
+                    probe: probe_id,
+                    keys,
+                })
+            }
+        }
+    }
+
+    /// Pretty-prints the plan as an indented tree (EXPLAIN-style output used
+    /// by the examples and the reproduction binary).
+    pub fn explain(&self, graph: &JoinGraph) -> String {
+        let mut out = String::new();
+        self.explain_node(graph, self.root(), 0, &mut out);
+        if !self.placements.is_empty() {
+            out.push_str("bitvector filters:\n");
+            for p in &self.placements {
+                let cols: Vec<String> = p
+                    .probe_columns
+                    .iter()
+                    .map(|c| format!("{}.{}", graph.relation(c.relation).name, c.column))
+                    .collect();
+                out.push_str(&format!(
+                    "  from {} applied at {} on ({})\n",
+                    p.source_join,
+                    p.target,
+                    cols.join(", ")
+                ));
+            }
+        }
+        out
+    }
+
+    fn explain_node(&self, graph: &JoinGraph, id: NodeId, depth: usize, out: &mut String) {
+        let indent = "  ".repeat(depth);
+        match self.node(id) {
+            PhysicalNode::Scan { relation } => {
+                out.push_str(&format!(
+                    "{indent}{id}: Scan {}\n",
+                    graph.relation(*relation).name
+                ));
+            }
+            PhysicalNode::HashJoin { build, probe, keys } => {
+                let preds: Vec<String> = keys
+                    .iter()
+                    .map(|k| {
+                        format!(
+                            "{}.{} = {}.{}",
+                            graph.relation(k.build.relation).name,
+                            k.build.column,
+                            graph.relation(k.probe.relation).name,
+                            k.probe.column
+                        )
+                    })
+                    .collect();
+                out.push_str(&format!("{indent}{id}: HashJoin on {}\n", preds.join(" AND ")));
+                self.explain_node(graph, *build, depth + 1, out);
+                self.explain_node(graph, *probe, depth + 1, out);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::{JoinEdge, RelationInfo};
+    use crate::tree::RightDeepTree;
+
+    fn star_graph() -> (JoinGraph, RelId, Vec<RelId>) {
+        let mut g = JoinGraph::new();
+        let fact = g.add_relation(RelationInfo::new("fact", 1_000_000.0, 1_000_000.0));
+        let d1 = g.add_relation(RelationInfo::new("d1", 100.0, 10.0));
+        let d2 = g.add_relation(RelationInfo::new("d2", 1000.0, 1000.0));
+        g.add_edge(JoinEdge::pkfk(fact, "d1_sk", d1, "sk", 100.0));
+        g.add_edge(JoinEdge::pkfk(fact, "d2_sk", d2, "sk", 1000.0));
+        (g, fact, vec![d1, d2])
+    }
+
+    #[test]
+    fn from_right_deep_tree() {
+        let (g, fact, dims) = star_graph();
+        let tree = RightDeepTree::new(vec![fact, dims[0], dims[1]]).to_join_tree();
+        let plan = PhysicalPlan::from_join_tree(&g, &tree);
+        assert_eq!(plan.num_nodes(), 5);
+        assert_eq!(plan.num_joins(), 2);
+        assert_eq!(plan.relation_set(plan.root()).len(), 3);
+        // Root join's build side must be a scan of d2 (the last element of
+        // the order) and its probe side the lower join.
+        match plan.node(plan.root()) {
+            PhysicalNode::HashJoin { build, keys, .. } => {
+                assert_eq!(
+                    plan.node(*build),
+                    &PhysicalNode::Scan { relation: dims[1] }
+                );
+                assert_eq!(keys.len(), 1);
+                assert_eq!(keys[0].build.relation, dims[1]);
+                assert_eq!(keys[0].probe.relation, fact);
+                assert_eq!(keys[0].probe.column, "d2_sk");
+            }
+            other => panic!("expected join at root, got {other:?}"),
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "cross product")]
+    fn cross_product_tree_panics() {
+        let (g, _, dims) = star_graph();
+        // d1 ⋈ d2 has no edge.
+        let tree = JoinTree::join(JoinTree::Leaf(dims[0]), JoinTree::Leaf(dims[1]));
+        PhysicalPlan::from_join_tree(&g, &tree);
+    }
+
+    #[test]
+    fn relation_set_of_scan_and_join() {
+        let (g, fact, dims) = star_graph();
+        let tree = RightDeepTree::new(vec![fact, dims[0]]).to_join_tree();
+        let plan = PhysicalPlan::from_join_tree(&g, &tree);
+        let scans: Vec<NodeId> = plan
+            .nodes()
+            .filter(|(_, n)| matches!(n, PhysicalNode::Scan { .. }))
+            .map(|(id, _)| id)
+            .collect();
+        assert_eq!(scans.len(), 2);
+        for s in scans {
+            assert_eq!(plan.relation_set(s).len(), 1);
+        }
+    }
+
+    #[test]
+    fn placements_lookup() {
+        let (g, fact, dims) = star_graph();
+        let tree = RightDeepTree::new(vec![fact, dims[0]]).to_join_tree();
+        let mut plan = PhysicalPlan::from_join_tree(&g, &tree);
+        let root = plan.root();
+        let scan_fact = plan
+            .nodes()
+            .find_map(|(id, n)| match n {
+                PhysicalNode::Scan { relation } if *relation == fact => Some(id),
+                _ => None,
+            })
+            .unwrap();
+        plan.placements.push(BitvectorPlacement {
+            source_join: root,
+            target: scan_fact,
+            probe_columns: vec![ColumnRef::new(fact, "d1_sk")],
+            build_columns: vec![ColumnRef::new(dims[0], "sk")],
+        });
+        assert_eq!(plan.placements_at(scan_fact).len(), 1);
+        assert_eq!(plan.placements_from(root).len(), 1);
+        assert!(plan.placements_at(root).is_empty());
+    }
+
+    #[test]
+    fn explain_mentions_tables_and_filters() {
+        let (g, fact, dims) = star_graph();
+        let tree = RightDeepTree::new(vec![fact, dims[0], dims[1]]).to_join_tree();
+        let plan = PhysicalPlan::from_join_tree(&g, &tree);
+        let text = plan.explain(&g);
+        assert!(text.contains("Scan fact"));
+        assert!(text.contains("HashJoin"));
+        assert!(text.contains("d1.sk"));
+    }
+
+    #[test]
+    #[should_panic(expected = "no root")]
+    fn empty_plan_root_panics() {
+        PhysicalPlan::new().root();
+    }
+}

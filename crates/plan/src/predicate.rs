@@ -1,0 +1,217 @@
+//! Local (single-table) predicates.
+
+use bqo_storage::{Column, ColumnStats, Value};
+
+/// Comparison operators supported by local predicates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CompareOp {
+    Eq,
+    NotEq,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+}
+
+impl CompareOp {
+    /// SQL-ish rendering used by plan explanations.
+    pub fn symbol(&self) -> &'static str {
+        match self {
+            CompareOp::Eq => "=",
+            CompareOp::NotEq => "<>",
+            CompareOp::Lt => "<",
+            CompareOp::Le => "<=",
+            CompareOp::Gt => ">",
+            CompareOp::Ge => ">=",
+        }
+    }
+}
+
+/// A predicate of the form `column <op> literal` applied to one relation.
+///
+/// Decision-support queries place these on dimension attributes (the
+/// `k.keyword LIKE '%ge%'` style predicates in the paper's motivating query
+/// are modelled as selectivity-equivalent comparisons on generated columns).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ColumnPredicate {
+    pub column: String,
+    pub op: CompareOp,
+    pub value: Value,
+}
+
+impl ColumnPredicate {
+    /// Creates a predicate.
+    pub fn new(column: impl Into<String>, op: CompareOp, value: impl Into<Value>) -> Self {
+        ColumnPredicate {
+            column: column.into(),
+            op,
+            value: value.into(),
+        }
+    }
+
+    /// Evaluates the predicate against every row of a column, producing a
+    /// selection mask.
+    pub fn evaluate(&self, column: &Column) -> Vec<bool> {
+        let n = column.len();
+        let mut mask = vec![false; n];
+        match (column, &self.value) {
+            (Column::Int64(values), Value::Int64(lit)) => {
+                for (i, v) in values.iter().enumerate() {
+                    mask[i] = compare_ord(v.cmp(lit), self.op);
+                }
+            }
+            (Column::Int64(values), Value::Float64(lit)) => {
+                for (i, v) in values.iter().enumerate() {
+                    mask[i] = compare_ord((*v as f64).total_cmp(lit), self.op);
+                }
+            }
+            (Column::Float64(values), Value::Float64(lit)) => {
+                for (i, v) in values.iter().enumerate() {
+                    mask[i] = compare_ord(v.total_cmp(lit), self.op);
+                }
+            }
+            (Column::Float64(values), Value::Int64(lit)) => {
+                let lit = *lit as f64;
+                for (i, v) in values.iter().enumerate() {
+                    mask[i] = compare_ord(v.total_cmp(&lit), self.op);
+                }
+            }
+            (Column::Utf8(values), Value::Utf8(lit)) => {
+                for (i, v) in values.iter().enumerate() {
+                    mask[i] = compare_ord(v.as_str().cmp(lit.as_str()), self.op);
+                }
+            }
+            (Column::Bool(values), Value::Bool(lit)) => {
+                for (i, v) in values.iter().enumerate() {
+                    mask[i] = compare_ord(v.cmp(lit), self.op);
+                }
+            }
+            // Type mismatch: nothing qualifies. Workload generators never
+            // produce mismatched predicates, but a silent empty result is a
+            // safer behaviour than a panic for user-written queries.
+            _ => {}
+        }
+        mask
+    }
+
+    /// Estimates the selectivity of this predicate from column statistics.
+    pub fn estimate_selectivity(&self, stats: &ColumnStats) -> f64 {
+        let numeric = match &self.value {
+            Value::Int64(v) => Some(*v as f64),
+            Value::Float64(v) => Some(*v),
+            _ => None,
+        };
+        match self.op {
+            CompareOp::Eq => stats.eq_selectivity(),
+            CompareOp::NotEq => (1.0 - stats.eq_selectivity()).max(0.0),
+            CompareOp::Lt | CompareOp::Le => match numeric {
+                Some(b) => stats.lt_selectivity(b),
+                None => 0.33,
+            },
+            CompareOp::Gt | CompareOp::Ge => match numeric {
+                Some(b) => stats.gt_selectivity(b),
+                None => 0.33,
+            },
+        }
+    }
+}
+
+fn compare_ord(ord: std::cmp::Ordering, op: CompareOp) -> bool {
+    use std::cmp::Ordering::*;
+    match op {
+        CompareOp::Eq => ord == Equal,
+        CompareOp::NotEq => ord != Equal,
+        CompareOp::Lt => ord == Less,
+        CompareOp::Le => ord != Greater,
+        CompareOp::Gt => ord == Greater,
+        CompareOp::Ge => ord != Less,
+    }
+}
+
+impl std::fmt::Display for ColumnPredicate {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{} {} {}", self.column, self.op.symbol(), self.value)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bqo_storage::Column;
+
+    #[test]
+    fn evaluate_int_comparisons() {
+        let c = Column::from(vec![1i64, 5, 10]);
+        assert_eq!(
+            ColumnPredicate::new("x", CompareOp::Lt, 5i64).evaluate(&c),
+            vec![true, false, false]
+        );
+        assert_eq!(
+            ColumnPredicate::new("x", CompareOp::Le, 5i64).evaluate(&c),
+            vec![true, true, false]
+        );
+        assert_eq!(
+            ColumnPredicate::new("x", CompareOp::Eq, 5i64).evaluate(&c),
+            vec![false, true, false]
+        );
+        assert_eq!(
+            ColumnPredicate::new("x", CompareOp::NotEq, 5i64).evaluate(&c),
+            vec![true, false, true]
+        );
+        assert_eq!(
+            ColumnPredicate::new("x", CompareOp::Ge, 5i64).evaluate(&c),
+            vec![false, true, true]
+        );
+        assert_eq!(
+            ColumnPredicate::new("x", CompareOp::Gt, 5i64).evaluate(&c),
+            vec![false, false, true]
+        );
+    }
+
+    #[test]
+    fn evaluate_mixed_numeric_types() {
+        let c = Column::from(vec![1.0f64, 2.5, 4.0]);
+        let mask = ColumnPredicate::new("x", CompareOp::Gt, 2i64).evaluate(&c);
+        assert_eq!(mask, vec![false, true, true]);
+        let ci = Column::from(vec![1i64, 3]);
+        let mask = ColumnPredicate::new("x", CompareOp::Lt, 2.5f64).evaluate(&ci);
+        assert_eq!(mask, vec![true, false]);
+    }
+
+    #[test]
+    fn evaluate_strings_and_bools() {
+        let c = Column::from(vec!["apple".to_string(), "banana".into()]);
+        let mask = ColumnPredicate::new("s", CompareOp::Eq, "banana").evaluate(&c);
+        assert_eq!(mask, vec![false, true]);
+        let b = Column::from(vec![true, false, true]);
+        let mask = ColumnPredicate::new("b", CompareOp::Eq, true).evaluate(&b);
+        assert_eq!(mask, vec![true, false, true]);
+    }
+
+    #[test]
+    fn type_mismatch_selects_nothing() {
+        let c = Column::from(vec![1i64, 2]);
+        let mask = ColumnPredicate::new("x", CompareOp::Eq, "oops").evaluate(&c);
+        assert_eq!(mask, vec![false, false]);
+    }
+
+    #[test]
+    fn selectivity_estimates() {
+        let c = Column::from((0..100i64).collect::<Vec<_>>());
+        let stats = bqo_storage::ColumnStats::compute(&c);
+        let eq = ColumnPredicate::new("x", CompareOp::Eq, 5i64).estimate_selectivity(&stats);
+        assert!((eq - 0.01).abs() < 1e-9);
+        let lt = ColumnPredicate::new("x", CompareOp::Lt, 50i64).estimate_selectivity(&stats);
+        assert!((lt - 0.5).abs() < 0.05);
+        let gt = ColumnPredicate::new("x", CompareOp::Gt, 75i64).estimate_selectivity(&stats);
+        assert!((gt - 0.25).abs() < 0.05);
+        let ne = ColumnPredicate::new("x", CompareOp::NotEq, 5i64).estimate_selectivity(&stats);
+        assert!(ne > 0.98);
+    }
+
+    #[test]
+    fn display_is_readable() {
+        let p = ColumnPredicate::new("price", CompareOp::Le, 10i64);
+        assert_eq!(p.to_string(), "price <= 10");
+    }
+}

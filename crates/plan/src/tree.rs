@@ -1,0 +1,343 @@
+//! Join-tree representations.
+//!
+//! The paper's analysis targets *right-deep trees without cross products*:
+//! every hash join's build side is a base relation and the probe side is the
+//! rest of the pipeline. [`RightDeepTree`] captures exactly that shape with
+//! the paper's `T(X_0, X_1, ..., X_n)` notation (`X_0` is the right-most
+//! leaf, i.e. the bottom of the probe pipeline; `X_1..X_n` are the build
+//! sides from the bottom join to the top join).
+//!
+//! [`JoinTree`] is the general binary-tree shape produced by the baseline
+//! dynamic-programming optimizer (it can be left-deep, right-deep or bushy).
+
+use crate::graph::{JoinGraph, RelId};
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// A right-deep tree in the paper's `T(X_0, ..., X_n)` notation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RightDeepTree {
+    order: Vec<RelId>,
+}
+
+impl RightDeepTree {
+    /// Creates a right-deep tree from the paper's order notation.
+    ///
+    /// # Panics
+    /// Panics if the order is empty or contains duplicates.
+    pub fn new(order: Vec<RelId>) -> Self {
+        assert!(!order.is_empty(), "a plan must contain at least one relation");
+        let distinct: BTreeSet<RelId> = order.iter().copied().collect();
+        assert_eq!(distinct.len(), order.len(), "duplicate relation in plan order");
+        RightDeepTree { order }
+    }
+
+    /// The order `X_0, X_1, ..., X_n` (right-most leaf first).
+    pub fn order(&self) -> &[RelId] {
+        &self.order
+    }
+
+    /// The right-most leaf `X_0` (bottom of the probe pipeline).
+    pub fn rightmost(&self) -> RelId {
+        self.order[0]
+    }
+
+    /// Number of relations.
+    pub fn len(&self) -> usize {
+        self.order.len()
+    }
+
+    /// True when the plan has a single relation (no joins).
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Number of joins in the plan.
+    pub fn num_joins(&self) -> usize {
+        self.order.len().saturating_sub(1)
+    }
+
+    /// The set of relations in the plan.
+    pub fn relation_set(&self) -> BTreeSet<RelId> {
+        self.order.iter().copied().collect()
+    }
+
+    /// Checks that the plan has no cross products with respect to a join
+    /// graph: every build relation `X_i` (i >= 1) must join with at least one
+    /// relation in the prefix `{X_0, ..., X_{i-1}}`.
+    pub fn has_no_cross_products(&self, graph: &JoinGraph) -> bool {
+        let mut prefix: BTreeSet<RelId> = BTreeSet::new();
+        prefix.insert(self.order[0]);
+        for &rel in &self.order[1..] {
+            if !graph.connects_to_set(rel, &prefix) {
+                return false;
+            }
+            prefix.insert(rel);
+        }
+        true
+    }
+
+    /// Converts to the general [`JoinTree`] form: `((...((X_1 ⋈ X_0)) ...)`,
+    /// where at each level the new relation is the *left* (build) input.
+    pub fn to_join_tree(&self) -> JoinTree {
+        let mut tree = JoinTree::Leaf(self.order[0]);
+        for &rel in &self.order[1..] {
+            tree = JoinTree::join(JoinTree::Leaf(rel), tree);
+        }
+        tree
+    }
+}
+
+impl fmt::Display for RightDeepTree {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "T(")?;
+        for (i, r) in self.order.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{r}")?;
+        }
+        write!(f, ")")
+    }
+}
+
+/// A general binary join tree. The left child of a join is the hash-join
+/// build side; the right child is the probe side.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum JoinTree {
+    Leaf(RelId),
+    Join {
+        build: Box<JoinTree>,
+        probe: Box<JoinTree>,
+    },
+}
+
+impl JoinTree {
+    /// Creates a join node.
+    pub fn join(build: JoinTree, probe: JoinTree) -> Self {
+        JoinTree::Join {
+            build: Box::new(build),
+            probe: Box::new(probe),
+        }
+    }
+
+    /// All relations in the subtree.
+    pub fn relation_set(&self) -> BTreeSet<RelId> {
+        let mut out = BTreeSet::new();
+        self.collect_relations(&mut out);
+        out
+    }
+
+    fn collect_relations(&self, out: &mut BTreeSet<RelId>) {
+        match self {
+            JoinTree::Leaf(r) => {
+                out.insert(*r);
+            }
+            JoinTree::Join { build, probe } => {
+                build.collect_relations(out);
+                probe.collect_relations(out);
+            }
+        }
+    }
+
+    /// Number of relations in the subtree.
+    pub fn num_relations(&self) -> usize {
+        match self {
+            JoinTree::Leaf(_) => 1,
+            JoinTree::Join { build, probe } => build.num_relations() + probe.num_relations(),
+        }
+    }
+
+    /// Number of join operators in the subtree.
+    pub fn num_joins(&self) -> usize {
+        match self {
+            JoinTree::Leaf(_) => 0,
+            JoinTree::Join { build, probe } => 1 + build.num_joins() + probe.num_joins(),
+        }
+    }
+
+    /// True when the tree is right-deep: every build side is a leaf.
+    pub fn is_right_deep(&self) -> bool {
+        match self {
+            JoinTree::Leaf(_) => true,
+            JoinTree::Join { build, probe } => {
+                matches!(**build, JoinTree::Leaf(_)) && probe.is_right_deep()
+            }
+        }
+    }
+
+    /// True when the tree is left-deep: every probe side is a leaf.
+    pub fn is_left_deep(&self) -> bool {
+        match self {
+            JoinTree::Leaf(_) => true,
+            JoinTree::Join { build, probe } => {
+                matches!(**probe, JoinTree::Leaf(_)) && build.is_left_deep()
+            }
+        }
+    }
+
+    /// Converts a right-deep tree back to the order notation, if possible.
+    pub fn to_right_deep(&self) -> Option<RightDeepTree> {
+        if !self.is_right_deep() {
+            return None;
+        }
+        let mut builds = Vec::new();
+        let mut node = self;
+        loop {
+            match node {
+                JoinTree::Leaf(r) => {
+                    let mut order = vec![*r];
+                    order.extend(builds.iter().rev().copied());
+                    // builds were collected top-down; the order notation wants
+                    // bottom-up, and we reversed, so flip back appropriately:
+                    // collected: top build first ... bottom build last, so the
+                    // reversed iteration gives bottom build first, which is
+                    // exactly X_1, X_2, ..., X_n.
+                    return Some(RightDeepTree::new(order));
+                }
+                JoinTree::Join { build, probe } => {
+                    if let JoinTree::Leaf(r) = **build {
+                        builds.push(r);
+                        node = probe;
+                    } else {
+                        return None;
+                    }
+                }
+            }
+        }
+    }
+
+    /// Checks that no join in the tree is a cross product with respect to the
+    /// join graph (each join's two input relation sets must share an edge).
+    pub fn has_no_cross_products(&self, graph: &JoinGraph) -> bool {
+        match self {
+            JoinTree::Leaf(_) => true,
+            JoinTree::Join { build, probe } => {
+                let b = build.relation_set();
+                let p = probe.relation_set();
+                !graph.edges_across(&b, &p).is_empty()
+                    && build.has_no_cross_products(graph)
+                    && probe.has_no_cross_products(graph)
+            }
+        }
+    }
+}
+
+impl fmt::Display for JoinTree {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            JoinTree::Leaf(r) => write!(f, "{r}"),
+            JoinTree::Join { build, probe } => write!(f, "({build} ⋈ {probe})"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::{JoinEdge, RelationInfo};
+
+    fn chain_graph() -> JoinGraph {
+        // r0 - r1 - r2 (r0 -> r1 -> r2)
+        let mut g = JoinGraph::new();
+        let r0 = g.add_relation(RelationInfo::new("r0", 1000.0, 1000.0));
+        let r1 = g.add_relation(RelationInfo::new("r1", 100.0, 100.0));
+        let r2 = g.add_relation(RelationInfo::new("r2", 10.0, 10.0));
+        g.add_edge(JoinEdge::pkfk(r0, "a", r1, "pk", 100.0));
+        g.add_edge(JoinEdge::pkfk(r1, "b", r2, "pk", 10.0));
+        g
+    }
+
+    #[test]
+    fn right_deep_basics() {
+        let t = RightDeepTree::new(vec![RelId(0), RelId(1), RelId(2)]);
+        assert_eq!(t.rightmost(), RelId(0));
+        assert_eq!(t.len(), 3);
+        assert_eq!(t.num_joins(), 2);
+        assert_eq!(t.to_string(), "T(R0, R1, R2)");
+        assert_eq!(t.relation_set().len(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate")]
+    fn duplicate_relations_rejected() {
+        RightDeepTree::new(vec![RelId(0), RelId(0)]);
+    }
+
+    #[test]
+    fn cross_product_detection_right_deep() {
+        let g = chain_graph();
+        let ok = RightDeepTree::new(vec![RelId(0), RelId(1), RelId(2)]);
+        assert!(ok.has_no_cross_products(&g));
+        // r2 does not join r0 directly, so T(r0, r2, r1) has a cross product.
+        let bad = RightDeepTree::new(vec![RelId(0), RelId(2), RelId(1)]);
+        assert!(!bad.has_no_cross_products(&g));
+    }
+
+    #[test]
+    fn conversion_round_trip() {
+        let t = RightDeepTree::new(vec![RelId(2), RelId(0), RelId(1)]);
+        let jt = t.to_join_tree();
+        assert!(jt.is_right_deep());
+        assert_eq!(jt.num_relations(), 3);
+        assert_eq!(jt.num_joins(), 2);
+        let back = jt.to_right_deep().unwrap();
+        assert_eq!(back, t);
+    }
+
+    #[test]
+    fn join_tree_shapes() {
+        let right = JoinTree::join(
+            JoinTree::Leaf(RelId(2)),
+            JoinTree::join(JoinTree::Leaf(RelId(1)), JoinTree::Leaf(RelId(0))),
+        );
+        assert!(right.is_right_deep());
+        assert!(!right.is_left_deep());
+
+        let left = JoinTree::join(
+            JoinTree::join(JoinTree::Leaf(RelId(0)), JoinTree::Leaf(RelId(1))),
+            JoinTree::Leaf(RelId(2)),
+        );
+        assert!(left.is_left_deep());
+        assert!(!left.is_right_deep());
+        assert!(left.to_right_deep().is_none());
+
+        let bushy = JoinTree::join(
+            JoinTree::join(JoinTree::Leaf(RelId(0)), JoinTree::Leaf(RelId(1))),
+            JoinTree::join(JoinTree::Leaf(RelId(2)), JoinTree::Leaf(RelId(3))),
+        );
+        assert!(!bushy.is_left_deep());
+        assert!(!bushy.is_right_deep());
+        assert_eq!(bushy.num_joins(), 3);
+    }
+
+    #[test]
+    fn join_tree_cross_product_detection() {
+        let g = chain_graph();
+        // (r2 ⋈ (r1 ⋈ r0)) has no cross product.
+        let good = RightDeepTree::new(vec![RelId(0), RelId(1), RelId(2)]).to_join_tree();
+        assert!(good.has_no_cross_products(&g));
+        // (r2 ⋈ r0) is a cross product.
+        let bad = JoinTree::join(JoinTree::Leaf(RelId(2)), JoinTree::Leaf(RelId(0)));
+        assert!(!bad.has_no_cross_products(&g));
+    }
+
+    #[test]
+    fn display_join_tree() {
+        let t = JoinTree::join(
+            JoinTree::Leaf(RelId(1)),
+            JoinTree::join(JoinTree::Leaf(RelId(2)), JoinTree::Leaf(RelId(0))),
+        );
+        assert_eq!(t.to_string(), "(R1 ⋈ (R2 ⋈ R0))");
+    }
+
+    #[test]
+    fn single_relation_tree() {
+        let t = RightDeepTree::new(vec![RelId(5)]);
+        assert_eq!(t.num_joins(), 0);
+        let jt = t.to_join_tree();
+        assert_eq!(jt, JoinTree::Leaf(RelId(5)));
+        assert!(jt.is_right_deep() && jt.is_left_deep());
+        assert_eq!(jt.to_right_deep().unwrap(), t);
+    }
+}

@@ -1,0 +1,259 @@
+//! The catalog: tables, primary keys, foreign keys and statistics.
+
+use crate::stats::TableStats;
+use crate::table::Table;
+use crate::{Result, StorageError};
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// A declared foreign-key relationship `fk_table.fk_column -> pk_table.pk_column`.
+///
+/// These drive the PKFK-join detection used by the paper's star/snowflake
+/// analysis (`R1 -> R2` in the paper's notation means the join column is a
+/// key in `R2`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ForeignKey {
+    pub fk_table: String,
+    pub fk_column: String,
+    pub pk_table: String,
+    pub pk_column: String,
+}
+
+impl ForeignKey {
+    /// Creates a foreign key declaration.
+    pub fn new(
+        fk_table: impl Into<String>,
+        fk_column: impl Into<String>,
+        pk_table: impl Into<String>,
+        pk_column: impl Into<String>,
+    ) -> Self {
+        ForeignKey {
+            fk_table: fk_table.into(),
+            fk_column: fk_column.into(),
+            pk_table: pk_table.into(),
+            pk_column: pk_column.into(),
+        }
+    }
+}
+
+/// Catalog entry for one table: data, statistics and key metadata.
+#[derive(Debug, Clone)]
+pub struct TableMeta {
+    pub table: Arc<Table>,
+    pub stats: Arc<TableStats>,
+    /// Name of the primary-key column, if declared.
+    pub primary_key: Option<String>,
+}
+
+/// The database catalog.
+///
+/// Holds every registered table together with its statistics and the declared
+/// primary-key / foreign-key constraints. The optimizer only reads the
+/// catalog; the executor reads the table data through it.
+#[derive(Debug, Default, Clone)]
+pub struct Catalog {
+    tables: HashMap<String, TableMeta>,
+    foreign_keys: Vec<ForeignKey>,
+}
+
+impl Catalog {
+    /// Creates an empty catalog.
+    pub fn new() -> Self {
+        Catalog::default()
+    }
+
+    /// Registers a table, computing its statistics.
+    pub fn register_table(&mut self, table: Table) {
+        let stats = Arc::new(table.compute_stats());
+        let name = table.name().to_string();
+        self.tables.insert(
+            name,
+            TableMeta {
+                table: Arc::new(table),
+                stats,
+                primary_key: None,
+            },
+        );
+    }
+
+    /// Declares the primary key of a registered table.
+    pub fn declare_primary_key(&mut self, table: &str, column: &str) -> Result<()> {
+        let meta = self
+            .tables
+            .get_mut(table)
+            .ok_or_else(|| StorageError::TableNotFound {
+                table: table.to_string(),
+            })?;
+        if !meta.table.schema().contains(column) {
+            return Err(StorageError::ColumnNotFound {
+                table: table.to_string(),
+                column: column.to_string(),
+            });
+        }
+        meta.primary_key = Some(column.to_string());
+        Ok(())
+    }
+
+    /// Declares a foreign key; both endpoints must be registered.
+    pub fn declare_foreign_key(&mut self, fk: ForeignKey) -> Result<()> {
+        for (t, c) in [(&fk.fk_table, &fk.fk_column), (&fk.pk_table, &fk.pk_column)] {
+            let meta = self
+                .tables
+                .get(t)
+                .ok_or_else(|| StorageError::TableNotFound { table: t.clone() })?;
+            if !meta.table.schema().contains(c) {
+                return Err(StorageError::ColumnNotFound {
+                    table: t.clone(),
+                    column: c.clone(),
+                });
+            }
+        }
+        self.foreign_keys.push(fk);
+        Ok(())
+    }
+
+    /// Looks up a table's metadata.
+    pub fn table_meta(&self, name: &str) -> Result<&TableMeta> {
+        self.tables
+            .get(name)
+            .ok_or_else(|| StorageError::TableNotFound {
+                table: name.to_string(),
+            })
+    }
+
+    /// Looks up a table's data.
+    pub fn table(&self, name: &str) -> Result<Arc<Table>> {
+        Ok(Arc::clone(&self.table_meta(name)?.table))
+    }
+
+    /// Looks up a table's statistics.
+    pub fn stats(&self, name: &str) -> Result<Arc<TableStats>> {
+        Ok(Arc::clone(&self.table_meta(name)?.stats))
+    }
+
+    /// The declared primary key column of a table, if any.
+    pub fn primary_key(&self, table: &str) -> Option<&str> {
+        self.tables
+            .get(table)
+            .and_then(|m| m.primary_key.as_deref())
+    }
+
+    /// True if `table.column` is declared as (or statistically is) unique.
+    ///
+    /// The paper's definition of a PKFK join only needs the join column to be
+    /// a key on one side; declared primary keys take precedence and the
+    /// statistics provide a fallback for schemas loaded without constraints.
+    pub fn is_unique_column(&self, table: &str, column: &str) -> bool {
+        if self.primary_key(table) == Some(column) {
+            return true;
+        }
+        self.tables
+            .get(table)
+            .and_then(|m| m.stats.column(column))
+            .map(|s| s.is_unique())
+            .unwrap_or(false)
+    }
+
+    /// All declared foreign keys.
+    pub fn foreign_keys(&self) -> &[ForeignKey] {
+        &self.foreign_keys
+    }
+
+    /// Names of all registered tables (unordered).
+    pub fn table_names(&self) -> Vec<&str> {
+        self.tables.keys().map(|s| s.as_str()).collect()
+    }
+
+    /// Number of registered tables.
+    pub fn len(&self) -> usize {
+        self.tables.len()
+    }
+
+    /// True if no tables are registered.
+    pub fn is_empty(&self) -> bool {
+        self.tables.is_empty()
+    }
+
+    /// Total approximate size of all registered tables in bytes.
+    pub fn total_byte_size(&self) -> usize {
+        self.tables.values().map(|m| m.table.byte_size()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::table::TableBuilder;
+
+    fn catalog() -> Catalog {
+        let mut c = Catalog::new();
+        c.register_table(
+            TableBuilder::new("dim")
+                .with_i64("id", vec![1, 2, 3])
+                .with_utf8("label", vec!["a".into(), "b".into(), "c".into()])
+                .build()
+                .unwrap(),
+        );
+        c.register_table(
+            TableBuilder::new("fact")
+                .with_i64("fk", vec![1, 1, 2, 3, 3, 3])
+                .with_f64("amount", vec![1.0; 6])
+                .build()
+                .unwrap(),
+        );
+        c
+    }
+
+    #[test]
+    fn register_and_lookup() {
+        let c = catalog();
+        assert_eq!(c.len(), 2);
+        assert!(!c.is_empty());
+        assert_eq!(c.table("dim").unwrap().num_rows(), 3);
+        assert_eq!(c.stats("fact").unwrap().row_count, 6);
+        assert!(c.table("missing").is_err());
+    }
+
+    #[test]
+    fn primary_key_declaration() {
+        let mut c = catalog();
+        c.declare_primary_key("dim", "id").unwrap();
+        assert_eq!(c.primary_key("dim"), Some("id"));
+        assert!(c.is_unique_column("dim", "id"));
+        assert!(c.declare_primary_key("dim", "missing").is_err());
+        assert!(c.declare_primary_key("missing", "id").is_err());
+    }
+
+    #[test]
+    fn unique_detection_from_stats() {
+        let c = catalog();
+        // `dim.id` is unique even without a declared PK.
+        assert!(c.is_unique_column("dim", "id"));
+        // `fact.fk` repeats values.
+        assert!(!c.is_unique_column("fact", "fk"));
+        assert!(!c.is_unique_column("missing", "x"));
+    }
+
+    #[test]
+    fn foreign_key_declaration() {
+        let mut c = catalog();
+        c.declare_foreign_key(ForeignKey::new("fact", "fk", "dim", "id"))
+            .unwrap();
+        assert_eq!(c.foreign_keys().len(), 1);
+        assert!(c
+            .declare_foreign_key(ForeignKey::new("fact", "nope", "dim", "id"))
+            .is_err());
+        assert!(c
+            .declare_foreign_key(ForeignKey::new("nope", "fk", "dim", "id"))
+            .is_err());
+    }
+
+    #[test]
+    fn table_names_and_size() {
+        let c = catalog();
+        let mut names = c.table_names();
+        names.sort_unstable();
+        assert_eq!(names, vec!["dim", "fact"]);
+        assert!(c.total_byte_size() > 0);
+    }
+}

@@ -1,0 +1,80 @@
+//! Error type shared by the storage crate.
+
+use std::fmt;
+
+/// Errors raised while building or querying storage structures.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StorageError {
+    /// A referenced column does not exist in the schema.
+    ColumnNotFound { table: String, column: String },
+    /// A referenced table does not exist in the catalog.
+    TableNotFound { table: String },
+    /// Columns of a table have inconsistent lengths.
+    LengthMismatch { expected: usize, actual: usize },
+    /// The value's type does not match the column's declared type.
+    TypeMismatch { expected: String, actual: String },
+    /// A constraint (primary key / foreign key) references missing objects
+    /// or is otherwise invalid.
+    InvalidConstraint(String),
+    /// Catch-all for invalid arguments.
+    InvalidArgument(String),
+}
+
+impl fmt::Display for StorageError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StorageError::ColumnNotFound { table, column } => {
+                write!(f, "column `{column}` not found in table `{table}`")
+            }
+            StorageError::TableNotFound { table } => {
+                write!(f, "table `{table}` not found in catalog")
+            }
+            StorageError::LengthMismatch { expected, actual } => {
+                write!(f, "column length mismatch: expected {expected}, got {actual}")
+            }
+            StorageError::TypeMismatch { expected, actual } => {
+                write!(f, "type mismatch: expected {expected}, got {actual}")
+            }
+            StorageError::InvalidConstraint(msg) => write!(f, "invalid constraint: {msg}"),
+            StorageError::InvalidArgument(msg) => write!(f, "invalid argument: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for StorageError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_column_not_found() {
+        let e = StorageError::ColumnNotFound {
+            table: "t".into(),
+            column: "c".into(),
+        };
+        assert_eq!(e.to_string(), "column `c` not found in table `t`");
+    }
+
+    #[test]
+    fn display_table_not_found() {
+        let e = StorageError::TableNotFound { table: "x".into() };
+        assert!(e.to_string().contains("`x`"));
+    }
+
+    #[test]
+    fn display_length_mismatch() {
+        let e = StorageError::LengthMismatch {
+            expected: 3,
+            actual: 5,
+        };
+        assert!(e.to_string().contains("expected 3"));
+        assert!(e.to_string().contains("got 5"));
+    }
+
+    #[test]
+    fn error_is_std_error() {
+        fn takes_err(_: &dyn std::error::Error) {}
+        takes_err(&StorageError::InvalidArgument("x".into()));
+    }
+}

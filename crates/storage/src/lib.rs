@@ -1,0 +1,39 @@
+//! In-memory columnar storage for the bitvector-aware query optimization
+//! (BQO) reproduction.
+//!
+//! The paper evaluates its technique inside Microsoft SQL Server; this crate
+//! provides the storage substrate that replaces it: typed columnar tables, a
+//! catalog with primary-key / foreign-key metadata, per-column statistics
+//! used by the cardinality estimator, and deterministic synthetic data
+//! generators used to build the TPC-DS-like, JOB-like and CUSTOMER-like
+//! workloads.
+//!
+//! Design notes:
+//! * Tables are append-only and fully materialized in memory. The paper's
+//!   experiments run on warm data; an in-memory column store preserves the
+//!   relative cost of scans, probes and joins.
+//! * Join keys are always 64-bit integers. Decision-support schemas join on
+//!   surrogate keys, and fixing the key type keeps the hash-join and
+//!   bitvector code paths simple and fast.
+//! * There are no nulls. Synthetic generators always produce values, and the
+//!   paper's analysis does not depend on null semantics.
+
+pub mod catalog;
+pub mod column;
+pub mod error;
+pub mod generator;
+pub mod schema;
+pub mod stats;
+pub mod table;
+pub mod value;
+
+pub use catalog::{Catalog, ForeignKey, TableMeta};
+pub use column::Column;
+pub use error::StorageError;
+pub use schema::{Field, Schema};
+pub use stats::{ColumnStats, TableStats};
+pub use table::{Table, TableBuilder};
+pub use value::{DataType, Value};
+
+/// Crate-wide result alias.
+pub type Result<T> = std::result::Result<T, StorageError>;

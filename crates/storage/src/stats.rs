@@ -1,0 +1,315 @@
+//! Per-column statistics used by the cardinality estimator.
+//!
+//! The paper relies on the host system's (SQL Server's) cardinality
+//! estimator. This module provides the equivalent substrate: per-column
+//! distinct counts, min/max bounds and a small equi-width histogram, which
+//! the `bqo-plan` estimator consumes to estimate local-predicate
+//! selectivities, join selectivities and semi-join (bitvector) reduction
+//! factors.
+
+use crate::column::Column;
+use crate::table::Table;
+use std::collections::HashMap;
+
+/// Number of buckets used by the equi-width histograms.
+pub const HISTOGRAM_BUCKETS: usize = 64;
+
+/// Statistics for a single column.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ColumnStats {
+    /// Number of rows in the column.
+    pub row_count: usize,
+    /// Number of distinct values.
+    pub distinct_count: usize,
+    /// Minimum numeric value (integer columns use their value, float columns
+    /// their value, strings/bools are not tracked numerically).
+    pub min: Option<f64>,
+    /// Maximum numeric value.
+    pub max: Option<f64>,
+    /// Equi-width histogram bucket counts over `[min, max]` for numeric
+    /// columns. Empty for non-numeric columns.
+    pub histogram: Vec<usize>,
+}
+
+impl ColumnStats {
+    /// Computes statistics for a column.
+    pub fn compute(column: &Column) -> Self {
+        match column {
+            Column::Int64(values) => {
+                let distinct = distinct_i64(values);
+                let (min, max) = min_max(values.iter().map(|&v| v as f64));
+                let histogram = histogram(values.iter().map(|&v| v as f64), min, max);
+                ColumnStats {
+                    row_count: values.len(),
+                    distinct_count: distinct,
+                    min,
+                    max,
+                    histogram,
+                }
+            }
+            Column::Float64(values) => {
+                let distinct = distinct_f64(values);
+                let (min, max) = min_max(values.iter().copied());
+                let histogram = histogram(values.iter().copied(), min, max);
+                ColumnStats {
+                    row_count: values.len(),
+                    distinct_count: distinct,
+                    min,
+                    max,
+                    histogram,
+                }
+            }
+            Column::Utf8(values) => {
+                let distinct = values.iter().collect::<std::collections::HashSet<_>>().len();
+                ColumnStats {
+                    row_count: values.len(),
+                    distinct_count: distinct,
+                    min: None,
+                    max: None,
+                    histogram: Vec::new(),
+                }
+            }
+            Column::Bool(values) => {
+                let mut seen = [false, false];
+                for &v in values {
+                    seen[v as usize] = true;
+                }
+                ColumnStats {
+                    row_count: values.len(),
+                    distinct_count: seen.iter().filter(|&&s| s).count(),
+                    min: None,
+                    max: None,
+                    histogram: Vec::new(),
+                }
+            }
+        }
+    }
+
+    /// Estimated selectivity of `column = literal` using distinct counts
+    /// (uniformity assumption).
+    pub fn eq_selectivity(&self) -> f64 {
+        if self.distinct_count == 0 {
+            0.0
+        } else {
+            1.0 / self.distinct_count as f64
+        }
+    }
+
+    /// Estimated selectivity of `column < bound` (or `<=`, the difference is
+    /// below histogram resolution) using the histogram when available,
+    /// falling back to a linear interpolation over `[min, max]`.
+    pub fn lt_selectivity(&self, bound: f64) -> f64 {
+        match (self.min, self.max) {
+            (Some(min), Some(max)) => {
+                if bound <= min {
+                    0.0
+                } else if bound >= max {
+                    1.0
+                } else if !self.histogram.is_empty() && self.row_count > 0 {
+                    let width = (max - min) / self.histogram.len() as f64;
+                    if width <= 0.0 {
+                        return 1.0;
+                    }
+                    let bucket = ((bound - min) / width).floor() as usize;
+                    let bucket = bucket.min(self.histogram.len() - 1);
+                    let full: usize = self.histogram[..bucket].iter().sum();
+                    let frac_in_bucket = ((bound - min) - bucket as f64 * width) / width;
+                    let partial = self.histogram[bucket] as f64 * frac_in_bucket;
+                    ((full as f64 + partial) / self.row_count as f64).clamp(0.0, 1.0)
+                } else {
+                    ((bound - min) / (max - min)).clamp(0.0, 1.0)
+                }
+            }
+            _ => 0.5,
+        }
+    }
+
+    /// Estimated selectivity of `column > bound`.
+    pub fn gt_selectivity(&self, bound: f64) -> f64 {
+        (1.0 - self.lt_selectivity(bound)).clamp(0.0, 1.0)
+    }
+
+    /// True when every value in the column is unique (e.g. a key column).
+    pub fn is_unique(&self) -> bool {
+        self.row_count > 0 && self.distinct_count == self.row_count
+    }
+}
+
+/// Statistics for all columns of a table.
+#[derive(Debug, Clone, Default)]
+pub struct TableStats {
+    /// Number of rows in the table.
+    pub row_count: usize,
+    /// Per-column statistics, keyed by column name.
+    pub columns: HashMap<String, ColumnStats>,
+}
+
+impl TableStats {
+    /// Computes statistics for every column of a table.
+    pub fn compute(table: &Table) -> Self {
+        let mut columns = HashMap::new();
+        for (field, column) in table.schema().fields().iter().zip(table.columns()) {
+            columns.insert(field.name.clone(), ColumnStats::compute(column));
+        }
+        TableStats {
+            row_count: table.num_rows(),
+            columns,
+        }
+    }
+
+    /// Statistics for a single column, if present.
+    pub fn column(&self, name: &str) -> Option<&ColumnStats> {
+        self.columns.get(name)
+    }
+}
+
+fn distinct_i64(values: &[i64]) -> usize {
+    values.iter().collect::<std::collections::HashSet<_>>().len()
+}
+
+fn distinct_f64(values: &[f64]) -> usize {
+    values
+        .iter()
+        .map(|v| v.to_bits())
+        .collect::<std::collections::HashSet<_>>()
+        .len()
+}
+
+fn min_max(values: impl Iterator<Item = f64>) -> (Option<f64>, Option<f64>) {
+    let mut min = f64::INFINITY;
+    let mut max = f64::NEG_INFINITY;
+    let mut any = false;
+    for v in values {
+        any = true;
+        if v < min {
+            min = v;
+        }
+        if v > max {
+            max = v;
+        }
+    }
+    if any {
+        (Some(min), Some(max))
+    } else {
+        (None, None)
+    }
+}
+
+fn histogram(values: impl Iterator<Item = f64>, min: Option<f64>, max: Option<f64>) -> Vec<usize> {
+    let (Some(min), Some(max)) = (min, max) else {
+        return Vec::new();
+    };
+    let mut buckets = vec![0usize; HISTOGRAM_BUCKETS];
+    let width = (max - min) / HISTOGRAM_BUCKETS as f64;
+    for v in values {
+        let idx = if width <= 0.0 {
+            0
+        } else {
+            (((v - min) / width) as usize).min(HISTOGRAM_BUCKETS - 1)
+        };
+        buckets[idx] += 1;
+    }
+    buckets
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::table::TableBuilder;
+
+    #[test]
+    fn int_column_stats() {
+        let c = Column::from(vec![1i64, 2, 2, 3, 10]);
+        let s = ColumnStats::compute(&c);
+        assert_eq!(s.row_count, 5);
+        assert_eq!(s.distinct_count, 4);
+        assert_eq!(s.min, Some(1.0));
+        assert_eq!(s.max, Some(10.0));
+        assert_eq!(s.histogram.iter().sum::<usize>(), 5);
+    }
+
+    #[test]
+    fn unique_key_detection() {
+        let s = ColumnStats::compute(&Column::from((0..100i64).collect::<Vec<_>>()));
+        assert!(s.is_unique());
+        let s2 = ColumnStats::compute(&Column::from(vec![1i64, 1, 2]));
+        assert!(!s2.is_unique());
+    }
+
+    #[test]
+    fn eq_selectivity_uniform() {
+        let s = ColumnStats::compute(&Column::from((0..50i64).collect::<Vec<_>>()));
+        assert!((s.eq_selectivity() - 0.02).abs() < 1e-12);
+    }
+
+    #[test]
+    fn eq_selectivity_empty_column() {
+        let s = ColumnStats::compute(&Column::from(Vec::<i64>::new()));
+        assert_eq!(s.eq_selectivity(), 0.0);
+        assert_eq!(s.min, None);
+        assert_eq!(s.max, None);
+    }
+
+    #[test]
+    fn lt_selectivity_bounds() {
+        let s = ColumnStats::compute(&Column::from((0..1000i64).collect::<Vec<_>>()));
+        assert_eq!(s.lt_selectivity(-5.0), 0.0);
+        assert_eq!(s.lt_selectivity(2000.0), 1.0);
+        let mid = s.lt_selectivity(500.0);
+        assert!((mid - 0.5).abs() < 0.05, "expected ~0.5, got {mid}");
+        assert!((s.gt_selectivity(500.0) - 0.5).abs() < 0.05);
+    }
+
+    #[test]
+    fn lt_selectivity_skewed_histogram_beats_interpolation() {
+        // 90% of the mass at value 0, 10% spread to 1000.
+        let mut values = vec![0i64; 900];
+        values.extend(0..100i64);
+        values.push(1000);
+        let s = ColumnStats::compute(&Column::from(values));
+        // Linear interpolation would say sel(< 100) ~= 0.1, the histogram
+        // should know it is ~0.99.
+        assert!(s.lt_selectivity(100.0) > 0.9);
+    }
+
+    #[test]
+    fn string_and_bool_stats() {
+        let s = ColumnStats::compute(&Column::from(vec!["a".to_string(), "a".into(), "b".into()]));
+        assert_eq!(s.distinct_count, 2);
+        assert!(s.histogram.is_empty());
+        let b = ColumnStats::compute(&Column::from(vec![true, true, true]));
+        assert_eq!(b.distinct_count, 1);
+    }
+
+    #[test]
+    fn float_column_stats() {
+        let s = ColumnStats::compute(&Column::from(vec![1.5f64, 1.5, 2.5]));
+        assert_eq!(s.distinct_count, 2);
+        assert_eq!(s.min, Some(1.5));
+        assert_eq!(s.max, Some(2.5));
+    }
+
+    #[test]
+    fn table_stats_covers_all_columns() {
+        let t = TableBuilder::new("t")
+            .with_i64("id", vec![1, 2, 3])
+            .with_utf8("s", vec!["x".into(), "y".into(), "y".into()])
+            .build()
+            .unwrap();
+        let stats = TableStats::compute(&t);
+        assert_eq!(stats.row_count, 3);
+        assert_eq!(stats.column("id").unwrap().distinct_count, 3);
+        assert_eq!(stats.column("s").unwrap().distinct_count, 2);
+        assert!(stats.column("missing").is_none());
+    }
+
+    #[test]
+    fn constant_column_histogram() {
+        let s = ColumnStats::compute(&Column::from(vec![5i64; 10]));
+        assert_eq!(s.min, Some(5.0));
+        assert_eq!(s.max, Some(5.0));
+        // All mass lands in one bucket and selectivity behaves sanely.
+        assert_eq!(s.lt_selectivity(4.0), 0.0);
+        assert_eq!(s.lt_selectivity(6.0), 1.0);
+    }
+}

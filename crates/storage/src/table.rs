@@ -1,0 +1,244 @@
+//! Materialized tables.
+
+use crate::column::Column;
+use crate::schema::{Field, Schema};
+use crate::stats::TableStats;
+use crate::value::{DataType, Value};
+use crate::{Result, StorageError};
+
+/// An immutable, fully materialized table.
+#[derive(Debug, Clone)]
+pub struct Table {
+    name: String,
+    schema: Schema,
+    columns: Vec<Column>,
+    num_rows: usize,
+}
+
+impl Table {
+    /// Creates a table from a schema and matching columns.
+    ///
+    /// All columns must have identical lengths and types matching the schema.
+    pub fn new(name: impl Into<String>, schema: Schema, columns: Vec<Column>) -> Result<Self> {
+        let name = name.into();
+        if schema.len() != columns.len() {
+            return Err(StorageError::LengthMismatch {
+                expected: schema.len(),
+                actual: columns.len(),
+            });
+        }
+        let num_rows = columns.first().map(|c| c.len()).unwrap_or(0);
+        for (field, column) in schema.fields().iter().zip(columns.iter()) {
+            if column.data_type() != field.data_type {
+                return Err(StorageError::TypeMismatch {
+                    expected: field.data_type.to_string(),
+                    actual: column.data_type().to_string(),
+                });
+            }
+            if column.len() != num_rows {
+                return Err(StorageError::LengthMismatch {
+                    expected: num_rows,
+                    actual: column.len(),
+                });
+            }
+        }
+        Ok(Table {
+            name,
+            schema,
+            columns,
+            num_rows,
+        })
+    }
+
+    /// Table name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Table schema.
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    /// Number of rows.
+    pub fn num_rows(&self) -> usize {
+        self.num_rows
+    }
+
+    /// All columns in schema order.
+    pub fn columns(&self) -> &[Column] {
+        &self.columns
+    }
+
+    /// Column by name.
+    pub fn column(&self, name: &str) -> Result<&Column> {
+        let idx = self
+            .schema
+            .index_of(name)
+            .ok_or_else(|| StorageError::ColumnNotFound {
+                table: self.name.clone(),
+                column: name.to_string(),
+            })?;
+        Ok(&self.columns[idx])
+    }
+
+    /// Column by positional index.
+    ///
+    /// # Panics
+    /// Panics if `idx` is out of bounds.
+    pub fn column_at(&self, idx: usize) -> &Column {
+        &self.columns[idx]
+    }
+
+    /// Reads a full row as boxed values (test / debugging convenience).
+    pub fn row(&self, idx: usize) -> Vec<Value> {
+        self.columns.iter().map(|c| c.value(idx)).collect()
+    }
+
+    /// Computes per-column statistics for this table.
+    pub fn compute_stats(&self) -> TableStats {
+        TableStats::compute(self)
+    }
+
+    /// Approximate in-memory size in bytes.
+    pub fn byte_size(&self) -> usize {
+        self.columns.iter().map(|c| c.byte_size()).sum()
+    }
+}
+
+/// Incremental builder for a [`Table`], used by the data generators.
+#[derive(Debug)]
+pub struct TableBuilder {
+    name: String,
+    fields: Vec<Field>,
+    columns: Vec<Column>,
+}
+
+impl TableBuilder {
+    /// Starts building a table with the given name.
+    pub fn new(name: impl Into<String>) -> Self {
+        TableBuilder {
+            name: name.into(),
+            fields: Vec::new(),
+            columns: Vec::new(),
+        }
+    }
+
+    /// Adds a fully materialized integer column.
+    pub fn with_i64(mut self, name: impl Into<String>, values: Vec<i64>) -> Self {
+        self.fields.push(Field::new(name, DataType::Int64));
+        self.columns.push(Column::Int64(values));
+        self
+    }
+
+    /// Adds a fully materialized float column.
+    pub fn with_f64(mut self, name: impl Into<String>, values: Vec<f64>) -> Self {
+        self.fields.push(Field::new(name, DataType::Float64));
+        self.columns.push(Column::Float64(values));
+        self
+    }
+
+    /// Adds a fully materialized string column.
+    pub fn with_utf8(mut self, name: impl Into<String>, values: Vec<String>) -> Self {
+        self.fields.push(Field::new(name, DataType::Utf8));
+        self.columns.push(Column::Utf8(values));
+        self
+    }
+
+    /// Adds a fully materialized boolean column.
+    pub fn with_bool(mut self, name: impl Into<String>, values: Vec<bool>) -> Self {
+        self.fields.push(Field::new(name, DataType::Bool));
+        self.columns.push(Column::Bool(values));
+        self
+    }
+
+    /// Finishes the table, validating column lengths.
+    pub fn build(self) -> Result<Table> {
+        Table::new(self.name, Schema::new(self.fields), self.columns)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn people() -> Table {
+        TableBuilder::new("people")
+            .with_i64("id", vec![1, 2, 3])
+            .with_utf8("name", vec!["a".into(), "b".into(), "c".into()])
+            .with_f64("score", vec![1.0, 2.0, 3.0])
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn build_and_inspect() {
+        let t = people();
+        assert_eq!(t.name(), "people");
+        assert_eq!(t.num_rows(), 3);
+        assert_eq!(t.schema().len(), 3);
+        assert_eq!(t.column("id").unwrap().as_i64().unwrap(), &[1, 2, 3]);
+        assert_eq!(t.column_at(2).as_f64().unwrap(), &[1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn row_access() {
+        let t = people();
+        assert_eq!(
+            t.row(1),
+            vec![
+                Value::Int64(2),
+                Value::Utf8("b".into()),
+                Value::Float64(2.0)
+            ]
+        );
+    }
+
+    #[test]
+    fn missing_column_is_error() {
+        let t = people();
+        assert!(matches!(
+            t.column("missing"),
+            Err(StorageError::ColumnNotFound { .. })
+        ));
+    }
+
+    #[test]
+    fn mismatched_lengths_rejected() {
+        let res = TableBuilder::new("bad")
+            .with_i64("a", vec![1, 2, 3])
+            .with_i64("b", vec![1])
+            .build();
+        assert!(matches!(res, Err(StorageError::LengthMismatch { .. })));
+    }
+
+    #[test]
+    fn mismatched_types_rejected() {
+        let schema = Schema::new(vec![Field::new("a", DataType::Int64)]);
+        let res = Table::new("bad", schema, vec![Column::Float64(vec![1.0])]);
+        assert!(matches!(res, Err(StorageError::TypeMismatch { .. })));
+    }
+
+    #[test]
+    fn schema_column_count_mismatch_rejected() {
+        let schema = Schema::new(vec![Field::new("a", DataType::Int64)]);
+        let res = Table::new("bad", schema, vec![]);
+        assert!(matches!(res, Err(StorageError::LengthMismatch { .. })));
+    }
+
+    #[test]
+    fn empty_table_allowed() {
+        let t = TableBuilder::new("empty")
+            .with_i64("a", vec![])
+            .build()
+            .unwrap();
+        assert_eq!(t.num_rows(), 0);
+        assert_eq!(t.byte_size(), 0);
+    }
+
+    #[test]
+    fn byte_size_sums_columns() {
+        let t = people();
+        assert!(t.byte_size() > 0);
+    }
+}

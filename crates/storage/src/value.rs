@@ -1,0 +1,215 @@
+//! Scalar values and data types.
+
+use std::cmp::Ordering;
+use std::fmt;
+
+/// The type of a column.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DataType {
+    /// 64-bit signed integer. All join keys use this type.
+    Int64,
+    /// 64-bit floating point, used for measures (prices, quantities).
+    Float64,
+    /// UTF-8 string, used for descriptive dimension attributes.
+    Utf8,
+    /// Boolean flag.
+    Bool,
+}
+
+impl fmt::Display for DataType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            DataType::Int64 => "Int64",
+            DataType::Float64 => "Float64",
+            DataType::Utf8 => "Utf8",
+            DataType::Bool => "Bool",
+        };
+        f.write_str(s)
+    }
+}
+
+/// A single scalar value.
+///
+/// `Value` is used at API boundaries (predicates, literals, sampled rows);
+/// the hot execution path works directly on typed column vectors instead.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    Int64(i64),
+    Float64(f64),
+    Utf8(String),
+    Bool(bool),
+}
+
+impl Value {
+    /// The data type of this value.
+    pub fn data_type(&self) -> DataType {
+        match self {
+            Value::Int64(_) => DataType::Int64,
+            Value::Float64(_) => DataType::Float64,
+            Value::Utf8(_) => DataType::Utf8,
+            Value::Bool(_) => DataType::Bool,
+        }
+    }
+
+    /// Returns the contained integer, if this is an [`Value::Int64`].
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Value::Int64(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// Returns the contained float, if this is a [`Value::Float64`].
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Float64(v) => Some(*v),
+            Value::Int64(v) => Some(*v as f64),
+            _ => None,
+        }
+    }
+
+    /// Returns the contained string slice, if this is a [`Value::Utf8`].
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Utf8(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Returns the contained bool, if this is a [`Value::Bool`].
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// Total order over values of the same type; values of different types
+    /// compare by type tag. Floats use IEEE total ordering so the comparison
+    /// is still total.
+    pub fn total_cmp(&self, other: &Value) -> Ordering {
+        match (self, other) {
+            (Value::Int64(a), Value::Int64(b)) => a.cmp(b),
+            (Value::Float64(a), Value::Float64(b)) => a.total_cmp(b),
+            (Value::Int64(a), Value::Float64(b)) => (*a as f64).total_cmp(b),
+            (Value::Float64(a), Value::Int64(b)) => a.total_cmp(&(*b as f64)),
+            (Value::Utf8(a), Value::Utf8(b)) => a.cmp(b),
+            (Value::Bool(a), Value::Bool(b)) => a.cmp(b),
+            _ => self.type_rank().cmp(&other.type_rank()),
+        }
+    }
+
+    fn type_rank(&self) -> u8 {
+        match self {
+            Value::Bool(_) => 0,
+            Value::Int64(_) => 1,
+            Value::Float64(_) => 2,
+            Value::Utf8(_) => 3,
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Int64(v) => write!(f, "{v}"),
+            Value::Float64(v) => write!(f, "{v}"),
+            Value::Utf8(v) => write!(f, "'{v}'"),
+            Value::Bool(v) => write!(f, "{v}"),
+        }
+    }
+}
+
+impl From<i64> for Value {
+    fn from(v: i64) -> Self {
+        Value::Int64(v)
+    }
+}
+
+impl From<f64> for Value {
+    fn from(v: f64) -> Self {
+        Value::Float64(v)
+    }
+}
+
+impl From<&str> for Value {
+    fn from(v: &str) -> Self {
+        Value::Utf8(v.to_string())
+    }
+}
+
+impl From<String> for Value {
+    fn from(v: String) -> Self {
+        Value::Utf8(v)
+    }
+}
+
+impl From<bool> for Value {
+    fn from(v: bool) -> Self {
+        Value::Bool(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn data_type_of_values() {
+        assert_eq!(Value::Int64(1).data_type(), DataType::Int64);
+        assert_eq!(Value::Float64(1.0).data_type(), DataType::Float64);
+        assert_eq!(Value::Utf8("x".into()).data_type(), DataType::Utf8);
+        assert_eq!(Value::Bool(true).data_type(), DataType::Bool);
+    }
+
+    #[test]
+    fn accessors() {
+        assert_eq!(Value::Int64(7).as_i64(), Some(7));
+        assert_eq!(Value::Int64(7).as_f64(), Some(7.0));
+        assert_eq!(Value::Float64(2.5).as_f64(), Some(2.5));
+        assert_eq!(Value::Utf8("abc".into()).as_str(), Some("abc"));
+        assert_eq!(Value::Bool(true).as_bool(), Some(true));
+        assert_eq!(Value::Utf8("abc".into()).as_i64(), None);
+        assert_eq!(Value::Int64(7).as_str(), None);
+    }
+
+    #[test]
+    fn conversions() {
+        assert_eq!(Value::from(3i64), Value::Int64(3));
+        assert_eq!(Value::from(1.5f64), Value::Float64(1.5));
+        assert_eq!(Value::from("s"), Value::Utf8("s".into()));
+        assert_eq!(Value::from(false), Value::Bool(false));
+    }
+
+    #[test]
+    fn total_cmp_same_type() {
+        assert_eq!(Value::Int64(1).total_cmp(&Value::Int64(2)), Ordering::Less);
+        assert_eq!(
+            Value::Utf8("b".into()).total_cmp(&Value::Utf8("a".into())),
+            Ordering::Greater
+        );
+        assert_eq!(
+            Value::Float64(1.0).total_cmp(&Value::Float64(1.0)),
+            Ordering::Equal
+        );
+    }
+
+    #[test]
+    fn total_cmp_mixed_numeric() {
+        assert_eq!(
+            Value::Int64(1).total_cmp(&Value::Float64(1.5)),
+            Ordering::Less
+        );
+        assert_eq!(
+            Value::Float64(2.5).total_cmp(&Value::Int64(2)),
+            Ordering::Greater
+        );
+    }
+
+    #[test]
+    fn display_round_trips_reasonably() {
+        assert_eq!(Value::Int64(42).to_string(), "42");
+        assert_eq!(Value::Utf8("hi".into()).to_string(), "'hi'");
+        assert_eq!(DataType::Int64.to_string(), "Int64");
+    }
+}

@@ -1,0 +1,128 @@
+//! End-to-end correctness: for every generated workload, every optimizer and
+//! every execution configuration must return exactly the same query answers,
+//! and the bitvector-aware optimizer must never be estimated worse than the
+//! post-processed baseline.
+
+use bqo_core::exec::ExecConfig;
+use bqo_core::workloads::{customer_like, job_like, microbench, snowflake, star, tpcds_like, Scale};
+use bqo_core::{Database, OptimizerChoice};
+
+const CHOICES: [OptimizerChoice; 4] = [
+    OptimizerChoice::Baseline,
+    OptimizerChoice::BaselineNoBitvectors,
+    OptimizerChoice::Bqo,
+    OptimizerChoice::BqoWithThreshold(0.0),
+];
+
+fn assert_consistent(workload: &bqo_core::workloads::Workload) {
+    let db = Database::from_catalog(workload.catalog.clone());
+    for query in &workload.queries {
+        let mut expected: Option<u64> = None;
+        for choice in CHOICES {
+            let optimized = db
+                .optimize(query, choice)
+                .unwrap_or_else(|e| panic!("{}: optimize failed: {e}", query.name));
+            for config in [
+                ExecConfig::default(),
+                ExecConfig::exact_filters(),
+                ExecConfig::without_bitvectors(),
+            ] {
+                let result = db
+                    .execute_with(&optimized, config)
+                    .unwrap_or_else(|e| panic!("{}: execute failed: {e}", query.name));
+                match expected {
+                    None => expected = Some(result.output_rows),
+                    Some(rows) => assert_eq!(
+                        rows, result.output_rows,
+                        "{} under {:?}/{:?} returned a different answer",
+                        query.name, choice, config
+                    ),
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn star_workload_answers_are_plan_invariant() {
+    assert_consistent(&star::generate(Scale(0.02), 4, 4, 101));
+}
+
+#[test]
+fn snowflake_workload_answers_are_plan_invariant() {
+    assert_consistent(&snowflake::generate(Scale(0.02), &[1, 2, 2], 4, 102));
+}
+
+#[test]
+fn tpcds_workload_answers_are_plan_invariant() {
+    assert_consistent(&tpcds_like::generate(Scale(0.01), 6, 103));
+}
+
+#[test]
+fn job_workload_answers_are_plan_invariant() {
+    assert_consistent(&job_like::generate(Scale(0.01), 6, 104));
+}
+
+#[test]
+fn customer_workload_answers_are_plan_invariant() {
+    // Wide queries (19-37 relations) exercise the greedy baseline and the
+    // snowflake stitching of Algorithm 3.
+    assert_consistent(&customer_like::generate(Scale(0.01), 2, 105));
+}
+
+#[test]
+fn microbench_answers_are_plan_invariant() {
+    assert_consistent(&microbench::generate(Scale(0.01), 106));
+}
+
+#[test]
+fn bqo_estimated_cost_never_worse_than_baseline() {
+    for workload in [
+        star::generate(Scale(0.02), 4, 4, 7),
+        snowflake::generate(Scale(0.02), &[2, 2], 4, 8),
+        tpcds_like::generate(Scale(0.01), 8, 9),
+    ] {
+        let db = Database::from_catalog(workload.catalog.clone());
+        for query in &workload.queries {
+            let baseline = db.optimize(query, OptimizerChoice::Baseline).unwrap();
+            let bqo = db.optimize(query, OptimizerChoice::Bqo).unwrap();
+            assert!(
+                bqo.estimated_cost.total <= baseline.estimated_cost.total * (1.0 + 1e-9) + 1e-6,
+                "{}: bqo {} vs baseline {}",
+                query.name,
+                bqo.estimated_cost.total,
+                baseline.estimated_cost.total
+            );
+        }
+    }
+}
+
+#[test]
+fn plans_cover_every_query_relation_exactly_once() {
+    let workload = tpcds_like::generate(Scale(0.01), 8, 11);
+    let db = Database::from_catalog(workload.catalog.clone());
+    for query in &workload.queries {
+        for choice in CHOICES {
+            let optimized = db.optimize(query, choice).unwrap();
+            let rels = optimized.plan.relation_set(optimized.plan.root());
+            assert_eq!(rels.len(), query.tables.len(), "{}", query.name);
+            assert_eq!(optimized.plan.num_joins(), query.tables.len() - 1);
+        }
+    }
+}
+
+#[test]
+fn filter_elimination_counts_are_consistent_with_scan_outputs() {
+    // With exact filters, the tuples eliminated at scans plus the tuples
+    // surviving equal the tuples that entered the filters.
+    let workload = star::generate(Scale(0.02), 3, 3, 33);
+    let db = Database::from_catalog(workload.catalog.clone());
+    for query in &workload.queries {
+        let optimized = db.optimize(query, OptimizerChoice::BqoWithThreshold(0.0)).unwrap();
+        let result = db
+            .execute_with(&optimized, ExecConfig::exact_filters())
+            .unwrap();
+        let stats = result.metrics.filter_stats;
+        assert_eq!(stats.passed() + stats.eliminated, stats.probed);
+    }
+}
