@@ -18,8 +18,14 @@ fn bench_fig2(c: &mut Criterion) {
     let model = CostModel::new(&graph);
     let (p1, _) = exhaustive_best_right_deep(&graph, &model, false).unwrap();
     let (p2, _) = exhaustive_best_right_deep(&graph, &model, true).unwrap();
-    let p1_plan = push_down_bitvectors(&graph, PhysicalPlan::from_join_tree(&graph, &p1.to_join_tree()));
-    let p2_plan = push_down_bitvectors(&graph, PhysicalPlan::from_join_tree(&graph, &p2.to_join_tree()));
+    let p1_plan = push_down_bitvectors(
+        &graph,
+        PhysicalPlan::from_join_tree(&graph, &p1.to_join_tree()),
+    );
+    let p2_plan = push_down_bitvectors(
+        &graph,
+        PhysicalPlan::from_join_tree(&graph, &p2.to_join_tree()),
+    );
     let exec = Executor::with_config(db.catalog(), ExecConfig::default());
 
     let mut group = c.benchmark_group("fig2_motivating");

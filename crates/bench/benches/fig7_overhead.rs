@@ -14,7 +14,9 @@ fn bench_fig7(c: &mut Criterion) {
     group.sample_size(10);
     for keep in [1.0f64, 0.5, 0.1, 0.01] {
         let query = microbench::query_with_selectivity(keep);
-        let optimized = db.optimize(&query, OptimizerChoice::BqoWithThreshold(0.0)).unwrap();
+        let optimized = db
+            .optimize(&query, OptimizerChoice::BqoWithThreshold(0.0))
+            .unwrap();
         group.bench_with_input(BenchmarkId::new("with_filter", keep), &keep, |b, _| {
             b.iter(|| {
                 black_box(

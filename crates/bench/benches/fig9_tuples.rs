@@ -25,7 +25,13 @@ fn bench_fig9(c: &mut Criterion) {
     let mut group = c.benchmark_group("fig9_tuples");
     group.sample_size(10);
     group.bench_function("tpcds_workload_with_accounting", |b| {
-        b.iter(|| black_box(run_workload(&workload, RunOptions::default()).unwrap().total_work_ratio()))
+        b.iter(|| {
+            black_box(
+                run_workload(&workload, RunOptions::default())
+                    .unwrap()
+                    .total_work_ratio(),
+            )
+        })
     });
     group.finish();
 }

@@ -22,7 +22,11 @@ fn bench_table4(c: &mut Criterion) {
         b.iter(|| {
             let total: u64 = optimized
                 .iter()
-                .map(|o| db.execute_with(o, ExecConfig::default()).unwrap().output_rows)
+                .map(|o| {
+                    db.execute_with(o, ExecConfig::default())
+                        .unwrap()
+                        .output_rows
+                })
                 .sum();
             black_box(total)
         })

@@ -1,12 +1,17 @@
 //! One driver function per table / figure of the paper's evaluation.
 
-use bqo_core::experiment::{bitvector_effect, run_workload, BitvectorEffectReport, RunOptions, WorkloadReport};
+use bqo_core::bitvector::FilterKind;
 use bqo_core::exec::{ExecConfig, Executor};
+use bqo_core::experiment::{
+    bitvector_effect, run_workload, BitvectorEffectReport, RunOptions, WorkloadReport,
+};
 use bqo_core::optimizer::{candidate_plans, count_right_deep_plans, exhaustive_best_right_deep};
 use bqo_core::plan::{push_down_bitvectors, CostModel, PhysicalPlan, RightDeepTree};
-use bqo_core::workloads::{customer_like, job_like, microbench, snowflake, star, tpcds_like, Scale, Workload, WorkloadStats};
+use bqo_core::workloads::{
+    customer_like, job_like, microbench, snowflake, star, tpcds_like, Scale, Workload,
+    WorkloadStats,
+};
 use bqo_core::{Database, OptimizerChoice};
-use bqo_core::bitvector::FilterKind;
 
 /// Measurements for one plan of the Figure 2 motivating example.
 #[derive(Debug, Clone)]
@@ -31,7 +36,9 @@ pub fn run_figure2(scale: Scale) -> Figure2Result {
     let workload = job_like::figure2_workload(scale, 7);
     let db = Database::from_catalog(workload.catalog.clone());
     let query = &workload.queries[0];
-    let graph = query.to_join_graph(db.catalog()).expect("figure 2 query resolves");
+    let graph = query
+        .to_join_graph(db.catalog())
+        .expect("figure 2 query resolves");
     let model = CostModel::new(&graph);
 
     let (p1, _) = exhaustive_best_right_deep(&graph, &model, false).expect("plan space non-empty");
@@ -288,9 +295,18 @@ pub fn run_ablation_filter_kind(scale: Scale, queries: usize) -> Vec<FilterKindA
     let db = Database::from_catalog(workload.catalog.clone());
     let kinds = [
         ("exact".to_string(), FilterKind::Exact),
-        ("bloom 4 bits/key".to_string(), FilterKind::Bloom { bits_per_key: 4 }),
-        ("bloom 8 bits/key".to_string(), FilterKind::Bloom { bits_per_key: 8 }),
-        ("bloom 16 bits/key".to_string(), FilterKind::Bloom { bits_per_key: 16 }),
+        (
+            "bloom 4 bits/key".to_string(),
+            FilterKind::Bloom { bits_per_key: 4 },
+        ),
+        (
+            "bloom 8 bits/key".to_string(),
+            FilterKind::Bloom { bits_per_key: 8 },
+        ),
+        (
+            "bloom 16 bits/key".to_string(),
+            FilterKind::Bloom { bits_per_key: 16 },
+        ),
         (
             "blocked bloom 8 bits/key".to_string(),
             FilterKind::BlockedBloom { bits_per_key: 8 },

@@ -12,6 +12,17 @@ pub mod report;
 
 use bqo_core::workloads::Scale;
 
+/// The items the experiment drivers, criterion benches and cross-crate
+/// integration tests all need: re-exported here so downstream targets can
+/// depend on `bqo-bench` alone.
+pub mod prelude {
+    pub use bqo_core::exec::{ExecConfig, Executor};
+    pub use bqo_core::optimizer::exhaustive_best_right_deep;
+    pub use bqo_core::plan::{push_down_bitvectors, CostModel, PhysicalPlan, RightDeepTree};
+    pub use bqo_core::workloads::{job_like, Scale};
+    pub use bqo_core::{Database, OptimizerChoice};
+}
+
 /// Default scale factor for benchmark workloads. Override with the
 /// `BQO_SCALE` environment variable (e.g. `BQO_SCALE=0.05` for a quick run,
 /// `1.0` for the full-size synthetic databases).

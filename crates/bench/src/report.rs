@@ -25,8 +25,14 @@ pub fn print_figure2(result: &Figure2Result) {
         );
     }
     if let (Some(post), Some(aware)) = (
-        result.plans.iter().find(|p| p.label.contains("post-processed")),
-        result.plans.iter().find(|p| p.label.contains("bitvector-aware")),
+        result
+            .plans
+            .iter()
+            .find(|p| p.label.contains("post-processed")),
+        result
+            .plans
+            .iter()
+            .find(|p| p.label.contains("bitvector-aware")),
     ) {
         println!(
             "-> post-processed conventional plan costs {:.1}x the bitvector-aware plan in logical work, {:.1}x in wall time (paper: ~3x)",
@@ -51,7 +57,11 @@ pub fn print_table2(rows: &[Table2Row]) {
             row.relations,
             row.total_plans,
             row.candidate_plans,
-            if row.candidates_contain_optimum { "yes" } else { "NO" }
+            if row.candidates_contain_optimum {
+                "yes"
+            } else {
+                "NO"
+            }
         );
     }
     println!();
@@ -99,7 +109,11 @@ pub fn print_figure7(points: &[Figure7Point]) {
             p.eliminated_fraction,
             with,
             without,
-            if with < without { "filter" } else { "no filter" }
+            if with < without {
+                "filter"
+            } else {
+                "no filter"
+            }
         );
     }
     println!();
@@ -196,7 +210,12 @@ pub fn print_table4(reports: &[BitvectorEffectReport]) {
     for r in reports {
         println!(
             "{:<12} {:>11.2} {:>11.2} {:>18.2} {:>12.2} {:>12.2}",
-            r.workload, r.work_ratio, r.time_ratio, r.queries_with_bitvectors, r.improved, r.regressed
+            r.workload,
+            r.work_ratio,
+            r.time_ratio,
+            r.queries_with_bitvectors,
+            r.improved,
+            r.regressed
         );
     }
     println!("(ratios are with-filters / without-filters; < 1.0 means filters help)\n");

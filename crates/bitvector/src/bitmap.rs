@@ -76,7 +76,11 @@ impl BitvectorFilter for RangeBitmapFilter {
         match self {
             // Inserting outside the pre-sized range would require resizing;
             // incremental insertion therefore always goes to the sparse form.
-            RangeBitmapFilter::Bitmap { min, words, inserted } => {
+            RangeBitmapFilter::Bitmap {
+                min,
+                words,
+                inserted,
+            } => {
                 let offset = key - *min;
                 if offset >= 0 && (offset as usize) < words.len() * 64 {
                     words[offset as usize / 64] |= 1u64 << (offset as usize % 64);
@@ -200,7 +204,10 @@ mod tests {
         f.insert(1_000_000);
         assert!(!f.is_dense());
         for k in 0..4 {
-            assert!(f.maybe_contains(k), "old key {k} must survive the downgrade");
+            assert!(
+                f.maybe_contains(k),
+                "old key {k} must survive the downgrade"
+            );
         }
         assert!(f.maybe_contains(1_000_000));
         assert!(!f.maybe_contains(17));

@@ -32,7 +32,8 @@ impl BloomFilter {
         let requested = ((expected_keys.max(1) * bits_per_key) as u64).max(64);
         let num_bits = requested.next_power_of_two();
         let num_words = (num_bits / 64) as usize;
-        let num_hashes = ((bits_per_key as f64 * std::f64::consts::LN_2).round() as u32).clamp(1, 4);
+        let num_hashes =
+            ((bits_per_key as f64 * std::f64::consts::LN_2).round() as u32).clamp(1, 4);
         BloomFilter {
             bits: vec![0u64; num_words],
             bit_mask: num_bits - 1,

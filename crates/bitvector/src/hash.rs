@@ -114,7 +114,11 @@ mod tests {
     fn hash_key_is_deterministic_and_spreads() {
         assert_eq!(hash_key(42), hash_key(42));
         let distinct: HashSet<u64> = (0..10_000).map(hash_key).collect();
-        assert_eq!(distinct.len(), 10_000, "no collisions expected on small sets");
+        assert_eq!(
+            distinct.len(),
+            10_000,
+            "no collisions expected on small sets"
+        );
     }
 
     #[test]

@@ -57,12 +57,13 @@ pub trait BitvectorFilter: Send + Sync {
 }
 
 /// Which filter implementation the executor should build at hash joins.
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub enum FilterKind {
     /// Range bitmap over dense surrogate keys (hash-set fallback for sparse
     /// domains): no false positives, cheapest probe. This is what the
     /// paper's "bitmap or hash filter" amounts to on warehouse schemas and
     /// is the executor's default.
+    #[default]
     Bitmap,
     /// Hash-set filter with no false positives (the analysis assumption).
     Exact,
@@ -70,12 +71,6 @@ pub enum FilterKind {
     Bloom { bits_per_key: usize },
     /// Cache-line blocked Bloom filter with the given bits per key.
     BlockedBloom { bits_per_key: usize },
-}
-
-impl Default for FilterKind {
-    fn default() -> Self {
-        FilterKind::Bitmap
-    }
 }
 
 /// Runtime-dispatched filter built from a [`FilterKind`].
@@ -201,9 +196,7 @@ mod tests {
     fn bloom_false_positive_rate_is_bounded() {
         let keys: Vec<i64> = (0..10_000).collect();
         let f = AnyFilter::from_keys(FilterKind::Bloom { bits_per_key: 10 }, &keys);
-        let false_positives = (100_000..200_000)
-            .filter(|&k| f.maybe_contains(k))
-            .count();
+        let false_positives = (100_000..200_000).filter(|&k| f.maybe_contains(k)).count();
         let fpr = false_positives as f64 / 100_000.0;
         assert!(fpr < 0.05, "observed fpr {fpr} too high for 10 bits/key");
         assert!(f.expected_fpr() < 0.05);

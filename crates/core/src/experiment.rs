@@ -234,7 +234,7 @@ impl WorkloadReport {
     /// Queries sorted by descending baseline work (the Figure 10 x-axis).
     pub fn sorted_by_baseline_cost(&self) -> Vec<&QueryComparison> {
         let mut refs: Vec<&QueryComparison> = self.queries.iter().collect();
-        refs.sort_by(|a, b| b.baseline.logical_work.cmp(&a.baseline.logical_work));
+        refs.sort_by_key(|q| std::cmp::Reverse(q.baseline.logical_work));
         refs
     }
 }
@@ -330,7 +330,10 @@ fn record_for(
 
 /// Runs every query of the workload under the baseline and the BQO optimizer
 /// and returns the comparison report (Figures 8–10).
-pub fn run_workload(workload: &Workload, options: RunOptions) -> Result<WorkloadReport, StorageError> {
+pub fn run_workload(
+    workload: &Workload,
+    options: RunOptions,
+) -> Result<WorkloadReport, StorageError> {
     let db = Database::from_catalog(workload.catalog.clone());
     let mut queries = Vec::with_capacity(workload.queries.len());
     for query in &workload.queries {
@@ -446,7 +449,11 @@ mod tests {
     fn tuple_breakdown_sums_to_per_query_totals() {
         let report = small_report();
         let breakdown = report.tuple_breakdown();
-        let expected: u64 = report.queries.iter().map(|q| q.baseline.total_tuples()).sum();
+        let expected: u64 = report
+            .queries
+            .iter()
+            .map(|q| q.baseline.total_tuples())
+            .sum();
         assert_eq!(breakdown.baseline_total(), expected);
         assert!(breakdown.bqo_total() > 0);
     }

@@ -161,7 +161,9 @@ impl Database {
                 BaselineOptimizer::without_bitvectors().optimize(&graph)
             }
             OptimizerChoice::Bqo => BqoOptimizer::new().optimize(&graph),
-            OptimizerChoice::BqoWithThreshold(t) => BqoOptimizer::with_threshold(t).optimize(&graph),
+            OptimizerChoice::BqoWithThreshold(t) => {
+                BqoOptimizer::with_threshold(t).optimize(&graph)
+            }
         };
         let estimated_cost = CostModel::new(&graph).cout_physical(&plan);
         Ok(OptimizedQuery {

@@ -18,7 +18,11 @@ impl Batch {
     /// # Panics
     /// Panics if lengths are inconsistent.
     pub fn new(schema: Vec<ColumnRef>, columns: Vec<Column>) -> Self {
-        assert_eq!(schema.len(), columns.len(), "schema / column count mismatch");
+        assert_eq!(
+            schema.len(),
+            columns.len(),
+            "schema / column count mismatch"
+        );
         let num_rows = columns.first().map(|c| c.len()).unwrap_or(0);
         for c in &columns {
             assert_eq!(c.len(), num_rows, "all columns must have the same length");
@@ -175,10 +179,7 @@ mod tests {
     fn sample() -> Batch {
         let t = TableBuilder::new("t")
             .with_i64("id", vec![1, 2, 3, 4])
-            .with_utf8(
-                "name",
-                vec!["a".into(), "b".into(), "c".into(), "d".into()],
-            )
+            .with_utf8("name", vec!["a".into(), "b".into(), "c".into(), "d".into()])
             .build()
             .unwrap();
         Batch::from_table(RelId(0), &t)
@@ -256,10 +257,7 @@ mod tests {
             .build()
             .unwrap();
         let b = Batch::from_table(RelId(0), &t);
-        let keys = b.key_values(&[
-            ColumnRef::new(RelId(0), "a"),
-            ColumnRef::new(RelId(0), "b"),
-        ]);
+        let keys = b.key_values(&[ColumnRef::new(RelId(0), "a"), ColumnRef::new(RelId(0), "b")]);
         assert_eq!(keys.len(), 3);
         assert_ne!(keys[0], keys[1]);
         assert_ne!(keys[0], keys[2]);
@@ -267,10 +265,7 @@ mod tests {
         // Deterministic.
         assert_eq!(
             keys,
-            b.key_values(&[
-                ColumnRef::new(RelId(0), "a"),
-                ColumnRef::new(RelId(0), "b"),
-            ])
+            b.key_values(&[ColumnRef::new(RelId(0), "a"), ColumnRef::new(RelId(0), "b"),])
         );
     }
 

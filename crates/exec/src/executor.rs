@@ -4,9 +4,7 @@ use crate::batch::Batch;
 use crate::metrics::{ExecutionMetrics, OperatorKind};
 use bqo_bitvector::hash::FxHashMap;
 use bqo_bitvector::{AnyFilter, BitvectorFilter, FilterKind, FilterStats};
-use bqo_plan::{
-    BitvectorPlacement, JoinGraph, NodeId, PhysicalNode, PhysicalPlan, RelId,
-};
+use bqo_plan::{BitvectorPlacement, JoinGraph, NodeId, PhysicalNode, PhysicalPlan, RelId};
 use bqo_storage::{Catalog, StorageError};
 use std::collections::HashMap;
 use std::time::Instant;
@@ -202,8 +200,7 @@ impl<'a> Executor<'a> {
                                 }
                             })
                             .collect();
-                        let keep =
-                            filter.maybe_contains(bqo_bitvector::hash::combine_key(&parts));
+                        let keep = filter.maybe_contains(bqo_bitvector::hash::combine_key(&parts));
                         stats.record(!keep);
                         *m &= keep;
                     }
@@ -222,13 +219,9 @@ impl<'a> Executor<'a> {
         let columns: Vec<bqo_storage::Column> =
             table.columns().iter().map(|c| c.filter(&mask)).collect();
         let batch = Batch::new(schema, columns);
-        state.metrics.record_operator(
-            node,
-            OperatorKind::Leaf,
-            batch.num_rows() as u64,
-            0,
-            0,
-        );
+        state
+            .metrics
+            .record_operator(node, OperatorKind::Leaf, batch.num_rows() as u64, 0, 0);
         Ok(batch)
     }
 
@@ -268,8 +261,10 @@ impl<'a> Executor<'a> {
 
         // 4. Hash join: build table on the build side, probe with the probe
         //    side, emit matching pairs.
-        let build_keys = build_batch.key_values(&keys.iter().map(|k| k.build.clone()).collect::<Vec<_>>());
-        let probe_keys = probe_batch.key_values(&keys.iter().map(|k| k.probe.clone()).collect::<Vec<_>>());
+        let build_keys =
+            build_batch.key_values(&keys.iter().map(|k| k.build.clone()).collect::<Vec<_>>());
+        let probe_keys =
+            probe_batch.key_values(&keys.iter().map(|k| k.probe.clone()).collect::<Vec<_>>());
 
         let mut table: FxHashMap<i64, Vec<u32>> = FxHashMap::default();
         for (row, &key) in build_keys.iter().enumerate() {
@@ -495,7 +490,10 @@ mod tests {
         catalog.register_table(gen.fact_table(
             "sales",
             5000,
-            &[("store".to_string(), 50, 0.0), ("item".to_string(), 200, 0.0)],
+            &[
+                ("store".to_string(), 50, 0.0),
+                ("item".to_string(), 200, 0.0),
+            ],
         ));
         catalog.declare_primary_key("store", "store_sk").unwrap();
         catalog.declare_primary_key("item", "item_sk").unwrap();
@@ -506,8 +504,14 @@ mod tests {
             .table("item")
             .join("sales", "store_sk", "store", "store_sk")
             .join("sales", "item_sk", "item", "item_sk")
-            .predicate("store", ColumnPredicate::new("store_category", CompareOp::Eq, 2i64))
-            .predicate("item", ColumnPredicate::new("item_category", CompareOp::Lt, 5i64));
+            .predicate(
+                "store",
+                ColumnPredicate::new("store_category", CompareOp::Eq, 2i64),
+            )
+            .predicate(
+                "item",
+                ColumnPredicate::new("item_category", CompareOp::Lt, 5i64),
+            );
         let graph = spec.to_join_graph(&catalog).unwrap();
         let sales = graph.relation_by_name("sales").unwrap();
         let store = graph.relation_by_name("store").unwrap();

@@ -33,17 +33,17 @@ impl DpOptimizer {
             graph.is_connected(),
             "disconnected join graphs require cross products, which are not supported"
         );
-        assert!(n <= 20, "DP over {n} relations is infeasible; use GreedyOptimizer");
+        assert!(
+            n <= 20,
+            "DP over {n} relations is infeasible; use GreedyOptimizer"
+        );
 
         let est = cost_model.estimator();
         // best[mask] = (cost, tree). Cost is the full Cout of the subplan
         // (base cardinalities + intermediate join results).
         let mut best: HashMap<u32, (f64, JoinTree)> = HashMap::new();
         for r in graph.relation_ids() {
-            best.insert(
-                1u32 << r.index(),
-                (est.base_card(r), JoinTree::Leaf(r)),
-            );
+            best.insert(1u32 << r.index(), (est.base_card(r), JoinTree::Leaf(r)));
         }
 
         let full: u32 = if n == 32 { u32::MAX } else { (1u32 << n) - 1 };
@@ -104,7 +104,10 @@ impl GreedyOptimizer {
     /// Builds a bushy tree by greedily merging the cheapest connected pair.
     pub fn best_tree(&self, graph: &JoinGraph, cost_model: &CostModel<'_>) -> JoinTree {
         let est: &CardinalityEstimator<'_> = cost_model.estimator();
-        assert!(graph.num_relations() > 0, "cannot optimize an empty join graph");
+        assert!(
+            graph.num_relations() > 0,
+            "cannot optimize an empty join graph"
+        );
         let mut fragments: Vec<(BTreeSet<RelId>, JoinTree)> = graph
             .relation_ids()
             .map(|r| ([r].into_iter().collect(), JoinTree::Leaf(r)))

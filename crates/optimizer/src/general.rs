@@ -21,7 +21,10 @@ use std::collections::BTreeSet;
 
 /// Produces a bitvector-aware join tree for an arbitrary join graph.
 pub fn optimize_join_graph(graph: &JoinGraph, cost_model: &CostModel<'_>) -> JoinTree {
-    assert!(graph.num_relations() > 0, "cannot optimize an empty join graph");
+    assert!(
+        graph.num_relations() > 0,
+        "cannot optimize an empty join graph"
+    );
     if graph.num_relations() == 1 {
         return JoinTree::Leaf(RelId(0));
     }
@@ -163,7 +166,9 @@ mod tests {
         g.add_edge(JoinEdge::pkfk(f2, "shared_sk", shared, "sk", 2000.0));
         g.add_edge(JoinEdge::pkfk(f1, "d1_sk", d1, "sk", 500.0));
         g.add_edge(JoinEdge::pkfk(f2, "d2_sk", d2, "sk", 800.0));
-        g.add_edge(JoinEdge::new(f1, f2, "mid", "mid", 50_000.0, 50_000.0, false, false));
+        g.add_edge(JoinEdge::new(
+            f1, f2, "mid", "mid", 50_000.0, 50_000.0, false, false,
+        ));
         g
     }
 
@@ -226,7 +231,9 @@ mod tests {
         let mut g = JoinGraph::new();
         let a = g.add_relation(RelationInfo::new("a", 1000.0, 1000.0));
         let b = g.add_relation(RelationInfo::new("b", 100.0, 50.0));
-        g.add_edge(JoinEdge::new(a, b, "id", "a_id", 1000.0, 100.0, true, false));
+        g.add_edge(JoinEdge::new(
+            a, b, "id", "a_id", 1000.0, 100.0, true, false,
+        ));
         let model = CostModel::new(&g);
         let tree = optimize_join_graph(&g, &model);
         assert_eq!(tree.relation_set().len(), 2);

@@ -218,7 +218,10 @@ mod tests {
     #[test]
     fn both_optimizers_produce_executable_plans() {
         let g = star_graph();
-        for opt in [&BqoOptimizer::new() as &dyn Optimizer, &BaselineOptimizer::new()] {
+        for opt in [
+            &BqoOptimizer::new() as &dyn Optimizer,
+            &BaselineOptimizer::new(),
+        ] {
             let plan = opt.optimize(&g);
             assert_eq!(plan.relation_set(plan.root()).len(), 4, "{}", opt.name());
             assert_eq!(plan.num_joins(), 3);

@@ -104,9 +104,7 @@ pub fn analyze_branches(
         let set: BTreeSet<RelId> = ordered.iter().copied().collect();
         let keep = est.semijoin_keep_fraction(fact, &set);
         let has_pkfk_to_fact = fact_neighbors.iter().any(|&r| graph.points_to(fact, r));
-        let larger_than_fact = ordered
-            .iter()
-            .any(|&r| est.base_card(r) > fact_rows);
+        let larger_than_fact = ordered.iter().any(|&r| est.base_card(r) > fact_rows);
         let is_chain = is_chain_branch(graph, &ordered, fact);
         let group = if !has_pkfk_to_fact {
             BranchGroup::P0
@@ -258,13 +256,7 @@ pub fn optimize_snowflake(
 
     // Candidate 1: fact table as the right-most leaf; all branches join onto
     // it in priority order.
-    let mut best = join_branches_onto(
-        graph,
-        cost_model,
-        fact,
-        &branch_refs,
-        JoinTree::Leaf(fact),
-    );
+    let mut best = join_branches_onto(graph, cost_model, fact, &branch_refs, JoinTree::Leaf(fact));
     let mut best_cost = cost_model.cout_join_tree(&best, true).total;
 
     // Candidates 2..: each branch in turn forms the bottom of the probe
@@ -356,14 +348,7 @@ mod tests {
         g.add_edge(JoinEdge::pkfk(fact, "small_sk", small, "sk", 500.0));
         // Non-key join between the two facts.
         g.add_edge(JoinEdge::new(
-            fact,
-            other_fact,
-            "k",
-            "k",
-            10_000.0,
-            10_000.0,
-            false,
-            false,
+            fact, other_fact, "k", "k", 10_000.0, 10_000.0, false, false,
         ));
         (g, fact)
     }

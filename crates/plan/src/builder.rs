@@ -103,11 +103,7 @@ impl QuerySpec {
         for table_name in &self.tables {
             let meta = catalog.table_meta(table_name)?;
             let base_rows = meta.stats.row_count as f64;
-            let predicates = self
-                .predicates
-                .get(table_name)
-                .cloned()
-                .unwrap_or_default();
+            let predicates = self.predicates.get(table_name).cloned().unwrap_or_default();
             let mut selectivity = 1.0;
             for p in &predicates {
                 let col_stats =
@@ -182,7 +178,10 @@ mod tests {
         let fact = gen.fact_table(
             "fact",
             10_000,
-            &[("dim_a".to_string(), 100, 0.0), ("dim_b".to_string(), 50, 0.0)],
+            &[
+                ("dim_a".to_string(), 100, 0.0),
+                ("dim_b".to_string(), 50, 0.0),
+            ],
         );
         catalog.register_table(dim_a);
         catalog.register_table(dim_b);
@@ -246,10 +245,9 @@ mod tests {
     #[test]
     fn missing_predicate_column_is_an_error() {
         let catalog = catalog();
-        let bad = QuerySpec::new("bad").table("fact").predicate(
-            "fact",
-            ColumnPredicate::new("missing", CompareOp::Eq, 1i64),
-        );
+        let bad = QuerySpec::new("bad")
+            .table("fact")
+            .predicate("fact", ColumnPredicate::new("missing", CompareOp::Eq, 1i64));
         assert!(matches!(
             bad.to_join_graph(&catalog),
             Err(StorageError::ColumnNotFound { .. })

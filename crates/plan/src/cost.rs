@@ -122,9 +122,7 @@ impl<'a> CostModel<'a> {
     /// Estimated output cardinality of the whole plan (the final join
     /// result), honouring bitvector placements.
     pub fn estimated_output(&self, plan: &PhysicalPlan) -> f64 {
-        self.cout_physical(plan)
-            .card_of(plan.root())
-            .unwrap_or(0.0)
+        self.cout_physical(plan).card_of(plan.root()).unwrap_or(0.0)
     }
 
     /// Estimated fraction of rows a bitvector filter eliminates at its target
@@ -375,7 +373,10 @@ mod tests {
             };
             let src_rels = plan.relation_set(src_build);
             if src_rels.contains(&d[1]) {
-                assert!(lambda < 0.05, "unfiltered dim should not eliminate: {lambda}");
+                assert!(
+                    lambda < 0.05,
+                    "unfiltered dim should not eliminate: {lambda}"
+                );
             }
             if src_rels.contains(&d[2]) {
                 assert!(lambda > 0.5, "d3 keeps 20%, so λ should be ~0.8: {lambda}");

@@ -181,7 +181,10 @@ mod tests {
         let (g, _, _) = star();
         let est = CardinalityEstimator::new(&g);
         assert_eq!(est.join_card(&BTreeSet::new()), 0.0);
-        assert_eq!(est.semi_reduced_card(&BTreeSet::new(), &BTreeSet::new()), 0.0);
+        assert_eq!(
+            est.semi_reduced_card(&BTreeSet::new(), &BTreeSet::new()),
+            0.0
+        );
     }
 
     #[test]

@@ -114,7 +114,9 @@ impl JoinEdge {
         pk_col: impl Into<String>,
         pk_rows: f64,
     ) -> Self {
-        JoinEdge::new(fk_rel, pk_rel, fk_col, pk_col, pk_rows, pk_rows, false, true)
+        JoinEdge::new(
+            fk_rel, pk_rel, fk_col, pk_col, pk_rows, pk_rows, false, true,
+        )
     }
 
     /// True if the edge touches the relation.
@@ -216,8 +218,14 @@ impl JoinGraph {
     /// # Panics
     /// Panics if either endpoint is out of range or the edge is a self-loop.
     pub fn add_edge(&mut self, edge: JoinEdge) {
-        assert!(edge.left.0 < self.relations.len(), "left endpoint out of range");
-        assert!(edge.right.0 < self.relations.len(), "right endpoint out of range");
+        assert!(
+            edge.left.0 < self.relations.len(),
+            "left endpoint out of range"
+        );
+        assert!(
+            edge.right.0 < self.relations.len(),
+            "right endpoint out of range"
+        );
         assert_ne!(edge.left, edge.right, "self-joins are not supported");
         let idx = self.edges.len();
         self.adjacency[edge.left.0].push(idx);
@@ -253,7 +261,10 @@ impl JoinGraph {
 
     /// Looks up a relation by name.
     pub fn relation_by_name(&self, name: &str) -> Option<RelId> {
-        self.relations.iter().position(|r| r.name == name).map(RelId)
+        self.relations
+            .iter()
+            .position(|r| r.name == name)
+            .map(RelId)
     }
 
     /// All edges.
@@ -277,13 +288,14 @@ impl JoinGraph {
 
     /// True if two relations share at least one join edge.
     pub fn are_adjacent(&self, a: RelId, b: RelId) -> bool {
-        self.adjacency[a.0].iter().any(|&i| self.edges[i].touches(b))
+        self.adjacency[a.0]
+            .iter()
+            .any(|&i| self.edges[i].touches(b))
     }
 
     /// Neighbouring relations of `rel` (deduplicated, unordered).
     pub fn neighbors(&self, rel: RelId) -> Vec<RelId> {
-        let mut out: Vec<RelId> = self
-            .adjacency[rel.0]
+        let mut out: Vec<RelId> = self.adjacency[rel.0]
             .iter()
             .map(|&i| self.edges[i].other(rel))
             .collect();
@@ -649,7 +661,10 @@ mod tests {
     fn classify_star() {
         let (g, fact, dims) = star();
         match g.classify() {
-            GraphShape::Star { fact: f, dimensions } => {
+            GraphShape::Star {
+                fact: f,
+                dimensions,
+            } => {
                 assert_eq!(f, fact);
                 assert_eq!(dimensions.len(), dims.len());
             }

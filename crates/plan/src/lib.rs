@@ -32,7 +32,9 @@ pub use builder::QuerySpec;
 pub use cost::{CostModel, CoutBreakdown};
 pub use estimator::CardinalityEstimator;
 pub use graph::{GraphShape, JoinEdge, JoinGraph, RelId, RelationInfo};
-pub use physical::{BitvectorPlacement, ColumnRef, JoinKeyPair, NodeId, PhysicalNode, PhysicalPlan};
+pub use physical::{
+    BitvectorPlacement, ColumnRef, JoinKeyPair, NodeId, PhysicalNode, PhysicalPlan,
+};
 pub use predicate::{ColumnPredicate, CompareOp};
 pub use pushdown::push_down_bitvectors;
 pub use tree::{JoinTree, RightDeepTree};

@@ -256,7 +256,10 @@ impl PhysicalPlan {
                         )
                     })
                     .collect();
-                out.push_str(&format!("{indent}{id}: HashJoin on {}\n", preds.join(" AND ")));
+                out.push_str(&format!(
+                    "{indent}{id}: HashJoin on {}\n",
+                    preds.join(" AND ")
+                ));
                 self.explain_node(graph, *build, depth + 1, out);
                 self.explain_node(graph, *probe, depth + 1, out);
             }
@@ -292,10 +295,7 @@ mod tests {
         // the order) and its probe side the lower join.
         match plan.node(plan.root()) {
             PhysicalNode::HashJoin { build, keys, .. } => {
-                assert_eq!(
-                    plan.node(*build),
-                    &PhysicalNode::Scan { relation: dims[1] }
-                );
+                assert_eq!(plan.node(*build), &PhysicalNode::Scan { relation: dims[1] });
                 assert_eq!(keys.len(), 1);
                 assert_eq!(keys[0].build.relation, dims[1]);
                 assert_eq!(keys[0].probe.relation, fact);

@@ -131,7 +131,11 @@ mod tests {
 
         let fact_scan = scan_of(&plan, fact);
         let at_fact = plan.placements_at(fact_scan);
-        assert_eq!(at_fact.len(), 2, "both dimension filters reach the fact scan");
+        assert_eq!(
+            at_fact.len(),
+            2,
+            "both dimension filters reach the fact scan"
+        );
         assert_eq!(plan.placements.len(), 2);
         // Each filter checks the fact's foreign-key column.
         let cols: BTreeSet<&str> = at_fact
@@ -178,10 +182,18 @@ mod tests {
         let b = g.add_relation(RelationInfo::new("B", 10_000.0, 10_000.0));
         let c = g.add_relation(RelationInfo::new("C", 2000.0, 2000.0));
         let d = g.add_relation(RelationInfo::new("D", 500.0, 500.0));
-        g.add_edge(JoinEdge::new(a, b, "b_id", "id", 10_000.0, 10_000.0, false, true));
-        g.add_edge(JoinEdge::new(b, c, "c_id", "id", 2000.0, 2000.0, false, true));
-        g.add_edge(JoinEdge::new(d, a, "a_id", "id", 1000.0, 1000.0, false, true));
-        g.add_edge(JoinEdge::new(d, c, "c_id2", "id2", 2000.0, 2000.0, false, true));
+        g.add_edge(JoinEdge::new(
+            a, b, "b_id", "id", 10_000.0, 10_000.0, false, true,
+        ));
+        g.add_edge(JoinEdge::new(
+            b, c, "c_id", "id", 2000.0, 2000.0, false, true,
+        ));
+        g.add_edge(JoinEdge::new(
+            d, a, "a_id", "id", 1000.0, 1000.0, false, true,
+        ));
+        g.add_edge(JoinEdge::new(
+            d, c, "c_id2", "id2", 2000.0, 2000.0, false, true,
+        ));
 
         // T(B, A, C, D): bottom probe B, then builds A, C, D.
         let tree = RightDeepTree::new(vec![b, a, c, d]).to_join_tree();
@@ -244,7 +256,9 @@ mod tests {
         let d2 = g.add_relation(RelationInfo::new("d2", 200.0, 20.0));
         g.add_edge(JoinEdge::pkfk(f1, "d1_sk", d1, "sk", 100.0));
         g.add_edge(JoinEdge::pkfk(f2, "d2_sk", d2, "sk", 200.0));
-        g.add_edge(JoinEdge::new(f1, f2, "k", "k", 1000.0, 1000.0, false, false));
+        g.add_edge(JoinEdge::new(
+            f1, f2, "k", "k", 1000.0, 1000.0, false, false,
+        ));
 
         let bushy = JoinTree::join(
             JoinTree::join(JoinTree::Leaf(d1), JoinTree::Leaf(f1)),
@@ -263,10 +277,7 @@ mod tests {
     fn single_scan_plan_has_no_placements() {
         let mut g = JoinGraph::new();
         let r = g.add_relation(RelationInfo::new("r", 10.0, 10.0));
-        let plan = push_down_bitvectors(
-            &g,
-            PhysicalPlan::from_join_tree(&g, &JoinTree::Leaf(r)),
-        );
+        let plan = push_down_bitvectors(&g, PhysicalPlan::from_join_tree(&g, &JoinTree::Leaf(r)));
         assert!(plan.placements.is_empty());
     }
 }

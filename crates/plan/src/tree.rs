@@ -26,9 +26,16 @@ impl RightDeepTree {
     /// # Panics
     /// Panics if the order is empty or contains duplicates.
     pub fn new(order: Vec<RelId>) -> Self {
-        assert!(!order.is_empty(), "a plan must contain at least one relation");
+        assert!(
+            !order.is_empty(),
+            "a plan must contain at least one relation"
+        );
         let distinct: BTreeSet<RelId> = order.iter().copied().collect();
-        assert_eq!(distinct.len(), order.len(), "duplicate relation in plan order");
+        assert_eq!(
+            distinct.len(),
+            order.len(),
+            "duplicate relation in plan order"
+        );
         RightDeepTree { order }
     }
 

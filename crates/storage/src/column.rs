@@ -139,7 +139,11 @@ impl Column {
     /// # Panics
     /// Panics if `mask.len() != self.len()`.
     pub fn filter(&self, mask: &[bool]) -> Column {
-        assert_eq!(mask.len(), self.len(), "mask length must match column length");
+        assert_eq!(
+            mask.len(),
+            self.len(),
+            "mask length must match column length"
+        );
         match self {
             Column::Int64(v) => Column::Int64(zip_filter(v, mask)),
             Column::Float64(v) => Column::Float64(zip_filter(v, mask)),

@@ -30,7 +30,10 @@ impl fmt::Display for StorageError {
                 write!(f, "table `{table}` not found in catalog")
             }
             StorageError::LengthMismatch { expected, actual } => {
-                write!(f, "column length mismatch: expected {expected}, got {actual}")
+                write!(
+                    f,
+                    "column length mismatch: expected {expected}, got {actual}"
+                )
             }
             StorageError::TypeMismatch { expected, actual } => {
                 write!(f, "type mismatch: expected {expected}, got {actual}")

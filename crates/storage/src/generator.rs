@@ -107,8 +107,8 @@ impl DataGenerator {
     /// entry plus a measure column. The FK column is named `<dim>_sk` so that
     /// equi-join predicates can be written as `fact.<dim>_sk = <dim>.<dim>_sk`.
     pub fn fact_table(&self, name: &str, rows: usize, dims: &[(String, usize, f64)]) -> Table {
-        let mut builder = TableBuilder::new(name)
-            .with_i64(format!("{name}_id"), self.sequential_keys(rows));
+        let mut builder =
+            TableBuilder::new(name).with_i64(format!("{name}_id"), self.sequential_keys(rows));
         for (dim, dim_rows, theta) in dims {
             let col = format!("{dim}_sk");
             let values = if *theta > 0.0 {

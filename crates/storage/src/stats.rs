@@ -60,7 +60,10 @@ impl ColumnStats {
                 }
             }
             Column::Utf8(values) => {
-                let distinct = values.iter().collect::<std::collections::HashSet<_>>().len();
+                let distinct = values
+                    .iter()
+                    .collect::<std::collections::HashSet<_>>()
+                    .len();
                 ColumnStats {
                     row_count: values.len(),
                     distinct_count: distinct,
@@ -164,7 +167,10 @@ impl TableStats {
 }
 
 fn distinct_i64(values: &[i64]) -> usize {
-    values.iter().collect::<std::collections::HashSet<_>>().len()
+    values
+        .iter()
+        .collect::<std::collections::HashSet<_>>()
+        .len()
 }
 
 fn distinct_f64(values: &[f64]) -> usize {

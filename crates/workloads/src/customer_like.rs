@@ -109,7 +109,12 @@ fn build_query(
                 );
             } else {
                 let child = chain_table_name(fact, c, level - 1);
-                spec = spec.join(child, format!("{table}_sk"), table.clone(), format!("{table}_sk"));
+                spec = spec.join(
+                    child,
+                    format!("{table}_sk"),
+                    table.clone(),
+                    format!("{table}_sk"),
+                );
             }
             // Predicates sit on the outer (small) levels of the chains, the
             // way reporting queries slice on a handful of categories; most
@@ -163,7 +168,15 @@ mod tests {
     fn schema_table_count() {
         let schema = CustomerSchema::default();
         assert_eq!(schema.num_tables(), 3 * (1 + 12 * 3));
-        let catalog = build_catalog(Scale(0.01), CustomerSchema { facts: 1, chains_per_fact: 2, chain_length: 2 }, 3);
+        let catalog = build_catalog(
+            Scale(0.01),
+            CustomerSchema {
+                facts: 1,
+                chains_per_fact: 2,
+                chain_length: 2,
+            },
+            3,
+        );
         assert_eq!(catalog.len(), 1 + 2 * 2);
     }
 
@@ -171,7 +184,12 @@ mod tests {
     fn queries_are_wide_snowflakes() {
         let w = generate(Scale(0.01), 5, 11);
         for q in &w.queries {
-            assert!(q.num_joins() >= 18, "{} has only {} joins", q.name, q.num_joins());
+            assert!(
+                q.num_joins() >= 18,
+                "{} has only {} joins",
+                q.name,
+                q.num_joins()
+            );
             assert!(q.num_joins() <= 36);
             let graph = q.to_join_graph(&w.catalog).unwrap();
             assert!(graph.is_connected());
@@ -184,7 +202,11 @@ mod tests {
         let w = generate(Scale(0.01), 8, 11);
         let stats = w.stats();
         assert_eq!(stats.tables, CustomerSchema::default().num_tables());
-        assert!(stats.avg_joins >= 20.0 && stats.avg_joins <= 36.0, "avg {}", stats.avg_joins);
+        assert!(
+            stats.avg_joins >= 20.0 && stats.avg_joins <= 36.0,
+            "avg {}",
+            stats.avg_joins
+        );
     }
 
     #[test]

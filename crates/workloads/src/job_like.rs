@@ -67,7 +67,11 @@ pub fn build_catalog(scale: Scale, seed: u64) -> Catalog {
     // (name, unscaled rows, referenced dimensions)
     let facts: [(&str, usize, &[&str]); 4] = [
         ("movie_keyword", 900_000, &["keyword"]),
-        ("movie_companies", 520_000, &["company_name", "company_type"]),
+        (
+            "movie_companies",
+            520_000,
+            &["company_name", "company_type"],
+        ),
         ("cast_info", 700_000, &["name", "role_type"]),
         ("movie_info", 450_000, &["info_type"]),
     ];
@@ -243,7 +247,9 @@ pub fn figure2_workload(scale: Scale, seed: u64) -> Workload {
             .build()
             .expect("keyword"),
     );
-    catalog.declare_primary_key("keyword", "keyword_sk").unwrap();
+    catalog
+        .declare_primary_key("keyword", "keyword_sk")
+        .unwrap();
 
     catalog.register_table(
         TableBuilder::new("movie_keyword")
@@ -288,8 +294,16 @@ mod tests {
         let catalog = build_catalog(Scale(0.01), 17);
         assert_eq!(catalog.len(), 11);
         assert!(catalog.table("title").unwrap().num_rows() >= 100);
-        assert!(catalog.table("movie_keyword").unwrap().schema().contains("title_sk"));
-        assert!(catalog.table("movie_companies").unwrap().schema().contains("company_name_sk"));
+        assert!(catalog
+            .table("movie_keyword")
+            .unwrap()
+            .schema()
+            .contains("title_sk"));
+        assert!(catalog
+            .table("movie_companies")
+            .unwrap()
+            .schema()
+            .contains("company_name_sk"));
     }
 
     #[test]
@@ -358,8 +372,16 @@ mod tests {
         let a = figure2_workload(Scale(0.01), 7);
         let b = figure2_workload(Scale(0.01), 7);
         assert_eq!(
-            a.catalog.table("movie_keyword").unwrap().column("keyword_sk").unwrap(),
-            b.catalog.table("movie_keyword").unwrap().column("keyword_sk").unwrap()
+            a.catalog
+                .table("movie_keyword")
+                .unwrap()
+                .column("keyword_sk")
+                .unwrap(),
+            b.catalog
+                .table("movie_keyword")
+                .unwrap()
+                .column("keyword_sk")
+                .unwrap()
         );
     }
 }

@@ -35,7 +35,9 @@ pub fn build_catalog(scale: Scale, seed: u64) -> Catalog {
             .build()
             .expect("customer table"),
     );
-    catalog.declare_primary_key("customer", "customer_sk").unwrap();
+    catalog
+        .declare_primary_key("customer", "customer_sk")
+        .unwrap();
 
     // store_sales carries several measure columns like the real TPC-DS fact
     // table; the width is what makes early elimination at the scan worthwhile
@@ -132,7 +134,9 @@ mod tests {
     fn resolved_graph_matches_requested_selectivity() {
         let catalog = build_catalog(Scale(0.02), 5);
         for keep in [1.0, 0.5, 0.1, 0.01] {
-            let graph = query_with_selectivity(keep).to_join_graph(&catalog).unwrap();
+            let graph = query_with_selectivity(keep)
+                .to_join_graph(&catalog)
+                .unwrap();
             let customer = graph.relation_by_name("customer").unwrap();
             let sel = graph.relation(customer).local_selectivity();
             assert!(

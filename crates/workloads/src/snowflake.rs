@@ -71,7 +71,12 @@ pub fn build_query(
             let table = format!("b{i}_{j}");
             spec = spec.table(table.clone());
             if j == 1 {
-                spec = spec.join("fact", format!("{table}_sk"), table.clone(), format!("{table}_sk"));
+                spec = spec.join(
+                    "fact",
+                    format!("{table}_sk"),
+                    table.clone(),
+                    format!("{table}_sk"),
+                );
             } else {
                 let child = format!("b{i}_{}", j - 1);
                 spec = spec.join(
@@ -94,12 +99,7 @@ pub fn build_query(
 }
 
 /// Generates a snowflake workload with `num_queries` random queries.
-pub fn generate(
-    scale: Scale,
-    branch_lengths: &[usize],
-    num_queries: usize,
-    seed: u64,
-) -> Workload {
+pub fn generate(scale: Scale, branch_lengths: &[usize], num_queries: usize, seed: u64) -> Workload {
     let catalog = build_catalog(scale, branch_lengths, seed);
     let gen = DataGenerator::new(seed ^ 0x534e_4f57);
     let mut rng = gen.rng("snowflake/queries");

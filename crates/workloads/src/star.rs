@@ -46,9 +46,12 @@ pub fn build_query(
     let mut spec = QuerySpec::new(name).table("fact");
     for i in 0..num_dims {
         let dim = format!("dim{i}");
-        spec = spec
-            .table(dim.clone())
-            .join("fact", format!("{dim}_sk"), dim.clone(), format!("{dim}_sk"));
+        spec = spec.table(dim.clone()).join(
+            "fact",
+            format!("{dim}_sk"),
+            dim.clone(),
+            format!("{dim}_sk"),
+        );
     }
     for &(dim_idx, bound) in predicates {
         let dim = format!("dim{dim_idx}");
@@ -98,7 +101,9 @@ mod tests {
         assert!(fact.schema().contains("dim2_sk"));
         assert!(fact.num_rows() >= 200);
         // Dimensions grow geometrically.
-        assert!(catalog.table("dim2").unwrap().num_rows() > catalog.table("dim0").unwrap().num_rows());
+        assert!(
+            catalog.table("dim2").unwrap().num_rows() > catalog.table("dim0").unwrap().num_rows()
+        );
     }
 
     #[test]

@@ -56,7 +56,9 @@ pub fn build_catalog(scale: Scale, seed: u64) -> Catalog {
             .build()
             .unwrap(),
     );
-    catalog.declare_primary_key("date_dim", "date_dim_sk").unwrap();
+    catalog
+        .declare_primary_key("date_dim", "date_dim_sk")
+        .unwrap();
 
     let customer_rows = scale.rows(100_000, 50);
     catalog.register_table(
@@ -77,7 +79,9 @@ pub fn build_catalog(scale: Scale, seed: u64) -> Catalog {
             .build()
             .unwrap(),
     );
-    catalog.declare_primary_key("customer", "customer_sk").unwrap();
+    catalog
+        .declare_primary_key("customer", "customer_sk")
+        .unwrap();
 
     let item_rows = scale.rows(18_000, 30);
     catalog.register_table(
@@ -87,17 +91,26 @@ pub fn build_catalog(scale: Scale, seed: u64) -> Catalog {
                 "manufacturer_sk",
                 gen.uniform_fk("item/manufacturer", item_rows, manufacturer_rows),
             )
-            .with_i64("item_category", gen.categories("item/cat", item_rows, CATEGORIES))
+            .with_i64(
+                "item_category",
+                gen.categories("item/cat", item_rows, CATEGORIES),
+            )
             .build()
             .unwrap(),
     );
     catalog.declare_primary_key("item", "item_sk").unwrap();
 
-    for (name, rows) in [("store", 400), ("web_site", 30), ("call_center", 30), ("promotion", 1000)]
-    {
+    for (name, rows) in [
+        ("store", 400),
+        ("web_site", 30),
+        ("call_center", 30),
+        ("promotion", 1000),
+    ] {
         let rows = scale.rows(rows, 4);
         catalog.register_table(gen.dimension_table(name, rows, CATEGORIES.min(rows)));
-        catalog.declare_primary_key(name, &format!("{name}_sk")).unwrap();
+        catalog
+            .declare_primary_key(name, &format!("{name}_sk"))
+            .unwrap();
     }
 
     // Fact tables: (name, unscaled rows, channel dimension).
@@ -154,9 +167,18 @@ struct Channel {
 }
 
 const CHANNELS: [Channel; 3] = [
-    Channel { fact: "store_sales", channel_dim: "store" },
-    Channel { fact: "web_sales", channel_dim: "web_site" },
-    Channel { fact: "catalog_sales", channel_dim: "call_center" },
+    Channel {
+        fact: "store_sales",
+        channel_dim: "store",
+    },
+    Channel {
+        fact: "web_sales",
+        channel_dim: "web_site",
+    },
+    Channel {
+        fact: "catalog_sales",
+        channel_dim: "call_center",
+    },
 ];
 
 fn add_dimension_with_predicate(
@@ -219,9 +241,12 @@ pub fn generate(scale: Scale, num_queries: usize, seed: u64) -> Workload {
                         rng.gen_range(1..=CATEGORIES as i64 / 2),
                     )
                 });
-                spec = spec
-                    .table("manufacturer")
-                    .join("item", "manufacturer_sk", "manufacturer", "manufacturer_sk");
+                spec = spec.table("manufacturer").join(
+                    "item",
+                    "manufacturer_sk",
+                    "manufacturer",
+                    "manufacturer_sk",
+                );
                 if let Some(p) = pred {
                     spec = spec.predicate("manufacturer", p);
                 }
@@ -301,10 +326,20 @@ mod tests {
         let catalog = build_catalog(Scale(0.01), 3);
         assert_eq!(catalog.len(), 13);
         let ss = catalog.table("store_sales").unwrap();
-        for col in ["date_dim_sk", "customer_sk", "item_sk", "store_sk", "promotion_sk"] {
+        for col in [
+            "date_dim_sk",
+            "customer_sk",
+            "item_sk",
+            "store_sk",
+            "promotion_sk",
+        ] {
             assert!(ss.schema().contains(col), "missing {col}");
         }
-        assert!(catalog.table("customer").unwrap().schema().contains("customer_address_sk"));
+        assert!(catalog
+            .table("customer")
+            .unwrap()
+            .schema()
+            .contains("customer_address_sk"));
     }
 
     #[test]

@@ -39,8 +39,7 @@ fn main() {
 
     for n in 2..=7 {
         let catalog = star::build_catalog(Scale(0.01), n, 11);
-        let predicates: Vec<(usize, i64)> =
-            (0..n).map(|i| (i, 1 + (i as i64 * 7) % 20)).collect();
+        let predicates: Vec<(usize, i64)> = (0..n).map(|i| (i, 1 + (i as i64 * 7) % 20)).collect();
         let query = star::build_query(format!("star{n}"), n, &predicates);
         let graph = query.to_join_graph(&catalog).expect("star query resolves");
         explore(&format!("star, {n} dimensions"), &graph);
@@ -55,7 +54,9 @@ fn main() {
             .map(|(i, &len)| (i, len, 1 + (i as i64 * 5) % 20))
             .collect();
         let query = snowflake::build_query(format!("snow{lengths:?}"), &lengths, &predicates);
-        let graph = query.to_join_graph(&catalog).expect("snowflake query resolves");
+        let graph = query
+            .to_join_graph(&catalog)
+            .expect("snowflake query resolves");
         explore(&format!("snowflake, branches {lengths:?}"), &graph);
     }
 }

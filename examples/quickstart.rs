@@ -63,8 +63,13 @@ fn main() {
     );
     db.declare_primary_key("product", "product_sk").unwrap();
     db.declare_primary_key("store", "store_sk").unwrap();
-    db.declare_foreign_key(ForeignKey::new("sales", "product_sk", "product", "product_sk"))
-        .unwrap();
+    db.declare_foreign_key(ForeignKey::new(
+        "sales",
+        "product_sk",
+        "product",
+        "product_sk",
+    ))
+    .unwrap();
     db.declare_foreign_key(ForeignKey::new("sales", "store_sk", "store", "store_sk"))
         .unwrap();
 
@@ -75,14 +80,20 @@ fn main() {
         .table("store")
         .join("sales", "product_sk", "product", "product_sk")
         .join("sales", "store_sk", "store", "store_sk")
-        .predicate("product", ColumnPredicate::new("category", CompareOp::Eq, 3i64))
+        .predicate(
+            "product",
+            ColumnPredicate::new("category", CompareOp::Eq, 3i64),
+        )
         .predicate("store", ColumnPredicate::new("region", CompareOp::Eq, 0i64));
 
     for choice in [OptimizerChoice::Baseline, OptimizerChoice::Bqo] {
         let (optimized, result) = db.run(&query, choice).expect("query runs");
         println!("=== {} ===", choice.label());
         println!("{}", optimized.explain());
-        println!("estimated Cout      : {:.0}", optimized.estimated_cost.total);
+        println!(
+            "estimated Cout      : {:.0}",
+            optimized.estimated_cost.total
+        );
         println!("result rows         : {}", result.output_rows);
         println!(
             "tuples through joins: {}",
@@ -92,6 +103,9 @@ fn main() {
             "bitvector filters   : {} created, {} tuples eliminated",
             result.metrics.filters_created, result.metrics.filter_stats.eliminated
         );
-        println!("wall time           : {:.2} ms\n", result.metrics.elapsed_secs() * 1e3);
+        println!(
+            "wall time           : {:.2} ms\n",
+            result.metrics.elapsed_secs() * 1e3
+        );
     }
 }

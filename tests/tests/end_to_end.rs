@@ -4,7 +4,9 @@
 //! post-processed baseline.
 
 use bqo_core::exec::ExecConfig;
-use bqo_core::workloads::{customer_like, job_like, microbench, snowflake, star, tpcds_like, Scale};
+use bqo_core::workloads::{
+    customer_like, job_like, microbench, snowflake, star, tpcds_like, Scale,
+};
 use bqo_core::{Database, OptimizerChoice};
 
 const CHOICES: [OptimizerChoice; 4] = [
@@ -118,7 +120,9 @@ fn filter_elimination_counts_are_consistent_with_scan_outputs() {
     let workload = star::generate(Scale(0.02), 3, 3, 33);
     let db = Database::from_catalog(workload.catalog.clone());
     for query in &workload.queries {
-        let optimized = db.optimize(query, OptimizerChoice::BqoWithThreshold(0.0)).unwrap();
+        let optimized = db
+            .optimize(query, OptimizerChoice::BqoWithThreshold(0.0))
+            .unwrap();
         let result = db
             .execute_with(&optimized, ExecConfig::exact_filters())
             .unwrap();

@@ -2,17 +2,10 @@
 //! without bitvector filters is no longer best once filters are applied, and
 //! the bitvector-aware optimizer finds the better plan.
 
-use bqo_bench_is_not_a_dependency::*;
-
-// The bench crate is not a dependency of the test crate; re-implement the
-// tiny amount of plumbing needed directly against the public API.
-mod bqo_bench_is_not_a_dependency {
-    pub use bqo_core::exec::{ExecConfig, Executor};
-    pub use bqo_core::optimizer::exhaustive_best_right_deep;
-    pub use bqo_core::plan::{push_down_bitvectors, CostModel, PhysicalPlan};
-    pub use bqo_core::workloads::{job_like, Scale};
-    pub use bqo_core::{Database, OptimizerChoice};
-}
+use bqo_bench::prelude::{
+    exhaustive_best_right_deep, job_like, push_down_bitvectors, CostModel, Database, ExecConfig,
+    Executor, OptimizerChoice, PhysicalPlan, Scale,
+};
 
 #[test]
 fn best_plain_plan_is_not_best_with_bitvectors() {
@@ -25,7 +18,11 @@ fn best_plain_plan_is_not_best_with_bitvectors() {
     let (p2, p2_bv_cost) = exhaustive_best_right_deep(&graph, &model, true).unwrap();
 
     // The two optima are different join orders (the paper's observation).
-    assert_ne!(p1.order(), p2.order(), "the motivating example needs distinct optima");
+    assert_ne!(
+        p1.order(),
+        p2.order(),
+        "the motivating example needs distinct optima"
+    );
 
     // P2 looks worse than P1 to a conventional optimizer...
     let p2_plain_cost = model.cout_right_deep_total(&p2, false);

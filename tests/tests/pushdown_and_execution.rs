@@ -3,9 +3,7 @@
 //! with the analytical model.
 
 use bqo_core::exec::{ExecConfig, Executor};
-use bqo_core::plan::{
-    push_down_bitvectors, CostModel, PhysicalNode, PhysicalPlan, RightDeepTree,
-};
+use bqo_core::plan::{push_down_bitvectors, CostModel, PhysicalNode, PhysicalPlan, RightDeepTree};
 use bqo_core::workloads::{star, tpcds_like, Scale};
 use bqo_core::{Database, OptimizerChoice};
 
@@ -81,7 +79,10 @@ fn estimated_lambda_tracks_observed_elimination() {
         (max_estimate - observed).abs() < 0.35,
         "estimate {max_estimate} vs observed {observed}"
     );
-    assert!(observed > 0.3, "workload should eliminate a lot: {observed}");
+    assert!(
+        observed > 0.3,
+        "workload should eliminate a lot: {observed}"
+    );
 }
 
 /// Post-processing an already-optimized baseline plan with Algorithm 1 keeps

@@ -1,0 +1,46 @@
+//! Workspace wiring smoke test.
+//!
+//! Guards the Cargo manifests themselves: it pulls the star-schema helper
+//! from this crate's library (`tests/src/lib.rs`), the optimizers via the
+//! `bqo-core` facade and the cost model from `bqo-plan`, so it fails to even
+//! compile if the cross-crate dependency graph regresses.
+
+use bqo_core::plan::CostModel;
+use bqo_core::{BaselineOptimizer, BqoOptimizer, Optimizer};
+use bqo_integration_tests::{chain_graph, star_graph};
+
+#[test]
+fn optimizer_pipeline_runs_on_the_star_helper() {
+    let graph = star_graph(
+        1_000_000.0,
+        &[(1_000.0, 50.0), (500.0, 500.0), (200.0, 10.0)],
+    );
+    let model = CostModel::new(&graph);
+
+    let bqo = BqoOptimizer::new().optimize(&graph);
+    let baseline = BaselineOptimizer::new().optimize(&graph);
+
+    let bqo_cost = model.cout_physical(&bqo).total;
+    let baseline_cost = model.cout_physical(&baseline).total;
+    assert!(bqo_cost.is_finite() && bqo_cost > 0.0);
+    assert!(
+        bqo_cost <= baseline_cost + 1e-6,
+        "bitvector-aware cost {bqo_cost} must not exceed baseline {baseline_cost}"
+    );
+
+    // Both plans must join every relation of the helper graph exactly once.
+    assert_eq!(bqo.relation_set(bqo.root()).len(), graph.num_relations());
+    assert_eq!(
+        baseline.relation_set(baseline.root()).len(),
+        graph.num_relations()
+    );
+}
+
+#[test]
+fn optimizer_pipeline_runs_on_the_chain_helper() {
+    let graph = chain_graph(&[(100_000.0, 100_000.0), (1_000.0, 100.0), (50.0, 5.0)]);
+    let model = CostModel::new(&graph);
+    let plan = BqoOptimizer::new().optimize(&graph);
+    assert!(model.cout_physical(&plan).total.is_finite());
+    assert_eq!(plan.relation_set(plan.root()).len(), graph.num_relations());
+}
