@@ -3,7 +3,7 @@
 
 use bqo_core::experiment::{run_workload, RunOptions};
 use bqo_core::workloads::{job_like, Scale};
-use bqo_core::{Database, OptimizerChoice};
+use bqo_core::{Engine, OptimizerChoice};
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
 
@@ -16,19 +16,19 @@ fn bench_fig10(c: &mut Criterion) {
         .take(3)
         .map(|q| q.name.clone())
         .collect();
-    let db = Database::from_catalog(workload.catalog.clone());
+    let engine = Engine::from_catalog(workload.catalog.clone());
 
     let mut group = c.benchmark_group("fig10_individual");
     group.sample_size(10);
     for name in &expensive {
         let query = workload.queries.iter().find(|q| &q.name == name).unwrap();
-        let baseline = db.optimize(query, OptimizerChoice::Baseline).unwrap();
-        let bqo = db.optimize(query, OptimizerChoice::Bqo).unwrap();
+        let baseline = engine.prepare(query, OptimizerChoice::Baseline).unwrap();
+        let bqo = engine.prepare(query, OptimizerChoice::Bqo).unwrap();
         group.bench_with_input(BenchmarkId::new("original", name), query, |b, _| {
-            b.iter(|| black_box(db.execute(&baseline).unwrap().output_rows))
+            b.iter(|| black_box(baseline.run().unwrap().output_rows))
         });
         group.bench_with_input(BenchmarkId::new("bqo", name), query, |b, _| {
-            b.iter(|| black_box(db.execute(&bqo).unwrap().output_rows))
+            b.iter(|| black_box(bqo.run().unwrap().output_rows))
         });
     }
     group.finish();

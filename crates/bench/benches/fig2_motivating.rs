@@ -2,19 +2,18 @@
 //! best plan (with post-processed bitvector filters) versus the
 //! bitvector-aware best plan for `movie_keyword ⋈ title ⋈ keyword`.
 
-use bqo_core::exec::{ExecConfig, Executor};
 use bqo_core::optimizer::exhaustive_best_right_deep;
 use bqo_core::plan::{push_down_bitvectors, CostModel, PhysicalPlan};
 use bqo_core::workloads::{job_like, Scale};
-use bqo_core::Database;
+use bqo_core::Engine;
 use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 
 fn bench_fig2(c: &mut Criterion) {
     let scale = Scale(0.05);
     let workload = job_like::figure2_workload(scale, 7);
-    let db = Database::from_catalog(workload.catalog.clone());
-    let graph = workload.queries[0].to_join_graph(db.catalog()).unwrap();
+    let engine = Engine::from_catalog(workload.catalog.clone());
+    let graph = workload.queries[0].to_join_graph(engine.catalog()).unwrap();
     let model = CostModel::new(&graph);
     let (p1, _) = exhaustive_best_right_deep(&graph, &model, false).unwrap();
     let (p2, _) = exhaustive_best_right_deep(&graph, &model, true).unwrap();
@@ -26,15 +25,13 @@ fn bench_fig2(c: &mut Criterion) {
         &graph,
         PhysicalPlan::from_join_tree(&graph, &p2.to_join_tree()),
     );
-    let exec = Executor::with_config(db.catalog(), ExecConfig::default());
-
     let mut group = c.benchmark_group("fig2_motivating");
     group.sample_size(10);
     group.bench_function("P1_postprocessed_bitvectors", |b| {
-        b.iter(|| black_box(exec.execute(&graph, &p1_plan).unwrap().output_rows))
+        b.iter(|| black_box(engine.execute_plan(&graph, &p1_plan).unwrap().output_rows))
     });
     group.bench_function("P2_bitvector_aware", |b| {
-        b.iter(|| black_box(exec.execute(&graph, &p2_plan).unwrap().output_rows))
+        b.iter(|| black_box(engine.execute_plan(&graph, &p2_plan).unwrap().output_rows))
     });
     group.finish();
 }

@@ -4,23 +4,24 @@
 
 use bqo_core::exec::ExecConfig;
 use bqo_core::workloads::{microbench, Scale};
-use bqo_core::{Database, OptimizerChoice};
+use bqo_core::{Engine, OptimizerChoice};
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
 
 fn bench_fig7(c: &mut Criterion) {
-    let db = Database::from_catalog(microbench::build_catalog(Scale(0.05), 5));
+    let engine = Engine::from_catalog(microbench::build_catalog(Scale(0.05), 5));
     let mut group = c.benchmark_group("fig7_overhead");
     group.sample_size(10);
     for keep in [1.0f64, 0.5, 0.1, 0.01] {
         let query = microbench::query_with_selectivity(keep);
-        let optimized = db
-            .optimize(&query, OptimizerChoice::BqoWithThreshold(0.0))
+        let prepared = engine
+            .prepare(&query, OptimizerChoice::BqoWithThreshold(0.0))
             .unwrap();
         group.bench_with_input(BenchmarkId::new("with_filter", keep), &keep, |b, _| {
             b.iter(|| {
                 black_box(
-                    db.execute_with(&optimized, ExecConfig::default())
+                    prepared
+                        .run_with(ExecConfig::default())
                         .unwrap()
                         .output_rows,
                 )
@@ -29,7 +30,8 @@ fn bench_fig7(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::new("without_filter", keep), &keep, |b, _| {
             b.iter(|| {
                 black_box(
-                    db.execute_with(&optimized, ExecConfig::without_bitvectors())
+                    prepared
+                        .run_with(ExecConfig::without_bitvectors())
                         .unwrap()
                         .output_rows,
                 )

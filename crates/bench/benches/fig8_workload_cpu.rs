@@ -2,14 +2,14 @@
 //! versus the bitvector-aware optimizer, per workload.
 
 use bqo_core::workloads::{job_like, tpcds_like, Scale};
-use bqo_core::{Database, OptimizerChoice};
+use bqo_core::{Engine, OptimizerChoice};
 use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 
-fn run_all(db: &Database, queries: &[bqo_core::QuerySpec], choice: OptimizerChoice) -> u64 {
+fn run_all(engine: &Engine, queries: &[bqo_core::QuerySpec], choice: OptimizerChoice) -> u64 {
     queries
         .iter()
-        .map(|q| db.run(q, choice).unwrap().1.output_rows)
+        .map(|q| engine.run(q, choice).unwrap().output_rows)
         .sum()
 }
 
@@ -22,12 +22,18 @@ fn bench_fig8(c: &mut Criterion) {
     let mut group = c.benchmark_group("fig8_workload_cpu");
     group.sample_size(10);
     for (name, workload) in &workloads {
-        let db = Database::from_catalog(workload.catalog.clone());
+        let engine = Engine::from_catalog(workload.catalog.clone());
         group.bench_function(format!("{name}/original"), |b| {
-            b.iter(|| black_box(run_all(&db, &workload.queries, OptimizerChoice::Baseline)))
+            b.iter(|| {
+                black_box(run_all(
+                    &engine,
+                    &workload.queries,
+                    OptimizerChoice::Baseline,
+                ))
+            })
         });
         group.bench_function(format!("{name}/bqo"), |b| {
-            b.iter(|| black_box(run_all(&db, &workload.queries, OptimizerChoice::Bqo)))
+            b.iter(|| black_box(run_all(&engine, &workload.queries, OptimizerChoice::Bqo)))
         });
     }
     group.finish();

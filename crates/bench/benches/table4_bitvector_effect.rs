@@ -3,40 +3,36 @@
 
 use bqo_core::exec::ExecConfig;
 use bqo_core::workloads::{tpcds_like, Scale};
-use bqo_core::{Database, OptimizerChoice};
+use bqo_core::{Engine, OptimizerChoice};
 use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 
 fn bench_table4(c: &mut Criterion) {
     let workload = tpcds_like::generate(Scale(0.05), 4, 1);
-    let db = Database::from_catalog(workload.catalog.clone());
-    let optimized: Vec<_> = workload
+    let engine = Engine::from_catalog(workload.catalog.clone());
+    let prepared: Vec<_> = workload
         .queries
         .iter()
-        .map(|q| db.optimize(q, OptimizerChoice::Baseline).unwrap())
+        .map(|q| engine.prepare(q, OptimizerChoice::Baseline).unwrap())
         .collect();
 
     let mut group = c.benchmark_group("table4_bitvector_effect");
     group.sample_size(10);
     group.bench_function("with_bitvectors", |b| {
         b.iter(|| {
-            let total: u64 = optimized
+            let total: u64 = prepared
                 .iter()
-                .map(|o| {
-                    db.execute_with(o, ExecConfig::default())
-                        .unwrap()
-                        .output_rows
-                })
+                .map(|p| p.run_with(ExecConfig::default()).unwrap().output_rows)
                 .sum();
             black_box(total)
         })
     });
     group.bench_function("without_bitvectors", |b| {
         b.iter(|| {
-            let total: u64 = optimized
+            let total: u64 = prepared
                 .iter()
-                .map(|o| {
-                    db.execute_with(o, ExecConfig::without_bitvectors())
+                .map(|p| {
+                    p.run_with(ExecConfig::without_bitvectors())
                         .unwrap()
                         .output_rows
                 })

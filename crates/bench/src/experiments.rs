@@ -1,7 +1,7 @@
 //! One driver function per table / figure of the paper's evaluation.
 
 use bqo_core::bitvector::FilterKind;
-use bqo_core::exec::{ExecConfig, Executor};
+use bqo_core::exec::ExecConfig;
 use bqo_core::experiment::{
     bitvector_effect, run_workload, BitvectorEffectReport, RunOptions, WorkloadReport,
 };
@@ -11,7 +11,7 @@ use bqo_core::workloads::{
     customer_like, job_like, microbench, snowflake, star, tpcds_like, Scale, Workload,
     WorkloadStats,
 };
-use bqo_core::{Database, OptimizerChoice};
+use bqo_core::{Engine, OptimizerChoice};
 
 /// Measurements for one plan of the Figure 2 motivating example.
 #[derive(Debug, Clone)]
@@ -34,10 +34,10 @@ pub struct Figure2Result {
 /// Runs the Figure 2 motivating example.
 pub fn run_figure2(scale: Scale) -> Figure2Result {
     let workload = job_like::figure2_workload(scale, 7);
-    let db = Database::from_catalog(workload.catalog.clone());
+    let engine = Engine::from_catalog(workload.catalog.clone());
     let query = &workload.queries[0];
     let graph = query
-        .to_join_graph(db.catalog())
+        .to_join_graph(engine.catalog())
         .expect("figure 2 query resolves");
     let model = CostModel::new(&graph);
 
@@ -67,8 +67,8 @@ pub fn run_figure2(scale: Scale) -> Figure2Result {
         } else {
             ExecConfig::without_bitvectors()
         };
-        let result = Executor::with_config(db.catalog(), config)
-            .execute(&graph, &plan)
+        let result = engine
+            .execute_plan_with(&graph, &plan, config)
             .expect("figure 2 plan executes");
         plans.push(Figure2Plan {
             label: label.to_string(),
@@ -183,12 +183,12 @@ pub struct Figure7Point {
 /// filter.
 pub fn run_figure7(scale: Scale, repetitions: usize) -> Vec<Figure7Point> {
     let catalog = microbench::build_catalog(scale, 5);
-    let db = Database::from_catalog(catalog);
+    let engine = Engine::from_catalog(catalog);
     let mut points = Vec::new();
     for &keep in &microbench::FIGURE7_SELECTIVITIES {
         let query = microbench::query_with_selectivity(keep);
-        let optimized = db
-            .optimize(&query, OptimizerChoice::BqoWithThreshold(0.0))
+        let prepared = engine
+            .prepare(&query, OptimizerChoice::BqoWithThreshold(0.0))
             .expect("micro query optimizes");
         let mut best_with = f64::INFINITY;
         let mut best_without = f64::INFINITY;
@@ -196,11 +196,11 @@ pub fn run_figure7(scale: Scale, repetitions: usize) -> Vec<Figure7Point> {
         let mut work_without = 0;
         let mut eliminated = 0.0;
         for _ in 0..repetitions.max(1) {
-            let with = db
-                .execute_with(&optimized, ExecConfig::default())
+            let with = prepared
+                .run_with(ExecConfig::default())
                 .expect("micro query executes");
-            let without = db
-                .execute_with(&optimized, ExecConfig::without_bitvectors())
+            let without = prepared
+                .run_with(ExecConfig::without_bitvectors())
                 .expect("micro query executes");
             if with.metrics.elapsed_secs() < best_with {
                 best_with = with.metrics.elapsed_secs();
@@ -253,17 +253,17 @@ pub struct ThresholdAblationRow {
 /// Sweeps the cost-based filter threshold λ on the TPC-DS-like workload.
 pub fn run_ablation_threshold(scale: Scale, queries: usize) -> Vec<ThresholdAblationRow> {
     let workload = tpcds_like::generate(scale, queries, 1);
-    let db = Database::from_catalog(workload.catalog.clone());
+    let engine = Engine::from_catalog(workload.catalog.clone());
     let mut rows = Vec::new();
     for &threshold in &[0.0, 0.05, 0.1, 0.2, 0.5, 0.9] {
         let mut total_work = 0u64;
         let mut total_secs = 0.0;
         let mut filters = 0usize;
         for query in &workload.queries {
-            let optimized = db
-                .optimize(query, OptimizerChoice::BqoWithThreshold(threshold))
+            let prepared = engine
+                .prepare(query, OptimizerChoice::BqoWithThreshold(threshold))
                 .expect("query optimizes");
-            let result = db.execute(&optimized).expect("query executes");
+            let result = prepared.run().expect("query executes");
             total_work += result.metrics.logical_work();
             total_secs += result.metrics.elapsed_secs();
             filters += result.metrics.filters_created;
@@ -292,7 +292,7 @@ pub struct FilterKindAblationRow {
 /// analysis versus practical filters).
 pub fn run_ablation_filter_kind(scale: Scale, queries: usize) -> Vec<FilterKindAblationRow> {
     let workload = tpcds_like::generate(scale, queries, 1);
-    let db = Database::from_catalog(workload.catalog.clone());
+    let engine = Engine::from_catalog(workload.catalog.clone());
     let kinds = [
         ("exact".to_string(), FilterKind::Exact),
         (
@@ -316,17 +316,19 @@ pub fn run_ablation_filter_kind(scale: Scale, queries: usize) -> Vec<FilterKindA
     for (label, kind) in kinds {
         let config = ExecConfig {
             filter_kind: kind,
-            enable_bitvectors: true,
+            ..ExecConfig::default()
         };
         let mut total_work = 0u64;
         let mut total_secs = 0.0;
         let mut exact_passed = 0u64;
         let mut this_passed = 0u64;
         for query in &workload.queries {
-            let optimized = db.optimize(query, OptimizerChoice::Bqo).expect("optimizes");
-            let result = db.execute_with(&optimized, config).expect("executes");
-            let exact = db
-                .execute_with(&optimized, ExecConfig::exact_filters())
+            let prepared = engine
+                .prepare(query, OptimizerChoice::Bqo)
+                .expect("optimizes");
+            let result = prepared.run_with(config).expect("executes");
+            let exact = prepared
+                .run_with(ExecConfig::exact_filters())
                 .expect("executes");
             total_work += result.metrics.logical_work();
             total_secs += result.metrics.elapsed_secs();

@@ -16,11 +16,11 @@ use bqo_core::workloads::Scale;
 /// integration tests all need: re-exported here so downstream targets can
 /// depend on `bqo-bench` alone.
 pub mod prelude {
-    pub use bqo_core::exec::{ExecConfig, Executor};
+    pub use bqo_core::exec::ExecConfig;
     pub use bqo_core::optimizer::exhaustive_best_right_deep;
     pub use bqo_core::plan::{push_down_bitvectors, CostModel, PhysicalPlan, RightDeepTree};
     pub use bqo_core::workloads::{job_like, Scale};
-    pub use bqo_core::{Database, OptimizerChoice};
+    pub use bqo_core::{BqoError, Engine, OptimizerChoice, PreparedQuery};
 }
 
 /// Default scale factor for benchmark workloads. Override with the

@@ -1,21 +1,37 @@
 //! Plain-text rendering of the experiment results, mirroring how the paper
 //! presents them.
+//!
+//! Every section has a `render_*` function returning the text (used by the
+//! `reproduce` binary both for stdout and for the EXPERIMENTS.md record) and
+//! a `print_*` convenience wrapper.
 
 use crate::experiments::{
     Figure2Result, Figure7Point, FilterKindAblationRow, Table2Row, ThresholdAblationRow,
 };
 use bqo_core::experiment::{BitvectorEffectReport, WorkloadReport};
 use bqo_core::workloads::WorkloadStats;
+use std::fmt::Write;
 
 /// Renders the Figure 2 motivating example.
 pub fn print_figure2(result: &Figure2Result) {
-    println!("Figure 2 — motivating example (movie_keyword ⋈ title ⋈ keyword)");
-    println!(
+    print!("{}", render_figure2(result));
+}
+
+/// Render variant of [`print_figure2`], returning the section text.
+pub fn render_figure2(result: &Figure2Result) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "Figure 2 — motivating example (movie_keyword ⋈ title ⋈ keyword)"
+    );
+    let _ = writeln!(
+        out,
         "{:<42} {:<34} {:>14} {:>14} {:>10}",
         "plan", "join order", "estimated Cout", "executed work", "wall ms"
     );
     for p in &result.plans {
-        println!(
+        let _ = writeln!(
+            out,
             "{:<42} {:<34} {:>14.0} {:>14} {:>10.2}",
             p.label,
             p.order,
@@ -34,24 +50,38 @@ pub fn print_figure2(result: &Figure2Result) {
             .iter()
             .find(|p| p.label.contains("bitvector-aware")),
     ) {
-        println!(
+        let _ = writeln!(
+        out,
+
             "-> post-processed conventional plan costs {:.1}x the bitvector-aware plan in logical work, {:.1}x in wall time (paper: ~3x)",
             post.executed_work as f64 / aware.executed_work.max(1) as f64,
             post.elapsed_secs / aware.elapsed_secs.max(1e-12)
         );
     }
-    println!();
+    let _ = writeln!(out);
+    out
 }
 
 /// Renders the Table 2 plan-space summary.
 pub fn print_table2(rows: &[Table2Row]) {
-    println!("Table 2 — plan space complexity (right-deep trees without cross products)");
-    println!(
+    print!("{}", render_table2(rows));
+}
+
+/// Render variant of [`print_table2`], returning the section text.
+pub fn render_table2(rows: &[Table2Row]) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "Table 2 — plan space complexity (right-deep trees without cross products)"
+    );
+    let _ = writeln!(
+        out,
         "{:<24} {:>10} {:>16} {:>12} {:>22}",
         "query shape", "relations", "plans in space", "candidates", "optimum in candidates"
     );
     for row in rows {
-        println!(
+        let _ = writeln!(
+            out,
             "{:<24} {:>10} {:>16} {:>12} {:>22}",
             row.shape,
             row.relations,
@@ -64,18 +94,27 @@ pub fn print_table2(rows: &[Table2Row]) {
             }
         );
     }
-    println!();
+    let _ = writeln!(out);
+    out
 }
 
 /// Renders the Table 3 workload statistics.
 pub fn print_table3(stats: &[WorkloadStats]) {
-    println!("Table 3 — workload statistics (synthetic stand-ins)");
-    println!(
+    print!("{}", render_table3(stats));
+}
+
+/// Render variant of [`print_table3`], returning the section text.
+pub fn render_table3(stats: &[WorkloadStats]) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "Table 3 — workload statistics (synthetic stand-ins)");
+    let _ = writeln!(
+        out,
         "{:<12} {:>8} {:>9} {:>12} {:>11} {:>12}",
         "workload", "tables", "queries", "joins avg", "joins max", "DB size MB"
     );
     for s in stats {
-        println!(
+        let _ = writeln!(
+            out,
             "{:<12} {:>8} {:>9} {:>12.1} {:>11} {:>12.1}",
             s.name,
             s.tables,
@@ -85,25 +124,37 @@ pub fn print_table3(stats: &[WorkloadStats]) {
             s.db_bytes as f64 / (1024.0 * 1024.0)
         );
     }
-    println!();
+    let _ = writeln!(out);
+    out
 }
 
 /// Renders the Figure 7 overhead profile.
 pub fn print_figure7(points: &[Figure7Point]) {
-    println!("Figure 7 — bitvector filter overhead vs selectivity (normalized CPU)");
+    print!("{}", render_figure7(points));
+}
+
+/// Render variant of [`print_figure7`], returning the section text.
+pub fn render_figure7(points: &[Figure7Point]) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "Figure 7 — bitvector filter overhead vs selectivity (normalized CPU)"
+    );
     let baseline = points
         .iter()
         .map(|p| p.secs_without_filter)
         .fold(0.0f64, f64::max)
         .max(1e-12);
-    println!(
+    let _ = writeln!(
+        out,
         "{:>12} {:>12} {:>18} {:>18} {:>12}",
         "keep frac", "eliminated", "CPU w/ filter", "CPU w/o filter", "winner"
     );
     for p in points {
         let with = p.secs_with_filter / baseline;
         let without = p.secs_without_filter / baseline;
-        println!(
+        let _ = writeln!(
+            out,
             "{:>12.3} {:>12.3} {:>18.3} {:>18.3} {:>12}",
             p.keep_fraction,
             p.eliminated_fraction,
@@ -116,13 +167,24 @@ pub fn print_figure7(points: &[Figure7Point]) {
             }
         );
     }
-    println!();
+    let _ = writeln!(out);
+    out
 }
 
 /// Renders the Figure 8 per-selectivity-group CPU comparison.
 pub fn print_figure8(reports: &[WorkloadReport]) {
-    println!("Figure 8 — total execution cost, Original vs BQO, by selectivity group");
-    println!(
+    print!("{}", render_figure8(reports));
+}
+
+/// Render variant of [`print_figure8`], returning the section text.
+pub fn render_figure8(reports: &[WorkloadReport]) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "Figure 8 — total execution cost, Original vs BQO, by selectivity group"
+    );
+    let _ = writeln!(
+        out,
         "{:<12} {:>14} {:>14} {:>10} {:>10} {:>10} {:>10}",
         "workload", "work ratio", "time ratio", "S ratio", "M ratio", "L ratio", "queries"
     );
@@ -135,7 +197,8 @@ pub fn print_figure8(reports: &[WorkloadReport]) {
                 .map(|g| g.work_ratio())
                 .unwrap_or(1.0)
         };
-        println!(
+        let _ = writeln!(
+            out,
             "{:<12} {:>14.2} {:>14.2} {:>10.2} {:>10.2} {:>10.2} {:>10}",
             report.workload,
             report.total_work_ratio(),
@@ -146,20 +209,35 @@ pub fn print_figure8(reports: &[WorkloadReport]) {
             report.queries.len()
         );
     }
-    println!("(ratios are BQO / Original; < 1.0 means the bitvector-aware optimizer wins)\n");
+    let _ = writeln!(
+        out,
+        "(ratios are BQO / Original; < 1.0 means the bitvector-aware optimizer wins)\n"
+    );
+    out
 }
 
 /// Renders the Figure 9 tuple breakdown.
 pub fn print_figure9(reports: &[WorkloadReport]) {
-    println!("Figure 9 — tuples output by operators, normalized by the Original total");
-    println!(
+    print!("{}", render_figure9(reports));
+}
+
+/// Render variant of [`print_figure9`], returning the section text.
+pub fn render_figure9(reports: &[WorkloadReport]) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "Figure 9 — tuples output by operators, normalized by the Original total"
+    );
+    let _ = writeln!(
+        out,
         "{:<12} {:>14} {:>14} {:>14} {:>14} {:>14} {:>14}",
         "workload", "orig join", "orig leaf", "orig other", "bqo join", "bqo leaf", "bqo other"
     );
     for report in reports {
         let b = report.tuple_breakdown();
         let total = b.baseline_total().max(1) as f64;
-        println!(
+        let _ = writeln!(
+            out,
             "{:<12} {:>14.3} {:>14.3} {:>14.3} {:>14.3} {:>14.3} {:>14.3}",
             report.workload,
             b.baseline_join as f64 / total,
@@ -170,25 +248,37 @@ pub fn print_figure9(reports: &[WorkloadReport]) {
             b.bqo_other as f64 / total
         );
     }
-    println!();
+    let _ = writeln!(out);
+    out
 }
 
 /// Renders the Figure 10 per-query comparison (top queries by baseline cost).
 pub fn print_figure10(reports: &[WorkloadReport], top: usize) {
-    println!("Figure 10 — per-query cost (top {top} most expensive queries, normalized)");
+    print!("{}", render_figure10(reports, top));
+}
+
+/// Render variant of [`print_figure10`], returning the section text.
+pub fn render_figure10(reports: &[WorkloadReport], top: usize) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "Figure 10 — per-query cost (top {top} most expensive queries, normalized)"
+    );
     for report in reports {
-        println!("--- {} ---", report.workload);
+        let _ = writeln!(out, "--- {} ---", report.workload);
         let sorted = report.sorted_by_baseline_cost();
         let max = sorted
             .first()
             .map(|q| q.baseline.logical_work.max(1))
             .unwrap_or(1) as f64;
-        println!(
+        let _ = writeln!(
+            out,
             "{:<18} {:>12} {:>12} {:>8}",
             "query", "Original", "BQO", "ratio"
         );
         for q in sorted.into_iter().take(top) {
-            println!(
+            let _ = writeln!(
+                out,
                 "{:<18} {:>12.4} {:>12.4} {:>8.2}",
                 q.name,
                 q.baseline.logical_work as f64 / max,
@@ -197,18 +287,30 @@ pub fn print_figure10(reports: &[WorkloadReport], top: usize) {
             );
         }
     }
-    println!();
+    let _ = writeln!(out);
+    out
 }
 
 /// Renders the Table 4 with/without-bitvector comparison.
 pub fn print_table4(reports: &[BitvectorEffectReport]) {
-    println!("Table 4 — query plans executed with vs without bitvector filters");
-    println!(
+    print!("{}", render_table4(reports));
+}
+
+/// Render variant of [`print_table4`], returning the section text.
+pub fn render_table4(reports: &[BitvectorEffectReport]) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "Table 4 — query plans executed with vs without bitvector filters"
+    );
+    let _ = writeln!(
+        out,
         "{:<12} {:>11} {:>11} {:>18} {:>12} {:>12}",
         "workload", "work ratio", "time ratio", "queries w/ filters", "improved", "regressed"
     );
     for r in reports {
-        println!(
+        let _ = writeln!(
+            out,
             "{:<12} {:>11.2} {:>11.2} {:>18.2} {:>12.2} {:>12.2}",
             r.workload,
             r.work_ratio,
@@ -218,18 +320,33 @@ pub fn print_table4(reports: &[BitvectorEffectReport]) {
             r.regressed
         );
     }
-    println!("(ratios are with-filters / without-filters; < 1.0 means filters help)\n");
+    let _ = writeln!(
+        out,
+        "(ratios are with-filters / without-filters; < 1.0 means filters help)\n"
+    );
+    out
 }
 
 /// Renders the λ-threshold ablation.
 pub fn print_ablation_threshold(rows: &[ThresholdAblationRow]) {
-    println!("Ablation — cost-based bitvector filter threshold λ (Section 6.3)");
-    println!(
+    print!("{}", render_ablation_threshold(rows));
+}
+
+/// Render variant of [`print_ablation_threshold`], returning the section text.
+pub fn render_ablation_threshold(rows: &[ThresholdAblationRow]) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "Ablation — cost-based bitvector filter threshold λ (Section 6.3)"
+    );
+    let _ = writeln!(
+        out,
         "{:>12} {:>16} {:>14} {:>16}",
         "λ threshold", "filters created", "total work", "total wall ms"
     );
     for r in rows {
-        println!(
+        let _ = writeln!(
+            out,
             "{:>12.2} {:>16} {:>14} {:>16.1}",
             r.lambda_threshold,
             r.filters_created,
@@ -237,18 +354,30 @@ pub fn print_ablation_threshold(rows: &[ThresholdAblationRow]) {
             r.total_secs * 1e3
         );
     }
-    println!();
+    let _ = writeln!(out);
+    out
 }
 
 /// Renders the filter implementation ablation.
 pub fn print_ablation_filter_kind(rows: &[FilterKindAblationRow]) {
-    println!("Ablation — bitvector filter implementation (false positives vs the exact filter)");
-    println!(
+    print!("{}", render_ablation_filter_kind(rows));
+}
+
+/// Render variant of [`print_ablation_filter_kind`], returning the section text.
+pub fn render_ablation_filter_kind(rows: &[FilterKindAblationRow]) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "Ablation — bitvector filter implementation (false positives vs the exact filter)"
+    );
+    let _ = writeln!(
+        out,
         "{:<28} {:>14} {:>16} {:>22}",
         "filter", "total work", "total wall ms", "extra tuples passed"
     );
     for r in rows {
-        println!(
+        let _ = writeln!(
+            out,
             "{:<28} {:>14} {:>16.1} {:>22}",
             r.label,
             r.total_work,
@@ -256,7 +385,8 @@ pub fn print_ablation_filter_kind(rows: &[FilterKindAblationRow]) {
             r.filter_false_pass
         );
     }
-    println!();
+    let _ = writeln!(out);
+    out
 }
 
 #[cfg(test)]

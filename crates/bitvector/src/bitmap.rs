@@ -1,7 +1,7 @@
 //! Range bitmap filter.
 //!
 //! Decision-support schemas join on dense surrogate keys, and the classic
-//! "bitvector filter" of the paper's title (bitmap / hash filter, [18]) is in
+//! "bitvector filter" of the paper's title (bitmap / hash filter, \[18\]) is in
 //! that case literally a bitmap indexed by key value: one shift and one AND
 //! per probe, no hashing, no false positives. This is the cheapest possible
 //! filter probe and the implementation the executor uses by default; the

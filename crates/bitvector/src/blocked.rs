@@ -9,7 +9,7 @@ const BLOCK_WORDS: usize = (BLOCK_BITS / 64) as usize;
 
 /// A blocked Bloom filter: every key touches a single 64-byte block, so a
 /// probe costs at most one cache miss. This mirrors the
-/// "performance-optimal" filters cited by the paper ([24] Lang et al.) and is
+/// "performance-optimal" filters cited by the paper (\[24\] Lang et al.) and is
 /// used as an ablation against the classic [`crate::BloomFilter`].
 #[derive(Debug, Clone)]
 pub struct BlockedBloomFilter {

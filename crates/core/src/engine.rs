@@ -1,0 +1,237 @@
+//! The `Engine` facade: one entry point for catalog setup, optimization and
+//! pipelined execution.
+
+use crate::{BqoError, OptimizerChoice};
+use bqo_exec::{ExecConfig, QueryResult};
+use bqo_optimizer::{BaselineOptimizer, BqoOptimizer, Optimizer};
+use bqo_plan::{CostModel, CoutBreakdown, JoinGraph, PhysicalPlan, QuerySpec};
+use bqo_storage::{Catalog, ForeignKey, Table};
+
+/// The unified query engine: a catalog plus an execution configuration.
+///
+/// Construct one with [`Engine::builder`] (or [`Engine::from_catalog`] when a
+/// workload generator already produced the catalog), then [`Engine::prepare`]
+/// a [`QuerySpec`] into a [`PreparedQuery`] and [`PreparedQuery::run`] it:
+///
+/// ```
+/// use bqo_core::{Engine, OptimizerChoice};
+/// use bqo_core::workloads::{star, Scale};
+///
+/// let workload = star::generate(Scale(0.02), 3, 1, 42);
+/// let engine = Engine::builder().catalog(workload.catalog).build().unwrap();
+/// let prepared = engine
+///     .prepare(&workload.queries[0], OptimizerChoice::Bqo)
+///     .unwrap();
+/// let result = prepared.run().unwrap();
+/// assert!(result.output_rows > 0);
+/// ```
+#[derive(Debug, Default)]
+pub struct Engine {
+    catalog: Catalog,
+    exec_config: ExecConfig,
+}
+
+impl Engine {
+    /// Starts building an engine.
+    pub fn builder() -> EngineBuilder {
+        EngineBuilder::default()
+    }
+
+    /// Wraps an existing catalog (e.g. one produced by the workload
+    /// generators) with the default execution configuration.
+    pub fn from_catalog(catalog: Catalog) -> Self {
+        Engine {
+            catalog,
+            exec_config: ExecConfig::default(),
+        }
+    }
+
+    /// The underlying catalog.
+    pub fn catalog(&self) -> &Catalog {
+        &self.catalog
+    }
+
+    /// The engine's default execution configuration.
+    pub fn exec_config(&self) -> ExecConfig {
+        self.exec_config
+    }
+
+    /// Resolves and optimizes a query with the chosen optimizer, returning a
+    /// plan ready to [`PreparedQuery::run`].
+    pub fn prepare(
+        &self,
+        query: &QuerySpec,
+        choice: OptimizerChoice,
+    ) -> Result<PreparedQuery<'_>, BqoError> {
+        let graph = query
+            .to_join_graph(&self.catalog)
+            .map_err(|e| BqoError::planning(&query.name, e))?;
+        let plan = match choice {
+            OptimizerChoice::Baseline => BaselineOptimizer::new().optimize(&graph),
+            OptimizerChoice::BaselineNoBitvectors => {
+                BaselineOptimizer::without_bitvectors().optimize(&graph)
+            }
+            OptimizerChoice::Bqo => BqoOptimizer::new().optimize(&graph),
+            OptimizerChoice::BqoWithThreshold(t) => {
+                BqoOptimizer::with_threshold(t).optimize(&graph)
+            }
+        };
+        let estimated_cost = CostModel::new(&graph).cout_physical(&plan);
+        Ok(PreparedQuery {
+            engine: self,
+            name: query.name.clone(),
+            choice,
+            graph,
+            plan,
+            estimated_cost,
+        })
+    }
+
+    /// Convenience: prepare and run in one call with the engine's execution
+    /// configuration.
+    pub fn run(&self, query: &QuerySpec, choice: OptimizerChoice) -> Result<QueryResult, BqoError> {
+        self.prepare(query, choice)?.run()
+    }
+
+    /// Executes a hand-built physical plan (e.g. a specific join order under
+    /// study, as in the Figure 2 experiment) with the engine's execution
+    /// configuration.
+    pub fn execute_plan(
+        &self,
+        graph: &JoinGraph,
+        plan: &PhysicalPlan,
+    ) -> Result<QueryResult, BqoError> {
+        self.execute_plan_with(graph, plan, self.exec_config)
+    }
+
+    /// Executes a hand-built physical plan with an explicit configuration.
+    pub fn execute_plan_with(
+        &self,
+        graph: &JoinGraph,
+        plan: &PhysicalPlan,
+        config: ExecConfig,
+    ) -> Result<QueryResult, BqoError> {
+        bqo_exec::execute_plan(&self.catalog, graph, plan, config)
+            .map_err(|e| BqoError::execution("<ad-hoc plan>", e))
+    }
+}
+
+/// Builder for [`Engine`]: registers tables and constraints, sets the
+/// execution configuration, and validates everything at [`EngineBuilder::build`].
+#[derive(Debug, Default)]
+pub struct EngineBuilder {
+    catalog: Catalog,
+    exec_config: ExecConfig,
+    primary_keys: Vec<(String, String)>,
+    foreign_keys: Vec<ForeignKey>,
+}
+
+impl EngineBuilder {
+    /// Uses an existing catalog as the starting point.
+    pub fn catalog(mut self, catalog: Catalog) -> Self {
+        self.catalog = catalog;
+        self
+    }
+
+    /// Registers a table.
+    pub fn table(mut self, table: Table) -> Self {
+        self.catalog.register_table(table);
+        self
+    }
+
+    /// Declares a primary key (drives PKFK join detection). Validated at
+    /// [`EngineBuilder::build`].
+    pub fn primary_key(mut self, table: impl Into<String>, column: impl Into<String>) -> Self {
+        self.primary_keys.push((table.into(), column.into()));
+        self
+    }
+
+    /// Declares a foreign key. Validated at [`EngineBuilder::build`].
+    pub fn foreign_key(mut self, fk: ForeignKey) -> Self {
+        self.foreign_keys.push(fk);
+        self
+    }
+
+    /// Sets the execution configuration (filter kind, bitvectors on/off,
+    /// batch size).
+    pub fn exec_config(mut self, config: ExecConfig) -> Self {
+        self.exec_config = config;
+        self
+    }
+
+    /// Validates the declared constraints and builds the engine.
+    pub fn build(mut self) -> Result<Engine, BqoError> {
+        for (table, column) in &self.primary_keys {
+            self.catalog
+                .declare_primary_key(table, column)
+                .map_err(BqoError::setup)?;
+        }
+        for fk in self.foreign_keys.drain(..) {
+            self.catalog
+                .declare_foreign_key(fk)
+                .map_err(BqoError::setup)?;
+        }
+        Ok(Engine {
+            catalog: self.catalog,
+            exec_config: self.exec_config,
+        })
+    }
+}
+
+/// A query after optimization, bound to its engine: the resolved join graph,
+/// the chosen physical plan (with bitvector placements) and its estimated
+/// cost.
+#[derive(Debug)]
+pub struct PreparedQuery<'e> {
+    engine: &'e Engine,
+    name: String,
+    choice: OptimizerChoice,
+    graph: JoinGraph,
+    plan: PhysicalPlan,
+    estimated_cost: CoutBreakdown,
+}
+
+impl PreparedQuery<'_> {
+    /// The query's name (copied from the [`QuerySpec`]).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Which optimizer produced the plan.
+    pub fn choice(&self) -> OptimizerChoice {
+        self.choice
+    }
+
+    /// The statistics-annotated join graph the optimizer worked on.
+    pub fn graph(&self) -> &JoinGraph {
+        &self.graph
+    }
+
+    /// The physical plan, including bitvector filter placements.
+    pub fn plan(&self) -> &PhysicalPlan {
+        &self.plan
+    }
+
+    /// Estimated bitvector-aware `Cout` of the plan.
+    pub fn estimated_cost(&self) -> &CoutBreakdown {
+        &self.estimated_cost
+    }
+
+    /// EXPLAIN-style rendering of the plan.
+    pub fn explain(&self) -> String {
+        self.plan.explain(&self.graph)
+    }
+
+    /// Runs the plan through the pull-based operator pipeline with the
+    /// engine's execution configuration.
+    pub fn run(&self) -> Result<QueryResult, BqoError> {
+        self.run_with(self.engine.exec_config)
+    }
+
+    /// Runs the plan with an explicit execution configuration (e.g.
+    /// bitvectors disabled, exact filters, a different batch size).
+    pub fn run_with(&self, config: ExecConfig) -> Result<QueryResult, BqoError> {
+        bqo_exec::execute_plan(&self.engine.catalog, &self.graph, &self.plan, config)
+            .map_err(|e| BqoError::execution(&self.name, e))
+    }
+}

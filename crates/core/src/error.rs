@@ -1,0 +1,145 @@
+//! The unified error type of the `Engine` facade.
+
+use bqo_storage::StorageError;
+use std::fmt;
+
+/// The phase of query processing an error originated in.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum QueryPhase {
+    /// Catalog construction (registering tables, declaring keys).
+    Setup,
+    /// Resolving a `QuerySpec` against the catalog and optimizing it.
+    Planning,
+    /// Running the physical plan.
+    Execution,
+}
+
+impl QueryPhase {
+    fn describe(self) -> &'static str {
+        match self {
+            QueryPhase::Setup => "while building the catalog",
+            QueryPhase::Planning => "while planning",
+            QueryPhase::Execution => "while executing",
+        }
+    }
+}
+
+/// Error raised by the `Engine` facade: the underlying storage / planning /
+/// execution failure plus the query it happened in, so callers (and error
+/// messages) don't lose context as errors cross crate layers.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BqoError {
+    phase: QueryPhase,
+    query: Option<String>,
+    source: StorageError,
+}
+
+impl BqoError {
+    /// A catalog-setup error (no query involved).
+    pub fn setup(source: StorageError) -> Self {
+        BqoError {
+            phase: QueryPhase::Setup,
+            query: None,
+            source,
+        }
+    }
+
+    /// A planning error for the named query.
+    pub fn planning(query: impl Into<String>, source: StorageError) -> Self {
+        BqoError {
+            phase: QueryPhase::Planning,
+            query: Some(query.into()),
+            source,
+        }
+    }
+
+    /// An execution error for the named query.
+    pub fn execution(query: impl Into<String>, source: StorageError) -> Self {
+        BqoError {
+            phase: QueryPhase::Execution,
+            query: Some(query.into()),
+            source,
+        }
+    }
+
+    /// The phase the error originated in.
+    pub fn phase(&self) -> QueryPhase {
+        self.phase
+    }
+
+    /// The query the error belongs to, if any.
+    pub fn query(&self) -> Option<&str> {
+        self.query.as_deref()
+    }
+
+    /// The underlying storage-layer error.
+    pub fn storage_error(&self) -> &StorageError {
+        &self.source
+    }
+}
+
+impl fmt::Display for BqoError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.query {
+            Some(query) => write!(
+                f,
+                "{} query `{query}`: {}",
+                self.phase.describe(),
+                self.source
+            ),
+            None => write!(f, "{}: {}", self.phase.describe(), self.source),
+        }
+    }
+}
+
+impl std::error::Error for BqoError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        Some(&self.source)
+    }
+}
+
+impl From<StorageError> for BqoError {
+    fn from(source: StorageError) -> Self {
+        BqoError::setup(source)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_includes_phase_query_and_cause() {
+        let e = BqoError::planning(
+            "q7",
+            StorageError::TableNotFound {
+                table: "ghost".into(),
+            },
+        );
+        let msg = e.to_string();
+        assert!(msg.contains("while planning"), "{msg}");
+        assert!(msg.contains("`q7`"), "{msg}");
+        assert!(msg.contains("`ghost`"), "{msg}");
+        assert_eq!(e.phase(), QueryPhase::Planning);
+        assert_eq!(e.query(), Some("q7"));
+    }
+
+    #[test]
+    fn setup_errors_have_no_query() {
+        let e = BqoError::from(StorageError::InvalidArgument("bad".into()));
+        assert_eq!(e.phase(), QueryPhase::Setup);
+        assert_eq!(e.query(), None);
+        assert!(e.to_string().contains("catalog"));
+    }
+
+    #[test]
+    fn error_chain_exposes_the_storage_cause() {
+        use std::error::Error;
+        let e = BqoError::execution("q", StorageError::InvalidArgument("x".into()));
+        assert!(e.source().is_some());
+        assert!(matches!(
+            e.storage_error(),
+            StorageError::InvalidArgument(_)
+        ));
+    }
+}

@@ -15,9 +15,8 @@
 //! probed and produced) is reported next to it as a noise-free proxy, and the
 //! tests assert on the latter.
 
-use crate::{Database, OptimizerChoice};
+use crate::{BqoError, Engine, OptimizerChoice};
 use bqo_exec::{ExecConfig, OperatorKind};
-use bqo_storage::StorageError;
 use bqo_workloads::Workload;
 
 /// Measurements of one query under one optimizer.
@@ -299,17 +298,17 @@ impl Default for RunOptions {
 }
 
 fn record_for(
-    db: &Database,
+    engine: &Engine,
     query: &bqo_plan::QuerySpec,
     choice: OptimizerChoice,
     options: &RunOptions,
-) -> Result<RunRecord, StorageError> {
-    let optimized = db.optimize(query, choice)?;
+) -> Result<RunRecord, BqoError> {
+    let prepared = engine.prepare(query, choice)?;
     let mut best: Option<RunRecord> = None;
     for _ in 0..options.repetitions.max(1) {
-        let result = db.execute_with(&optimized, options.exec)?;
+        let result = prepared.run_with(options.exec)?;
         let record = RunRecord {
-            estimated_cost: optimized.estimated_cost.total,
+            estimated_cost: prepared.estimated_cost().total,
             elapsed_secs: result.metrics.elapsed_secs(),
             logical_work: result.metrics.logical_work(),
             leaf_tuples: result.metrics.tuples_by_kind(OperatorKind::Leaf),
@@ -330,15 +329,12 @@ fn record_for(
 
 /// Runs every query of the workload under the baseline and the BQO optimizer
 /// and returns the comparison report (Figures 8–10).
-pub fn run_workload(
-    workload: &Workload,
-    options: RunOptions,
-) -> Result<WorkloadReport, StorageError> {
-    let db = Database::from_catalog(workload.catalog.clone());
+pub fn run_workload(workload: &Workload, options: RunOptions) -> Result<WorkloadReport, BqoError> {
+    let engine = Engine::from_catalog(workload.catalog.clone());
     let mut queries = Vec::with_capacity(workload.queries.len());
     for query in &workload.queries {
-        let baseline = record_for(&db, query, OptimizerChoice::Baseline, &options)?;
-        let bqo = record_for(&db, query, OptimizerChoice::Bqo, &options)?;
+        let baseline = record_for(&engine, query, OptimizerChoice::Baseline, &options)?;
+        let bqo = record_for(&engine, query, OptimizerChoice::Bqo, &options)?;
         // Sanity: both plans must compute the same answer.
         debug_assert_eq!(
             baseline.output_rows, bqo.output_rows,
@@ -363,8 +359,8 @@ pub fn run_workload(
 pub fn bitvector_effect(
     workload: &Workload,
     options: RunOptions,
-) -> Result<BitvectorEffectReport, StorageError> {
-    let db = Database::from_catalog(workload.catalog.clone());
+) -> Result<BitvectorEffectReport, BqoError> {
+    let engine = Engine::from_catalog(workload.catalog.clone());
     let mut with_work: u64 = 0;
     let mut without_work: u64 = 0;
     let mut with_secs = 0.0;
@@ -373,12 +369,12 @@ pub fn bitvector_effect(
     let mut improved = 0usize;
     let mut regressed = 0usize;
     for query in &workload.queries {
-        let optimized = db.optimize(query, OptimizerChoice::Baseline)?;
-        if !optimized.plan.placements.is_empty() {
+        let prepared = engine.prepare(query, OptimizerChoice::Baseline)?;
+        if !prepared.plan().placements.is_empty() {
             with_bv_queries += 1;
         }
-        let with = db.execute_with(&optimized, options.exec)?;
-        let without = db.execute_with(&optimized, ExecConfig::without_bitvectors())?;
+        let with = prepared.run_with(options.exec)?;
+        let without = prepared.run_with(ExecConfig::without_bitvectors())?;
         let w_work = with.metrics.logical_work();
         let wo_work = without.metrics.logical_work();
         with_work += w_work;

@@ -2,11 +2,16 @@
 //!
 //! Public facade of the reproduction of *"Bitvector-aware Query Optimization
 //! for Decision Support Queries"* (SIGMOD 2020). It ties together the
-//! storage, planning, optimization and execution crates behind two types:
+//! storage, planning, optimization and execution crates behind one entry
+//! point:
 //!
-//! * [`Database`] — register tables and constraints, describe a query as a
-//!   [`QuerySpec`], optimize it with either the conventional baseline or the
-//!   bitvector-aware optimizer, and execute the resulting plan.
+//! * [`Engine`] — built with [`Engine::builder`] (tables, constraints,
+//!   [`ExecConfig`]) or [`Engine::from_catalog`]; [`Engine::prepare`] resolves
+//!   and optimizes a [`QuerySpec`] into a [`PreparedQuery`], and
+//!   [`PreparedQuery::run`] executes it through the pull-based operator
+//!   pipeline of `bqo-exec`. Every fallible step returns the unified
+//!   [`BqoError`], which keeps the query name and processing phase attached
+//!   to the underlying cause.
 //! * [`experiment`] — the harness used by the examples and the benchmark
 //!   binary: run a whole workload under both optimizers and collect the
 //!   per-query and aggregate comparisons the paper reports (Figures 8–10,
@@ -15,23 +20,35 @@
 //! ## Quick example
 //!
 //! ```
-//! use bqo_core::{Database, OptimizerChoice};
+//! use bqo_core::{Engine, OptimizerChoice};
 //! use bqo_core::workloads::{star, Scale};
 //!
-//! // Generate a small star-schema workload and load it into a database.
+//! // Generate a small star-schema workload and build an engine around it.
 //! let workload = star::generate(Scale(0.02), 3, 1, 42);
-//! let db = Database::from_catalog(workload.catalog);
+//! let engine = Engine::builder().catalog(workload.catalog).build().unwrap();
 //!
-//! // Optimize the first query with the bitvector-aware optimizer and run it.
+//! // Prepare the first query with the bitvector-aware optimizer and run it.
 //! let query = &workload.queries[0];
-//! let optimized = db.optimize(query, OptimizerChoice::Bqo).unwrap();
-//! let result = db.execute(&optimized).unwrap();
+//! let prepared = engine.prepare(query, OptimizerChoice::Bqo).unwrap();
+//! println!("{}", prepared.explain());
+//! let result = prepared.run().unwrap();
 //!
-//! // The same query optimized by the baseline returns the same answer.
-//! let baseline = db.optimize(query, OptimizerChoice::Baseline).unwrap();
-//! assert_eq!(result.output_rows, db.execute(&baseline).unwrap().output_rows);
+//! // The same query prepared with the baseline returns the same answer.
+//! let baseline = engine.prepare(query, OptimizerChoice::Baseline).unwrap();
+//! assert_eq!(result.output_rows, baseline.run().unwrap().output_rows);
 //! ```
+//!
+//! ## Execution model
+//!
+//! Plans execute as a tree of pull-based operators exchanging batches of at
+//! most [`ExecConfig::batch_size`] rows: scans apply local predicates and
+//! pushed-down bitvector probes per batch, hash joins drain their build side
+//! at `open` (publishing their bitvector filter before the probe side starts)
+//! and stream the probe side. Results and all reported counters are identical
+//! for every batch size.
 
+pub mod engine;
+pub mod error;
 pub mod experiment;
 
 // Re-export the building blocks so downstream users (examples, benches) only
@@ -43,7 +60,10 @@ pub use bqo_plan as plan;
 pub use bqo_storage as storage;
 pub use bqo_workloads as workloads;
 
-pub use bqo_exec::{ExecConfig, ExecutionMetrics, Executor, OperatorKind, QueryResult};
+pub use engine::{Engine, EngineBuilder, PreparedQuery};
+pub use error::{BqoError, QueryPhase};
+
+pub use bqo_exec::{ExecConfig, ExecutionMetrics, OperatorKind, QueryResult};
 pub use bqo_optimizer::{BaselineOptimizer, BqoOptimizer, Optimizer};
 pub use bqo_plan::{
     ColumnPredicate, CompareOp, CostModel, CoutBreakdown, GraphShape, JoinGraph, PhysicalPlan,
@@ -68,7 +88,9 @@ pub enum OptimizerChoice {
 }
 
 impl OptimizerChoice {
-    /// Short label used in reports.
+    /// Short label used to group report rows: every BQO variant collapses to
+    /// `"BQO"`. Use [`OptimizerChoice::display_label`] when the λ threshold
+    /// must stay visible (e.g. Table-4-style λ sweeps).
     pub fn label(&self) -> &'static str {
         match self {
             OptimizerChoice::Baseline => "Original",
@@ -76,130 +98,18 @@ impl OptimizerChoice {
             OptimizerChoice::Bqo | OptimizerChoice::BqoWithThreshold(_) => "BQO",
         }
     }
-}
 
-/// A query after optimization: the resolved join graph, the chosen physical
-/// plan and its estimated cost.
-#[derive(Debug, Clone)]
-pub struct OptimizedQuery {
-    /// The query's name (copied from the [`QuerySpec`]).
-    pub name: String,
-    /// Which optimizer produced the plan.
-    pub choice: OptimizerChoice,
-    /// The statistics-annotated join graph the optimizer worked on.
-    pub graph: JoinGraph,
-    /// The physical plan, including bitvector filter placements.
-    pub plan: PhysicalPlan,
-    /// Estimated bitvector-aware `Cout` of the plan.
-    pub estimated_cost: CoutBreakdown,
-}
-
-impl OptimizedQuery {
-    /// EXPLAIN-style rendering of the plan.
-    pub fn explain(&self) -> String {
-        self.plan.explain(&self.graph)
-    }
-}
-
-/// A database: a catalog plus optimization and execution entry points.
-#[derive(Debug, Default)]
-pub struct Database {
-    catalog: Catalog,
-    exec_config: ExecConfig,
-}
-
-impl Database {
-    /// Creates an empty database.
-    pub fn new() -> Self {
-        Database::default()
-    }
-
-    /// Wraps an existing catalog (e.g. one produced by the workload
-    /// generators).
-    pub fn from_catalog(catalog: Catalog) -> Self {
-        Database {
-            catalog,
-            exec_config: ExecConfig::default(),
+    /// Full label including the λ threshold, so reports sweeping λ can tell
+    /// the configurations apart.
+    pub fn display_label(&self) -> String {
+        match self {
+            OptimizerChoice::Baseline => "Original".to_string(),
+            OptimizerChoice::BaselineNoBitvectors => "Original (no bitvectors)".to_string(),
+            OptimizerChoice::Bqo => {
+                format!("BQO (λ={})", bqo_optimizer::DEFAULT_LAMBDA_THRESHOLD)
+            }
+            OptimizerChoice::BqoWithThreshold(t) => format!("BQO (λ={t})"),
         }
-    }
-
-    /// Registers a table.
-    pub fn register_table(&mut self, table: Table) {
-        self.catalog.register_table(table);
-    }
-
-    /// Declares a primary key (drives PKFK join detection).
-    pub fn declare_primary_key(&mut self, table: &str, column: &str) -> Result<(), StorageError> {
-        self.catalog.declare_primary_key(table, column)
-    }
-
-    /// Declares a foreign key.
-    pub fn declare_foreign_key(&mut self, fk: ForeignKey) -> Result<(), StorageError> {
-        self.catalog.declare_foreign_key(fk)
-    }
-
-    /// Sets the execution configuration (filter kind, bitvectors on/off).
-    pub fn set_exec_config(&mut self, config: ExecConfig) {
-        self.exec_config = config;
-    }
-
-    /// The underlying catalog.
-    pub fn catalog(&self) -> &Catalog {
-        &self.catalog
-    }
-
-    /// Optimizes a query with the chosen optimizer.
-    pub fn optimize(
-        &self,
-        query: &QuerySpec,
-        choice: OptimizerChoice,
-    ) -> Result<OptimizedQuery, StorageError> {
-        let graph = query.to_join_graph(&self.catalog)?;
-        let plan = match choice {
-            OptimizerChoice::Baseline => BaselineOptimizer::new().optimize(&graph),
-            OptimizerChoice::BaselineNoBitvectors => {
-                BaselineOptimizer::without_bitvectors().optimize(&graph)
-            }
-            OptimizerChoice::Bqo => BqoOptimizer::new().optimize(&graph),
-            OptimizerChoice::BqoWithThreshold(t) => {
-                BqoOptimizer::with_threshold(t).optimize(&graph)
-            }
-        };
-        let estimated_cost = CostModel::new(&graph).cout_physical(&plan);
-        Ok(OptimizedQuery {
-            name: query.name.clone(),
-            choice,
-            graph,
-            plan,
-            estimated_cost,
-        })
-    }
-
-    /// Executes an optimized query with the database's execution
-    /// configuration.
-    pub fn execute(&self, query: &OptimizedQuery) -> Result<QueryResult, StorageError> {
-        Executor::with_config(&self.catalog, self.exec_config).execute(&query.graph, &query.plan)
-    }
-
-    /// Executes an optimized query with an explicit execution configuration
-    /// (e.g. bitvectors disabled, exact filters).
-    pub fn execute_with(
-        &self,
-        query: &OptimizedQuery,
-        config: ExecConfig,
-    ) -> Result<QueryResult, StorageError> {
-        Executor::with_config(&self.catalog, config).execute(&query.graph, &query.plan)
-    }
-
-    /// Convenience: optimize and execute in one call.
-    pub fn run(
-        &self,
-        query: &QuerySpec,
-        choice: OptimizerChoice,
-    ) -> Result<(OptimizedQuery, QueryResult), StorageError> {
-        let optimized = self.optimize(query, choice)?;
-        let result = self.execute(&optimized)?;
-        Ok((optimized, result))
     }
 }
 
@@ -211,28 +121,36 @@ mod tests {
     #[test]
     fn optimize_and_execute_star_query() {
         let w = star::generate(Scale(0.02), 3, 2, 5);
-        let db = Database::from_catalog(w.catalog);
+        let engine = Engine::from_catalog(w.catalog);
         for q in &w.queries {
-            let bqo = db.run(q, OptimizerChoice::Bqo).unwrap();
-            let base = db.run(q, OptimizerChoice::Baseline).unwrap();
-            let nobv = db.run(q, OptimizerChoice::BaselineNoBitvectors).unwrap();
-            assert_eq!(bqo.1.output_rows, base.1.output_rows, "{}", q.name);
-            assert_eq!(bqo.1.output_rows, nobv.1.output_rows, "{}", q.name);
-            assert!(bqo.0.estimated_cost.total <= base.0.estimated_cost.total + 1e-6);
+            let bqo = engine.prepare(q, OptimizerChoice::Bqo).unwrap();
+            let base = engine.prepare(q, OptimizerChoice::Baseline).unwrap();
+            let nobv = engine
+                .prepare(q, OptimizerChoice::BaselineNoBitvectors)
+                .unwrap();
+            let bqo_rows = bqo.run().unwrap().output_rows;
+            assert_eq!(bqo_rows, base.run().unwrap().output_rows, "{}", q.name);
+            assert_eq!(bqo_rows, nobv.run().unwrap().output_rows, "{}", q.name);
+            assert!(bqo.estimated_cost().total <= base.estimated_cost().total + 1e-6);
         }
     }
 
     #[test]
     fn tpcds_queries_round_trip() {
         let w = tpcds_like::generate(Scale(0.01), 4, 9);
-        let db = Database::from_catalog(w.catalog);
+        let engine = Engine::from_catalog(w.catalog);
         for q in &w.queries {
-            let (opt, res) = db.run(q, OptimizerChoice::Bqo).unwrap();
-            let (opt_b, res_b) = db.run(q, OptimizerChoice::Baseline).unwrap();
-            assert_eq!(res.output_rows, res_b.output_rows, "{}", q.name);
+            let opt = engine.prepare(q, OptimizerChoice::Bqo).unwrap();
+            let opt_b = engine.prepare(q, OptimizerChoice::Baseline).unwrap();
             assert_eq!(
-                opt.plan.relation_set(opt.plan.root()).len(),
-                opt_b.plan.relation_set(opt_b.plan.root()).len()
+                opt.run().unwrap().output_rows,
+                opt_b.run().unwrap().output_rows,
+                "{}",
+                q.name
+            );
+            assert_eq!(
+                opt.plan().relation_set(opt.plan().root()).len(),
+                opt_b.plan().relation_set(opt_b.plan().root()).len()
             );
         }
     }
@@ -240,8 +158,8 @@ mod tests {
     #[test]
     fn explain_output_mentions_operators() {
         let w = star::generate(Scale(0.02), 3, 1, 5);
-        let db = Database::from_catalog(w.catalog);
-        let opt = db.optimize(&w.queries[0], OptimizerChoice::Bqo).unwrap();
+        let engine = Engine::from_catalog(w.catalog);
+        let opt = engine.prepare(&w.queries[0], OptimizerChoice::Bqo).unwrap();
         let text = opt.explain();
         assert!(text.contains("HashJoin"));
         assert!(text.contains("Scan fact"));
@@ -252,40 +170,66 @@ mod tests {
         assert_eq!(OptimizerChoice::Baseline.label(), "Original");
         assert_eq!(OptimizerChoice::Bqo.label(), "BQO");
         assert_eq!(OptimizerChoice::BqoWithThreshold(0.1).label(), "BQO");
+        // display_label keeps λ sweeps distinguishable.
+        assert_eq!(OptimizerChoice::Baseline.display_label(), "Original");
+        assert_eq!(OptimizerChoice::Bqo.display_label(), "BQO (λ=0.05)");
+        assert_eq!(
+            OptimizerChoice::BqoWithThreshold(0.1).display_label(),
+            "BQO (λ=0.1)"
+        );
+        assert_ne!(
+            OptimizerChoice::BqoWithThreshold(0.0).display_label(),
+            OptimizerChoice::BqoWithThreshold(0.5).display_label()
+        );
     }
 
     #[test]
-    fn manual_database_construction() {
-        let mut db = Database::new();
-        db.register_table(
-            TableBuilder::new("dim")
-                .with_i64("sk", vec![0, 1, 2, 3])
-                .with_i64("cat", vec![0, 1, 0, 1])
-                .build()
-                .unwrap(),
-        );
-        db.register_table(
-            TableBuilder::new("fact")
-                .with_i64("dim_sk", vec![0, 1, 2, 3, 0, 1])
-                .build()
-                .unwrap(),
-        );
-        db.declare_primary_key("dim", "sk").unwrap();
-        db.declare_foreign_key(ForeignKey::new("fact", "dim_sk", "dim", "sk"))
+    fn engine_builder_constructs_a_working_database() {
+        let engine = Engine::builder()
+            .table(
+                TableBuilder::new("dim")
+                    .with_i64("sk", vec![0, 1, 2, 3])
+                    .with_i64("cat", vec![0, 1, 0, 1])
+                    .build()
+                    .unwrap(),
+            )
+            .table(
+                TableBuilder::new("fact")
+                    .with_i64("dim_sk", vec![0, 1, 2, 3, 0, 1])
+                    .build()
+                    .unwrap(),
+            )
+            .primary_key("dim", "sk")
+            .foreign_key(ForeignKey::new("fact", "dim_sk", "dim", "sk"))
+            .build()
             .unwrap();
         let q = QuerySpec::new("q")
             .table("fact")
             .table("dim")
             .join("fact", "dim_sk", "dim", "sk")
             .predicate("dim", ColumnPredicate::new("cat", CompareOp::Eq, 0i64));
-        let (_, result) = db.run(&q, OptimizerChoice::Bqo).unwrap();
+        let result = engine.run(&q, OptimizerChoice::Bqo).unwrap();
         assert_eq!(result.output_rows, 3);
     }
 
     #[test]
-    fn missing_table_error_surfaces() {
-        let db = Database::new();
-        let q = QuerySpec::new("q").table("nope");
-        assert!(db.optimize(&q, OptimizerChoice::Bqo).is_err());
+    fn builder_rejects_bad_constraints() {
+        let err = Engine::builder()
+            .primary_key("ghost", "sk")
+            .build()
+            .unwrap_err();
+        assert_eq!(err.phase(), QueryPhase::Setup);
+        assert!(err.to_string().contains("ghost"));
+    }
+
+    #[test]
+    fn missing_table_error_surfaces_with_context() {
+        let engine = Engine::builder().build().unwrap();
+        let q = QuerySpec::new("phantom").table("nope");
+        let err = engine.prepare(&q, OptimizerChoice::Bqo).unwrap_err();
+        assert_eq!(err.phase(), QueryPhase::Planning);
+        assert_eq!(err.query(), Some("phantom"));
+        let msg = err.to_string();
+        assert!(msg.contains("phantom") && msg.contains("nope"), "{msg}");
     }
 }

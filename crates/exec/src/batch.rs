@@ -115,6 +115,26 @@ impl Batch {
         }
     }
 
+    /// Concatenates a sequence of schema-identical batches row-wise (used to
+    /// drain a hash join's build side into one materialized batch).
+    ///
+    /// # Panics
+    /// Panics if the batches disagree on schema or column types.
+    pub fn concat(batches: Vec<Batch>) -> Batch {
+        let mut iter = batches.into_iter();
+        let Some(mut first) = iter.next() else {
+            return Batch::empty();
+        };
+        for batch in iter {
+            assert_eq!(first.schema, batch.schema, "schema mismatch in concat");
+            for (dst, src) in first.columns.iter_mut().zip(batch.columns.iter()) {
+                dst.append(src).expect("column type mismatch in concat");
+            }
+            first.num_rows += batch.num_rows;
+        }
+        first
+    }
+
     /// Concatenates the columns of two row-aligned batches (used by hash join
     /// output assembly after both sides were `take`n to the same length).
     pub fn zip(left: Batch, right: Batch) -> Batch {
@@ -131,9 +151,7 @@ impl Batch {
     }
 
     /// Extracts the join-key values for every row, collapsing composite keys
-    /// into a single `i64` via hashing. Non-integer key columns hash their
-    /// string representation (never used by the generated workloads, which
-    /// join on integer surrogate keys).
+    /// into a single `i64` via hashing (see [`row_key`]).
     pub fn key_values(&self, key_columns: &[ColumnRef]) -> Vec<i64> {
         let cols: Vec<&Column> = key_columns
             .iter()
@@ -147,28 +165,36 @@ impl Batch {
                 return values.clone();
             }
         }
-        let mut keys = Vec::with_capacity(self.num_rows);
-        for row in 0..self.num_rows {
-            let parts: Vec<i64> = cols
-                .iter()
-                .map(|c| match c {
-                    Column::Int64(v) => v[row],
-                    Column::Bool(v) => v[row] as i64,
-                    Column::Float64(v) => v[row].to_bits() as i64,
-                    Column::Utf8(v) => {
-                        let mut h: i64 = 1469598103934665603;
-                        for b in v[row].as_bytes() {
-                            h ^= *b as i64;
-                            h = h.wrapping_mul(1099511628211);
-                        }
-                        h
-                    }
-                })
-                .collect();
-            keys.push(bqo_bitvector::hash::combine_key(&parts));
-        }
-        keys
+        (0..self.num_rows).map(|row| row_key(&cols, row)).collect()
     }
+}
+
+/// The join-key value of one row over a set of key columns: a single `Int64`
+/// column yields the raw value, composite or non-integer keys are hashed into
+/// one `i64` (non-integer values hash their representation; the generated
+/// workloads only join on integer surrogate keys). Scans and joins share this
+/// so a filter built from build-side keys probes identically everywhere.
+pub fn row_key(cols: &[&Column], row: usize) -> i64 {
+    if let [Column::Int64(values)] = cols {
+        return values[row];
+    }
+    let parts: Vec<i64> = cols
+        .iter()
+        .map(|c| match c {
+            Column::Int64(v) => v[row],
+            Column::Bool(v) => v[row] as i64,
+            Column::Float64(v) => v[row].to_bits() as i64,
+            Column::Utf8(v) => {
+                let mut h: i64 = 1469598103934665603;
+                for b in v[row].as_bytes() {
+                    h ^= *b as i64;
+                    h = h.wrapping_mul(1099511628211);
+                }
+                h
+            }
+        })
+        .collect();
+    bqo_bitvector::hash::combine_key(&parts)
 }
 
 #[cfg(test)]
@@ -267,6 +293,41 @@ mod tests {
             keys,
             b.key_values(&[ColumnRef::new(RelId(0), "a"), ColumnRef::new(RelId(0), "b"),])
         );
+    }
+
+    #[test]
+    fn concat_stacks_batches_row_wise() {
+        let b = sample();
+        let stacked = Batch::concat(vec![b.take(&[0, 1]), b.take(&[2]), b.take(&[3])]);
+        assert_eq!(stacked.num_rows(), 4);
+        assert_eq!(
+            stacked
+                .column(&ColumnRef::new(RelId(0), "id"))
+                .unwrap()
+                .as_i64()
+                .unwrap(),
+            &[1, 2, 3, 4]
+        );
+        assert_eq!(Batch::concat(Vec::new()).num_rows(), 0);
+    }
+
+    #[test]
+    fn row_key_matches_key_values() {
+        let t = TableBuilder::new("t")
+            .with_i64("a", vec![1, 1, 2])
+            .with_i64("b", vec![1, 2, 1])
+            .build()
+            .unwrap();
+        let b = Batch::from_table(RelId(0), &t);
+        let refs = [ColumnRef::new(RelId(0), "a"), ColumnRef::new(RelId(0), "b")];
+        let keys = b.key_values(&refs);
+        let cols: Vec<&Column> = refs.iter().map(|c| b.column(c).unwrap()).collect();
+        for (row, &key) in keys.iter().enumerate() {
+            assert_eq!(key, row_key(&cols, row));
+        }
+        // Single-int fast path returns raw values.
+        let a_col = [b.column(&refs[0]).unwrap()];
+        assert_eq!(row_key(&a_col, 2), 2);
     }
 
     #[test]

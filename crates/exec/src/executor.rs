@@ -1,13 +1,14 @@
-//! The plan executor.
+//! The plan executor: a thin driver over the pull-based operator pipeline.
 
-use crate::batch::Batch;
-use crate::metrics::{ExecutionMetrics, OperatorKind};
-use bqo_bitvector::hash::FxHashMap;
-use bqo_bitvector::{AnyFilter, BitvectorFilter, FilterKind, FilterStats};
-use bqo_plan::{BitvectorPlacement, JoinGraph, NodeId, PhysicalNode, PhysicalPlan, RelId};
+use crate::metrics::ExecutionMetrics;
+use crate::pipeline::{ExecContext, PipelineBuilder};
+use bqo_bitvector::FilterKind;
+use bqo_plan::{JoinGraph, PhysicalPlan};
 use bqo_storage::{Catalog, StorageError};
-use std::collections::HashMap;
 use std::time::Instant;
+
+/// Default number of rows per batch pulled through the pipeline.
+pub const DEFAULT_BATCH_SIZE: usize = 4096;
 
 /// Execution configuration.
 #[derive(Debug, Clone, Copy)]
@@ -17,6 +18,10 @@ pub struct ExecConfig {
     /// When false, bitvector placements are ignored entirely — the setting
     /// used for the "without bitvector filters" columns of Table 4.
     pub enable_bitvectors: bool,
+    /// Rows per batch pulled through the operator pipeline. Any value
+    /// produces identical results and counters; `usize::MAX` is effectively
+    /// unbatched (one batch per scan). Values below 1 are treated as 1.
+    pub batch_size: usize,
 }
 
 impl Default for ExecConfig {
@@ -24,6 +29,7 @@ impl Default for ExecConfig {
         ExecConfig {
             filter_kind: FilterKind::default(),
             enable_bitvectors: true,
+            batch_size: DEFAULT_BATCH_SIZE,
         }
     }
 }
@@ -41,8 +47,14 @@ impl ExecConfig {
     pub fn exact_filters() -> Self {
         ExecConfig {
             filter_kind: FilterKind::Exact,
-            enable_bitvectors: true,
+            ..Default::default()
         }
+    }
+
+    /// The same configuration with a different batch size.
+    pub fn with_batch_size(mut self, batch_size: usize) -> Self {
+        self.batch_size = batch_size.max(1);
+        self
     }
 }
 
@@ -57,19 +69,15 @@ pub struct QueryResult {
     pub metrics: ExecutionMetrics,
 }
 
-/// Executes physical plans against the tables of a catalog.
+/// Executes physical plans against the tables of a catalog by compiling them
+/// into a pull-based operator pipeline (see [`crate::operators`]) and
+/// draining the root operator batch by batch.
+///
+/// This is the low-level entry point used inside the execution layer; user
+/// code goes through the `Engine` facade in `bqo-core`.
 #[derive(Debug)]
 pub struct Executor<'a> {
     catalog: &'a Catalog,
-    config: ExecConfig,
-}
-
-struct RunState<'p> {
-    plan: &'p PhysicalPlan,
-    graph: &'p JoinGraph,
-    /// Filters created so far, keyed by placement index.
-    filters: HashMap<usize, AnyFilter>,
-    metrics: ExecutionMetrics,
     config: ExecConfig,
 }
 
@@ -100,262 +108,40 @@ impl<'a> Executor<'a> {
         plan: &PhysicalPlan,
     ) -> Result<QueryResult, StorageError> {
         let start = Instant::now();
-        let mut state = RunState {
-            plan,
-            graph,
-            filters: HashMap::new(),
-            metrics: ExecutionMetrics::new(),
-            config: self.config,
-        };
-        let batch = self.execute_node(&mut state, plan.root())?;
-        state.metrics.elapsed = start.elapsed();
+        let mut ctx = ExecContext::new(self.config);
+        let mut root = PipelineBuilder::new(self.catalog, graph, plan, self.config).build()?;
+        root.open(&mut ctx)?;
+        let mut output_rows = 0u64;
+        while let Some(batch) = root.next_batch(&mut ctx)? {
+            output_rows += batch.num_rows() as u64;
+        }
+        root.close(&mut ctx);
+        let mut metrics = ctx.into_metrics();
+        metrics.elapsed = start.elapsed();
         Ok(QueryResult {
-            output_rows: batch.num_rows() as u64,
-            metrics: state.metrics,
+            output_rows,
+            metrics,
         })
     }
+}
 
-    fn execute_node(&self, state: &mut RunState, node: NodeId) -> Result<Batch, StorageError> {
-        match state.plan.node(node).clone() {
-            PhysicalNode::Scan { relation } => self.execute_scan(state, node, relation),
-            PhysicalNode::HashJoin { build, probe, keys } => {
-                self.execute_hash_join(state, node, build, probe, &keys)
-            }
-        }
-    }
-
-    fn execute_scan(
-        &self,
-        state: &mut RunState,
-        node: NodeId,
-        relation: RelId,
-    ) -> Result<Batch, StorageError> {
-        let info = state.graph.relation(relation);
-        let table = self.catalog.table(&info.name)?;
-
-        // Build one selection mask: local predicates first, then any
-        // bitvector filters Algorithm 1 pushed down to this scan. Applying
-        // the filters *during* the scan (before materializing survivors)
-        // mirrors how real engines piggy-back bitvector probes on the scan,
-        // and is what makes the filters a net win once they eliminate enough
-        // tuples (the Figure 7 trade-off).
-        let num_rows = table.num_rows();
-        let mut mask = vec![true; num_rows];
-        for predicate in &info.predicates {
-            let column = table.column(&predicate.column)?;
-            let predicate_mask = predicate.evaluate(column);
-            for (m, p) in mask.iter_mut().zip(predicate_mask) {
-                *m &= p;
-            }
-        }
-
-        if state.config.enable_bitvectors {
-            let placements: Vec<(usize, BitvectorPlacement)> = state
-                .plan
-                .placements
-                .iter()
-                .enumerate()
-                .filter(|(_, p)| p.target == node)
-                .map(|(i, p)| (i, p.clone()))
-                .collect();
-            for (idx, placement) in placements {
-                let Some(filter) = state.filters.get(&idx) else {
-                    continue;
-                };
-                // Filters pushed down to a scan only reference this
-                // relation's columns.
-                let columns: Vec<&bqo_storage::Column> = placement
-                    .probe_columns
-                    .iter()
-                    .map(|c| table.column(&c.column))
-                    .collect::<Result<_, _>>()?;
-                let mut stats = FilterStats::new();
-                if let [bqo_storage::Column::Int64(values)] = columns.as_slice() {
-                    for (row, m) in mask.iter_mut().enumerate() {
-                        if !*m {
-                            continue;
-                        }
-                        let keep = filter.maybe_contains(values[row]);
-                        stats.record(!keep);
-                        *m &= keep;
-                    }
-                } else {
-                    for (row, m) in mask.iter_mut().enumerate() {
-                        if !*m {
-                            continue;
-                        }
-                        let parts: Vec<i64> = columns
-                            .iter()
-                            .map(|c| match c {
-                                bqo_storage::Column::Int64(v) => v[row],
-                                bqo_storage::Column::Bool(v) => v[row] as i64,
-                                bqo_storage::Column::Float64(v) => v[row].to_bits() as i64,
-                                bqo_storage::Column::Utf8(v) => {
-                                    let mut h: i64 = 1469598103934665603;
-                                    for b in v[row].as_bytes() {
-                                        h ^= *b as i64;
-                                        h = h.wrapping_mul(1099511628211);
-                                    }
-                                    h
-                                }
-                            })
-                            .collect();
-                        let keep = filter.maybe_contains(bqo_bitvector::hash::combine_key(&parts));
-                        stats.record(!keep);
-                        *m &= keep;
-                    }
-                }
-                state.metrics.filter_stats.merge(&stats);
-            }
-        }
-
-        // Materialize the surviving rows once.
-        let schema: Vec<bqo_plan::ColumnRef> = table
-            .schema()
-            .fields()
-            .iter()
-            .map(|f| bqo_plan::ColumnRef::new(relation, f.name.clone()))
-            .collect();
-        let columns: Vec<bqo_storage::Column> =
-            table.columns().iter().map(|c| c.filter(&mask)).collect();
-        let batch = Batch::new(schema, columns);
-        state
-            .metrics
-            .record_operator(node, OperatorKind::Leaf, batch.num_rows() as u64, 0, 0);
-        Ok(batch)
-    }
-
-    fn execute_hash_join(
-        &self,
-        state: &mut RunState,
-        node: NodeId,
-        build: NodeId,
-        probe: NodeId,
-        keys: &[bqo_plan::JoinKeyPair],
-    ) -> Result<Batch, StorageError> {
-        // 1. Build side first, so filters created here are available when the
-        //    probe side (which contains all push-down targets) executes.
-        let build_batch = self.execute_node(state, build)?;
-
-        // 2. Create the bitvector filters sourced at this join.
-        if state.config.enable_bitvectors {
-            let placement_indices: Vec<usize> = state
-                .plan
-                .placements
-                .iter()
-                .enumerate()
-                .filter(|(_, p)| p.source_join == node)
-                .map(|(i, _)| i)
-                .collect();
-            for idx in placement_indices {
-                let columns = state.plan.placements[idx].build_columns.clone();
-                let build_keys = build_batch.key_values(&columns);
-                let filter = AnyFilter::from_keys(state.config.filter_kind, &build_keys);
-                state.filters.insert(idx, filter);
-                state.metrics.filters_created += 1;
-            }
-        }
-
-        // 3. Probe side.
-        let probe_batch = self.execute_node(state, probe)?;
-
-        // 4. Hash join: build table on the build side, probe with the probe
-        //    side, emit matching pairs.
-        let build_keys =
-            build_batch.key_values(&keys.iter().map(|k| k.build.clone()).collect::<Vec<_>>());
-        let probe_keys =
-            probe_batch.key_values(&keys.iter().map(|k| k.probe.clone()).collect::<Vec<_>>());
-
-        let mut table: FxHashMap<i64, Vec<u32>> = FxHashMap::default();
-        for (row, &key) in build_keys.iter().enumerate() {
-            table.entry(key).or_default().push(row as u32);
-        }
-
-        let mut build_indices: Vec<usize> = Vec::new();
-        let mut probe_indices: Vec<usize> = Vec::new();
-        for (row, &key) in probe_keys.iter().enumerate() {
-            if let Some(matches) = table.get(&key) {
-                for &b in matches {
-                    build_indices.push(b as usize);
-                    probe_indices.push(row);
-                }
-            }
-        }
-
-        let output = Batch::zip(
-            build_batch.take(&build_indices),
-            probe_batch.take(&probe_indices),
-        );
-        state.metrics.record_operator(
-            node,
-            OperatorKind::Join,
-            output.num_rows() as u64,
-            build_keys.len() as u64,
-            probe_keys.len() as u64,
-        );
-
-        // 5. Residual bitvector filters targeted at this join's output.
-        let filtered = self.apply_placements(state, node, output);
-        Ok(filtered)
-    }
-
-    /// Applies every enabled bitvector placement targeted at `node` to the
-    /// batch, recording probe/elimination counters. Residual applications at
-    /// join outputs are attributed to the `Other` operator class.
-    fn apply_placements(&self, state: &mut RunState, node: NodeId, batch: Batch) -> Batch {
-        if !state.config.enable_bitvectors {
-            return batch;
-        }
-        let placements: Vec<(usize, BitvectorPlacement)> = state
-            .plan
-            .placements
-            .iter()
-            .enumerate()
-            .filter(|(_, p)| p.target == node)
-            .map(|(i, p)| (i, p.clone()))
-            .collect();
-        if placements.is_empty() {
-            return batch;
-        }
-        let is_join_target = matches!(state.plan.node(node), PhysicalNode::HashJoin { .. });
-        let mut current = batch;
-        for (idx, placement) in placements {
-            let Some(filter) = state.filters.get(&idx) else {
-                // The source join's build side has not executed (possible only
-                // for malformed plans); skip rather than fail.
-                continue;
-            };
-            let keys = current.key_values(&placement.probe_columns);
-            let mut stats = FilterStats::new();
-            let mask: Vec<bool> = keys
-                .iter()
-                .map(|&k| {
-                    let keep = filter.maybe_contains(k);
-                    stats.record(!keep);
-                    keep
-                })
-                .collect();
-            current = current.filter(&mask);
-            state.metrics.filter_stats.merge(&stats);
-            if is_join_target {
-                state.metrics.record_operator(
-                    node,
-                    OperatorKind::Other,
-                    current.num_rows() as u64,
-                    0,
-                    0,
-                );
-            }
-        }
-        current
-    }
+/// Executes a physical plan against a catalog with the given configuration —
+/// the one-call entry point the `Engine` facade in `bqo-core` delegates to.
+pub fn execute_plan(
+    catalog: &Catalog,
+    graph: &JoinGraph,
+    plan: &PhysicalPlan,
+    config: ExecConfig,
+) -> Result<QueryResult, StorageError> {
+    Executor::with_config(catalog, config).execute(graph, plan)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::metrics::OperatorKind;
     use bqo_plan::{
-        push_down_bitvectors, ColumnPredicate, CompareOp, JoinEdge, PhysicalPlan, QuerySpec,
+        push_down_bitvectors, ColumnPredicate, CompareOp, JoinEdge, PhysicalPlan, QuerySpec, RelId,
         RelationInfo, RightDeepTree,
     };
     use bqo_storage::generator::DataGenerator;
@@ -461,6 +247,44 @@ mod tests {
     }
 
     #[test]
+    fn batch_size_does_not_change_results_or_counters() {
+        let catalog = tiny_catalog();
+        let (g, fact, d1, d2) = tiny_graph();
+        let tree = RightDeepTree::new(vec![fact, d1, d2]).to_join_tree();
+        let plan = push_down_bitvectors(&g, PhysicalPlan::from_join_tree(&g, &tree));
+        let oracle = Executor::with_config(
+            &catalog,
+            ExecConfig::exact_filters().with_batch_size(usize::MAX),
+        )
+        .execute(&g, &plan)
+        .unwrap();
+        for batch_size in [1usize, 2, 3, 7, 1024] {
+            let result = Executor::with_config(
+                &catalog,
+                ExecConfig::exact_filters().with_batch_size(batch_size),
+            )
+            .execute(&g, &plan)
+            .unwrap();
+            assert_eq!(result.output_rows, oracle.output_rows, "{batch_size}");
+            assert_eq!(
+                result.metrics.filter_stats.probed, oracle.metrics.filter_stats.probed,
+                "{batch_size}"
+            );
+            assert_eq!(
+                result.metrics.filter_stats.eliminated, oracle.metrics.filter_stats.eliminated,
+                "{batch_size}"
+            );
+            for kind in [OperatorKind::Leaf, OperatorKind::Join, OperatorKind::Other] {
+                assert_eq!(
+                    result.metrics.tuples_by_kind(kind),
+                    oracle.metrics.tuples_by_kind(kind),
+                    "{batch_size} {kind:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
     fn disabling_bitvectors_increases_probe_work() {
         let catalog = tiny_catalog();
         let (g, fact, d1, d2) = tiny_graph();
@@ -559,6 +383,26 @@ mod tests {
         let result = Executor::new(&catalog).execute(&g, &plan).unwrap();
         assert_eq!(result.output_rows, 2);
         assert_eq!(result.metrics.tuples_by_kind(OperatorKind::Leaf), 2);
+        assert_eq!(result.metrics.tuples_by_kind(OperatorKind::Join), 0);
+    }
+
+    #[test]
+    fn empty_scan_still_reports_schema_and_zero_rows() {
+        let catalog = tiny_catalog();
+        let mut g = JoinGraph::new();
+        let d1 = g.add_relation(
+            RelationInfo::new("d1", 4.0, 0.0).with_predicates(vec![ColumnPredicate::new(
+                "cat",
+                CompareOp::Eq,
+                99i64,
+            )]),
+        );
+        let fact = g.add_relation(RelationInfo::new("fact", 12.0, 12.0));
+        g.add_edge(JoinEdge::pkfk(fact, "d1_sk", d1, "sk", 4.0));
+        let tree = RightDeepTree::new(vec![fact, d1]).to_join_tree();
+        let plan = PhysicalPlan::from_join_tree(&g, &tree);
+        let result = Executor::new(&catalog).execute(&g, &plan).unwrap();
+        assert_eq!(result.output_rows, 0);
         assert_eq!(result.metrics.tuples_by_kind(OperatorKind::Join), 0);
     }
 }

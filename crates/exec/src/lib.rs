@@ -2,22 +2,38 @@
 //!
 //! The paper's experiments execute plans inside Microsoft SQL Server and
 //! measure CPU time and per-operator tuple counts. This crate is the
-//! stand-in: a single-threaded, fully materialized executor for the physical
+//! stand-in: a pull-based, batch-at-a-time operator pipeline for the physical
 //! plans produced by `bqo-plan` / `bqo-optimizer`, with
 //!
-//! * hash joins that create a bitvector filter from their build side,
+//! * a [`PhysicalOperator`] trait (`open` / `next_batch` / `close`) with
+//!   [`ScanOp`] (local predicates + pushed-down bitvector probes applied per
+//!   batch) and [`HashJoinOp`] (build side drained at `open`, its bitvector
+//!   filter published to the shared [`ExecContext`], probe side streamed),
+//! * a [`PipelineBuilder`] lowering a `PhysicalPlan + JoinGraph` into the
+//!   operator tree without cloning plan payloads,
 //! * bitvector filters applied wherever Algorithm 1 placed them (scans or
 //!   residual positions above joins),
 //! * per-operator metrics (tuples output by leaf / join / other operators,
 //!   bitvector probe and elimination counts, wall-clock time) matching the
-//!   quantities reported in Figures 7–10 and Table 4, and
+//!   quantities reported in Figures 7–10 and Table 4, collected inside the
+//!   operators where the work happens,
+//! * a configurable [`ExecConfig::batch_size`] — every batch size produces
+//!   bit-identical results and counters — and
 //! * a switch to ignore bitvector filters entirely, mirroring the
 //!   SQL Server option used for the Table 4 comparison.
+//!
+//! [`Executor`] is the low-level driver that compiles a plan and drains the
+//! root operator; user-facing code goes through the `Engine` facade in
+//! `bqo-core`.
 
 pub mod batch;
 pub mod executor;
 pub mod metrics;
+pub mod operators;
+pub mod pipeline;
 
 pub use batch::Batch;
-pub use executor::{ExecConfig, Executor, QueryResult};
+pub use executor::{execute_plan, ExecConfig, Executor, QueryResult, DEFAULT_BATCH_SIZE};
 pub use metrics::{ExecutionMetrics, OperatorKind, OperatorMetrics};
+pub use operators::{HashJoinOp, PhysicalOperator, ScanOp};
+pub use pipeline::{ExecContext, PipelineBuilder};

@@ -1,0 +1,363 @@
+//! Pull-based physical operators.
+//!
+//! [`PhysicalOperator`] is the batch-at-a-time (Volcano-with-batches)
+//! interface of the executor:
+//!
+//! * [`PhysicalOperator::open`] prepares operator state. Hash joins drain
+//!   their entire build side here, publish the bitvector filters sourced at
+//!   the join to the [`ExecContext`], and only then open their probe side —
+//!   which guarantees every filter is available before any probe-side scan
+//!   produces its first batch (the same ordering the paper's Algorithm 1
+//!   relies on).
+//! * [`PhysicalOperator::next_batch`] pulls the next batch of at most
+//!   [`crate::ExecConfig::batch_size`] rows, or `None` once exhausted. Local
+//!   predicates and pushed-down bitvector probes are applied per batch, so
+//!   eliminated tuples never reach the joins above.
+//! * [`PhysicalOperator::close`] tears the operator down and flushes its
+//!   accumulated per-operator counters into the context's
+//!   [`crate::ExecutionMetrics`].
+//!
+//! Contract: between `open` and the first `None`, an operator yields at least
+//! one batch (possibly empty) so downstream operators always observe its
+//! output schema. Batching granularity never changes results or counters:
+//! every batch size produces identical `output_rows`, filter probe/eliminate
+//! statistics and per-operator tuple counts.
+
+use crate::batch::{row_key, Batch};
+use crate::metrics::OperatorKind;
+use crate::pipeline::ExecContext;
+use bqo_bitvector::hash::FxHashMap;
+use bqo_bitvector::{AnyFilter, BitvectorFilter, FilterStats};
+use bqo_plan::{BitvectorPlacement, ColumnRef, NodeId, RelId, RelationInfo};
+use bqo_storage::{Column, StorageError, Table};
+use std::sync::Arc;
+
+/// A pull-based physical operator producing batches of rows.
+pub trait PhysicalOperator {
+    /// Prepares the operator (and its children) for execution.
+    fn open(&mut self, ctx: &mut ExecContext) -> Result<(), StorageError>;
+
+    /// Pulls the next batch, or `None` once the operator is exhausted.
+    fn next_batch(&mut self, ctx: &mut ExecContext) -> Result<Option<Batch>, StorageError>;
+
+    /// Releases resources and records the operator's accumulated metrics.
+    fn close(&mut self, ctx: &mut ExecContext);
+}
+
+/// Scan of one base relation: local predicates plus any bitvector filters
+/// Algorithm 1 pushed down to this scan, applied batch by batch before the
+/// surviving rows are materialized.
+pub struct ScanOp<'p> {
+    node: NodeId,
+    info: &'p RelationInfo,
+    table: Arc<Table>,
+    schema: Vec<ColumnRef>,
+    /// Bitvector placements targeting this scan, keyed by placement index.
+    placements: Vec<(usize, &'p BitvectorPlacement)>,
+    /// Per placement: the table column indices its probe columns resolve to
+    /// (resolved once at open, indexed per batch on the hot path).
+    placement_cols: Vec<Vec<usize>>,
+    /// Local-predicate selection mask over the whole table (built at open).
+    mask: Vec<bool>,
+    cursor: usize,
+    emitted_any: bool,
+    output_rows: u64,
+}
+
+impl<'p> ScanOp<'p> {
+    /// Creates a scan operator for `relation`.
+    pub fn new(
+        node: NodeId,
+        relation: RelId,
+        info: &'p RelationInfo,
+        table: Arc<Table>,
+        placements: Vec<(usize, &'p BitvectorPlacement)>,
+    ) -> Self {
+        let schema = table
+            .schema()
+            .fields()
+            .iter()
+            .map(|f| ColumnRef::new(relation, f.name.clone()))
+            .collect();
+        ScanOp {
+            node,
+            info,
+            table,
+            schema,
+            placements,
+            placement_cols: Vec::new(),
+            mask: Vec::new(),
+            cursor: 0,
+            emitted_any: false,
+            output_rows: 0,
+        }
+    }
+
+    /// An empty batch carrying this scan's output schema (emitted when no row
+    /// survives, so parents still learn the schema).
+    fn empty_batch(&self) -> Batch {
+        let columns = self
+            .table
+            .columns()
+            .iter()
+            .map(|c| Column::empty(c.data_type()))
+            .collect();
+        Batch::new(self.schema.clone(), columns)
+    }
+}
+
+impl PhysicalOperator for ScanOp<'_> {
+    fn open(&mut self, _ctx: &mut ExecContext) -> Result<(), StorageError> {
+        // One columnar pass per local predicate; the bitvector probes run
+        // per batch in `next_batch` because their filters may be published
+        // by joins that open after this scan's open.
+        let mut mask = vec![true; self.table.num_rows()];
+        for predicate in &self.info.predicates {
+            let column = self.table.column(&predicate.column)?;
+            let predicate_mask = predicate.evaluate(column);
+            for (m, p) in mask.iter_mut().zip(predicate_mask) {
+                *m &= p;
+            }
+        }
+        self.mask = mask;
+
+        // Resolve each placement's probe columns to table column indices once.
+        self.placement_cols = self
+            .placements
+            .iter()
+            .map(|(_, placement)| {
+                placement
+                    .probe_columns
+                    .iter()
+                    .map(|c| {
+                        self.table.schema().index_of(&c.column).ok_or_else(|| {
+                            StorageError::ColumnNotFound {
+                                table: self.info.name.clone(),
+                                column: c.column.clone(),
+                            }
+                        })
+                    })
+                    .collect()
+            })
+            .collect::<Result<_, _>>()?;
+
+        self.cursor = 0;
+        Ok(())
+    }
+
+    fn next_batch(&mut self, ctx: &mut ExecContext) -> Result<Option<Batch>, StorageError> {
+        let num_rows = self.table.num_rows();
+        let batch_size = ctx.config.batch_size.max(1);
+        while self.cursor < num_rows {
+            let start = self.cursor;
+            let end = num_rows.min(start.saturating_add(batch_size));
+            self.cursor = end;
+
+            // Rows of this range surviving the local predicates...
+            let mut rows: Vec<usize> = (start..end).filter(|&r| self.mask[r]).collect();
+
+            // ...then every pushed-down bitvector filter, in placement order
+            // (a row eliminated by one filter is never probed by the next).
+            for (slot, &(idx, _)) in self.placements.iter().enumerate() {
+                let mut stats = FilterStats::new();
+                {
+                    let Some(filter) = ctx.filter(idx) else {
+                        // Source join's build side has not executed (possible
+                        // only for malformed plans); skip rather than fail.
+                        continue;
+                    };
+                    let columns: Vec<&Column> = self.placement_cols[slot]
+                        .iter()
+                        .map(|&i| self.table.column_at(i))
+                        .collect();
+                    rows.retain(|&row| {
+                        let keep = filter.maybe_contains(row_key(&columns, row));
+                        stats.record(!keep);
+                        keep
+                    });
+                }
+                ctx.merge_filter_stats(&stats);
+            }
+
+            if rows.is_empty() {
+                continue;
+            }
+            let columns: Vec<Column> = self.table.columns().iter().map(|c| c.take(&rows)).collect();
+            let batch = Batch::new(self.schema.clone(), columns);
+            self.output_rows += batch.num_rows() as u64;
+            self.emitted_any = true;
+            return Ok(Some(batch));
+        }
+        if !self.emitted_any {
+            self.emitted_any = true;
+            return Ok(Some(self.empty_batch()));
+        }
+        Ok(None)
+    }
+
+    fn close(&mut self, ctx: &mut ExecContext) {
+        ctx.metrics
+            .record_operator(self.node, OperatorKind::Leaf, self.output_rows, 0, 0);
+    }
+}
+
+/// Hash join: the build side is drained and hashed at `open` (publishing the
+/// bitvector filters sourced at this join before the probe side opens), the
+/// probe side is streamed batch by batch. Residual bitvector filters targeted
+/// at this join's output are applied to each output batch.
+pub struct HashJoinOp<'p> {
+    node: NodeId,
+    build: Box<dyn PhysicalOperator + 'p>,
+    probe: Box<dyn PhysicalOperator + 'p>,
+    build_key_cols: Vec<ColumnRef>,
+    probe_key_cols: Vec<ColumnRef>,
+    /// Placements whose filter this join creates from its build side.
+    source_placements: Vec<(usize, &'p BitvectorPlacement)>,
+    /// Residual placements applied to this join's output batches.
+    residual_placements: Vec<(usize, &'p BitvectorPlacement)>,
+    build_batch: Batch,
+    table: FxHashMap<i64, Vec<u32>>,
+    emitted_any: bool,
+    build_rows: u64,
+    probe_rows: u64,
+    join_output_rows: u64,
+    /// Per residual placement: rows surviving it (summed over batches), and
+    /// whether its filter was available so it actually ran.
+    residual_rows: Vec<(u64, bool)>,
+}
+
+impl<'p> HashJoinOp<'p> {
+    /// Creates a hash join over two child operators.
+    pub fn new(
+        node: NodeId,
+        build: Box<dyn PhysicalOperator + 'p>,
+        probe: Box<dyn PhysicalOperator + 'p>,
+        keys: &'p [bqo_plan::JoinKeyPair],
+        source_placements: Vec<(usize, &'p BitvectorPlacement)>,
+        residual_placements: Vec<(usize, &'p BitvectorPlacement)>,
+    ) -> Self {
+        let residual_rows = vec![(0, false); residual_placements.len()];
+        HashJoinOp {
+            node,
+            build,
+            probe,
+            build_key_cols: keys.iter().map(|k| k.build.clone()).collect(),
+            probe_key_cols: keys.iter().map(|k| k.probe.clone()).collect(),
+            source_placements,
+            residual_placements,
+            build_batch: Batch::empty(),
+            table: FxHashMap::default(),
+            emitted_any: false,
+            build_rows: 0,
+            probe_rows: 0,
+            join_output_rows: 0,
+            residual_rows,
+        }
+    }
+}
+
+impl PhysicalOperator for HashJoinOp<'_> {
+    fn open(&mut self, ctx: &mut ExecContext) -> Result<(), StorageError> {
+        // 1. Drain the build side completely.
+        self.build.open(ctx)?;
+        let mut batches = Vec::new();
+        while let Some(batch) = self.build.next_batch(ctx)? {
+            batches.push(batch);
+        }
+        self.build.close(ctx);
+        self.build_batch = Batch::concat(batches);
+
+        // 2. Publish the bitvector filters sourced at this join, so they are
+        //    in place before any probe-side operator produces rows.
+        for &(idx, placement) in &self.source_placements {
+            let build_keys = self.build_batch.key_values(&placement.build_columns);
+            let filter = AnyFilter::from_keys(ctx.config.filter_kind, &build_keys);
+            ctx.publish_filter(idx, filter);
+        }
+
+        // 3. Hash the build side.
+        let build_keys = self.build_batch.key_values(&self.build_key_cols);
+        self.build_rows = build_keys.len() as u64;
+        let mut table: FxHashMap<i64, Vec<u32>> = FxHashMap::default();
+        for (row, &key) in build_keys.iter().enumerate() {
+            table.entry(key).or_default().push(row as u32);
+        }
+        self.table = table;
+
+        // 4. Only now open the probe side.
+        self.probe.open(ctx)
+    }
+
+    fn next_batch(&mut self, ctx: &mut ExecContext) -> Result<Option<Batch>, StorageError> {
+        while let Some(probe_batch) = self.probe.next_batch(ctx)? {
+            let probe_keys = probe_batch.key_values(&self.probe_key_cols);
+            self.probe_rows += probe_keys.len() as u64;
+
+            let mut build_indices: Vec<usize> = Vec::new();
+            let mut probe_indices: Vec<usize> = Vec::new();
+            for (row, &key) in probe_keys.iter().enumerate() {
+                if let Some(matches) = self.table.get(&key) {
+                    for &b in matches {
+                        build_indices.push(b as usize);
+                        probe_indices.push(row);
+                    }
+                }
+            }
+
+            let mut output = Batch::zip(
+                self.build_batch.take(&build_indices),
+                probe_batch.take(&probe_indices),
+            );
+            self.join_output_rows += output.num_rows() as u64;
+
+            // Residual bitvector filters targeted at this join's output.
+            for (slot, &(idx, placement)) in self.residual_placements.iter().enumerate() {
+                let mut stats = FilterStats::new();
+                {
+                    let Some(filter) = ctx.filter(idx) else {
+                        continue;
+                    };
+                    let keys = output.key_values(&placement.probe_columns);
+                    let mask: Vec<bool> = keys
+                        .iter()
+                        .map(|&k| {
+                            let keep = filter.maybe_contains(k);
+                            stats.record(!keep);
+                            keep
+                        })
+                        .collect();
+                    output = output.filter(&mask);
+                }
+                ctx.merge_filter_stats(&stats);
+                self.residual_rows[slot].0 += output.num_rows() as u64;
+                self.residual_rows[slot].1 = true;
+            }
+
+            if output.num_rows() == 0 && self.emitted_any {
+                continue;
+            }
+            self.emitted_any = true;
+            return Ok(Some(output));
+        }
+        Ok(None)
+    }
+
+    fn close(&mut self, ctx: &mut ExecContext) {
+        self.probe.close(ctx);
+        ctx.metrics.record_operator(
+            self.node,
+            OperatorKind::Join,
+            self.join_output_rows,
+            self.build_rows,
+            self.probe_rows,
+        );
+        // One `Other` entry per residual filter that ran, mirroring the
+        // Figure 9 attribution of residual filter operators.
+        for &(rows, applied) in &self.residual_rows {
+            if applied {
+                ctx.metrics
+                    .record_operator(self.node, OperatorKind::Other, rows, 0, 0);
+            }
+        }
+    }
+}

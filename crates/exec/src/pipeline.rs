@@ -1,0 +1,123 @@
+//! Shared execution context and plan→pipeline lowering.
+
+use crate::executor::ExecConfig;
+use crate::metrics::ExecutionMetrics;
+use crate::operators::{HashJoinOp, PhysicalOperator, ScanOp};
+use bqo_bitvector::{AnyFilter, FilterStats};
+use bqo_plan::{JoinGraph, NodeId, PhysicalNode, PhysicalPlan};
+use bqo_storage::{Catalog, StorageError};
+use std::collections::HashMap;
+
+/// State shared by every operator of one running pipeline: the execution
+/// configuration, the bitvector filters published so far (keyed by their
+/// placement index in the plan), and the metrics being collected where the
+/// work happens.
+pub struct ExecContext {
+    /// The active execution configuration.
+    pub config: ExecConfig,
+    /// Metrics accumulated by the operators.
+    pub metrics: ExecutionMetrics,
+    filters: HashMap<usize, AnyFilter>,
+}
+
+impl ExecContext {
+    /// Creates a fresh context for one query execution.
+    pub fn new(config: ExecConfig) -> Self {
+        ExecContext {
+            config,
+            metrics: ExecutionMetrics::new(),
+            filters: HashMap::new(),
+        }
+    }
+
+    /// Publishes a bitvector filter for the placement with index `placement`,
+    /// making it available to every probe site targeting that placement.
+    pub fn publish_filter(&mut self, placement: usize, filter: AnyFilter) {
+        self.filters.insert(placement, filter);
+        self.metrics.filters_created += 1;
+    }
+
+    /// The published filter for a placement index, if its source join has
+    /// already drained its build side.
+    pub fn filter(&self, placement: usize) -> Option<&AnyFilter> {
+        self.filters.get(&placement)
+    }
+
+    /// Folds one probe site's filter counters into the query totals.
+    pub fn merge_filter_stats(&mut self, stats: &FilterStats) {
+        self.metrics.filter_stats.merge(stats);
+    }
+
+    /// Consumes the context, returning the collected metrics.
+    pub fn into_metrics(self) -> ExecutionMetrics {
+        self.metrics
+    }
+}
+
+/// Compiles a [`PhysicalPlan`] (+ its [`JoinGraph`] for relation names and
+/// local predicates) into a tree of pull-based [`PhysicalOperator`]s bound to
+/// the tables of a catalog.
+///
+/// Lowering borrows the plan's node payloads (join keys, placement columns)
+/// instead of cloning them; only the `Arc<Table>` handles are refcounted.
+pub struct PipelineBuilder<'p> {
+    catalog: &'p Catalog,
+    graph: &'p JoinGraph,
+    plan: &'p PhysicalPlan,
+    config: ExecConfig,
+}
+
+impl<'p> PipelineBuilder<'p> {
+    /// Creates a builder for one plan.
+    pub fn new(
+        catalog: &'p Catalog,
+        graph: &'p JoinGraph,
+        plan: &'p PhysicalPlan,
+        config: ExecConfig,
+    ) -> Self {
+        PipelineBuilder {
+            catalog,
+            graph,
+            plan,
+            config,
+        }
+    }
+
+    /// Builds the operator tree for the plan's root. Fails if a relation of
+    /// the join graph has no table in the catalog.
+    pub fn build(&self) -> Result<Box<dyn PhysicalOperator + 'p>, StorageError> {
+        self.lower(self.plan.root())
+    }
+
+    fn lower(&self, node: NodeId) -> Result<Box<dyn PhysicalOperator + 'p>, StorageError> {
+        match self.plan.node(node) {
+            PhysicalNode::Scan { relation } => {
+                let info = self.graph.relation(*relation);
+                let table = self.catalog.table(&info.name)?;
+                let placements = if self.config.enable_bitvectors {
+                    self.plan.indexed_placements_at(node).collect()
+                } else {
+                    Vec::new()
+                };
+                Ok(Box::new(ScanOp::new(
+                    node, *relation, info, table, placements,
+                )))
+            }
+            PhysicalNode::HashJoin { build, probe, keys } => {
+                let build_op = self.lower(*build)?;
+                let probe_op = self.lower(*probe)?;
+                let (source, residual) = if self.config.enable_bitvectors {
+                    (
+                        self.plan.indexed_placements_from(node).collect(),
+                        self.plan.indexed_placements_at(node).collect(),
+                    )
+                } else {
+                    (Vec::new(), Vec::new())
+                };
+                Ok(Box::new(HashJoinOp::new(
+                    node, build_op, probe_op, keys, source, residual,
+                )))
+            }
+        }
+    }
+}

@@ -160,6 +160,34 @@ impl PhysicalPlan {
             .collect()
     }
 
+    /// Placements targeted at `target`, paired with their index in
+    /// [`PhysicalPlan::placements`]. The executor keys its published filters
+    /// by this index, so plan→pipeline lowering uses this helper to wire a
+    /// probe site to the filter its source join will publish — without
+    /// cloning placement payloads.
+    pub fn indexed_placements_at(
+        &self,
+        target: NodeId,
+    ) -> impl Iterator<Item = (usize, &BitvectorPlacement)> {
+        self.placements
+            .iter()
+            .enumerate()
+            .filter(move |(_, p)| p.target == target)
+    }
+
+    /// Placements whose filter is created at `source_join`, paired with their
+    /// index in [`PhysicalPlan::placements`] (see
+    /// [`PhysicalPlan::indexed_placements_at`]).
+    pub fn indexed_placements_from(
+        &self,
+        source_join: NodeId,
+    ) -> impl Iterator<Item = (usize, &BitvectorPlacement)> {
+        self.placements
+            .iter()
+            .enumerate()
+            .filter(move |(_, p)| p.source_join == source_join)
+    }
+
     /// Builds a physical plan (without bitvector placements) from a logical
     /// join tree, deriving the hash-join key pairs from the join graph's
     /// edges that cross each join's build/probe sets.
@@ -352,6 +380,14 @@ mod tests {
         assert_eq!(plan.placements_at(scan_fact).len(), 1);
         assert_eq!(plan.placements_from(root).len(), 1);
         assert!(plan.placements_at(root).is_empty());
+        // The indexed variants see the same placements with their arena index.
+        let indexed: Vec<usize> = plan
+            .indexed_placements_at(scan_fact)
+            .map(|(i, _)| i)
+            .collect();
+        assert_eq!(indexed, vec![0]);
+        assert_eq!(plan.indexed_placements_from(root).count(), 1);
+        assert_eq!(plan.indexed_placements_at(root).count(), 0);
     }
 
     #[test]

@@ -152,6 +152,24 @@ impl Column {
         }
     }
 
+    /// Appends all values of `other` to this column. The batch-at-a-time
+    /// executor uses this to concatenate drained build-side batches.
+    pub fn append(&mut self, other: &Column) -> Result<(), StorageError> {
+        match (self, other) {
+            (Column::Int64(a), Column::Int64(b)) => a.extend_from_slice(b),
+            (Column::Float64(a), Column::Float64(b)) => a.extend_from_slice(b),
+            (Column::Utf8(a), Column::Utf8(b)) => a.extend_from_slice(b),
+            (Column::Bool(a), Column::Bool(b)) => a.extend_from_slice(b),
+            (a, b) => {
+                return Err(StorageError::TypeMismatch {
+                    expected: a.data_type().to_string(),
+                    actual: b.data_type().to_string(),
+                })
+            }
+        }
+        Ok(())
+    }
+
     /// Approximate heap size of the column in bytes (used for reporting).
     pub fn byte_size(&self) -> usize {
         match self {
@@ -220,6 +238,15 @@ mod tests {
     fn push_type_mismatch() {
         let mut c = Column::empty(DataType::Int64);
         let err = c.push(Value::Utf8("a".into())).unwrap_err();
+        assert!(matches!(err, StorageError::TypeMismatch { .. }));
+    }
+
+    #[test]
+    fn append_concatenates_and_checks_types() {
+        let mut c = Column::from(vec![1i64, 2]);
+        c.append(&Column::from(vec![3i64])).unwrap();
+        assert_eq!(c.as_i64().unwrap(), &[1, 2, 3]);
+        let err = c.append(&Column::from(vec![1.5f64])).unwrap_err();
         assert!(matches!(err, StorageError::TypeMismatch { .. }));
     }
 

@@ -8,12 +8,12 @@
 //! ```
 
 use bqo_core::workloads::{job_like, Scale};
-use bqo_core::{Database, OptimizerChoice};
+use bqo_core::{Engine, OptimizerChoice};
 
 fn main() {
     let workload = job_like::generate(Scale(0.1), 12, 7);
     println!("workload: {}", workload.stats());
-    let db = Database::from_catalog(workload.catalog);
+    let engine = Engine::from_catalog(workload.catalog);
 
     // Pick the multi-fact queries (every third query by construction).
     let multi: Vec<_> = workload
@@ -23,7 +23,9 @@ fn main() {
         .collect();
 
     for query in multi {
-        let graph = query.to_join_graph(db.catalog()).expect("query resolves");
+        let graph = query
+            .to_join_graph(engine.catalog())
+            .expect("query resolves");
         println!(
             "\n=== {} — {} relations, {} joins, {} fact tables ===",
             query.name,
@@ -32,9 +34,10 @@ fn main() {
             graph.fact_tables().len()
         );
         for choice in [OptimizerChoice::Baseline, OptimizerChoice::Bqo] {
-            let (optimized, result) = db.run(query, choice).expect("query executes");
-            println!("--- {} ---", choice.label());
-            println!("{}", optimized.explain());
+            let prepared = engine.prepare(query, choice).expect("query prepares");
+            let result = prepared.run().expect("query executes");
+            println!("--- {} ---", choice.display_label());
+            println!("{}", prepared.explain());
             println!(
                 "result rows {}, join tuples {}, filters {} (eliminated {}), wall {:.1} ms",
                 result.output_rows,

@@ -1,12 +1,12 @@
-//! Quickstart: build a tiny warehouse by hand, ask the bitvector-aware
-//! optimizer for a plan, inspect it, and run it.
+//! Quickstart: build a tiny warehouse by hand with the [`Engine`] builder,
+//! ask the bitvector-aware optimizer for a plan, inspect it, and run it.
 //!
 //! ```text
 //! cargo run -p bqo-examples --bin quickstart
 //! ```
 
 use bqo_core::{
-    ColumnPredicate, CompareOp, Database, ForeignKey, OptimizerChoice, QuerySpec, TableBuilder,
+    ColumnPredicate, CompareOp, Engine, ForeignKey, OptimizerChoice, QuerySpec, TableBuilder,
 };
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -19,59 +19,59 @@ fn main() {
     let num_stores = 200usize;
     let num_sales = 500_000usize;
 
-    let mut db = Database::new();
-    db.register_table(
-        TableBuilder::new("product")
-            .with_i64("product_sk", (0..num_products as i64).collect())
-            .with_i64(
-                "category",
-                (0..num_products).map(|_| rng.gen_range(0..40)).collect(),
-            )
-            .build()
-            .expect("product table"),
-    );
-    db.register_table(
-        TableBuilder::new("store")
-            .with_i64("store_sk", (0..num_stores as i64).collect())
-            .with_i64(
-                "region",
-                (0..num_stores).map(|_| rng.gen_range(0..10)).collect(),
-            )
-            .build()
-            .expect("store table"),
-    );
-    db.register_table(
-        TableBuilder::new("sales")
-            .with_i64(
-                "product_sk",
-                (0..num_sales)
-                    .map(|_| rng.gen_range(0..num_products as i64))
-                    .collect(),
-            )
-            .with_i64(
-                "store_sk",
-                (0..num_sales)
-                    .map(|_| rng.gen_range(0..num_stores as i64))
-                    .collect(),
-            )
-            .with_f64(
-                "amount",
-                (0..num_sales).map(|_| rng.gen_range(1.0..500.0)).collect(),
-            )
-            .build()
-            .expect("sales table"),
-    );
-    db.declare_primary_key("product", "product_sk").unwrap();
-    db.declare_primary_key("store", "store_sk").unwrap();
-    db.declare_foreign_key(ForeignKey::new(
-        "sales",
-        "product_sk",
-        "product",
-        "product_sk",
-    ))
-    .unwrap();
-    db.declare_foreign_key(ForeignKey::new("sales", "store_sk", "store", "store_sk"))
-        .unwrap();
+    let engine = Engine::builder()
+        .table(
+            TableBuilder::new("product")
+                .with_i64("product_sk", (0..num_products as i64).collect())
+                .with_i64(
+                    "category",
+                    (0..num_products).map(|_| rng.gen_range(0..40)).collect(),
+                )
+                .build()
+                .expect("product table"),
+        )
+        .table(
+            TableBuilder::new("store")
+                .with_i64("store_sk", (0..num_stores as i64).collect())
+                .with_i64(
+                    "region",
+                    (0..num_stores).map(|_| rng.gen_range(0..10)).collect(),
+                )
+                .build()
+                .expect("store table"),
+        )
+        .table(
+            TableBuilder::new("sales")
+                .with_i64(
+                    "product_sk",
+                    (0..num_sales)
+                        .map(|_| rng.gen_range(0..num_products as i64))
+                        .collect(),
+                )
+                .with_i64(
+                    "store_sk",
+                    (0..num_sales)
+                        .map(|_| rng.gen_range(0..num_stores as i64))
+                        .collect(),
+                )
+                .with_f64(
+                    "amount",
+                    (0..num_sales).map(|_| rng.gen_range(1.0..500.0)).collect(),
+                )
+                .build()
+                .expect("sales table"),
+        )
+        .primary_key("product", "product_sk")
+        .primary_key("store", "store_sk")
+        .foreign_key(ForeignKey::new(
+            "sales",
+            "product_sk",
+            "product",
+            "product_sk",
+        ))
+        .foreign_key(ForeignKey::new("sales", "store_sk", "store", "store_sk"))
+        .build()
+        .expect("engine builds");
 
     // "How many sales of category-3 products happened in region 0 stores?"
     let query = QuerySpec::new("quickstart")
@@ -87,12 +87,13 @@ fn main() {
         .predicate("store", ColumnPredicate::new("region", CompareOp::Eq, 0i64));
 
     for choice in [OptimizerChoice::Baseline, OptimizerChoice::Bqo] {
-        let (optimized, result) = db.run(&query, choice).expect("query runs");
+        let prepared = engine.prepare(&query, choice).expect("query prepares");
+        let result = prepared.run().expect("query runs");
         println!("=== {} ===", choice.label());
-        println!("{}", optimized.explain());
+        println!("{}", prepared.explain());
         println!(
             "estimated Cout      : {:.0}",
-            optimized.estimated_cost.total
+            prepared.estimated_cost().total
         );
         println!("result rows         : {}", result.output_rows);
         println!(

@@ -14,16 +14,18 @@
 use bqo_core::optimizer::{candidate_plans, enumerate_right_deep};
 use bqo_core::plan::CostModel;
 use bqo_core::workloads::{star, Scale};
-use bqo_core::{Database, OptimizerChoice};
+use bqo_core::{Engine, OptimizerChoice};
 
 fn main() {
     let num_dims = 5;
     let workload = star::generate(Scale(0.05), num_dims, 1, 2024);
-    let db = Database::from_catalog(workload.catalog);
+    let engine = Engine::from_catalog(workload.catalog);
     // Hand-build a query with mixed selectivities: dim0 very selective,
     // dim1 unfiltered, the rest in between.
     let query = star::build_query("analysis", num_dims, &[(0, 1), (2, 10), (3, 4), (4, 16)]);
-    let graph = query.to_join_graph(db.catalog()).expect("query resolves");
+    let graph = query
+        .to_join_graph(engine.catalog())
+        .expect("query resolves");
     let model = CostModel::new(&graph);
 
     let plans = enumerate_right_deep(&graph);
@@ -72,11 +74,12 @@ fn main() {
 
     // Execute both optimizers' choices to see the difference on real data.
     for choice in [OptimizerChoice::Baseline, OptimizerChoice::Bqo] {
-        let (optimized, result) = db.run(&query, choice).expect("query executes");
+        let prepared = engine.prepare(&query, choice).expect("query prepares");
+        let result = prepared.run().expect("query executes");
         println!(
             "\n{}: estimated Cout {:.0}, joins produced {} tuples, wall time {:.2} ms",
             choice.label(),
-            optimized.estimated_cost.total,
+            prepared.estimated_cost().total,
             result.metrics.tuples_by_kind(bqo_core::OperatorKind::Join),
             result.metrics.elapsed_secs() * 1e3
         );

@@ -7,7 +7,7 @@ use bqo_core::exec::ExecConfig;
 use bqo_core::workloads::{
     customer_like, job_like, microbench, snowflake, star, tpcds_like, Scale,
 };
-use bqo_core::{Database, OptimizerChoice};
+use bqo_core::{Engine, OptimizerChoice};
 
 const CHOICES: [OptimizerChoice; 4] = [
     OptimizerChoice::Baseline,
@@ -17,20 +17,20 @@ const CHOICES: [OptimizerChoice; 4] = [
 ];
 
 fn assert_consistent(workload: &bqo_core::workloads::Workload) {
-    let db = Database::from_catalog(workload.catalog.clone());
+    let engine = Engine::from_catalog(workload.catalog.clone());
     for query in &workload.queries {
         let mut expected: Option<u64> = None;
         for choice in CHOICES {
-            let optimized = db
-                .optimize(query, choice)
+            let prepared = engine
+                .prepare(query, choice)
                 .unwrap_or_else(|e| panic!("{}: optimize failed: {e}", query.name));
             for config in [
                 ExecConfig::default(),
                 ExecConfig::exact_filters(),
                 ExecConfig::without_bitvectors(),
             ] {
-                let result = db
-                    .execute_with(&optimized, config)
+                let result = prepared
+                    .run_with(config)
                     .unwrap_or_else(|e| panic!("{}: execute failed: {e}", query.name));
                 match expected {
                     None => expected = Some(result.output_rows),
@@ -84,16 +84,16 @@ fn bqo_estimated_cost_never_worse_than_baseline() {
         snowflake::generate(Scale(0.02), &[2, 2], 4, 8),
         tpcds_like::generate(Scale(0.01), 8, 9),
     ] {
-        let db = Database::from_catalog(workload.catalog.clone());
+        let engine = Engine::from_catalog(workload.catalog.clone());
         for query in &workload.queries {
-            let baseline = db.optimize(query, OptimizerChoice::Baseline).unwrap();
-            let bqo = db.optimize(query, OptimizerChoice::Bqo).unwrap();
+            let baseline = engine.prepare(query, OptimizerChoice::Baseline).unwrap();
+            let bqo = engine.prepare(query, OptimizerChoice::Bqo).unwrap();
             assert!(
-                bqo.estimated_cost.total <= baseline.estimated_cost.total * (1.0 + 1e-9) + 1e-6,
+                bqo.estimated_cost().total <= baseline.estimated_cost().total * (1.0 + 1e-9) + 1e-6,
                 "{}: bqo {} vs baseline {}",
                 query.name,
-                bqo.estimated_cost.total,
-                baseline.estimated_cost.total
+                bqo.estimated_cost().total,
+                baseline.estimated_cost().total
             );
         }
     }
@@ -102,13 +102,13 @@ fn bqo_estimated_cost_never_worse_than_baseline() {
 #[test]
 fn plans_cover_every_query_relation_exactly_once() {
     let workload = tpcds_like::generate(Scale(0.01), 8, 11);
-    let db = Database::from_catalog(workload.catalog.clone());
+    let engine = Engine::from_catalog(workload.catalog.clone());
     for query in &workload.queries {
         for choice in CHOICES {
-            let optimized = db.optimize(query, choice).unwrap();
-            let rels = optimized.plan.relation_set(optimized.plan.root());
+            let prepared = engine.prepare(query, choice).unwrap();
+            let rels = prepared.plan().relation_set(prepared.plan().root());
             assert_eq!(rels.len(), query.tables.len(), "{}", query.name);
-            assert_eq!(optimized.plan.num_joins(), query.tables.len() - 1);
+            assert_eq!(prepared.plan().num_joins(), query.tables.len() - 1);
         }
     }
 }
@@ -118,14 +118,12 @@ fn filter_elimination_counts_are_consistent_with_scan_outputs() {
     // With exact filters, the tuples eliminated at scans plus the tuples
     // surviving equal the tuples that entered the filters.
     let workload = star::generate(Scale(0.02), 3, 3, 33);
-    let db = Database::from_catalog(workload.catalog.clone());
+    let engine = Engine::from_catalog(workload.catalog.clone());
     for query in &workload.queries {
-        let optimized = db
-            .optimize(query, OptimizerChoice::BqoWithThreshold(0.0))
+        let prepared = engine
+            .prepare(query, OptimizerChoice::BqoWithThreshold(0.0))
             .unwrap();
-        let result = db
-            .execute_with(&optimized, ExecConfig::exact_filters())
-            .unwrap();
+        let result = prepared.run_with(ExecConfig::exact_filters()).unwrap();
         let stats = result.metrics.filter_stats;
         assert_eq!(stats.passed() + stats.eliminated, stats.probed);
     }

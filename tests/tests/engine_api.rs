@@ -1,0 +1,229 @@
+//! Integration tests of the `Engine` facade and the pull-based pipeline:
+//! batch-size invariance (results and counters must be bit-identical for
+//! every batch size, and match the pre-redesign recursive executor), and
+//! descriptive error paths instead of panics.
+
+use bqo_core::exec::{ExecConfig, DEFAULT_BATCH_SIZE};
+use bqo_core::plan::{push_down_bitvectors, PhysicalPlan, RightDeepTree};
+use bqo_core::workloads::{tpcds_like, Scale};
+use bqo_core::{
+    ColumnPredicate, CompareOp, Engine, OperatorKind, OptimizerChoice, QueryPhase, QuerySpec,
+    TableBuilder,
+};
+
+/// Batch sizes swept by the invariance tests; `usize::MAX` is effectively
+/// unbatched (one batch per scan), i.e. the pre-redesign execution granularity.
+const BATCH_SIZES: [usize; 4] = [1, 7, 1024, usize::MAX];
+
+/// The hand-built star of the original executor unit tests: fact(12 rows)
+/// -> d1(4 rows), d2(3 rows).
+fn tiny_star_engine() -> Engine {
+    Engine::builder()
+        .table(
+            TableBuilder::new("d1")
+                .with_i64("sk", vec![0, 1, 2, 3])
+                .with_i64("cat", vec![0, 0, 1, 1])
+                .build()
+                .unwrap(),
+        )
+        .table(
+            TableBuilder::new("d2")
+                .with_i64("sk", vec![0, 1, 2])
+                .with_i64("flag", vec![1, 0, 1])
+                .build()
+                .unwrap(),
+        )
+        .table(
+            TableBuilder::new("fact")
+                .with_i64("d1_sk", vec![0, 1, 2, 3, 0, 1, 2, 3, 0, 1, 2, 3])
+                .with_i64("d2_sk", vec![0, 0, 0, 0, 1, 1, 1, 1, 2, 2, 2, 2])
+                .with_f64("amount", vec![1.0; 12])
+                .build()
+                .unwrap(),
+        )
+        .primary_key("d1", "sk")
+        .primary_key("d2", "sk")
+        .build()
+        .unwrap()
+}
+
+/// Every batch size must reproduce the numbers the pre-redesign recursive
+/// executor produced on the tiny star (recorded in the seed's executor unit
+/// test): 4 result rows, 2 filters created, 4 + 2 + 2 leaf tuples with exact
+/// filters, and at least one elimination.
+#[test]
+fn batch_size_sweep_matches_the_pre_redesign_oracle() {
+    let engine = tiny_star_engine();
+    let spec = QuerySpec::new("tiny_star")
+        .table("fact")
+        .table("d1")
+        .table("d2")
+        .join("fact", "d1_sk", "d1", "sk")
+        .join("fact", "d2_sk", "d2", "sk")
+        .predicate("d1", ColumnPredicate::new("cat", CompareOp::Eq, 0i64))
+        .predicate("d2", ColumnPredicate::new("flag", CompareOp::Eq, 1i64));
+    let graph = spec.to_join_graph(engine.catalog()).unwrap();
+    let fact = graph.relation_by_name("fact").unwrap();
+    let d1 = graph.relation_by_name("d1").unwrap();
+    let d2 = graph.relation_by_name("d2").unwrap();
+    let tree = RightDeepTree::new(vec![fact, d1, d2]).to_join_tree();
+    let plan = push_down_bitvectors(&graph, PhysicalPlan::from_join_tree(&graph, &tree));
+
+    let mut probed = Vec::new();
+    let mut eliminated = Vec::new();
+    for batch_size in BATCH_SIZES {
+        let result = engine
+            .execute_plan_with(
+                &graph,
+                &plan,
+                ExecConfig::exact_filters().with_batch_size(batch_size),
+            )
+            .unwrap();
+        assert_eq!(result.output_rows, 4, "batch_size {batch_size}");
+        assert_eq!(result.metrics.filters_created, 2, "batch_size {batch_size}");
+        assert_eq!(
+            result.metrics.tuples_by_kind(OperatorKind::Leaf),
+            4 + 2 + 2,
+            "batch_size {batch_size}"
+        );
+        assert!(result.metrics.filter_stats.eliminated > 0);
+        probed.push(result.metrics.filter_stats.probed);
+        eliminated.push(result.metrics.filter_stats.eliminated);
+    }
+    assert!(
+        probed.windows(2).all(|w| w[0] == w[1]),
+        "probe counts differ across batch sizes: {probed:?}"
+    );
+    assert!(
+        eliminated.windows(2).all(|w| w[0] == w[1]),
+        "elimination counts differ across batch sizes: {eliminated:?}"
+    );
+}
+
+/// On a generated workload, both optimizers' plans must produce identical
+/// rows and filter statistics for every batch size, with the unbatched run
+/// (`usize::MAX`, the pre-redesign granularity) as the oracle.
+#[test]
+fn batch_size_sweep_is_invariant_on_generated_workloads() {
+    let workload = tpcds_like::generate(Scale(0.02), 3, 17);
+    let engine = Engine::from_catalog(workload.catalog.clone());
+    for query in &workload.queries {
+        for choice in [OptimizerChoice::Baseline, OptimizerChoice::Bqo] {
+            let prepared = engine.prepare(query, choice).unwrap();
+            let oracle = prepared
+                .run_with(ExecConfig::exact_filters().with_batch_size(usize::MAX))
+                .unwrap();
+            for batch_size in BATCH_SIZES {
+                let result = prepared
+                    .run_with(ExecConfig::exact_filters().with_batch_size(batch_size))
+                    .unwrap();
+                let label = format!("{} / {:?} / batch {batch_size}", query.name, choice);
+                assert_eq!(result.output_rows, oracle.output_rows, "{label}");
+                assert_eq!(
+                    result.metrics.filters_created, oracle.metrics.filters_created,
+                    "{label}"
+                );
+                assert_eq!(
+                    result.metrics.filter_stats.probed, oracle.metrics.filter_stats.probed,
+                    "{label}"
+                );
+                assert_eq!(
+                    result.metrics.filter_stats.eliminated, oracle.metrics.filter_stats.eliminated,
+                    "{label}"
+                );
+                for kind in [OperatorKind::Leaf, OperatorKind::Join, OperatorKind::Other] {
+                    assert_eq!(
+                        result.metrics.tuples_by_kind(kind),
+                        oracle.metrics.tuples_by_kind(kind),
+                        "{label} {kind:?}"
+                    );
+                }
+                assert_eq!(
+                    result.metrics.total_probe_rows(),
+                    oracle.metrics.total_probe_rows(),
+                    "{label}"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn default_batch_size_is_sane_and_clamped() {
+    assert_eq!(ExecConfig::default().batch_size, DEFAULT_BATCH_SIZE);
+    const { assert!(DEFAULT_BATCH_SIZE > 1) };
+    // A zero batch size silently becomes 1 instead of hanging the pipeline.
+    assert_eq!(ExecConfig::default().with_batch_size(0).batch_size, 1);
+}
+
+#[test]
+fn unknown_relation_in_query_spec_is_a_descriptive_error() {
+    let engine = tiny_star_engine();
+    let spec = QuerySpec::new("bad_table_query")
+        .table("fact")
+        .table("nope");
+    let err = engine
+        .prepare(&spec, OptimizerChoice::Bqo)
+        .expect_err("unknown relation must not panic");
+    assert_eq!(err.phase(), QueryPhase::Planning);
+    assert_eq!(err.query(), Some("bad_table_query"));
+    let msg = err.to_string();
+    assert!(msg.contains("bad_table_query"), "{msg}");
+    assert!(msg.contains("nope"), "{msg}");
+}
+
+#[test]
+fn unknown_column_in_query_spec_is_a_descriptive_error() {
+    let engine = tiny_star_engine();
+    // Predicate on a column d1 does not have.
+    let spec = QuerySpec::new("bad_column_query")
+        .table("fact")
+        .table("d1")
+        .join("fact", "d1_sk", "d1", "sk")
+        .predicate(
+            "d1",
+            ColumnPredicate::new("no_such_column", CompareOp::Eq, 1i64),
+        );
+    let err = engine
+        .prepare(&spec, OptimizerChoice::Baseline)
+        .expect_err("unknown column must not panic");
+    assert_eq!(err.phase(), QueryPhase::Planning);
+    let msg = err.to_string();
+    assert!(msg.contains("bad_column_query"), "{msg}");
+    assert!(msg.contains("no_such_column"), "{msg}");
+
+    // Join on a column that does not exist.
+    let spec = QuerySpec::new("bad_join_query")
+        .table("fact")
+        .table("d1")
+        .join("fact", "ghost_sk", "d1", "sk");
+    let err = engine
+        .prepare(&spec, OptimizerChoice::Bqo)
+        .expect_err("unknown join column must not panic");
+    let msg = err.to_string();
+    assert!(msg.contains("bad_join_query"), "{msg}");
+    assert!(msg.contains("ghost_sk"), "{msg}");
+}
+
+/// Execution errors keep the query name too: prepare against one engine and
+/// run against an engine whose catalog lacks the table.
+#[test]
+fn execution_phase_errors_carry_query_context() {
+    let engine = tiny_star_engine();
+    let spec = QuerySpec::new("runtime_ghost")
+        .table("fact")
+        .table("d1")
+        .join("fact", "d1_sk", "d1", "sk");
+    let graph = spec.to_join_graph(engine.catalog()).unwrap();
+    let fact = graph.relation_by_name("fact").unwrap();
+    let d1 = graph.relation_by_name("d1").unwrap();
+    let tree = RightDeepTree::new(vec![fact, d1]).to_join_tree();
+    let plan = PhysicalPlan::from_join_tree(&graph, &tree);
+
+    let empty = Engine::builder().build().unwrap();
+    let err = empty
+        .execute_plan(&graph, &plan)
+        .expect_err("missing table at runtime must not panic");
+    assert_eq!(err.phase(), QueryPhase::Execution);
+    assert!(err.to_string().contains("fact") || err.to_string().contains("d1"));
+}

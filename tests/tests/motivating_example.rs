@@ -3,15 +3,15 @@
 //! the bitvector-aware optimizer finds the better plan.
 
 use bqo_bench::prelude::{
-    exhaustive_best_right_deep, job_like, push_down_bitvectors, CostModel, Database, ExecConfig,
-    Executor, OptimizerChoice, PhysicalPlan, Scale,
+    exhaustive_best_right_deep, job_like, push_down_bitvectors, CostModel, Engine, ExecConfig,
+    OptimizerChoice, PhysicalPlan, Scale,
 };
 
 #[test]
 fn best_plain_plan_is_not_best_with_bitvectors() {
     let workload = job_like::figure2_workload(Scale(0.03), 7);
-    let db = Database::from_catalog(workload.catalog.clone());
-    let graph = workload.queries[0].to_join_graph(db.catalog()).unwrap();
+    let engine = Engine::from_catalog(workload.catalog.clone());
+    let graph = workload.queries[0].to_join_graph(engine.catalog()).unwrap();
     let model = CostModel::new(&graph);
 
     let (p1, p1_plain_cost) = exhaustive_best_right_deep(&graph, &model, false).unwrap();
@@ -39,14 +39,13 @@ fn best_plain_plan_is_not_best_with_bitvectors() {
 #[test]
 fn executed_costs_follow_the_estimates() {
     let workload = job_like::figure2_workload(Scale(0.03), 7);
-    let db = Database::from_catalog(workload.catalog.clone());
-    let graph = workload.queries[0].to_join_graph(db.catalog()).unwrap();
+    let engine = Engine::from_catalog(workload.catalog.clone());
+    let graph = workload.queries[0].to_join_graph(engine.catalog()).unwrap();
     let model = CostModel::new(&graph);
 
     let (p1, _) = exhaustive_best_right_deep(&graph, &model, false).unwrap();
     let (p2, _) = exhaustive_best_right_deep(&graph, &model, true).unwrap();
 
-    let exec = Executor::with_config(db.catalog(), ExecConfig::exact_filters());
     let run = |tree: &bqo_core::plan::RightDeepTree, with_bv: bool| {
         let plan = PhysicalPlan::from_join_tree(&graph, &tree.to_join_tree());
         let plan = if with_bv {
@@ -54,7 +53,9 @@ fn executed_costs_follow_the_estimates() {
         } else {
             plan
         };
-        exec.execute(&graph, &plan).unwrap()
+        engine
+            .execute_plan_with(&graph, &plan, ExecConfig::exact_filters())
+            .unwrap()
     };
 
     let p1_plain = run(&p1, false);
@@ -74,12 +75,14 @@ fn executed_costs_follow_the_estimates() {
 #[test]
 fn bqo_optimizer_picks_the_better_plan_automatically() {
     let workload = job_like::figure2_workload(Scale(0.03), 7);
-    let db = Database::from_catalog(workload.catalog.clone());
+    let engine = Engine::from_catalog(workload.catalog.clone());
     let query = &workload.queries[0];
-    let (bqo_opt, bqo_run) = db.run(query, OptimizerChoice::Bqo).unwrap();
-    let (base_opt, base_run) = db.run(query, OptimizerChoice::Baseline).unwrap();
+    let bqo_opt = engine.prepare(query, OptimizerChoice::Bqo).unwrap();
+    let base_opt = engine.prepare(query, OptimizerChoice::Baseline).unwrap();
+    let bqo_run = bqo_opt.run().unwrap();
+    let base_run = base_opt.run().unwrap();
     assert_eq!(bqo_run.output_rows, base_run.output_rows);
-    assert!(bqo_opt.estimated_cost.total <= base_opt.estimated_cost.total);
+    assert!(bqo_opt.estimated_cost().total <= base_opt.estimated_cost().total);
     assert!(
         bqo_run.metrics.logical_work() <= base_run.metrics.logical_work(),
         "bqo {} vs baseline {}",

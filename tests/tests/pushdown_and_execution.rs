@@ -2,10 +2,10 @@
 //! filters land, what they eliminate, and how execution-side numbers line up
 //! with the analytical model.
 
-use bqo_core::exec::{ExecConfig, Executor};
+use bqo_core::exec::ExecConfig;
 use bqo_core::plan::{push_down_bitvectors, CostModel, PhysicalNode, PhysicalPlan, RightDeepTree};
 use bqo_core::workloads::{star, tpcds_like, Scale};
-use bqo_core::{Database, OptimizerChoice};
+use bqo_core::{Engine, OptimizerChoice};
 
 /// With exact filters and a star plan whose filters all reach the fact scan,
 /// the fact scan's output equals the final join cardinality (the absorption
@@ -14,8 +14,8 @@ use bqo_core::{Database, OptimizerChoice};
 fn star_fact_scan_output_equals_final_join_cardinality() {
     let catalog = star::build_catalog(Scale(0.05), 3, 5);
     let query = star::build_query("q", 3, &[(0, 2), (1, 5), (2, 10)]);
-    let db = Database::from_catalog(catalog);
-    let graph = query.to_join_graph(db.catalog()).unwrap();
+    let engine = Engine::from_catalog(catalog);
+    let graph = query.to_join_graph(engine.catalog()).unwrap();
 
     let fact = graph.relation_by_name("fact").unwrap();
     let dims: Vec<_> = graph.relation_ids().filter(|&r| r != fact).collect();
@@ -24,8 +24,9 @@ fn star_fact_scan_output_equals_final_join_cardinality() {
     let tree = RightDeepTree::new(order).to_join_tree();
     let plan = push_down_bitvectors(&graph, PhysicalPlan::from_join_tree(&graph, &tree));
 
-    let exec = Executor::with_config(db.catalog(), ExecConfig::exact_filters());
-    let result = exec.execute(&graph, &plan).unwrap();
+    let result = engine
+        .execute_plan_with(&graph, &plan, ExecConfig::exact_filters())
+        .unwrap();
 
     // Find the fact scan's recorded output.
     let fact_scan = plan
@@ -54,22 +55,20 @@ fn star_fact_scan_output_equals_final_join_cardinality() {
 fn estimated_lambda_tracks_observed_elimination() {
     let catalog = star::build_catalog(Scale(0.05), 3, 9);
     let query = star::build_query("q", 3, &[(0, 1), (2, 10)]);
-    let db = Database::from_catalog(catalog);
-    let graph = query.to_join_graph(db.catalog()).unwrap();
+    let engine = Engine::from_catalog(catalog);
+    let graph = query.to_join_graph(engine.catalog()).unwrap();
     let model = CostModel::new(&graph);
 
-    let optimized = db
-        .optimize(&query, OptimizerChoice::BqoWithThreshold(0.0))
+    let prepared = engine
+        .prepare(&query, OptimizerChoice::BqoWithThreshold(0.0))
         .unwrap();
     // Execute with exact filters and per-placement accounting: compare the
     // aggregate elimination with the model's per-placement estimates.
-    let result = db
-        .execute_with(&optimized, ExecConfig::exact_filters())
-        .unwrap();
+    let result = prepared.run_with(ExecConfig::exact_filters()).unwrap();
     let observed = result.metrics.filter_stats.elimination_rate();
 
-    let estimates: Vec<f64> = (0..optimized.plan.placements.len())
-        .map(|i| model.estimated_elimination_fraction(&optimized.plan, i))
+    let estimates: Vec<f64> = (0..prepared.plan().placements.len())
+        .map(|i| model.estimated_elimination_fraction(prepared.plan(), i))
         .collect();
     let max_estimate = estimates.iter().cloned().fold(0.0f64, f64::max);
     // The strongest filter's estimate should be in the same ballpark as the
@@ -90,19 +89,18 @@ fn estimated_lambda_tracks_observed_elimination() {
 #[test]
 fn postprocessing_reduces_probe_work_without_changing_answers() {
     let workload = tpcds_like::generate(Scale(0.02), 5, 31);
-    let db = Database::from_catalog(workload.catalog.clone());
+    let engine = Engine::from_catalog(workload.catalog.clone());
     let mut reduced = 0usize;
     for query in &workload.queries {
-        let graph = query.to_join_graph(db.catalog()).unwrap();
-        let with = db.optimize(query, OptimizerChoice::Baseline).unwrap();
+        let graph = query.to_join_graph(engine.catalog()).unwrap();
+        let with = engine.prepare(query, OptimizerChoice::Baseline).unwrap();
         let without_plan = {
-            let mut p = with.plan.clone();
+            let mut p = with.plan().clone();
             p.placements.clear();
             p
         };
-        let exec = Executor::new(db.catalog());
-        let a = exec.execute(&graph, &with.plan).unwrap();
-        let b = exec.execute(&graph, &without_plan).unwrap();
+        let a = engine.execute_plan(&graph, with.plan()).unwrap();
+        let b = engine.execute_plan(&graph, &without_plan).unwrap();
         assert_eq!(a.output_rows, b.output_rows, "{}", query.name);
         if a.metrics.total_probe_rows() < b.metrics.total_probe_rows() {
             reduced += 1;
@@ -121,11 +119,11 @@ fn postprocessing_reduces_probe_work_without_changing_answers() {
 #[test]
 fn placements_are_structurally_valid_across_workload_plans() {
     let workload = tpcds_like::generate(Scale(0.01), 10, 77);
-    let db = Database::from_catalog(workload.catalog.clone());
+    let engine = Engine::from_catalog(workload.catalog.clone());
     for query in &workload.queries {
         for choice in [OptimizerChoice::Baseline, OptimizerChoice::Bqo] {
-            let optimized = db.optimize(query, choice).unwrap();
-            let plan = &optimized.plan;
+            let prepared = engine.prepare(query, choice).unwrap();
+            let plan = prepared.plan();
             for placement in &plan.placements {
                 let source = plan.node(placement.source_join);
                 let PhysicalNode::HashJoin { probe, .. } = source else {
