@@ -1,0 +1,63 @@
+//! Parallel scaling — morsel-driven execution of the star workload's BQO
+//! plans under increasing `ExecConfig::num_threads`.
+//!
+//! The acceptance target is ≥1.5x speedup at 4 threads on the scale-0.1
+//! workload **on a host with at least 4 hardware threads**; on smaller hosts
+//! the bench still runs (and the thread counts must still produce identical
+//! answers — asserted here) but wall-clock speedup is bounded by the
+//! hardware. `cargo run -p bqo-bench --bin reproduce -- parallel_scaling`
+//! prints the measured speedup table with the host's available parallelism.
+
+use bqo_core::exec::ExecConfig;
+use bqo_core::workloads::{star, Scale};
+use bqo_core::{Engine, OptimizerChoice};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench_parallel_scaling(c: &mut Criterion) {
+    let workload = star::generate(Scale(0.1), 4, 4, 11);
+    let engine = Engine::from_catalog(workload.catalog.clone());
+    let prepared: Vec<_> = workload
+        .queries
+        .iter()
+        .map(|q| engine.prepare(q, OptimizerChoice::Bqo).unwrap())
+        .collect();
+    // Unbatched with 4096-row scan morsels: the bitvector probe and hash
+    // probe kernels dominate and amortize the per-section worker fan-out.
+    let base = ExecConfig::default()
+        .with_batch_size(usize::MAX)
+        .with_morsel_size(4096);
+
+    let serial_rows: u64 = prepared
+        .iter()
+        .map(|p| p.run_with(base).unwrap().output_rows)
+        .sum();
+
+    let mut group = c.benchmark_group("fig_parallel_scaling");
+    group.sample_size(10);
+    for num_threads in [1usize, 2, 4, 8] {
+        let config = base.with_num_threads(num_threads);
+        let rows: u64 = prepared
+            .iter()
+            .map(|p| p.run_with(config).unwrap().output_rows)
+            .sum();
+        assert_eq!(
+            rows, serial_rows,
+            "answers changed at {num_threads} threads"
+        );
+        group.bench_function(format!("threads/{num_threads}"), |b| {
+            b.iter(|| {
+                black_box(
+                    prepared
+                        .iter()
+                        .map(|p| p.run_with(config).unwrap().output_rows)
+                        .sum::<u64>(),
+                )
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_parallel_scaling);
+criterion_main!(benches);

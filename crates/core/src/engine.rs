@@ -153,7 +153,7 @@ impl EngineBuilder {
     }
 
     /// Sets the execution configuration (filter kind, bitvectors on/off,
-    /// batch size).
+    /// batch size, morsel size, worker-thread count).
     pub fn exec_config(mut self, config: ExecConfig) -> Self {
         self.exec_config = config;
         self
@@ -217,9 +217,23 @@ impl PreparedQuery<'_> {
         &self.estimated_cost
     }
 
-    /// EXPLAIN-style rendering of the plan.
+    /// EXPLAIN-style rendering of the plan, followed by the engine's
+    /// execution configuration (batch size and worker-thread count).
     pub fn explain(&self) -> String {
-        self.plan.explain(&self.graph)
+        let mut out = self.plan.explain(&self.graph);
+        let config = self.engine.exec_config;
+        if config.batch_size == usize::MAX {
+            out.push_str(&format!(
+                "execution: batch_size=unbatched, num_threads={}\n",
+                config.num_threads
+            ));
+        } else {
+            out.push_str(&format!(
+                "execution: batch_size={}, num_threads={}\n",
+                config.batch_size, config.num_threads
+            ));
+        }
+        out
     }
 
     /// Runs the plan through the pull-based operator pipeline with the
@@ -229,9 +243,23 @@ impl PreparedQuery<'_> {
     }
 
     /// Runs the plan with an explicit execution configuration (e.g.
-    /// bitvectors disabled, exact filters, a different batch size).
+    /// bitvectors disabled, exact filters, a different batch size or
+    /// worker-thread count).
     pub fn run_with(&self, config: ExecConfig) -> Result<QueryResult, BqoError> {
         bqo_exec::execute_plan(&self.engine.catalog, &self.graph, &self.plan, config)
+            .map_err(|e| BqoError::execution(&self.name, e))
+    }
+
+    /// Runs the plan like [`PreparedQuery::run_with`] but additionally
+    /// returns the concatenated output rows — the differential-testing entry
+    /// point used by the parallel-oracle harness to compare results bit for
+    /// bit across `(batch_size, num_threads)` configurations.
+    pub fn run_with_rows(
+        &self,
+        config: ExecConfig,
+    ) -> Result<(QueryResult, bqo_exec::Batch), BqoError> {
+        bqo_exec::Executor::with_config(&self.engine.catalog, config)
+            .execute_with_rows(&self.graph, &self.plan)
             .map_err(|e| BqoError::execution(&self.name, e))
     }
 }

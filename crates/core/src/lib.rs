@@ -42,10 +42,14 @@
 //!
 //! Plans execute as a tree of pull-based operators exchanging batches of at
 //! most [`ExecConfig::batch_size`] rows: scans apply local predicates and
-//! pushed-down bitvector probes per batch, hash joins drain their build side
-//! at `open` (publishing their bitvector filter before the probe side starts)
-//! and stream the probe side. Results and all reported counters are identical
-//! for every batch size.
+//! pushed-down bitvector probes, hash joins drain their build side at `open`
+//! (publishing their bitvector filter before the probe side starts) and
+//! stream the probe side. The probe-heavy loops run as shared-state-free
+//! kernels over fixed-size row **morsels** dispatched to
+//! [`ExecConfig::num_threads`] workers ([`ExecConfig::with_num_threads`]),
+//! with per-morsel outputs and counters merged deterministically in morsel
+//! order — so results and all reported counters are bit-identical for every
+//! `(batch_size, morsel_size, num_threads)` combination.
 
 pub mod engine;
 pub mod error;

@@ -5,7 +5,11 @@ use bqo_storage::{Column, Table};
 
 /// A fully materialized intermediate result: a set of columns, each tagged
 /// with the base relation and column name it originated from.
-#[derive(Debug, Clone)]
+///
+/// `PartialEq` compares schema and cell values exactly — the
+/// differential-testing harness uses it to assert bit-identical output rows
+/// across execution configurations.
+#[derive(Debug, Clone, PartialEq)]
 pub struct Batch {
     schema: Vec<ColumnRef>,
     columns: Vec<Column>,

@@ -1,5 +1,6 @@
 //! The plan executor: a thin driver over the pull-based operator pipeline.
 
+use crate::batch::Batch;
 use crate::metrics::ExecutionMetrics;
 use crate::pipeline::{ExecContext, PipelineBuilder};
 use bqo_bitvector::FilterKind;
@@ -22,6 +23,17 @@ pub struct ExecConfig {
     /// produces identical results and counters; `usize::MAX` is effectively
     /// unbatched (one batch per scan). Values below 1 are treated as 1.
     pub batch_size: usize,
+    /// Worker threads for the morsel-parallel sections (scan predicate and
+    /// bitvector-probe evaluation, partitioned hash-join build, hash-probe
+    /// and residual-filter loops). `1` (the default) runs everything inline
+    /// on the calling thread — the serial path. Results and all counters are
+    /// bit-identical for every value; values below 1 are treated as 1.
+    pub num_threads: usize,
+    /// Rows per scan morsel handed to the worker pool. `None` (the default)
+    /// uses [`ExecConfig::batch_size`]. Smaller morsels spread work across
+    /// more workers without changing the batch boundaries seen by parent
+    /// operators, so results and counters are independent of this knob.
+    pub morsel_size: Option<usize>,
 }
 
 impl Default for ExecConfig {
@@ -30,6 +42,8 @@ impl Default for ExecConfig {
             filter_kind: FilterKind::default(),
             enable_bitvectors: true,
             batch_size: DEFAULT_BATCH_SIZE,
+            num_threads: 1,
+            morsel_size: None,
         }
     }
 }
@@ -51,10 +65,35 @@ impl ExecConfig {
         }
     }
 
-    /// The same configuration with a different batch size.
+    /// The same configuration with a different batch size. Values below 1
+    /// are clamped to 1 (a zero batch size would otherwise stall the
+    /// pipeline); `usize::MAX` is effectively unbatched. Every batch size
+    /// produces identical results and counters.
     pub fn with_batch_size(mut self, batch_size: usize) -> Self {
         self.batch_size = batch_size.max(1);
         self
+    }
+
+    /// The same configuration with a different worker-thread count. Values
+    /// below 1 are clamped to 1 (the serial path) rather than panicking, so
+    /// e.g. a misconfigured environment variable degrades to serial
+    /// execution.
+    pub fn with_num_threads(mut self, num_threads: usize) -> Self {
+        self.num_threads = num_threads.max(1);
+        self
+    }
+
+    /// The same configuration with an explicit scan morsel size (clamped to
+    /// at least 1). Without this, scans use one morsel per batch.
+    pub fn with_morsel_size(mut self, morsel_size: usize) -> Self {
+        self.morsel_size = Some(morsel_size.max(1));
+        self
+    }
+
+    /// The scan morsel size in effect: the explicit [`ExecConfig::morsel_size`]
+    /// if set, the batch size otherwise.
+    pub fn effective_morsel_size(&self) -> usize {
+        self.morsel_size.unwrap_or(self.batch_size).max(1)
     }
 }
 
@@ -107,21 +146,52 @@ impl<'a> Executor<'a> {
         graph: &JoinGraph,
         plan: &PhysicalPlan,
     ) -> Result<QueryResult, StorageError> {
+        let (result, _) = self.run(graph, plan, false)?;
+        Ok(result)
+    }
+
+    /// Executes a physical plan and additionally returns the concatenated
+    /// output rows. This is the differential-testing entry point: the
+    /// parallel-oracle harness compares the returned [`Batch`] bit for bit
+    /// across `(batch_size, num_threads)` configurations.
+    pub fn execute_with_rows(
+        &self,
+        graph: &JoinGraph,
+        plan: &PhysicalPlan,
+    ) -> Result<(QueryResult, Batch), StorageError> {
+        let (result, rows) = self.run(graph, plan, true)?;
+        Ok((result, rows.expect("rows were collected")))
+    }
+
+    fn run(
+        &self,
+        graph: &JoinGraph,
+        plan: &PhysicalPlan,
+        collect_rows: bool,
+    ) -> Result<(QueryResult, Option<Batch>), StorageError> {
         let start = Instant::now();
         let mut ctx = ExecContext::new(self.config);
         let mut root = PipelineBuilder::new(self.catalog, graph, plan, self.config).build()?;
         root.open(&mut ctx)?;
         let mut output_rows = 0u64;
+        let mut collected = Vec::new();
         while let Some(batch) = root.next_batch(&mut ctx)? {
             output_rows += batch.num_rows() as u64;
+            if collect_rows {
+                collected.push(batch);
+            }
         }
         root.close(&mut ctx);
         let mut metrics = ctx.into_metrics();
         metrics.elapsed = start.elapsed();
-        Ok(QueryResult {
-            output_rows,
-            metrics,
-        })
+        let rows = collect_rows.then(|| Batch::concat(collected));
+        Ok((
+            QueryResult {
+                output_rows,
+                metrics,
+            },
+            rows,
+        ))
     }
 }
 
@@ -354,6 +424,54 @@ mod tests {
         // never change results; with exact filters leaf output matches the
         // final result contribution exactly.
         assert!(with.metrics.total_probe_rows() <= without.metrics.total_probe_rows());
+    }
+
+    #[test]
+    fn zero_num_threads_is_clamped_not_a_panic() {
+        let config = ExecConfig::default().with_num_threads(0);
+        assert_eq!(config.num_threads, 1);
+        // And the clamped configuration actually executes.
+        let catalog = tiny_catalog();
+        let (g, fact, d1, d2) = tiny_graph();
+        let tree = RightDeepTree::new(vec![fact, d1, d2]).to_join_tree();
+        let plan = push_down_bitvectors(&g, PhysicalPlan::from_join_tree(&g, &tree));
+        let result = Executor::with_config(&catalog, config)
+            .execute(&g, &plan)
+            .unwrap();
+        assert_eq!(result.output_rows, EXPECTED_ROWS);
+    }
+
+    #[test]
+    fn morsel_size_defaults_to_batch_size_and_is_clamped() {
+        let config = ExecConfig::default().with_batch_size(128);
+        assert_eq!(config.effective_morsel_size(), 128);
+        assert_eq!(config.with_morsel_size(0).effective_morsel_size(), 1);
+        assert_eq!(config.with_morsel_size(17).effective_morsel_size(), 17);
+    }
+
+    #[test]
+    fn num_threads_does_not_change_results_or_counters() {
+        let catalog = tiny_catalog();
+        let (g, fact, d1, d2) = tiny_graph();
+        let tree = RightDeepTree::new(vec![fact, d1, d2]).to_join_tree();
+        let plan = push_down_bitvectors(&g, PhysicalPlan::from_join_tree(&g, &tree));
+        let serial = Executor::with_config(&catalog, ExecConfig::exact_filters())
+            .execute_with_rows(&g, &plan)
+            .unwrap();
+        for threads in [2usize, 4, 8] {
+            for batch_size in [1usize, 3, 1024, usize::MAX] {
+                let config = ExecConfig::exact_filters()
+                    .with_batch_size(batch_size)
+                    .with_num_threads(threads);
+                let (result, rows) = Executor::with_config(&catalog, config)
+                    .execute_with_rows(&g, &plan)
+                    .unwrap();
+                assert_eq!(result.output_rows, serial.0.output_rows);
+                assert_eq!(result.metrics.operators, serial.0.metrics.operators);
+                assert_eq!(result.metrics.filter_stats, serial.0.metrics.filter_stats);
+                assert_eq!(rows, serial.1, "threads {threads} batch {batch_size}");
+            }
+        }
     }
 
     #[test]

@@ -13,27 +13,36 @@
 //!   operator tree without cloning plan payloads,
 //! * bitvector filters applied wherever Algorithm 1 placed them (scans or
 //!   residual positions above joins),
+//! * **morsel-driven parallelism** (see [`morsel`]): scan predicate and
+//!   filter-probe evaluation, the partitioned hash-join build and the
+//!   hash-probe loops run as shared-state-free kernels over fixed-size row
+//!   morsels, fanned out across [`ExecConfig::num_threads`] workers with a
+//!   deterministic in-morsel-order merge,
 //! * per-operator metrics (tuples output by leaf / join / other operators,
 //!   bitvector probe and elimination counts, wall-clock time) matching the
 //!   quantities reported in Figures 7–10 and Table 4, collected inside the
 //!   operators where the work happens,
-//! * a configurable [`ExecConfig::batch_size`] — every batch size produces
-//!   bit-identical results and counters — and
+//! * a configurable [`ExecConfig::batch_size`] and [`ExecConfig::num_threads`]
+//!   — every `(batch_size, morsel_size, num_threads)` combination produces
+//!   bit-identical rows and counters — and
 //! * a switch to ignore bitvector filters entirely, mirroring the
 //!   SQL Server option used for the Table 4 comparison.
 //!
 //! [`Executor`] is the low-level driver that compiles a plan and drains the
-//! root operator; user-facing code goes through the `Engine` facade in
-//! `bqo-core`.
+//! root operator ([`Executor::execute_with_rows`] additionally returns the
+//! concatenated output rows for differential testing); user-facing code goes
+//! through the `Engine` facade in `bqo-core`.
 
 pub mod batch;
 pub mod executor;
 pub mod metrics;
+pub mod morsel;
 pub mod operators;
 pub mod pipeline;
 
 pub use batch::Batch;
 pub use executor::{execute_plan, ExecConfig, Executor, QueryResult, DEFAULT_BATCH_SIZE};
 pub use metrics::{ExecutionMetrics, OperatorKind, OperatorMetrics};
+pub use morsel::{chunk_morsels, morsels, run_morsels, Morsel};
 pub use operators::{HashJoinOp, PhysicalOperator, ScanOp};
 pub use pipeline::{ExecContext, PipelineBuilder};

@@ -22,7 +22,7 @@ pub enum OperatorKind {
 }
 
 /// Metrics of a single operator.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct OperatorMetrics {
     pub node: NodeId,
     pub kind: OperatorKind,
@@ -35,7 +35,7 @@ pub struct OperatorMetrics {
 }
 
 /// Metrics of one query execution.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct ExecutionMetrics {
     pub operators: Vec<OperatorMetrics>,
     /// Aggregated bitvector filter counters across all placements.
@@ -68,6 +68,23 @@ impl ExecutionMetrics {
             build_rows,
             probe_rows,
         });
+    }
+
+    /// Folds another set of counters into this one — the utility for
+    /// aggregating metrics across query executions (e.g. workload totals in
+    /// analysis tooling and tests). The merge is associative with
+    /// [`ExecutionMetrics::new`] as identity: per-operator entries are
+    /// appended in order, filter counters and creation counts are summed, and
+    /// elapsed times **add** (a total-work-time accumulation — not the wall
+    /// time of concurrent executions). The executor's hot path does not use
+    /// this: the morsel scheduler folds per-morsel `FilterStats` directly,
+    /// following the same associative in-order discipline this method's tests
+    /// pin down.
+    pub fn merge(&mut self, other: &ExecutionMetrics) {
+        self.operators.extend(other.operators.iter().cloned());
+        self.filter_stats.merge(&other.filter_stats);
+        self.filters_created += other.filters_created;
+        self.elapsed += other.elapsed;
     }
 
     /// Total tuples output by operators of one kind.
@@ -145,5 +162,66 @@ mod tests {
         assert_eq!(m.total_tuples(), 0);
         assert_eq!(m.logical_work(), 0);
         assert_eq!(m.elapsed_secs(), 0.0);
+    }
+
+    /// Builds a per-"worker" metrics fragment as the morsel scheduler would.
+    fn fragment(node: usize, rows: u64, probed: u64, eliminated: u64) -> ExecutionMetrics {
+        let mut m = ExecutionMetrics::new();
+        m.record_operator(NodeId(node), OperatorKind::Leaf, rows, 0, 0);
+        m.filter_stats.probed = probed;
+        m.filter_stats.eliminated = eliminated;
+        m.filters_created = 1;
+        m.elapsed = Duration::from_millis(rows);
+        m
+    }
+
+    #[test]
+    fn merge_identity_is_empty_metrics() {
+        let a = fragment(0, 100, 40, 10);
+        // identity ⊕ a == a ⊕ identity == a
+        let mut left = ExecutionMetrics::new();
+        left.merge(&a);
+        assert_eq!(left, a);
+        let mut right = a.clone();
+        right.merge(&ExecutionMetrics::new());
+        assert_eq!(right, a);
+    }
+
+    #[test]
+    fn merge_is_associative() {
+        let (a, b, c) = (
+            fragment(0, 10, 4, 1),
+            fragment(1, 20, 8, 3),
+            fragment(2, 0, 5, 5),
+        );
+        // (a ⊕ b) ⊕ c
+        let mut ab = a.clone();
+        ab.merge(&b);
+        let mut ab_c = ab;
+        ab_c.merge(&c);
+        // a ⊕ (b ⊕ c)
+        let mut bc = b.clone();
+        bc.merge(&c);
+        let mut a_bc = a.clone();
+        a_bc.merge(&bc);
+        assert_eq!(ab_c, a_bc);
+        assert_eq!(ab_c.total_tuples(), 30);
+        assert_eq!(ab_c.filter_stats.probed, 17);
+    }
+
+    #[test]
+    fn merge_keeps_counters_of_zero_row_morsels() {
+        // A morsel can survive no rows yet still have probed (and eliminated)
+        // every one of them — those counters must not be dropped.
+        let mut total = fragment(0, 50, 50, 0);
+        let empty_morsel = fragment(1, 0, 64, 64);
+        total.merge(&empty_morsel);
+        assert_eq!(total.filter_stats.probed, 114);
+        assert_eq!(total.filter_stats.eliminated, 64);
+        assert_eq!(total.filters_created, 2);
+        assert_eq!(total.operators.len(), 2);
+        assert_eq!(total.tuples_by_kind(OperatorKind::Leaf), 50);
+        // The zero-row operator entry itself is preserved.
+        assert_eq!(total.operators[1].output_rows, 0);
     }
 }

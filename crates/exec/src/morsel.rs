@@ -1,0 +1,207 @@
+//! Morsel-driven parallel scheduling.
+//!
+//! The executor splits per-operator row ranges into fixed-size **morsels**
+//! (Leis et al., "Morsel-Driven Parallelism", adapted to this pipeline's
+//! batch seam) and dispatches them to scoped worker threads spawned per
+//! parallel section — the calling thread participates as worker 0, and
+//! callers gate small inputs inline since a spawn costs more than a few
+//! hundred probes (a persistent reusable pool is a ROADMAP item). Three
+//! properties make the parallel path bit-identical to the serial one:
+//!
+//! 1. **Shared-state-free kernels.** A kernel only reads shared immutable
+//!    state (columns, published bitvector filters, hash tables) and returns
+//!    an owned per-morsel result; it never writes shared counters.
+//! 2. **Deterministic merge.** Workers claim morsels from an atomic cursor in
+//!    any order, but results are placed into a slot per morsel and merged *in
+//!    morsel order* — so concatenated rows and summed counters are identical
+//!    no matter how the OS schedules the workers.
+//! 3. **Contiguous range partitioning.** Morsels are contiguous row ranges,
+//!    so the concatenation of per-morsel outputs equals the output of one
+//!    serial left-to-right pass.
+//!
+//! With `num_threads <= 1` (the default) everything runs inline on the
+//! calling thread — no pool, no atomics: exactly the pre-parallel serial
+//! path.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::thread;
+
+/// A contiguous range of rows `[start, end)` claimed as one unit of work.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Morsel {
+    /// Position of this morsel in the morsel sequence (the merge key).
+    pub index: usize,
+    /// First row of the range (inclusive).
+    pub start: usize,
+    /// One past the last row of the range (exclusive).
+    pub end: usize,
+}
+
+impl Morsel {
+    /// Number of rows in the morsel.
+    pub fn len(&self) -> usize {
+        self.end - self.start
+    }
+
+    /// Whether the morsel covers no rows.
+    pub fn is_empty(&self) -> bool {
+        self.start == self.end
+    }
+
+    /// The rows of the morsel.
+    pub fn rows(&self) -> std::ops::Range<usize> {
+        self.start..self.end
+    }
+}
+
+/// Splits `num_rows` rows into morsels of at most `morsel_size` rows.
+/// `morsel_size` is clamped to at least 1; `usize::MAX` yields a single
+/// morsel. Zero rows yield no morsels.
+pub fn morsels(num_rows: usize, morsel_size: usize) -> Vec<Morsel> {
+    let size = morsel_size.max(1);
+    let mut out = Vec::new();
+    let mut start = 0;
+    while start < num_rows {
+        let end = num_rows.min(start.saturating_add(size));
+        out.push(Morsel {
+            index: out.len(),
+            start,
+            end,
+        });
+        start = end;
+    }
+    out
+}
+
+/// Splits `num_rows` rows into (at most) `num_threads` balanced contiguous
+/// morsels — the partitioning used for intra-batch kernels such as the hash
+/// join's probe loop and the partitioned build.
+pub fn chunk_morsels(num_rows: usize, num_threads: usize) -> Vec<Morsel> {
+    let threads = num_threads.max(1);
+    morsels(num_rows, num_rows.div_ceil(threads).max(1))
+}
+
+/// Runs `kernel` over every morsel using up to `num_threads` workers and
+/// returns the per-morsel results **in morsel order**.
+///
+/// Workers claim morsels from a shared atomic cursor (work stealing over a
+/// contiguous range); results are slotted by morsel index, so the returned
+/// vector is independent of scheduling. With one worker (or one morsel) the
+/// kernels run inline on the calling thread.
+///
+/// # Panics
+/// Propagates kernel panics to the caller.
+pub fn run_morsels<T, K>(num_threads: usize, morsels: &[Morsel], kernel: K) -> Vec<T>
+where
+    T: Send,
+    K: Fn(&Morsel) -> T + Sync,
+{
+    let workers = num_threads.max(1).min(morsels.len());
+    if workers <= 1 {
+        return morsels.iter().map(kernel).collect();
+    }
+
+    let cursor = AtomicUsize::new(0);
+    let claim_all = || {
+        let mut produced = Vec::new();
+        loop {
+            let i = cursor.fetch_add(1, Ordering::Relaxed);
+            let Some(morsel) = morsels.get(i) else {
+                break;
+            };
+            produced.push((i, kernel(morsel)));
+        }
+        produced
+    };
+    let mut slots: Vec<Option<T>> = Vec::with_capacity(morsels.len());
+    slots.resize_with(morsels.len(), || None);
+    thread::scope(|scope| {
+        // The calling thread is worker 0; only `workers - 1` threads spawn.
+        let handles: Vec<_> = (1..workers).map(|_| scope.spawn(claim_all)).collect();
+        for (i, value) in claim_all() {
+            slots[i] = Some(value);
+        }
+        for handle in handles {
+            let produced = match handle.join() {
+                Ok(produced) => produced,
+                Err(payload) => std::panic::resume_unwind(payload),
+            };
+            for (i, value) in produced {
+                slots[i] = Some(value);
+            }
+        }
+    });
+    slots
+        .into_iter()
+        .map(|slot| slot.expect("every morsel produces exactly one result"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn morsels_cover_the_range_without_overlap() {
+        for (num_rows, size) in [(0, 4), (1, 4), (10, 4), (12, 4), (5, 1), (7, usize::MAX)] {
+            let ms = morsels(num_rows, size);
+            let mut covered = 0;
+            for (i, m) in ms.iter().enumerate() {
+                assert_eq!(m.index, i);
+                assert_eq!(m.start, covered);
+                assert!(m.len() <= size);
+                assert!(!m.is_empty());
+                covered = m.end;
+            }
+            assert_eq!(covered, num_rows);
+        }
+        assert!(morsels(0, 8).is_empty());
+        assert_eq!(morsels(7, usize::MAX).len(), 1);
+    }
+
+    #[test]
+    fn zero_morsel_size_is_clamped_to_one() {
+        let ms = morsels(3, 0);
+        assert_eq!(ms.len(), 3);
+        assert!(ms.iter().all(|m| m.len() == 1));
+    }
+
+    #[test]
+    fn chunk_morsels_balance_across_threads() {
+        let ms = chunk_morsels(100, 4);
+        assert_eq!(ms.len(), 4);
+        assert!(ms.iter().all(|m| m.len() == 25));
+        assert_eq!(chunk_morsels(3, 8).len(), 3);
+        assert_eq!(chunk_morsels(0, 4).len(), 0);
+        assert_eq!(chunk_morsels(10, 0).len(), 1);
+    }
+
+    #[test]
+    fn run_morsels_is_in_order_for_any_thread_count() {
+        let ms = morsels(1000, 7);
+        let serial = run_morsels(1, &ms, |m| m.rows().sum::<usize>());
+        for threads in [2, 3, 4, 8] {
+            let parallel = run_morsels(threads, &ms, |m| m.rows().sum::<usize>());
+            assert_eq!(serial, parallel, "threads {threads}");
+        }
+    }
+
+    #[test]
+    fn run_morsels_handles_empty_and_single() {
+        assert!(run_morsels(4, &[], |m| m.len()).is_empty());
+        let one = morsels(5, usize::MAX);
+        assert_eq!(run_morsels(4, &one, |m| m.len()), vec![5]);
+    }
+
+    #[test]
+    #[should_panic(expected = "kernel exploded")]
+    fn worker_panics_propagate() {
+        let ms = morsels(64, 1);
+        run_morsels(4, &ms, |m| {
+            if m.index == 33 {
+                panic!("kernel exploded");
+            }
+            m.len()
+        });
+    }
+}

@@ -11,26 +11,45 @@
 //!   relies on).
 //! * [`PhysicalOperator::next_batch`] pulls the next batch of at most
 //!   [`crate::ExecConfig::batch_size`] rows, or `None` once exhausted. Local
-//!   predicates and pushed-down bitvector probes are applied per batch, so
-//!   eliminated tuples never reach the joins above.
+//!   predicates and pushed-down bitvector probes run as shared-state-free
+//!   per-morsel kernels (see [`crate::morsel`]) so eliminated tuples never
+//!   reach the joins above; with [`crate::ExecConfig::num_threads`] > 1 the
+//!   kernels fan out across a worker pool.
 //! * [`PhysicalOperator::close`] tears the operator down and flushes its
 //!   accumulated per-operator counters into the context's
 //!   [`crate::ExecutionMetrics`].
 //!
 //! Contract: between `open` and the first `None`, an operator yields at least
 //! one batch (possibly empty) so downstream operators always observe its
-//! output schema. Batching granularity never changes results or counters:
-//! every batch size produces identical `output_rows`, filter probe/eliminate
-//! statistics and per-operator tuple counts.
+//! output schema. Neither batching granularity nor parallelism changes
+//! results or counters: every `(batch_size, morsel_size, num_threads)`
+//! combination produces identical rows, `output_rows`, filter
+//! probe/eliminate statistics and per-operator tuple counts, because morsels
+//! partition contiguous row ranges and per-morsel outputs merge in morsel
+//! order.
 
 use crate::batch::{row_key, Batch};
 use crate::metrics::OperatorKind;
+use crate::morsel::{chunk_morsels, morsels, run_morsels};
 use crate::pipeline::ExecContext;
 use bqo_bitvector::hash::FxHashMap;
 use bqo_bitvector::{AnyFilter, BitvectorFilter, FilterStats};
 use bqo_plan::{BitvectorPlacement, ColumnRef, NodeId, RelId, RelationInfo};
 use bqo_storage::{Column, StorageError, Table};
 use std::sync::Arc;
+
+/// Minimum rows per worker before a kernel fans out to spawned workers.
+/// Tiny inputs run inline: worker count and chunk boundaries never affect
+/// results or counters (kernels partition contiguous row ranges and merge in
+/// order), so this is purely an overhead guard — spawning workers for a few
+/// hundred rows costs more than the probes themselves.
+const MIN_CHUNK_ROWS: usize = 2048;
+
+/// Number of workers worth fanning out for `rows` rows: at most one per
+/// [`MIN_CHUNK_ROWS`], capped by the configured thread count.
+fn workers_for(num_threads: usize, rows: usize) -> usize {
+    num_threads.min(rows.div_ceil(MIN_CHUNK_ROWS).max(1))
+}
 
 /// A pull-based physical operator producing batches of rows.
 pub trait PhysicalOperator {
@@ -45,8 +64,9 @@ pub trait PhysicalOperator {
 }
 
 /// Scan of one base relation: local predicates plus any bitvector filters
-/// Algorithm 1 pushed down to this scan, applied batch by batch before the
-/// surviving rows are materialized.
+/// Algorithm 1 pushed down to this scan, evaluated morsel by morsel (in
+/// parallel when configured) before the surviving rows are materialized into
+/// batches.
 pub struct ScanOp<'p> {
     node: NodeId,
     info: &'p RelationInfo,
@@ -55,10 +75,13 @@ pub struct ScanOp<'p> {
     /// Bitvector placements targeting this scan, keyed by placement index.
     placements: Vec<(usize, &'p BitvectorPlacement)>,
     /// Per placement: the table column indices its probe columns resolve to
-    /// (resolved once at open, indexed per batch on the hot path).
+    /// (resolved once at open, indexed per morsel on the hot path).
     placement_cols: Vec<Vec<usize>>,
-    /// Local-predicate selection mask over the whole table (built at open).
-    mask: Vec<bool>,
+    /// Rows surviving the local predicates and every pushed-down bitvector
+    /// filter, in ascending row order (computed at open, morsel-parallel).
+    survivors: Vec<usize>,
+    /// Position inside `survivors` of the first row not yet emitted.
+    pos: usize,
     cursor: usize,
     emitted_any: bool,
     output_rows: u64,
@@ -86,7 +109,8 @@ impl<'p> ScanOp<'p> {
             schema,
             placements,
             placement_cols: Vec::new(),
-            mask: Vec::new(),
+            survivors: Vec::new(),
+            pos: 0,
             cursor: 0,
             emitted_any: false,
             output_rows: 0,
@@ -107,19 +131,15 @@ impl<'p> ScanOp<'p> {
 }
 
 impl PhysicalOperator for ScanOp<'_> {
-    fn open(&mut self, _ctx: &mut ExecContext) -> Result<(), StorageError> {
-        // One columnar pass per local predicate; the bitvector probes run
-        // per batch in `next_batch` because their filters may be published
-        // by joins that open after this scan's open.
-        let mut mask = vec![true; self.table.num_rows()];
-        for predicate in &self.info.predicates {
-            let column = self.table.column(&predicate.column)?;
-            let predicate_mask = predicate.evaluate(column);
-            for (m, p) in mask.iter_mut().zip(predicate_mask) {
-                *m &= p;
-            }
-        }
-        self.mask = mask;
+    fn open(&mut self, ctx: &mut ExecContext) -> Result<(), StorageError> {
+        // Resolve predicate columns once; missing columns fail here, before
+        // any kernel runs.
+        let pred_cols: Vec<&Column> = self
+            .info
+            .predicates
+            .iter()
+            .map(|p| self.table.column(&p.column))
+            .collect::<Result<_, _>>()?;
 
         // Resolve each placement's probe columns to table column indices once.
         self.placement_cols = self
@@ -141,48 +161,98 @@ impl PhysicalOperator for ScanOp<'_> {
             })
             .collect::<Result<_, _>>()?;
 
+        // Evaluate local predicates and pushed-down bitvector probes with one
+        // shared-state-free kernel per morsel. Every filter targeting this
+        // scan is already published: a hash join publishes its filters before
+        // opening its probe side, and placement targets always sit below the
+        // source join's probe child. (A missing filter — possible only for
+        // malformed plans — skips that placement, like the serial path did.)
+        let morsel_list = morsels(self.table.num_rows(), ctx.config.effective_morsel_size());
+        let num_threads = workers_for(ctx.config.num_threads, self.table.num_rows());
+        let predicates = &self.info.predicates;
+        let (survivors, merged_stats) = {
+            let filters: Vec<Option<&AnyFilter>> = self
+                .placements
+                .iter()
+                .map(|&(idx, _)| ctx.filter(idx))
+                .collect();
+            let probe_cols: Vec<Vec<&Column>> = self
+                .placement_cols
+                .iter()
+                .map(|idxs| idxs.iter().map(|&i| self.table.column_at(i)).collect())
+                .collect();
+            let per_morsel = run_morsels(num_threads, &morsel_list, |m| {
+                // Rows of this morsel surviving the local predicates...
+                let mut mask = vec![true; m.len()];
+                for (predicate, column) in predicates.iter().zip(&pred_cols) {
+                    let predicate_mask = predicate.evaluate_range(column, m.start, m.end);
+                    for (acc, p) in mask.iter_mut().zip(predicate_mask) {
+                        *acc &= p;
+                    }
+                }
+                let mut rows: Vec<usize> = m.rows().filter(|&r| mask[r - m.start]).collect();
+
+                // ...then every pushed-down bitvector filter, in placement
+                // order (a row eliminated by one filter is never probed by
+                // the next). Counters stay morsel-local.
+                let mut stats = vec![FilterStats::new(); filters.len()];
+                for (slot, filter) in filters.iter().enumerate() {
+                    let Some(filter) = filter else {
+                        continue;
+                    };
+                    let columns = &probe_cols[slot];
+                    let slot_stats = &mut stats[slot];
+                    rows.retain(|&row| {
+                        let keep = filter.maybe_contains(row_key(columns, row));
+                        slot_stats.record(!keep);
+                        keep
+                    });
+                }
+                (rows, stats)
+            });
+
+            // Deterministic merge: concatenate rows and sum counters in
+            // morsel order, independent of worker scheduling.
+            let mut survivors = Vec::new();
+            let mut merged = vec![FilterStats::new(); self.placements.len()];
+            for (rows, stats) in per_morsel {
+                survivors.extend(rows);
+                for (acc, s) in merged.iter_mut().zip(&stats) {
+                    acc.merge(s);
+                }
+            }
+            (survivors, merged)
+        };
+        for stats in &merged_stats {
+            ctx.merge_filter_stats(stats);
+        }
+
+        self.survivors = survivors;
+        self.pos = 0;
         self.cursor = 0;
         Ok(())
     }
 
     fn next_batch(&mut self, ctx: &mut ExecContext) -> Result<Option<Batch>, StorageError> {
+        // Emission granularity is unchanged from the serial executor: one
+        // batch per `batch_size` table-row range with at least one survivor,
+        // so parents observe identical batch boundaries for every
+        // `(num_threads, morsel_size)` combination.
         let num_rows = self.table.num_rows();
         let batch_size = ctx.config.batch_size.max(1);
         while self.cursor < num_rows {
-            let start = self.cursor;
-            let end = num_rows.min(start.saturating_add(batch_size));
+            let end = num_rows.min(self.cursor.saturating_add(batch_size));
             self.cursor = end;
 
-            // Rows of this range surviving the local predicates...
-            let mut rows: Vec<usize> = (start..end).filter(|&r| self.mask[r]).collect();
-
-            // ...then every pushed-down bitvector filter, in placement order
-            // (a row eliminated by one filter is never probed by the next).
-            for (slot, &(idx, _)) in self.placements.iter().enumerate() {
-                let mut stats = FilterStats::new();
-                {
-                    let Some(filter) = ctx.filter(idx) else {
-                        // Source join's build side has not executed (possible
-                        // only for malformed plans); skip rather than fail.
-                        continue;
-                    };
-                    let columns: Vec<&Column> = self.placement_cols[slot]
-                        .iter()
-                        .map(|&i| self.table.column_at(i))
-                        .collect();
-                    rows.retain(|&row| {
-                        let keep = filter.maybe_contains(row_key(&columns, row));
-                        stats.record(!keep);
-                        keep
-                    });
-                }
-                ctx.merge_filter_stats(&stats);
+            let from = self.pos;
+            while self.pos < self.survivors.len() && self.survivors[self.pos] < end {
+                self.pos += 1;
             }
-
-            if rows.is_empty() {
+            if self.pos == from {
                 continue;
             }
-            let columns: Vec<Column> = self.table.columns().iter().map(|c| c.take(&rows)).collect();
+            let rows = &self.survivors[from..self.pos];
+            let columns: Vec<Column> = self.table.columns().iter().map(|c| c.take(rows)).collect();
             let batch = Batch::new(self.schema.clone(), columns);
             self.output_rows += batch.num_rows() as u64;
             self.emitted_any = true;
@@ -275,14 +345,37 @@ impl PhysicalOperator for HashJoinOp<'_> {
             ctx.publish_filter(idx, filter);
         }
 
-        // 3. Hash the build side.
+        // 3. Hash the build side: each worker hashes one contiguous row
+        //    partition, then the partitions are merged on this thread in
+        //    partition order — so every key's row list stays in ascending row
+        //    order, exactly as the serial insertion loop produced it. (The
+        //    filters of step 2 are always published single-threaded, keeping
+        //    publication order deterministic.)
         let build_keys = self.build_batch.key_values(&self.build_key_cols);
         self.build_rows = build_keys.len() as u64;
-        let mut table: FxHashMap<i64, Vec<u32>> = FxHashMap::default();
-        for (row, &key) in build_keys.iter().enumerate() {
-            table.entry(key).or_default().push(row as u32);
-        }
-        self.table = table;
+        let workers = workers_for(ctx.config.num_threads, build_keys.len());
+        let chunks = chunk_morsels(build_keys.len(), workers);
+        let mut partitions = run_morsels(workers, &chunks, |m| {
+            let mut partition: FxHashMap<i64, Vec<u32>> = FxHashMap::default();
+            for row in m.rows() {
+                partition
+                    .entry(build_keys[row])
+                    .or_default()
+                    .push(row as u32);
+            }
+            partition
+        });
+        self.table = if partitions.len() <= 1 {
+            partitions.pop().unwrap_or_default()
+        } else {
+            let mut table: FxHashMap<i64, Vec<u32>> = FxHashMap::default();
+            for partition in partitions {
+                for (key, rows) in partition {
+                    table.entry(key).or_default().extend(rows);
+                }
+            }
+            table
+        };
 
         // 4. Only now open the probe side.
         self.probe.open(ctx)
@@ -293,15 +386,30 @@ impl PhysicalOperator for HashJoinOp<'_> {
             let probe_keys = probe_batch.key_values(&self.probe_key_cols);
             self.probe_rows += probe_keys.len() as u64;
 
-            let mut build_indices: Vec<usize> = Vec::new();
-            let mut probe_indices: Vec<usize> = Vec::new();
-            for (row, &key) in probe_keys.iter().enumerate() {
-                if let Some(matches) = self.table.get(&key) {
-                    for &b in matches {
-                        build_indices.push(b as usize);
-                        probe_indices.push(row);
+            // Probe the hash table one contiguous row chunk per worker; the
+            // chunk outputs concatenate in chunk order, reproducing the
+            // serial left-to-right match order exactly.
+            let table = &self.table;
+            let workers = workers_for(ctx.config.num_threads, probe_keys.len());
+            let chunks = chunk_morsels(probe_keys.len(), workers);
+            let matched = run_morsels(workers, &chunks, |m| {
+                let mut build_indices: Vec<usize> = Vec::new();
+                let mut probe_indices: Vec<usize> = Vec::new();
+                for row in m.rows() {
+                    if let Some(matches) = table.get(&probe_keys[row]) {
+                        for &b in matches {
+                            build_indices.push(b as usize);
+                            probe_indices.push(row);
+                        }
                     }
                 }
+                (build_indices, probe_indices)
+            });
+            let mut build_indices: Vec<usize> = Vec::new();
+            let mut probe_indices: Vec<usize> = Vec::new();
+            for (b, p) in matched {
+                build_indices.extend(b);
+                probe_indices.extend(p);
             }
 
             let mut output = Batch::zip(
@@ -310,25 +418,37 @@ impl PhysicalOperator for HashJoinOp<'_> {
             );
             self.join_output_rows += output.num_rows() as u64;
 
-            // Residual bitvector filters targeted at this join's output.
+            // Residual bitvector filters targeted at this join's output,
+            // probed per chunk with morsel-local counters.
             for (slot, &(idx, placement)) in self.residual_placements.iter().enumerate() {
-                let mut stats = FilterStats::new();
+                let mut merged = FilterStats::new();
                 {
                     let Some(filter) = ctx.filter(idx) else {
                         continue;
                     };
                     let keys = output.key_values(&placement.probe_columns);
-                    let mask: Vec<bool> = keys
-                        .iter()
-                        .map(|&k| {
-                            let keep = filter.maybe_contains(k);
-                            stats.record(!keep);
-                            keep
-                        })
-                        .collect();
+                    let workers = workers_for(ctx.config.num_threads, keys.len());
+                    let chunks = chunk_morsels(keys.len(), workers);
+                    let parts = run_morsels(workers, &chunks, |m| {
+                        let mut stats = FilterStats::new();
+                        let mask: Vec<bool> = m
+                            .rows()
+                            .map(|row| {
+                                let keep = filter.maybe_contains(keys[row]);
+                                stats.record(!keep);
+                                keep
+                            })
+                            .collect();
+                        (mask, stats)
+                    });
+                    let mut mask: Vec<bool> = Vec::with_capacity(keys.len());
+                    for (part, stats) in parts {
+                        mask.extend(part);
+                        merged.merge(&stats);
+                    }
                     output = output.filter(&mask);
                 }
-                ctx.merge_filter_stats(&stats);
+                ctx.merge_filter_stats(&merged);
                 self.residual_rows[slot].0 += output.num_rows() as u64;
                 self.residual_rows[slot].1 = true;
             }

@@ -52,38 +52,49 @@ impl ColumnPredicate {
     /// Evaluates the predicate against every row of a column, producing a
     /// selection mask.
     pub fn evaluate(&self, column: &Column) -> Vec<bool> {
-        let n = column.len();
-        let mut mask = vec![false; n];
+        self.evaluate_range(column, 0, column.len())
+    }
+
+    /// Evaluates the predicate against the rows `start..end` of a column,
+    /// producing a selection mask of length `end - start`. This is the
+    /// morsel-kernel entry point: evaluating a column range by range yields
+    /// exactly the same mask as one whole-column [`ColumnPredicate::evaluate`]
+    /// pass.
+    ///
+    /// # Panics
+    /// Panics if `start > end` or `end > column.len()`.
+    pub fn evaluate_range(&self, column: &Column, start: usize, end: usize) -> Vec<bool> {
+        let mut mask = vec![false; end - start];
         match (column, &self.value) {
             (Column::Int64(values), Value::Int64(lit)) => {
-                for (i, v) in values.iter().enumerate() {
-                    mask[i] = compare_ord(v.cmp(lit), self.op);
+                for (m, v) in mask.iter_mut().zip(&values[start..end]) {
+                    *m = compare_ord(v.cmp(lit), self.op);
                 }
             }
             (Column::Int64(values), Value::Float64(lit)) => {
-                for (i, v) in values.iter().enumerate() {
-                    mask[i] = compare_ord((*v as f64).total_cmp(lit), self.op);
+                for (m, v) in mask.iter_mut().zip(&values[start..end]) {
+                    *m = compare_ord((*v as f64).total_cmp(lit), self.op);
                 }
             }
             (Column::Float64(values), Value::Float64(lit)) => {
-                for (i, v) in values.iter().enumerate() {
-                    mask[i] = compare_ord(v.total_cmp(lit), self.op);
+                for (m, v) in mask.iter_mut().zip(&values[start..end]) {
+                    *m = compare_ord(v.total_cmp(lit), self.op);
                 }
             }
             (Column::Float64(values), Value::Int64(lit)) => {
                 let lit = *lit as f64;
-                for (i, v) in values.iter().enumerate() {
-                    mask[i] = compare_ord(v.total_cmp(&lit), self.op);
+                for (m, v) in mask.iter_mut().zip(&values[start..end]) {
+                    *m = compare_ord(v.total_cmp(&lit), self.op);
                 }
             }
             (Column::Utf8(values), Value::Utf8(lit)) => {
-                for (i, v) in values.iter().enumerate() {
-                    mask[i] = compare_ord(v.as_str().cmp(lit.as_str()), self.op);
+                for (m, v) in mask.iter_mut().zip(&values[start..end]) {
+                    *m = compare_ord(v.as_str().cmp(lit.as_str()), self.op);
                 }
             }
             (Column::Bool(values), Value::Bool(lit)) => {
-                for (i, v) in values.iter().enumerate() {
-                    mask[i] = compare_ord(v.cmp(lit), self.op);
+                for (m, v) in mask.iter_mut().zip(&values[start..end]) {
+                    *m = compare_ord(v.cmp(lit), self.op);
                 }
             }
             // Type mismatch: nothing qualifies. Workload generators never
@@ -138,6 +149,31 @@ impl std::fmt::Display for ColumnPredicate {
 mod tests {
     use super::*;
     use bqo_storage::Column;
+
+    #[test]
+    fn evaluate_range_matches_whole_column_pass() {
+        let c = Column::from(vec![3i64, 1, 4, 1, 5, 9, 2, 6]);
+        for op in [
+            CompareOp::Eq,
+            CompareOp::NotEq,
+            CompareOp::Lt,
+            CompareOp::Le,
+            CompareOp::Gt,
+            CompareOp::Ge,
+        ] {
+            let p = ColumnPredicate::new("x", op, 4i64);
+            let whole = p.evaluate(&c);
+            // Any partitioning into ranges reproduces the whole-column mask.
+            for split in 0..=c.len() {
+                let mut stitched = p.evaluate_range(&c, 0, split);
+                stitched.extend(p.evaluate_range(&c, split, c.len()));
+                assert_eq!(stitched, whole, "{op:?} split {split}");
+            }
+        }
+        assert!(ColumnPredicate::new("x", CompareOp::Eq, 4i64)
+            .evaluate_range(&c, 3, 3)
+            .is_empty());
+    }
 
     #[test]
     fn evaluate_int_comparisons() {

@@ -6,6 +6,18 @@
 
 use bqo_plan::{JoinEdge, JoinGraph, RelationInfo};
 
+/// Worker-thread count requested for this test run via the
+/// `BQO_TEST_THREADS` environment variable (CI runs the suite once with `1`
+/// and once with `4`). Defaults to 1; unparsable or zero values degrade to 1,
+/// mirroring `ExecConfig::with_num_threads` clamping.
+pub fn env_threads() -> usize {
+    std::env::var("BQO_TEST_THREADS")
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+        .unwrap_or(1)
+        .max(1)
+}
+
 /// Builds a star join graph with the given fact cardinality and per-dimension
 /// `(base_rows, filtered_rows)` pairs.
 pub fn star_graph(fact_rows: f64, dims: &[(f64, f64)]) -> JoinGraph {

@@ -157,6 +157,63 @@ fn default_batch_size_is_sane_and_clamped() {
 }
 
 #[test]
+fn default_num_threads_is_serial_and_zero_is_clamped() {
+    assert_eq!(ExecConfig::default().num_threads, 1);
+    // `num_threads = 0` is clamped to the serial path, not a panic.
+    assert_eq!(ExecConfig::default().with_num_threads(0).num_threads, 1);
+    assert_eq!(ExecConfig::default().with_num_threads(8).num_threads, 8);
+    // Morsel size defaults to the batch size and is clamped the same way.
+    assert_eq!(
+        ExecConfig::default().effective_morsel_size(),
+        DEFAULT_BATCH_SIZE
+    );
+    assert_eq!(
+        ExecConfig::default()
+            .with_morsel_size(0)
+            .effective_morsel_size(),
+        1
+    );
+}
+
+/// `PreparedQuery::explain` surfaces the engine's execution configuration so
+/// plan dumps record how the query would run.
+#[test]
+fn explain_surfaces_the_execution_configuration() {
+    let spec = QuerySpec::new("explained")
+        .table("fact")
+        .table("d1")
+        .join("fact", "d1_sk", "d1", "sk");
+
+    let serial = tiny_star_engine();
+    let explain = serial
+        .prepare(&spec, OptimizerChoice::Bqo)
+        .unwrap()
+        .explain();
+    assert!(explain.contains("num_threads=1"), "{explain}");
+    assert!(
+        explain.contains(&format!("batch_size={DEFAULT_BATCH_SIZE}")),
+        "{explain}"
+    );
+
+    let workload = bqo_core::workloads::star::generate(Scale(0.02), 2, 1, 5);
+    let parallel = Engine::builder()
+        .catalog(workload.catalog)
+        .exec_config(
+            ExecConfig::default()
+                .with_num_threads(4)
+                .with_batch_size(usize::MAX),
+        )
+        .build()
+        .unwrap();
+    let explain = parallel
+        .prepare(&workload.queries[0], OptimizerChoice::Bqo)
+        .unwrap()
+        .explain();
+    assert!(explain.contains("num_threads=4"), "{explain}");
+    assert!(explain.contains("batch_size=unbatched"), "{explain}");
+}
+
+#[test]
 fn unknown_relation_in_query_spec_is_a_descriptive_error() {
     let engine = tiny_star_engine();
     let spec = QuerySpec::new("bad_table_query")
