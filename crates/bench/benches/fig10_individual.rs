@@ -17,6 +17,7 @@ fn bench_fig10(c: &mut Criterion) {
         .map(|q| q.name.clone())
         .collect();
     let engine = Engine::from_catalog(workload.catalog.clone());
+    let session = engine.session();
 
     let mut group = c.benchmark_group("fig10_individual");
     group.sample_size(10);
@@ -25,10 +26,10 @@ fn bench_fig10(c: &mut Criterion) {
         let baseline = engine.prepare(query, OptimizerChoice::Baseline).unwrap();
         let bqo = engine.prepare(query, OptimizerChoice::Bqo).unwrap();
         group.bench_with_input(BenchmarkId::new("original", name), query, |b, _| {
-            b.iter(|| black_box(baseline.run().unwrap().output_rows))
+            b.iter(|| black_box(session.run(&baseline).unwrap().output_rows))
         });
         group.bench_with_input(BenchmarkId::new("bqo", name), query, |b, _| {
-            b.iter(|| black_box(bqo.run().unwrap().output_rows))
+            b.iter(|| black_box(session.run(&bqo).unwrap().output_rows))
         });
     }
     group.finish();

@@ -25,13 +25,28 @@ fn bench_fig2(c: &mut Criterion) {
         &graph,
         PhysicalPlan::from_join_tree(&graph, &p2.to_join_tree()),
     );
+    let name = &workload.queries[0].name;
     let mut group = c.benchmark_group("fig2_motivating");
     group.sample_size(10);
     group.bench_function("P1_postprocessed_bitvectors", |b| {
-        b.iter(|| black_box(engine.execute_plan(&graph, &p1_plan).unwrap().output_rows))
+        b.iter(|| {
+            black_box(
+                engine
+                    .execute_plan_named(name, &graph, &p1_plan)
+                    .unwrap()
+                    .output_rows,
+            )
+        })
     });
     group.bench_function("P2_bitvector_aware", |b| {
-        b.iter(|| black_box(engine.execute_plan(&graph, &p2_plan).unwrap().output_rows))
+        b.iter(|| {
+            black_box(
+                engine
+                    .execute_plan_named(name, &graph, &p2_plan)
+                    .unwrap()
+                    .output_rows,
+            )
+        })
     });
     group.finish();
 }

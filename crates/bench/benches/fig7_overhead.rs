@@ -10,6 +10,7 @@ use std::hint::black_box;
 
 fn bench_fig7(c: &mut Criterion) {
     let engine = Engine::from_catalog(microbench::build_catalog(Scale(0.05), 5));
+    let session = engine.session();
     let mut group = c.benchmark_group("fig7_overhead");
     group.sample_size(10);
     for keep in [1.0f64, 0.5, 0.1, 0.01] {
@@ -20,8 +21,8 @@ fn bench_fig7(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::new("with_filter", keep), &keep, |b, _| {
             b.iter(|| {
                 black_box(
-                    prepared
-                        .run_with(ExecConfig::default())
+                    session
+                        .run_with(&prepared, ExecConfig::default())
                         .unwrap()
                         .output_rows,
                 )
@@ -30,8 +31,8 @@ fn bench_fig7(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::new("without_filter", keep), &keep, |b, _| {
             b.iter(|| {
                 black_box(
-                    prepared
-                        .run_with(ExecConfig::without_bitvectors())
+                    session
+                        .run_with(&prepared, ExecConfig::without_bitvectors())
                         .unwrap()
                         .output_rows,
                 )

@@ -17,6 +17,7 @@ use std::hint::black_box;
 fn bench_parallel_scaling(c: &mut Criterion) {
     let workload = star::generate(Scale(0.1), 4, 4, 11);
     let engine = Engine::from_catalog(workload.catalog.clone());
+    let session = engine.session();
     let prepared: Vec<_> = workload
         .queries
         .iter()
@@ -30,7 +31,7 @@ fn bench_parallel_scaling(c: &mut Criterion) {
 
     let serial_rows: u64 = prepared
         .iter()
-        .map(|p| p.run_with(base).unwrap().output_rows)
+        .map(|p| session.run_with(p, base).unwrap().output_rows)
         .sum();
 
     let mut group = c.benchmark_group("fig_parallel_scaling");
@@ -39,7 +40,7 @@ fn bench_parallel_scaling(c: &mut Criterion) {
         let config = base.with_num_threads(num_threads);
         let rows: u64 = prepared
             .iter()
-            .map(|p| p.run_with(config).unwrap().output_rows)
+            .map(|p| session.run_with(p, config).unwrap().output_rows)
             .sum();
         assert_eq!(
             rows, serial_rows,
@@ -50,7 +51,7 @@ fn bench_parallel_scaling(c: &mut Criterion) {
                 black_box(
                     prepared
                         .iter()
-                        .map(|p| p.run_with(config).unwrap().output_rows)
+                        .map(|p| session.run_with(p, config).unwrap().output_rows)
                         .sum::<u64>(),
                 )
             })

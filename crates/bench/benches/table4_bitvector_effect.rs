@@ -10,6 +10,7 @@ use std::hint::black_box;
 fn bench_table4(c: &mut Criterion) {
     let workload = tpcds_like::generate(Scale(0.05), 4, 1);
     let engine = Engine::from_catalog(workload.catalog.clone());
+    let session = engine.session();
     let prepared: Vec<_> = workload
         .queries
         .iter()
@@ -22,7 +23,12 @@ fn bench_table4(c: &mut Criterion) {
         b.iter(|| {
             let total: u64 = prepared
                 .iter()
-                .map(|p| p.run_with(ExecConfig::default()).unwrap().output_rows)
+                .map(|p| {
+                    session
+                        .run_with(p, ExecConfig::default())
+                        .unwrap()
+                        .output_rows
+                })
                 .sum();
             black_box(total)
         })
@@ -32,7 +38,8 @@ fn bench_table4(c: &mut Criterion) {
             let total: u64 = prepared
                 .iter()
                 .map(|p| {
-                    p.run_with(ExecConfig::without_bitvectors())
+                    session
+                        .run_with(p, ExecConfig::without_bitvectors())
                         .unwrap()
                         .output_rows
                 })

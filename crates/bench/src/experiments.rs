@@ -68,7 +68,7 @@ pub fn run_figure2(scale: Scale) -> Figure2Result {
             ExecConfig::without_bitvectors()
         };
         let result = engine
-            .execute_plan_with(&graph, &plan, config)
+            .execute_plan_named_with(&query.name, &graph, &plan, config)
             .expect("figure 2 plan executes");
         plans.push(Figure2Plan {
             label: label.to_string(),
@@ -185,6 +185,7 @@ pub fn run_figure7(scale: Scale, repetitions: usize) -> Vec<Figure7Point> {
     let catalog = microbench::build_catalog(scale, 5);
     let engine = Engine::from_catalog(catalog);
     let mut points = Vec::new();
+    let session = engine.session();
     for &keep in &microbench::FIGURE7_SELECTIVITIES {
         let query = microbench::query_with_selectivity(keep);
         let prepared = engine
@@ -196,11 +197,11 @@ pub fn run_figure7(scale: Scale, repetitions: usize) -> Vec<Figure7Point> {
         let mut work_without = 0;
         let mut eliminated = 0.0;
         for _ in 0..repetitions.max(1) {
-            let with = prepared
-                .run_with(ExecConfig::default())
+            let with = session
+                .run_with(&prepared, ExecConfig::default())
                 .expect("micro query executes");
-            let without = prepared
-                .run_with(ExecConfig::without_bitvectors())
+            let without = session
+                .run_with(&prepared, ExecConfig::without_bitvectors())
                 .expect("micro query executes");
             if with.metrics.elapsed_secs() < best_with {
                 best_with = with.metrics.elapsed_secs();
@@ -254,6 +255,7 @@ pub struct ThresholdAblationRow {
 pub fn run_ablation_threshold(scale: Scale, queries: usize) -> Vec<ThresholdAblationRow> {
     let workload = tpcds_like::generate(scale, queries, 1);
     let engine = Engine::from_catalog(workload.catalog.clone());
+    let session = engine.session();
     let mut rows = Vec::new();
     for &threshold in &[0.0, 0.05, 0.1, 0.2, 0.5, 0.9] {
         let mut total_work = 0u64;
@@ -263,7 +265,7 @@ pub fn run_ablation_threshold(scale: Scale, queries: usize) -> Vec<ThresholdAbla
             let prepared = engine
                 .prepare(query, OptimizerChoice::BqoWithThreshold(threshold))
                 .expect("query optimizes");
-            let result = prepared.run().expect("query executes");
+            let result = session.run(&prepared).expect("query executes");
             total_work += result.metrics.logical_work();
             total_secs += result.metrics.elapsed_secs();
             filters += result.metrics.filters_created;
@@ -293,6 +295,7 @@ pub struct FilterKindAblationRow {
 pub fn run_ablation_filter_kind(scale: Scale, queries: usize) -> Vec<FilterKindAblationRow> {
     let workload = tpcds_like::generate(scale, queries, 1);
     let engine = Engine::from_catalog(workload.catalog.clone());
+    let session = engine.session();
     let kinds = [
         ("exact".to_string(), FilterKind::Exact),
         (
@@ -326,9 +329,9 @@ pub fn run_ablation_filter_kind(scale: Scale, queries: usize) -> Vec<FilterKindA
             let prepared = engine
                 .prepare(query, OptimizerChoice::Bqo)
                 .expect("optimizes");
-            let result = prepared.run_with(config).expect("executes");
-            let exact = prepared
-                .run_with(ExecConfig::exact_filters())
+            let result = session.run_with(&prepared, config).expect("executes");
+            let exact = session
+                .run_with(&prepared, ExecConfig::exact_filters())
                 .expect("executes");
             total_work += result.metrics.logical_work();
             total_secs += result.metrics.elapsed_secs();
@@ -374,6 +377,7 @@ pub struct ParallelScalingResult {
 pub fn run_parallel_scaling(scale: Scale, num_queries: usize) -> ParallelScalingResult {
     let workload = star::generate(scale, 4, num_queries.max(1), 11);
     let engine = Engine::from_catalog(workload.catalog.clone());
+    let session = engine.session();
     let prepared: Vec<_> = workload
         .queries
         .iter()
@@ -393,7 +397,7 @@ pub fn run_parallel_scaling(scale: Scale, num_queries: usize) -> ParallelScaling
             let start = std::time::Instant::now();
             output_rows = prepared
                 .iter()
-                .map(|p| p.run_with(config).expect("executes").output_rows)
+                .map(|p| session.run_with(p, config).expect("executes").output_rows)
                 .sum();
             best = best.min(start.elapsed().as_secs_f64());
         }

@@ -20,7 +20,10 @@ pub mod prelude {
     pub use bqo_core::optimizer::exhaustive_best_right_deep;
     pub use bqo_core::plan::{push_down_bitvectors, CostModel, PhysicalPlan, RightDeepTree};
     pub use bqo_core::workloads::{job_like, Scale};
-    pub use bqo_core::{BqoError, Engine, OptimizerChoice, PreparedQuery};
+    pub use bqo_core::{
+        BqoError, CacheStatus, Engine, OptimizerChoice, Params, PlanCache, PreparedStatement,
+        Session,
+    };
 }
 
 /// Default scale factor for benchmark workloads. Override with the

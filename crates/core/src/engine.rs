@@ -1,17 +1,46 @@
-//! The `Engine` facade: one entry point for catalog setup, optimization and
-//! pipelined execution.
+//! The serving-grade `Engine` facade: a cheaply shareable handle over the
+//! catalog, a selectivity-aware plan cache, owned prepared statements and
+//! lightweight execution sessions.
+//!
+//! ```text
+//! Engine (Arc-internal, Clone + Send + Sync)
+//!   ├── prepare(spec, choice)          -> PreparedStatement   (owned, 'static)
+//!   ├── bind(spec, params, choice)     -> PreparedStatement   (via PlanCache)
+//!   └── session() -> Session ── run(&stmt) -> QueryResult
+//! ```
 
+use crate::cache::{CacheStatus, PlanCache};
 use crate::{BqoError, OptimizerChoice};
-use bqo_exec::{ExecConfig, QueryResult};
+use bqo_exec::{BoundPlan, ExecConfig, Executor, QueryResult};
 use bqo_optimizer::{BaselineOptimizer, BqoOptimizer, Optimizer};
-use bqo_plan::{CostModel, CoutBreakdown, JoinGraph, PhysicalPlan, QuerySpec};
+use bqo_plan::{CostModel, CoutBreakdown, JoinGraph, Params, PhysicalPlan, QuerySpec};
 use bqo_storage::{Catalog, ForeignKey, Table};
+use std::sync::Arc;
 
-/// The unified query engine: a catalog plus an execution configuration.
+#[derive(Debug, Default)]
+struct EngineInner {
+    catalog: Catalog,
+    exec_config: ExecConfig,
+    /// Snapshot of `catalog.version()` at build time; folded into every
+    /// plan-cache key so engines over different catalog generations sharing
+    /// one [`PlanCache`] never serve each other's plans.
+    catalog_version: u64,
+    /// Snapshot of `catalog.schema_tag()` at build time: a content hash that
+    /// keeps *diverged* clones with coinciding mutation counts apart in the
+    /// cache key (the version alone is a bare count).
+    catalog_tag: u64,
+    cache: PlanCache,
+}
+
+/// The unified query engine: a catalog, a default execution configuration and
+/// a plan cache behind one `Arc` — cloning an `Engine` is a reference-count
+/// bump, and every clone (and every thread) observes the same cache.
 ///
 /// Construct one with [`Engine::builder`] (or [`Engine::from_catalog`] when a
-/// workload generator already produced the catalog), then [`Engine::prepare`]
-/// a [`QuerySpec`] into a [`PreparedQuery`] and [`PreparedQuery::run`] it:
+/// workload generator already produced the catalog), then turn a
+/// [`QuerySpec`] into an owned [`PreparedStatement`] with [`Engine::prepare`]
+/// (literal queries) or [`Engine::bind`] (parameterized queries), and execute
+/// it through a [`Session`]:
 ///
 /// ```
 /// use bqo_core::{Engine, OptimizerChoice};
@@ -19,16 +48,16 @@ use bqo_storage::{Catalog, ForeignKey, Table};
 ///
 /// let workload = star::generate(Scale(0.02), 3, 1, 42);
 /// let engine = Engine::builder().catalog(workload.catalog).build().unwrap();
-/// let prepared = engine
+/// let session = engine.session();
+/// let stmt = engine
 ///     .prepare(&workload.queries[0], OptimizerChoice::Bqo)
 ///     .unwrap();
-/// let result = prepared.run().unwrap();
+/// let result = session.run(&stmt).unwrap();
 /// assert!(result.output_rows > 0);
 /// ```
-#[derive(Debug, Default)]
+#[derive(Debug, Clone, Default)]
 pub struct Engine {
-    catalog: Catalog,
-    exec_config: ExecConfig,
+    inner: Arc<EngineInner>,
 }
 
 impl Engine {
@@ -38,70 +67,135 @@ impl Engine {
     }
 
     /// Wraps an existing catalog (e.g. one produced by the workload
-    /// generators) with the default execution configuration.
+    /// generators) with the default execution configuration and a fresh plan
+    /// cache.
     pub fn from_catalog(catalog: Catalog) -> Self {
         Engine {
-            catalog,
-            exec_config: ExecConfig::default(),
+            inner: Arc::new(EngineInner {
+                catalog_version: catalog.version(),
+                catalog_tag: catalog.schema_tag(),
+                catalog,
+                exec_config: ExecConfig::default(),
+                cache: PlanCache::new(),
+            }),
         }
     }
 
     /// The underlying catalog.
     pub fn catalog(&self) -> &Catalog {
-        &self.catalog
+        &self.inner.catalog
     }
 
     /// The engine's default execution configuration.
     pub fn exec_config(&self) -> ExecConfig {
-        self.exec_config
+        self.inner.exec_config
     }
 
-    /// Resolves and optimizes a query with the chosen optimizer, returning a
-    /// plan ready to [`PreparedQuery::run`].
+    /// The plan cache serving [`Engine::prepare`] and [`Engine::bind`]
+    /// (exposes hit/miss/re-optimization counters).
+    pub fn plan_cache(&self) -> &PlanCache {
+        &self.inner.cache
+    }
+
+    /// The catalog version this engine was built against.
+    pub fn catalog_version(&self) -> u64 {
+        self.inner.catalog_version
+    }
+
+    /// Opens a session with the engine's default execution configuration.
+    /// Sessions are cheap (an `Arc` clone plus a `Copy` config) — open one
+    /// per thread or per request.
+    pub fn session(&self) -> Session {
+        Session {
+            engine: self.clone(),
+            exec_config: self.inner.exec_config,
+        }
+    }
+
+    /// Resolves and optimizes a literal (fully bound) query into an owned
+    /// [`PreparedStatement`], consulting the plan cache.
+    ///
+    /// Parameterized specs must go through [`Engine::bind`]; preparing one
+    /// directly is a planning error naming the first unbound parameter.
     pub fn prepare(
         &self,
         query: &QuerySpec,
         choice: OptimizerChoice,
-    ) -> Result<PreparedQuery<'_>, BqoError> {
-        let graph = query
-            .to_join_graph(&self.catalog)
+    ) -> Result<PreparedStatement, BqoError> {
+        self.prepare_fingerprinted(query, query.fingerprint(), choice)
+    }
+
+    /// Binds a parameterized query and prepares it: placeholders are
+    /// substituted from `params`, per-relation cardinalities and
+    /// selectivities are re-derived from catalog statistics for the bound
+    /// values, and the plan cache is consulted under the *template*
+    /// fingerprint — so repeated binds of one template share a cache entry,
+    /// and a bind whose selectivities leave the stored envelope transparently
+    /// re-optimizes (see [`PlanCache`]).
+    pub fn bind(
+        &self,
+        query: &QuerySpec,
+        params: &Params,
+        choice: OptimizerChoice,
+    ) -> Result<PreparedStatement, BqoError> {
+        let bound = query
+            .bind(params)
             .map_err(|e| BqoError::planning(&query.name, e))?;
-        let plan = match choice {
-            OptimizerChoice::Baseline => BaselineOptimizer::new().optimize(&graph),
-            OptimizerChoice::BaselineNoBitvectors => {
-                BaselineOptimizer::without_bitvectors().optimize(&graph)
-            }
-            OptimizerChoice::Bqo => BqoOptimizer::new().optimize(&graph),
-            OptimizerChoice::BqoWithThreshold(t) => {
-                BqoOptimizer::with_threshold(t).optimize(&graph)
-            }
-        };
+        self.prepare_fingerprinted(&bound, query.fingerprint(), choice)
+    }
+
+    fn prepare_fingerprinted(
+        &self,
+        bound: &QuerySpec,
+        fingerprint: String,
+        choice: OptimizerChoice,
+    ) -> Result<PreparedStatement, BqoError> {
+        let graph = bound
+            .to_join_graph(&self.inner.catalog)
+            .map_err(|e| BqoError::planning(&bound.name, e))?;
+        let key = format!(
+            "v{}-{:016x}|{}|{fingerprint}",
+            self.inner.catalog_version,
+            self.inner.catalog_tag,
+            choice.display_label()
+        );
+        let (plan, cache_status) = self
+            .inner
+            .cache
+            .resolve(&key, &graph, || optimize(&graph, choice));
+        // The cached plan may have been optimized for different (in-envelope)
+        // selectivities; the cost estimate is always re-derived for *this*
+        // bind's statistics — a cheap model evaluation, not an optimizer run.
         let estimated_cost = CostModel::new(&graph).cout_physical(&plan);
-        Ok(PreparedQuery {
-            engine: self,
-            name: query.name.clone(),
+        Ok(PreparedStatement {
+            name: bound.name.clone(),
             choice,
             graph,
             plan,
             estimated_cost,
+            cache_status,
+            default_exec: self.inner.exec_config,
         })
     }
 
     /// Convenience: prepare and run in one call with the engine's execution
     /// configuration.
     pub fn run(&self, query: &QuerySpec, choice: OptimizerChoice) -> Result<QueryResult, BqoError> {
-        self.prepare(query, choice)?.run()
+        let stmt = self.prepare(query, choice)?;
+        self.session().run(&stmt)
     }
 
     /// Executes a hand-built physical plan (e.g. a specific join order under
     /// study, as in the Figure 2 experiment) with the engine's execution
-    /// configuration.
+    /// configuration. Error context is labelled with the joined relation
+    /// names; use [`Engine::execute_plan_named`] when a real query name is
+    /// available.
     pub fn execute_plan(
         &self,
         graph: &JoinGraph,
         plan: &PhysicalPlan,
     ) -> Result<QueryResult, BqoError> {
-        self.execute_plan_with(graph, plan, self.exec_config)
+        self.execute_plan_named_with(&plan_label(graph), graph, plan, self.inner.exec_config)
     }
 
     /// Executes a hand-built physical plan with an explicit configuration.
@@ -111,17 +205,84 @@ impl Engine {
         plan: &PhysicalPlan,
         config: ExecConfig,
     ) -> Result<QueryResult, BqoError> {
-        bqo_exec::execute_plan(&self.catalog, graph, plan, config)
-            .map_err(|e| BqoError::execution("<ad-hoc plan>", e))
+        self.execute_plan_named_with(&plan_label(graph), graph, plan, config)
+    }
+
+    /// Executes a hand-built physical plan, attaching `name` (e.g. the
+    /// originating query's name) to any execution error.
+    pub fn execute_plan_named(
+        &self,
+        name: &str,
+        graph: &JoinGraph,
+        plan: &PhysicalPlan,
+    ) -> Result<QueryResult, BqoError> {
+        self.execute_plan_named_with(name, graph, plan, self.inner.exec_config)
+    }
+
+    /// Executes a hand-built physical plan with an explicit configuration,
+    /// attaching `name` to any execution error.
+    pub fn execute_plan_named_with(
+        &self,
+        name: &str,
+        graph: &JoinGraph,
+        plan: &PhysicalPlan,
+        config: ExecConfig,
+    ) -> Result<QueryResult, BqoError> {
+        Executor::with_config(&self.inner.catalog, config)
+            .execute_bound(BoundPlan::new(graph, plan))
+            .map_err(|e| BqoError::execution(name, e))
     }
 }
 
+/// Runs the chosen optimizer over a resolved join graph.
+fn optimize(graph: &JoinGraph, choice: OptimizerChoice) -> PhysicalPlan {
+    match choice {
+        OptimizerChoice::Baseline => BaselineOptimizer::new().optimize(graph),
+        OptimizerChoice::BaselineNoBitvectors => {
+            BaselineOptimizer::without_bitvectors().optimize(graph)
+        }
+        OptimizerChoice::Bqo => BqoOptimizer::new().optimize(graph),
+        OptimizerChoice::BqoWithThreshold(t) => BqoOptimizer::with_threshold(t).optimize(graph),
+    }
+}
+
+/// Descriptive label for ad-hoc plans executed without a query name: the
+/// joined relation names.
+fn plan_label(graph: &JoinGraph) -> String {
+    if graph.num_relations() == 0 {
+        return "(empty plan)".to_string();
+    }
+    let names: Vec<&str> = graph.relations().iter().map(|r| r.name.as_str()).collect();
+    names.join(" ⋈ ")
+}
+
+/// Renders a row-count knob, showing `usize::MAX` as "unbatched".
+fn render_rows(n: usize) -> String {
+    if n == usize::MAX {
+        "unbatched".to_string()
+    } else {
+        n.to_string()
+    }
+}
+
+/// Renders the execution-configuration line appended to EXPLAIN output.
+fn render_exec_config(config: ExecConfig) -> String {
+    format!(
+        "execution: batch_size={}, num_threads={}, morsel_size={}\n",
+        render_rows(config.batch_size),
+        config.num_threads,
+        render_rows(config.effective_morsel_size())
+    )
+}
+
 /// Builder for [`Engine`]: registers tables and constraints, sets the
-/// execution configuration, and validates everything at [`EngineBuilder::build`].
+/// execution configuration and (optionally) a shared plan cache, and
+/// validates everything at [`EngineBuilder::build`].
 #[derive(Debug, Default)]
 pub struct EngineBuilder {
     catalog: Catalog,
     exec_config: ExecConfig,
+    cache: Option<PlanCache>,
     primary_keys: Vec<(String, String)>,
     foreign_keys: Vec<ForeignKey>,
 }
@@ -159,6 +320,16 @@ impl EngineBuilder {
         self
     }
 
+    /// Uses a shared plan cache instead of a fresh one. Entries are keyed by
+    /// catalog version, so engines built over *different generations of the
+    /// same catalog lineage* can safely share a cache (a version bump
+    /// invalidates the older engine's entries for the newer one). Unrelated
+    /// catalogs should not share a cache.
+    pub fn plan_cache(mut self, cache: PlanCache) -> Self {
+        self.cache = Some(cache);
+        self
+    }
+
     /// Validates the declared constraints and builds the engine.
     pub fn build(mut self) -> Result<Engine, BqoError> {
         for (table, column) in &self.primary_keys {
@@ -172,26 +343,34 @@ impl EngineBuilder {
                 .map_err(BqoError::setup)?;
         }
         Ok(Engine {
-            catalog: self.catalog,
-            exec_config: self.exec_config,
+            inner: Arc::new(EngineInner {
+                catalog_version: self.catalog.version(),
+                catalog_tag: self.catalog.schema_tag(),
+                catalog: self.catalog,
+                exec_config: self.exec_config,
+                cache: self.cache.unwrap_or_default(),
+            }),
         })
     }
 }
 
-/// A query after optimization, bound to its engine: the resolved join graph,
+/// An owned, fully bound and optimized statement: the resolved join graph,
 /// the chosen physical plan (with bitvector placements) and its estimated
-/// cost.
-#[derive(Debug)]
-pub struct PreparedQuery<'e> {
-    engine: &'e Engine,
+/// cost. Carries no engine borrow — it is `'static`, `Send + Sync`, cheap to
+/// clone (the plan is `Arc`-shared with the cache) and can be executed by any
+/// [`Session`] of the engine it was prepared against.
+#[derive(Debug, Clone)]
+pub struct PreparedStatement {
     name: String,
     choice: OptimizerChoice,
     graph: JoinGraph,
-    plan: PhysicalPlan,
+    plan: Arc<PhysicalPlan>,
     estimated_cost: CoutBreakdown,
+    cache_status: CacheStatus,
+    default_exec: ExecConfig,
 }
 
-impl PreparedQuery<'_> {
+impl PreparedStatement {
     /// The query's name (copied from the [`QuerySpec`]).
     pub fn name(&self) -> &str {
         &self.name
@@ -202,7 +381,7 @@ impl PreparedQuery<'_> {
         self.choice
     }
 
-    /// The statistics-annotated join graph the optimizer worked on.
+    /// The statistics-annotated join graph the statement was bound against.
     pub fn graph(&self) -> &JoinGraph {
         &self.graph
     }
@@ -212,54 +391,174 @@ impl PreparedQuery<'_> {
         &self.plan
     }
 
-    /// Estimated bitvector-aware `Cout` of the plan.
+    /// The plan as a shared handle (the same allocation the plan cache
+    /// serves to other statements).
+    pub fn shared_plan(&self) -> Arc<PhysicalPlan> {
+        Arc::clone(&self.plan)
+    }
+
+    /// Estimated bitvector-aware `Cout` of the plan, re-derived for this
+    /// statement's bound selectivities.
     pub fn estimated_cost(&self) -> &CoutBreakdown {
         &self.estimated_cost
     }
 
-    /// EXPLAIN-style rendering of the plan, followed by the engine's
-    /// execution configuration (batch size and worker-thread count).
+    /// Whether this statement's plan came from the cache ([`CacheStatus::Hit`]),
+    /// a first optimization ([`CacheStatus::Miss`]) or an envelope-exit
+    /// re-optimization ([`CacheStatus::Reoptimized`]).
+    pub fn cache_status(&self) -> CacheStatus {
+        self.cache_status
+    }
+
+    /// The statement viewed as the execution layer's bound-plan unit.
+    pub fn bound(&self) -> BoundPlan<'_> {
+        BoundPlan::new(&self.graph, &self.plan)
+    }
+
+    /// EXPLAIN-style rendering of the plan, followed by the engine's default
+    /// execution configuration (batch size, worker-thread count and morsel
+    /// size). Use [`Session::explain`] (or [`PreparedStatement::explain_with`])
+    /// to render a session's overridden configuration instead.
     pub fn explain(&self) -> String {
+        self.explain_with(self.default_exec)
+    }
+
+    /// EXPLAIN-style rendering of the plan followed by an explicit execution
+    /// configuration.
+    pub fn explain_with(&self, config: ExecConfig) -> String {
         let mut out = self.plan.explain(&self.graph);
-        let config = self.engine.exec_config;
-        if config.batch_size == usize::MAX {
-            out.push_str(&format!(
-                "execution: batch_size=unbatched, num_threads={}\n",
-                config.num_threads
-            ));
-        } else {
-            out.push_str(&format!(
-                "execution: batch_size={}, num_threads={}\n",
-                config.batch_size, config.num_threads
-            ));
-        }
+        out.push_str(&render_exec_config(config));
         out
     }
+}
 
-    /// Runs the plan through the pull-based operator pipeline with the
-    /// engine's execution configuration.
-    pub fn run(&self) -> Result<QueryResult, BqoError> {
-        self.run_with(self.engine.exec_config)
+/// A lightweight execution handle: an engine reference plus per-session
+/// [`ExecConfig`] overrides. Sessions are `Clone + Send + Sync`; open one per
+/// thread or request and run any number of [`PreparedStatement`]s through it.
+#[derive(Debug, Clone)]
+pub struct Session {
+    engine: Engine,
+    exec_config: ExecConfig,
+}
+
+impl Session {
+    /// The engine this session executes against.
+    pub fn engine(&self) -> &Engine {
+        &self.engine
     }
 
-    /// Runs the plan with an explicit execution configuration (e.g.
-    /// bitvectors disabled, exact filters, a different batch size or
+    /// The session's execution configuration.
+    pub fn exec_config(&self) -> ExecConfig {
+        self.exec_config
+    }
+
+    /// The same session with a different execution configuration (e.g.
+    /// bitvectors disabled, exact filters, another batch size or
     /// worker-thread count).
-    pub fn run_with(&self, config: ExecConfig) -> Result<QueryResult, BqoError> {
-        bqo_exec::execute_plan(&self.engine.catalog, &self.graph, &self.plan, config)
-            .map_err(|e| BqoError::execution(&self.name, e))
+    pub fn with_exec_config(mut self, config: ExecConfig) -> Self {
+        self.exec_config = config;
+        self
     }
 
-    /// Runs the plan like [`PreparedQuery::run_with`] but additionally
+    /// Convenience passthrough to [`Engine::prepare`].
+    pub fn prepare(
+        &self,
+        query: &QuerySpec,
+        choice: OptimizerChoice,
+    ) -> Result<PreparedStatement, BqoError> {
+        self.engine.prepare(query, choice)
+    }
+
+    /// Convenience passthrough to [`Engine::bind`].
+    pub fn bind(
+        &self,
+        query: &QuerySpec,
+        params: &Params,
+        choice: OptimizerChoice,
+    ) -> Result<PreparedStatement, BqoError> {
+        self.engine.bind(query, params, choice)
+    }
+
+    /// Runs a prepared statement through the pull-based operator pipeline
+    /// with the session's execution configuration.
+    pub fn run(&self, stmt: &PreparedStatement) -> Result<QueryResult, BqoError> {
+        self.run_with(stmt, self.exec_config)
+    }
+
+    /// Runs a prepared statement with an explicit execution configuration
+    /// (overriding the session's for this call only).
+    pub fn run_with(
+        &self,
+        stmt: &PreparedStatement,
+        config: ExecConfig,
+    ) -> Result<QueryResult, BqoError> {
+        Executor::with_config(self.engine.catalog(), config)
+            .execute_bound(stmt.bound())
+            .map_err(|e| BqoError::execution(&stmt.name, e))
+    }
+
+    /// Runs a prepared statement like [`Session::run_with`] but additionally
     /// returns the concatenated output rows — the differential-testing entry
-    /// point used by the parallel-oracle harness to compare results bit for
-    /// bit across `(batch_size, num_threads)` configurations.
+    /// point used by the oracle harnesses to compare results bit for bit
+    /// across configurations and thread counts.
     pub fn run_with_rows(
         &self,
+        stmt: &PreparedStatement,
         config: ExecConfig,
     ) -> Result<(QueryResult, bqo_exec::Batch), BqoError> {
-        bqo_exec::Executor::with_config(&self.engine.catalog, config)
-            .execute_with_rows(&self.graph, &self.plan)
-            .map_err(|e| BqoError::execution(&self.name, e))
+        Executor::with_config(self.engine.catalog(), config)
+            .execute_bound_with_rows(stmt.bound())
+            .map_err(|e| BqoError::execution(&stmt.name, e))
+    }
+
+    /// EXPLAIN-style rendering of a statement's plan under the session's
+    /// execution configuration.
+    pub fn explain(&self, stmt: &PreparedStatement) -> String {
+        stmt.explain_with(self.exec_config)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // The serving contract: everything a multi-threaded server shares is
+    // Send + Sync and free of borrowed lifetimes.
+    #[allow(dead_code)]
+    fn assert_send_sync<T: Send + Sync + 'static>() {}
+
+    #[test]
+    fn serving_types_are_send_sync_and_owned() {
+        assert_send_sync::<Engine>();
+        assert_send_sync::<Session>();
+        assert_send_sync::<PreparedStatement>();
+        assert_send_sync::<PlanCache>();
+    }
+
+    #[test]
+    fn plan_label_names_relations() {
+        use bqo_plan::RelationInfo;
+        let mut g = JoinGraph::new();
+        assert_eq!(plan_label(&g), "(empty plan)");
+        g.add_relation(RelationInfo::new("fact", 1.0, 1.0));
+        g.add_relation(RelationInfo::new("dim", 1.0, 1.0));
+        assert_eq!(plan_label(&g), "fact ⋈ dim");
+    }
+
+    #[test]
+    fn exec_config_rendering_reports_all_knobs() {
+        let line = render_exec_config(ExecConfig::default());
+        assert!(line.contains("batch_size=4096"), "{line}");
+        assert!(line.contains("num_threads=1"), "{line}");
+        assert!(line.contains("morsel_size=4096"), "{line}");
+        let line = render_exec_config(
+            ExecConfig::default()
+                .with_batch_size(usize::MAX)
+                .with_num_threads(4)
+                .with_morsel_size(64),
+        );
+        assert!(line.contains("batch_size=unbatched"), "{line}");
+        assert!(line.contains("num_threads=4"), "{line}");
+        assert!(line.contains("morsel_size=64"), "{line}");
     }
 }

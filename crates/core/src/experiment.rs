@@ -303,10 +303,11 @@ fn record_for(
     choice: OptimizerChoice,
     options: &RunOptions,
 ) -> Result<RunRecord, BqoError> {
+    let session = engine.session().with_exec_config(options.exec);
     let prepared = engine.prepare(query, choice)?;
     let mut best: Option<RunRecord> = None;
     for _ in 0..options.repetitions.max(1) {
-        let result = prepared.run_with(options.exec)?;
+        let result = session.run(&prepared)?;
         let record = RunRecord {
             estimated_cost: prepared.estimated_cost().total,
             elapsed_secs: result.metrics.elapsed_secs(),
@@ -368,13 +369,14 @@ pub fn bitvector_effect(
     let mut with_bv_queries = 0usize;
     let mut improved = 0usize;
     let mut regressed = 0usize;
+    let session = engine.session();
     for query in &workload.queries {
         let prepared = engine.prepare(query, OptimizerChoice::Baseline)?;
         if !prepared.plan().placements.is_empty() {
             with_bv_queries += 1;
         }
-        let with = prepared.run_with(options.exec)?;
-        let without = prepared.run_with(ExecConfig::without_bitvectors())?;
+        let with = session.run_with(&prepared, options.exec)?;
+        let without = session.run_with(&prepared, ExecConfig::without_bitvectors())?;
         let w_work = with.metrics.logical_work();
         let wo_work = without.metrics.logical_work();
         with_work += w_work;

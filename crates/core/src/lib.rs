@@ -2,16 +2,28 @@
 //!
 //! Public facade of the reproduction of *"Bitvector-aware Query Optimization
 //! for Decision Support Queries"* (SIGMOD 2020). It ties together the
-//! storage, planning, optimization and execution crates behind one entry
-//! point:
+//! storage, planning, optimization and execution crates behind one
+//! serving-grade entry point:
 //!
 //! * [`Engine`] — built with [`Engine::builder`] (tables, constraints,
-//!   [`ExecConfig`]) or [`Engine::from_catalog`]; [`Engine::prepare`] resolves
-//!   and optimizes a [`QuerySpec`] into a [`PreparedQuery`], and
-//!   [`PreparedQuery::run`] executes it through the pull-based operator
-//!   pipeline of `bqo-exec`. Every fallible step returns the unified
-//!   [`BqoError`], which keeps the query name and processing phase attached
-//!   to the underlying cause.
+//!   [`ExecConfig`], optional shared [`PlanCache`]) or
+//!   [`Engine::from_catalog`]. The engine is `Arc`-internal: cloning is a
+//!   reference-count bump and every clone is `Send + Sync`, so one engine
+//!   serves any number of threads.
+//! * [`PreparedStatement`] — an **owned** (`'static`, `Send + Sync`) bound
+//!   and optimized query produced by [`Engine::prepare`] (literal specs) or
+//!   [`Engine::bind`] (parameterized specs with [`Params`]). Binding
+//!   re-derives per-relation cardinalities from catalog statistics for the
+//!   bound values and consults the [`PlanCache`]: repeated binds of one
+//!   template skip the optimizer entirely, while a bind whose estimated
+//!   selectivities leave the cached plan's envelope transparently
+//!   re-optimizes (the regime where the paper shows bitvector placements
+//!   flip).
+//! * [`Session`] — a lightweight execution handle carrying per-session
+//!   [`ExecConfig`] overrides; [`Session::run`] executes any statement
+//!   through the pull-based operator pipeline of `bqo-exec`. Every fallible
+//!   step returns the unified [`BqoError`], which keeps the query name and
+//!   processing phase attached to the underlying cause.
 //! * [`experiment`] — the harness used by the examples and the benchmark
 //!   binary: run a whole workload under both optimizers and collect the
 //!   per-query and aggregate comparisons the paper reports (Figures 8–10,
@@ -20,22 +32,35 @@
 //! ## Quick example
 //!
 //! ```
-//! use bqo_core::{Engine, OptimizerChoice};
+//! use bqo_core::{CacheStatus, Engine, OptimizerChoice, Params};
 //! use bqo_core::workloads::{star, Scale};
 //!
 //! // Generate a small star-schema workload and build an engine around it.
 //! let workload = star::generate(Scale(0.02), 3, 1, 42);
 //! let engine = Engine::builder().catalog(workload.catalog).build().unwrap();
+//! let session = engine.session();
 //!
 //! // Prepare the first query with the bitvector-aware optimizer and run it.
 //! let query = &workload.queries[0];
-//! let prepared = engine.prepare(query, OptimizerChoice::Bqo).unwrap();
-//! println!("{}", prepared.explain());
-//! let result = prepared.run().unwrap();
+//! let stmt = engine.prepare(query, OptimizerChoice::Bqo).unwrap();
+//! println!("{}", session.explain(&stmt));
+//! let result = session.run(&stmt).unwrap();
 //!
 //! // The same query prepared with the baseline returns the same answer.
 //! let baseline = engine.prepare(query, OptimizerChoice::Baseline).unwrap();
-//! assert_eq!(result.output_rows, baseline.run().unwrap().output_rows);
+//! assert_eq!(result.output_rows, session.run(&baseline).unwrap().output_rows);
+//!
+//! // Parameterized serving: one template, many binds, one cache entry.
+//! let template = star::build_param_query("by_category", 3, &[0]);
+//! let a = engine
+//!     .bind(&template, &Params::new().set("bound0", 2i64), OptimizerChoice::Bqo)
+//!     .unwrap();
+//! let b = engine
+//!     .bind(&template, &Params::new().set("bound0", 3i64), OptimizerChoice::Bqo)
+//!     .unwrap();
+//! assert_eq!(a.cache_status(), CacheStatus::Miss);
+//! assert_eq!(b.cache_status(), CacheStatus::Hit); // optimizer skipped
+//! assert!(session.run(&a).unwrap().output_rows <= session.run(&b).unwrap().output_rows);
 //! ```
 //!
 //! ## Execution model
@@ -51,6 +76,7 @@
 //! order — so results and all reported counters are bit-identical for every
 //! `(batch_size, morsel_size, num_threads)` combination.
 
+pub mod cache;
 pub mod engine;
 pub mod error;
 pub mod experiment;
@@ -64,14 +90,15 @@ pub use bqo_plan as plan;
 pub use bqo_storage as storage;
 pub use bqo_workloads as workloads;
 
-pub use engine::{Engine, EngineBuilder, PreparedQuery};
+pub use cache::{CacheStatus, PlanCache, DEFAULT_ENVELOPE_RATIO};
+pub use engine::{Engine, EngineBuilder, PreparedStatement, Session};
 pub use error::{BqoError, QueryPhase};
 
-pub use bqo_exec::{ExecConfig, ExecutionMetrics, OperatorKind, QueryResult};
+pub use bqo_exec::{BoundPlan, ExecConfig, ExecutionMetrics, OperatorKind, QueryResult};
 pub use bqo_optimizer::{BaselineOptimizer, BqoOptimizer, Optimizer};
 pub use bqo_plan::{
-    ColumnPredicate, CompareOp, CostModel, CoutBreakdown, GraphShape, JoinGraph, PhysicalPlan,
-    QuerySpec,
+    ColumnPredicate, CompareOp, CostModel, CoutBreakdown, GraphShape, JoinGraph, Params,
+    PhysicalPlan, QuerySpec, SelectivityEnvelope,
 };
 pub use bqo_storage::{Catalog, ForeignKey, StorageError, Table, TableBuilder};
 
@@ -121,20 +148,32 @@ impl OptimizerChoice {
 mod tests {
     use super::*;
     use bqo_workloads::{star, tpcds_like, Scale};
+    use std::sync::Arc;
 
     #[test]
     fn optimize_and_execute_star_query() {
         let w = star::generate(Scale(0.02), 3, 2, 5);
         let engine = Engine::from_catalog(w.catalog);
+        let session = engine.session();
         for q in &w.queries {
             let bqo = engine.prepare(q, OptimizerChoice::Bqo).unwrap();
             let base = engine.prepare(q, OptimizerChoice::Baseline).unwrap();
             let nobv = engine
                 .prepare(q, OptimizerChoice::BaselineNoBitvectors)
                 .unwrap();
-            let bqo_rows = bqo.run().unwrap().output_rows;
-            assert_eq!(bqo_rows, base.run().unwrap().output_rows, "{}", q.name);
-            assert_eq!(bqo_rows, nobv.run().unwrap().output_rows, "{}", q.name);
+            let bqo_rows = session.run(&bqo).unwrap().output_rows;
+            assert_eq!(
+                bqo_rows,
+                session.run(&base).unwrap().output_rows,
+                "{}",
+                q.name
+            );
+            assert_eq!(
+                bqo_rows,
+                session.run(&nobv).unwrap().output_rows,
+                "{}",
+                q.name
+            );
             assert!(bqo.estimated_cost().total <= base.estimated_cost().total + 1e-6);
         }
     }
@@ -143,12 +182,13 @@ mod tests {
     fn tpcds_queries_round_trip() {
         let w = tpcds_like::generate(Scale(0.01), 4, 9);
         let engine = Engine::from_catalog(w.catalog);
+        let session = engine.session();
         for q in &w.queries {
             let opt = engine.prepare(q, OptimizerChoice::Bqo).unwrap();
             let opt_b = engine.prepare(q, OptimizerChoice::Baseline).unwrap();
             assert_eq!(
-                opt.run().unwrap().output_rows,
-                opt_b.run().unwrap().output_rows,
+                session.run(&opt).unwrap().output_rows,
+                session.run(&opt_b).unwrap().output_rows,
                 "{}",
                 q.name
             );
@@ -167,6 +207,58 @@ mod tests {
         let text = opt.explain();
         assert!(text.contains("HashJoin"));
         assert!(text.contains("Scan fact"));
+    }
+
+    #[test]
+    fn prepared_statements_outlive_their_engine_borrowlessly() {
+        // The owned-statement contract: a statement prepared by one engine
+        // clone can be executed later through another clone's session, and
+        // moving it across a thread boundary compiles (Send + 'static).
+        let w = star::generate(Scale(0.02), 3, 1, 5);
+        let engine = Engine::from_catalog(w.catalog);
+        let stmt = engine.prepare(&w.queries[0], OptimizerChoice::Bqo).unwrap();
+        let session = engine.session();
+        let expected = session.run(&stmt).unwrap().output_rows;
+        let handle = std::thread::spawn(move || stmt);
+        let stmt = handle.join().unwrap();
+        assert_eq!(session.run(&stmt).unwrap().output_rows, expected);
+    }
+
+    #[test]
+    fn repeated_prepare_hits_the_plan_cache() {
+        let w = star::generate(Scale(0.02), 3, 1, 5);
+        let engine = Engine::from_catalog(w.catalog);
+        let q = &w.queries[0];
+        let first = engine.prepare(q, OptimizerChoice::Bqo).unwrap();
+        assert_eq!(first.cache_status(), CacheStatus::Miss);
+        let second = engine.prepare(q, OptimizerChoice::Bqo).unwrap();
+        assert_eq!(second.cache_status(), CacheStatus::Hit);
+        // The plan allocation is literally shared with the cache entry.
+        assert!(Arc::ptr_eq(&first.shared_plan(), &second.shared_plan()));
+        // A different optimizer choice is a different cache key.
+        let base = engine.prepare(q, OptimizerChoice::Baseline).unwrap();
+        assert_eq!(base.cache_status(), CacheStatus::Miss);
+        assert_eq!(engine.plan_cache().hits(), 1);
+        assert_eq!(engine.plan_cache().misses(), 2);
+    }
+
+    #[test]
+    fn preparing_a_parameterized_spec_is_a_descriptive_error() {
+        let w = star::generate(Scale(0.02), 2, 1, 5);
+        let engine = Engine::from_catalog(w.catalog);
+        let template = star::build_param_query("template", 2, &[0]);
+        let err = engine.prepare(&template, OptimizerChoice::Bqo).unwrap_err();
+        assert_eq!(err.phase(), QueryPhase::Planning);
+        assert!(err.to_string().contains("bound0"), "{err}");
+        // Binding with the parameter present succeeds.
+        let stmt = engine
+            .bind(
+                &template,
+                &Params::new().set("bound0", 5i64),
+                OptimizerChoice::Bqo,
+            )
+            .unwrap();
+        assert!(engine.session().run(&stmt).unwrap().output_rows > 0);
     }
 
     #[test]

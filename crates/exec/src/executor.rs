@@ -97,6 +97,28 @@ impl ExecConfig {
     }
 }
 
+/// A bound, executable statement: the resolved (statistics-annotated) join
+/// graph together with the physical plan chosen for it.
+///
+/// This is the execution layer's view of `bqo-core`'s `PreparedStatement`:
+/// the run entry points ([`Executor::execute_bound`],
+/// [`Executor::execute_bound_with_rows`]) take this pair as one unit so
+/// callers cannot accidentally execute a plan against the wrong graph.
+#[derive(Debug, Clone, Copy)]
+pub struct BoundPlan<'a> {
+    /// The join graph supplying relation names and local predicates.
+    pub graph: &'a JoinGraph,
+    /// The physical plan (join order + bitvector placements) to execute.
+    pub plan: &'a PhysicalPlan,
+}
+
+impl<'a> BoundPlan<'a> {
+    /// Bundles a graph and a plan into one executable unit.
+    pub fn new(graph: &'a JoinGraph, plan: &'a PhysicalPlan) -> Self {
+        BoundPlan { graph, plan }
+    }
+}
+
 /// The result of executing one query plan.
 #[derive(Debug, Clone)]
 pub struct QueryResult {
@@ -161,6 +183,21 @@ impl<'a> Executor<'a> {
     ) -> Result<(QueryResult, Batch), StorageError> {
         let (result, rows) = self.run(graph, plan, true)?;
         Ok((result, rows.expect("rows were collected")))
+    }
+
+    /// Executes a bound statement — the entry point the serving facade in
+    /// `bqo-core` drives with its owned `PreparedStatement`s.
+    pub fn execute_bound(&self, bound: BoundPlan<'_>) -> Result<QueryResult, StorageError> {
+        self.execute(bound.graph, bound.plan)
+    }
+
+    /// Executes a bound statement and additionally returns the concatenated
+    /// output rows (see [`Executor::execute_with_rows`]).
+    pub fn execute_bound_with_rows(
+        &self,
+        bound: BoundPlan<'_>,
+    ) -> Result<(QueryResult, Batch), StorageError> {
+        self.execute_with_rows(bound.graph, bound.plan)
     }
 
     fn run(
@@ -472,6 +509,23 @@ mod tests {
                 assert_eq!(rows, serial.1, "threads {threads} batch {batch_size}");
             }
         }
+    }
+
+    #[test]
+    fn bound_plan_entry_point_matches_execute() {
+        let catalog = tiny_catalog();
+        let (g, fact, d1, d2) = tiny_graph();
+        let tree = RightDeepTree::new(vec![fact, d1, d2]).to_join_tree();
+        let plan = push_down_bitvectors(&g, PhysicalPlan::from_join_tree(&g, &tree));
+        let exec = Executor::with_config(&catalog, ExecConfig::exact_filters());
+        let direct = exec.execute(&g, &plan).unwrap();
+        let bound = exec.execute_bound(BoundPlan::new(&g, &plan)).unwrap();
+        assert_eq!(bound.output_rows, direct.output_rows);
+        let (result, rows) = exec
+            .execute_bound_with_rows(BoundPlan::new(&g, &plan))
+            .unwrap();
+        assert_eq!(result.output_rows, direct.output_rows);
+        assert_eq!(rows.num_rows() as u64, direct.output_rows);
     }
 
     #[test]

@@ -41,7 +41,9 @@ pub mod operators;
 pub mod pipeline;
 
 pub use batch::Batch;
-pub use executor::{execute_plan, ExecConfig, Executor, QueryResult, DEFAULT_BATCH_SIZE};
+pub use executor::{
+    execute_plan, BoundPlan, ExecConfig, Executor, QueryResult, DEFAULT_BATCH_SIZE,
+};
 pub use metrics::{ExecutionMetrics, OperatorKind, OperatorMetrics};
 pub use morsel::{chunk_morsels, morsels, run_morsels, Morsel};
 pub use operators::{HashJoinOp, PhysicalOperator, ScanOp};

@@ -9,9 +9,9 @@
 //! cardinality estimator) provides to its optimizer.
 
 use crate::graph::{JoinEdge, JoinGraph, RelationInfo};
-use crate::predicate::ColumnPredicate;
+use crate::predicate::{ColumnPredicate, Params};
 use bqo_storage::{Catalog, StorageError};
-use std::collections::HashMap;
+use std::collections::{BTreeSet, HashMap};
 
 /// One equi-join condition `left_table.left_column = right_table.right_column`.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -90,9 +90,68 @@ impl QuerySpec {
         self
     }
 
+    /// Adds a parameterized local predicate `table.column <op> $param` to one
+    /// of the tables. The spec must be bound with [`QuerySpec::bind`] before
+    /// it can be resolved against a catalog.
+    pub fn param_predicate(
+        self,
+        table: impl Into<String>,
+        column: impl Into<String>,
+        op: crate::predicate::CompareOp,
+        param: impl Into<String>,
+    ) -> Self {
+        self.predicate(table, ColumnPredicate::param(column, op, param))
+    }
+
     /// Number of joins in the query.
     pub fn num_joins(&self) -> usize {
         self.joins.len()
+    }
+
+    /// True if any predicate still carries a parameter placeholder.
+    pub fn is_parameterized(&self) -> bool {
+        self.predicates
+            .values()
+            .flatten()
+            .any(|p| p.is_parameterized())
+    }
+
+    /// The distinct parameter names referenced by this spec, sorted.
+    pub fn param_names(&self) -> Vec<&str> {
+        let names: BTreeSet<&str> = self
+            .predicates
+            .values()
+            .flatten()
+            .filter_map(|p| p.value.param_name())
+            .collect();
+        names.into_iter().collect()
+    }
+
+    /// Substitutes every parameter placeholder with its value from `params`,
+    /// returning the executable literal spec.
+    ///
+    /// # Errors
+    /// [`StorageError::UnboundParameter`] if a referenced parameter is
+    /// missing from `params`, and [`StorageError::InvalidArgument`] if
+    /// `params` carries a name the query never references (catching typos at
+    /// the bind boundary instead of silently ignoring them).
+    pub fn bind(&self, params: &Params) -> Result<QuerySpec, StorageError> {
+        let referenced: BTreeSet<&str> = self.param_names().into_iter().collect();
+        for name in params.names() {
+            if !referenced.contains(name) {
+                return Err(StorageError::InvalidArgument(format!(
+                    "parameter `${name}` does not appear in query `{}`",
+                    self.name
+                )));
+            }
+        }
+        let mut bound = self.clone();
+        for predicates in bound.predicates.values_mut() {
+            for p in predicates.iter_mut() {
+                *p = p.bind(params)?;
+            }
+        }
+        Ok(bound)
     }
 
     /// Resolves the query against a catalog into a statistics-annotated
@@ -106,6 +165,11 @@ impl QuerySpec {
             let predicates = self.predicates.get(table_name).cloned().unwrap_or_default();
             let mut selectivity = 1.0;
             for p in &predicates {
+                if let Some(param) = p.value.param_name() {
+                    return Err(StorageError::UnboundParameter {
+                        name: param.to_string(),
+                    });
+                }
                 let col_stats =
                     meta.stats
                         .column(&p.column)
@@ -279,5 +343,52 @@ mod tests {
     #[test]
     fn num_joins_reports_spec_size() {
         assert_eq!(spec().num_joins(), 2);
+    }
+
+    fn param_spec() -> QuerySpec {
+        QuerySpec::new("pq")
+            .table("fact")
+            .table("dim_a")
+            .join("fact", "dim_a_sk", "dim_a", "dim_a_sk")
+            .param_predicate("dim_a", "dim_a_category", CompareOp::Eq, "cat")
+    }
+
+    #[test]
+    fn parameterized_spec_reports_its_params() {
+        let spec = param_spec();
+        assert!(spec.is_parameterized());
+        assert_eq!(spec.param_names(), vec!["cat"]);
+        assert!(!self::spec().is_parameterized());
+        assert!(self::spec().param_names().is_empty());
+    }
+
+    #[test]
+    fn bind_produces_an_executable_spec() {
+        let catalog = catalog();
+        let spec = param_spec();
+        // Unbound specs do not resolve.
+        assert!(matches!(
+            spec.to_join_graph(&catalog),
+            Err(StorageError::UnboundParameter { ref name }) if name == "cat"
+        ));
+        // Bound specs resolve with the selectivity of the bound literal.
+        let bound = spec.bind(&Params::new().set("cat", 3i64)).unwrap();
+        assert!(!bound.is_parameterized());
+        let graph = bound.to_join_graph(&catalog).unwrap();
+        let dim_a = graph.relation_by_name("dim_a").unwrap();
+        assert!(graph.relation(dim_a).filtered_rows < graph.relation(dim_a).base_rows);
+    }
+
+    #[test]
+    fn bind_rejects_missing_and_unknown_params() {
+        let spec = param_spec();
+        assert!(matches!(
+            spec.bind(&Params::new()),
+            Err(StorageError::UnboundParameter { .. })
+        ));
+        let err = spec
+            .bind(&Params::new().set("cat", 1i64).set("typo", 2i64))
+            .unwrap_err();
+        assert!(matches!(err, StorageError::InvalidArgument(ref m) if m.contains("typo")));
     }
 }

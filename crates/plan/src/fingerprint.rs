@@ -1,0 +1,278 @@
+//! Canonical query forms and fingerprints for plan caching.
+//!
+//! A fingerprint is a normalized textual rendering of a [`QuerySpec`]'s
+//! *structure*: which tables are joined how, and which predicate shapes
+//! restrict them. Tables, joins and predicates are sorted so that two specs
+//! describing the same query in different order fingerprint identically, and
+//! the query *name* is excluded (it is a label, not semantics). Parameter
+//! placeholders are rendered by name (`$p`), so every bind of the same
+//! template shares one fingerprint — the serving-side plan cache then decides
+//! per bind whether the cached plan's selectivity envelope still covers the
+//! bound values.
+//!
+//! Because physical plans reference relations by positional
+//! [`crate::RelId`] — assigned by [`QuerySpec::to_join_graph`] in `.table()`
+//! insertion order — a plan cached under an order-invariant fingerprint is
+//! only directly valid for graphs that number the relations identically.
+//! Anything that serves cached plans across reordered specs must renumber
+//! them first ([`crate::PhysicalPlan::remap_relations`], driven by relation
+//! names); [`QuerySpec::canonical`] provides the normalized spec the
+//! fingerprint is rendered from.
+
+use crate::builder::{JoinCondition, QuerySpec};
+use crate::predicate::PredicateValue;
+use bqo_storage::Value;
+
+/// Escapes a free-form string (table name, column name, string literal,
+/// parameter name) so it cannot forge the fingerprint's structural
+/// delimiters: the escape character itself, the element separator `,` and
+/// the section brackets. Without this, a crafted `Utf8` literal such as
+/// `"x,t.d=s:y"` would render identically to two separate predicates and
+/// collide two different queries onto one cache key.
+fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        if matches!(c, '\\' | ',' | '[' | ']') {
+            out.push('\\');
+        }
+        out.push(c);
+    }
+    out
+}
+
+/// Renders a value with a type tag so that e.g. `Int64(3)` and
+/// `Float64(3.0)` (which both display as `3`) cannot collide.
+fn render_value(value: &Value) -> String {
+    match value {
+        Value::Int64(v) => format!("i:{v}"),
+        Value::Float64(v) => format!("f:{v}"),
+        Value::Utf8(v) => format!("s:{}", escape(v)),
+        Value::Bool(v) => format!("b:{v}"),
+    }
+}
+
+fn render_predicate_value(value: &PredicateValue) -> String {
+    match value {
+        PredicateValue::Literal(v) => render_value(v),
+        PredicateValue::Param(name) => format!("${}", escape(name)),
+    }
+}
+
+fn render_join(j: &JoinCondition) -> String {
+    format!(
+        "{}.{}={}.{}",
+        escape(&j.left_table),
+        escape(&j.left_column),
+        escape(&j.right_table),
+        escape(&j.right_column)
+    )
+}
+
+impl QuerySpec {
+    /// The canonical form of this spec: tables sorted (and deduplicated),
+    /// each join's sides ordered so the lexicographically smaller
+    /// `(table, column)` pair comes first, joins sorted, and each table's
+    /// predicates sorted by `(column, op, value)`.
+    ///
+    /// Two specs describing the same query in different order canonicalize
+    /// to *identical* specs — and therefore to identical join graphs with
+    /// identical [`crate::RelId`] numbering. The name is preserved (it is a
+    /// label, not part of the structure).
+    pub fn canonical(&self) -> QuerySpec {
+        let mut tables = self.tables.clone();
+        tables.sort_unstable();
+        tables.dedup();
+
+        let mut joins: Vec<JoinCondition> = self
+            .joins
+            .iter()
+            .map(|j| {
+                // A join is symmetric; `to_join_graph` reads both sides'
+                // statistics by name, so side order is free to normalize.
+                let left = (j.left_table.as_str(), j.left_column.as_str());
+                let right = (j.right_table.as_str(), j.right_column.as_str());
+                if left <= right {
+                    j.clone()
+                } else {
+                    JoinCondition::new(
+                        j.right_table.clone(),
+                        j.right_column.clone(),
+                        j.left_table.clone(),
+                        j.left_column.clone(),
+                    )
+                }
+            })
+            .collect();
+        joins.sort_by_key(render_join);
+
+        let predicates = self
+            .predicates
+            .iter()
+            .map(|(table, preds)| {
+                let mut preds = preds.clone();
+                preds.sort_by_key(|p| {
+                    (
+                        p.column.clone(),
+                        p.op.symbol(),
+                        render_predicate_value(&p.value),
+                    )
+                });
+                (table.clone(), preds)
+            })
+            .collect();
+
+        QuerySpec {
+            name: self.name.clone(),
+            tables,
+            joins,
+            predicates,
+        }
+    }
+
+    /// The canonical fingerprint of this query's structure.
+    ///
+    /// Invariant under table order, join order, join side order and predicate
+    /// order (it is rendered from [`QuerySpec::canonical`]); parameter
+    /// placeholders are rendered by name while literal bounds are rendered by
+    /// (type-tagged) value. Suitable as a plan-cache key together with the
+    /// optimizer choice and the catalog version.
+    pub fn fingerprint(&self) -> String {
+        let canonical = self.canonical();
+        let joins: Vec<String> = canonical.joins.iter().map(render_join).collect();
+        let mut predicates: Vec<String> = canonical
+            .predicates
+            .iter()
+            .flat_map(|(table, preds)| {
+                preds.iter().map(move |p| {
+                    format!(
+                        "{}.{}{}{}",
+                        escape(table),
+                        escape(&p.column),
+                        p.op.symbol(),
+                        render_predicate_value(&p.value)
+                    )
+                })
+            })
+            .collect();
+        // Predicates live in a per-table map; flatten deterministically.
+        predicates.sort_unstable();
+
+        let tables: Vec<String> = canonical.tables.iter().map(|t| escape(t)).collect();
+        format!(
+            "T[{}] J[{}] P[{}]",
+            tables.join(","),
+            joins.join(","),
+            predicates.join(",")
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::predicate::{ColumnPredicate, CompareOp, Params};
+
+    fn base() -> QuerySpec {
+        QuerySpec::new("q1")
+            .table("fact")
+            .table("dim_a")
+            .table("dim_b")
+            .join("fact", "a_sk", "dim_a", "sk")
+            .join("fact", "b_sk", "dim_b", "sk")
+            .predicate("dim_a", ColumnPredicate::new("cat", CompareOp::Eq, 3i64))
+            .predicate("dim_b", ColumnPredicate::new("flag", CompareOp::Lt, 2i64))
+    }
+
+    #[test]
+    fn stable_under_table_join_and_predicate_order() {
+        let reordered = QuerySpec::new("something_else")
+            .table("dim_b")
+            .table("fact")
+            .table("dim_a")
+            // Join sides and order swapped.
+            .join("dim_b", "sk", "fact", "b_sk")
+            .join("fact", "a_sk", "dim_a", "sk")
+            .predicate("dim_b", ColumnPredicate::new("flag", CompareOp::Lt, 2i64))
+            .predicate("dim_a", ColumnPredicate::new("cat", CompareOp::Eq, 3i64));
+        assert_eq!(base().fingerprint(), reordered.fingerprint());
+    }
+
+    #[test]
+    fn name_is_not_part_of_the_fingerprint() {
+        let mut renamed = base();
+        renamed.name = "renamed".into();
+        assert_eq!(base().fingerprint(), renamed.fingerprint());
+    }
+
+    #[test]
+    fn literal_values_and_ops_distinguish_queries() {
+        let other_value = QuerySpec::new("q")
+            .table("t")
+            .predicate("t", ColumnPredicate::new("c", CompareOp::Eq, 3i64));
+        let other_value2 = QuerySpec::new("q")
+            .table("t")
+            .predicate("t", ColumnPredicate::new("c", CompareOp::Eq, 4i64));
+        let other_op = QuerySpec::new("q")
+            .table("t")
+            .predicate("t", ColumnPredicate::new("c", CompareOp::Lt, 3i64));
+        assert_ne!(other_value.fingerprint(), other_value2.fingerprint());
+        assert_ne!(other_value.fingerprint(), other_op.fingerprint());
+        // Int64(3) and Float64(3.0) must not collide either.
+        let as_float = QuerySpec::new("q")
+            .table("t")
+            .predicate("t", ColumnPredicate::new("c", CompareOp::Eq, 3.0f64));
+        assert_ne!(other_value.fingerprint(), as_float.fingerprint());
+    }
+
+    #[test]
+    fn crafted_string_literals_cannot_collide_fingerprints() {
+        // Two predicates on `t` versus one predicate whose string literal
+        // embeds the rendering of the second — without escaping these
+        // produce the same fingerprint and would share a cache entry.
+        let two = QuerySpec::new("q")
+            .table("t")
+            .predicate("t", ColumnPredicate::new("c", CompareOp::Eq, "x"))
+            .predicate("t", ColumnPredicate::new("d", CompareOp::Eq, "y"));
+        let forged = QuerySpec::new("q")
+            .table("t")
+            .predicate("t", ColumnPredicate::new("c", CompareOp::Eq, "x,t.d=s:y"));
+        assert_ne!(two.fingerprint(), forged.fingerprint());
+        // Escape round-trips: escaped characters stay distinguishable.
+        let bracket = QuerySpec::new("q")
+            .table("t")
+            .predicate("t", ColumnPredicate::new("c", CompareOp::Eq, "a] J[b"));
+        let plain = QuerySpec::new("q")
+            .table("t")
+            .predicate("t", ColumnPredicate::new("c", CompareOp::Eq, "a J b"));
+        assert_ne!(bracket.fingerprint(), plain.fingerprint());
+        // Backslashes in literals cannot masquerade as escape sequences.
+        let backslash = QuerySpec::new("q")
+            .table("t")
+            .predicate("t", ColumnPredicate::new("c", CompareOp::Eq, "a\\,b"));
+        let comma = QuerySpec::new("q")
+            .table("t")
+            .predicate("t", ColumnPredicate::new("c", CompareOp::Eq, "a,b"));
+        assert_ne!(backslash.fingerprint(), comma.fingerprint());
+    }
+
+    #[test]
+    fn params_fingerprint_by_name_not_by_bound_value() {
+        let template =
+            QuerySpec::new("q")
+                .table("t")
+                .param_predicate("t", "c", CompareOp::Lt, "bound");
+        let fp = template.fingerprint();
+        assert!(fp.contains("$bound"), "{fp}");
+        // The *template* fingerprint is what the plan cache keys on: two
+        // different binds share it.
+        assert_eq!(fp, template.fingerprint());
+        // A bound spec fingerprints by its literal instead.
+        let bound = template.bind(&Params::new().set("bound", 5i64)).unwrap();
+        assert!(
+            bound.fingerprint().contains("i:5"),
+            "{}",
+            bound.fingerprint()
+        );
+        assert_ne!(fp, bound.fingerprint());
+    }
+}

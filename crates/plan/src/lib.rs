@@ -17,11 +17,15 @@
 //! * [`pushdown`] — Algorithm 1: create a bitvector filter at each hash join
 //!   and push it to the lowest possible operator of the probe side.
 //! * [`builder`] — helpers that build a statistics-annotated [`JoinGraph`]
-//!   from a [`bqo_storage::Catalog`] and a query description.
+//!   from a [`bqo_storage::Catalog`] and a query description, including
+//!   parameter placeholders ([`Params`], [`QuerySpec::bind`]).
+//! * [`fingerprint`] — canonical, order-invariant query fingerprints used as
+//!   plan-cache keys.
 
 pub mod builder;
 pub mod cost;
 pub mod estimator;
+pub mod fingerprint;
 pub mod graph;
 pub mod physical;
 pub mod predicate;
@@ -30,11 +34,13 @@ pub mod tree;
 
 pub use builder::QuerySpec;
 pub use cost::{CostModel, CoutBreakdown};
-pub use estimator::CardinalityEstimator;
+pub use estimator::{
+    local_selectivities, CardinalityEstimator, SelectivityBand, SelectivityEnvelope,
+};
 pub use graph::{GraphShape, JoinEdge, JoinGraph, RelId, RelationInfo};
 pub use physical::{
     BitvectorPlacement, ColumnRef, JoinKeyPair, NodeId, PhysicalNode, PhysicalPlan,
 };
-pub use predicate::{ColumnPredicate, CompareOp};
+pub use predicate::{ColumnPredicate, CompareOp, Params, PredicateValue};
 pub use pushdown::push_down_bitvectors;
 pub use tree::{JoinTree, RightDeepTree};

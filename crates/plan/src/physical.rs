@@ -188,6 +188,62 @@ impl PhysicalPlan {
             .filter(move |(_, p)| p.source_join == source_join)
     }
 
+    /// The same plan with every relation reference renumbered through `map`
+    /// (indexed by the old [`RelId`]): scan targets, hash-join key columns
+    /// and bitvector-placement columns. Node ids, tree shape and placement
+    /// wiring are unchanged.
+    ///
+    /// Plans reference relations positionally, so a plan optimized against
+    /// one join graph is only valid for another graph after remapping the
+    /// ids to that graph's numbering of the *same* relations — this is what
+    /// lets a plan cache serve one plan to specs that list their tables in
+    /// different orders.
+    ///
+    /// # Panics
+    /// Panics if the plan references a relation with no entry in `map`.
+    pub fn remap_relations(&self, map: &[RelId]) -> PhysicalPlan {
+        let remap_rel = |rel: &RelId| map[rel.0];
+        let remap_col = |col: &ColumnRef| ColumnRef {
+            relation: remap_rel(&col.relation),
+            column: col.column.clone(),
+        };
+        let nodes = self
+            .nodes
+            .iter()
+            .map(|node| match node {
+                PhysicalNode::Scan { relation } => PhysicalNode::Scan {
+                    relation: remap_rel(relation),
+                },
+                PhysicalNode::HashJoin { build, probe, keys } => PhysicalNode::HashJoin {
+                    build: *build,
+                    probe: *probe,
+                    keys: keys
+                        .iter()
+                        .map(|k| JoinKeyPair {
+                            build: remap_col(&k.build),
+                            probe: remap_col(&k.probe),
+                        })
+                        .collect(),
+                },
+            })
+            .collect();
+        let placements = self
+            .placements
+            .iter()
+            .map(|p| BitvectorPlacement {
+                source_join: p.source_join,
+                target: p.target,
+                probe_columns: p.probe_columns.iter().map(remap_col).collect(),
+                build_columns: p.build_columns.iter().map(remap_col).collect(),
+            })
+            .collect();
+        PhysicalPlan {
+            nodes,
+            root: self.root,
+            placements,
+        }
+    }
+
     /// Builds a physical plan (without bitvector placements) from a logical
     /// join tree, deriving the hash-join key pairs from the join graph's
     /// edges that cross each join's build/probe sets.
@@ -331,6 +387,61 @@ mod tests {
             }
             other => panic!("expected join at root, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn remap_relations_renumbers_every_reference() {
+        use crate::pushdown::push_down_bitvectors;
+        let (g, fact, dims) = star_graph();
+        let tree = RightDeepTree::new(vec![fact, dims[0], dims[1]]).to_join_tree();
+        let plan = push_down_bitvectors(&g, PhysicalPlan::from_join_tree(&g, &tree));
+        assert!(!plan.placements.is_empty());
+
+        // A graph listing the same relations in reverse order: d2, d1, fact.
+        let map = [RelId(2), RelId(1), RelId(0)];
+        let remapped = plan.remap_relations(&map);
+        assert_eq!(remapped.num_nodes(), plan.num_nodes());
+        assert_eq!(remapped.root(), plan.root());
+        for (id, node) in plan.nodes() {
+            match (node, remapped.node(id)) {
+                (PhysicalNode::Scan { relation }, PhysicalNode::Scan { relation: r2 }) => {
+                    assert_eq!(*r2, map[relation.0]);
+                }
+                (
+                    PhysicalNode::HashJoin { build, probe, keys },
+                    PhysicalNode::HashJoin {
+                        build: b2,
+                        probe: p2,
+                        keys: k2,
+                    },
+                ) => {
+                    assert_eq!((build, probe), (b2, p2));
+                    for (k, kr) in keys.iter().zip(k2) {
+                        assert_eq!(kr.build.relation, map[k.build.relation.0]);
+                        assert_eq!(kr.probe.relation, map[k.probe.relation.0]);
+                        assert_eq!(kr.build.column, k.build.column);
+                        assert_eq!(kr.probe.column, k.probe.column);
+                    }
+                }
+                other => panic!("node kind changed under remap: {other:?}"),
+            }
+        }
+        for (p, pr) in plan.placements.iter().zip(&remapped.placements) {
+            assert_eq!((p.source_join, p.target), (pr.source_join, pr.target));
+            for (c, cr) in p.probe_columns.iter().zip(&pr.probe_columns) {
+                assert_eq!(cr.relation, map[c.relation.0]);
+                assert_eq!(cr.column, c.column);
+            }
+            for (c, cr) in p.build_columns.iter().zip(&pr.build_columns) {
+                assert_eq!(cr.relation, map[c.relation.0]);
+                assert_eq!(cr.column, c.column);
+            }
+        }
+        // Remapping by the identity is a no-op; remapping twice by the
+        // involution `map` round-trips.
+        let identity = [RelId(0), RelId(1), RelId(2)];
+        assert_eq!(plan.remap_relations(&identity).placements, plan.placements);
+        assert_eq!(remapped.remap_relations(&map).placements, plan.placements);
     }
 
     #[test]

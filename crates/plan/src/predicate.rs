@@ -1,6 +1,7 @@
-//! Local (single-table) predicates.
+//! Local (single-table) predicates, with optional parameter placeholders.
 
-use bqo_storage::{Column, ColumnStats, Value};
+use bqo_storage::{Column, ColumnStats, StorageError, Value};
+use std::collections::BTreeMap;
 
 /// Comparison operators supported by local predicates.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -27,25 +28,147 @@ impl CompareOp {
     }
 }
 
-/// A predicate of the form `column <op> literal` applied to one relation.
+/// The right-hand side of a predicate: a concrete literal, or a named
+/// parameter placeholder to be filled in by [`Params`] at bind time.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PredicateValue {
+    /// A concrete literal — the predicate is executable as-is.
+    Literal(Value),
+    /// A named placeholder (`$name`): the predicate must be bound with
+    /// [`ColumnPredicate::bind`] before it can be resolved or executed.
+    Param(String),
+}
+
+impl PredicateValue {
+    /// The literal, if this side is already bound.
+    pub fn literal(&self) -> Option<&Value> {
+        match self {
+            PredicateValue::Literal(v) => Some(v),
+            PredicateValue::Param(_) => None,
+        }
+    }
+
+    /// The parameter name, if this side is a placeholder.
+    pub fn param_name(&self) -> Option<&str> {
+        match self {
+            PredicateValue::Literal(_) => None,
+            PredicateValue::Param(name) => Some(name),
+        }
+    }
+}
+
+impl std::fmt::Display for PredicateValue {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PredicateValue::Literal(v) => write!(f, "{v}"),
+            PredicateValue::Param(name) => write!(f, "${name}"),
+        }
+    }
+}
+
+/// A named set of parameter values for binding parameterized queries.
+///
+/// Built fluently (`Params::new().set("category", 3i64)`) and passed to
+/// `QuerySpec::bind` / the engine's `bind` entry point, which substitutes
+/// every [`PredicateValue::Param`] placeholder.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Params {
+    values: BTreeMap<String, Value>,
+}
+
+impl Params {
+    /// An empty parameter set.
+    pub fn new() -> Self {
+        Params::default()
+    }
+
+    /// Sets (or replaces) one parameter value.
+    pub fn set(mut self, name: impl Into<String>, value: impl Into<Value>) -> Self {
+        self.values.insert(name.into(), value.into());
+        self
+    }
+
+    /// Looks up a parameter value.
+    pub fn get(&self, name: &str) -> Option<&Value> {
+        self.values.get(name)
+    }
+
+    /// The parameter names, sorted.
+    pub fn names(&self) -> impl Iterator<Item = &str> {
+        self.values.keys().map(|s| s.as_str())
+    }
+
+    /// Number of parameters.
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// True if no parameters are set.
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+}
+
+/// A predicate of the form `column <op> value` applied to one relation, where
+/// the value is either a literal or a named parameter placeholder.
 ///
 /// Decision-support queries place these on dimension attributes (the
 /// `k.keyword LIKE '%ge%'` style predicates in the paper's motivating query
 /// are modelled as selectivity-equivalent comparisons on generated columns).
+/// Parameterized predicates ([`ColumnPredicate::param`]) describe a query
+/// *template*; [`ColumnPredicate::bind`] produces the executable literal
+/// form.
 #[derive(Debug, Clone, PartialEq)]
 pub struct ColumnPredicate {
     pub column: String,
     pub op: CompareOp,
-    pub value: Value,
+    pub value: PredicateValue,
 }
 
 impl ColumnPredicate {
-    /// Creates a predicate.
+    /// Creates a literal predicate.
     pub fn new(column: impl Into<String>, op: CompareOp, value: impl Into<Value>) -> Self {
         ColumnPredicate {
             column: column.into(),
             op,
-            value: value.into(),
+            value: PredicateValue::Literal(value.into()),
+        }
+    }
+
+    /// Creates a parameterized predicate `column <op> $name`.
+    pub fn param(column: impl Into<String>, op: CompareOp, name: impl Into<String>) -> Self {
+        ColumnPredicate {
+            column: column.into(),
+            op,
+            value: PredicateValue::Param(name.into()),
+        }
+    }
+
+    /// True if the predicate still contains a parameter placeholder.
+    pub fn is_parameterized(&self) -> bool {
+        matches!(self.value, PredicateValue::Param(_))
+    }
+
+    /// Substitutes the parameter placeholder (if any) with its value from
+    /// `params`, returning the executable literal predicate.
+    ///
+    /// # Errors
+    /// [`StorageError::UnboundParameter`] if the placeholder's name is
+    /// missing from `params`.
+    pub fn bind(&self, params: &Params) -> Result<ColumnPredicate, StorageError> {
+        match &self.value {
+            PredicateValue::Literal(_) => Ok(self.clone()),
+            PredicateValue::Param(name) => {
+                let value = params
+                    .get(name)
+                    .cloned()
+                    .ok_or_else(|| StorageError::UnboundParameter { name: name.clone() })?;
+                Ok(ColumnPredicate {
+                    column: self.column.clone(),
+                    op: self.op,
+                    value: PredicateValue::Literal(value),
+                })
+            }
         }
     }
 
@@ -65,7 +188,13 @@ impl ColumnPredicate {
     /// Panics if `start > end` or `end > column.len()`.
     pub fn evaluate_range(&self, column: &Column, start: usize, end: usize) -> Vec<bool> {
         let mut mask = vec![false; end - start];
-        match (column, &self.value) {
+        // An unbound parameter selects nothing; graph resolution rejects
+        // parameterized predicates before execution, so this arm is only a
+        // defensive fallback (mirroring the type-mismatch behaviour below).
+        let PredicateValue::Literal(value) = &self.value else {
+            return mask;
+        };
+        match (column, value) {
             (Column::Int64(values), Value::Int64(lit)) => {
                 for (m, v) in mask.iter_mut().zip(&values[start..end]) {
                     *m = compare_ord(v.cmp(lit), self.op);
@@ -106,10 +235,15 @@ impl ColumnPredicate {
     }
 
     /// Estimates the selectivity of this predicate from column statistics.
+    ///
+    /// A still-parameterized predicate has no value to estimate from; it
+    /// falls back to the literal-free default of its operator class (the
+    /// estimate is re-derived from the bound literal at bind time, so this
+    /// path is only reachable when inspecting unbound templates).
     pub fn estimate_selectivity(&self, stats: &ColumnStats) -> f64 {
         let numeric = match &self.value {
-            Value::Int64(v) => Some(*v as f64),
-            Value::Float64(v) => Some(*v),
+            PredicateValue::Literal(Value::Int64(v)) => Some(*v as f64),
+            PredicateValue::Literal(Value::Float64(v)) => Some(*v),
             _ => None,
         };
         match self.op {
@@ -249,5 +383,59 @@ mod tests {
     fn display_is_readable() {
         let p = ColumnPredicate::new("price", CompareOp::Le, 10i64);
         assert_eq!(p.to_string(), "price <= 10");
+        let p = ColumnPredicate::param("price", CompareOp::Le, "max_price");
+        assert_eq!(p.to_string(), "price <= $max_price");
+    }
+
+    #[test]
+    fn bind_substitutes_parameters() {
+        let template = ColumnPredicate::param("price", CompareOp::Lt, "cap");
+        assert!(template.is_parameterized());
+        let bound = template.bind(&Params::new().set("cap", 10i64)).unwrap();
+        assert!(!bound.is_parameterized());
+        assert_eq!(bound, ColumnPredicate::new("price", CompareOp::Lt, 10i64));
+        // Missing parameter is a descriptive error.
+        let err = template.bind(&Params::new()).unwrap_err();
+        assert!(matches!(
+            err,
+            bqo_storage::StorageError::UnboundParameter { ref name } if name == "cap"
+        ));
+        // Binding a literal predicate is a no-op regardless of params.
+        let literal = ColumnPredicate::new("price", CompareOp::Lt, 5i64);
+        assert_eq!(literal.bind(&Params::new()).unwrap(), literal);
+    }
+
+    #[test]
+    fn unbound_parameter_selects_nothing_and_estimates_a_default() {
+        let c = Column::from(vec![1i64, 2, 3]);
+        let p = ColumnPredicate::param("x", CompareOp::Lt, "b");
+        assert_eq!(p.evaluate(&c), vec![false, false, false]);
+        let stats = bqo_storage::ColumnStats::compute(&c);
+        let sel = p.estimate_selectivity(&stats);
+        assert!(sel > 0.0 && sel <= 1.0);
+    }
+
+    #[test]
+    fn params_accessors() {
+        let params = Params::new().set("a", 1i64).set("b", "x");
+        assert_eq!(params.len(), 2);
+        assert!(!params.is_empty());
+        assert_eq!(params.get("a"), Some(&bqo_storage::Value::Int64(1)));
+        assert_eq!(params.get("missing"), None);
+        assert_eq!(params.names().collect::<Vec<_>>(), vec!["a", "b"]);
+        // Re-setting replaces.
+        let params = params.set("a", 9i64);
+        assert_eq!(params.get("a"), Some(&bqo_storage::Value::Int64(9)));
+    }
+
+    #[test]
+    fn predicate_value_accessors() {
+        let lit = PredicateValue::Literal(bqo_storage::Value::Int64(3));
+        assert_eq!(lit.literal(), Some(&bqo_storage::Value::Int64(3)));
+        assert_eq!(lit.param_name(), None);
+        let param = PredicateValue::Param("p".into());
+        assert_eq!(param.literal(), None);
+        assert_eq!(param.param_name(), Some("p"));
+        assert_eq!(param.to_string(), "$p");
     }
 }

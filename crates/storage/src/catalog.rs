@@ -54,6 +54,10 @@ pub struct TableMeta {
 pub struct Catalog {
     tables: HashMap<String, TableMeta>,
     foreign_keys: Vec<ForeignKey>,
+    /// Monotonic schema/statistics version: bumped by every mutation
+    /// (table registration, key declarations). Plan caches key their entries
+    /// on this so a changed catalog invalidates stale plans.
+    version: u64,
 }
 
 impl Catalog {
@@ -74,6 +78,58 @@ impl Catalog {
                 primary_key: None,
             },
         );
+        self.version += 1;
+    }
+
+    /// The catalog's mutation version: incremented by every table
+    /// registration and key declaration, so plan caches can use it as a
+    /// cheap staleness check along one mutation lineage. The bare count
+    /// cannot tell diverged clones apart (two clones that each applied one
+    /// *different* mutation share a count) — combine it with
+    /// [`Catalog::schema_tag`] when keying shared state.
+    pub fn version(&self) -> u64 {
+        self.version
+    }
+
+    /// A content tag over the catalog's schema: an FNV-1a hash of the sorted
+    /// table names with their row counts, column names, declared primary
+    /// keys and foreign keys. Two catalogs with different registered schemas
+    /// hash differently (modulo hash collisions) even when their mutation
+    /// counts coincide, which is what lets diverged clones of one catalog
+    /// safely share a plan cache keyed on `(version, schema_tag)`.
+    pub fn schema_tag(&self) -> u64 {
+        const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+        const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+        let mut hash = FNV_OFFSET;
+        let mut mix_bytes = |bytes: &[u8]| {
+            for &b in bytes {
+                hash ^= b as u64;
+                hash = hash.wrapping_mul(FNV_PRIME);
+            }
+            // Separator so concatenated fields cannot alias.
+            hash ^= 0xff;
+            hash = hash.wrapping_mul(FNV_PRIME);
+        };
+        let mut names: Vec<&String> = self.tables.keys().collect();
+        names.sort_unstable();
+        for name in names {
+            let meta = &self.tables[name];
+            mix_bytes(name.as_bytes());
+            mix_bytes(&meta.stats.row_count.to_le_bytes());
+            for column in meta.table.schema().names() {
+                mix_bytes(column.as_bytes());
+            }
+            if let Some(pk) = &meta.primary_key {
+                mix_bytes(pk.as_bytes());
+            }
+        }
+        for fk in &self.foreign_keys {
+            mix_bytes(fk.fk_table.as_bytes());
+            mix_bytes(fk.fk_column.as_bytes());
+            mix_bytes(fk.pk_table.as_bytes());
+            mix_bytes(fk.pk_column.as_bytes());
+        }
+        hash
     }
 
     /// Declares the primary key of a registered table.
@@ -91,6 +147,7 @@ impl Catalog {
             });
         }
         meta.primary_key = Some(column.to_string());
+        self.version += 1;
         Ok(())
     }
 
@@ -109,6 +166,7 @@ impl Catalog {
             }
         }
         self.foreign_keys.push(fk);
+        self.version += 1;
         Ok(())
     }
 
@@ -246,6 +304,54 @@ mod tests {
         assert!(c
             .declare_foreign_key(ForeignKey::new("nope", "fk", "dim", "id"))
             .is_err());
+    }
+
+    #[test]
+    fn version_counts_mutations() {
+        let mut c = Catalog::new();
+        assert_eq!(c.version(), 0);
+        c.register_table(
+            TableBuilder::new("dim")
+                .with_i64("id", vec![1, 2, 3])
+                .build()
+                .unwrap(),
+        );
+        assert_eq!(c.version(), 1);
+        let snapshot = c.clone();
+        c.declare_primary_key("dim", "id").unwrap();
+        assert_eq!(c.version(), 2);
+        // The clone keeps its own version; failed mutations don't bump.
+        assert_eq!(snapshot.version(), 1);
+        assert!(c.declare_primary_key("ghost", "id").is_err());
+        assert_eq!(c.version(), 2);
+    }
+
+    #[test]
+    fn schema_tag_distinguishes_diverged_clones() {
+        let base = catalog();
+        let mut a = base.clone();
+        let mut b = base.clone();
+        a.register_table(
+            TableBuilder::new("extra_a")
+                .with_i64("x", vec![1])
+                .build()
+                .unwrap(),
+        );
+        b.register_table(
+            TableBuilder::new("extra_b")
+                .with_i64("x", vec![1])
+                .build()
+                .unwrap(),
+        );
+        // Same mutation count, different content: the bare version collides
+        // but the schema tag does not.
+        assert_eq!(a.version(), b.version());
+        assert_ne!(a.schema_tag(), b.schema_tag());
+        // Identical lineages share a tag; key declarations change it.
+        assert_eq!(base.schema_tag(), base.clone().schema_tag());
+        let mut keyed = base.clone();
+        keyed.declare_primary_key("dim", "id").unwrap();
+        assert_ne!(keyed.schema_tag(), base.schema_tag());
     }
 
     #[test]

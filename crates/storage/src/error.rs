@@ -18,6 +18,8 @@ pub enum StorageError {
     InvalidConstraint(String),
     /// Catch-all for invalid arguments.
     InvalidArgument(String),
+    /// A query references a parameter placeholder that has no bound value.
+    UnboundParameter { name: String },
 }
 
 impl fmt::Display for StorageError {
@@ -40,6 +42,9 @@ impl fmt::Display for StorageError {
             }
             StorageError::InvalidConstraint(msg) => write!(f, "invalid constraint: {msg}"),
             StorageError::InvalidArgument(msg) => write!(f, "invalid argument: {msg}"),
+            StorageError::UnboundParameter { name } => {
+                write!(f, "parameter `${name}` has no bound value")
+            }
         }
     }
 }
@@ -73,6 +78,12 @@ mod tests {
         };
         assert!(e.to_string().contains("expected 3"));
         assert!(e.to_string().contains("got 5"));
+    }
+
+    #[test]
+    fn display_unbound_parameter() {
+        let e = StorageError::UnboundParameter { name: "cat".into() };
+        assert_eq!(e.to_string(), "parameter `$cat` has no bound value");
     }
 
     #[test]

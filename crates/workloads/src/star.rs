@@ -63,6 +63,42 @@ pub fn build_query(
     spec
 }
 
+/// Builds a parameterized query template over the star catalog: all
+/// dimensions joined, each dimension listed in `param_dims` carrying a
+/// `category < $bound{i}` placeholder predicate.
+///
+/// Bind it with `Params::new().set("bound0", k)` (one entry per listed
+/// dimension); the bound selectivity is `k / CATEGORIES`, so a serving
+/// workload can sweep one template from highly selective (`k = 1`) to
+/// unselective (`k = CATEGORIES`) binds — the sweep that drives a plan
+/// cache's selectivity-envelope re-optimization.
+pub fn build_param_query(
+    name: impl Into<String>,
+    num_dims: usize,
+    param_dims: &[usize],
+) -> QuerySpec {
+    let mut spec = QuerySpec::new(name).table("fact");
+    for i in 0..num_dims {
+        let dim = format!("dim{i}");
+        spec = spec.table(dim.clone()).join(
+            "fact",
+            format!("{dim}_sk"),
+            dim.clone(),
+            format!("{dim}_sk"),
+        );
+    }
+    for &dim_idx in param_dims {
+        let dim = format!("dim{dim_idx}");
+        spec = spec.param_predicate(
+            dim.clone(),
+            format!("{dim}_category"),
+            CompareOp::Lt,
+            format!("bound{dim_idx}"),
+        );
+    }
+    spec
+}
+
 /// Generates a full star workload with `num_queries` random queries of
 /// varying dimension-predicate selectivity.
 pub fn generate(scale: Scale, num_dims: usize, num_queries: usize, seed: u64) -> Workload {
@@ -90,7 +126,7 @@ pub fn generate(scale: Scale, num_dims: usize, num_queries: usize, seed: u64) ->
 #[cfg(test)]
 mod tests {
     use super::*;
-    use bqo_plan::GraphShape;
+    use bqo_plan::{GraphShape, Params};
 
     #[test]
     fn catalog_has_fact_and_dimensions() {
@@ -116,6 +152,22 @@ mod tests {
         let dim0 = graph.relation_by_name("dim0").unwrap();
         let sel = graph.relation(dim0).local_selectivity();
         assert!(sel > 0.1 && sel < 0.45, "selectivity {sel}");
+    }
+
+    #[test]
+    fn param_query_binds_to_the_literal_equivalent() {
+        let catalog = build_catalog(Scale(0.02), 3, 7);
+        let template = build_param_query("pq", 3, &[0, 2]);
+        assert!(template.is_parameterized());
+        assert_eq!(template.param_names(), vec!["bound0", "bound2"]);
+        // Unbound templates don't resolve; bound ones match build_query.
+        assert!(template.to_join_graph(&catalog).is_err());
+        let bound = template
+            .bind(&Params::new().set("bound0", 5i64).set("bound2", 1i64))
+            .unwrap();
+        let literal = build_query("pq", 3, &[(0, 5), (2, 1)]);
+        assert_eq!(bound.fingerprint(), literal.fingerprint());
+        assert!(bound.to_join_graph(&catalog).is_ok());
     }
 
     #[test]

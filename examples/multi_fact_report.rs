@@ -33,11 +33,12 @@ fn main() {
             query.num_joins(),
             graph.fact_tables().len()
         );
+        let session = engine.session();
         for choice in [OptimizerChoice::Baseline, OptimizerChoice::Bqo] {
-            let prepared = engine.prepare(query, choice).expect("query prepares");
-            let result = prepared.run().expect("query executes");
+            let stmt = engine.prepare(query, choice).expect("query prepares");
+            let result = session.run(&stmt).expect("query executes");
             println!("--- {} ---", choice.display_label());
-            println!("{}", prepared.explain());
+            println!("{}", session.explain(&stmt));
             println!(
                 "result rows {}, join tuples {}, filters {} (eliminated {}), wall {:.1} ms",
                 result.output_rows,

@@ -1,12 +1,14 @@
 //! Quickstart: build a tiny warehouse by hand with the [`Engine`] builder,
-//! ask the bitvector-aware optimizer for a plan, inspect it, and run it.
+//! prepare a *parameterized* query once, and serve it for several parameter
+//! bindings through a [`Session`] — repeated binds skip the optimizer via the
+//! engine's plan cache.
 //!
 //! ```text
 //! cargo run -p bqo-examples --bin quickstart
 //! ```
 
 use bqo_core::{
-    ColumnPredicate, CompareOp, Engine, ForeignKey, OptimizerChoice, QuerySpec, TableBuilder,
+    CompareOp, Engine, ForeignKey, OptimizerChoice, Params, QuerySpec, Session, TableBuilder,
 };
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -73,40 +75,70 @@ fn main() {
         .build()
         .expect("engine builds");
 
-    // "How many sales of category-3 products happened in region 0 stores?"
-    let query = QuerySpec::new("quickstart")
+    // "How many sales of category-$category products happened in
+    // region-$region stores?" — one template, bound per request.
+    let template = QuerySpec::new("quickstart")
         .table("sales")
         .table("product")
         .table("store")
         .join("sales", "product_sk", "product", "product_sk")
         .join("sales", "store_sk", "store", "store_sk")
-        .predicate(
-            "product",
-            ColumnPredicate::new("category", CompareOp::Eq, 3i64),
-        )
-        .predicate("store", ColumnPredicate::new("region", CompareOp::Eq, 0i64));
+        .param_predicate("product", "category", CompareOp::Eq, "category")
+        .param_predicate("store", "region", CompareOp::Eq, "region");
 
+    let session = engine.session();
     for choice in [OptimizerChoice::Baseline, OptimizerChoice::Bqo] {
-        let prepared = engine.prepare(&query, choice).expect("query prepares");
-        let result = prepared.run().expect("query runs");
+        let params = Params::new().set("category", 3i64).set("region", 0i64);
+        let stmt = engine
+            .bind(&template, &params, choice)
+            .expect("query binds");
         println!("=== {} ===", choice.label());
-        println!("{}", prepared.explain());
-        println!(
-            "estimated Cout      : {:.0}",
-            prepared.estimated_cost().total
-        );
-        println!("result rows         : {}", result.output_rows);
-        println!(
-            "tuples through joins: {}",
-            result.metrics.tuples_by_kind(bqo_core::OperatorKind::Join)
-        );
-        println!(
-            "bitvector filters   : {} created, {} tuples eliminated",
-            result.metrics.filters_created, result.metrics.filter_stats.eliminated
-        );
-        println!(
-            "wall time           : {:.2} ms\n",
-            result.metrics.elapsed_secs() * 1e3
+        println!("{}", session.explain(&stmt));
+        serve(&session, choice.label(), &stmt);
+    }
+
+    // Serve more bindings of the same template: the plans above are reused
+    // straight from the plan cache — no optimizer run, as the counters show.
+    for (category, region) in [(7i64, 4i64), (12, 9), (3, 0)] {
+        let params = Params::new()
+            .set("category", category)
+            .set("region", region);
+        let stmt = engine
+            .bind(&template, &params, OptimizerChoice::Bqo)
+            .expect("query binds");
+        serve(
+            &session,
+            &format!(
+                "BQO bind category={category} region={region} ({:?})",
+                stmt.cache_status()
+            ),
+            &stmt,
         );
     }
+    let cache = engine.plan_cache();
+    println!(
+        "plan cache          : {} hits, {} misses, {} re-optimizations",
+        cache.hits(),
+        cache.misses(),
+        cache.reoptimizations()
+    );
+}
+
+fn serve(session: &Session, label: &str, stmt: &bqo_core::PreparedStatement) {
+    let result = session.run(stmt).expect("query runs");
+    println!("--- {label} ---");
+    println!("estimated Cout      : {:.0}", stmt.estimated_cost().total);
+    println!("result rows         : {}", result.output_rows);
+    println!(
+        "tuples through joins: {}",
+        result.metrics.tuples_by_kind(bqo_core::OperatorKind::Join)
+    );
+    println!(
+        "bitvector filters   : {} created, {} tuples eliminated",
+        result.metrics.filters_created, result.metrics.filter_stats.eliminated
+    );
+    println!(
+        "wall time           : {:.2} ms\n",
+        result.metrics.elapsed_secs() * 1e3
+    );
 }

@@ -73,13 +73,14 @@ fn main() {
     assert!(candidate_best <= best_bv.0 * (1.0 + 1e-9));
 
     // Execute both optimizers' choices to see the difference on real data.
+    let session = engine.session();
     for choice in [OptimizerChoice::Baseline, OptimizerChoice::Bqo] {
-        let prepared = engine.prepare(&query, choice).expect("query prepares");
-        let result = prepared.run().expect("query executes");
+        let stmt = engine.prepare(&query, choice).expect("query prepares");
+        let result = session.run(&stmt).expect("query executes");
         println!(
             "\n{}: estimated Cout {:.0}, joins produced {} tuples, wall time {:.2} ms",
             choice.label(),
-            prepared.estimated_cost().total,
+            stmt.estimated_cost().total,
             result.metrics.tuples_by_kind(bqo_core::OperatorKind::Join),
             result.metrics.elapsed_secs() * 1e3
         );

@@ -18,6 +18,7 @@ const CHOICES: [OptimizerChoice; 4] = [
 
 fn assert_consistent(workload: &bqo_core::workloads::Workload) {
     let engine = Engine::from_catalog(workload.catalog.clone());
+    let session = engine.session();
     for query in &workload.queries {
         let mut expected: Option<u64> = None;
         for choice in CHOICES {
@@ -29,8 +30,8 @@ fn assert_consistent(workload: &bqo_core::workloads::Workload) {
                 ExecConfig::exact_filters(),
                 ExecConfig::without_bitvectors(),
             ] {
-                let result = prepared
-                    .run_with(config)
+                let result = session
+                    .run_with(&prepared, config)
                     .unwrap_or_else(|e| panic!("{}: execute failed: {e}", query.name));
                 match expected {
                     None => expected = Some(result.output_rows),
@@ -119,11 +120,14 @@ fn filter_elimination_counts_are_consistent_with_scan_outputs() {
     // surviving equal the tuples that entered the filters.
     let workload = star::generate(Scale(0.02), 3, 3, 33);
     let engine = Engine::from_catalog(workload.catalog.clone());
+    let session = engine.session();
     for query in &workload.queries {
         let prepared = engine
             .prepare(query, OptimizerChoice::BqoWithThreshold(0.0))
             .unwrap();
-        let result = prepared.run_with(ExecConfig::exact_filters()).unwrap();
+        let result = session
+            .run_with(&prepared, ExecConfig::exact_filters())
+            .unwrap();
         let stats = result.metrics.filter_stats;
         assert_eq!(stats.passed() + stats.eliminated, stats.probed);
     }

@@ -107,15 +107,22 @@ fn batch_size_sweep_matches_the_pre_redesign_oracle() {
 fn batch_size_sweep_is_invariant_on_generated_workloads() {
     let workload = tpcds_like::generate(Scale(0.02), 3, 17);
     let engine = Engine::from_catalog(workload.catalog.clone());
+    let session = engine.session();
     for query in &workload.queries {
         for choice in [OptimizerChoice::Baseline, OptimizerChoice::Bqo] {
             let prepared = engine.prepare(query, choice).unwrap();
-            let oracle = prepared
-                .run_with(ExecConfig::exact_filters().with_batch_size(usize::MAX))
+            let oracle = session
+                .run_with(
+                    &prepared,
+                    ExecConfig::exact_filters().with_batch_size(usize::MAX),
+                )
                 .unwrap();
             for batch_size in BATCH_SIZES {
-                let result = prepared
-                    .run_with(ExecConfig::exact_filters().with_batch_size(batch_size))
+                let result = session
+                    .run_with(
+                        &prepared,
+                        ExecConfig::exact_filters().with_batch_size(batch_size),
+                    )
                     .unwrap();
                 let label = format!("{} / {:?} / batch {batch_size}", query.name, choice);
                 assert_eq!(result.output_rows, oracle.output_rows, "{label}");
@@ -175,8 +182,9 @@ fn default_num_threads_is_serial_and_zero_is_clamped() {
     );
 }
 
-/// `PreparedQuery::explain` surfaces the engine's execution configuration so
-/// plan dumps record how the query would run.
+/// `PreparedStatement::explain` surfaces the engine's default execution
+/// configuration — including the morsel size — and `Session::explain`
+/// renders the session's overrides instead.
 #[test]
 fn explain_surfaces_the_execution_configuration() {
     let spec = QuerySpec::new("explained")
@@ -194,6 +202,11 @@ fn explain_surfaces_the_execution_configuration() {
         explain.contains(&format!("batch_size={DEFAULT_BATCH_SIZE}")),
         "{explain}"
     );
+    // The morsel size defaults to the batch size and must be reported too.
+    assert!(
+        explain.contains(&format!("morsel_size={DEFAULT_BATCH_SIZE}")),
+        "{explain}"
+    );
 
     let workload = bqo_core::workloads::star::generate(Scale(0.02), 2, 1, 5);
     let parallel = Engine::builder()
@@ -201,16 +214,28 @@ fn explain_surfaces_the_execution_configuration() {
         .exec_config(
             ExecConfig::default()
                 .with_num_threads(4)
-                .with_batch_size(usize::MAX),
+                .with_batch_size(usize::MAX)
+                .with_morsel_size(4096),
         )
         .build()
         .unwrap();
-    let explain = parallel
+    let stmt = parallel
         .prepare(&workload.queries[0], OptimizerChoice::Bqo)
-        .unwrap()
-        .explain();
+        .unwrap();
+    let explain = stmt.explain();
     assert!(explain.contains("num_threads=4"), "{explain}");
     assert!(explain.contains("batch_size=unbatched"), "{explain}");
+    assert!(explain.contains("morsel_size=4096"), "{explain}");
+
+    // A session override changes the reported configuration, not the plan.
+    let session = parallel.session().with_exec_config(
+        ExecConfig::default()
+            .with_num_threads(2)
+            .with_morsel_size(64),
+    );
+    let explain = session.explain(&stmt);
+    assert!(explain.contains("num_threads=2"), "{explain}");
+    assert!(explain.contains("morsel_size=64"), "{explain}");
 }
 
 #[test]
@@ -262,8 +287,9 @@ fn unknown_column_in_query_spec_is_a_descriptive_error() {
     assert!(msg.contains("ghost_sk"), "{msg}");
 }
 
-/// Execution errors keep the query name too: prepare against one engine and
-/// run against an engine whose catalog lacks the table.
+/// Execution errors keep real query context: `execute_plan_named` threads
+/// the caller's query name through, and the unnamed variants label the error
+/// with the joined relation names instead of a placeholder.
 #[test]
 fn execution_phase_errors_carry_query_context() {
     let engine = tiny_star_engine();
@@ -278,9 +304,21 @@ fn execution_phase_errors_carry_query_context() {
     let plan = PhysicalPlan::from_join_tree(&graph, &tree);
 
     let empty = Engine::builder().build().unwrap();
+    // Named execution: the provided query name ends up in the error.
+    let err = empty
+        .execute_plan_named("runtime_ghost", &graph, &plan)
+        .expect_err("missing table at runtime must not panic");
+    assert_eq!(err.phase(), QueryPhase::Execution);
+    assert_eq!(err.query(), Some("runtime_ghost"));
+    assert!(err.to_string().contains("runtime_ghost"), "{err}");
+
+    // Unnamed execution: no "<ad-hoc plan>" placeholder — the label names
+    // the joined relations.
     let err = empty
         .execute_plan(&graph, &plan)
         .expect_err("missing table at runtime must not panic");
     assert_eq!(err.phase(), QueryPhase::Execution);
-    assert!(err.to_string().contains("fact") || err.to_string().contains("d1"));
+    let msg = err.to_string();
+    assert!(!msg.contains("ad-hoc"), "{msg}");
+    assert!(msg.contains("fact") && msg.contains("d1"), "{msg}");
 }

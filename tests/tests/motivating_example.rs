@@ -54,7 +54,12 @@ fn executed_costs_follow_the_estimates() {
             plan
         };
         engine
-            .execute_plan_with(&graph, &plan, ExecConfig::exact_filters())
+            .execute_plan_named_with(
+                &workload.queries[0].name,
+                &graph,
+                &plan,
+                ExecConfig::exact_filters(),
+            )
             .unwrap()
     };
 
@@ -77,10 +82,11 @@ fn bqo_optimizer_picks_the_better_plan_automatically() {
     let workload = job_like::figure2_workload(Scale(0.03), 7);
     let engine = Engine::from_catalog(workload.catalog.clone());
     let query = &workload.queries[0];
+    let session = engine.session();
     let bqo_opt = engine.prepare(query, OptimizerChoice::Bqo).unwrap();
     let base_opt = engine.prepare(query, OptimizerChoice::Baseline).unwrap();
-    let bqo_run = bqo_opt.run().unwrap();
-    let base_run = base_opt.run().unwrap();
+    let bqo_run = session.run(&bqo_opt).unwrap();
+    let base_run = session.run(&base_opt).unwrap();
     assert_eq!(bqo_run.output_rows, base_run.output_rows);
     assert!(bqo_opt.estimated_cost().total <= base_opt.estimated_cost().total);
     assert!(

@@ -37,18 +37,22 @@ fn assert_parallel_matches_serial_oracle(
     choices: &[OptimizerChoice],
     base: ExecConfig,
 ) {
+    let session = engine.session();
     for query in queries {
         for &choice in choices {
             let prepared = engine.prepare(query, choice).unwrap();
-            let (oracle, oracle_rows) = prepared
-                .run_with_rows(base.with_batch_size(usize::MAX).with_num_threads(1))
+            let (oracle, oracle_rows) = session
+                .run_with_rows(
+                    &prepared,
+                    base.with_batch_size(usize::MAX).with_num_threads(1),
+                )
                 .unwrap();
             for &num_threads in &thread_counts() {
                 for &batch_size in &BATCH_MATRIX {
                     let config = base
                         .with_batch_size(batch_size)
                         .with_num_threads(num_threads);
-                    let (result, rows) = prepared.run_with_rows(config).unwrap();
+                    let (result, rows) = session.run_with_rows(&prepared, config).unwrap();
                     let label = format!(
                         "{} / {:?} / threads {num_threads} / batch {batch_size}",
                         query.name, choice

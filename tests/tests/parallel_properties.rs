@@ -70,6 +70,7 @@ proptest! {
         num_threads in 2usize..9,
     ) {
         let (engine, spec) = build_star(seed, fact_rows, skew, &dims);
+        let session = engine.session();
         let prepared = engine.prepare(&spec, OptimizerChoice::Bqo).unwrap();
 
         let serial = ExecConfig::default()
@@ -79,8 +80,9 @@ proptest! {
             .with_morsel_size(morsel_size)
             .with_num_threads(num_threads.max(env_threads()));
 
-        let (serial_result, serial_rows) = prepared.run_with_rows(serial).unwrap();
-        let (parallel_result, parallel_rows) = prepared.run_with_rows(parallel).unwrap();
+        let (serial_result, serial_rows) = session.run_with_rows(&prepared, serial).unwrap();
+        let (parallel_result, parallel_rows) =
+            session.run_with_rows(&prepared, parallel).unwrap();
 
         prop_assert_eq!(parallel_result.output_rows, serial_result.output_rows);
         prop_assert_eq!(&parallel_rows, &serial_rows);
@@ -110,16 +112,18 @@ proptest! {
         num_threads in 2usize..9,
     ) {
         let (engine, spec) = build_star(seed, fact_rows, 0.3, &dims);
+        let session = engine.session();
         let config = ExecConfig::default().with_num_threads(num_threads);
-        let bqo = engine
-            .prepare(&spec, OptimizerChoice::Bqo)
-            .unwrap()
-            .run_with(config)
-            .unwrap();
-        let baseline = engine
+        let bqo_stmt = engine.prepare(&spec, OptimizerChoice::Bqo).unwrap();
+        let bqo = session.run_with(&bqo_stmt, config).unwrap();
+        let baseline_stmt = engine
             .prepare(&spec, OptimizerChoice::BaselineNoBitvectors)
-            .unwrap()
-            .run_with(ExecConfig::without_bitvectors().with_num_threads(num_threads))
+            .unwrap();
+        let baseline = session
+            .run_with(
+                &baseline_stmt,
+                ExecConfig::without_bitvectors().with_num_threads(num_threads),
+            )
             .unwrap();
         prop_assert_eq!(bqo.output_rows, baseline.output_rows);
         prop_assert_eq!(baseline.metrics.filters_created, 0usize);

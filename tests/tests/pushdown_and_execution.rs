@@ -25,7 +25,7 @@ fn star_fact_scan_output_equals_final_join_cardinality() {
     let plan = push_down_bitvectors(&graph, PhysicalPlan::from_join_tree(&graph, &tree));
 
     let result = engine
-        .execute_plan_with(&graph, &plan, ExecConfig::exact_filters())
+        .execute_plan_named_with(&query.name, &graph, &plan, ExecConfig::exact_filters())
         .unwrap();
 
     // Find the fact scan's recorded output.
@@ -64,7 +64,10 @@ fn estimated_lambda_tracks_observed_elimination() {
         .unwrap();
     // Execute with exact filters and per-placement accounting: compare the
     // aggregate elimination with the model's per-placement estimates.
-    let result = prepared.run_with(ExecConfig::exact_filters()).unwrap();
+    let result = engine
+        .session()
+        .run_with(&prepared, ExecConfig::exact_filters())
+        .unwrap();
     let observed = result.metrics.filter_stats.elimination_rate();
 
     let estimates: Vec<f64> = (0..prepared.plan().placements.len())
@@ -99,8 +102,12 @@ fn postprocessing_reduces_probe_work_without_changing_answers() {
             p.placements.clear();
             p
         };
-        let a = engine.execute_plan(&graph, with.plan()).unwrap();
-        let b = engine.execute_plan(&graph, &without_plan).unwrap();
+        let a = engine
+            .execute_plan_named(&query.name, &graph, with.plan())
+            .unwrap();
+        let b = engine
+            .execute_plan_named(&query.name, &graph, &without_plan)
+            .unwrap();
         assert_eq!(a.output_rows, b.output_rows, "{}", query.name);
         if a.metrics.total_probe_rows() < b.metrics.total_probe_rows() {
             reduced += 1;
