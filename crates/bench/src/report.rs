@@ -6,8 +6,8 @@
 //! a `print_*` convenience wrapper.
 
 use crate::experiments::{
-    Figure2Result, Figure7Point, FilterKindAblationRow, ParallelScalingResult, Table2Row,
-    ThresholdAblationRow,
+    Figure2Result, Figure7Point, FilterKindAblationRow, ParallelScalingResult,
+    ServingThroughputResult, Table2Row, ThresholdAblationRow,
 };
 use bqo_core::experiment::{BitvectorEffectReport, WorkloadReport};
 use bqo_core::workloads::WorkloadStats;
@@ -437,6 +437,72 @@ pub fn render_parallel_scaling(result: &ParallelScalingResult) -> String {
     out
 }
 
+/// Renders the serving-throughput experiment.
+pub fn print_serving_throughput(result: &ServingThroughputResult) {
+    print!("{}", render_serving_throughput(result));
+}
+
+/// Render variant of [`print_serving_throughput`], returning the section
+/// text.
+pub fn render_serving_throughput(result: &ServingThroughputResult) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "Serving throughput — {} requests of small {} queries (host exposes {} hardware thread{})",
+        result.num_requests,
+        result.workload,
+        result.available_parallelism,
+        if result.available_parallelism == 1 {
+            ""
+        } else {
+            "s"
+        }
+    );
+    let _ = writeln!(
+        out,
+        "Session execution: per-section scoped spawns vs the engine's persistent worker pool"
+    );
+    let _ = writeln!(out, "{:<28} {:>14} {:>14}", "mode", "wall ms", "queries/s");
+    for mode in &result.execution_modes {
+        let _ = writeln!(
+            out,
+            "{:<28} {:>14.2} {:>14.1}",
+            mode.label,
+            mode.elapsed_secs * 1e3,
+            mode.queries_per_sec
+        );
+    }
+    if let [scoped, pooled] = result.execution_modes.as_slice() {
+        let _ = writeln!(
+            out,
+            "-> persistent pool serves the stream at {:.2}x the scoped-spawn throughput",
+            pooled.queries_per_sec / scoped.queries_per_sec.max(1e-12)
+        );
+    }
+    let _ = writeln!(
+        out,
+        "Server burst submit: admission caps over one shared engine/pool"
+    );
+    let _ = writeln!(out, "{:<28} {:>14} {:>14}", "mode", "wall ms", "queries/s");
+    for mode in &result.submit_modes {
+        let _ = writeln!(
+            out,
+            "{:<28} {:>14.2} {:>14.1}",
+            mode.label,
+            mode.elapsed_secs * 1e3,
+            mode.queries_per_sec
+        );
+    }
+    let _ = writeln!(
+        out,
+        "-> answers identical across every mode (asserted); admission keeps queueing \
+         bounded ({} output rows per stream)",
+        result.output_rows
+    );
+    let _ = writeln!(out);
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -455,5 +521,6 @@ mod tests {
         print_figure10(&reports, 3);
         print_table4(&experiments::run_table4(Scale(0.01), 2));
         print_parallel_scaling(&experiments::run_parallel_scaling(Scale(0.01), 1));
+        print_serving_throughput(&experiments::run_serving_throughput(Scale(0.01), 8));
     }
 }

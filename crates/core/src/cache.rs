@@ -26,6 +26,13 @@ use std::sync::{Arc, Mutex};
 /// stay within `[s/4, 4s]` of the selectivities it was optimized for.
 pub const DEFAULT_ENVELOPE_RATIO: f64 = 4.0;
 
+/// Default [`PlanCache::capacity`]: the maximum number of cached plans before
+/// least-recently-used entries are evicted. Parameterized templates share one
+/// entry per template, so this comfortably covers a serving workload's
+/// distinct statement shapes while bounding memory for ad-hoc literal
+/// traffic.
+pub const DEFAULT_PLAN_CACHE_CAPACITY: usize = 256;
+
 /// How a `PreparedStatement` was obtained from the cache.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum CacheStatus {
@@ -49,6 +56,9 @@ struct CachedPlan {
     /// lists the same tables in a different order must renumber the plan to
     /// the new graph's ids before it can be executed.
     relation_names: Vec<String>,
+    /// Logical timestamp of the entry's last lookup (hit or replacement);
+    /// the LRU eviction key.
+    last_used: u64,
 }
 
 impl CachedPlan {
@@ -76,17 +86,41 @@ struct PlanCacheInner {
     hits: AtomicU64,
     misses: AtomicU64,
     reoptimizations: AtomicU64,
+    evictions: AtomicU64,
+    /// Logical clock stamping entry usage (monotonic per lookup).
+    clock: AtomicU64,
     envelope_ratio: f64,
+    capacity: usize,
+}
+
+/// A point-in-time snapshot of a [`PlanCache`]'s counters and occupancy, as
+/// returned by [`PlanCache::cache_stats`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Lookups served from the cache without running the optimizer.
+    pub hits: u64,
+    /// Lookups that found no entry and ran the optimizer.
+    pub misses: u64,
+    /// Lookups that found an entry but re-optimized (envelope exit).
+    pub reoptimizations: u64,
+    /// Entries evicted to keep the cache within its capacity.
+    pub evictions: u64,
+    /// Number of currently cached plans.
+    pub len: usize,
+    /// Maximum number of cached plans before LRU eviction kicks in.
+    pub capacity: usize,
 }
 
 /// A shared, thread-safe cache of optimized plans with per-entry selectivity
 /// envelopes. Cloning is cheap and shares entries and counters.
 ///
-/// Entries are retained until [`PlanCache::clear`] — there is no automatic
-/// eviction yet (tracked in ROADMAP.md), so the cache grows with the number
-/// of *distinct* fingerprints served. High-cardinality literal values should
-/// be expressed as parameterized templates (all binds of one template share
-/// a single entry) rather than as per-value literal specs.
+/// The cache is bounded: at most [`PlanCache::capacity`] plans are retained
+/// (default [`DEFAULT_PLAN_CACHE_CAPACITY`]), and inserting beyond that
+/// evicts the least-recently-used entry (the [`PlanCache::evictions`] counter
+/// records how often). High-cardinality literal values should still be
+/// expressed as parameterized templates (all binds of one template share a
+/// single entry) rather than as per-value literal specs — eviction bounds
+/// memory, but an evicted plan costs a fresh optimizer run on its next use.
 #[derive(Debug, Clone)]
 pub struct PlanCache {
     inner: Arc<PlanCacheInner>,
@@ -100,17 +134,34 @@ impl Default for PlanCache {
 
 impl PlanCache {
     /// An empty cache with the default envelope tolerance
-    /// ([`DEFAULT_ENVELOPE_RATIO`]).
+    /// ([`DEFAULT_ENVELOPE_RATIO`]) and capacity
+    /// ([`DEFAULT_PLAN_CACHE_CAPACITY`]).
     pub fn new() -> Self {
-        PlanCache::with_envelope_ratio(DEFAULT_ENVELOPE_RATIO)
+        PlanCache::with_envelope_ratio_and_capacity(
+            DEFAULT_ENVELOPE_RATIO,
+            DEFAULT_PLAN_CACHE_CAPACITY,
+        )
     }
 
     /// An empty cache with an explicit envelope tolerance (values below 1
-    /// are clamped to 1, i.e. only exact selectivity matches hit).
+    /// are clamped to 1, i.e. only exact selectivity matches hit) and the
+    /// default capacity.
     pub fn with_envelope_ratio(ratio: f64) -> Self {
+        PlanCache::with_envelope_ratio_and_capacity(ratio, DEFAULT_PLAN_CACHE_CAPACITY)
+    }
+
+    /// An empty cache with an explicit capacity bound (clamped to at least 1)
+    /// and the default envelope tolerance.
+    pub fn with_capacity(capacity: usize) -> Self {
+        PlanCache::with_envelope_ratio_and_capacity(DEFAULT_ENVELOPE_RATIO, capacity)
+    }
+
+    /// An empty cache with explicit envelope tolerance and capacity bound.
+    pub fn with_envelope_ratio_and_capacity(ratio: f64, capacity: usize) -> Self {
         PlanCache {
             inner: Arc::new(PlanCacheInner {
                 envelope_ratio: ratio.max(1.0),
+                capacity: capacity.max(1),
                 ..Default::default()
             }),
         }
@@ -119,6 +170,11 @@ impl PlanCache {
     /// The multiplicative selectivity tolerance of stored envelopes.
     pub fn envelope_ratio(&self) -> f64 {
         self.inner.envelope_ratio
+    }
+
+    /// Maximum number of cached plans before LRU eviction kicks in.
+    pub fn capacity(&self) -> usize {
+        self.inner.capacity
     }
 
     /// Number of lookups served from the cache without running the optimizer.
@@ -135,6 +191,26 @@ impl PlanCache {
     /// bind's selectivities left the stored envelope.
     pub fn reoptimizations(&self) -> u64 {
         self.inner.reoptimizations.load(Ordering::Relaxed)
+    }
+
+    /// Number of entries evicted to keep the cache within its capacity.
+    pub fn evictions(&self) -> u64 {
+        self.inner.evictions.load(Ordering::Relaxed)
+    }
+
+    /// A point-in-time snapshot of counters and occupancy. Each field is
+    /// read independently (the counters are relaxed atomics), so under
+    /// concurrent traffic the fields may be mutually off by the handful of
+    /// lookups in flight — fine for monitoring, not a transactional view.
+    pub fn cache_stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits(),
+            misses: self.misses(),
+            reoptimizations: self.reoptimizations(),
+            evictions: self.evictions(),
+            len: self.len(),
+            capacity: self.capacity(),
+        }
     }
 
     /// Number of cached plans.
@@ -177,8 +253,16 @@ impl PlanCache {
         optimize: impl FnOnce() -> PhysicalPlan,
     ) -> (Arc<PhysicalPlan>, CacheStatus) {
         let existing = {
-            let entries = self.inner.entries.lock().expect("plan cache poisoned");
-            entries.get(key).cloned()
+            let mut entries = self.inner.entries.lock().expect("plan cache poisoned");
+            entries.get_mut(key).map(|entry| {
+                // Touch on every lookup (hit or replacement): an entry the
+                // traffic keeps asking about is not the one to evict. The
+                // stamp is drawn *inside* the lock — a stamp taken earlier
+                // could move `last_used` backwards past concurrent touches
+                // and turn a hot entry into the LRU victim.
+                entry.last_used = self.inner.clock.fetch_add(1, Ordering::Relaxed);
+                entry.clone()
+            })
         };
         let status = match &existing {
             Some(entry) if entry.envelope.contains(graph) => {
@@ -199,19 +283,42 @@ impl PlanCache {
         let relation_names = graph.relations().iter().map(|r| r.name.clone()).collect();
         {
             let mut entries = self.inner.entries.lock().expect("plan cache poisoned");
+            // Stamp the insertion with a *fresh* clock value: the lookup
+            // stamp `now` predates the (potentially slow) optimizer run, and
+            // concurrent traffic may have touched every other entry since —
+            // reusing it would make the just-optimized entry the LRU victim
+            // of its own insertion.
             entries.insert(
                 key.to_string(),
                 CachedPlan {
                     plan: plan.clone(),
                     envelope,
                     relation_names,
+                    last_used: self.inner.clock.fetch_add(1, Ordering::Relaxed),
                 },
             );
+            // LRU eviction: drop least-recently-used entries until the
+            // capacity bound holds again. The just-inserted entry carries the
+            // newest stamp, so it always survives its own insertion.
+            while entries.len() > self.inner.capacity {
+                let victim = entries
+                    .iter()
+                    .min_by_key(|(_, entry)| entry.last_used)
+                    .map(|(key, _)| key.clone())
+                    .expect("cache over capacity implies a victim");
+                entries.remove(&victim);
+                self.inner.evictions.fetch_add(1, Ordering::Relaxed);
+            }
+            // Account the lookup before releasing the lock so a snapshot
+            // never observes this insertion's eviction without its
+            // miss/re-optimization.
+            match status {
+                CacheStatus::Reoptimized => {
+                    self.inner.reoptimizations.fetch_add(1, Ordering::Relaxed)
+                }
+                _ => self.inner.misses.fetch_add(1, Ordering::Relaxed),
+            };
         }
-        match status {
-            CacheStatus::Reoptimized => self.inner.reoptimizations.fetch_add(1, Ordering::Relaxed),
-            _ => self.inner.misses.fetch_add(1, Ordering::Relaxed),
-        };
         (plan, status)
     }
 }
@@ -325,5 +432,88 @@ mod tests {
     fn ratio_below_one_is_clamped() {
         let cache = PlanCache::with_envelope_ratio(0.5);
         assert_eq!(cache.envelope_ratio(), 1.0);
+    }
+
+    #[test]
+    fn capacity_is_clamped_and_defaults_apply() {
+        assert_eq!(PlanCache::new().capacity(), DEFAULT_PLAN_CACHE_CAPACITY);
+        assert_eq!(PlanCache::with_capacity(0).capacity(), 1);
+        let cache = PlanCache::with_envelope_ratio_and_capacity(2.0, 8);
+        assert_eq!((cache.envelope_ratio(), cache.capacity()), (2.0, 8));
+    }
+
+    #[test]
+    fn lru_eviction_bounds_the_cache_and_counts() {
+        let cache = PlanCache::with_capacity(2);
+        let g = star(5.0);
+        cache.resolve("a", &g, dummy_plan);
+        cache.resolve("b", &g, dummy_plan);
+        assert_eq!((cache.len(), cache.evictions()), (2, 0));
+        // Touch "a" so "b" becomes the least recently used entry...
+        assert_eq!(
+            cache.resolve("a", &g, || unreachable!()).1,
+            CacheStatus::Hit
+        );
+        // ...then overflow: "b" is evicted, "a" survives.
+        cache.resolve("c", &g, dummy_plan);
+        assert_eq!((cache.len(), cache.evictions()), (2, 1));
+        assert_eq!(
+            cache.resolve("a", &g, || unreachable!()).1,
+            CacheStatus::Hit
+        );
+        assert_eq!(cache.resolve("b", &g, dummy_plan).1, CacheStatus::Miss);
+        // Re-resolving "b" overflowed again: "c" (least recent) was evicted.
+        assert_eq!((cache.len(), cache.evictions()), (2, 2));
+        assert_eq!(cache.resolve("c", &g, dummy_plan).1, CacheStatus::Miss);
+
+        let stats = cache.cache_stats();
+        assert_eq!(stats.evictions, 3);
+        assert_eq!(stats.len, 2);
+        assert_eq!(stats.capacity, 2);
+        assert_eq!(stats.hits, cache.hits());
+        assert_eq!(stats.misses, cache.misses());
+    }
+
+    #[test]
+    fn slow_optimization_does_not_evict_its_own_insertion() {
+        // Regression: the insertion stamp must be taken *after* the optimizer
+        // ran. Traffic that touches every other entry while a new key
+        // optimizes (simulated by re-entrant resolves inside the optimize
+        // closure — the map lock is not held there) must not make the new
+        // entry the LRU victim of its own insertion.
+        let cache = PlanCache::with_capacity(2);
+        let g = star(5.0);
+        cache.resolve("a", &g, dummy_plan);
+        cache.resolve("b", &g, dummy_plan);
+        let (_, status) = cache.resolve("c", &g, || {
+            assert_eq!(
+                cache.resolve("a", &g, || unreachable!()).1,
+                CacheStatus::Hit
+            );
+            assert_eq!(
+                cache.resolve("b", &g, || unreachable!()).1,
+                CacheStatus::Hit
+            );
+            dummy_plan()
+        });
+        assert_eq!(status, CacheStatus::Miss);
+        assert_eq!(
+            cache.resolve("c", &g, || unreachable!()).1,
+            CacheStatus::Hit
+        );
+        assert_eq!((cache.len(), cache.evictions()), (2, 1));
+    }
+
+    #[test]
+    fn capacity_one_keeps_the_newest_entry() {
+        let cache = PlanCache::with_capacity(1);
+        let g = star(5.0);
+        cache.resolve("a", &g, dummy_plan);
+        cache.resolve("b", &g, dummy_plan);
+        assert_eq!((cache.len(), cache.evictions()), (1, 1));
+        assert_eq!(
+            cache.resolve("b", &g, || unreachable!()).1,
+            CacheStatus::Hit
+        );
     }
 }

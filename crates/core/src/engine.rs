@@ -11,13 +11,33 @@
 
 use crate::cache::{CacheStatus, PlanCache};
 use crate::{BqoError, OptimizerChoice};
-use bqo_exec::{BoundPlan, ExecConfig, Executor, QueryResult};
+use bqo_exec::{BoundPlan, ExecConfig, Executor, QueryResult, WorkerPool};
 use bqo_optimizer::{BaselineOptimizer, BqoOptimizer, Optimizer};
 use bqo_plan::{CostModel, CoutBreakdown, JoinGraph, Params, PhysicalPlan, QuerySpec};
 use bqo_storage::{Catalog, ForeignKey, Table};
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 
-#[derive(Debug, Default)]
+/// Minimum effective parallelism the engine's worker pool is sized for when
+/// the builder does not pin an explicit [`EngineBuilder::worker_threads`]:
+/// the pool gets `max(default num_threads, available_parallelism, 4) - 1`
+/// helper threads, so per-session `num_threads` overrides up to at least 4
+/// (and up to the hardware width) are served by parked pool workers instead
+/// of the scoped-spawn fallback.
+const MIN_DEFAULT_PARALLELISM: usize = 4;
+
+/// Default helper-worker count for an engine pool (see
+/// [`MIN_DEFAULT_PARALLELISM`]). The calling thread always participates as
+/// worker 0, hence the `- 1`.
+fn default_pool_workers(config: ExecConfig) -> usize {
+    let hardware = std::thread::available_parallelism().map_or(1, |p| p.get());
+    config
+        .num_threads
+        .max(hardware)
+        .max(MIN_DEFAULT_PARALLELISM)
+        - 1
+}
+
+#[derive(Debug)]
 struct EngineInner {
     catalog: Catalog,
     exec_config: ExecConfig,
@@ -30,6 +50,29 @@ struct EngineInner {
     /// cache key (the version alone is a bare count).
     catalog_tag: u64,
     cache: PlanCache,
+    /// Helper-thread count of the engine-owned worker pool.
+    pool_workers: usize,
+    /// The persistent worker pool serving every parallel section of every
+    /// session (and every `Server` dispatcher) of this engine. Spawned
+    /// lazily on the first parallel run, so serial-only engines never start
+    /// threads; shut down (threads joined) when the engine's last clone
+    /// drops.
+    pool: OnceLock<WorkerPool>,
+}
+
+impl Default for EngineInner {
+    fn default() -> Self {
+        let exec_config = ExecConfig::default();
+        EngineInner {
+            catalog: Catalog::default(),
+            exec_config,
+            catalog_version: 0,
+            catalog_tag: 0,
+            cache: PlanCache::default(),
+            pool_workers: default_pool_workers(exec_config),
+            pool: OnceLock::new(),
+        }
+    }
 }
 
 /// The unified query engine: a catalog, a default execution configuration and
@@ -70,13 +113,16 @@ impl Engine {
     /// generators) with the default execution configuration and a fresh plan
     /// cache.
     pub fn from_catalog(catalog: Catalog) -> Self {
+        let exec_config = ExecConfig::default();
         Engine {
             inner: Arc::new(EngineInner {
                 catalog_version: catalog.version(),
                 catalog_tag: catalog.schema_tag(),
                 catalog,
-                exec_config: ExecConfig::default(),
+                exec_config,
                 cache: PlanCache::new(),
+                pool_workers: default_pool_workers(exec_config),
+                pool: OnceLock::new(),
             }),
         }
     }
@@ -100,6 +146,28 @@ impl Engine {
     /// The catalog version this engine was built against.
     pub fn catalog_version(&self) -> u64 {
         self.inner.catalog_version
+    }
+
+    /// The engine-owned persistent [`WorkerPool`] backing every parallel
+    /// section run through this engine's sessions. Spawned lazily on first
+    /// use; its threads are joined when the engine's last clone drops.
+    /// Cloning the returned handle is cheap and shares the workers.
+    pub fn worker_pool(&self) -> &WorkerPool {
+        self.inner
+            .pool
+            .get_or_init(|| WorkerPool::new(self.inner.pool_workers))
+    }
+
+    /// Builds the executor for one run: parallel configurations draw their
+    /// helper workers from the engine pool, serial ones never touch (or
+    /// spawn) it.
+    fn executor_for(&self, config: ExecConfig) -> Executor<'_> {
+        let executor = Executor::with_config(&self.inner.catalog, config);
+        if config.num_threads > 1 {
+            executor.with_worker_pool(self.worker_pool().clone())
+        } else {
+            executor
+        }
     }
 
     /// Opens a session with the engine's default execution configuration.
@@ -228,7 +296,7 @@ impl Engine {
         plan: &PhysicalPlan,
         config: ExecConfig,
     ) -> Result<QueryResult, BqoError> {
-        Executor::with_config(&self.inner.catalog, config)
+        self.executor_for(config)
             .execute_bound(BoundPlan::new(graph, plan))
             .map_err(|e| BqoError::execution(name, e))
     }
@@ -283,6 +351,7 @@ pub struct EngineBuilder {
     catalog: Catalog,
     exec_config: ExecConfig,
     cache: Option<PlanCache>,
+    worker_threads: Option<usize>,
     primary_keys: Vec<(String, String)>,
     foreign_keys: Vec<ForeignKey>,
 }
@@ -314,9 +383,21 @@ impl EngineBuilder {
     }
 
     /// Sets the execution configuration (filter kind, bitvectors on/off,
-    /// batch size, morsel size, worker-thread count).
+    /// batch size, morsel size, worker-thread count, parallel threshold).
     pub fn exec_config(mut self, config: ExecConfig) -> Self {
         self.exec_config = config;
+        self
+    }
+
+    /// Pins the engine's persistent worker pool to exactly `threads` helper
+    /// threads (the calling thread always participates as worker 0 on top).
+    /// Without this, the pool is sized to
+    /// `max(default num_threads, available_parallelism, 4) - 1`. `0` disables
+    /// the pool: parallel sections fall back to per-section scoped spawns —
+    /// the lever the serving-throughput bench uses to measure what the pool
+    /// saves.
+    pub fn worker_threads(mut self, threads: usize) -> Self {
+        self.worker_threads = Some(threads);
         self
     }
 
@@ -349,6 +430,10 @@ impl EngineBuilder {
                 catalog: self.catalog,
                 exec_config: self.exec_config,
                 cache: self.cache.unwrap_or_default(),
+                pool_workers: self
+                    .worker_threads
+                    .unwrap_or_else(|| default_pool_workers(self.exec_config)),
+                pool: OnceLock::new(),
             }),
         })
     }
@@ -492,7 +577,8 @@ impl Session {
         stmt: &PreparedStatement,
         config: ExecConfig,
     ) -> Result<QueryResult, BqoError> {
-        Executor::with_config(self.engine.catalog(), config)
+        self.engine
+            .executor_for(config)
             .execute_bound(stmt.bound())
             .map_err(|e| BqoError::execution(&stmt.name, e))
     }
@@ -506,7 +592,8 @@ impl Session {
         stmt: &PreparedStatement,
         config: ExecConfig,
     ) -> Result<(QueryResult, bqo_exec::Batch), BqoError> {
-        Executor::with_config(self.engine.catalog(), config)
+        self.engine
+            .executor_for(config)
             .execute_bound_with_rows(stmt.bound())
             .map_err(|e| BqoError::execution(&stmt.name, e))
     }

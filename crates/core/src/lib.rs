@@ -24,6 +24,15 @@
 //!   through the pull-based operator pipeline of `bqo-exec`. Every fallible
 //!   step returns the unified [`BqoError`], which keeps the query name and
 //!   processing phase attached to the underlying cause.
+//! * [`Server`] — the admission-controlled serving front end over the
+//!   engine: [`Server::submit`] enqueues a request FIFO into a bounded queue
+//!   (backpressure via [`SubmitError::QueueFull`]) and returns a [`Ticket`]
+//!   (`wait` / `cancel` / timeout); at most
+//!   [`ServerConfig::max_concurrent_queries`] statements execute at once on
+//!   persistent dispatcher threads, panics are contained per request, and
+//!   [`ServerStats`] reports the traffic counters. Parallel sections inside
+//!   the executor draw their helper workers from the engine-owned persistent
+//!   [`WorkerPool`] instead of spawning threads per query.
 //! * [`experiment`] — the harness used by the examples and the benchmark
 //!   binary: run a whole workload under both optimizers and collect the
 //!   per-query and aggregate comparisons the paper reports (Figures 8–10,
@@ -71,15 +80,19 @@
 //! (publishing their bitvector filter before the probe side starts) and
 //! stream the probe side. The probe-heavy loops run as shared-state-free
 //! kernels over fixed-size row **morsels** dispatched to
-//! [`ExecConfig::num_threads`] workers ([`ExecConfig::with_num_threads`]),
-//! with per-morsel outputs and counters merged deterministically in morsel
-//! order — so results and all reported counters are bit-identical for every
-//! `(batch_size, morsel_size, num_threads)` combination.
+//! [`ExecConfig::num_threads`] workers ([`ExecConfig::with_num_threads`]) —
+//! parked threads of the engine-owned persistent [`WorkerPool`], woken per
+//! parallel section, with tiny inputs gated inline by
+//! [`ExecConfig::parallel_threshold`] — and per-morsel outputs and counters
+//! merged deterministically in morsel order, so results and all reported
+//! counters are bit-identical for every
+//! `(batch_size, morsel_size, num_threads, parallel_threshold)` combination.
 
 pub mod cache;
 pub mod engine;
 pub mod error;
 pub mod experiment;
+pub mod server;
 
 // Re-export the building blocks so downstream users (examples, benches) only
 // need to depend on `bqo-core`.
@@ -90,11 +103,18 @@ pub use bqo_plan as plan;
 pub use bqo_storage as storage;
 pub use bqo_workloads as workloads;
 
-pub use cache::{CacheStatus, PlanCache, DEFAULT_ENVELOPE_RATIO};
+pub use cache::{
+    CacheStats, CacheStatus, PlanCache, DEFAULT_ENVELOPE_RATIO, DEFAULT_PLAN_CACHE_CAPACITY,
+};
 pub use engine::{Engine, EngineBuilder, PreparedStatement, Session};
 pub use error::{BqoError, QueryPhase};
+pub use server::{
+    QueryOutput, ServeError, Server, ServerConfig, ServerStats, SubmitError, SubmitOptions, Ticket,
+};
 
-pub use bqo_exec::{BoundPlan, ExecConfig, ExecutionMetrics, OperatorKind, QueryResult};
+pub use bqo_exec::{
+    BoundPlan, ExecConfig, ExecutionMetrics, OperatorKind, QueryResult, WorkerPool,
+};
 pub use bqo_optimizer::{BaselineOptimizer, BqoOptimizer, Optimizer};
 pub use bqo_plan::{
     ColumnPredicate, CompareOp, CostModel, CoutBreakdown, GraphShape, JoinGraph, Params,

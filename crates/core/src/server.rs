@@ -1,0 +1,840 @@
+//! Admission-controlled serving front end over [`Engine`] / [`Session`].
+//!
+//! [`Session`]: crate::Session
+//!
+//! A [`Server`] is what turns the engine into a multi-tenant runtime: instead
+//! of every caller grabbing a [`Session`] and flooding the executor, clients
+//! **submit** work and the server shapes the traffic —
+//!
+//! * **FIFO admission with a concurrency limiter.** At most
+//!   [`ServerConfig::max_concurrent_queries`] statements execute at once (a
+//!   fixed set of persistent dispatcher threads); everything else waits in a
+//!   first-in-first-out queue.
+//! * **Bounded-queue backpressure.** The queue holds at most
+//!   [`ServerConfig::queue_capacity`] pending requests; submissions beyond
+//!   that are rejected immediately with [`SubmitError::QueueFull`] instead of
+//!   accumulating unbounded memory and latency.
+//! * **Join-handle tickets.** [`Server::submit`] returns a [`Ticket`] — a
+//!   join-handle-like future that [`Ticket::wait`]s for the
+//!   [`QueryOutput`], can [`Ticket::cancel`] a not-yet-started request, and
+//!   applies the server's [`ServerConfig::default_timeout`].
+//! * **Panic containment.** A statement that panics mid-execution (e.g. a
+//!   malformed hand-built plan) takes down neither the dispatcher nor the
+//!   server: the panic is caught, surfaced through that request's ticket as
+//!   [`ServeError::Panicked`], and the dispatcher keeps serving.
+//! * **Graceful shutdown.** [`Server::shutdown`] stops admissions, drains
+//!   everything already queued, and joins the dispatchers; it is idempotent
+//!   and implied when the last server handle drops.
+//! * **Operational visibility.** [`Server::stats`] reports admitted /
+//!   completed / rejected / cancelled / failed / panicked counts, the live
+//!   queue depth and running count, and cumulative wall time.
+//!
+//! Execution itself goes through the engine like any session run: plans come
+//! from the shared [`crate::PlanCache`], and parallel sections draw their
+//! helper workers from the engine-owned persistent
+//! [`bqo_exec::WorkerPool`] — dispatchers are the *query*-level concurrency
+//! limit, the pool is the *morsel*-level one, and both are reused across
+//! requests so small queries stop paying per-query thread start-up.
+//!
+//! ```
+//! use bqo_core::workloads::{star, Scale};
+//! use bqo_core::{Engine, OptimizerChoice, Params, Server, ServerConfig};
+//!
+//! let workload = star::generate(Scale(0.02), 3, 1, 42);
+//! let engine = Engine::from_catalog(workload.catalog);
+//! let server = Server::new(engine, ServerConfig::default());
+//! let template = star::build_param_query("by_bound", 3, &[0]);
+//! let ticket = server
+//!     .submit(
+//!         &template,
+//!         Some(&Params::new().set("bound0", 3i64)),
+//!         OptimizerChoice::Bqo,
+//!     )
+//!     .unwrap();
+//! let output = ticket.wait().unwrap();
+//! assert!(output.result.output_rows > 0);
+//! server.shutdown();
+//! ```
+
+use crate::engine::Engine;
+use crate::{BqoError, CacheStatus, OptimizerChoice};
+use bqo_exec::{Batch, ExecConfig, QueryResult};
+use bqo_plan::{JoinGraph, Params, PhysicalPlan, QuerySpec};
+use std::collections::VecDeque;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Traffic-shaping knobs of a [`Server`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ServerConfig {
+    /// Maximum number of statements executing concurrently (the number of
+    /// persistent dispatcher threads). Values below 1 are treated as 1.
+    pub max_concurrent_queries: usize,
+    /// Maximum number of admitted-but-not-yet-started requests; submissions
+    /// beyond this bound fail fast with [`SubmitError::QueueFull`]. Values
+    /// below 1 are treated as 1.
+    pub queue_capacity: usize,
+    /// Default bound applied by [`Ticket::wait`]; `None` (the default) waits
+    /// indefinitely. A timed-out wait leaves the request running — a later
+    /// [`Ticket::wait_timeout`] can still collect the result.
+    pub default_timeout: Option<Duration>,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            max_concurrent_queries: 4,
+            queue_capacity: 128,
+            default_timeout: None,
+        }
+    }
+}
+
+impl ServerConfig {
+    /// The same configuration with a different concurrency limit (clamped to
+    /// at least 1).
+    pub fn with_max_concurrent_queries(mut self, max_concurrent_queries: usize) -> Self {
+        self.max_concurrent_queries = max_concurrent_queries.max(1);
+        self
+    }
+
+    /// The same configuration with a different pending-queue bound (clamped
+    /// to at least 1).
+    pub fn with_queue_capacity(mut self, queue_capacity: usize) -> Self {
+        self.queue_capacity = queue_capacity.max(1);
+        self
+    }
+
+    /// The same configuration with a default [`Ticket::wait`] timeout.
+    pub fn with_default_timeout(mut self, timeout: Duration) -> Self {
+        self.default_timeout = Some(timeout);
+        self
+    }
+}
+
+/// Per-request options for [`Server::submit_with`].
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SubmitOptions {
+    /// Execution-configuration override for this request; `None` uses the
+    /// engine's default configuration.
+    pub exec_config: Option<ExecConfig>,
+    /// Collect the concatenated output rows into [`QueryOutput::rows`]
+    /// (the differential-testing entry point of the server oracle; row
+    /// counts and metrics are always reported).
+    pub collect_rows: bool,
+}
+
+impl SubmitOptions {
+    /// The same options with an execution-configuration override.
+    pub fn with_exec_config(mut self, config: ExecConfig) -> Self {
+        self.exec_config = Some(config);
+        self
+    }
+
+    /// The same options with output-row collection enabled.
+    pub fn collecting_rows(mut self) -> Self {
+        self.collect_rows = true;
+        self
+    }
+}
+
+/// Why a submission was not admitted.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SubmitError {
+    /// The pending queue already holds `capacity` requests — backpressure:
+    /// retry later or shed the request.
+    QueueFull {
+        /// The configured [`ServerConfig::queue_capacity`].
+        capacity: usize,
+    },
+    /// The server is shutting down (or already shut down).
+    ShutDown,
+}
+
+impl std::fmt::Display for SubmitError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SubmitError::QueueFull { capacity } => {
+                write!(f, "server queue is full ({capacity} pending requests)")
+            }
+            SubmitError::ShutDown => write!(f, "server is shut down"),
+        }
+    }
+}
+
+impl std::error::Error for SubmitError {}
+
+/// Why an admitted request produced no [`QueryOutput`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum ServeError {
+    /// Planning or execution failed (the usual error path, with query name
+    /// and phase attached).
+    Query(BqoError),
+    /// Execution panicked on the dispatcher; the payload's message. The
+    /// dispatcher survived and keeps serving other requests.
+    Panicked(String),
+    /// The request was cancelled before execution started.
+    Cancelled,
+    /// [`Ticket::wait`]'s bound elapsed before the request finished. The
+    /// request keeps running; a later wait can still collect its result.
+    TimedOut,
+}
+
+impl std::fmt::Display for ServeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServeError::Query(e) => write!(f, "{e}"),
+            ServeError::Panicked(msg) => write!(f, "query execution panicked: {msg}"),
+            ServeError::Cancelled => write!(f, "request was cancelled before it started"),
+            ServeError::TimedOut => write!(f, "timed out waiting for the request to finish"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ServeError::Query(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+/// The result of one served request.
+#[derive(Debug, Clone)]
+pub struct QueryOutput {
+    /// Row count and execution metrics (as returned by [`Session::run`]).
+    ///
+    /// [`Session::run`]: crate::Session::run
+    pub result: QueryResult,
+    /// Concatenated output rows, when requested via
+    /// [`SubmitOptions::collect_rows`] (spec submissions only).
+    pub rows: Option<Batch>,
+    /// How the plan was obtained from the plan cache (`None` for hand-built
+    /// plans submitted through [`Server::submit_plan`]).
+    pub cache_status: Option<CacheStatus>,
+    /// Time the request spent queued before a dispatcher picked it up.
+    pub queue_wait: Duration,
+    /// Submit-to-completion wall time (queueing + planning + execution).
+    pub total_wall: Duration,
+}
+
+/// What a queued request executes.
+enum Statement {
+    /// A (possibly parameterized) query spec, planned through the engine's
+    /// plan cache on the dispatcher.
+    Spec {
+        spec: QuerySpec,
+        params: Option<Params>,
+    },
+    /// A hand-built physical plan (e.g. a specific join order under study).
+    Plan {
+        name: String,
+        graph: JoinGraph,
+        plan: PhysicalPlan,
+    },
+}
+
+enum TicketPhase {
+    Queued,
+    Running,
+    Finished(Result<QueryOutput, ServeError>),
+}
+
+struct TicketShared {
+    phase: Mutex<TicketPhase>,
+    done: Condvar,
+}
+
+impl TicketShared {
+    fn new() -> Self {
+        TicketShared {
+            phase: Mutex::new(TicketPhase::Queued),
+            done: Condvar::new(),
+        }
+    }
+
+    fn finish(&self, outcome: Result<QueryOutput, ServeError>) {
+        let mut phase = self.phase.lock().expect("ticket poisoned");
+        *phase = TicketPhase::Finished(outcome);
+        self.done.notify_all();
+    }
+}
+
+/// A join-handle for one submitted request: wait for the output (with an
+/// optional bound), poll, or cancel it before it starts. Dropping a ticket
+/// detaches from the request — it still executes.
+pub struct Ticket {
+    shared: Arc<TicketShared>,
+    default_timeout: Option<Duration>,
+    /// Back-reference for [`Ticket::cancel`]: a cancelled request is removed
+    /// from the server queue immediately, so it frees its admission slot.
+    /// Weak so outstanding tickets never keep a shut-down server alive.
+    server: std::sync::Weak<ServerShared>,
+}
+
+impl std::fmt::Debug for Ticket {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Ticket")
+            .field("finished", &self.is_finished())
+            .finish()
+    }
+}
+
+impl Ticket {
+    /// Blocks until the request finishes and returns its output, honoring
+    /// the server's [`ServerConfig::default_timeout`] (no bound when the
+    /// server has none). Waiting repeatedly is fine — the outcome is
+    /// retained, and a wait that returns [`ServeError::TimedOut`] leaves the
+    /// request running.
+    pub fn wait(&self) -> Result<QueryOutput, ServeError> {
+        self.wait_deadline(self.default_timeout.map(|t| Instant::now() + t))
+    }
+
+    /// Blocks until the request finishes or `timeout` elapses.
+    pub fn wait_timeout(&self, timeout: Duration) -> Result<QueryOutput, ServeError> {
+        self.wait_deadline(Some(Instant::now() + timeout))
+    }
+
+    fn wait_deadline(&self, deadline: Option<Instant>) -> Result<QueryOutput, ServeError> {
+        let mut phase = self.shared.phase.lock().expect("ticket poisoned");
+        loop {
+            if let TicketPhase::Finished(outcome) = &*phase {
+                return outcome.clone();
+            }
+            phase = match deadline {
+                None => self.shared.done.wait(phase).expect("ticket poisoned"),
+                Some(deadline) => {
+                    let now = Instant::now();
+                    if now >= deadline {
+                        return Err(ServeError::TimedOut);
+                    }
+                    self.shared
+                        .done
+                        .wait_timeout(phase, deadline - now)
+                        .expect("ticket poisoned")
+                        .0
+                }
+            };
+        }
+    }
+
+    /// The request's outcome if it already finished, without blocking.
+    pub fn try_wait(&self) -> Option<Result<QueryOutput, ServeError>> {
+        let phase = self.shared.phase.lock().expect("ticket poisoned");
+        match &*phase {
+            TicketPhase::Finished(outcome) => Some(outcome.clone()),
+            _ => None,
+        }
+    }
+
+    /// Whether the request has finished (successfully or not).
+    pub fn is_finished(&self) -> bool {
+        matches!(
+            *self.shared.phase.lock().expect("ticket poisoned"),
+            TicketPhase::Finished(_)
+        )
+    }
+
+    /// Cancels the request if it has not started executing yet. Returns
+    /// `true` on success (subsequent waits see [`ServeError::Cancelled`]);
+    /// `false` if the request is already running or finished — execution is
+    /// never interrupted mid-flight. A cancelled request is removed from the
+    /// server queue at once: its admission slot frees up immediately, not
+    /// when a dispatcher would have reached it.
+    pub fn cancel(&self) -> bool {
+        {
+            let mut phase = self.shared.phase.lock().expect("ticket poisoned");
+            if !matches!(*phase, TicketPhase::Queued) {
+                return false;
+            }
+            *phase = TicketPhase::Finished(Err(ServeError::Cancelled));
+            self.shared.done.notify_all();
+        }
+        if let Some(server) = self.server.upgrade() {
+            // Drop the queued entry (it may already be gone if a dispatcher
+            // popped it in the meantime — serve_one skips finished tickets).
+            let mut state = server.state.lock().expect("server queue poisoned");
+            state
+                .queue
+                .retain(|request| !Arc::ptr_eq(&request.ticket, &self.shared));
+            server.counters.cancelled.fetch_add(1, Ordering::Relaxed);
+        }
+        true
+    }
+}
+
+struct QueuedRequest {
+    statement: Statement,
+    choice: OptimizerChoice,
+    options: SubmitOptions,
+    ticket: Arc<TicketShared>,
+    submitted: Instant,
+}
+
+struct QueueState {
+    queue: VecDeque<QueuedRequest>,
+    accepting: bool,
+    paused: bool,
+    running: usize,
+}
+
+#[derive(Default)]
+struct ServerCounters {
+    admitted: AtomicU64,
+    completed: AtomicU64,
+    rejected: AtomicU64,
+    cancelled: AtomicU64,
+    failed: AtomicU64,
+    panicked: AtomicU64,
+    total_wall_nanos: AtomicU64,
+}
+
+struct ServerShared {
+    engine: Engine,
+    config: ServerConfig,
+    state: Mutex<QueueState>,
+    /// Dispatchers park here while the queue is empty (or the server is
+    /// paused).
+    work: Condvar,
+    counters: ServerCounters,
+}
+
+/// A point-in-time snapshot of a server's traffic counters, as returned by
+/// [`Server::stats`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ServerStats {
+    /// Requests accepted into the queue.
+    pub admitted: u64,
+    /// Requests that finished with a [`QueryOutput`].
+    pub completed: u64,
+    /// Submissions rejected (queue full or server shut down).
+    pub rejected: u64,
+    /// Admitted requests cancelled before execution started.
+    pub cancelled: u64,
+    /// Admitted requests that failed planning or execution.
+    pub failed: u64,
+    /// Admitted requests whose execution panicked (contained per request).
+    pub panicked: u64,
+    /// Requests currently waiting in the queue.
+    pub queue_depth: usize,
+    /// Requests currently executing on dispatchers.
+    pub running: usize,
+    /// Cumulative submit-to-completion wall time over completed requests.
+    pub total_wall: Duration,
+}
+
+/// Owner of the dispatcher threads: joined at [`Server::shutdown`] or when
+/// the last server handle drops.
+struct ServerOwner {
+    shared: Arc<ServerShared>,
+    handles: Mutex<Vec<JoinHandle<()>>>,
+}
+
+impl ServerOwner {
+    fn shutdown(&self) {
+        {
+            let mut state = self.shared.state.lock().expect("server queue poisoned");
+            state.accepting = false;
+        }
+        self.shared.work.notify_all();
+        let handles = std::mem::take(&mut *self.handles.lock().expect("server queue poisoned"));
+        for handle in handles {
+            // Dispatchers contain request panics; the loop itself never
+            // panics.
+            handle.join().expect("server dispatcher panicked");
+        }
+    }
+}
+
+impl Drop for ServerOwner {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+/// The admission-controlled serving front end (see the [module docs](self)).
+/// Cloning a `Server` is a cheap handle copy; all clones share the queue,
+/// dispatchers and counters. The dispatchers are joined at the first
+/// [`Server::shutdown`] (or when the last handle drops).
+#[derive(Clone)]
+pub struct Server {
+    shared: Arc<ServerShared>,
+    owner: Arc<ServerOwner>,
+}
+
+impl std::fmt::Debug for Server {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Server")
+            .field("config", &self.shared.config)
+            .field("stats", &self.stats())
+            .finish()
+    }
+}
+
+impl Server {
+    /// Starts a server over an engine: spawns
+    /// [`ServerConfig::max_concurrent_queries`] persistent dispatcher
+    /// threads and begins accepting submissions immediately.
+    pub fn new(engine: Engine, config: ServerConfig) -> Self {
+        let config = config
+            .with_max_concurrent_queries(config.max_concurrent_queries)
+            .with_queue_capacity(config.queue_capacity);
+        let shared = Arc::new(ServerShared {
+            engine,
+            config,
+            state: Mutex::new(QueueState {
+                queue: VecDeque::new(),
+                accepting: true,
+                paused: false,
+                running: 0,
+            }),
+            work: Condvar::new(),
+            counters: ServerCounters::default(),
+        });
+        let handles = (0..config.max_concurrent_queries)
+            .map(|i| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("bqo-dispatch-{i}"))
+                    .spawn(move || dispatcher_loop(shared))
+                    .expect("spawning server dispatcher")
+            })
+            .collect();
+        Server {
+            owner: Arc::new(ServerOwner {
+                shared: Arc::clone(&shared),
+                handles: Mutex::new(handles),
+            }),
+            shared,
+        }
+    }
+
+    /// The engine this server executes against.
+    pub fn engine(&self) -> &Engine {
+        &self.shared.engine
+    }
+
+    /// The server's traffic-shaping configuration.
+    pub fn config(&self) -> ServerConfig {
+        self.shared.config
+    }
+
+    /// Submits a (possibly parameterized) query for execution: `params` must
+    /// be `Some` for templates with placeholders and may be `None` for
+    /// literal specs. Returns the request's [`Ticket`] immediately, or a
+    /// [`SubmitError`] when admission control rejects the request.
+    pub fn submit(
+        &self,
+        spec: &QuerySpec,
+        params: Option<&Params>,
+        choice: OptimizerChoice,
+    ) -> Result<Ticket, SubmitError> {
+        self.submit_with(spec, params, choice, SubmitOptions::default())
+    }
+
+    /// [`Server::submit`] with per-request [`SubmitOptions`] (execution
+    /// configuration override, output-row collection).
+    pub fn submit_with(
+        &self,
+        spec: &QuerySpec,
+        params: Option<&Params>,
+        choice: OptimizerChoice,
+        options: SubmitOptions,
+    ) -> Result<Ticket, SubmitError> {
+        self.enqueue(
+            Statement::Spec {
+                spec: spec.clone(),
+                params: params.cloned(),
+            },
+            choice,
+            options,
+        )
+    }
+
+    /// Submits a hand-built physical plan (e.g. a specific join order under
+    /// study), labelled `name` in errors and stats.
+    pub fn submit_plan(
+        &self,
+        name: impl Into<String>,
+        graph: JoinGraph,
+        plan: PhysicalPlan,
+    ) -> Result<Ticket, SubmitError> {
+        self.enqueue(
+            Statement::Plan {
+                name: name.into(),
+                graph,
+                plan,
+            },
+            OptimizerChoice::Bqo,
+            SubmitOptions::default(),
+        )
+    }
+
+    fn enqueue(
+        &self,
+        statement: Statement,
+        choice: OptimizerChoice,
+        options: SubmitOptions,
+    ) -> Result<Ticket, SubmitError> {
+        let ticket = Arc::new(TicketShared::new());
+        {
+            let mut state = self.shared.state.lock().expect("server queue poisoned");
+            if !state.accepting {
+                self.shared
+                    .counters
+                    .rejected
+                    .fetch_add(1, Ordering::Relaxed);
+                return Err(SubmitError::ShutDown);
+            }
+            if state.queue.len() >= self.shared.config.queue_capacity {
+                self.shared
+                    .counters
+                    .rejected
+                    .fetch_add(1, Ordering::Relaxed);
+                return Err(SubmitError::QueueFull {
+                    capacity: self.shared.config.queue_capacity,
+                });
+            }
+            state.queue.push_back(QueuedRequest {
+                statement,
+                choice,
+                options,
+                ticket: Arc::clone(&ticket),
+                submitted: Instant::now(),
+            });
+            self.shared
+                .counters
+                .admitted
+                .fetch_add(1, Ordering::Relaxed);
+        }
+        self.shared.work.notify_one();
+        Ok(Ticket {
+            shared: ticket,
+            default_timeout: self.shared.config.default_timeout,
+            server: Arc::downgrade(&self.shared),
+        })
+    }
+
+    /// Pauses dispatching: admitted requests stay queued (admission control —
+    /// including [`SubmitError::QueueFull`] backpressure — remains active).
+    /// An operational drain/maintenance switch; [`Server::resume`] restarts
+    /// dispatching. Shutdown while paused still drains the queue.
+    pub fn pause(&self) {
+        let mut state = self.shared.state.lock().expect("server queue poisoned");
+        state.paused = true;
+    }
+
+    /// Resumes dispatching after [`Server::pause`].
+    pub fn resume(&self) {
+        {
+            let mut state = self.shared.state.lock().expect("server queue poisoned");
+            state.paused = false;
+        }
+        self.shared.work.notify_all();
+    }
+
+    /// A point-in-time snapshot of the server's counters and occupancy.
+    pub fn stats(&self) -> ServerStats {
+        let (queue_depth, running) = {
+            let state = self.shared.state.lock().expect("server queue poisoned");
+            (state.queue.len(), state.running)
+        };
+        let c = &self.shared.counters;
+        ServerStats {
+            admitted: c.admitted.load(Ordering::Relaxed),
+            completed: c.completed.load(Ordering::Relaxed),
+            rejected: c.rejected.load(Ordering::Relaxed),
+            cancelled: c.cancelled.load(Ordering::Relaxed),
+            failed: c.failed.load(Ordering::Relaxed),
+            panicked: c.panicked.load(Ordering::Relaxed),
+            queue_depth,
+            running,
+            total_wall: Duration::from_nanos(c.total_wall_nanos.load(Ordering::Relaxed)),
+        }
+    }
+
+    /// Stops accepting new submissions, drains everything already queued,
+    /// and joins the dispatcher threads. Idempotent; implied when the last
+    /// server handle drops. Submissions after shutdown fail with
+    /// [`SubmitError::ShutDown`].
+    pub fn shutdown(&self) {
+        self.owner.shutdown();
+    }
+}
+
+fn dispatcher_loop(shared: Arc<ServerShared>) {
+    loop {
+        let request = {
+            let mut state = shared.state.lock().expect("server queue poisoned");
+            loop {
+                // A paused server holds requests in the queue — unless it is
+                // shutting down, in which case draining wins.
+                if !state.paused || !state.accepting {
+                    if let Some(request) = state.queue.pop_front() {
+                        state.running += 1;
+                        break request;
+                    }
+                    if !state.accepting {
+                        return;
+                    }
+                }
+                state = shared.work.wait(state).expect("server queue poisoned");
+            }
+        };
+        serve_one(&shared, request);
+        let mut state = shared.state.lock().expect("server queue poisoned");
+        state.running -= 1;
+    }
+}
+
+/// Executes one dequeued request and resolves its ticket.
+fn serve_one(shared: &ServerShared, request: QueuedRequest) {
+    {
+        let mut phase = request.ticket.phase.lock().expect("ticket poisoned");
+        if matches!(*phase, TicketPhase::Finished(_)) {
+            // Cancelled between pop and execution start: the ticket is
+            // already resolved (and accounted by `Ticket::cancel`) — skip.
+            return;
+        }
+        *phase = TicketPhase::Running;
+    }
+    let queue_wait = request.submitted.elapsed();
+    // Contain panics to this request: the dispatcher thread (and the
+    // engine's worker pool, which re-throws kernel panics on this thread)
+    // must survive a malformed statement.
+    let outcome = match catch_unwind(AssertUnwindSafe(|| run_request(shared, &request))) {
+        Ok(Ok(mut output)) => {
+            output.queue_wait = queue_wait;
+            output.total_wall = request.submitted.elapsed();
+            shared.counters.completed.fetch_add(1, Ordering::Relaxed);
+            shared.counters.total_wall_nanos.fetch_add(
+                u64::try_from(output.total_wall.as_nanos()).unwrap_or(u64::MAX),
+                Ordering::Relaxed,
+            );
+            Ok(output)
+        }
+        Ok(Err(e)) => {
+            shared.counters.failed.fetch_add(1, Ordering::Relaxed);
+            Err(ServeError::Query(e))
+        }
+        Err(payload) => {
+            shared.counters.panicked.fetch_add(1, Ordering::Relaxed);
+            Err(ServeError::Panicked(panic_message(payload.as_ref())))
+        }
+    };
+    request.ticket.finish(outcome);
+}
+
+/// Plans and executes one request on the dispatcher thread.
+fn run_request(shared: &ServerShared, request: &QueuedRequest) -> Result<QueryOutput, BqoError> {
+    let engine = &shared.engine;
+    let config = request
+        .options
+        .exec_config
+        .unwrap_or_else(|| engine.exec_config());
+    match &request.statement {
+        Statement::Spec { spec, params } => {
+            let stmt = match params {
+                Some(params) => engine.bind(spec, params, request.choice)?,
+                None => engine.prepare(spec, request.choice)?,
+            };
+            // One source of truth for the override: `config` is passed
+            // explicitly to both run variants (the session keeps the
+            // engine's defaults).
+            let session = engine.session();
+            let (result, rows) = if request.options.collect_rows {
+                let (result, rows) = session.run_with_rows(&stmt, config)?;
+                (result, Some(rows))
+            } else {
+                (session.run_with(&stmt, config)?, None)
+            };
+            Ok(QueryOutput {
+                result,
+                rows,
+                cache_status: Some(stmt.cache_status()),
+                queue_wait: Duration::ZERO,
+                total_wall: Duration::ZERO,
+            })
+        }
+        Statement::Plan { name, graph, plan } => {
+            let result = engine.execute_plan_named_with(name, graph, plan, config)?;
+            Ok(QueryOutput {
+                result,
+                rows: None,
+                cache_status: None,
+                queue_wait: Duration::ZERO,
+                total_wall: Duration::ZERO,
+            })
+        }
+    }
+}
+
+/// Best-effort extraction of a panic payload's message.
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(message) = payload.downcast_ref::<&str>() {
+        (*message).to_string()
+    } else if let Some(message) = payload.downcast_ref::<String>() {
+        message.clone()
+    } else {
+        "<non-string panic payload>".to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[allow(dead_code)]
+    fn assert_send_sync<T: Send + Sync + 'static>() {}
+
+    #[test]
+    fn serving_types_are_send_sync() {
+        assert_send_sync::<Server>();
+        assert_send_sync::<Ticket>();
+        assert_send_sync::<ServerConfig>();
+        assert_send_sync::<ServerStats>();
+    }
+
+    #[test]
+    fn config_clamps_degenerate_values() {
+        let config = ServerConfig::default()
+            .with_max_concurrent_queries(0)
+            .with_queue_capacity(0);
+        assert_eq!(config.max_concurrent_queries, 1);
+        assert_eq!(config.queue_capacity, 1);
+        assert_eq!(config.default_timeout, None);
+        let config = config.with_default_timeout(Duration::from_millis(5));
+        assert_eq!(config.default_timeout, Some(Duration::from_millis(5)));
+    }
+
+    #[test]
+    fn errors_render_their_cause() {
+        let full = SubmitError::QueueFull { capacity: 7 };
+        assert!(full.to_string().contains('7'));
+        assert!(SubmitError::ShutDown.to_string().contains("shut down"));
+        assert!(ServeError::Panicked("boom".into())
+            .to_string()
+            .contains("boom"));
+        assert!(ServeError::Cancelled.to_string().contains("cancelled"));
+        assert!(ServeError::TimedOut.to_string().contains("imed out"));
+        let query = ServeError::Query(BqoError::planning(
+            "q",
+            bqo_storage::StorageError::TableNotFound { table: "t".into() },
+        ));
+        assert!(query.to_string().contains("`q`"));
+        use std::error::Error;
+        assert!(query.source().is_some());
+        assert!(ServeError::Cancelled.source().is_none());
+    }
+
+    #[test]
+    fn panic_messages_are_extracted() {
+        assert_eq!(panic_message(&"boom"), "boom");
+        assert_eq!(panic_message(&"boom".to_string()), "boom");
+        assert_eq!(panic_message(&42usize), "<non-string panic payload>");
+    }
+}

@@ -3,6 +3,7 @@
 use crate::batch::Batch;
 use crate::metrics::ExecutionMetrics;
 use crate::pipeline::{ExecContext, PipelineBuilder};
+use crate::pool::WorkerPool;
 use bqo_bitvector::FilterKind;
 use bqo_plan::{JoinGraph, PhysicalPlan};
 use bqo_storage::{Catalog, StorageError};
@@ -10,6 +11,11 @@ use std::time::Instant;
 
 /// Default number of rows per batch pulled through the pipeline.
 pub const DEFAULT_BATCH_SIZE: usize = 4096;
+
+/// Default [`ExecConfig::parallel_threshold`]: minimum rows per worker before
+/// a kernel fans out to helper workers. Tiny inputs run inline — fanning out
+/// (even to a parked pool worker) costs more than a few hundred probes.
+pub const DEFAULT_PARALLEL_THRESHOLD: usize = 2048;
 
 /// Execution configuration.
 #[derive(Debug, Clone, Copy)]
@@ -34,6 +40,14 @@ pub struct ExecConfig {
     /// more workers without changing the batch boundaries seen by parent
     /// operators, so results and counters are independent of this knob.
     pub morsel_size: Option<usize>,
+    /// Minimum rows per worker before a parallel section fans out to helper
+    /// workers; inputs smaller than one worker's share run inline on the
+    /// calling thread. Purely an overhead guard — results and counters are
+    /// identical for every value (kernels partition contiguous row ranges and
+    /// merge in order). Lower it (e.g. to 1) to force fan-out on small
+    /// inputs, as the serving-throughput bench does to isolate scheduling
+    /// costs. Values below 1 are treated as 1.
+    pub parallel_threshold: usize,
 }
 
 impl Default for ExecConfig {
@@ -44,6 +58,7 @@ impl Default for ExecConfig {
             batch_size: DEFAULT_BATCH_SIZE,
             num_threads: 1,
             morsel_size: None,
+            parallel_threshold: DEFAULT_PARALLEL_THRESHOLD,
         }
     }
 }
@@ -95,6 +110,22 @@ impl ExecConfig {
     pub fn effective_morsel_size(&self) -> usize {
         self.morsel_size.unwrap_or(self.batch_size).max(1)
     }
+
+    /// The same configuration with a different inline-gate threshold (clamped
+    /// to at least 1): parallel sections fan out only when the input exceeds
+    /// `parallel_threshold` rows per helper worker.
+    pub fn with_parallel_threshold(mut self, parallel_threshold: usize) -> Self {
+        self.parallel_threshold = parallel_threshold.max(1);
+        self
+    }
+
+    /// Number of workers worth fanning out for `rows` rows under this
+    /// configuration: at most one per [`ExecConfig::parallel_threshold`]
+    /// rows, capped by [`ExecConfig::num_threads`].
+    pub fn workers_for(&self, rows: usize) -> usize {
+        self.num_threads
+            .min(rows.div_ceil(self.parallel_threshold.max(1)).max(1))
+    }
 }
 
 /// A bound, executable statement: the resolved (statistics-annotated) join
@@ -140,6 +171,7 @@ pub struct QueryResult {
 pub struct Executor<'a> {
     catalog: &'a Catalog,
     config: ExecConfig,
+    pool: Option<WorkerPool>,
 }
 
 impl<'a> Executor<'a> {
@@ -148,12 +180,27 @@ impl<'a> Executor<'a> {
         Executor {
             catalog,
             config: ExecConfig::default(),
+            pool: None,
         }
     }
 
     /// Creates an executor with an explicit configuration.
     pub fn with_config(catalog: &'a Catalog, config: ExecConfig) -> Self {
-        Executor { catalog, config }
+        Executor {
+            catalog,
+            config,
+            pool: None,
+        }
+    }
+
+    /// Attaches a persistent [`WorkerPool`]: parallel sections dispatch their
+    /// helper claim loops to the pool's parked workers instead of spawning
+    /// scoped threads per section. The `Engine` facade in `bqo-core` attaches
+    /// its engine-owned pool here for every parallel run; results and
+    /// counters are identical with and without a pool.
+    pub fn with_worker_pool(mut self, pool: WorkerPool) -> Self {
+        self.pool = Some(pool);
+        self
     }
 
     /// The active configuration.
@@ -207,7 +254,7 @@ impl<'a> Executor<'a> {
         collect_rows: bool,
     ) -> Result<(QueryResult, Option<Batch>), StorageError> {
         let start = Instant::now();
-        let mut ctx = ExecContext::new(self.config);
+        let mut ctx = ExecContext::with_pool(self.config, self.pool.clone());
         let mut root = PipelineBuilder::new(self.catalog, graph, plan, self.config).build()?;
         root.open(&mut ctx)?;
         let mut output_rows = 0u64;
@@ -484,6 +531,70 @@ mod tests {
         assert_eq!(config.effective_morsel_size(), 128);
         assert_eq!(config.with_morsel_size(0).effective_morsel_size(), 1);
         assert_eq!(config.with_morsel_size(17).effective_morsel_size(), 17);
+    }
+
+    #[test]
+    fn parallel_threshold_is_clamped_and_controls_fanout() {
+        let config = ExecConfig::default().with_num_threads(8);
+        assert_eq!(config.parallel_threshold, DEFAULT_PARALLEL_THRESHOLD);
+        assert_eq!(config.workers_for(100), 1);
+        assert_eq!(config.workers_for(DEFAULT_PARALLEL_THRESHOLD * 3), 3);
+        assert_eq!(config.workers_for(usize::MAX), 8);
+        let forced = config.with_parallel_threshold(0);
+        assert_eq!(forced.parallel_threshold, 1);
+        assert_eq!(forced.workers_for(4), 4);
+
+        // The gate is purely an overhead guard: forcing fan-out on a tiny
+        // input changes neither results nor counters.
+        let catalog = tiny_catalog();
+        let (g, fact, d1, d2) = tiny_graph();
+        let tree = RightDeepTree::new(vec![fact, d1, d2]).to_join_tree();
+        let plan = push_down_bitvectors(&g, PhysicalPlan::from_join_tree(&g, &tree));
+        let oracle = Executor::with_config(&catalog, ExecConfig::exact_filters())
+            .execute_with_rows(&g, &plan)
+            .unwrap();
+        let config = ExecConfig::exact_filters()
+            .with_num_threads(4)
+            .with_parallel_threshold(1);
+        let (result, rows) = Executor::with_config(&catalog, config)
+            .execute_with_rows(&g, &plan)
+            .unwrap();
+        assert_eq!(result.output_rows, oracle.0.output_rows);
+        assert_eq!(result.metrics.operators, oracle.0.metrics.operators);
+        assert_eq!(result.metrics.filter_stats, oracle.0.metrics.filter_stats);
+        assert_eq!(rows, oracle.1);
+    }
+
+    #[test]
+    fn pool_backed_executor_matches_the_scoped_path() {
+        use crate::pool::WorkerPool;
+        let catalog = tiny_catalog();
+        let (g, fact, d1, d2) = tiny_graph();
+        let tree = RightDeepTree::new(vec![fact, d1, d2]).to_join_tree();
+        let plan = push_down_bitvectors(&g, PhysicalPlan::from_join_tree(&g, &tree));
+        let config = ExecConfig::exact_filters()
+            .with_num_threads(4)
+            .with_parallel_threshold(1);
+        let scoped = Executor::with_config(&catalog, config)
+            .execute_with_rows(&g, &plan)
+            .unwrap();
+        let pool = WorkerPool::new(3);
+        let pooled = Executor::with_config(&catalog, config)
+            .with_worker_pool(pool.clone())
+            .execute_with_rows(&g, &plan)
+            .unwrap();
+        assert_eq!(pooled.0.output_rows, scoped.0.output_rows);
+        assert_eq!(pooled.0.metrics.operators, scoped.0.metrics.operators);
+        assert_eq!(pooled.0.metrics.filter_stats, scoped.0.metrics.filter_stats);
+        assert_eq!(pooled.1, scoped.1);
+        // A shut-down pool degrades gracefully (scoped fallback), results
+        // unchanged.
+        pool.shutdown();
+        let degraded = Executor::with_config(&catalog, config)
+            .with_worker_pool(pool)
+            .execute_with_rows(&g, &plan)
+            .unwrap();
+        assert_eq!(degraded.1, scoped.1);
     }
 
     #[test]

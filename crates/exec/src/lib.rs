@@ -18,6 +18,12 @@
 //!   hash-probe loops run as shared-state-free kernels over fixed-size row
 //!   morsels, fanned out across [`ExecConfig::num_threads`] workers with a
 //!   deterministic in-morsel-order merge,
+//! * a persistent [`WorkerPool`] (see [`pool`]): helper workers for the
+//!   parallel sections are parked pool threads woken per section instead of
+//!   freshly spawned ones, so a serving workload of many small queries stops
+//!   paying per-query thread start-up ([`Executor::with_worker_pool`];
+//!   executors without a pool keep the scoped-spawn fallback), gated by
+//!   [`ExecConfig::parallel_threshold`] so tiny inputs stay inline,
 //! * per-operator metrics (tuples output by leaf / join / other operators,
 //!   bitvector probe and elimination counts, wall-clock time) matching the
 //!   quantities reported in Figures 7–10 and Table 4, collected inside the
@@ -39,12 +45,15 @@ pub mod metrics;
 pub mod morsel;
 pub mod operators;
 pub mod pipeline;
+pub mod pool;
 
 pub use batch::Batch;
 pub use executor::{
     execute_plan, BoundPlan, ExecConfig, Executor, QueryResult, DEFAULT_BATCH_SIZE,
+    DEFAULT_PARALLEL_THRESHOLD,
 };
 pub use metrics::{ExecutionMetrics, OperatorKind, OperatorMetrics};
-pub use morsel::{chunk_morsels, morsels, run_morsels, Morsel};
+pub use morsel::{chunk_morsels, morsels, run_morsels, run_morsels_with, Morsel};
 pub use operators::{HashJoinOp, PhysicalOperator, ScanOp};
 pub use pipeline::{ExecContext, PipelineBuilder};
+pub use pool::WorkerPool;

@@ -2,11 +2,14 @@
 //!
 //! The executor splits per-operator row ranges into fixed-size **morsels**
 //! (Leis et al., "Morsel-Driven Parallelism", adapted to this pipeline's
-//! batch seam) and dispatches them to scoped worker threads spawned per
-//! parallel section — the calling thread participates as worker 0, and
-//! callers gate small inputs inline since a spawn costs more than a few
-//! hundred probes (a persistent reusable pool is a ROADMAP item). Three
-//! properties make the parallel path bit-identical to the serial one:
+//! batch seam) and dispatches them to worker threads — the calling thread
+//! participates as worker 0, and callers gate small inputs inline (see
+//! `ExecConfig::parallel_threshold`) since fanning out costs more than a few
+//! hundred probes. Helpers come from a persistent [`WorkerPool`] when one is
+//! attached ([`run_morsels_with`] — the serving path, where per-query thread
+//! spawns would dominate small queries) and fall back to per-section scoped
+//! spawns otherwise. Three properties make the parallel path bit-identical
+//! to the serial one:
 //!
 //! 1. **Shared-state-free kernels.** A kernel only reads shared immutable
 //!    state (columns, published bitvector filters, hash tables) and returns
@@ -23,7 +26,9 @@
 //! calling thread — no pool, no atomics: exactly the pre-parallel serial
 //! path.
 
+use crate::pool::WorkerPool;
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
 use std::thread;
 
 /// A contiguous range of rows `[start, end)` claimed as one unit of work.
@@ -87,7 +92,9 @@ pub fn chunk_morsels(num_rows: usize, num_threads: usize) -> Vec<Morsel> {
 /// Workers claim morsels from a shared atomic cursor (work stealing over a
 /// contiguous range); results are slotted by morsel index, so the returned
 /// vector is independent of scheduling. With one worker (or one morsel) the
-/// kernels run inline on the calling thread.
+/// kernels run inline on the calling thread. Helper workers are scoped
+/// threads spawned for this section; the serving path avoids that per-section
+/// cost by passing a persistent pool to [`run_morsels_with`].
 ///
 /// # Panics
 /// Propagates kernel panics to the caller.
@@ -96,11 +103,92 @@ where
     T: Send,
     K: Fn(&Morsel) -> T + Sync,
 {
+    run_morsels_with(None, num_threads, morsels, kernel)
+}
+
+/// [`run_morsels`] with an optional persistent [`WorkerPool`] supplying the
+/// helper workers.
+///
+/// With `Some(pool)` (and a pool that still has live workers), helper claim
+/// loops are dispatched to the pool's parked threads instead of spawning
+/// scoped threads — the per-query fixed cost drops from thread start-up to a
+/// queue push + unpark. With `None` (or a shut-down/empty pool) the scoped
+/// fallback of [`run_morsels`] is used. Results are identical in all cases:
+/// every worker variant claims from the same atomic cursor and results are
+/// merged in morsel order.
+pub fn run_morsels_with<T, K>(
+    pool: Option<&WorkerPool>,
+    num_threads: usize,
+    morsels: &[Morsel],
+    kernel: K,
+) -> Vec<T>
+where
+    T: Send,
+    K: Fn(&Morsel) -> T + Sync,
+{
     let workers = num_threads.max(1).min(morsels.len());
     if workers <= 1 {
         return morsels.iter().map(kernel).collect();
     }
+    match pool {
+        Some(pool) if pool.num_workers() > 0 => run_morsels_pooled(pool, workers, morsels, kernel),
+        _ => run_morsels_scoped(workers, morsels, kernel),
+    }
+}
 
+/// Pool-backed parallel section: the claim loop runs once on the caller and
+/// is mirrored onto up to `workers - 1` pool workers.
+fn run_morsels_pooled<T, K>(
+    pool: &WorkerPool,
+    workers: usize,
+    morsels: &[Morsel],
+    kernel: K,
+) -> Vec<T>
+where
+    T: Send,
+    K: Fn(&Morsel) -> T + Sync,
+{
+    let cursor = AtomicUsize::new(0);
+    let produced: Mutex<Vec<(usize, T)>> = Mutex::new(Vec::with_capacity(morsels.len()));
+    let claim_all = || {
+        let mut local = Vec::new();
+        loop {
+            let i = cursor.fetch_add(1, Ordering::Relaxed);
+            let Some(morsel) = morsels.get(i) else {
+                break;
+            };
+            local.push((i, kernel(morsel)));
+        }
+        if !local.is_empty() {
+            produced
+                .lock()
+                .expect("morsel result sink poisoned")
+                .extend(local);
+        }
+    };
+    pool.run_mirrored(workers - 1, &claim_all);
+
+    // Deterministic merge: identical to the scoped path — results are slotted
+    // by morsel index, so scheduling (and which copies ran at all) is
+    // invisible.
+    let mut slots: Vec<Option<T>> = Vec::with_capacity(morsels.len());
+    slots.resize_with(morsels.len(), || None);
+    for (i, value) in produced.into_inner().expect("morsel result sink poisoned") {
+        slots[i] = Some(value);
+    }
+    slots
+        .into_iter()
+        .map(|slot| slot.expect("every morsel produces exactly one result"))
+        .collect()
+}
+
+/// Scoped-spawn parallel section (the pre-pool path, kept as the fallback for
+/// executors without an attached pool and as the bench baseline).
+fn run_morsels_scoped<T, K>(workers: usize, morsels: &[Morsel], kernel: K) -> Vec<T>
+where
+    T: Send,
+    K: Fn(&Morsel) -> T + Sync,
+{
     let cursor = AtomicUsize::new(0);
     let claim_all = || {
         let mut produced = Vec::new();
@@ -200,6 +288,44 @@ mod tests {
         run_morsels(4, &ms, |m| {
             if m.index == 33 {
                 panic!("kernel exploded");
+            }
+            m.len()
+        });
+    }
+
+    #[test]
+    fn pooled_sections_match_the_serial_order_for_any_thread_count() {
+        let pool = WorkerPool::new(3);
+        let ms = morsels(1000, 7);
+        let serial = run_morsels(1, &ms, |m| m.rows().sum::<usize>());
+        for threads in [2, 3, 4, 8] {
+            let pooled = run_morsels_with(Some(&pool), threads, &ms, |m| m.rows().sum::<usize>());
+            assert_eq!(serial, pooled, "threads {threads}");
+        }
+        // Repeated sections reuse the same parked workers.
+        for _ in 0..10 {
+            let pooled = run_morsels_with(Some(&pool), 4, &ms, |m| m.rows().sum::<usize>());
+            assert_eq!(serial, pooled);
+        }
+    }
+
+    #[test]
+    fn shut_down_pool_falls_back_to_scoped_workers() {
+        let pool = WorkerPool::new(2);
+        pool.shutdown();
+        let ms = morsels(100, 3);
+        let serial = run_morsels(1, &ms, |m| m.len());
+        assert_eq!(run_morsels_with(Some(&pool), 4, &ms, |m| m.len()), serial);
+    }
+
+    #[test]
+    #[should_panic(expected = "pooled kernel exploded")]
+    fn pooled_worker_panics_propagate() {
+        let pool = WorkerPool::new(3);
+        let ms = morsels(64, 1);
+        run_morsels_with(Some(&pool), 4, &ms, |m| {
+            if m.index == 33 {
+                panic!("pooled kernel exploded");
             }
             m.len()
         });

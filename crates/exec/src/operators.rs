@@ -30,26 +30,13 @@
 
 use crate::batch::{row_key, Batch};
 use crate::metrics::OperatorKind;
-use crate::morsel::{chunk_morsels, morsels, run_morsels};
+use crate::morsel::{chunk_morsels, morsels};
 use crate::pipeline::ExecContext;
 use bqo_bitvector::hash::FxHashMap;
 use bqo_bitvector::{AnyFilter, BitvectorFilter, FilterStats};
 use bqo_plan::{BitvectorPlacement, ColumnRef, NodeId, RelId, RelationInfo};
 use bqo_storage::{Column, StorageError, Table};
 use std::sync::Arc;
-
-/// Minimum rows per worker before a kernel fans out to spawned workers.
-/// Tiny inputs run inline: worker count and chunk boundaries never affect
-/// results or counters (kernels partition contiguous row ranges and merge in
-/// order), so this is purely an overhead guard — spawning workers for a few
-/// hundred rows costs more than the probes themselves.
-const MIN_CHUNK_ROWS: usize = 2048;
-
-/// Number of workers worth fanning out for `rows` rows: at most one per
-/// [`MIN_CHUNK_ROWS`], capped by the configured thread count.
-fn workers_for(num_threads: usize, rows: usize) -> usize {
-    num_threads.min(rows.div_ceil(MIN_CHUNK_ROWS).max(1))
-}
 
 /// A pull-based physical operator producing batches of rows.
 pub trait PhysicalOperator {
@@ -168,7 +155,7 @@ impl PhysicalOperator for ScanOp<'_> {
         // source join's probe child. (A missing filter — possible only for
         // malformed plans — skips that placement, like the serial path did.)
         let morsel_list = morsels(self.table.num_rows(), ctx.config.effective_morsel_size());
-        let num_threads = workers_for(ctx.config.num_threads, self.table.num_rows());
+        let num_threads = ctx.config.workers_for(self.table.num_rows());
         let predicates = &self.info.predicates;
         let (survivors, merged_stats) = {
             let filters: Vec<Option<&AnyFilter>> = self
@@ -181,7 +168,7 @@ impl PhysicalOperator for ScanOp<'_> {
                 .iter()
                 .map(|idxs| idxs.iter().map(|&i| self.table.column_at(i)).collect())
                 .collect();
-            let per_morsel = run_morsels(num_threads, &morsel_list, |m| {
+            let per_morsel = ctx.run_morsels(num_threads, &morsel_list, |m| {
                 // Rows of this morsel surviving the local predicates...
                 let mut mask = vec![true; m.len()];
                 for (predicate, column) in predicates.iter().zip(&pred_cols) {
@@ -353,9 +340,9 @@ impl PhysicalOperator for HashJoinOp<'_> {
         //    publication order deterministic.)
         let build_keys = self.build_batch.key_values(&self.build_key_cols);
         self.build_rows = build_keys.len() as u64;
-        let workers = workers_for(ctx.config.num_threads, build_keys.len());
+        let workers = ctx.config.workers_for(build_keys.len());
         let chunks = chunk_morsels(build_keys.len(), workers);
-        let mut partitions = run_morsels(workers, &chunks, |m| {
+        let mut partitions = ctx.run_morsels(workers, &chunks, |m| {
             let mut partition: FxHashMap<i64, Vec<u32>> = FxHashMap::default();
             for row in m.rows() {
                 partition
@@ -390,9 +377,9 @@ impl PhysicalOperator for HashJoinOp<'_> {
             // chunk outputs concatenate in chunk order, reproducing the
             // serial left-to-right match order exactly.
             let table = &self.table;
-            let workers = workers_for(ctx.config.num_threads, probe_keys.len());
+            let workers = ctx.config.workers_for(probe_keys.len());
             let chunks = chunk_morsels(probe_keys.len(), workers);
-            let matched = run_morsels(workers, &chunks, |m| {
+            let matched = ctx.run_morsels(workers, &chunks, |m| {
                 let mut build_indices: Vec<usize> = Vec::new();
                 let mut probe_indices: Vec<usize> = Vec::new();
                 for row in m.rows() {
@@ -427,9 +414,9 @@ impl PhysicalOperator for HashJoinOp<'_> {
                         continue;
                     };
                     let keys = output.key_values(&placement.probe_columns);
-                    let workers = workers_for(ctx.config.num_threads, keys.len());
+                    let workers = ctx.config.workers_for(keys.len());
                     let chunks = chunk_morsels(keys.len(), workers);
-                    let parts = run_morsels(workers, &chunks, |m| {
+                    let parts = ctx.run_morsels(workers, &chunks, |m| {
                         let mut stats = FilterStats::new();
                         let mask: Vec<bool> = m
                             .rows()

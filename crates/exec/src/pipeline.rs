@@ -2,32 +2,57 @@
 
 use crate::executor::ExecConfig;
 use crate::metrics::ExecutionMetrics;
+use crate::morsel::{run_morsels_with, Morsel};
 use crate::operators::{HashJoinOp, PhysicalOperator, ScanOp};
+use crate::pool::WorkerPool;
 use bqo_bitvector::{AnyFilter, FilterStats};
 use bqo_plan::{JoinGraph, NodeId, PhysicalNode, PhysicalPlan};
 use bqo_storage::{Catalog, StorageError};
 use std::collections::HashMap;
 
 /// State shared by every operator of one running pipeline: the execution
-/// configuration, the bitvector filters published so far (keyed by their
-/// placement index in the plan), and the metrics being collected where the
-/// work happens.
+/// configuration, the worker pool supplying parallel-section helpers (if
+/// any), the bitvector filters published so far (keyed by their placement
+/// index in the plan), and the metrics being collected where the work
+/// happens.
 pub struct ExecContext {
     /// The active execution configuration.
     pub config: ExecConfig,
     /// Metrics accumulated by the operators.
     pub metrics: ExecutionMetrics,
     filters: HashMap<usize, AnyFilter>,
+    pool: Option<WorkerPool>,
 }
 
 impl ExecContext {
-    /// Creates a fresh context for one query execution.
+    /// Creates a fresh context for one query execution (no worker pool —
+    /// parallel sections spawn scoped helpers).
     pub fn new(config: ExecConfig) -> Self {
+        ExecContext::with_pool(config, None)
+    }
+
+    /// Creates a fresh context whose parallel sections draw helper workers
+    /// from a persistent pool.
+    pub fn with_pool(config: ExecConfig, pool: Option<WorkerPool>) -> Self {
         ExecContext {
             config,
             metrics: ExecutionMetrics::new(),
             filters: HashMap::new(),
+            pool,
         }
+    }
+
+    /// Runs a morsel kernel with up to `num_threads` workers, drawing helpers
+    /// from the context's worker pool when one is attached and falling back
+    /// to scoped spawns otherwise (see [`run_morsels_with`]). Operators call
+    /// this for every parallel section so one executor configuration decides
+    /// the scheduling mode for the whole pipeline.
+    pub fn run_morsels<T, K>(&self, num_threads: usize, morsels: &[Morsel], kernel: K) -> Vec<T>
+    where
+        T: Send,
+        K: Fn(&Morsel) -> T + Sync,
+    {
+        run_morsels_with(self.pool.as_ref(), num_threads, morsels, kernel)
     }
 
     /// Publishes a bitvector filter for the placement with index `placement`,

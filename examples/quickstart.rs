@@ -1,14 +1,16 @@
 //! Quickstart: build a tiny warehouse by hand with the [`Engine`] builder,
-//! prepare a *parameterized* query once, and serve it for several parameter
+//! prepare a *parameterized* query once, serve it for several parameter
 //! bindings through a [`Session`] — repeated binds skip the optimizer via the
-//! engine's plan cache.
+//! engine's plan cache — and finally shape a concurrent burst of requests
+//! through the admission-controlled [`Server`] front end.
 //!
 //! ```text
 //! cargo run -p bqo-examples --bin quickstart
 //! ```
 
 use bqo_core::{
-    CompareOp, Engine, ForeignKey, OptimizerChoice, Params, QuerySpec, Session, TableBuilder,
+    CompareOp, Engine, ForeignKey, OptimizerChoice, Params, QuerySpec, Server, ServerConfig,
+    Session, TableBuilder,
 };
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -117,11 +119,48 @@ fn main() {
     }
     let cache = engine.plan_cache();
     println!(
-        "plan cache          : {} hits, {} misses, {} re-optimizations",
+        "plan cache          : {} hits, {} misses, {} re-optimizations ({} evictions, {}/{} entries)",
         cache.hits(),
         cache.misses(),
-        cache.reoptimizations()
+        cache.reoptimizations(),
+        cache.evictions(),
+        cache.cache_stats().len,
+        cache.capacity()
     );
+
+    // Production-style serving: a burst of binds submitted through the
+    // admission-controlled Server (FIFO queue, at most 2 queries executing
+    // concurrently, backpressure past 32 pending). Execution reuses the
+    // engine's plan cache and persistent worker pool across all requests.
+    let server = Server::new(
+        engine.clone(),
+        ServerConfig::default()
+            .with_max_concurrent_queries(2)
+            .with_queue_capacity(32),
+    );
+    let tickets: Vec<_> = (0..10)
+        .map(|i| {
+            let params = Params::new().set("category", i % 40).set("region", i % 10);
+            server
+                .submit(&template, Some(&params), OptimizerChoice::Bqo)
+                .expect("burst fits the queue")
+        })
+        .collect();
+    let served: u64 = tickets
+        .into_iter()
+        .map(|t| t.wait().expect("request serves").result.output_rows)
+        .sum();
+    let stats = server.stats();
+    println!(
+        "server burst        : {} requests -> {} rows ({} admitted, {} completed, {} rejected, {:.2} ms total wall)",
+        stats.admitted,
+        served,
+        stats.admitted,
+        stats.completed,
+        stats.rejected,
+        stats.total_wall.as_secs_f64() * 1e3
+    );
+    server.shutdown();
 }
 
 fn serve(session: &Session, label: &str, stmt: &bqo_core::PreparedStatement) {

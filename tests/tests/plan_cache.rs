@@ -1,6 +1,7 @@
 //! Semantics of the serving-side plan cache: fingerprint stability under
-//! spec reordering, catalog-version invalidation, and selectivity-envelope
-//! exits that provably re-optimize into a different bitvector placement.
+//! spec reordering, catalog-version invalidation, selectivity-envelope
+//! exits that provably re-optimize into a different bitvector placement, and
+//! the LRU capacity bound (eviction counters, hot-entry retention).
 
 use bqo_core::workloads::{star, Scale};
 use bqo_core::{
@@ -262,4 +263,76 @@ fn envelope_exit_reoptimizes_and_changes_the_bitvector_placement() {
         )
         .unwrap();
     assert_eq!(again.cache_status(), CacheStatus::Hit);
+}
+
+/// A capacity-bounded cache behind an engine evicts least-recently-used
+/// entries, counts the evictions, and keeps the traffic's hot entries.
+#[test]
+fn lru_eviction_bounds_a_shared_engine_cache() {
+    let catalog = star::build_catalog(Scale(0.02), DIMS, 31);
+    let engine = Engine::builder()
+        .catalog(catalog)
+        .plan_cache(PlanCache::with_capacity(2))
+        .build()
+        .unwrap();
+    let cache = engine.plan_cache();
+    assert_eq!(cache.capacity(), 2);
+
+    let queries: Vec<QuerySpec> = (0..3)
+        .map(|i| star::build_query(format!("evict_q{i}"), DIMS, &[(i % DIMS, 3 + i as i64)]))
+        .collect();
+
+    // Fill the cache with q0 and q1, keep q0 hot, then admit q2: q1 is the
+    // LRU victim.
+    assert_eq!(
+        engine
+            .prepare(&queries[0], OptimizerChoice::Bqo)
+            .unwrap()
+            .cache_status(),
+        CacheStatus::Miss
+    );
+    assert_eq!(
+        engine
+            .prepare(&queries[1], OptimizerChoice::Bqo)
+            .unwrap()
+            .cache_status(),
+        CacheStatus::Miss
+    );
+    assert_eq!(
+        engine
+            .prepare(&queries[0], OptimizerChoice::Bqo)
+            .unwrap()
+            .cache_status(),
+        CacheStatus::Hit
+    );
+    assert_eq!(
+        engine
+            .prepare(&queries[2], OptimizerChoice::Bqo)
+            .unwrap()
+            .cache_status(),
+        CacheStatus::Miss
+    );
+    let stats = cache.cache_stats();
+    assert_eq!((stats.len, stats.evictions), (2, 1));
+
+    // The hot entry survived; the evicted one pays a fresh optimizer run.
+    assert_eq!(
+        engine
+            .prepare(&queries[0], OptimizerChoice::Bqo)
+            .unwrap()
+            .cache_status(),
+        CacheStatus::Hit
+    );
+    assert_eq!(
+        engine
+            .prepare(&queries[1], OptimizerChoice::Bqo)
+            .unwrap()
+            .cache_status(),
+        CacheStatus::Miss
+    );
+    assert_eq!(cache.evictions(), 2);
+
+    // Evicted-and-reloaded plans still execute correctly.
+    let stmt = engine.prepare(&queries[1], OptimizerChoice::Bqo).unwrap();
+    assert!(engine.session().run(&stmt).unwrap().output_rows > 0);
 }

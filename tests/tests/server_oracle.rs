@@ -1,0 +1,429 @@
+//! Serving-runtime oracle for the admission-controlled `Server` front end:
+//! results served through `Server::submit` from many concurrent client
+//! threads must be identical to fresh single-threaded `Session` runs, and
+//! the traffic-shaping contract (bounded queue, concurrency limit, cancel,
+//! timeout, panic containment, graceful shutdown) must hold under load.
+//!
+//! Comparison levels mirror `serving_oracle.rs`: bit-identical rows for
+//! requests whose plan is deterministic across serving and oracle, canonical
+//! row multisets (and exact row counts) for every request.
+
+use bqo_core::exec::{Batch, ExecConfig};
+use bqo_core::workloads::{star, Scale};
+use bqo_core::{
+    CacheStatus, Engine, OptimizerChoice, Params, PhysicalPlan, QuerySpec, ServeError, Server,
+    ServerConfig, SubmitError, SubmitOptions,
+};
+use bqo_integration_tests::env_threads;
+use std::time::Duration;
+
+const DIMS: usize = 3;
+const ROUNDS: usize = 3;
+
+struct Request {
+    spec: QuerySpec,
+    params: Option<Params>,
+    /// Whether the serving plan is guaranteed to equal the oracle plan, so
+    /// rows can be compared bit for bit instead of as canonical multisets.
+    deterministic_plan: bool,
+}
+
+fn requests() -> Vec<Request> {
+    let template = star::build_param_query("serve_by_bound", DIMS, &[0]);
+    let wide = star::build_param_query("serve_two_params", DIMS, &[0, 2]);
+    let mut out = Vec::new();
+    for bound in [2i64, 3, 4] {
+        out.push(Request {
+            spec: template.clone(),
+            params: Some(Params::new().set("bound0", bound)),
+            // In-envelope binds may reuse a plan optimized for a sibling
+            // bound; only the first-resolved value's plan is deterministic.
+            deterministic_plan: false,
+        });
+    }
+    for bound in [5i64, 8] {
+        out.push(Request {
+            spec: wide.clone(),
+            params: Some(Params::new().set("bound0", bound).set("bound2", bound)),
+            deterministic_plan: false,
+        });
+    }
+    out.push(Request {
+        spec: star::build_query("adhoc_selective", DIMS, &[(2, 1)]),
+        params: None,
+        deterministic_plan: true,
+    });
+    out.push(Request {
+        spec: star::build_query("adhoc_mixed", DIMS, &[(0, 7), (1, 12)]),
+        params: None,
+        deterministic_plan: true,
+    });
+    out
+}
+
+/// Rows as a plan-order-independent canonical form: each row becomes its
+/// sorted `(qualified column, value)` pairs, and the rows are sorted.
+fn canonical_rows(batch: &Batch) -> Vec<Vec<(String, String)>> {
+    let schema: Vec<String> = batch
+        .schema()
+        .iter()
+        .map(|c| format!("{}.{}", c.relation, c.column))
+        .collect();
+    let mut rows: Vec<Vec<(String, String)>> = (0..batch.num_rows())
+        .map(|r| {
+            let mut row: Vec<(String, String)> = schema
+                .iter()
+                .zip(batch.columns())
+                .map(|(name, col)| (name.clone(), col.value(r).to_string()))
+                .collect();
+            row.sort();
+            row
+        })
+        .collect();
+    rows.sort();
+    rows
+}
+
+/// ≥ 4 client threads hammer one `Server` with mixed cached/uncached
+/// parameterized traffic; every ticket's output must match a fresh
+/// single-threaded prepare+run against a fresh engine.
+#[test]
+fn server_matches_fresh_single_threaded_sessions() {
+    let catalog = star::build_catalog(Scale(0.02), DIMS, 99);
+    let engine = Engine::from_catalog(catalog.clone());
+    let server = Server::new(
+        engine.clone(),
+        ServerConfig::default()
+            .with_max_concurrent_queries(3)
+            .with_queue_capacity(256),
+    );
+    let requests = requests();
+
+    // Oracle: every request prepared fresh on a single thread against its
+    // own engine (empty cache -> the optimizer runs for exactly this bind).
+    let oracle: Vec<(u64, Batch)> = requests
+        .iter()
+        .map(|r| {
+            let engine = Engine::from_catalog(catalog.clone());
+            let stmt = match &r.params {
+                Some(params) => engine.bind(&r.spec, params, OptimizerChoice::Bqo).unwrap(),
+                None => engine.prepare(&r.spec, OptimizerChoice::Bqo).unwrap(),
+            };
+            let (result, rows) = engine
+                .session()
+                .run_with_rows(&stmt, ExecConfig::default())
+                .unwrap();
+            (result.output_rows, rows)
+        })
+        .collect();
+
+    let num_clients = env_threads().max(4);
+    std::thread::scope(|scope| {
+        for worker in 0..num_clients {
+            let server = server.clone();
+            let requests = &requests;
+            let oracle = &oracle;
+            scope.spawn(move || {
+                // Each client submits with a different batch size (results
+                // are config-invariant) and a rotated request order, so
+                // queued, running and cache-hit requests interleave.
+                let config = ExecConfig::default()
+                    .with_batch_size(257 + worker * 119)
+                    .with_num_threads(1 + worker % 3)
+                    .with_parallel_threshold(1);
+                let options = SubmitOptions::default()
+                    .with_exec_config(config)
+                    .collecting_rows();
+                for round in 0..ROUNDS {
+                    // Submit the whole round first (tickets outstanding
+                    // concurrently), then collect.
+                    let tickets: Vec<(usize, _)> = (0..requests.len())
+                        .map(|i| {
+                            let idx = (i + worker + round) % requests.len();
+                            let request = &requests[idx];
+                            let ticket = server
+                                .submit_with(
+                                    &request.spec,
+                                    request.params.as_ref(),
+                                    OptimizerChoice::Bqo,
+                                    options,
+                                )
+                                .expect("queue capacity covers a full round");
+                            (idx, ticket)
+                        })
+                        .collect();
+                    for (idx, ticket) in tickets {
+                        let output = ticket.wait().expect("request serves");
+                        let (oracle_rows, oracle_batch) = &oracle[idx];
+                        let label = format!("worker {worker} round {round} request {idx}");
+                        assert_eq!(output.result.output_rows, *oracle_rows, "{label}");
+                        let batch = output.rows.expect("rows were collected");
+                        if requests[idx].deterministic_plan {
+                            assert_eq!(&batch, oracle_batch, "{label}");
+                        }
+                        assert_eq!(
+                            canonical_rows(&batch),
+                            canonical_rows(oracle_batch),
+                            "{label}"
+                        );
+                        assert!(output.cache_status.is_some(), "{label}");
+                        assert!(output.total_wall >= output.queue_wait, "{label}");
+                    }
+                }
+            });
+        }
+    });
+
+    let total = (num_clients * ROUNDS * requests.len()) as u64;
+    let stats = server.stats();
+    assert_eq!(stats.admitted, total);
+    assert_eq!(stats.completed, total);
+    assert_eq!(
+        stats.rejected + stats.cancelled + stats.failed + stats.panicked,
+        0
+    );
+    assert_eq!(stats.queue_depth, 0);
+    // The server's traffic resolved against the engine's shared plan cache:
+    // one entry per template/ad-hoc fingerprint, mostly optimizer-free.
+    let cache = engine.plan_cache();
+    assert_eq!(
+        cache.hits() + cache.misses() + cache.reoptimizations(),
+        total
+    );
+    assert!(cache.hits() > 0, "cached serving must hit");
+    assert_eq!(cache.len(), 4);
+
+    server.shutdown();
+    // Shutdown rejects new traffic but preserves stats.
+    let spec = star::build_query("late", DIMS, &[(0, 3)]);
+    assert_eq!(
+        server
+            .submit(&spec, None, OptimizerChoice::Bqo)
+            .unwrap_err(),
+        SubmitError::ShutDown
+    );
+    assert_eq!(server.stats().completed, total);
+    assert_eq!(server.stats().rejected, 1);
+}
+
+/// Deterministic queue saturation: with dispatching paused, admissions
+/// beyond `queue_capacity` must be rejected with `QueueFull`; resuming
+/// drains the backlog and every admitted request completes correctly.
+#[test]
+fn saturated_queue_rejects_with_queue_full() {
+    let catalog = star::build_catalog(Scale(0.02), 2, 5);
+    let engine = Engine::from_catalog(catalog.clone());
+    let server = Server::new(
+        engine,
+        ServerConfig::default()
+            .with_max_concurrent_queries(1)
+            .with_queue_capacity(3),
+    );
+    let spec = star::build_query("saturate", 2, &[(0, 4)]);
+    let expected = {
+        let engine = Engine::from_catalog(catalog);
+        let stmt = engine.prepare(&spec, OptimizerChoice::Bqo).unwrap();
+        engine.session().run(&stmt).unwrap().output_rows
+    };
+
+    server.pause();
+    let tickets: Vec<_> = (0..3)
+        .map(|_| {
+            server
+                .submit(&spec, None, OptimizerChoice::Bqo)
+                .expect("within queue capacity")
+        })
+        .collect();
+    // The queue is at capacity: further submissions bounce, repeatedly.
+    for _ in 0..5 {
+        assert_eq!(
+            server
+                .submit(&spec, None, OptimizerChoice::Bqo)
+                .unwrap_err(),
+            SubmitError::QueueFull { capacity: 3 }
+        );
+    }
+    let stats = server.stats();
+    assert_eq!(stats.queue_depth, 3);
+    assert_eq!(stats.admitted, 3);
+    assert_eq!(stats.rejected, 5);
+
+    server.resume();
+    for ticket in tickets {
+        assert_eq!(ticket.wait().unwrap().result.output_rows, expected);
+    }
+    let stats = server.stats();
+    assert_eq!(stats.completed, 3);
+    assert_eq!(stats.queue_depth, 0);
+    assert!(stats.total_wall > Duration::ZERO);
+}
+
+/// A panicking statement (malformed hand-built plan) must surface through
+/// `Ticket::wait` as `ServeError::Panicked` — and the dispatcher must
+/// survive to serve the next request.
+#[test]
+fn worker_panic_propagates_through_ticket_wait() {
+    let catalog = star::build_catalog(Scale(0.02), 2, 7);
+    let engine = Engine::from_catalog(catalog);
+    let server = Server::new(
+        engine.clone(),
+        ServerConfig::default().with_max_concurrent_queries(1),
+    );
+
+    // A plan with no root: executing it panics inside the dispatcher.
+    let spec = star::build_query("panicking", 2, &[(0, 3)]);
+    let graph = spec.to_join_graph(engine.catalog()).unwrap();
+    let ticket = server
+        .submit_plan("malformed", graph, PhysicalPlan::new())
+        .unwrap();
+    match ticket.wait() {
+        Err(ServeError::Panicked(message)) => {
+            assert!(message.contains("no root"), "{message}");
+        }
+        other => panic!("expected a contained panic, got {other:?}"),
+    }
+    assert_eq!(server.stats().panicked, 1);
+
+    // The dispatcher survived: the very next request is served normally.
+    let ticket = server.submit(&spec, None, OptimizerChoice::Bqo).unwrap();
+    let output = ticket.wait().expect("server still serves after a panic");
+    assert!(output.result.output_rows > 0);
+    assert_eq!(output.cache_status, Some(CacheStatus::Miss));
+    assert_eq!(server.stats().completed, 1);
+}
+
+/// Cancelling a queued request resolves its ticket with `Cancelled` without
+/// executing it; running/finished requests refuse cancellation.
+#[test]
+fn cancel_only_wins_before_execution_starts() {
+    let catalog = star::build_catalog(Scale(0.02), 2, 11);
+    let engine = Engine::from_catalog(catalog);
+    let server = Server::new(
+        engine,
+        ServerConfig::default().with_max_concurrent_queries(1),
+    );
+    let spec = star::build_query("cancellable", 2, &[(1, 5)]);
+
+    server.pause();
+    let keep = server.submit(&spec, None, OptimizerChoice::Bqo).unwrap();
+    let drop_me = server.submit(&spec, None, OptimizerChoice::Bqo).unwrap();
+    assert_eq!(server.stats().queue_depth, 2);
+    assert!(drop_me.cancel(), "queued requests are cancellable");
+    assert!(!drop_me.cancel(), "cancel is not double-counted");
+    assert_eq!(drop_me.wait().unwrap_err(), ServeError::Cancelled);
+    // Cancellation frees the admission slot immediately — it never waits for
+    // a dispatcher to reach the dead request.
+    assert_eq!(server.stats().queue_depth, 1);
+    assert_eq!(server.stats().cancelled, 1);
+    server.resume();
+
+    let output = keep.wait().expect("uncancelled request serves");
+    assert!(output.result.output_rows > 0);
+    assert!(!keep.cancel(), "finished requests refuse cancellation");
+    server.shutdown();
+    let stats = server.stats();
+    assert_eq!((stats.completed, stats.cancelled), (1, 1));
+}
+
+/// Cancelling queued requests relieves `QueueFull` backpressure at once: a
+/// full queue of cancelled requests accepts new submissions immediately.
+#[test]
+fn cancel_relieves_queue_backpressure() {
+    let catalog = star::build_catalog(Scale(0.02), 2, 19);
+    let engine = Engine::from_catalog(catalog);
+    let server = Server::new(
+        engine,
+        ServerConfig::default()
+            .with_max_concurrent_queries(1)
+            .with_queue_capacity(2),
+    );
+    let spec = star::build_query("relief", 2, &[(0, 5)]);
+
+    server.pause();
+    let tickets: Vec<_> = (0..2)
+        .map(|_| server.submit(&spec, None, OptimizerChoice::Bqo).unwrap())
+        .collect();
+    assert_eq!(
+        server
+            .submit(&spec, None, OptimizerChoice::Bqo)
+            .unwrap_err(),
+        SubmitError::QueueFull { capacity: 2 }
+    );
+    for ticket in &tickets {
+        assert!(ticket.cancel());
+    }
+    // Both slots freed without any dispatcher involvement.
+    assert_eq!(server.stats().queue_depth, 0);
+    let live = server.submit(&spec, None, OptimizerChoice::Bqo).unwrap();
+    server.resume();
+    assert!(
+        live.wait()
+            .expect("admitted request serves")
+            .result
+            .output_rows
+            > 0
+    );
+    let stats = server.stats();
+    assert_eq!(
+        (stats.completed, stats.cancelled, stats.rejected),
+        (1, 2, 1)
+    );
+}
+
+/// `Ticket::wait` honors the server's default timeout; the request keeps
+/// running and a later unbounded wait still collects the result.
+#[test]
+fn default_timeout_bounds_wait_without_killing_the_request() {
+    let catalog = star::build_catalog(Scale(0.02), 2, 13);
+    let engine = Engine::from_catalog(catalog);
+    let server = Server::new(
+        engine,
+        ServerConfig::default()
+            .with_max_concurrent_queries(1)
+            .with_default_timeout(Duration::from_millis(1)),
+    );
+    let spec = star::build_query("timed", 2, &[(0, 6)]);
+
+    server.pause(); // nothing dispatches -> the bounded wait must time out
+    let ticket = server.submit(&spec, None, OptimizerChoice::Bqo).unwrap();
+    assert_eq!(ticket.wait().unwrap_err(), ServeError::TimedOut);
+    assert!(ticket.try_wait().is_none());
+    server.resume();
+
+    let output = ticket
+        .wait_timeout(Duration::from_secs(60))
+        .expect("request finishes once dispatching resumes");
+    assert!(output.result.output_rows > 0);
+    assert!(ticket.is_finished());
+    // The retained outcome can be collected again, now within any bound.
+    assert!(ticket.wait().is_ok());
+}
+
+/// Graceful shutdown drains the backlog: every admitted ticket resolves.
+#[test]
+fn shutdown_drains_queued_requests() {
+    let catalog = star::build_catalog(Scale(0.02), 2, 17);
+    let engine = Engine::from_catalog(catalog);
+    let server = Server::new(
+        engine,
+        ServerConfig::default()
+            .with_max_concurrent_queries(2)
+            .with_queue_capacity(32),
+    );
+    let spec = star::build_query("draining", 2, &[(0, 8)]);
+
+    server.pause();
+    let tickets: Vec<_> = (0..8)
+        .map(|_| server.submit(&spec, None, OptimizerChoice::Bqo).unwrap())
+        .collect();
+    // Shutdown while paused: the backlog still drains before the
+    // dispatchers exit.
+    server.shutdown();
+    for ticket in tickets {
+        assert!(ticket.wait().is_ok());
+    }
+    let stats = server.stats();
+    assert_eq!(stats.completed, 8);
+    assert_eq!(stats.queue_depth, 0);
+    assert_eq!(stats.running, 0);
+}
