@@ -1,7 +1,7 @@
 //! Figure 10 — individual query execution time for the most expensive
 //! queries of the JOB-like workload, baseline versus BQO plans.
 
-use bqo_core::experiment::{run_workload, RunOptions};
+use bqo_core::experiment::{run_workload, ExperimentOptions};
 use bqo_core::workloads::{job_like, Scale};
 use bqo_core::{Engine, OptimizerChoice};
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
@@ -9,7 +9,7 @@ use std::hint::black_box;
 
 fn bench_fig10(c: &mut Criterion) {
     let workload = job_like::generate(Scale(0.03), 9, 2);
-    let report = run_workload(&workload, RunOptions::default()).unwrap();
+    let report = run_workload(&workload, ExperimentOptions::default()).unwrap();
     let expensive: Vec<String> = report
         .sorted_by_baseline_cost()
         .into_iter()

@@ -4,7 +4,7 @@
 
 use bqo_core::exec::ExecConfig;
 use bqo_core::workloads::{microbench, Scale};
-use bqo_core::{Engine, OptimizerChoice};
+use bqo_core::{Engine, OptimizerChoice, RunOptions};
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
 
@@ -22,8 +22,12 @@ fn bench_fig7(c: &mut Criterion) {
             b.iter(|| {
                 black_box(
                     session
-                        .run_with(&prepared, ExecConfig::default())
+                        .execute(
+                            &prepared,
+                            RunOptions::new().with_exec_config(ExecConfig::default()),
+                        )
                         .unwrap()
+                        .result
                         .output_rows,
                 )
             })
@@ -32,8 +36,12 @@ fn bench_fig7(c: &mut Criterion) {
             b.iter(|| {
                 black_box(
                     session
-                        .run_with(&prepared, ExecConfig::without_bitvectors())
+                        .execute(
+                            &prepared,
+                            RunOptions::new().with_exec_config(ExecConfig::without_bitvectors()),
+                        )
                         .unwrap()
+                        .result
                         .output_rows,
                 )
             })

@@ -3,7 +3,7 @@
 //! join/leaf/other tuple breakdown for both optimizers, and prints the
 //! resulting breakdown once.
 
-use bqo_core::experiment::{run_workload, RunOptions};
+use bqo_core::experiment::{run_workload, ExperimentOptions};
 use bqo_core::workloads::{tpcds_like, Scale};
 use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
@@ -11,7 +11,7 @@ use std::hint::black_box;
 fn bench_fig9(c: &mut Criterion) {
     let workload = tpcds_like::generate(Scale(0.03), 6, 1);
     // Print the breakdown once so the bench run also documents the figure.
-    let report = run_workload(&workload, RunOptions::default()).unwrap();
+    let report = run_workload(&workload, ExperimentOptions::default()).unwrap();
     let b = report.tuple_breakdown();
     let total = b.baseline_total().max(1) as f64;
     println!(
@@ -27,7 +27,7 @@ fn bench_fig9(c: &mut Criterion) {
     group.bench_function("tpcds_workload_with_accounting", |b| {
         b.iter(|| {
             black_box(
-                run_workload(&workload, RunOptions::default())
+                run_workload(&workload, ExperimentOptions::default())
                     .unwrap()
                     .total_work_ratio(),
             )

@@ -10,9 +10,21 @@
 
 use bqo_core::exec::ExecConfig;
 use bqo_core::workloads::{star, Scale};
-use bqo_core::{Engine, OptimizerChoice};
+use bqo_core::{Engine, OptimizerChoice, RunOptions};
 use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
+
+fn run_all(
+    session: &bqo_core::Session,
+    stmt: &bqo_core::PreparedStatement,
+    config: ExecConfig,
+) -> u64 {
+    session
+        .execute(stmt, RunOptions::new().with_exec_config(config))
+        .unwrap()
+        .result
+        .output_rows
+}
 
 fn bench_parallel_scaling(c: &mut Criterion) {
     let workload = star::generate(Scale(0.1), 4, 4, 11);
@@ -29,19 +41,13 @@ fn bench_parallel_scaling(c: &mut Criterion) {
         .with_batch_size(usize::MAX)
         .with_morsel_size(4096);
 
-    let serial_rows: u64 = prepared
-        .iter()
-        .map(|p| session.run_with(p, base).unwrap().output_rows)
-        .sum();
+    let serial_rows: u64 = prepared.iter().map(|p| run_all(&session, p, base)).sum();
 
     let mut group = c.benchmark_group("fig_parallel_scaling");
     group.sample_size(10);
     for num_threads in [1usize, 2, 4, 8] {
         let config = base.with_num_threads(num_threads);
-        let rows: u64 = prepared
-            .iter()
-            .map(|p| session.run_with(p, config).unwrap().output_rows)
-            .sum();
+        let rows: u64 = prepared.iter().map(|p| run_all(&session, p, config)).sum();
         assert_eq!(
             rows, serial_rows,
             "answers changed at {num_threads} threads"
@@ -51,7 +57,7 @@ fn bench_parallel_scaling(c: &mut Criterion) {
                 black_box(
                     prepared
                         .iter()
-                        .map(|p| session.run_with(p, config).unwrap().output_rows)
+                        .map(|p| run_all(&session, p, config))
                         .sum::<u64>(),
                 )
             })

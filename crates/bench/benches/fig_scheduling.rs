@@ -1,0 +1,95 @@
+//! Multi-tenant scheduling — high-priority latency under a low-priority
+//! backlog, FIFO vs priority/deadline dispatch.
+//!
+//! A single-slot `Server` is paused, loaded with `LOW_BACKLOG` deliberately
+//! slow low-priority requests (per-morsel scan throttling stands in for
+//! expensive scans) plus one fast high-priority probe, then resumed. The
+//! measured span is submit-to-probe-completion; afterwards the leftover
+//! backlog is cancelled (cooperative mid-flight cancellation bounds that to
+//! about one morsel of work), so each iteration times the probe, not the
+//! drain. Under FIFO the probe waits for the whole backlog; under
+//! `PriorityDeadline` it dispatches as soon as the in-flight query finishes.
+//! `cargo run -p bqo-bench --bin reproduce -- scheduling` prints the
+//! measured queue waits.
+
+use bqo_core::exec::ExecConfig;
+use bqo_core::workloads::{star, Scale};
+use bqo_core::{Engine, OptimizerChoice, Request, SchedulingPolicy, Server, ServerConfig};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use std::time::Duration;
+
+const LOW_BACKLOG: usize = 3;
+
+fn bench_scheduling(c: &mut Criterion) {
+    let workload = star::generate(Scale(0.02), 3, 2, 47);
+    let slow = ExecConfig::default()
+        .with_num_threads(1)
+        .with_morsel_size(64)
+        .with_scan_throttle(Duration::from_millis(4));
+
+    let mut group = c.benchmark_group("fig_scheduling");
+    group.sample_size(10);
+    for (label, policy) in [
+        ("high_priority_probe/fifo", SchedulingPolicy::Fifo),
+        (
+            "high_priority_probe/priority_deadline",
+            SchedulingPolicy::PriorityDeadline,
+        ),
+    ] {
+        let engine = Engine::from_catalog(workload.catalog.clone());
+        let server = Server::new(
+            engine,
+            ServerConfig::default()
+                .with_max_concurrent_queries(1)
+                .with_queue_capacity(LOW_BACKLOG + 2)
+                .with_policy(policy),
+        );
+        group.bench_function(label, |b| {
+            b.iter(|| {
+                // Queue the backlog ahead of the probe while dispatch is
+                // paused, so arrival order cannot race admission.
+                server.pause();
+                let lows: Vec<_> = (0..LOW_BACKLOG)
+                    .map(|i| {
+                        let request = Request::builder()
+                            .query(&workload.queries[i % workload.queries.len()])
+                            .optimizer(OptimizerChoice::Bqo)
+                            .tenant("batch-reports")
+                            .priority(0)
+                            .exec_config(slow)
+                            .build()
+                            .expect("request is well-formed");
+                        server.submit(request).expect("burst fits the queue")
+                    })
+                    .collect();
+                let probe = server
+                    .submit(
+                        Request::builder()
+                            .query(&workload.queries[0])
+                            .optimizer(OptimizerChoice::Bqo)
+                            .tenant("dashboards")
+                            .priority(10)
+                            .build()
+                            .expect("request is well-formed"),
+                    )
+                    .expect("burst fits the queue");
+                server.resume();
+                let output = probe.wait().expect("probe serves");
+                // Drain the leftover backlog cooperatively so the next
+                // iteration starts from an empty queue; under FIFO it has
+                // already completed.
+                for low in &lows {
+                    low.cancel();
+                    let _ = low.wait();
+                }
+                black_box(output.result.output_rows)
+            })
+        });
+        server.shutdown();
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_scheduling);
+criterion_main!(benches);

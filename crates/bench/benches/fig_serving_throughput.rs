@@ -11,7 +11,7 @@
 
 use bqo_core::exec::ExecConfig;
 use bqo_core::workloads::{star, Scale};
-use bqo_core::{Engine, OptimizerChoice, Server, ServerConfig};
+use bqo_core::{Engine, OptimizerChoice, Request, Server, ServerConfig};
 use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 
@@ -97,12 +97,13 @@ fn bench_serving_throughput(c: &mut Criterion) {
             b.iter(|| {
                 let tickets: Vec<_> = (0..REQUESTS)
                     .map(|i| {
+                        let request = Request::builder()
+                            .query(&workload.queries[i % workload.queries.len()])
+                            .optimizer(OptimizerChoice::Bqo)
+                            .build()
+                            .expect("request is well-formed");
                         server
-                            .submit(
-                                &workload.queries[i % workload.queries.len()],
-                                None,
-                                OptimizerChoice::Bqo,
-                            )
+                            .submit(request)
                             .expect("queue capacity covers the burst")
                     })
                     .collect();

@@ -3,7 +3,7 @@
 
 use bqo_core::exec::ExecConfig;
 use bqo_core::workloads::{tpcds_like, Scale};
-use bqo_core::{Engine, OptimizerChoice};
+use bqo_core::{Engine, OptimizerChoice, RunOptions};
 use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 
@@ -25,8 +25,9 @@ fn bench_table4(c: &mut Criterion) {
                 .iter()
                 .map(|p| {
                     session
-                        .run_with(p, ExecConfig::default())
+                        .execute(p, RunOptions::new().with_exec_config(ExecConfig::default()))
                         .unwrap()
+                        .result
                         .output_rows
                 })
                 .sum();
@@ -39,8 +40,12 @@ fn bench_table4(c: &mut Criterion) {
                 .iter()
                 .map(|p| {
                     session
-                        .run_with(p, ExecConfig::without_bitvectors())
+                        .execute(
+                            p,
+                            RunOptions::new().with_exec_config(ExecConfig::without_bitvectors()),
+                        )
                         .unwrap()
+                        .result
                         .output_rows
                 })
                 .sum();

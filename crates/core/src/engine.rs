@@ -6,12 +6,12 @@
 //! Engine (Arc-internal, Clone + Send + Sync)
 //!   ├── prepare(spec, choice)          -> PreparedStatement   (owned, 'static)
 //!   ├── bind(spec, params, choice)     -> PreparedStatement   (via PlanCache)
-//!   └── session() -> Session ── run(&stmt) -> QueryResult
+//!   └── session() -> Session ── execute(&stmt, RunOptions) -> StatementOutput
 //! ```
 
-use crate::cache::{CacheStatus, PlanCache};
+use crate::cache::{CacheStats, CacheStatus, PlanCache};
 use crate::{BqoError, OptimizerChoice};
-use bqo_exec::{BoundPlan, ExecConfig, Executor, QueryResult, WorkerPool};
+use bqo_exec::{Batch, BoundPlan, CancelToken, ExecConfig, Executor, QueryResult, WorkerPool};
 use bqo_optimizer::{BaselineOptimizer, BqoOptimizer, Optimizer};
 use bqo_plan::{CostModel, CoutBreakdown, JoinGraph, Params, PhysicalPlan, QuerySpec};
 use bqo_storage::{Catalog, ForeignKey, Table};
@@ -86,7 +86,7 @@ impl Default for EngineInner {
 /// it through a [`Session`]:
 ///
 /// ```
-/// use bqo_core::{Engine, OptimizerChoice};
+/// use bqo_core::{Engine, OptimizerChoice, RunOptions};
 /// use bqo_core::workloads::{star, Scale};
 ///
 /// let workload = star::generate(Scale(0.02), 3, 1, 42);
@@ -95,8 +95,8 @@ impl Default for EngineInner {
 /// let stmt = engine
 ///     .prepare(&workload.queries[0], OptimizerChoice::Bqo)
 ///     .unwrap();
-/// let result = session.run(&stmt).unwrap();
-/// assert!(result.output_rows > 0);
+/// let out = session.execute(&stmt, RunOptions::new()).unwrap();
+/// assert!(out.result.output_rows > 0);
 /// ```
 #[derive(Debug, Clone, Default)]
 pub struct Engine {
@@ -146,6 +146,18 @@ impl Engine {
     /// The catalog version this engine was built against.
     pub fn catalog_version(&self) -> u64 {
         self.inner.catalog_version
+    }
+
+    /// One consolidated observability snapshot: plan-cache counters, the
+    /// worker-pool size, and the catalog generation — replacing the scattered
+    /// per-component getters in dashboards and examples.
+    pub fn stats(&self) -> EngineStats {
+        EngineStats {
+            cache: self.inner.cache.cache_stats(),
+            pool_workers: self.inner.pool_workers,
+            catalog_version: self.inner.catalog_version,
+            catalog_tables: self.inner.catalog.len(),
+        }
     }
 
     /// The engine-owned persistent [`WorkerPool`] backing every parallel
@@ -296,10 +308,43 @@ impl Engine {
         plan: &PhysicalPlan,
         config: ExecConfig,
     ) -> Result<QueryResult, BqoError> {
-        self.executor_for(config)
-            .execute_bound(BoundPlan::new(graph, plan))
-            .map_err(|e| BqoError::execution(name, e))
+        self.execute_plan_request(name, graph, plan, config, None)
     }
+
+    /// Cancellation-aware plan execution for the serving layer: like
+    /// [`Engine::execute_plan_named_with`], additionally observing `cancel`.
+    pub(crate) fn execute_plan_request(
+        &self,
+        name: &str,
+        graph: &JoinGraph,
+        plan: &PhysicalPlan,
+        config: ExecConfig,
+        cancel: Option<CancelToken>,
+    ) -> Result<QueryResult, BqoError> {
+        let mut executor = self.executor_for(config);
+        if let Some(token) = cancel {
+            executor = executor.with_cancel_token(token);
+        }
+        executor
+            .execute_bound(BoundPlan::new(graph, plan))
+            .map_err(|e| BqoError::from_exec(name, e))
+    }
+}
+
+/// One consolidated snapshot of the engine's observable state, returned by
+/// [`Engine::stats`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EngineStats {
+    /// Plan-cache counters (hits, misses, re-optimizations, evictions,
+    /// occupancy).
+    pub cache: CacheStats,
+    /// Helper-thread count the engine's worker pool is (or will be) sized to.
+    /// The pool itself spawns lazily; this is the configured size either way.
+    pub pool_workers: usize,
+    /// The catalog generation the engine was built against.
+    pub catalog_version: u64,
+    /// Number of tables in the catalog.
+    pub catalog_tables: usize,
 }
 
 /// Runs the chosen optimizer over a resolved join graph.
@@ -517,9 +562,68 @@ impl PreparedStatement {
     }
 }
 
+/// Per-run knobs for [`Session::execute`]: an optional [`ExecConfig`]
+/// override, whether to collect the output rows, and an optional
+/// [`CancelToken`] observed by the run.
+#[derive(Debug, Clone, Default)]
+pub struct RunOptions {
+    /// Execution configuration for this run; `None` uses the session's.
+    pub exec_config: Option<ExecConfig>,
+    /// When true, the concatenated output rows are returned in
+    /// [`StatementOutput::rows`] — the differential-testing mode the oracle
+    /// harnesses use to compare results bit for bit.
+    pub collect_rows: bool,
+    /// Cancel token the run observes cooperatively; firing it (or its
+    /// deadline passing) aborts the run within roughly one morsel,
+    /// surfacing as a [`BqoError`] with [`BqoError::is_cancelled`] set and
+    /// the partial metrics attached.
+    pub cancel: Option<CancelToken>,
+}
+
+impl RunOptions {
+    /// Default options: session config, no row collection, no cancel token.
+    pub fn new() -> Self {
+        RunOptions::default()
+    }
+
+    /// The same options with an explicit execution configuration.
+    pub fn with_exec_config(mut self, config: ExecConfig) -> Self {
+        self.exec_config = Some(config);
+        self
+    }
+
+    /// The same options collecting the output rows.
+    pub fn collecting_rows(mut self) -> Self {
+        self.collect_rows = true;
+        self
+    }
+
+    /// The same options observing `token` for cooperative cancellation.
+    pub fn with_cancel_token(mut self, token: CancelToken) -> Self {
+        self.cancel = Some(token);
+        self
+    }
+}
+
+/// Everything one [`Session::execute`] run produces: the query result, the
+/// collected rows (when [`RunOptions::collect_rows`] was set) and how the
+/// statement's plan was obtained from the cache.
+#[derive(Debug, Clone)]
+pub struct StatementOutput {
+    /// Row count and execution metrics.
+    pub result: QueryResult,
+    /// Concatenated output rows, present iff the run collected them.
+    pub rows: Option<Batch>,
+    /// The statement's plan-cache status (copied from the statement — a
+    /// property of preparation, repeated here so serving callers get the
+    /// whole story from one value).
+    pub cache_status: CacheStatus,
+}
+
 /// A lightweight execution handle: an engine reference plus per-session
 /// [`ExecConfig`] overrides. Sessions are `Clone + Send + Sync`; open one per
-/// thread or request and run any number of [`PreparedStatement`]s through it.
+/// thread or request and run any number of [`PreparedStatement`]s through it
+/// via [`Session::execute`].
 #[derive(Debug, Clone)]
 pub struct Session {
     engine: Engine,
@@ -564,38 +668,73 @@ impl Session {
         self.engine.bind(query, params, choice)
     }
 
-    /// Runs a prepared statement through the pull-based operator pipeline
-    /// with the session's execution configuration.
-    pub fn run(&self, stmt: &PreparedStatement) -> Result<QueryResult, BqoError> {
-        self.run_with(stmt, self.exec_config)
+    /// Runs a prepared statement through the pull-based operator pipeline —
+    /// the single execution entry point. [`RunOptions`] selects the
+    /// configuration (session default unless overridden), whether to collect
+    /// output rows, and an optional cancel token:
+    ///
+    /// ```ignore
+    /// let out = session.execute(&stmt, RunOptions::new())?;                  // plain run
+    /// let out = session.execute(&stmt, RunOptions::new().collecting_rows())?; // + rows
+    /// ```
+    pub fn execute(
+        &self,
+        stmt: &PreparedStatement,
+        options: RunOptions,
+    ) -> Result<StatementOutput, BqoError> {
+        let config = options.exec_config.unwrap_or(self.exec_config);
+        let mut executor = self.engine.executor_for(config);
+        if let Some(token) = options.cancel {
+            executor = executor.with_cancel_token(token);
+        }
+        let (result, rows) = if options.collect_rows {
+            executor
+                .execute_bound_with_rows(stmt.bound())
+                .map(|(result, rows)| (result, Some(rows)))
+        } else {
+            executor.execute_bound(stmt.bound()).map(|r| (r, None))
+        }
+        .map_err(|e| BqoError::from_exec(&stmt.name, e))?;
+        Ok(StatementOutput {
+            result,
+            rows,
+            cache_status: stmt.cache_status,
+        })
     }
 
-    /// Runs a prepared statement with an explicit execution configuration
-    /// (overriding the session's for this call only).
+    /// Runs a prepared statement with the session's execution configuration.
+    /// Thin wrapper over [`Session::execute`], kept for existing callers.
+    #[doc(hidden)]
+    pub fn run(&self, stmt: &PreparedStatement) -> Result<QueryResult, BqoError> {
+        self.execute(stmt, RunOptions::new()).map(|out| out.result)
+    }
+
+    /// Runs a prepared statement with an explicit execution configuration.
+    /// Thin wrapper over [`Session::execute`], kept for existing callers.
+    #[doc(hidden)]
     pub fn run_with(
         &self,
         stmt: &PreparedStatement,
         config: ExecConfig,
     ) -> Result<QueryResult, BqoError> {
-        self.engine
-            .executor_for(config)
-            .execute_bound(stmt.bound())
-            .map_err(|e| BqoError::execution(&stmt.name, e))
+        self.execute(stmt, RunOptions::new().with_exec_config(config))
+            .map(|out| out.result)
     }
 
-    /// Runs a prepared statement like [`Session::run_with`] but additionally
-    /// returns the concatenated output rows — the differential-testing entry
-    /// point used by the oracle harnesses to compare results bit for bit
-    /// across configurations and thread counts.
+    /// Runs a prepared statement and returns the concatenated output rows.
+    /// Thin wrapper over [`Session::execute`] with
+    /// [`RunOptions::collecting_rows`], kept for existing callers.
+    #[doc(hidden)]
     pub fn run_with_rows(
         &self,
         stmt: &PreparedStatement,
         config: ExecConfig,
-    ) -> Result<(QueryResult, bqo_exec::Batch), BqoError> {
-        self.engine
-            .executor_for(config)
-            .execute_bound_with_rows(stmt.bound())
-            .map_err(|e| BqoError::execution(&stmt.name, e))
+    ) -> Result<(QueryResult, Batch), BqoError> {
+        self.execute(
+            stmt,
+            RunOptions::new().with_exec_config(config).collecting_rows(),
+        )
+        .map(|out| (out.result, out.rows.expect("rows were collected")))
     }
 
     /// EXPLAIN-style rendering of a statement's plan under the session's

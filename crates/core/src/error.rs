@@ -1,5 +1,6 @@
 //! The unified error type of the `Engine` facade.
 
+use bqo_exec::{ExecError, ExecutionMetrics};
 use bqo_storage::StorageError;
 use std::fmt;
 
@@ -32,6 +33,7 @@ pub struct BqoError {
     phase: QueryPhase,
     query: Option<String>,
     source: StorageError,
+    partial_metrics: Option<Box<ExecutionMetrics>>,
 }
 
 impl BqoError {
@@ -41,6 +43,7 @@ impl BqoError {
             phase: QueryPhase::Setup,
             query: None,
             source,
+            partial_metrics: None,
         }
     }
 
@@ -50,6 +53,7 @@ impl BqoError {
             phase: QueryPhase::Planning,
             query: Some(query.into()),
             source,
+            partial_metrics: None,
         }
     }
 
@@ -59,6 +63,22 @@ impl BqoError {
             phase: QueryPhase::Execution,
             query: Some(query.into()),
             source,
+            partial_metrics: None,
+        }
+    }
+
+    /// An execution error lifted from the executor's [`ExecError`]: a
+    /// cancelled run becomes `StorageError::Cancelled` with the partial
+    /// metrics preserved; other failures pass through unchanged.
+    pub fn from_exec(query: impl Into<String>, source: ExecError) -> Self {
+        match source {
+            ExecError::Storage(e) => BqoError::execution(query, e),
+            ExecError::Cancelled { metrics } => BqoError {
+                phase: QueryPhase::Execution,
+                query: Some(query.into()),
+                source: StorageError::Cancelled,
+                partial_metrics: Some(metrics),
+            },
         }
     }
 
@@ -75,6 +95,24 @@ impl BqoError {
     /// The underlying storage-layer error.
     pub fn storage_error(&self) -> &StorageError {
         &self.source
+    }
+
+    /// Whether this error is a cooperative cancellation (explicit cancel or
+    /// deadline expiry) of an in-flight query.
+    pub fn is_cancelled(&self) -> bool {
+        self.source == StorageError::Cancelled
+    }
+
+    /// The metrics a cancelled run gathered before it was aborted, if this
+    /// error carries them.
+    pub fn partial_metrics(&self) -> Option<&ExecutionMetrics> {
+        self.partial_metrics.as_deref()
+    }
+
+    /// Consumes the error, returning the partial metrics of a cancelled run,
+    /// if any.
+    pub fn take_partial_metrics(&mut self) -> Option<ExecutionMetrics> {
+        self.partial_metrics.take().map(|m| *m)
     }
 }
 
@@ -141,5 +179,29 @@ mod tests {
             e.storage_error(),
             StorageError::InvalidArgument(_)
         ));
+    }
+
+    #[test]
+    fn from_exec_preserves_partial_metrics_on_cancellation() {
+        let mut metrics = ExecutionMetrics::new();
+        metrics.filters_created = 3;
+        let mut e = BqoError::from_exec(
+            "q",
+            ExecError::Cancelled {
+                metrics: Box::new(metrics.clone()),
+            },
+        );
+        assert!(e.is_cancelled());
+        assert_eq!(e.storage_error(), &StorageError::Cancelled);
+        assert_eq!(e.partial_metrics(), Some(&metrics));
+        assert_eq!(e.take_partial_metrics(), Some(metrics));
+        assert_eq!(e.partial_metrics(), None);
+
+        let plain = BqoError::from_exec(
+            "q",
+            ExecError::Storage(StorageError::TableNotFound { table: "t".into() }),
+        );
+        assert!(!plain.is_cancelled());
+        assert!(plain.partial_metrics().is_none());
     }
 }

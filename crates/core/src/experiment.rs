@@ -15,6 +15,7 @@
 //! probed and produced) is reported next to it as a noise-free proxy, and the
 //! tests assert on the latter.
 
+use crate::engine::RunOptions as EngineRunOptions;
 use crate::{BqoError, Engine, OptimizerChoice};
 use bqo_exec::{ExecConfig, OperatorKind};
 use bqo_workloads::Workload;
@@ -280,7 +281,7 @@ pub struct BitvectorEffectReport {
 
 /// Options controlling a workload experiment run.
 #[derive(Debug, Clone, Copy)]
-pub struct RunOptions {
+pub struct ExperimentOptions {
     /// Execution configuration used for both optimizers.
     pub exec: ExecConfig,
     /// Number of times each plan is executed; the fastest run is kept
@@ -288,9 +289,9 @@ pub struct RunOptions {
     pub repetitions: usize,
 }
 
-impl Default for RunOptions {
+impl Default for ExperimentOptions {
     fn default() -> Self {
-        RunOptions {
+        ExperimentOptions {
             exec: ExecConfig::default(),
             repetitions: 1,
         }
@@ -301,7 +302,7 @@ fn record_for(
     engine: &Engine,
     query: &bqo_plan::QuerySpec,
     choice: OptimizerChoice,
-    options: &RunOptions,
+    options: &ExperimentOptions,
 ) -> Result<RunRecord, BqoError> {
     let session = engine.session().with_exec_config(options.exec);
     let prepared = engine.prepare(query, choice)?;
@@ -330,7 +331,10 @@ fn record_for(
 
 /// Runs every query of the workload under the baseline and the BQO optimizer
 /// and returns the comparison report (Figures 8–10).
-pub fn run_workload(workload: &Workload, options: RunOptions) -> Result<WorkloadReport, BqoError> {
+pub fn run_workload(
+    workload: &Workload,
+    options: ExperimentOptions,
+) -> Result<WorkloadReport, BqoError> {
     let engine = Engine::from_catalog(workload.catalog.clone());
     let mut queries = Vec::with_capacity(workload.queries.len());
     for query in &workload.queries {
@@ -359,7 +363,7 @@ pub fn run_workload(workload: &Workload, options: RunOptions) -> Result<Workload
 /// Appendix A).
 pub fn bitvector_effect(
     workload: &Workload,
-    options: RunOptions,
+    options: ExperimentOptions,
 ) -> Result<BitvectorEffectReport, BqoError> {
     let engine = Engine::from_catalog(workload.catalog.clone());
     let mut with_work: u64 = 0;
@@ -375,8 +379,18 @@ pub fn bitvector_effect(
         if !prepared.plan().placements.is_empty() {
             with_bv_queries += 1;
         }
-        let with = session.run_with(&prepared, options.exec)?;
-        let without = session.run_with(&prepared, ExecConfig::without_bitvectors())?;
+        let with = session
+            .execute(
+                &prepared,
+                EngineRunOptions::new().with_exec_config(options.exec),
+            )?
+            .result;
+        let without = session
+            .execute(
+                &prepared,
+                EngineRunOptions::new().with_exec_config(ExecConfig::without_bitvectors()),
+            )?
+            .result;
         let w_work = with.metrics.logical_work();
         let wo_work = without.metrics.logical_work();
         with_work += w_work;
@@ -416,7 +430,7 @@ mod tests {
 
     fn small_report() -> WorkloadReport {
         let w = tpcds_like::generate(Scale(0.01), 6, 12);
-        run_workload(&w, RunOptions::default()).unwrap()
+        run_workload(&w, ExperimentOptions::default()).unwrap()
     }
 
     #[test]
@@ -468,7 +482,7 @@ mod tests {
     #[test]
     fn bitvector_effect_reduces_work() {
         let w = star::generate(Scale(0.05), 4, 5, 21);
-        let report = bitvector_effect(&w, RunOptions::default()).unwrap();
+        let report = bitvector_effect(&w, ExperimentOptions::default()).unwrap();
         assert!(report.queries_with_bitvectors > 0.9);
         assert!(
             report.work_ratio < 1.0,
@@ -481,7 +495,7 @@ mod tests {
     #[test]
     fn repetitions_keep_the_fastest_run() {
         let w = star::generate(Scale(0.02), 3, 1, 3);
-        let opts = RunOptions {
+        let opts = ExperimentOptions {
             repetitions: 3,
             ..Default::default()
         };

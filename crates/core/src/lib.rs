@@ -20,19 +20,33 @@
 //!   re-optimizes (the regime where the paper shows bitvector placements
 //!   flip).
 //! * [`Session`] — a lightweight execution handle carrying per-session
-//!   [`ExecConfig`] overrides; [`Session::run`] executes any statement
-//!   through the pull-based operator pipeline of `bqo-exec`. Every fallible
+//!   [`ExecConfig`] overrides; [`Session::execute`] runs any statement
+//!   through the pull-based operator pipeline of `bqo-exec`, with
+//!   [`RunOptions`] selecting a per-run configuration, output-row
+//!   collection, and an optional [`CancelToken`] for cooperative
+//!   cancellation, all returned in one [`StatementOutput`]. Every fallible
 //!   step returns the unified [`BqoError`], which keeps the query name and
 //!   processing phase attached to the underlying cause.
-//! * [`Server`] — the admission-controlled serving front end over the
-//!   engine: [`Server::submit`] enqueues a request FIFO into a bounded queue
-//!   (backpressure via [`SubmitError::QueueFull`]) and returns a [`Ticket`]
-//!   (`wait` / `cancel` / timeout); at most
+//! * [`Server`] — the multi-tenant serving front end over the engine:
+//!   [`Server::submit`] admits a [`Request`] (built with
+//!   [`Request::builder`], carrying [`QueryOptions`]: tenant, priority,
+//!   deadline, row collection, exec-config overrides) into a bounded queue
+//!   (backpressure via [`SubmitError::QueueFull`], per-tenant quotas via
+//!   [`SubmitError::TenantQuotaExceeded`]) and returns a [`Ticket`]
+//!   (`wait` / `cancel` / timeout). Dispatch picks by (priority,
+//!   earliest-deadline, FIFO tiebreak) under the default
+//!   [`SchedulingPolicy::PriorityDeadline`]; cancellation and deadline
+//!   expiry propagate through a cooperative [`CancelToken`] that aborts
+//!   in-flight queries at morsel granularity, surfacing as
+//!   [`ServeError::Cancelled`] / [`ServeError::DeadlineExceeded`] with the
+//!   partial [`ExecutionMetrics`]. At most
 //!   [`ServerConfig::max_concurrent_queries`] statements execute at once on
 //!   persistent dispatcher threads, panics are contained per request, and
-//!   [`ServerStats`] reports the traffic counters. Parallel sections inside
-//!   the executor draw their helper workers from the engine-owned persistent
-//!   [`WorkerPool`] instead of spawning threads per query.
+//!   [`ServerStats`] / [`Server::stats_for`] report global and per-tenant
+//!   counters plus queue-wait and run-time latency histograms. Parallel
+//!   sections inside the executor draw their helper workers from the
+//!   engine-owned persistent [`WorkerPool`] instead of spawning threads per
+//!   query.
 //! * [`experiment`] — the harness used by the examples and the benchmark
 //!   binary: run a whole workload under both optimizers and collect the
 //!   per-query and aggregate comparisons the paper reports (Figures 8–10,
@@ -106,14 +120,17 @@ pub use bqo_workloads as workloads;
 pub use cache::{
     CacheStats, CacheStatus, PlanCache, DEFAULT_ENVELOPE_RATIO, DEFAULT_PLAN_CACHE_CAPACITY,
 };
-pub use engine::{Engine, EngineBuilder, PreparedStatement, Session};
+pub use engine::{
+    Engine, EngineBuilder, EngineStats, PreparedStatement, RunOptions, Session, StatementOutput,
+};
 pub use error::{BqoError, QueryPhase};
 pub use server::{
-    QueryOutput, ServeError, Server, ServerConfig, ServerStats, SubmitError, SubmitOptions, Ticket,
+    LatencyStats, QueryOptions, QueryOutput, Request, RequestBuilder, SchedulingPolicy, ServeError,
+    Server, ServerConfig, ServerStats, SubmitError, TenantQuota, TenantStats, Ticket,
 };
 
 pub use bqo_exec::{
-    BoundPlan, ExecConfig, ExecutionMetrics, OperatorKind, QueryResult, WorkerPool,
+    BoundPlan, CancelToken, ExecConfig, ExecutionMetrics, OperatorKind, QueryResult, WorkerPool,
 };
 pub use bqo_optimizer::{BaselineOptimizer, BqoOptimizer, Optimizer};
 pub use bqo_plan::{

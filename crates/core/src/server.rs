@@ -1,71 +1,125 @@
-//! Admission-controlled serving front end over [`Engine`] / [`Session`].
+//! Multi-tenant, admission-controlled serving front end over [`Engine`] /
+//! [`Session`].
 //!
 //! [`Session`]: crate::Session
 //!
 //! A [`Server`] is what turns the engine into a multi-tenant runtime: instead
 //! of every caller grabbing a [`Session`] and flooding the executor, clients
-//! **submit** work and the server shapes the traffic —
+//! **submit** [`Request`]s (built with [`Request::builder`]) and the server
+//! shapes the traffic —
 //!
-//! * **FIFO admission with a concurrency limiter.** At most
+//! * **Priority/deadline-aware scheduling.** Under the default
+//!   [`SchedulingPolicy::PriorityDeadline`], dispatch picks the queued
+//!   request with the highest [`QueryOptions::priority`], breaking ties by
+//!   earliest deadline and then submission order; [`SchedulingPolicy::Fifo`]
+//!   keeps the plain first-in-first-out baseline. At most
 //!   [`ServerConfig::max_concurrent_queries`] statements execute at once (a
-//!   fixed set of persistent dispatcher threads); everything else waits in a
-//!   first-in-first-out queue.
+//!   fixed set of persistent dispatcher threads).
+//! * **Per-tenant quotas.** With a [`ServerConfig::tenant_quota`], each named
+//!   tenant is bounded in how many requests it may have queued
+//!   ([`SubmitError::TenantQuotaExceeded`] at admission) and how many it may
+//!   have running at once (enforced at dispatch — other tenants' requests
+//!   are picked around a saturated tenant).
+//! * **Deadlines.** A request with a [`QueryOptions::deadline`] that expires
+//!   while still queued is dropped with [`ServeError::DeadlineExceeded`]
+//!   before wasting pool time; one that expires mid-execution is aborted
+//!   cooperatively within roughly one morsel, returning the partial
+//!   [`bqo_exec::ExecutionMetrics`] it accumulated.
 //! * **Bounded-queue backpressure.** The queue holds at most
 //!   [`ServerConfig::queue_capacity`] pending requests; submissions beyond
-//!   that are rejected immediately with [`SubmitError::QueueFull`] instead of
-//!   accumulating unbounded memory and latency.
-//! * **Join-handle tickets.** [`Server::submit`] returns a [`Ticket`] — a
-//!   join-handle-like future that [`Ticket::wait`]s for the
-//!   [`QueryOutput`], can [`Ticket::cancel`] a not-yet-started request, and
-//!   applies the server's [`ServerConfig::default_timeout`].
-//! * **Panic containment.** A statement that panics mid-execution (e.g. a
-//!   malformed hand-built plan) takes down neither the dispatcher nor the
-//!   server: the panic is caught, surfaced through that request's ticket as
-//!   [`ServeError::Panicked`], and the dispatcher keeps serving.
+//!   that are rejected immediately with [`SubmitError::QueueFull`].
+//! * **Join-handle tickets with mid-flight cancellation.** [`Server::submit`]
+//!   returns a [`Ticket`] that [`Ticket::wait`]s for the [`QueryOutput`].
+//!   [`Ticket::cancel`] resolves a queued request immediately and aborts a
+//!   *running* one cooperatively: a [`bqo_exec::CancelToken`] cloned into the
+//!   executor is re-checked at every morsel claim and batch pull, so the
+//!   query stops within roughly one morsel and surfaces as
+//!   [`ServeError::Cancelled`] with its partial metrics.
+//! * **Panic containment.** A statement that panics mid-execution takes down
+//!   neither the dispatcher nor the server: the panic is caught and surfaced
+//!   through that request's ticket as [`ServeError::Panicked`].
 //! * **Graceful shutdown.** [`Server::shutdown`] stops admissions, drains
 //!   everything already queued, and joins the dispatchers; it is idempotent
 //!   and implied when the last server handle drops.
-//! * **Operational visibility.** [`Server::stats`] reports admitted /
-//!   completed / rejected / cancelled / failed / panicked counts, the live
-//!   queue depth and running count, and cumulative wall time.
+//! * **Operational visibility.** [`Server::stats`] reports global counters
+//!   plus queue-wait and run-time latency histograms ([`LatencyStats`]);
+//!   [`Server::stats_for`] reports the same per tenant.
 //!
 //! Execution itself goes through the engine like any session run: plans come
 //! from the shared [`crate::PlanCache`], and parallel sections draw their
 //! helper workers from the engine-owned persistent
 //! [`bqo_exec::WorkerPool`] — dispatchers are the *query*-level concurrency
-//! limit, the pool is the *morsel*-level one, and both are reused across
-//! requests so small queries stop paying per-query thread start-up.
+//! limit, the pool is the *morsel*-level one.
 //!
 //! ```
 //! use bqo_core::workloads::{star, Scale};
-//! use bqo_core::{Engine, OptimizerChoice, Params, Server, ServerConfig};
+//! use bqo_core::{Engine, OptimizerChoice, Params, Request, Server, ServerConfig};
 //!
 //! let workload = star::generate(Scale(0.02), 3, 1, 42);
 //! let engine = Engine::from_catalog(workload.catalog);
 //! let server = Server::new(engine, ServerConfig::default());
 //! let template = star::build_param_query("by_bound", 3, &[0]);
-//! let ticket = server
-//!     .submit(
-//!         &template,
-//!         Some(&Params::new().set("bound0", 3i64)),
-//!         OptimizerChoice::Bqo,
-//!     )
+//! let request = Request::builder()
+//!     .query(&template)
+//!     .params(&Params::new().set("bound0", 3i64))
+//!     .optimizer(OptimizerChoice::Bqo)
+//!     .tenant("dashboards")
+//!     .priority(1)
+//!     .build()
 //!     .unwrap();
+//! let ticket = server.submit(request).unwrap();
 //! let output = ticket.wait().unwrap();
 //! assert!(output.result.output_rows > 0);
 //! server.shutdown();
 //! ```
 
-use crate::engine::Engine;
+use crate::engine::{Engine, RunOptions};
 use crate::{BqoError, CacheStatus, OptimizerChoice};
-use bqo_exec::{Batch, ExecConfig, QueryResult};
+use bqo_exec::{Batch, CancelToken, ExecConfig, ExecutionMetrics, QueryResult};
 use bqo_plan::{JoinGraph, Params, PhysicalPlan, QuerySpec};
-use std::collections::VecDeque;
+use std::collections::{HashMap, VecDeque};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::{Arc, Condvar, Mutex, Weak};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
+
+/// How the dispatcher picks the next queued request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SchedulingPolicy {
+    /// Strict submission order, ignoring priorities and deadlines (the
+    /// baseline the scheduling bench compares against). Tenant concurrency
+    /// quotas still apply.
+    Fifo,
+    /// Pick by highest [`QueryOptions::priority`], then earliest deadline
+    /// (requests without one sort last), then submission order.
+    #[default]
+    PriorityDeadline,
+}
+
+/// Uniform per-tenant admission bounds (applied to every *named* tenant;
+/// requests without a tenant are exempt).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TenantQuota {
+    /// Maximum requests a tenant may have waiting in the queue; submissions
+    /// beyond this fail with [`SubmitError::TenantQuotaExceeded`]. Values
+    /// below 1 are treated as 1.
+    pub max_queued: usize,
+    /// Maximum requests a tenant may have executing at once; further requests
+    /// stay queued (other tenants are dispatched around them). Values below 1
+    /// are treated as 1.
+    pub max_concurrent: usize,
+}
+
+impl TenantQuota {
+    /// A quota with both bounds (each clamped to at least 1).
+    pub fn new(max_queued: usize, max_concurrent: usize) -> Self {
+        TenantQuota {
+            max_queued: max_queued.max(1),
+            max_concurrent: max_concurrent.max(1),
+        }
+    }
+}
 
 /// Traffic-shaping knobs of a [`Server`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -81,6 +135,12 @@ pub struct ServerConfig {
     /// indefinitely. A timed-out wait leaves the request running — a later
     /// [`Ticket::wait_timeout`] can still collect the result.
     pub default_timeout: Option<Duration>,
+    /// How dispatch orders the queue (default
+    /// [`SchedulingPolicy::PriorityDeadline`]).
+    pub policy: SchedulingPolicy,
+    /// Per-tenant admission/concurrency bounds; `None` (the default) leaves
+    /// tenants unbounded (global bounds still apply).
+    pub tenant_quota: Option<TenantQuota>,
 }
 
 impl Default for ServerConfig {
@@ -89,6 +149,8 @@ impl Default for ServerConfig {
             max_concurrent_queries: 4,
             queue_capacity: 128,
             default_timeout: None,
+            policy: SchedulingPolicy::default(),
+            tenant_quota: None,
         }
     }
 }
@@ -113,31 +175,178 @@ impl ServerConfig {
         self.default_timeout = Some(timeout);
         self
     }
-}
 
-/// Per-request options for [`Server::submit_with`].
-#[derive(Debug, Clone, Copy, Default)]
-pub struct SubmitOptions {
-    /// Execution-configuration override for this request; `None` uses the
-    /// engine's default configuration.
-    pub exec_config: Option<ExecConfig>,
-    /// Collect the concatenated output rows into [`QueryOutput::rows`]
-    /// (the differential-testing entry point of the server oracle; row
-    /// counts and metrics are always reported).
-    pub collect_rows: bool,
-}
-
-impl SubmitOptions {
-    /// The same options with an execution-configuration override.
-    pub fn with_exec_config(mut self, config: ExecConfig) -> Self {
-        self.exec_config = Some(config);
+    /// The same configuration with a different [`SchedulingPolicy`].
+    pub fn with_policy(mut self, policy: SchedulingPolicy) -> Self {
+        self.policy = policy;
         self
     }
 
-    /// The same options with output-row collection enabled.
-    pub fn collecting_rows(mut self) -> Self {
-        self.collect_rows = true;
+    /// The same configuration with a per-tenant quota.
+    pub fn with_tenant_quota(mut self, quota: TenantQuota) -> Self {
+        self.tenant_quota = Some(quota);
         self
+    }
+}
+
+/// Per-request scheduling and execution options carried by a [`Request`].
+#[derive(Debug, Clone, Default)]
+pub struct QueryOptions {
+    /// The tenant this request is accounted to. Named tenants are subject to
+    /// [`ServerConfig::tenant_quota`] and show up in [`Server::stats_for`];
+    /// `None` is the anonymous tenant (unbounded, aggregated globally only).
+    pub tenant: Option<String>,
+    /// Scheduling priority — higher values dispatch first under
+    /// [`SchedulingPolicy::PriorityDeadline`]. Default 0.
+    pub priority: i32,
+    /// Relative deadline, measured from submission. A request still queued
+    /// when it expires resolves to [`ServeError::DeadlineExceeded`] without
+    /// executing; one caught mid-execution is aborted cooperatively.
+    pub deadline: Option<Duration>,
+    /// Collect the concatenated output rows into [`QueryOutput::rows`]
+    /// (spec requests only; the differential-testing mode of the server
+    /// oracle).
+    pub collect_rows: bool,
+    /// Execution-configuration override for this request; `None` uses the
+    /// engine's default configuration.
+    pub exec_config: Option<ExecConfig>,
+}
+
+/// One unit of work for [`Server::submit`]: what to run (a query spec with
+/// optional parameters, or a hand-built plan), which optimizer plans it, and
+/// its [`QueryOptions`]. Built with [`Request::builder`].
+#[derive(Debug, Clone)]
+pub struct Request {
+    statement: Statement,
+    choice: OptimizerChoice,
+    options: QueryOptions,
+}
+
+impl Request {
+    /// Starts building a request.
+    pub fn builder() -> RequestBuilder {
+        RequestBuilder::default()
+    }
+
+    /// The request's scheduling/execution options.
+    pub fn options(&self) -> &QueryOptions {
+        &self.options
+    }
+}
+
+/// Builder for [`Request`] — the single submit surface of the server.
+///
+/// Exactly one statement source is required: [`RequestBuilder::query`]
+/// (optionally with [`RequestBuilder::params`]) or [`RequestBuilder::plan`].
+#[derive(Debug)]
+pub struct RequestBuilder {
+    statement: Option<Statement>,
+    params: Option<Params>,
+    choice: OptimizerChoice,
+    options: QueryOptions,
+}
+
+impl Default for RequestBuilder {
+    fn default() -> Self {
+        RequestBuilder {
+            statement: None,
+            params: None,
+            choice: OptimizerChoice::Bqo,
+            options: QueryOptions::default(),
+        }
+    }
+}
+
+impl RequestBuilder {
+    /// Runs a (possibly parameterized) query spec, planned through the
+    /// engine's plan cache on the dispatcher. Replaces any previously set
+    /// statement.
+    pub fn query(mut self, spec: &QuerySpec) -> Self {
+        self.statement = Some(Statement::Spec {
+            spec: spec.clone(),
+            params: None,
+        });
+        self
+    }
+
+    /// Parameter bindings for a template query set with
+    /// [`RequestBuilder::query`].
+    pub fn params(mut self, params: &Params) -> Self {
+        self.params = Some(params.clone());
+        self
+    }
+
+    /// Runs a hand-built physical plan (e.g. a specific join order under
+    /// study), labelled `name` in errors and stats. Replaces any previously
+    /// set statement.
+    pub fn plan(mut self, name: impl Into<String>, graph: JoinGraph, plan: PhysicalPlan) -> Self {
+        self.statement = Some(Statement::Plan {
+            name: name.into(),
+            graph,
+            plan,
+        });
+        self
+    }
+
+    /// Which optimizer plans a spec request (default
+    /// [`OptimizerChoice::Bqo`]; ignored for plan requests).
+    pub fn optimizer(mut self, choice: OptimizerChoice) -> Self {
+        self.choice = choice;
+        self
+    }
+
+    /// Accounts the request to a named tenant (see [`QueryOptions::tenant`]).
+    pub fn tenant(mut self, tenant: impl Into<String>) -> Self {
+        self.options.tenant = Some(tenant.into());
+        self
+    }
+
+    /// Scheduling priority — higher dispatches first (default 0).
+    pub fn priority(mut self, priority: i32) -> Self {
+        self.options.priority = priority;
+        self
+    }
+
+    /// Relative deadline, measured from submission (see
+    /// [`QueryOptions::deadline`]).
+    pub fn deadline(mut self, deadline: Duration) -> Self {
+        self.options.deadline = Some(deadline);
+        self
+    }
+
+    /// Collects the concatenated output rows into [`QueryOutput::rows`].
+    pub fn collect_rows(mut self) -> Self {
+        self.options.collect_rows = true;
+        self
+    }
+
+    /// Execution-configuration override for this request.
+    pub fn exec_config(mut self, config: ExecConfig) -> Self {
+        self.options.exec_config = Some(config);
+        self
+    }
+
+    /// Validates and builds the [`Request`].
+    pub fn build(self) -> Result<Request, SubmitError> {
+        let statement = match (self.statement, self.params) {
+            (None, _) => {
+                return Err(SubmitError::InvalidRequest {
+                    reason: "a request needs a query or a plan",
+                })
+            }
+            (Some(Statement::Plan { .. }), Some(_)) => {
+                return Err(SubmitError::InvalidRequest {
+                    reason: "parameters apply only to query-spec requests",
+                })
+            }
+            (Some(Statement::Spec { spec, .. }), params) => Statement::Spec { spec, params },
+            (Some(plan), None) => plan,
+        };
+        Ok(Request {
+            statement,
+            choice: self.choice,
+            options: self.options,
+        })
     }
 }
 
@@ -150,6 +359,13 @@ pub enum SubmitError {
         /// The configured [`ServerConfig::queue_capacity`].
         capacity: usize,
     },
+    /// The request's tenant is at its [`TenantQuota::max_queued`] bound.
+    TenantQuotaExceeded,
+    /// The request was malformed (see [`Request::builder`]).
+    InvalidRequest {
+        /// What was wrong with the request.
+        reason: &'static str,
+    },
     /// The server is shutting down (or already shut down).
     ShutDown,
 }
@@ -160,6 +376,10 @@ impl std::fmt::Display for SubmitError {
             SubmitError::QueueFull { capacity } => {
                 write!(f, "server queue is full ({capacity} pending requests)")
             }
+            SubmitError::TenantQuotaExceeded => {
+                write!(f, "tenant is at its queued-request quota")
+            }
+            SubmitError::InvalidRequest { reason } => write!(f, "invalid request: {reason}"),
             SubmitError::ShutDown => write!(f, "server is shut down"),
         }
     }
@@ -176,8 +396,22 @@ pub enum ServeError {
     /// Execution panicked on the dispatcher; the payload's message. The
     /// dispatcher survived and keeps serving other requests.
     Panicked(String),
-    /// The request was cancelled before execution started.
-    Cancelled,
+    /// The request was cancelled via [`Ticket::cancel`]. `partial` carries
+    /// the metrics a mid-flight cancellation accumulated before the abort
+    /// (`None` when the request never started).
+    Cancelled {
+        /// Metrics gathered before the abort, for requests cancelled
+        /// mid-execution.
+        partial: Option<ExecutionMetrics>,
+    },
+    /// The request's own [`QueryOptions::deadline`] expired — while queued
+    /// (`partial` is `None`) or mid-execution (`partial` carries the work
+    /// done before the abort).
+    DeadlineExceeded {
+        /// Metrics gathered before the abort, for requests aborted
+        /// mid-execution.
+        partial: Option<ExecutionMetrics>,
+    },
     /// [`Ticket::wait`]'s bound elapsed before the request finished. The
     /// request keeps running; a later wait can still collect its result.
     TimedOut,
@@ -188,7 +422,15 @@ impl std::fmt::Display for ServeError {
         match self {
             ServeError::Query(e) => write!(f, "{e}"),
             ServeError::Panicked(msg) => write!(f, "query execution panicked: {msg}"),
-            ServeError::Cancelled => write!(f, "request was cancelled before it started"),
+            ServeError::Cancelled { partial: None } => {
+                write!(f, "request was cancelled before it started")
+            }
+            ServeError::Cancelled { partial: Some(_) } => {
+                write!(f, "request was cancelled mid-execution")
+            }
+            ServeError::DeadlineExceeded { .. } => {
+                write!(f, "request deadline exceeded")
+            }
             ServeError::TimedOut => write!(f, "timed out waiting for the request to finish"),
         }
     }
@@ -206,15 +448,13 @@ impl std::error::Error for ServeError {
 /// The result of one served request.
 #[derive(Debug, Clone)]
 pub struct QueryOutput {
-    /// Row count and execution metrics (as returned by [`Session::run`]).
-    ///
-    /// [`Session::run`]: crate::Session::run
+    /// Row count and execution metrics.
     pub result: QueryResult,
     /// Concatenated output rows, when requested via
-    /// [`SubmitOptions::collect_rows`] (spec submissions only).
+    /// [`QueryOptions::collect_rows`] (spec requests only).
     pub rows: Option<Batch>,
     /// How the plan was obtained from the plan cache (`None` for hand-built
-    /// plans submitted through [`Server::submit_plan`]).
+    /// plan requests).
     pub cache_status: Option<CacheStatus>,
     /// Time the request spent queued before a dispatcher picked it up.
     pub queue_wait: Duration,
@@ -223,6 +463,7 @@ pub struct QueryOutput {
 }
 
 /// What a queued request executes.
+#[derive(Debug, Clone)]
 enum Statement {
     /// A (possibly parameterized) query spec, planned through the engine's
     /// plan cache on the dispatcher.
@@ -257,23 +498,38 @@ impl TicketShared {
         }
     }
 
-    fn finish(&self, outcome: Result<QueryOutput, ServeError>) {
+    /// Resolves the ticket unless it already is — the first outcome wins
+    /// (e.g. a cancel racing the dispatcher's deadline sweep). Returns
+    /// whether this call resolved it.
+    fn finish(&self, outcome: Result<QueryOutput, ServeError>) -> bool {
         let mut phase = self.phase.lock().expect("ticket poisoned");
+        if matches!(*phase, TicketPhase::Finished(_)) {
+            return false;
+        }
         *phase = TicketPhase::Finished(outcome);
         self.done.notify_all();
+        true
     }
 }
 
 /// A join-handle for one submitted request: wait for the output (with an
-/// optional bound), poll, or cancel it before it starts. Dropping a ticket
-/// detaches from the request — it still executes.
+/// optional bound), poll, or cancel it — queued *or* mid-flight. Dropping a
+/// ticket detaches from the request — it still executes.
 pub struct Ticket {
     shared: Arc<TicketShared>,
     default_timeout: Option<Duration>,
-    /// Back-reference for [`Ticket::cancel`]: a cancelled request is removed
-    /// from the server queue immediately, so it frees its admission slot.
-    /// Weak so outstanding tickets never keep a shut-down server alive.
-    server: std::sync::Weak<ServerShared>,
+    /// Back-reference for [`Ticket::cancel`] and deadline-expiry resolution:
+    /// a cancelled/expired queued request is removed from the server queue
+    /// immediately, freeing its admission slot. Weak so outstanding tickets
+    /// never keep a shut-down server alive.
+    server: Weak<ServerShared>,
+    /// The request's cancel token — fired by [`Ticket::cancel`] on a running
+    /// request; execution notices at its next morsel claim or batch pull.
+    cancel: CancelToken,
+    /// The request's absolute deadline, if it has one.
+    deadline: Option<Instant>,
+    /// The request's tenant, for per-tenant accounting on cancel/expiry.
+    tenant: Option<String>,
 }
 
 impl std::fmt::Debug for Ticket {
@@ -294,7 +550,10 @@ impl Ticket {
         self.wait_deadline(self.default_timeout.map(|t| Instant::now() + t))
     }
 
-    /// Blocks until the request finishes or `timeout` elapses.
+    /// Blocks until the request finishes or `timeout` elapses. A request
+    /// whose own deadline has already passed while still queued resolves to
+    /// [`ServeError::DeadlineExceeded`] immediately instead of blocking for
+    /// the full bound.
     pub fn wait_timeout(&self, timeout: Duration) -> Result<QueryOutput, ServeError> {
         self.wait_deadline(Some(Instant::now() + timeout))
     }
@@ -305,16 +564,42 @@ impl Ticket {
             if let TicketPhase::Finished(outcome) = &*phase {
                 return outcome.clone();
             }
-            phase = match deadline {
+            let queued = matches!(*phase, TicketPhase::Queued);
+            // A queued request whose own deadline already passed can never
+            // produce output — resolve it now instead of blocking the caller
+            // (the dispatcher sweep would do the same at its next dispatch).
+            if queued && self.deadline.is_some_and(|d| Instant::now() >= d) {
+                let outcome = Err(ServeError::DeadlineExceeded { partial: None });
+                *phase = TicketPhase::Finished(outcome.clone());
+                self.shared.done.notify_all();
+                drop(phase);
+                self.discard_expired_entry();
+                return outcome;
+            }
+            // Wake at the earlier of the caller's bound and (while queued)
+            // the request's own deadline. A running request needs no
+            // deadline wake-up: the executor aborts it via the cancel token
+            // and the dispatcher resolves the ticket.
+            let request_deadline = if queued { self.deadline } else { None };
+            let wake = match (deadline, request_deadline) {
+                (Some(a), Some(b)) => Some(a.min(b)),
+                (a, b) => a.or(b),
+            };
+            phase = match wake {
                 None => self.shared.done.wait(phase).expect("ticket poisoned"),
-                Some(deadline) => {
+                Some(wake) => {
                     let now = Instant::now();
-                    if now >= deadline {
-                        return Err(ServeError::TimedOut);
+                    if now >= wake {
+                        if deadline.is_some_and(|d| now >= d) {
+                            return Err(ServeError::TimedOut);
+                        }
+                        // Only the request's own deadline passed; the loop
+                        // re-checks it and resolves the ticket.
+                        continue;
                     }
                     self.shared
                         .done
-                        .wait_timeout(phase, deadline - now)
+                        .wait_timeout(phase, wake - now)
                         .expect("ticket poisoned")
                         .0
                 }
@@ -339,40 +624,99 @@ impl Ticket {
         )
     }
 
-    /// Cancels the request if it has not started executing yet. Returns
-    /// `true` on success (subsequent waits see [`ServeError::Cancelled`]);
-    /// `false` if the request is already running or finished — execution is
-    /// never interrupted mid-flight. A cancelled request is removed from the
-    /// server queue at once: its admission slot frees up immediately, not
-    /// when a dispatcher would have reached it.
+    /// Cancels the request. A *queued* request resolves to
+    /// [`ServeError::Cancelled`] immediately and frees its admission slot. A
+    /// *running* request is aborted cooperatively: its cancel token fires,
+    /// execution stops within roughly one morsel, and the ticket resolves to
+    /// [`ServeError::Cancelled`] carrying the partial metrics. Returns `true`
+    /// if cancellation was initiated (or the abort is in flight), `false` if
+    /// the request already finished.
     pub fn cancel(&self) -> bool {
-        {
-            let mut phase = self.shared.phase.lock().expect("ticket poisoned");
-            if !matches!(*phase, TicketPhase::Queued) {
-                return false;
-            }
-            *phase = TicketPhase::Finished(Err(ServeError::Cancelled));
-            self.shared.done.notify_all();
+        enum Was {
+            Queued,
+            Running,
         }
-        if let Some(server) = self.server.upgrade() {
-            // Drop the queued entry (it may already be gone if a dispatcher
-            // popped it in the meantime — serve_one skips finished tickets).
-            let mut state = server.state.lock().expect("server queue poisoned");
-            state
-                .queue
-                .retain(|request| !Arc::ptr_eq(&request.ticket, &self.shared));
-            server.counters.cancelled.fetch_add(1, Ordering::Relaxed);
+        let was = {
+            let mut phase = self.shared.phase.lock().expect("ticket poisoned");
+            match &*phase {
+                TicketPhase::Finished(_) => return false,
+                TicketPhase::Queued => {
+                    *phase = TicketPhase::Finished(Err(ServeError::Cancelled { partial: None }));
+                    self.shared.done.notify_all();
+                    Was::Queued
+                }
+                TicketPhase::Running => Was::Running,
+            }
+        };
+        match was {
+            Was::Queued => {
+                if let Some(server) = self.server.upgrade() {
+                    {
+                        let mut state = server.state.lock().expect("server queue poisoned");
+                        state.remove_queued(&self.shared);
+                    }
+                    server.counters.cancelled.fetch_add(1, Ordering::Relaxed);
+                    if let Some(tenant) = self.tenant.as_deref() {
+                        server
+                            .tenant_cell(tenant)
+                            .cancelled
+                            .fetch_add(1, Ordering::Relaxed);
+                    }
+                }
+            }
+            // The dispatcher owns the accounting for a mid-flight abort: it
+            // resolves the ticket (with partial metrics) when execution
+            // notices the token.
+            Was::Running => self.cancel.cancel(),
         }
         true
+    }
+
+    /// Removes this ticket's entry from the server queue after its deadline
+    /// was found expired by [`Ticket::wait_deadline`] (which already resolved
+    /// the ticket).
+    fn discard_expired_entry(&self) {
+        if let Some(server) = self.server.upgrade() {
+            {
+                let mut state = server.state.lock().expect("server queue poisoned");
+                state.remove_queued(&self.shared);
+            }
+            server
+                .counters
+                .deadline_expired
+                .fetch_add(1, Ordering::Relaxed);
+            if let Some(tenant) = self.tenant.as_deref() {
+                server
+                    .tenant_cell(tenant)
+                    .deadline_expired
+                    .fetch_add(1, Ordering::Relaxed);
+            }
+        }
     }
 }
 
 struct QueuedRequest {
     statement: Statement,
     choice: OptimizerChoice,
-    options: SubmitOptions,
+    options: QueryOptions,
+    /// Absolute deadline derived from [`QueryOptions::deadline`] at
+    /// submission.
+    deadline: Option<Instant>,
+    /// The request's cancel token (deadline baked in), cloned into the
+    /// executor by the dispatcher.
+    cancel: CancelToken,
+    /// Submission sequence number — the FIFO tiebreak.
+    seq: u64,
     ticket: Arc<TicketShared>,
     submitted: Instant,
+}
+
+/// Live queued/running counts for one tenant (entries are dropped when both
+/// reach zero).
+#[derive(Default)]
+struct TenantUsage {
+    queued: usize,
+    running: usize,
 }
 
 struct QueueState {
@@ -380,6 +724,143 @@ struct QueueState {
     accepting: bool,
     paused: bool,
     running: usize,
+    usage: HashMap<String, TenantUsage>,
+    next_seq: u64,
+}
+
+impl QueueState {
+    /// Books a request out of the queue without dispatching it
+    /// (cancellation / deadline expiry).
+    fn note_dequeued(&mut self, request: &QueuedRequest) {
+        if let Some(tenant) = request.options.tenant.as_deref() {
+            if let Some(usage) = self.usage.get_mut(tenant) {
+                usage.queued = usage.queued.saturating_sub(1);
+                if usage.queued == 0 && usage.running == 0 {
+                    self.usage.remove(tenant);
+                }
+            }
+        }
+    }
+
+    /// Books a request out of the queue and into execution.
+    fn note_dispatched(&mut self, request: &QueuedRequest) {
+        self.running += 1;
+        if let Some(tenant) = request.options.tenant.as_deref() {
+            let usage = self.usage.entry(tenant.to_string()).or_default();
+            usage.queued = usage.queued.saturating_sub(1);
+            usage.running += 1;
+        }
+    }
+
+    /// Books a dispatched request's completion.
+    fn note_finished(&mut self, tenant: Option<&str>) {
+        self.running -= 1;
+        if let Some(tenant) = tenant {
+            if let Some(usage) = self.usage.get_mut(tenant) {
+                usage.running = usage.running.saturating_sub(1);
+                if usage.queued == 0 && usage.running == 0 {
+                    self.usage.remove(tenant);
+                }
+            }
+        }
+    }
+
+    /// Removes the queue entry owned by `ticket`, if still present, with
+    /// usage bookkeeping.
+    fn remove_queued(&mut self, ticket: &Arc<TicketShared>) {
+        if let Some(pos) = self
+            .queue
+            .iter()
+            .position(|r| Arc::ptr_eq(&r.ticket, ticket))
+        {
+            let request = self.queue.remove(pos).expect("position in bounds");
+            self.note_dequeued(&request);
+        }
+    }
+}
+
+/// Fixed power-of-two-microsecond latency buckets with atomic counters:
+/// `record` is lock-free, `snapshot` derives approximate p50/p95/p99 (each
+/// reported as its bucket's upper bound).
+struct LatencyHistogram {
+    /// `buckets[b]` counts samples with `2^(b-1) <= micros < 2^b`
+    /// (bucket 0: sub-microsecond; the last bucket is the overflow).
+    buckets: [AtomicU64; LatencyHistogram::BUCKETS],
+    total_nanos: AtomicU64,
+    max_nanos: AtomicU64,
+}
+
+impl LatencyHistogram {
+    /// 32 power-of-two buckets reach ~2^31 µs ≈ 36 minutes before clamping.
+    const BUCKETS: usize = 32;
+
+    fn new() -> Self {
+        LatencyHistogram {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            total_nanos: AtomicU64::new(0),
+            max_nanos: AtomicU64::new(0),
+        }
+    }
+
+    fn record(&self, sample: Duration) {
+        let micros = u64::try_from(sample.as_micros()).unwrap_or(u64::MAX);
+        let bucket = (64 - micros.leading_zeros() as usize).min(Self::BUCKETS - 1);
+        self.buckets[bucket].fetch_add(1, Ordering::Relaxed);
+        let nanos = u64::try_from(sample.as_nanos()).unwrap_or(u64::MAX);
+        self.total_nanos.fetch_add(nanos, Ordering::Relaxed);
+        self.max_nanos.fetch_max(nanos, Ordering::Relaxed);
+    }
+
+    fn snapshot(&self) -> LatencyStats {
+        let counts: Vec<u64> = self
+            .buckets
+            .iter()
+            .map(|b| b.load(Ordering::Relaxed))
+            .collect();
+        let count: u64 = counts.iter().sum();
+        if count == 0 {
+            return LatencyStats::default();
+        }
+        let quantile = |q: f64| -> Duration {
+            let target = ((q * count as f64).ceil() as u64).clamp(1, count);
+            let mut seen = 0u64;
+            for (bucket, &n) in counts.iter().enumerate() {
+                seen += n;
+                if seen >= target {
+                    // Upper bound of bucket b is 2^b µs (bucket 0: 1 µs).
+                    return Duration::from_micros(1u64 << bucket.min(63));
+                }
+            }
+            Duration::from_micros(1u64 << (Self::BUCKETS - 1))
+        };
+        LatencyStats {
+            count,
+            mean: Duration::from_nanos(self.total_nanos.load(Ordering::Relaxed) / count),
+            max: Duration::from_nanos(self.max_nanos.load(Ordering::Relaxed)),
+            p50: quantile(0.50),
+            p95: quantile(0.95),
+            p99: quantile(0.99),
+        }
+    }
+}
+
+/// A point-in-time latency summary derived from a server histogram. The
+/// quantiles are approximate: each is the upper bound of its power-of-two
+/// microsecond bucket.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct LatencyStats {
+    /// Samples recorded.
+    pub count: u64,
+    /// Exact arithmetic mean.
+    pub mean: Duration,
+    /// Exact maximum.
+    pub max: Duration,
+    /// Approximate median.
+    pub p50: Duration,
+    /// Approximate 95th percentile.
+    pub p95: Duration,
+    /// Approximate 99th percentile.
+    pub p99: Duration,
 }
 
 #[derive(Default)]
@@ -388,19 +869,64 @@ struct ServerCounters {
     completed: AtomicU64,
     rejected: AtomicU64,
     cancelled: AtomicU64,
+    deadline_expired: AtomicU64,
     failed: AtomicU64,
     panicked: AtomicU64,
     total_wall_nanos: AtomicU64,
+}
+
+/// Monotonic per-tenant counters and histograms (live queued/running counts
+/// come from the queue state).
+struct TenantCell {
+    admitted: AtomicU64,
+    completed: AtomicU64,
+    rejected: AtomicU64,
+    cancelled: AtomicU64,
+    deadline_expired: AtomicU64,
+    failed: AtomicU64,
+    queue_wait: LatencyHistogram,
+    run_time: LatencyHistogram,
+}
+
+impl TenantCell {
+    fn new() -> Self {
+        TenantCell {
+            admitted: AtomicU64::new(0),
+            completed: AtomicU64::new(0),
+            rejected: AtomicU64::new(0),
+            cancelled: AtomicU64::new(0),
+            deadline_expired: AtomicU64::new(0),
+            failed: AtomicU64::new(0),
+            queue_wait: LatencyHistogram::new(),
+            run_time: LatencyHistogram::new(),
+        }
+    }
 }
 
 struct ServerShared {
     engine: Engine,
     config: ServerConfig,
     state: Mutex<QueueState>,
-    /// Dispatchers park here while the queue is empty (or the server is
-    /// paused).
+    /// Dispatchers park here while no request is dispatchable (queue empty,
+    /// server paused, or every queued tenant at its concurrency quota).
     work: Condvar,
     counters: ServerCounters,
+    queue_wait: LatencyHistogram,
+    run_time: LatencyHistogram,
+    /// Per-tenant stats cells, created on first touch. Lock order: may be
+    /// taken while holding `state`, never the other way around.
+    tenants: Mutex<HashMap<String, Arc<TenantCell>>>,
+}
+
+impl ServerShared {
+    fn tenant_cell(&self, tenant: &str) -> Arc<TenantCell> {
+        let mut tenants = self.tenants.lock().expect("tenant stats poisoned");
+        Arc::clone(
+            tenants
+                .entry(tenant.to_string())
+                .or_insert_with(|| Arc::new(TenantCell::new())),
+        )
+    }
 }
 
 /// A point-in-time snapshot of a server's traffic counters, as returned by
@@ -411,10 +937,12 @@ pub struct ServerStats {
     pub admitted: u64,
     /// Requests that finished with a [`QueryOutput`].
     pub completed: u64,
-    /// Submissions rejected (queue full or server shut down).
+    /// Submissions rejected (queue full, tenant quota, or shut down).
     pub rejected: u64,
-    /// Admitted requests cancelled before execution started.
+    /// Admitted requests cancelled — while queued or mid-flight.
     pub cancelled: u64,
+    /// Admitted requests dropped or aborted because their deadline expired.
+    pub deadline_expired: u64,
     /// Admitted requests that failed planning or execution.
     pub failed: u64,
     /// Admitted requests whose execution panicked (contained per request).
@@ -425,6 +953,36 @@ pub struct ServerStats {
     pub running: usize,
     /// Cumulative submit-to-completion wall time over completed requests.
     pub total_wall: Duration,
+    /// Queue-wait latency distribution over dispatched requests.
+    pub queue_wait: LatencyStats,
+    /// Execution-time distribution over completed requests.
+    pub run_time: LatencyStats,
+}
+
+/// A point-in-time snapshot of one tenant's traffic, as returned by
+/// [`Server::stats_for`]. Unknown tenants report all zeros.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct TenantStats {
+    /// Requests this tenant got admitted.
+    pub admitted: u64,
+    /// Requests that finished with a [`QueryOutput`].
+    pub completed: u64,
+    /// Submissions rejected by the tenant quota.
+    pub rejected: u64,
+    /// Requests cancelled — while queued or mid-flight.
+    pub cancelled: u64,
+    /// Requests dropped or aborted because their deadline expired.
+    pub deadline_expired: u64,
+    /// Requests that failed planning or execution.
+    pub failed: u64,
+    /// Requests currently waiting in the queue.
+    pub queued: usize,
+    /// Requests currently executing.
+    pub running: usize,
+    /// Queue-wait latency distribution over dispatched requests.
+    pub queue_wait: LatencyStats,
+    /// Execution-time distribution over completed requests.
+    pub run_time: LatencyStats,
 }
 
 /// Owner of the dispatcher threads: joined at [`Server::shutdown`] or when
@@ -456,7 +1014,7 @@ impl Drop for ServerOwner {
     }
 }
 
-/// The admission-controlled serving front end (see the [module docs](self)).
+/// The multi-tenant serving front end (see the [module docs](self)).
 /// Cloning a `Server` is a cheap handle copy; all clones share the queue,
 /// dispatchers and counters. The dispatchers are joined at the first
 /// [`Server::shutdown`] (or when the last handle drops).
@@ -491,9 +1049,14 @@ impl Server {
                 accepting: true,
                 paused: false,
                 running: 0,
+                usage: HashMap::new(),
+                next_seq: 0,
             }),
             work: Condvar::new(),
             counters: ServerCounters::default(),
+            queue_wait: LatencyHistogram::new(),
+            run_time: LatencyHistogram::new(),
+            tenants: Mutex::new(HashMap::new()),
         });
         let handles = (0..config.max_concurrent_queries)
             .map(|i| {
@@ -523,63 +1086,24 @@ impl Server {
         self.shared.config
     }
 
-    /// Submits a (possibly parameterized) query for execution: `params` must
-    /// be `Some` for templates with placeholders and may be `None` for
-    /// literal specs. Returns the request's [`Ticket`] immediately, or a
-    /// [`SubmitError`] when admission control rejects the request.
-    pub fn submit(
-        &self,
-        spec: &QuerySpec,
-        params: Option<&Params>,
-        choice: OptimizerChoice,
-    ) -> Result<Ticket, SubmitError> {
-        self.submit_with(spec, params, choice, SubmitOptions::default())
-    }
-
-    /// [`Server::submit`] with per-request [`SubmitOptions`] (execution
-    /// configuration override, output-row collection).
-    pub fn submit_with(
-        &self,
-        spec: &QuerySpec,
-        params: Option<&Params>,
-        choice: OptimizerChoice,
-        options: SubmitOptions,
-    ) -> Result<Ticket, SubmitError> {
-        self.enqueue(
-            Statement::Spec {
-                spec: spec.clone(),
-                params: params.cloned(),
-            },
+    /// Submits a [`Request`] (built with [`Request::builder`]) for
+    /// execution. Returns the request's [`Ticket`] immediately, or a
+    /// [`SubmitError`] when admission control rejects it: the server is shut
+    /// down, the queue is full, or the request's tenant is at its
+    /// [`TenantQuota::max_queued`] bound.
+    pub fn submit(&self, request: Request) -> Result<Ticket, SubmitError> {
+        let Request {
+            statement,
             choice,
             options,
-        )
-    }
-
-    /// Submits a hand-built physical plan (e.g. a specific join order under
-    /// study), labelled `name` in errors and stats.
-    pub fn submit_plan(
-        &self,
-        name: impl Into<String>,
-        graph: JoinGraph,
-        plan: PhysicalPlan,
-    ) -> Result<Ticket, SubmitError> {
-        self.enqueue(
-            Statement::Plan {
-                name: name.into(),
-                graph,
-                plan,
-            },
-            OptimizerChoice::Bqo,
-            SubmitOptions::default(),
-        )
-    }
-
-    fn enqueue(
-        &self,
-        statement: Statement,
-        choice: OptimizerChoice,
-        options: SubmitOptions,
-    ) -> Result<Ticket, SubmitError> {
+        } = request;
+        let tenant = options.tenant.clone();
+        let submitted = Instant::now();
+        let deadline = options.deadline.map(|d| submitted + d);
+        let cancel = match deadline {
+            Some(d) => CancelToken::with_deadline(d),
+            None => CancelToken::new(),
+        };
         let ticket = Arc::new(TicketShared::new());
         {
             let mut state = self.shared.state.lock().expect("server queue poisoned");
@@ -599,23 +1123,56 @@ impl Server {
                     capacity: self.shared.config.queue_capacity,
                 });
             }
+            if let (Some(quota), Some(tenant)) =
+                (&self.shared.config.tenant_quota, tenant.as_deref())
+            {
+                let queued = state.usage.get(tenant).map_or(0, |u| u.queued);
+                if queued >= quota.max_queued {
+                    self.shared
+                        .counters
+                        .rejected
+                        .fetch_add(1, Ordering::Relaxed);
+                    self.shared
+                        .tenant_cell(tenant)
+                        .rejected
+                        .fetch_add(1, Ordering::Relaxed);
+                    return Err(SubmitError::TenantQuotaExceeded);
+                }
+            }
+            let seq = state.next_seq;
+            state.next_seq += 1;
+            if let Some(tenant) = tenant.as_deref() {
+                state.usage.entry(tenant.to_string()).or_default().queued += 1;
+            }
             state.queue.push_back(QueuedRequest {
                 statement,
                 choice,
                 options,
+                deadline,
+                cancel: cancel.clone(),
+                seq,
                 ticket: Arc::clone(&ticket),
-                submitted: Instant::now(),
+                submitted,
             });
             self.shared
                 .counters
                 .admitted
                 .fetch_add(1, Ordering::Relaxed);
+            if let Some(tenant) = tenant.as_deref() {
+                self.shared
+                    .tenant_cell(tenant)
+                    .admitted
+                    .fetch_add(1, Ordering::Relaxed);
+            }
         }
         self.shared.work.notify_one();
         Ok(Ticket {
             shared: ticket,
             default_timeout: self.shared.config.default_timeout,
             server: Arc::downgrade(&self.shared),
+            cancel,
+            deadline,
+            tenant,
         })
     }
 
@@ -637,7 +1194,8 @@ impl Server {
         self.shared.work.notify_all();
     }
 
-    /// A point-in-time snapshot of the server's counters and occupancy.
+    /// A point-in-time snapshot of the server's counters, occupancy and
+    /// latency histograms.
     pub fn stats(&self) -> ServerStats {
         let (queue_depth, running) = {
             let state = self.shared.state.lock().expect("server queue poisoned");
@@ -649,11 +1207,50 @@ impl Server {
             completed: c.completed.load(Ordering::Relaxed),
             rejected: c.rejected.load(Ordering::Relaxed),
             cancelled: c.cancelled.load(Ordering::Relaxed),
+            deadline_expired: c.deadline_expired.load(Ordering::Relaxed),
             failed: c.failed.load(Ordering::Relaxed),
             panicked: c.panicked.load(Ordering::Relaxed),
             queue_depth,
             running,
             total_wall: Duration::from_nanos(c.total_wall_nanos.load(Ordering::Relaxed)),
+            queue_wait: self.shared.queue_wait.snapshot(),
+            run_time: self.shared.run_time.snapshot(),
+        }
+    }
+
+    /// A point-in-time snapshot of one tenant's counters, occupancy and
+    /// latency histograms. A tenant the server has never seen reports all
+    /// zeros.
+    pub fn stats_for(&self, tenant: &str) -> TenantStats {
+        let (queued, running) = {
+            let state = self.shared.state.lock().expect("server queue poisoned");
+            state
+                .usage
+                .get(tenant)
+                .map_or((0, 0), |u| (u.queued, u.running))
+        };
+        let cell = {
+            let tenants = self.shared.tenants.lock().expect("tenant stats poisoned");
+            tenants.get(tenant).cloned()
+        };
+        match cell {
+            Some(cell) => TenantStats {
+                admitted: cell.admitted.load(Ordering::Relaxed),
+                completed: cell.completed.load(Ordering::Relaxed),
+                rejected: cell.rejected.load(Ordering::Relaxed),
+                cancelled: cell.cancelled.load(Ordering::Relaxed),
+                deadline_expired: cell.deadline_expired.load(Ordering::Relaxed),
+                failed: cell.failed.load(Ordering::Relaxed),
+                queued,
+                running,
+                queue_wait: cell.queue_wait.snapshot(),
+                run_time: cell.run_time.snapshot(),
+            },
+            None => TenantStats {
+                queued,
+                running,
+                ..TenantStats::default()
+            },
         }
     }
 
@@ -666,6 +1263,86 @@ impl Server {
     }
 }
 
+/// Resolves and removes every queued request whose deadline has passed.
+/// Called under the state lock at each dispatch.
+fn expire_queued(shared: &ServerShared, state: &mut QueueState) {
+    let now = Instant::now();
+    let mut i = 0;
+    while i < state.queue.len() {
+        if state.queue[i].deadline.is_some_and(|d| d <= now) {
+            let request = state.queue.remove(i).expect("index in bounds");
+            state.note_dequeued(&request);
+            // finish() may lose to a concurrent cancel or a waiter's own
+            // expiry check; whoever wins books the counter.
+            if request
+                .ticket
+                .finish(Err(ServeError::DeadlineExceeded { partial: None }))
+            {
+                shared
+                    .counters
+                    .deadline_expired
+                    .fetch_add(1, Ordering::Relaxed);
+                if let Some(tenant) = request.options.tenant.as_deref() {
+                    shared
+                        .tenant_cell(tenant)
+                        .deadline_expired
+                        .fetch_add(1, Ordering::Relaxed);
+                }
+            }
+        } else {
+            i += 1;
+        }
+    }
+}
+
+/// Index of the next dispatchable queued request under the configured
+/// policy, or `None` when nothing is eligible (empty queue or every queued
+/// tenant at its concurrency quota).
+fn pick_next(config: &ServerConfig, state: &QueueState) -> Option<usize> {
+    let eligible = |request: &QueuedRequest| -> bool {
+        match (&config.tenant_quota, request.options.tenant.as_deref()) {
+            (Some(quota), Some(tenant)) => state
+                .usage
+                .get(tenant)
+                .is_none_or(|u| u.running < quota.max_concurrent),
+            _ => true,
+        }
+    };
+    match config.policy {
+        SchedulingPolicy::Fifo => state.queue.iter().position(eligible),
+        SchedulingPolicy::PriorityDeadline => {
+            let mut best: Option<(usize, &QueuedRequest)> = None;
+            for (i, request) in state.queue.iter().enumerate() {
+                if !eligible(request) {
+                    continue;
+                }
+                let beats = match best {
+                    None => true,
+                    Some((_, cur)) => beats(request, cur),
+                };
+                if beats {
+                    best = Some((i, request));
+                }
+            }
+            best.map(|(i, _)| i)
+        }
+    }
+}
+
+/// Whether `a` should dispatch before `b`: higher priority, then earlier
+/// deadline (no deadline sorts last), then submission order.
+fn beats(a: &QueuedRequest, b: &QueuedRequest) -> bool {
+    if a.options.priority != b.options.priority {
+        return a.options.priority > b.options.priority;
+    }
+    match (a.deadline, b.deadline) {
+        (Some(da), Some(db)) if da != db => da < db,
+        (Some(_), None) => true,
+        (None, Some(_)) => false,
+        _ => a.seq < b.seq,
+    }
+}
+
 fn dispatcher_loop(shared: Arc<ServerShared>) {
     loop {
         let request = {
@@ -674,20 +1351,28 @@ fn dispatcher_loop(shared: Arc<ServerShared>) {
                 // A paused server holds requests in the queue — unless it is
                 // shutting down, in which case draining wins.
                 if !state.paused || !state.accepting {
-                    if let Some(request) = state.queue.pop_front() {
-                        state.running += 1;
+                    expire_queued(&shared, &mut state);
+                    if let Some(index) = pick_next(&shared.config, &state) {
+                        let request = state.queue.remove(index).expect("picked index exists");
+                        state.note_dispatched(&request);
                         break request;
                     }
-                    if !state.accepting {
+                    if !state.accepting && state.queue.is_empty() {
                         return;
                     }
                 }
                 state = shared.work.wait(state).expect("server queue poisoned");
             }
         };
+        let tenant = request.options.tenant.clone();
         serve_one(&shared, request);
-        let mut state = shared.state.lock().expect("server queue poisoned");
-        state.running -= 1;
+        {
+            let mut state = shared.state.lock().expect("server queue poisoned");
+            state.note_finished(tenant.as_deref());
+        }
+        // A completion may unblock a quota-gated tenant (and, at shutdown,
+        // lets draining dispatchers re-check for exit).
+        shared.work.notify_all();
     }
 }
 
@@ -696,13 +1381,23 @@ fn serve_one(shared: &ServerShared, request: QueuedRequest) {
     {
         let mut phase = request.ticket.phase.lock().expect("ticket poisoned");
         if matches!(*phase, TicketPhase::Finished(_)) {
-            // Cancelled between pop and execution start: the ticket is
-            // already resolved (and accounted by `Ticket::cancel`) — skip.
+            // Cancelled/expired between pop and execution start: the ticket
+            // is already resolved (and accounted by whoever resolved it).
             return;
         }
         *phase = TicketPhase::Running;
     }
     let queue_wait = request.submitted.elapsed();
+    shared.queue_wait.record(queue_wait);
+    let tenant_cell = request
+        .options
+        .tenant
+        .as_deref()
+        .map(|t| shared.tenant_cell(t));
+    if let Some(cell) = &tenant_cell {
+        cell.queue_wait.record(queue_wait);
+    }
+    let run_start = Instant::now();
     // Contain panics to this request: the dispatcher thread (and the
     // engine's worker pool, which re-throws kernel panics on this thread)
     // must survive a malformed statement.
@@ -710,15 +1405,43 @@ fn serve_one(shared: &ServerShared, request: QueuedRequest) {
         Ok(Ok(mut output)) => {
             output.queue_wait = queue_wait;
             output.total_wall = request.submitted.elapsed();
+            let run_time = run_start.elapsed();
+            shared.run_time.record(run_time);
             shared.counters.completed.fetch_add(1, Ordering::Relaxed);
             shared.counters.total_wall_nanos.fetch_add(
                 u64::try_from(output.total_wall.as_nanos()).unwrap_or(u64::MAX),
                 Ordering::Relaxed,
             );
+            if let Some(cell) = &tenant_cell {
+                cell.completed.fetch_add(1, Ordering::Relaxed);
+                cell.run_time.record(run_time);
+            }
             Ok(output)
+        }
+        Ok(Err(mut e)) if e.is_cancelled() => {
+            let partial = e.take_partial_metrics();
+            if request.cancel.cancel_requested() {
+                shared.counters.cancelled.fetch_add(1, Ordering::Relaxed);
+                if let Some(cell) = &tenant_cell {
+                    cell.cancelled.fetch_add(1, Ordering::Relaxed);
+                }
+                Err(ServeError::Cancelled { partial })
+            } else {
+                shared
+                    .counters
+                    .deadline_expired
+                    .fetch_add(1, Ordering::Relaxed);
+                if let Some(cell) = &tenant_cell {
+                    cell.deadline_expired.fetch_add(1, Ordering::Relaxed);
+                }
+                Err(ServeError::DeadlineExceeded { partial })
+            }
         }
         Ok(Err(e)) => {
             shared.counters.failed.fetch_add(1, Ordering::Relaxed);
+            if let Some(cell) = &tenant_cell {
+                cell.failed.fetch_add(1, Ordering::Relaxed);
+            }
             Err(ServeError::Query(e))
         }
         Err(payload) => {
@@ -729,7 +1452,8 @@ fn serve_one(shared: &ServerShared, request: QueuedRequest) {
     request.ticket.finish(outcome);
 }
 
-/// Plans and executes one request on the dispatcher thread.
+/// Plans and executes one request on the dispatcher thread, observing the
+/// request's cancel token throughout execution.
 fn run_request(shared: &ServerShared, request: &QueuedRequest) -> Result<QueryOutput, BqoError> {
     let engine = &shared.engine;
     let config = request
@@ -742,26 +1466,29 @@ fn run_request(shared: &ServerShared, request: &QueuedRequest) -> Result<QueryOu
                 Some(params) => engine.bind(spec, params, request.choice)?,
                 None => engine.prepare(spec, request.choice)?,
             };
-            // One source of truth for the override: `config` is passed
-            // explicitly to both run variants (the session keeps the
-            // engine's defaults).
-            let session = engine.session();
-            let (result, rows) = if request.options.collect_rows {
-                let (result, rows) = session.run_with_rows(&stmt, config)?;
-                (result, Some(rows))
-            } else {
-                (session.run_with(&stmt, config)?, None)
-            };
+            let mut options = RunOptions::new()
+                .with_exec_config(config)
+                .with_cancel_token(request.cancel.clone());
+            if request.options.collect_rows {
+                options = options.collecting_rows();
+            }
+            let out = engine.session().execute(&stmt, options)?;
             Ok(QueryOutput {
-                result,
-                rows,
-                cache_status: Some(stmt.cache_status()),
+                result: out.result,
+                rows: out.rows,
+                cache_status: Some(out.cache_status),
                 queue_wait: Duration::ZERO,
                 total_wall: Duration::ZERO,
             })
         }
         Statement::Plan { name, graph, plan } => {
-            let result = engine.execute_plan_named_with(name, graph, plan, config)?;
+            let result = engine.execute_plan_request(
+                name,
+                graph,
+                plan,
+                config,
+                Some(request.cancel.clone()),
+            )?;
             Ok(QueryOutput {
                 result,
                 rows: None,
@@ -795,8 +1522,10 @@ mod tests {
     fn serving_types_are_send_sync() {
         assert_send_sync::<Server>();
         assert_send_sync::<Ticket>();
+        assert_send_sync::<Request>();
         assert_send_sync::<ServerConfig>();
         assert_send_sync::<ServerStats>();
+        assert_send_sync::<TenantStats>();
     }
 
     #[test]
@@ -807,8 +1536,15 @@ mod tests {
         assert_eq!(config.max_concurrent_queries, 1);
         assert_eq!(config.queue_capacity, 1);
         assert_eq!(config.default_timeout, None);
-        let config = config.with_default_timeout(Duration::from_millis(5));
+        assert_eq!(config.policy, SchedulingPolicy::PriorityDeadline);
+        assert_eq!(config.tenant_quota, None);
+        let config = config
+            .with_default_timeout(Duration::from_millis(5))
+            .with_policy(SchedulingPolicy::Fifo)
+            .with_tenant_quota(TenantQuota::new(0, 0));
         assert_eq!(config.default_timeout, Some(Duration::from_millis(5)));
+        assert_eq!(config.policy, SchedulingPolicy::Fifo);
+        assert_eq!(config.tenant_quota, Some(TenantQuota::new(1, 1)));
     }
 
     #[test]
@@ -816,10 +1552,26 @@ mod tests {
         let full = SubmitError::QueueFull { capacity: 7 };
         assert!(full.to_string().contains('7'));
         assert!(SubmitError::ShutDown.to_string().contains("shut down"));
+        assert!(SubmitError::TenantQuotaExceeded
+            .to_string()
+            .contains("quota"));
+        assert!(SubmitError::InvalidRequest { reason: "nope" }
+            .to_string()
+            .contains("nope"));
         assert!(ServeError::Panicked("boom".into())
             .to_string()
             .contains("boom"));
-        assert!(ServeError::Cancelled.to_string().contains("cancelled"));
+        assert!(ServeError::Cancelled { partial: None }
+            .to_string()
+            .contains("cancelled"));
+        assert!(ServeError::Cancelled {
+            partial: Some(ExecutionMetrics::new())
+        }
+        .to_string()
+        .contains("mid-execution"));
+        assert!(ServeError::DeadlineExceeded { partial: None }
+            .to_string()
+            .contains("deadline"));
         assert!(ServeError::TimedOut.to_string().contains("imed out"));
         let query = ServeError::Query(BqoError::planning(
             "q",
@@ -828,7 +1580,92 @@ mod tests {
         assert!(query.to_string().contains("`q`"));
         use std::error::Error;
         assert!(query.source().is_some());
-        assert!(ServeError::Cancelled.source().is_none());
+        assert!(ServeError::Cancelled { partial: None }.source().is_none());
+    }
+
+    #[test]
+    fn request_builder_validates_its_input() {
+        assert_eq!(
+            Request::builder().build().unwrap_err(),
+            SubmitError::InvalidRequest {
+                reason: "a request needs a query or a plan"
+            }
+        );
+        let spec = QuerySpec::new("q").table("t");
+        let request = Request::builder()
+            .query(&spec)
+            .tenant("a")
+            .priority(3)
+            .deadline(Duration::from_secs(1))
+            .build()
+            .unwrap();
+        assert_eq!(request.options().tenant.as_deref(), Some("a"));
+        assert_eq!(request.options().priority, 3);
+        assert_eq!(request.options().deadline, Some(Duration::from_secs(1)));
+        // Params on a plan request are rejected.
+        let graph = JoinGraph::new();
+        let plan =
+            PhysicalPlan::from_join_tree(&graph, &bqo_plan::JoinTree::Leaf(bqo_plan::RelId(0)));
+        let err = Request::builder()
+            .plan("p", graph, plan)
+            .params(&Params::new())
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, SubmitError::InvalidRequest { .. }));
+    }
+
+    #[test]
+    fn dispatch_order_prefers_priority_then_deadline_then_seq() {
+        fn queued(priority: i32, deadline: Option<Instant>, seq: u64) -> QueuedRequest {
+            QueuedRequest {
+                statement: Statement::Spec {
+                    spec: QuerySpec::new("q").table("t"),
+                    params: None,
+                },
+                choice: OptimizerChoice::Bqo,
+                options: QueryOptions {
+                    priority,
+                    ..QueryOptions::default()
+                },
+                deadline,
+                cancel: CancelToken::new(),
+                seq,
+                ticket: Arc::new(TicketShared::new()),
+                submitted: Instant::now(),
+            }
+        }
+        let now = Instant::now();
+        let soon = now + Duration::from_millis(10);
+        let later = now + Duration::from_secs(10);
+        // Higher priority wins regardless of order or deadline.
+        assert!(beats(&queued(1, None, 5), &queued(0, Some(soon), 1)));
+        // Same priority: earlier deadline wins; a deadline beats none.
+        assert!(beats(&queued(0, Some(soon), 5), &queued(0, Some(later), 1)));
+        assert!(beats(&queued(0, Some(later), 5), &queued(0, None, 1)));
+        // Full tie: submission order.
+        assert!(beats(&queued(0, None, 1), &queued(0, None, 2)));
+        assert!(!beats(&queued(0, None, 2), &queued(0, None, 1)));
+    }
+
+    #[test]
+    fn latency_histogram_reports_sane_quantiles() {
+        let h = LatencyHistogram::new();
+        assert_eq!(h.snapshot(), LatencyStats::default());
+        for _ in 0..99 {
+            h.record(Duration::from_micros(100));
+        }
+        h.record(Duration::from_millis(50));
+        let stats = h.snapshot();
+        assert_eq!(stats.count, 100);
+        assert_eq!(stats.max, Duration::from_millis(50));
+        // 99% of samples sit in the 64–128µs bucket; p50/p95 report its
+        // upper bound, p99 may reach into the outlier's bucket ceiling.
+        assert_eq!(stats.p50, Duration::from_micros(128));
+        assert_eq!(stats.p95, Duration::from_micros(128));
+        assert!(stats.p99 >= stats.p95);
+        assert!(stats.p99 <= Duration::from_micros(1 << 16));
+        assert!(stats.mean >= Duration::from_micros(100));
+        assert!(stats.mean <= Duration::from_millis(1));
     }
 
     #[test]

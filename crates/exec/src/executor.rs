@@ -1,13 +1,15 @@
 //! The plan executor: a thin driver over the pull-based operator pipeline.
 
 use crate::batch::Batch;
+use crate::cancel::CancelToken;
 use crate::metrics::ExecutionMetrics;
 use crate::pipeline::{ExecContext, PipelineBuilder};
 use crate::pool::WorkerPool;
 use bqo_bitvector::FilterKind;
 use bqo_plan::{JoinGraph, PhysicalPlan};
 use bqo_storage::{Catalog, StorageError};
-use std::time::Instant;
+use std::fmt;
+use std::time::{Duration, Instant};
 
 /// Default number of rows per batch pulled through the pipeline.
 pub const DEFAULT_BATCH_SIZE: usize = 4096;
@@ -48,6 +50,14 @@ pub struct ExecConfig {
     /// inputs, as the serving-throughput bench does to isolate scheduling
     /// costs. Values below 1 are treated as 1.
     pub parallel_threshold: usize,
+    /// Latency-injection knob: sleep this long inside every scan morsel
+    /// kernel. `None` (the default) adds nothing. Results and counters are
+    /// unaffected — the sleep happens before the kernel touches any rows —
+    /// so a throttled run is bit-identical to an unthrottled one, just
+    /// slower with a known per-morsel granularity. Tests and benches use it
+    /// to build deterministic long-running queries for cancellation and
+    /// scheduling scenarios.
+    pub scan_throttle: Option<Duration>,
 }
 
 impl Default for ExecConfig {
@@ -59,6 +69,7 @@ impl Default for ExecConfig {
             num_threads: 1,
             morsel_size: None,
             parallel_threshold: DEFAULT_PARALLEL_THRESHOLD,
+            scan_throttle: None,
         }
     }
 }
@@ -119,6 +130,14 @@ impl ExecConfig {
         self
     }
 
+    /// The same configuration sleeping `throttle` inside every scan morsel
+    /// kernel — the deterministic slow-query fixture for cancellation and
+    /// scheduling tests (see [`ExecConfig::scan_throttle`]).
+    pub fn with_scan_throttle(mut self, throttle: Duration) -> Self {
+        self.scan_throttle = Some(throttle);
+        self
+    }
+
     /// Number of workers worth fanning out for `rows` rows under this
     /// configuration: at most one per [`ExecConfig::parallel_threshold`]
     /// rows, capped by [`ExecConfig::num_threads`].
@@ -150,6 +169,76 @@ impl<'a> BoundPlan<'a> {
     }
 }
 
+/// Errors surfaced by the executor's run entry points.
+///
+/// Ordinary runtime failures (missing table, bad column, …) pass through as
+/// [`ExecError::Storage`]. A run aborted by its [`CancelToken`] — explicit
+/// cancel or deadline expiry — surfaces as [`ExecError::Cancelled`] carrying
+/// the metrics gathered up to the abort point, so the serving layer can
+/// report how much work a killed query performed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ExecError {
+    /// A runtime failure from storage or pipeline lowering.
+    Storage(StorageError),
+    /// The run's cancel token fired; `metrics` holds the partial counters
+    /// accumulated before execution stopped (elapsed is set to the wall time
+    /// until the abort).
+    Cancelled {
+        /// Metrics gathered before the abort.
+        metrics: Box<ExecutionMetrics>,
+    },
+}
+
+impl ExecError {
+    /// Whether this error is the cancellation variant.
+    pub fn is_cancelled(&self) -> bool {
+        matches!(self, ExecError::Cancelled { .. })
+    }
+
+    /// The partial metrics of a cancelled run, if this is the cancellation
+    /// variant.
+    pub fn partial_metrics(&self) -> Option<&ExecutionMetrics> {
+        match self {
+            ExecError::Cancelled { metrics } => Some(metrics),
+            ExecError::Storage(_) => None,
+        }
+    }
+
+    /// Collapses the error back into the underlying [`StorageError`]
+    /// (cancellation becomes `StorageError::Cancelled`), dropping any partial
+    /// metrics — for callers that only care about the failure kind.
+    pub fn into_storage_error(self) -> StorageError {
+        match self {
+            ExecError::Storage(e) => e,
+            ExecError::Cancelled { .. } => StorageError::Cancelled,
+        }
+    }
+}
+
+impl fmt::Display for ExecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ExecError::Storage(e) => e.fmt(f),
+            ExecError::Cancelled { .. } => write!(f, "execution was cancelled"),
+        }
+    }
+}
+
+impl std::error::Error for ExecError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ExecError::Storage(e) => Some(e),
+            ExecError::Cancelled { .. } => None,
+        }
+    }
+}
+
+impl From<StorageError> for ExecError {
+    fn from(e: StorageError) -> Self {
+        ExecError::Storage(e)
+    }
+}
+
 /// The result of executing one query plan.
 #[derive(Debug, Clone)]
 pub struct QueryResult {
@@ -172,6 +261,7 @@ pub struct Executor<'a> {
     catalog: &'a Catalog,
     config: ExecConfig,
     pool: Option<WorkerPool>,
+    cancel: Option<CancelToken>,
 }
 
 impl<'a> Executor<'a> {
@@ -181,6 +271,7 @@ impl<'a> Executor<'a> {
             catalog,
             config: ExecConfig::default(),
             pool: None,
+            cancel: None,
         }
     }
 
@@ -190,6 +281,7 @@ impl<'a> Executor<'a> {
             catalog,
             config,
             pool: None,
+            cancel: None,
         }
     }
 
@@ -200,6 +292,15 @@ impl<'a> Executor<'a> {
     /// counters are identical with and without a pool.
     pub fn with_worker_pool(mut self, pool: WorkerPool) -> Self {
         self.pool = Some(pool);
+        self
+    }
+
+    /// Attaches a [`CancelToken`]: the run aborts with
+    /// [`ExecError::Cancelled`] within roughly one morsel (or one serial
+    /// batch) of the token firing or its deadline passing. Without a token,
+    /// runs are uninterruptible, as before.
+    pub fn with_cancel_token(mut self, token: CancelToken) -> Self {
+        self.cancel = Some(token);
         self
     }
 
@@ -214,7 +315,7 @@ impl<'a> Executor<'a> {
         &self,
         graph: &JoinGraph,
         plan: &PhysicalPlan,
-    ) -> Result<QueryResult, StorageError> {
+    ) -> Result<QueryResult, ExecError> {
         let (result, _) = self.run(graph, plan, false)?;
         Ok(result)
     }
@@ -227,14 +328,14 @@ impl<'a> Executor<'a> {
         &self,
         graph: &JoinGraph,
         plan: &PhysicalPlan,
-    ) -> Result<(QueryResult, Batch), StorageError> {
+    ) -> Result<(QueryResult, Batch), ExecError> {
         let (result, rows) = self.run(graph, plan, true)?;
         Ok((result, rows.expect("rows were collected")))
     }
 
     /// Executes a bound statement — the entry point the serving facade in
     /// `bqo-core` drives with its owned `PreparedStatement`s.
-    pub fn execute_bound(&self, bound: BoundPlan<'_>) -> Result<QueryResult, StorageError> {
+    pub fn execute_bound(&self, bound: BoundPlan<'_>) -> Result<QueryResult, ExecError> {
         self.execute(bound.graph, bound.plan)
     }
 
@@ -243,7 +344,7 @@ impl<'a> Executor<'a> {
     pub fn execute_bound_with_rows(
         &self,
         bound: BoundPlan<'_>,
-    ) -> Result<(QueryResult, Batch), StorageError> {
+    ) -> Result<(QueryResult, Batch), ExecError> {
         self.execute_with_rows(bound.graph, bound.plan)
     }
 
@@ -252,30 +353,48 @@ impl<'a> Executor<'a> {
         graph: &JoinGraph,
         plan: &PhysicalPlan,
         collect_rows: bool,
-    ) -> Result<(QueryResult, Option<Batch>), StorageError> {
+    ) -> Result<(QueryResult, Option<Batch>), ExecError> {
         let start = Instant::now();
         let mut ctx = ExecContext::with_pool(self.config, self.pool.clone());
+        if let Some(token) = &self.cancel {
+            ctx = ctx.with_cancel_token(token.clone());
+        }
         let mut root = PipelineBuilder::new(self.catalog, graph, plan, self.config).build()?;
-        root.open(&mut ctx)?;
         let mut output_rows = 0u64;
         let mut collected = Vec::new();
-        while let Some(batch) = root.next_batch(&mut ctx)? {
-            output_rows += batch.num_rows() as u64;
-            if collect_rows {
-                collected.push(batch);
+        // Drive the pipeline, capturing the first failure instead of
+        // `?`-returning so `close` always runs and the context's partial
+        // metrics survive a cancellation.
+        let failure = (|| -> Result<(), StorageError> {
+            root.open(&mut ctx)?;
+            while let Some(batch) = root.next_batch(&mut ctx)? {
+                output_rows += batch.num_rows() as u64;
+                if collect_rows {
+                    collected.push(batch);
+                }
             }
-        }
+            Ok(())
+        })()
+        .err();
         root.close(&mut ctx);
         let mut metrics = ctx.into_metrics();
         metrics.elapsed = start.elapsed();
-        let rows = collect_rows.then(|| Batch::concat(collected));
-        Ok((
-            QueryResult {
-                output_rows,
-                metrics,
-            },
-            rows,
-        ))
+        match failure {
+            Some(StorageError::Cancelled) => Err(ExecError::Cancelled {
+                metrics: Box::new(metrics),
+            }),
+            Some(other) => Err(ExecError::Storage(other)),
+            None => {
+                let rows = collect_rows.then(|| Batch::concat(collected));
+                Ok((
+                    QueryResult {
+                        output_rows,
+                        metrics,
+                    },
+                    rows,
+                ))
+            }
+        }
     }
 }
 
@@ -286,7 +405,7 @@ pub fn execute_plan(
     graph: &JoinGraph,
     plan: &PhysicalPlan,
     config: ExecConfig,
-) -> Result<QueryResult, StorageError> {
+) -> Result<QueryResult, ExecError> {
     Executor::with_config(catalog, config).execute(graph, plan)
 }
 
@@ -687,5 +806,108 @@ mod tests {
         let result = Executor::new(&catalog).execute(&g, &plan).unwrap();
         assert_eq!(result.output_rows, 0);
         assert_eq!(result.metrics.tuples_by_kind(OperatorKind::Join), 0);
+    }
+
+    #[test]
+    fn unfired_cancel_token_changes_nothing() {
+        let catalog = tiny_catalog();
+        let (g, fact, d1, d2) = tiny_graph();
+        let tree = RightDeepTree::new(vec![fact, d1, d2]).to_join_tree();
+        let plan = push_down_bitvectors(&g, PhysicalPlan::from_join_tree(&g, &tree));
+        let plain = Executor::with_config(&catalog, ExecConfig::exact_filters())
+            .execute_with_rows(&g, &plan)
+            .unwrap();
+        let token = CancelToken::new();
+        let observed = Executor::with_config(&catalog, ExecConfig::exact_filters())
+            .with_cancel_token(token)
+            .execute_with_rows(&g, &plan)
+            .unwrap();
+        assert_eq!(observed.0.output_rows, plain.0.output_rows);
+        assert_eq!(observed.1, plain.1);
+    }
+
+    #[test]
+    fn pre_fired_token_cancels_with_partial_metrics() {
+        let catalog = tiny_catalog();
+        let (g, fact, d1, d2) = tiny_graph();
+        let tree = RightDeepTree::new(vec![fact, d1, d2]).to_join_tree();
+        let plan = push_down_bitvectors(&g, PhysicalPlan::from_join_tree(&g, &tree));
+        let token = CancelToken::new();
+        token.cancel();
+        for threads in [1usize, 4] {
+            let config = ExecConfig::exact_filters()
+                .with_num_threads(threads)
+                .with_parallel_threshold(1);
+            let err = Executor::with_config(&catalog, config)
+                .with_cancel_token(token.clone())
+                .execute(&g, &plan)
+                .unwrap_err();
+            assert!(err.is_cancelled(), "threads {threads}");
+            let metrics = err.partial_metrics().expect("cancelled carries metrics");
+            // Nothing ran, but wall time was still measured.
+            assert_eq!(metrics.tuples_by_kind(OperatorKind::Join), 0);
+        }
+    }
+
+    #[test]
+    fn deadline_expiry_mid_run_aborts_a_throttled_query() {
+        let catalog = tiny_catalog();
+        let (g, fact, d1, d2) = tiny_graph();
+        let tree = RightDeepTree::new(vec![fact, d1, d2]).to_join_tree();
+        let plan = push_down_bitvectors(&g, PhysicalPlan::from_join_tree(&g, &tree));
+        // One-row batches + a 5ms per-morsel throttle make the full fact scan
+        // take well over the 10ms deadline, so the run must abort mid-flight.
+        let config = ExecConfig::exact_filters()
+            .with_batch_size(1)
+            .with_scan_throttle(Duration::from_millis(5));
+        let token = CancelToken::with_deadline(Instant::now() + Duration::from_millis(10));
+        let err = Executor::with_config(&catalog, config)
+            .with_cancel_token(token.clone())
+            .execute(&g, &plan)
+            .unwrap_err();
+        assert!(err.is_cancelled());
+        assert!(
+            !token.cancel_requested(),
+            "deadline expiry, not explicit cancel"
+        );
+        let metrics = err.partial_metrics().expect("partial metrics survive");
+        assert!(metrics.elapsed >= Duration::from_millis(10));
+    }
+
+    #[test]
+    fn scan_throttle_does_not_change_results() {
+        let catalog = tiny_catalog();
+        let (g, fact, d1, d2) = tiny_graph();
+        let tree = RightDeepTree::new(vec![fact, d1, d2]).to_join_tree();
+        let plan = push_down_bitvectors(&g, PhysicalPlan::from_join_tree(&g, &tree));
+        let plain = Executor::with_config(&catalog, ExecConfig::exact_filters())
+            .execute_with_rows(&g, &plan)
+            .unwrap();
+        let throttled = Executor::with_config(
+            &catalog,
+            ExecConfig::exact_filters().with_scan_throttle(Duration::from_micros(100)),
+        )
+        .execute_with_rows(&g, &plan)
+        .unwrap();
+        assert_eq!(throttled.0.output_rows, plain.0.output_rows);
+        assert_eq!(throttled.0.metrics.operators, plain.0.metrics.operators);
+        assert_eq!(throttled.1, plain.1);
+    }
+
+    #[test]
+    fn exec_error_display_and_conversions() {
+        let storage: ExecError = StorageError::TableNotFound { table: "x".into() }.into();
+        assert!(!storage.is_cancelled());
+        assert!(storage.partial_metrics().is_none());
+        assert!(storage.to_string().contains("`x`"));
+        let cancelled = ExecError::Cancelled {
+            metrics: Box::new(ExecutionMetrics::new()),
+        };
+        assert!(cancelled.to_string().contains("cancelled"));
+        assert_eq!(cancelled.into_storage_error(), StorageError::Cancelled);
+        assert_eq!(
+            ExecError::Storage(StorageError::Cancelled).into_storage_error(),
+            StorageError::Cancelled
+        );
     }
 }

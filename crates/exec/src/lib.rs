@@ -24,6 +24,13 @@
 //!   paying per-query thread start-up ([`Executor::with_worker_pool`];
 //!   executors without a pool keep the scoped-spawn fallback), gated by
 //!   [`ExecConfig::parallel_threshold`] so tiny inputs stay inline,
+//! * **cooperative cancellation** (see [`cancel`]): a cloneable
+//!   [`CancelToken`] (atomic flag + optional deadline) attached via
+//!   [`Executor::with_cancel_token`] is re-checked at every morsel-claim
+//!   boundary of the four parallel sections and at every serial batch pull,
+//!   so an in-flight query aborts within roughly one morsel of
+//!   [`CancelToken::cancel`] or deadline expiry, surfacing as
+//!   [`ExecError::Cancelled`] with the metrics gathered so far,
 //! * per-operator metrics (tuples output by leaf / join / other operators,
 //!   bitvector probe and elimination counts, wall-clock time) matching the
 //!   quantities reported in Figures 7–10 and Table 4, collected inside the
@@ -40,6 +47,7 @@
 //! through the `Engine` facade in `bqo-core`.
 
 pub mod batch;
+pub mod cancel;
 pub mod executor;
 pub mod metrics;
 pub mod morsel;
@@ -48,8 +56,9 @@ pub mod pipeline;
 pub mod pool;
 
 pub use batch::Batch;
+pub use cancel::{CancelToken, Interrupted};
 pub use executor::{
-    execute_plan, BoundPlan, ExecConfig, Executor, QueryResult, DEFAULT_BATCH_SIZE,
+    execute_plan, BoundPlan, ExecConfig, ExecError, Executor, QueryResult, DEFAULT_BATCH_SIZE,
     DEFAULT_PARALLEL_THRESHOLD,
 };
 pub use metrics::{ExecutionMetrics, OperatorKind, OperatorMetrics};

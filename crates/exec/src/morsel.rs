@@ -26,6 +26,7 @@
 //! calling thread — no pool, no atomics: exactly the pre-parallel serial
 //! path.
 
+use crate::cancel::{CancelToken, Interrupted};
 use crate::pool::WorkerPool;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
@@ -103,11 +104,13 @@ where
     T: Send,
     K: Fn(&Morsel) -> T + Sync,
 {
-    run_morsels_with(None, num_threads, morsels, kernel)
+    run_morsels_with(None, None, num_threads, morsels, kernel)
+        .expect("a section without a cancel token cannot be interrupted")
 }
 
 /// [`run_morsels`] with an optional persistent [`WorkerPool`] supplying the
-/// helper workers.
+/// helper workers and an optional [`CancelToken`] checked at every
+/// morsel-claim boundary.
 ///
 /// With `Some(pool)` (and a pool that still has live workers), helper claim
 /// loops are dispatched to the pool's parked threads instead of spawning
@@ -116,34 +119,70 @@ where
 /// fallback of [`run_morsels`] is used. Results are identical in all cases:
 /// every worker variant claims from the same atomic cursor and results are
 /// merged in morsel order.
+///
+/// With `Some(token)`, every worker re-checks the token before claiming its
+/// next morsel; a fired token stops all claim loops and the section returns
+/// `Err(Interrupted)` once any morsel was left unprocessed — the cooperative
+/// mid-flight cancellation seam, bounding abort latency to roughly one morsel
+/// of kernel work. A token that fires after the last morsel was claimed does
+/// not fail the section: the complete result set is returned and the *next*
+/// check point observes the cancellation.
 pub fn run_morsels_with<T, K>(
     pool: Option<&WorkerPool>,
+    cancel: Option<&CancelToken>,
     num_threads: usize,
     morsels: &[Morsel],
     kernel: K,
-) -> Vec<T>
+) -> Result<Vec<T>, Interrupted>
 where
     T: Send,
     K: Fn(&Morsel) -> T + Sync,
 {
     let workers = num_threads.max(1).min(morsels.len());
     if workers <= 1 {
-        return morsels.iter().map(kernel).collect();
+        let mut out = Vec::with_capacity(morsels.len());
+        for morsel in morsels {
+            if cancel.is_some_and(CancelToken::is_cancelled) {
+                return Err(Interrupted);
+            }
+            out.push(kernel(morsel));
+        }
+        return Ok(out);
     }
     match pool {
-        Some(pool) if pool.num_workers() > 0 => run_morsels_pooled(pool, workers, morsels, kernel),
-        _ => run_morsels_scoped(workers, morsels, kernel),
+        Some(pool) if pool.num_workers() > 0 => {
+            run_morsels_pooled(pool, cancel, workers, morsels, kernel)
+        }
+        _ => run_morsels_scoped(cancel, workers, morsels, kernel),
     }
+}
+
+/// Merges `(index, value)` pairs into morsel-order slots; `Err(Interrupted)`
+/// if any morsel went unclaimed (only possible when a cancel token fired).
+fn merge_slots<T>(
+    len: usize,
+    produced: impl IntoIterator<Item = (usize, T)>,
+) -> Result<Vec<T>, Interrupted> {
+    let mut slots: Vec<Option<T>> = Vec::with_capacity(len);
+    slots.resize_with(len, || None);
+    for (i, value) in produced {
+        slots[i] = Some(value);
+    }
+    slots
+        .into_iter()
+        .map(|slot| slot.ok_or(Interrupted))
+        .collect()
 }
 
 /// Pool-backed parallel section: the claim loop runs once on the caller and
 /// is mirrored onto up to `workers - 1` pool workers.
 fn run_morsels_pooled<T, K>(
     pool: &WorkerPool,
+    cancel: Option<&CancelToken>,
     workers: usize,
     morsels: &[Morsel],
     kernel: K,
-) -> Vec<T>
+) -> Result<Vec<T>, Interrupted>
 where
     T: Send,
     K: Fn(&Morsel) -> T + Sync,
@@ -153,6 +192,9 @@ where
     let claim_all = || {
         let mut local = Vec::new();
         loop {
+            if cancel.is_some_and(CancelToken::is_cancelled) {
+                break;
+            }
             let i = cursor.fetch_add(1, Ordering::Relaxed);
             let Some(morsel) = morsels.get(i) else {
                 break;
@@ -171,20 +213,20 @@ where
     // Deterministic merge: identical to the scoped path — results are slotted
     // by morsel index, so scheduling (and which copies ran at all) is
     // invisible.
-    let mut slots: Vec<Option<T>> = Vec::with_capacity(morsels.len());
-    slots.resize_with(morsels.len(), || None);
-    for (i, value) in produced.into_inner().expect("morsel result sink poisoned") {
-        slots[i] = Some(value);
-    }
-    slots
-        .into_iter()
-        .map(|slot| slot.expect("every morsel produces exactly one result"))
-        .collect()
+    merge_slots(
+        morsels.len(),
+        produced.into_inner().expect("morsel result sink poisoned"),
+    )
 }
 
 /// Scoped-spawn parallel section (the pre-pool path, kept as the fallback for
 /// executors without an attached pool and as the bench baseline).
-fn run_morsels_scoped<T, K>(workers: usize, morsels: &[Morsel], kernel: K) -> Vec<T>
+fn run_morsels_scoped<T, K>(
+    cancel: Option<&CancelToken>,
+    workers: usize,
+    morsels: &[Morsel],
+    kernel: K,
+) -> Result<Vec<T>, Interrupted>
 where
     T: Send,
     K: Fn(&Morsel) -> T + Sync,
@@ -193,6 +235,9 @@ where
     let claim_all = || {
         let mut produced = Vec::new();
         loop {
+            if cancel.is_some_and(CancelToken::is_cancelled) {
+                break;
+            }
             let i = cursor.fetch_add(1, Ordering::Relaxed);
             let Some(morsel) = morsels.get(i) else {
                 break;
@@ -201,28 +246,19 @@ where
         }
         produced
     };
-    let mut slots: Vec<Option<T>> = Vec::with_capacity(morsels.len());
-    slots.resize_with(morsels.len(), || None);
+    let mut produced: Vec<(usize, T)> = Vec::with_capacity(morsels.len());
     thread::scope(|scope| {
         // The calling thread is worker 0; only `workers - 1` threads spawn.
         let handles: Vec<_> = (1..workers).map(|_| scope.spawn(claim_all)).collect();
-        for (i, value) in claim_all() {
-            slots[i] = Some(value);
-        }
+        produced.extend(claim_all());
         for handle in handles {
-            let produced = match handle.join() {
-                Ok(produced) => produced,
+            match handle.join() {
+                Ok(values) => produced.extend(values),
                 Err(payload) => std::panic::resume_unwind(payload),
-            };
-            for (i, value) in produced {
-                slots[i] = Some(value);
             }
         }
     });
-    slots
-        .into_iter()
-        .map(|slot| slot.expect("every morsel produces exactly one result"))
-        .collect()
+    merge_slots(morsels.len(), produced)
 }
 
 #[cfg(test)]
@@ -299,12 +335,15 @@ mod tests {
         let ms = morsels(1000, 7);
         let serial = run_morsels(1, &ms, |m| m.rows().sum::<usize>());
         for threads in [2, 3, 4, 8] {
-            let pooled = run_morsels_with(Some(&pool), threads, &ms, |m| m.rows().sum::<usize>());
+            let pooled =
+                run_morsels_with(Some(&pool), None, threads, &ms, |m| m.rows().sum::<usize>())
+                    .unwrap();
             assert_eq!(serial, pooled, "threads {threads}");
         }
         // Repeated sections reuse the same parked workers.
         for _ in 0..10 {
-            let pooled = run_morsels_with(Some(&pool), 4, &ms, |m| m.rows().sum::<usize>());
+            let pooled =
+                run_morsels_with(Some(&pool), None, 4, &ms, |m| m.rows().sum::<usize>()).unwrap();
             assert_eq!(serial, pooled);
         }
     }
@@ -315,7 +354,10 @@ mod tests {
         pool.shutdown();
         let ms = morsels(100, 3);
         let serial = run_morsels(1, &ms, |m| m.len());
-        assert_eq!(run_morsels_with(Some(&pool), 4, &ms, |m| m.len()), serial);
+        assert_eq!(
+            run_morsels_with(Some(&pool), None, 4, &ms, |m| m.len()).unwrap(),
+            serial
+        );
     }
 
     #[test]
@@ -323,11 +365,61 @@ mod tests {
     fn pooled_worker_panics_propagate() {
         let pool = WorkerPool::new(3);
         let ms = morsels(64, 1);
-        run_morsels_with(Some(&pool), 4, &ms, |m| {
+        let _ = run_morsels_with(Some(&pool), None, 4, &ms, |m| {
             if m.index == 33 {
                 panic!("pooled kernel exploded");
             }
             m.len()
         });
+    }
+
+    #[test]
+    fn a_pre_fired_token_interrupts_before_any_kernel_runs() {
+        let token = CancelToken::new();
+        token.cancel();
+        let ms = morsels(100, 3);
+        for threads in [1usize, 4] {
+            let result = run_morsels_with(None, Some(&token), threads, &ms, |m| m.len());
+            assert_eq!(result, Err(Interrupted), "threads {threads}");
+        }
+    }
+
+    #[test]
+    fn a_token_fired_mid_section_stops_the_remaining_claims() {
+        use std::sync::atomic::AtomicUsize;
+        // The kernel fires the token itself on morsel 10: every path (serial,
+        // scoped, pooled) must stop claiming within one morsel and report the
+        // interruption instead of fabricating a full result set.
+        let pool = WorkerPool::new(3);
+        let ms = morsels(10_000, 1);
+        for (label, pool) in [("scoped", None), ("pooled", Some(&pool))] {
+            let token = CancelToken::new();
+            let ran = AtomicUsize::new(0);
+            let result = run_morsels_with(pool, Some(&token), 4, &ms, |m| {
+                ran.fetch_add(1, Ordering::Relaxed);
+                if m.index == 10 {
+                    token.cancel();
+                }
+                m.len()
+            });
+            assert_eq!(result, Err(Interrupted), "{label}");
+            assert!(
+                ran.load(Ordering::Relaxed) < ms.len(),
+                "{label}: cancellation should leave morsels unclaimed"
+            );
+        }
+    }
+
+    #[test]
+    fn an_unfired_token_changes_nothing() {
+        let token = CancelToken::new();
+        let ms = morsels(1000, 7);
+        let serial = run_morsels(1, &ms, |m| m.rows().sum::<usize>());
+        for threads in [1, 2, 4] {
+            let result = run_morsels_with(None, Some(&token), threads, &ms, |m| {
+                m.rows().sum::<usize>()
+            });
+            assert_eq!(result.unwrap(), serial, "threads {threads}");
+        }
     }
 }

@@ -157,6 +157,7 @@ impl PhysicalOperator for ScanOp<'_> {
         let morsel_list = morsels(self.table.num_rows(), ctx.config.effective_morsel_size());
         let num_threads = ctx.config.workers_for(self.table.num_rows());
         let predicates = &self.info.predicates;
+        let throttle = ctx.config.scan_throttle;
         let (survivors, merged_stats) = {
             let filters: Vec<Option<&AnyFilter>> = self
                 .placements
@@ -169,6 +170,12 @@ impl PhysicalOperator for ScanOp<'_> {
                 .map(|idxs| idxs.iter().map(|&i| self.table.column_at(i)).collect())
                 .collect();
             let per_morsel = ctx.run_morsels(num_threads, &morsel_list, |m| {
+                // Latency-injection knob: stretch each scan morsel so
+                // scheduling and cancellation tests/benches get long-running
+                // queries with a known per-morsel granularity.
+                if let Some(throttle) = throttle {
+                    std::thread::sleep(throttle);
+                }
                 // Rows of this morsel surviving the local predicates...
                 let mut mask = vec![true; m.len()];
                 for (predicate, column) in predicates.iter().zip(&pred_cols) {
@@ -196,7 +203,7 @@ impl PhysicalOperator for ScanOp<'_> {
                     });
                 }
                 (rows, stats)
-            });
+            })?;
 
             // Deterministic merge: concatenate rows and sum counters in
             // morsel order, independent of worker scheduling.
@@ -221,6 +228,8 @@ impl PhysicalOperator for ScanOp<'_> {
     }
 
     fn next_batch(&mut self, ctx: &mut ExecContext) -> Result<Option<Batch>, StorageError> {
+        // The serial-loop cancellation seam: one check per batch pull.
+        ctx.check_cancelled()?;
         // Emission granularity is unchanged from the serial executor: one
         // batch per `batch_size` table-row range with at least one survivor,
         // so parents observe identical batch boundaries for every
@@ -351,7 +360,7 @@ impl PhysicalOperator for HashJoinOp<'_> {
                     .push(row as u32);
             }
             partition
-        });
+        })?;
         self.table = if partitions.len() <= 1 {
             partitions.pop().unwrap_or_default()
         } else {
@@ -369,6 +378,8 @@ impl PhysicalOperator for HashJoinOp<'_> {
     }
 
     fn next_batch(&mut self, ctx: &mut ExecContext) -> Result<Option<Batch>, StorageError> {
+        // The serial-loop cancellation seam: one check per probe batch.
+        ctx.check_cancelled()?;
         while let Some(probe_batch) = self.probe.next_batch(ctx)? {
             let probe_keys = probe_batch.key_values(&self.probe_key_cols);
             self.probe_rows += probe_keys.len() as u64;
@@ -391,7 +402,7 @@ impl PhysicalOperator for HashJoinOp<'_> {
                     }
                 }
                 (build_indices, probe_indices)
-            });
+            })?;
             let mut build_indices: Vec<usize> = Vec::new();
             let mut probe_indices: Vec<usize> = Vec::new();
             for (b, p) in matched {
@@ -427,7 +438,7 @@ impl PhysicalOperator for HashJoinOp<'_> {
                             })
                             .collect();
                         (mask, stats)
-                    });
+                    })?;
                     let mut mask: Vec<bool> = Vec::with_capacity(keys.len());
                     for (part, stats) in parts {
                         mask.extend(part);

@@ -1,5 +1,6 @@
 //! Shared execution context and plan→pipeline lowering.
 
+use crate::cancel::CancelToken;
 use crate::executor::ExecConfig;
 use crate::metrics::ExecutionMetrics;
 use crate::morsel::{run_morsels_with, Morsel};
@@ -22,6 +23,7 @@ pub struct ExecContext {
     pub metrics: ExecutionMetrics,
     filters: HashMap<usize, AnyFilter>,
     pool: Option<WorkerPool>,
+    cancel: CancelToken,
 }
 
 impl ExecContext {
@@ -39,6 +41,33 @@ impl ExecContext {
             metrics: ExecutionMetrics::new(),
             filters: HashMap::new(),
             pool,
+            cancel: CancelToken::new(),
+        }
+    }
+
+    /// The same context observing `token` for cooperative cancellation: every
+    /// morsel-claim boundary and every [`ExecContext::check_cancelled`] call
+    /// site aborts with `StorageError::Cancelled` once the token fires.
+    pub fn with_cancel_token(mut self, token: CancelToken) -> Self {
+        self.cancel = token;
+        self
+    }
+
+    /// The cancel token execution observes (a never-fired default token when
+    /// the caller did not attach one).
+    pub fn cancel_token(&self) -> &CancelToken {
+        &self.cancel
+    }
+
+    /// Returns `Err(StorageError::Cancelled)` once the context's cancel token
+    /// has fired (or its deadline passed). Operators call this at the top of
+    /// their serial batch loops — the non-parallel counterpart of the
+    /// morsel-claim checks inside [`ExecContext::run_morsels`].
+    pub fn check_cancelled(&self) -> Result<(), StorageError> {
+        if self.cancel.is_cancelled() {
+            Err(StorageError::Cancelled)
+        } else {
+            Ok(())
         }
     }
 
@@ -46,13 +75,27 @@ impl ExecContext {
     /// from the context's worker pool when one is attached and falling back
     /// to scoped spawns otherwise (see [`run_morsels_with`]). Operators call
     /// this for every parallel section so one executor configuration decides
-    /// the scheduling mode for the whole pipeline.
-    pub fn run_morsels<T, K>(&self, num_threads: usize, morsels: &[Morsel], kernel: K) -> Vec<T>
+    /// the scheduling mode for the whole pipeline. The context's cancel token
+    /// is re-checked at every morsel claim; an interrupted section surfaces
+    /// as `StorageError::Cancelled`.
+    pub fn run_morsels<T, K>(
+        &self,
+        num_threads: usize,
+        morsels: &[Morsel],
+        kernel: K,
+    ) -> Result<Vec<T>, StorageError>
     where
         T: Send,
         K: Fn(&Morsel) -> T + Sync,
     {
-        run_morsels_with(self.pool.as_ref(), num_threads, morsels, kernel)
+        run_morsels_with(
+            self.pool.as_ref(),
+            Some(&self.cancel),
+            num_threads,
+            morsels,
+            kernel,
+        )
+        .map_err(|_| StorageError::Cancelled)
     }
 
     /// Publishes a bitvector filter for the placement with index `placement`,

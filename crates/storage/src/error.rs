@@ -20,6 +20,12 @@ pub enum StorageError {
     InvalidArgument(String),
     /// A query references a parameter placeholder that has no bound value.
     UnboundParameter { name: String },
+    /// Execution was interrupted cooperatively (a cancel token fired or a
+    /// deadline passed) before the query completed. Raised by the execution
+    /// layer's morsel scheduler and batch loops, never by storage itself; it
+    /// lives here so cancellation can travel the same `Result` channel as
+    /// every other runtime failure.
+    Cancelled,
 }
 
 impl fmt::Display for StorageError {
@@ -45,6 +51,7 @@ impl fmt::Display for StorageError {
             StorageError::UnboundParameter { name } => {
                 write!(f, "parameter `${name}` has no bound value")
             }
+            StorageError::Cancelled => write!(f, "execution was cancelled"),
         }
     }
 }
@@ -84,6 +91,14 @@ mod tests {
     fn display_unbound_parameter() {
         let e = StorageError::UnboundParameter { name: "cat".into() };
         assert_eq!(e.to_string(), "parameter `$cat` has no bound value");
+    }
+
+    #[test]
+    fn display_cancelled() {
+        assert_eq!(
+            StorageError::Cancelled.to_string(),
+            "execution was cancelled"
+        );
     }
 
     #[test]

@@ -9,11 +9,12 @@
 //! ```
 
 use bqo_core::{
-    CompareOp, Engine, ForeignKey, OptimizerChoice, Params, QuerySpec, Server, ServerConfig,
-    Session, TableBuilder,
+    CompareOp, Engine, ForeignKey, OptimizerChoice, Params, QuerySpec, Request, Server,
+    ServerConfig, Session, TableBuilder,
 };
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+use std::time::Duration;
 
 fn main() {
     let mut rng = StdRng::seed_from_u64(7);
@@ -117,21 +118,28 @@ fn main() {
             &stmt,
         );
     }
-    let cache = engine.plan_cache();
+    // One engine-wide snapshot: plan-cache traffic, worker-pool size and
+    // catalog shape in a single call.
+    let snapshot = engine.stats();
     println!(
         "plan cache          : {} hits, {} misses, {} re-optimizations ({} evictions, {}/{} entries)",
-        cache.hits(),
-        cache.misses(),
-        cache.reoptimizations(),
-        cache.evictions(),
-        cache.cache_stats().len,
-        cache.capacity()
+        snapshot.cache.hits,
+        snapshot.cache.misses,
+        snapshot.cache.reoptimizations,
+        snapshot.cache.evictions,
+        snapshot.cache.len,
+        snapshot.cache.capacity
+    );
+    println!(
+        "engine              : {} pooled workers, {} tables (catalog v{})",
+        snapshot.pool_workers, snapshot.catalog_tables, snapshot.catalog_version
     );
 
-    // Production-style serving: a burst of binds submitted through the
-    // admission-controlled Server (FIFO queue, at most 2 queries executing
-    // concurrently, backpressure past 32 pending). Execution reuses the
-    // engine's plan cache and persistent worker pool across all requests.
+    // Production-style serving: a burst of binds from two tenants submitted
+    // through the multi-tenant Server (priority/deadline scheduling, at most
+    // 2 queries executing concurrently, backpressure past 32 pending, the
+    // interactive tenant dispatching ahead of the batch one). Execution
+    // reuses the engine's plan cache and persistent worker pool.
     let server = Server::new(
         engine.clone(),
         ServerConfig::default()
@@ -141,9 +149,21 @@ fn main() {
     let tickets: Vec<_> = (0..10)
         .map(|i| {
             let params = Params::new().set("category", i % 40).set("region", i % 10);
-            server
-                .submit(&template, Some(&params), OptimizerChoice::Bqo)
-                .expect("burst fits the queue")
+            let (tenant, priority) = if i % 2 == 0 {
+                ("dashboards", 1) // interactive: dispatch first
+            } else {
+                ("batch-reports", 0)
+            };
+            let request = Request::builder()
+                .query(&template)
+                .params(&params)
+                .optimizer(OptimizerChoice::Bqo)
+                .tenant(tenant)
+                .priority(priority)
+                .deadline(Duration::from_secs(30))
+                .build()
+                .expect("request is well-formed");
+            server.submit(request).expect("burst fits the queue")
         })
         .collect();
     let served: u64 = tickets
@@ -152,14 +172,21 @@ fn main() {
         .sum();
     let stats = server.stats();
     println!(
-        "server burst        : {} requests -> {} rows ({} admitted, {} completed, {} rejected, {:.2} ms total wall)",
+        "server burst        : {} requests -> {} rows ({} completed, {} rejected, {:.2} ms total wall, p99 run {:?})",
         stats.admitted,
         served,
-        stats.admitted,
         stats.completed,
         stats.rejected,
-        stats.total_wall.as_secs_f64() * 1e3
+        stats.total_wall.as_secs_f64() * 1e3,
+        stats.run_time.p99
     );
+    for tenant in ["dashboards", "batch-reports"] {
+        let t = server.stats_for(tenant);
+        println!(
+            "tenant {tenant:<13}: {} admitted, {} completed, mean queue wait {:?}",
+            t.admitted, t.completed, t.queue_wait.mean
+        );
+    }
     server.shutdown();
 }
 

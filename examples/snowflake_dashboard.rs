@@ -7,7 +7,7 @@
 //! cargo run -p bqo-examples --bin snowflake_dashboard --release
 //! ```
 
-use bqo_core::experiment::{run_workload, RunOptions};
+use bqo_core::experiment::{run_workload, ExperimentOptions};
 use bqo_core::workloads::{snowflake, Scale};
 
 fn main() {
@@ -15,7 +15,7 @@ fn main() {
     let workload = snowflake::generate(Scale(0.2), &[1, 2, 2, 3], 12, 99);
     println!("workload: {}", workload.stats());
 
-    let report = run_workload(&workload, RunOptions::default()).expect("workload runs");
+    let report = run_workload(&workload, ExperimentOptions::default()).expect("workload runs");
 
     println!("\nper-query comparison (Original vs BQO):");
     println!(

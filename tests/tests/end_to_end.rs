@@ -7,7 +7,7 @@ use bqo_core::exec::ExecConfig;
 use bqo_core::workloads::{
     customer_like, job_like, microbench, snowflake, star, tpcds_like, Scale,
 };
-use bqo_core::{Engine, OptimizerChoice};
+use bqo_core::{Engine, OptimizerChoice, RunOptions};
 
 const CHOICES: [OptimizerChoice; 4] = [
     OptimizerChoice::Baseline,
@@ -31,8 +31,9 @@ fn assert_consistent(workload: &bqo_core::workloads::Workload) {
                 ExecConfig::without_bitvectors(),
             ] {
                 let result = session
-                    .run_with(&prepared, config)
-                    .unwrap_or_else(|e| panic!("{}: execute failed: {e}", query.name));
+                    .execute(&prepared, RunOptions::new().with_exec_config(config))
+                    .unwrap_or_else(|e| panic!("{}: execute failed: {e}", query.name))
+                    .result;
                 match expected {
                     None => expected = Some(result.output_rows),
                     Some(rows) => assert_eq!(
@@ -126,8 +127,12 @@ fn filter_elimination_counts_are_consistent_with_scan_outputs() {
             .prepare(query, OptimizerChoice::BqoWithThreshold(0.0))
             .unwrap();
         let result = session
-            .run_with(&prepared, ExecConfig::exact_filters())
-            .unwrap();
+            .execute(
+                &prepared,
+                RunOptions::new().with_exec_config(ExecConfig::exact_filters()),
+            )
+            .unwrap()
+            .result;
         let stats = result.metrics.filter_stats;
         assert_eq!(stats.passed() + stats.eliminated, stats.probed);
     }

@@ -8,7 +8,7 @@ use bqo_core::plan::{push_down_bitvectors, PhysicalPlan, RightDeepTree};
 use bqo_core::workloads::{tpcds_like, Scale};
 use bqo_core::{
     ColumnPredicate, CompareOp, Engine, OperatorKind, OptimizerChoice, QueryPhase, QuerySpec,
-    TableBuilder,
+    RunOptions, TableBuilder,
 };
 
 /// Batch sizes swept by the invariance tests; `usize::MAX` is effectively
@@ -112,18 +112,23 @@ fn batch_size_sweep_is_invariant_on_generated_workloads() {
         for choice in [OptimizerChoice::Baseline, OptimizerChoice::Bqo] {
             let prepared = engine.prepare(query, choice).unwrap();
             let oracle = session
-                .run_with(
+                .execute(
                     &prepared,
-                    ExecConfig::exact_filters().with_batch_size(usize::MAX),
+                    RunOptions::new()
+                        .with_exec_config(ExecConfig::exact_filters().with_batch_size(usize::MAX)),
                 )
-                .unwrap();
+                .unwrap()
+                .result;
             for batch_size in BATCH_SIZES {
                 let result = session
-                    .run_with(
+                    .execute(
                         &prepared,
-                        ExecConfig::exact_filters().with_batch_size(batch_size),
+                        RunOptions::new().with_exec_config(
+                            ExecConfig::exact_filters().with_batch_size(batch_size),
+                        ),
                     )
-                    .unwrap();
+                    .unwrap()
+                    .result;
                 let label = format!("{} / {:?} / batch {batch_size}", query.name, choice);
                 assert_eq!(result.output_rows, oracle.output_rows, "{label}");
                 assert_eq!(

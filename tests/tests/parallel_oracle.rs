@@ -11,7 +11,7 @@
 
 use bqo_core::exec::ExecConfig;
 use bqo_core::workloads::{star, tpcds_like, Scale};
-use bqo_core::{Engine, OptimizerChoice, QuerySpec};
+use bqo_core::{Engine, OptimizerChoice, QuerySpec, RunOptions};
 use bqo_integration_tests::env_threads;
 
 const THREAD_MATRIX: [usize; 4] = [1, 2, 4, 8];
@@ -41,18 +41,27 @@ fn assert_parallel_matches_serial_oracle(
     for query in queries {
         for &choice in choices {
             let prepared = engine.prepare(query, choice).unwrap();
-            let (oracle, oracle_rows) = session
-                .run_with_rows(
+            let oracle_out = session
+                .execute(
                     &prepared,
-                    base.with_batch_size(usize::MAX).with_num_threads(1),
+                    RunOptions::new()
+                        .with_exec_config(base.with_batch_size(usize::MAX).with_num_threads(1))
+                        .collecting_rows(),
                 )
                 .unwrap();
+            let (oracle, oracle_rows) = (oracle_out.result, oracle_out.rows.unwrap());
             for &num_threads in &thread_counts() {
                 for &batch_size in &BATCH_MATRIX {
                     let config = base
                         .with_batch_size(batch_size)
                         .with_num_threads(num_threads);
-                    let (result, rows) = session.run_with_rows(&prepared, config).unwrap();
+                    let out = session
+                        .execute(
+                            &prepared,
+                            RunOptions::new().with_exec_config(config).collecting_rows(),
+                        )
+                        .unwrap();
+                    let (result, rows) = (out.result, out.rows.unwrap());
                     let label = format!(
                         "{} / {:?} / threads {num_threads} / batch {batch_size}",
                         query.name, choice

@@ -10,7 +10,7 @@
 use bqo_core::exec::ExecConfig;
 use bqo_core::storage::generator::DataGenerator;
 use bqo_core::storage::Catalog;
-use bqo_core::{ColumnPredicate, CompareOp, Engine, OptimizerChoice, QuerySpec};
+use bqo_core::{ColumnPredicate, CompareOp, Engine, OptimizerChoice, QuerySpec, RunOptions};
 use bqo_integration_tests::env_threads;
 use proptest::prelude::*;
 
@@ -80,9 +80,20 @@ proptest! {
             .with_morsel_size(morsel_size)
             .with_num_threads(num_threads.max(env_threads()));
 
-        let (serial_result, serial_rows) = session.run_with_rows(&prepared, serial).unwrap();
-        let (parallel_result, parallel_rows) =
-            session.run_with_rows(&prepared, parallel).unwrap();
+        let serial_out = session
+            .execute(
+                &prepared,
+                RunOptions::new().with_exec_config(serial).collecting_rows(),
+            )
+            .unwrap();
+        let parallel_out = session
+            .execute(
+                &prepared,
+                RunOptions::new().with_exec_config(parallel).collecting_rows(),
+            )
+            .unwrap();
+        let (serial_result, serial_rows) = (serial_out.result, serial_out.rows.unwrap());
+        let (parallel_result, parallel_rows) = (parallel_out.result, parallel_out.rows.unwrap());
 
         prop_assert_eq!(parallel_result.output_rows, serial_result.output_rows);
         prop_assert_eq!(&parallel_rows, &serial_rows);
@@ -115,16 +126,22 @@ proptest! {
         let session = engine.session();
         let config = ExecConfig::default().with_num_threads(num_threads);
         let bqo_stmt = engine.prepare(&spec, OptimizerChoice::Bqo).unwrap();
-        let bqo = session.run_with(&bqo_stmt, config).unwrap();
+        let bqo = session
+            .execute(&bqo_stmt, RunOptions::new().with_exec_config(config))
+            .unwrap()
+            .result;
         let baseline_stmt = engine
             .prepare(&spec, OptimizerChoice::BaselineNoBitvectors)
             .unwrap();
         let baseline = session
-            .run_with(
+            .execute(
                 &baseline_stmt,
-                ExecConfig::without_bitvectors().with_num_threads(num_threads),
+                RunOptions::new().with_exec_config(
+                    ExecConfig::without_bitvectors().with_num_threads(num_threads),
+                ),
             )
-            .unwrap();
+            .unwrap()
+            .result;
         prop_assert_eq!(bqo.output_rows, baseline.output_rows);
         prop_assert_eq!(baseline.metrics.filters_created, 0usize);
     }

@@ -65,8 +65,24 @@ fn fingerprint_is_stable_under_spec_reordering() {
     // each spec's own table order, so compare by qualified name + data.
     let session = engine.session();
     let config = bqo_core::ExecConfig::default();
-    let (first_result, first_rows) = session.run_with_rows(&first, config).unwrap();
-    let (second_result, second_rows) = session.run_with_rows(&second, config).unwrap();
+    let first_out = session
+        .execute(
+            &first,
+            bqo_core::RunOptions::new()
+                .with_exec_config(config)
+                .collecting_rows(),
+        )
+        .unwrap();
+    let second_out = session
+        .execute(
+            &second,
+            bqo_core::RunOptions::new()
+                .with_exec_config(config)
+                .collecting_rows(),
+        )
+        .unwrap();
+    let (first_result, first_rows) = (first_out.result, first_out.rows.unwrap());
+    let (second_result, second_rows) = (second_out.result, second_out.rows.unwrap());
     assert_eq!(first_result.output_rows, second_result.output_rows);
     assert_eq!(first_rows.num_rows(), second_rows.num_rows());
     assert_eq!(first_rows.num_columns(), second_rows.num_columns());

@@ -5,7 +5,7 @@
 use bqo_core::exec::ExecConfig;
 use bqo_core::plan::{push_down_bitvectors, CostModel, PhysicalNode, PhysicalPlan, RightDeepTree};
 use bqo_core::workloads::{star, tpcds_like, Scale};
-use bqo_core::{Engine, OptimizerChoice};
+use bqo_core::{Engine, OptimizerChoice, RunOptions};
 
 /// With exact filters and a star plan whose filters all reach the fact scan,
 /// the fact scan's output equals the final join cardinality (the absorption
@@ -66,8 +66,12 @@ fn estimated_lambda_tracks_observed_elimination() {
     // aggregate elimination with the model's per-placement estimates.
     let result = engine
         .session()
-        .run_with(&prepared, ExecConfig::exact_filters())
-        .unwrap();
+        .execute(
+            &prepared,
+            RunOptions::new().with_exec_config(ExecConfig::exact_filters()),
+        )
+        .unwrap()
+        .result;
     let observed = result.metrics.filter_stats.elimination_rate();
 
     let estimates: Vec<f64> = (0..prepared.plan().placements.len())

@@ -14,7 +14,7 @@
 
 use bqo_core::exec::{Batch, ExecConfig};
 use bqo_core::workloads::{star, Scale};
-use bqo_core::{Engine, OptimizerChoice, Params, QuerySpec};
+use bqo_core::{Engine, OptimizerChoice, Params, QuerySpec, RunOptions};
 use bqo_integration_tests::env_threads;
 use std::sync::Arc;
 
@@ -73,8 +73,14 @@ fn prepare_and_run(engine: &Engine, request: &Request, config: ExecConfig) -> (u
             .unwrap(),
         None => engine.prepare(&request.spec, OptimizerChoice::Bqo).unwrap(),
     };
-    let (result, rows) = engine.session().run_with_rows(&stmt, config).unwrap();
-    (result.output_rows, rows)
+    let out = engine
+        .session()
+        .execute(
+            &stmt,
+            RunOptions::new().with_exec_config(config).collecting_rows(),
+        )
+        .unwrap();
+    (out.result.output_rows, out.rows.unwrap())
 }
 
 /// Rows as a plan-order-independent canonical form: each row becomes its

@@ -6,7 +6,7 @@
 use bqo_core::exec::pool::WorkerPool;
 use bqo_core::exec::{morsels, run_morsels, run_morsels_with, ExecConfig};
 use bqo_core::workloads::{star, Scale};
-use bqo_core::{Engine, OptimizerChoice};
+use bqo_core::{Engine, OptimizerChoice, RunOptions};
 use bqo_integration_tests::env_threads;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -56,7 +56,7 @@ fn kernel_panics_propagate_and_workers_survive() {
     let pool = WorkerPool::new(2);
     let ms = morsels(256, 1);
     let outcome = catch_unwind(AssertUnwindSafe(|| {
-        run_morsels_with(Some(&pool), 3, &ms, |m| {
+        run_morsels_with(Some(&pool), None, 3, &ms, |m| {
             if m.index == 200 {
                 panic!("poisoned morsel");
             }
@@ -66,7 +66,8 @@ fn kernel_panics_propagate_and_workers_survive() {
     assert!(outcome.is_err(), "kernel panic must reach the caller");
     // The pool is still fully operational for the next section.
     assert_eq!(pool.num_workers(), 2);
-    let ok = run_morsels_with(Some(&pool), 3, &ms, |m| m.len());
+    let ok =
+        run_morsels_with(Some(&pool), None, 3, &ms, |m| m.len()).expect("no cancel token attached");
     assert_eq!(ok.len(), ms.len());
     pool.shutdown();
 }
@@ -78,9 +79,10 @@ fn pooled_morsel_runs_match_serial_and_scoped() {
     let serial = run_morsels(1, &ms, |m| m.rows().map(|r| r * r).sum::<usize>());
     for threads in [2usize, 4, env_threads().max(2)] {
         let scoped = run_morsels(threads, &ms, |m| m.rows().map(|r| r * r).sum::<usize>());
-        let pooled = run_morsels_with(Some(&pool), threads, &ms, |m| {
+        let pooled = run_morsels_with(Some(&pool), None, threads, &ms, |m| {
             m.rows().map(|r| r * r).sum::<usize>()
-        });
+        })
+        .expect("no cancel token attached");
         assert_eq!(serial, scoped, "scoped threads {threads}");
         assert_eq!(serial, pooled, "pooled threads {threads}");
     }
@@ -95,17 +97,34 @@ fn engine_pool_is_shared_lazy_and_query_results_are_identical() {
 
     for query in &workload.queries {
         let stmt = engine.prepare(query, OptimizerChoice::Bqo).unwrap();
-        let serial = session.run_with_rows(&stmt, ExecConfig::default()).unwrap();
+        let serial = session
+            .execute(&stmt, RunOptions::new().collecting_rows())
+            .unwrap();
         // Forced fan-out on every section (threshold 1) through the
         // engine-owned pool must reproduce the serial run bit for bit.
         let config = ExecConfig::default()
             .with_num_threads(threads)
             .with_parallel_threshold(1);
-        let (result, rows) = session.run_with_rows(&stmt, config).unwrap();
-        assert_eq!(result.output_rows, serial.0.output_rows, "{}", query.name);
-        assert_eq!(result.metrics.operators, serial.0.metrics.operators);
-        assert_eq!(result.metrics.filter_stats, serial.0.metrics.filter_stats);
-        assert_eq!(rows, serial.1, "{}", query.name);
+        let out = session
+            .execute(
+                &stmt,
+                RunOptions::new().with_exec_config(config).collecting_rows(),
+            )
+            .unwrap();
+        assert_eq!(
+            out.result.output_rows, serial.result.output_rows,
+            "{}",
+            query.name
+        );
+        assert_eq!(
+            out.result.metrics.operators,
+            serial.result.metrics.operators
+        );
+        assert_eq!(
+            out.result.metrics.filter_stats,
+            serial.result.metrics.filter_stats
+        );
+        assert_eq!(out.rows, serial.rows, "{}", query.name);
     }
 
     // The pool was spawned lazily by the parallel runs above and is shared:
@@ -158,16 +177,22 @@ fn worker_threads_zero_disables_the_pool_but_not_parallelism() {
         .prepare(&workload.queries[0], OptimizerChoice::Bqo)
         .unwrap();
     let session = engine.session();
-    let serial = session.run_with_rows(&stmt, ExecConfig::default()).unwrap();
+    let serial = session
+        .execute(&stmt, RunOptions::new().collecting_rows())
+        .unwrap();
     // Parallel runs fall back to scoped spawns and stay bit-identical.
-    let (result, rows) = session
-        .run_with_rows(
+    let out = session
+        .execute(
             &stmt,
-            ExecConfig::default()
-                .with_num_threads(4)
-                .with_parallel_threshold(1),
+            RunOptions::new()
+                .with_exec_config(
+                    ExecConfig::default()
+                        .with_num_threads(4)
+                        .with_parallel_threshold(1),
+                )
+                .collecting_rows(),
         )
         .unwrap();
-    assert_eq!(result.output_rows, serial.0.output_rows);
-    assert_eq!(rows, serial.1);
+    assert_eq!(out.result.output_rows, serial.result.output_rows);
+    assert_eq!(out.rows, serial.rows);
 }
