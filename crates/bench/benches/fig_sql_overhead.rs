@@ -1,0 +1,79 @@
+//! SQL frontend overhead — what the textual interface costs on top of
+//! hand-built `QuerySpec`s:
+//!
+//! * `parse_and_lower`: lex + parse + bind only (no optimization);
+//! * `cold_sql_prepare` vs `cold_spec_prepare`: full prepare with an empty
+//!   plan cache, through SQL and through the equivalent spec;
+//! * `cached_sql_reprepare`: re-preparing identical SQL text, which must be
+//!   served from the plan cache (fingerprint lookup, no optimizer).
+
+use bqo_bench::prelude::{CacheStatus, Engine, OptimizerChoice};
+use bqo_core::workloads::{star, Scale};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+const NUM_DIMS: usize = 4;
+
+/// The star query as SQL: fact joined to every dimension, with a selective
+/// predicate on the last one.
+fn star_sql() -> String {
+    let mut sql = String::from("SELECT * FROM fact");
+    for i in 0..NUM_DIMS {
+        sql.push_str(&format!(
+            " JOIN dim{i} ON fact.dim{i}_sk = dim{i}.dim{i}_sk"
+        ));
+    }
+    sql.push_str(&format!(
+        " WHERE dim{last}.dim{last}_category < 2",
+        last = NUM_DIMS - 1
+    ));
+    sql
+}
+
+fn bench_sql_overhead(c: &mut Criterion) {
+    let engine = Engine::from_catalog(star::build_catalog(Scale(0.05), NUM_DIMS, 31));
+    let sql = star_sql();
+    // The spec twin of the SQL text (identical fingerprint, so the two cold
+    // paths differ exactly by lexing + parsing + binding).
+    let spec = engine.parse_sql(&sql).unwrap();
+
+    let mut group = c.benchmark_group("fig_sql_overhead");
+    group.sample_size(10);
+
+    group.bench_function("parse_and_lower", |b| {
+        b.iter(|| black_box(engine.parse_sql(&sql).unwrap()))
+    });
+
+    group.bench_function("cold_sql_prepare", |b| {
+        b.iter(|| {
+            engine.plan_cache().clear();
+            let stmt = engine.prepare_sql(&sql, OptimizerChoice::Bqo).unwrap();
+            assert_eq!(stmt.cache_status(), CacheStatus::Miss);
+            black_box(stmt)
+        })
+    });
+
+    group.bench_function("cold_spec_prepare", |b| {
+        b.iter(|| {
+            engine.plan_cache().clear();
+            let stmt = engine.prepare(&spec, OptimizerChoice::Bqo).unwrap();
+            assert_eq!(stmt.cache_status(), CacheStatus::Miss);
+            black_box(stmt)
+        })
+    });
+
+    // Warm the cache once, then measure the text-to-cached-plan path.
+    engine.prepare_sql(&sql, OptimizerChoice::Bqo).unwrap();
+    group.bench_function("cached_sql_reprepare", |b| {
+        b.iter(|| {
+            let stmt = engine.prepare_sql(&sql, OptimizerChoice::Bqo).unwrap();
+            assert_eq!(stmt.cache_status(), CacheStatus::Hit);
+            black_box(stmt)
+        })
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_sql_overhead);
+criterion_main!(benches);

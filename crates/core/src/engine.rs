@@ -205,6 +205,50 @@ impl Engine {
         self.prepare_fingerprinted(query, query.fingerprint(), choice)
     }
 
+    /// Parses and binds a SQL `SELECT` against this engine's catalog,
+    /// returning the lowered [`QuerySpec`] (see [`bqo_sql`] for the
+    /// supported grammar). Lexer/parser/binder errors surface as planning
+    /// errors carrying the caret diagnostic (or the structured
+    /// table/column/type variant) and the query text as the label.
+    pub fn parse_sql(&self, sql: &str) -> Result<QuerySpec, BqoError> {
+        bqo_sql::lower(sql, &self.inner.catalog)
+            .map_err(|e| BqoError::planning(bqo_sql::query_label(sql), e.to_storage()))
+    }
+
+    /// Parses, binds and prepares a literal SQL query — the SQL face of
+    /// [`Engine::prepare`]. The plan cache is consulted under the lowered
+    /// spec's canonical fingerprint, so the same query modulo literal
+    /// order (reordered predicates, swapped join sides, shuffled joins)
+    /// hits the same cache entry. Parameterized SQL (`$name` placeholders)
+    /// must go through [`Engine::bind_sql`].
+    pub fn prepare_sql(
+        &self,
+        sql: &str,
+        choice: OptimizerChoice,
+    ) -> Result<PreparedStatement, BqoError> {
+        let spec = self.parse_sql(sql)?;
+        let mut stmt = self.prepare(&spec, choice)?;
+        stmt.sql = Some(sql.to_string());
+        Ok(stmt)
+    }
+
+    /// Parses a parameterized SQL template and binds it with `params` — the
+    /// SQL face of [`Engine::bind`]: selectivities are re-derived from the
+    /// bound literals and the plan cache is consulted under the *template*
+    /// fingerprint, so repeated binds of one SQL template share a cache
+    /// entry.
+    pub fn bind_sql(
+        &self,
+        sql: &str,
+        params: &Params,
+        choice: OptimizerChoice,
+    ) -> Result<PreparedStatement, BqoError> {
+        let spec = self.parse_sql(sql)?;
+        let mut stmt = self.bind(&spec, params, choice)?;
+        stmt.sql = Some(sql.to_string());
+        Ok(stmt)
+    }
+
     /// Binds a parameterized query and prepares it: placeholders are
     /// substituted from `params`, per-relation cardinalities and
     /// selectivities are re-derived from catalog statistics for the bound
@@ -255,6 +299,7 @@ impl Engine {
             estimated_cost,
             cache_status,
             default_exec: self.inner.exec_config,
+            sql: None,
         })
     }
 
@@ -498,6 +543,9 @@ pub struct PreparedStatement {
     estimated_cost: CoutBreakdown,
     cache_status: CacheStatus,
     default_exec: ExecConfig,
+    /// The original SQL text, for statements prepared through
+    /// [`Engine::prepare_sql`] / [`Engine::bind_sql`].
+    sql: Option<String>,
 }
 
 impl PreparedStatement {
@@ -554,11 +602,23 @@ impl PreparedStatement {
     }
 
     /// EXPLAIN-style rendering of the plan followed by an explicit execution
-    /// configuration.
+    /// configuration. Statements prepared from SQL lead with the original
+    /// query text.
     pub fn explain_with(&self, config: ExecConfig) -> String {
-        let mut out = self.plan.explain(&self.graph);
+        let mut out = String::new();
+        if let Some(sql) = &self.sql {
+            out.push_str(&format!("sql: {sql}\n"));
+        }
+        out.push_str(&self.plan.explain(&self.graph));
         out.push_str(&render_exec_config(config));
         out
+    }
+
+    /// The original SQL text, for statements prepared through
+    /// [`Engine::prepare_sql`] / [`Engine::bind_sql`]; `None` for
+    /// spec-prepared statements.
+    pub fn sql(&self) -> Option<&str> {
+        self.sql.as_deref()
     }
 }
 

@@ -19,6 +19,13 @@
 //!   selectivities leave the cached plan's envelope transparently
 //!   re-optimizes (the regime where the paper shows bitvector placements
 //!   flip).
+//! * **SQL** — [`Engine::parse_sql`] lowers a SQL `SELECT` (see [`sql`] for
+//!   the grammar) to the same [`QuerySpec`] machinery;
+//!   [`Engine::prepare_sql`] / [`Engine::bind_sql`] add plan caching under
+//!   the canonical fingerprint (the same query modulo literal order hits
+//!   the same cache entry) and `$param` templates with bind-time
+//!   selectivity re-derivation. [`RequestBuilder::sql`] serves SQL text
+//!   through the [`Server`].
 //! * [`Session`] — a lightweight execution handle carrying per-session
 //!   [`ExecConfig`] overrides; [`Session::execute`] runs any statement
 //!   through the pull-based operator pipeline of `bqo-exec`, with
@@ -114,6 +121,7 @@ pub use bqo_bitvector as bitvector;
 pub use bqo_exec as exec;
 pub use bqo_optimizer as optimizer;
 pub use bqo_plan as plan;
+pub use bqo_sql as sql;
 pub use bqo_storage as storage;
 pub use bqo_workloads as workloads;
 
@@ -137,6 +145,7 @@ pub use bqo_plan::{
     ColumnPredicate, CompareOp, CostModel, CoutBreakdown, GraphShape, JoinGraph, Params,
     PhysicalPlan, QuerySpec, SelectivityEnvelope,
 };
+pub use bqo_sql::{SqlError, SqlErrorKind};
 pub use bqo_storage::{Catalog, ForeignKey, StorageError, Table, TableBuilder};
 
 /// Which optimizer to use for a query.

@@ -236,8 +236,9 @@ impl Request {
 
 /// Builder for [`Request`] — the single submit surface of the server.
 ///
-/// Exactly one statement source is required: [`RequestBuilder::query`]
-/// (optionally with [`RequestBuilder::params`]) or [`RequestBuilder::plan`].
+/// Exactly one statement source is required: [`RequestBuilder::query`] or
+/// [`RequestBuilder::sql`] (each optionally with [`RequestBuilder::params`]),
+/// or [`RequestBuilder::plan`].
 #[derive(Debug)]
 pub struct RequestBuilder {
     statement: Option<Statement>,
@@ -269,8 +270,20 @@ impl RequestBuilder {
         self
     }
 
+    /// Runs a SQL `SELECT` (see the `bqo-sql` crate for the supported
+    /// grammar), parsed and bound against the engine's catalog on the
+    /// dispatcher. Combine with [`RequestBuilder::params`] for `$param`
+    /// templates. Replaces any previously set statement.
+    pub fn sql(mut self, text: impl Into<String>) -> Self {
+        self.statement = Some(Statement::Sql {
+            text: text.into(),
+            params: None,
+        });
+        self
+    }
+
     /// Parameter bindings for a template query set with
-    /// [`RequestBuilder::query`].
+    /// [`RequestBuilder::query`] or [`RequestBuilder::sql`].
     pub fn params(mut self, params: &Params) -> Self {
         self.params = Some(params.clone());
         self
@@ -340,6 +353,7 @@ impl RequestBuilder {
                 })
             }
             (Some(Statement::Spec { spec, .. }), params) => Statement::Spec { spec, params },
+            (Some(Statement::Sql { text, .. }), params) => Statement::Sql { text, params },
             (Some(plan), None) => plan,
         };
         Ok(Request {
@@ -451,7 +465,8 @@ pub struct QueryOutput {
     /// Row count and execution metrics.
     pub result: QueryResult,
     /// Concatenated output rows, when requested via
-    /// [`QueryOptions::collect_rows`] (spec requests only).
+    /// [`QueryOptions::collect_rows`] (spec and SQL requests; hand-built
+    /// plan requests never carry rows).
     pub rows: Option<Batch>,
     /// How the plan was obtained from the plan cache (`None` for hand-built
     /// plan requests).
@@ -469,6 +484,12 @@ enum Statement {
     /// plan cache on the dispatcher.
     Spec {
         spec: QuerySpec,
+        params: Option<Params>,
+    },
+    /// A SQL `SELECT`, parsed and bound against the engine's catalog on the
+    /// dispatcher, then planned through the plan cache like a spec request.
+    Sql {
+        text: String,
         params: Option<Params>,
     },
     /// A hand-built physical plan (e.g. a specific join order under study).
@@ -1460,26 +1481,37 @@ fn run_request(shared: &ServerShared, request: &QueuedRequest) -> Result<QueryOu
         .options
         .exec_config
         .unwrap_or_else(|| engine.exec_config());
+    // Executes a statement prepared on the dispatcher (spec or SQL paths).
+    let execute_stmt = |stmt: crate::PreparedStatement| -> Result<QueryOutput, BqoError> {
+        let mut options = RunOptions::new()
+            .with_exec_config(config)
+            .with_cancel_token(request.cancel.clone());
+        if request.options.collect_rows {
+            options = options.collecting_rows();
+        }
+        let out = engine.session().execute(&stmt, options)?;
+        Ok(QueryOutput {
+            result: out.result,
+            rows: out.rows,
+            cache_status: Some(out.cache_status),
+            queue_wait: Duration::ZERO,
+            total_wall: Duration::ZERO,
+        })
+    };
     match &request.statement {
         Statement::Spec { spec, params } => {
             let stmt = match params {
                 Some(params) => engine.bind(spec, params, request.choice)?,
                 None => engine.prepare(spec, request.choice)?,
             };
-            let mut options = RunOptions::new()
-                .with_exec_config(config)
-                .with_cancel_token(request.cancel.clone());
-            if request.options.collect_rows {
-                options = options.collecting_rows();
-            }
-            let out = engine.session().execute(&stmt, options)?;
-            Ok(QueryOutput {
-                result: out.result,
-                rows: out.rows,
-                cache_status: Some(out.cache_status),
-                queue_wait: Duration::ZERO,
-                total_wall: Duration::ZERO,
-            })
+            execute_stmt(stmt)
+        }
+        Statement::Sql { text, params } => {
+            let stmt = match params {
+                Some(params) => engine.bind_sql(text, params, request.choice)?,
+                None => engine.prepare_sql(text, request.choice)?,
+            };
+            execute_stmt(stmt)
         }
         Statement::Plan { name, graph, plan } => {
             let result = engine.execute_plan_request(

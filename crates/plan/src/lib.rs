@@ -21,6 +21,8 @@
 //!   parameter placeholders ([`Params`], [`QuerySpec::bind`]).
 //! * [`fingerprint`] — canonical, order-invariant query fingerprints used as
 //!   plan-cache keys.
+//! * [`unparse`] — [`QuerySpec::to_sql`] / `Display`: renders a spec back to
+//!   SQL text for the `bqo-sql` frontend's round-trip fuzzing.
 
 pub mod builder;
 pub mod cost;
@@ -31,6 +33,7 @@ pub mod physical;
 pub mod predicate;
 pub mod pushdown;
 pub mod tree;
+pub mod unparse;
 
 pub use builder::QuerySpec;
 pub use cost::{CostModel, CoutBreakdown};

@@ -1,0 +1,167 @@
+//! Spanned abstract syntax tree for the SQL subset.
+//!
+//! Every name-bearing node carries the byte [`Span`] it was parsed from so
+//! the binder can point error carets at the exact offending fragment.
+
+use crate::error::Span;
+use bqo_plan::CompareOp;
+use bqo_storage::Value;
+
+/// An identifier with its source span.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Ident {
+    pub text: String,
+    pub span: Span,
+}
+
+/// A possibly qualified column reference (`x` or `a.x`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ColumnName {
+    pub qualifier: Option<Ident>,
+    pub column: Ident,
+}
+
+impl ColumnName {
+    /// The span covering the whole reference (qualifier included).
+    pub fn span(&self) -> Span {
+        match &self.qualifier {
+            Some(q) => q.span.to(self.column.span),
+            None => self.column.span,
+        }
+    }
+}
+
+/// The SELECT list: `*` or an explicit column list.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Projection {
+    Star,
+    Columns(Vec<ColumnName>),
+}
+
+/// A `FROM`/`JOIN` item: a table name with an optional alias.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TableRef {
+    pub table: Ident,
+    pub alias: Option<Ident>,
+}
+
+impl TableRef {
+    /// The name this item is addressable by in the rest of the query.
+    pub fn exposed_name(&self) -> &Ident {
+        self.alias.as_ref().unwrap_or(&self.table)
+    }
+}
+
+/// How a joined table relates to the tables before it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JoinKind {
+    /// `[INNER] JOIN ... ON <conditions>`
+    Inner,
+    /// `CROSS JOIN` (no conditions).
+    Cross,
+}
+
+/// One `col = col` equality inside an `ON` clause.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JoinOn {
+    pub left: ColumnName,
+    pub right: ColumnName,
+}
+
+impl JoinOn {
+    /// The span covering the whole condition.
+    pub fn span(&self) -> Span {
+        self.left.span().to(self.right.span())
+    }
+}
+
+/// One `JOIN` clause: the joined table and its `ON` conditions.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JoinClause {
+    pub kind: JoinKind,
+    pub table: TableRef,
+    pub conditions: Vec<JoinOn>,
+}
+
+/// The right-hand side of a `WHERE` comparison.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ScalarValue {
+    /// A typed literal.
+    Literal(Value),
+    /// A `$name` parameter placeholder.
+    Param(String),
+}
+
+/// A spanned scalar.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Scalar {
+    pub value: ScalarValue,
+    pub span: Span,
+}
+
+/// One `WHERE` conjunct: `column <op> literal-or-param`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WherePredicate {
+    pub column: ColumnName,
+    pub op: CompareOp,
+    pub value: Scalar,
+}
+
+/// A parsed `SELECT` statement.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SelectStatement {
+    pub projection: Projection,
+    pub from: TableRef,
+    pub joins: Vec<JoinClause>,
+    pub selection: Vec<WherePredicate>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spans_cover_qualified_names() {
+        let col = ColumnName {
+            qualifier: Some(Ident {
+                text: "a".into(),
+                span: Span::new(0, 1),
+            }),
+            column: Ident {
+                text: "x".into(),
+                span: Span::new(2, 3),
+            },
+        };
+        assert_eq!(col.span(), Span::new(0, 3));
+        let bare = ColumnName {
+            qualifier: None,
+            column: Ident {
+                text: "x".into(),
+                span: Span::new(2, 3),
+            },
+        };
+        assert_eq!(bare.span(), Span::new(2, 3));
+    }
+
+    #[test]
+    fn exposed_name_prefers_the_alias() {
+        let t = Ident {
+            text: "sales".into(),
+            span: Span::new(0, 5),
+        };
+        let a = Ident {
+            text: "s".into(),
+            span: Span::new(9, 10),
+        };
+        let no_alias = TableRef {
+            table: t.clone(),
+            alias: None,
+        };
+        assert_eq!(no_alias.exposed_name().text, "sales");
+        let aliased = TableRef {
+            table: t,
+            alias: Some(a),
+        };
+        assert_eq!(aliased.exposed_name().text, "s");
+    }
+}

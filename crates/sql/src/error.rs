@@ -1,0 +1,280 @@
+//! Spanned SQL errors with caret diagnostics.
+
+use bqo_storage::{DataType, StorageError};
+use std::fmt;
+
+/// A half-open byte range `start..end` into the original SQL text.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Span {
+    pub start: usize,
+    pub end: usize,
+}
+
+impl Span {
+    /// Creates a span covering `start..end`.
+    pub fn new(start: usize, end: usize) -> Self {
+        Span {
+            start,
+            end: end.max(start),
+        }
+    }
+
+    /// A zero-width span at one position (rendered as a single caret).
+    pub fn point(at: usize) -> Self {
+        Span::new(at, at)
+    }
+
+    /// The smallest span covering both `self` and `other`.
+    pub fn to(self, other: Span) -> Span {
+        Span::new(self.start.min(other.start), self.end.max(other.end))
+    }
+}
+
+/// What went wrong while lexing, parsing or binding a query.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SqlErrorKind {
+    /// Lexical or grammatical error; the message names the expectation.
+    Syntax(String),
+    /// A `FROM`/`JOIN` table (or a column qualifier) names no catalog table
+    /// and no alias in scope.
+    UnknownTable { name: String },
+    /// A column reference resolves to a table that has no such column
+    /// (`table` is `None` when no table in scope has the column).
+    UnknownColumn { name: String, table: Option<String> },
+    /// An unqualified column exists in more than one table in scope.
+    AmbiguousColumn {
+        name: String,
+        candidates: Vec<String>,
+    },
+    /// Two `FROM`/`JOIN` items share one exposed name.
+    DuplicateAlias { name: String },
+    /// One table is referenced twice (self-joins are not supported by the
+    /// execution engine).
+    DuplicateTable { name: String },
+    /// A `WHERE` literal's type is incompatible with its column's type.
+    TypeMismatch {
+        column: String,
+        expected: DataType,
+        found: DataType,
+    },
+    /// An `ON` condition that cannot lower to an equi-join edge.
+    InvalidJoin(String),
+}
+
+impl SqlErrorKind {
+    fn message(&self) -> String {
+        match self {
+            SqlErrorKind::Syntax(msg) => msg.clone(),
+            SqlErrorKind::UnknownTable { name } => {
+                format!("unknown table or alias `{name}`")
+            }
+            SqlErrorKind::UnknownColumn {
+                name,
+                table: Some(table),
+            } => format!("column `{name}` does not exist in table `{table}`"),
+            SqlErrorKind::UnknownColumn { name, table: None } => {
+                format!("column `{name}` does not exist in any table in scope")
+            }
+            SqlErrorKind::AmbiguousColumn { name, candidates } => format!(
+                "column `{name}` is ambiguous; it exists in tables {}",
+                candidates
+                    .iter()
+                    .map(|t| format!("`{t}`"))
+                    .collect::<Vec<_>>()
+                    .join(", ")
+            ),
+            SqlErrorKind::DuplicateAlias { name } => {
+                format!("duplicate table alias `{name}`")
+            }
+            SqlErrorKind::DuplicateTable { name } => format!(
+                "table `{name}` is referenced more than once (self-joins are not supported)"
+            ),
+            SqlErrorKind::TypeMismatch {
+                column,
+                expected,
+                found,
+            } => format!(
+                "type mismatch: column `{column}` has type {expected}, literal has type {found}"
+            ),
+            SqlErrorKind::InvalidJoin(msg) => msg.clone(),
+        }
+    }
+}
+
+/// A lexing/parsing/binding error carrying the offending [`Span`] and a
+/// rendered caret diagnostic pointing into the original SQL text.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SqlError {
+    kind: SqlErrorKind,
+    span: Span,
+    diagnostic: String,
+}
+
+impl SqlError {
+    /// Builds an error, rendering the caret diagnostic against `sql`.
+    pub fn new(kind: SqlErrorKind, span: Span, sql: &str) -> Self {
+        let diagnostic = render_diagnostic(&kind.message(), span, sql);
+        SqlError {
+            kind,
+            span,
+            diagnostic,
+        }
+    }
+
+    /// The error category and its payload.
+    pub fn kind(&self) -> &SqlErrorKind {
+        &self.kind
+    }
+
+    /// The byte range of the offending fragment in the original SQL.
+    pub fn span(&self) -> Span {
+        self.span
+    }
+
+    /// Maps the error onto the engine's [`StorageError`] vocabulary so SQL
+    /// planning failures travel the same error channel as spec planning
+    /// failures. Structured name-resolution and type errors keep their
+    /// variants; everything else carries the full caret diagnostic.
+    pub fn to_storage(&self) -> StorageError {
+        match &self.kind {
+            SqlErrorKind::UnknownTable { name } => StorageError::TableNotFound {
+                table: name.clone(),
+            },
+            SqlErrorKind::UnknownColumn {
+                name,
+                table: Some(table),
+            } => StorageError::ColumnNotFound {
+                table: table.clone(),
+                column: name.clone(),
+            },
+            SqlErrorKind::TypeMismatch {
+                expected, found, ..
+            } => StorageError::TypeMismatch {
+                expected: expected.to_string(),
+                actual: found.to_string(),
+            },
+            _ => StorageError::InvalidArgument(self.diagnostic.clone()),
+        }
+    }
+}
+
+impl fmt::Display for SqlError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.diagnostic)
+    }
+}
+
+impl std::error::Error for SqlError {}
+
+/// Renders `message` plus the source line containing `span` with carets
+/// underneath the offending fragment:
+///
+/// ```text
+/// unknown table or alias `nope` (line 1, column 15)
+///   | SELECT * FROM nope
+///   |               ^^^^
+/// ```
+fn render_diagnostic(message: &str, span: Span, sql: &str) -> String {
+    let start = span.start.min(sql.len());
+    let line_start = sql[..start].rfind('\n').map_or(0, |i| i + 1);
+    let line_end = sql[start..].find('\n').map_or(sql.len(), |i| start + i);
+    let line = &sql[line_start..line_end];
+    let line_no = sql[..start].matches('\n').count() + 1;
+    let col = sql[line_start..start].chars().count() + 1;
+    let caret_width = sql[start..span.end.min(line_end)].chars().count().max(1);
+    format!(
+        "{message} (line {line_no}, column {col})\n  | {line}\n  | {}{}",
+        " ".repeat(col - 1),
+        "^".repeat(caret_width)
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn diagnostic_points_at_the_fragment() {
+        let sql = "SELECT * FROM nope";
+        let err = SqlError::new(
+            SqlErrorKind::UnknownTable {
+                name: "nope".into(),
+            },
+            Span::new(14, 18),
+            sql,
+        );
+        let rendered = err.to_string();
+        assert!(
+            rendered.contains("unknown table or alias `nope`"),
+            "{rendered}"
+        );
+        assert!(rendered.contains("(line 1, column 15)"), "{rendered}");
+        assert!(rendered.contains("SELECT * FROM nope"), "{rendered}");
+        assert!(rendered.contains("^^^^"), "{rendered}");
+        assert_eq!(err.span(), Span::new(14, 18));
+    }
+
+    #[test]
+    fn diagnostic_handles_multiline_sql_and_eof_spans() {
+        let sql = "SELECT *\nFROM t WHERE";
+        let err = SqlError::new(
+            SqlErrorKind::Syntax("expected a predicate".into()),
+            Span::point(sql.len()),
+            sql,
+        );
+        let rendered = err.to_string();
+        assert!(rendered.contains("(line 2, column 13)"), "{rendered}");
+        assert!(rendered.ends_with('^'), "{rendered}");
+    }
+
+    #[test]
+    fn storage_mapping_keeps_structured_variants() {
+        let sql = "SELECT * FROM t";
+        let unknown_table = SqlError::new(
+            SqlErrorKind::UnknownTable { name: "t".into() },
+            Span::new(14, 15),
+            sql,
+        );
+        assert!(matches!(
+            unknown_table.to_storage(),
+            StorageError::TableNotFound { ref table } if table == "t"
+        ));
+        let unknown_col = SqlError::new(
+            SqlErrorKind::UnknownColumn {
+                name: "c".into(),
+                table: Some("t".into()),
+            },
+            Span::new(7, 8),
+            sql,
+        );
+        assert!(matches!(
+            unknown_col.to_storage(),
+            StorageError::ColumnNotFound { ref table, ref column } if table == "t" && column == "c"
+        ));
+        let mismatch = SqlError::new(
+            SqlErrorKind::TypeMismatch {
+                column: "c".into(),
+                expected: DataType::Int64,
+                found: DataType::Utf8,
+            },
+            Span::new(7, 8),
+            sql,
+        );
+        assert!(matches!(
+            mismatch.to_storage(),
+            StorageError::TypeMismatch { .. }
+        ));
+        let syntax = SqlError::new(SqlErrorKind::Syntax("boom".into()), Span::point(0), sql);
+        assert!(matches!(
+            syntax.to_storage(),
+            StorageError::InvalidArgument(ref m) if m.contains("boom")
+        ));
+    }
+
+    #[test]
+    fn span_accessors() {
+        assert_eq!(Span::new(3, 1), Span { start: 3, end: 3 });
+        assert_eq!(Span::point(5), Span { start: 5, end: 5 });
+        assert_eq!(Span::new(2, 4).to(Span::new(7, 9)), Span::new(2, 9));
+    }
+}

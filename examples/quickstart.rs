@@ -1,7 +1,8 @@
 //! Quickstart: build a tiny warehouse by hand with the [`Engine`] builder,
 //! prepare a *parameterized* query once, serve it for several parameter
 //! bindings through a [`Session`] — repeated binds skip the optimizer via the
-//! engine's plan cache — and finally shape a concurrent burst of requests
+//! engine's plan cache — then serve the same template as *SQL text* (landing
+//! on the same cached plan), and finally shape a concurrent burst of requests
 //! through the admission-controlled [`Server`] front end.
 //!
 //! ```text
@@ -133,6 +134,36 @@ fn main() {
     println!(
         "engine              : {} pooled workers, {} tables (catalog v{})",
         snapshot.pool_workers, snapshot.catalog_tables, snapshot.catalog_version
+    );
+
+    // The same template as SQL text: `$category` / `$region` are named
+    // placeholders, and the lowered query normalizes to the *same*
+    // plan-cache fingerprint as the hand-built spec above — the very first
+    // SQL bind is already a cache hit.
+    let sql = "SELECT * FROM sales \
+               JOIN product ON sales.product_sk = product.product_sk \
+               JOIN store ON sales.store_sk = store.store_sk \
+               WHERE product.category = $category AND store.region = $region";
+    for (category, region) in [(3i64, 0i64), (21, 7), (38, 2)] {
+        let params = Params::new()
+            .set("category", category)
+            .set("region", region);
+        let stmt = engine
+            .bind_sql(sql, &params, OptimizerChoice::Bqo)
+            .expect("SQL binds");
+        serve(
+            &session,
+            &format!(
+                "SQL bind category={category} region={region} ({:?})",
+                stmt.cache_status()
+            ),
+            &stmt,
+        );
+    }
+    let cache = engine.stats().cache;
+    println!(
+        "plan cache after SQL: {} hits, {} misses, {} re-optimizations",
+        cache.hits, cache.misses, cache.reoptimizations
     );
 
     // Production-style serving: a burst of binds from two tenants submitted

@@ -4,6 +4,9 @@
 //! random join-graph construction used by the property-based tests of the
 //! paper's theorems.
 
+pub mod mini;
+pub mod slt;
+
 use bqo_plan::{JoinEdge, JoinGraph, RelationInfo};
 
 /// Worker-thread count requested for this test run via the

@@ -1,0 +1,104 @@
+//! A tiny, fully hand-written snowflake warehouse for the SQL conformance
+//! harness and the round-trip fuzzer.
+//!
+//! Unlike the generated workload catalogs, every row here is spelled out, so
+//! expected results in `tests/slt/*.slt` stay human-checkable:
+//!
+//! ```text
+//! brand(brand_sk PK, brand_name, premium)            3 rows
+//!   ^ item(item_sk PK, brand_sk FK, price, item_label)   8 rows
+//!       ^ sales(item_sk FK, store_sk FK, qty, discount)  24 rows
+//!   store(store_sk PK, region, store_label)              4 rows
+//! ```
+//!
+//! `sales` references every item in stores 0–2; store 3 (`region = 30`)
+//! has no sales, which gives joins a natural empty-result path.
+
+use bqo_storage::{Catalog, ForeignKey, TableBuilder};
+
+/// Number of rows in the `sales` fact table.
+pub const SALES_ROWS: usize = 24;
+
+/// Builds the mini warehouse catalog (see module docs).
+pub fn mini_catalog() -> Catalog {
+    let mut catalog = Catalog::new();
+    catalog.register_table(
+        TableBuilder::new("brand")
+            .with_i64("brand_sk", vec![0, 1, 2])
+            .with_utf8(
+                "brand_name",
+                vec!["acme".into(), "bolt".into(), "crisp".into()],
+            )
+            .with_bool("premium", vec![false, true, false])
+            .build()
+            .expect("brand table"),
+    );
+    catalog.register_table(
+        TableBuilder::new("item")
+            .with_i64("item_sk", (0..8).collect())
+            .with_i64("brand_sk", vec![0, 1, 2, 0, 1, 2, 0, 1])
+            .with_f64("price", vec![1.5, 2.0, 2.5, 3.0, 3.5, 4.0, 4.5, 5.0])
+            .with_utf8("item_label", (0..8).map(|i| format!("i{i}")).collect())
+            .build()
+            .expect("item table"),
+    );
+    catalog.register_table(
+        TableBuilder::new("store")
+            .with_i64("store_sk", vec![0, 1, 2, 3])
+            .with_i64("region", vec![10, 10, 20, 30])
+            .with_utf8("store_label", (0..4).map(|i| format!("s{i}")).collect())
+            .build()
+            .expect("store table"),
+    );
+    let rows = 0..SALES_ROWS as i64;
+    catalog.register_table(
+        TableBuilder::new("sales")
+            .with_i64("item_sk", rows.clone().map(|r| r % 8).collect())
+            .with_i64("store_sk", rows.clone().map(|r| r / 8).collect())
+            .with_i64("qty", rows.clone().map(|r| r % 5 + 1).collect())
+            .with_f64("discount", rows.map(|r| (r % 3) as f64 * 0.5).collect())
+            .build()
+            .expect("sales table"),
+    );
+    catalog
+        .declare_primary_key("brand", "brand_sk")
+        .expect("brand pk");
+    catalog
+        .declare_primary_key("item", "item_sk")
+        .expect("item pk");
+    catalog
+        .declare_primary_key("store", "store_sk")
+        .expect("store pk");
+    catalog
+        .declare_foreign_key(ForeignKey::new("sales", "item_sk", "item", "item_sk"))
+        .expect("sales->item fk");
+    catalog
+        .declare_foreign_key(ForeignKey::new("sales", "store_sk", "store", "store_sk"))
+        .expect("sales->store fk");
+    catalog
+        .declare_foreign_key(ForeignKey::new("item", "brand_sk", "brand", "brand_sk"))
+        .expect("item->brand fk");
+    catalog
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mini_catalog_shape() {
+        let catalog = mini_catalog();
+        assert_eq!(catalog.table_meta("brand").unwrap().stats.row_count, 3);
+        assert_eq!(catalog.table_meta("item").unwrap().stats.row_count, 8);
+        assert_eq!(catalog.table_meta("store").unwrap().stats.row_count, 4);
+        assert_eq!(
+            catalog.table_meta("sales").unwrap().stats.row_count,
+            SALES_ROWS
+        );
+        assert!(catalog.is_unique_column("item", "item_sk"));
+        // Store 3 never appears in sales (the empty-result join path).
+        let sales = &catalog.table_meta("sales").unwrap().table;
+        let store_col = sales.column("store_sk").unwrap();
+        assert!((0..SALES_ROWS).all(|r| store_col.value(r) != bqo_storage::Value::Int64(3)));
+    }
+}
