@@ -1,0 +1,145 @@
+//! Probe throughput — scalar row-at-a-time versus vectorized word-level
+//! probe kernels (ISSUE 8 tentpole).
+//!
+//! Two levels:
+//!
+//! * **kernel**: one key column probed against each filter shape (dense
+//!   bitmap, sparse-fallback bitmap, exact set, Bloom, blocked Bloom) with
+//!   the scalar `maybe_contains` loop and with `probe_words` (64 keys per
+//!   survivor word). Survivor counts are asserted identical first.
+//! * **end-to-end**: the star workload's BQO plans executed under
+//!   `KernelMode::Scalar` and `KernelMode::Vectorized` (single-threaded,
+//!   unbatched, so the kernel shape is the only variable), with rows and
+//!   filter counters asserted identical.
+//!
+//! The acceptance target is ≥2x rows/sec on the scan+probe kernel path at
+//! scale 0.1; `cargo run -p bqo-bench --bin reproduce --release --
+//! probe_throughput` prints the measured table and writes
+//! `BENCH_probe.json`.
+
+use bqo_core::bitvector::{AnyFilter, BitvectorFilter, FilterKind};
+use bqo_core::exec::{ExecConfig, KernelMode};
+use bqo_core::workloads::{star, Scale};
+use bqo_core::{Engine, OptimizerChoice, RunOptions};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+/// Deterministic xorshift key stream over a 100k domain.
+fn make_keys(n: usize) -> Vec<i64> {
+    let mut state = 0x2545_F491_4F6C_DD1Du64;
+    (0..n)
+        .map(|_| {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            (state % 100_000) as i64
+        })
+        .collect()
+}
+
+fn bench_probe_kernels(c: &mut Criterion) {
+    let keys = make_keys(1_000_000);
+    let members: Vec<i64> = (0..40_000).collect();
+    let shapes: Vec<(&str, AnyFilter, Vec<i64>)> = vec![
+        (
+            "bitmap",
+            AnyFilter::from_keys(FilterKind::Bitmap, &members),
+            keys.clone(),
+        ),
+        (
+            "exact",
+            AnyFilter::from_keys(FilterKind::Exact, &members),
+            keys.clone(),
+        ),
+        (
+            "bloom8",
+            AnyFilter::from_keys(FilterKind::Bloom { bits_per_key: 8 }, &members),
+            keys.clone(),
+        ),
+        (
+            "blocked_bloom8",
+            AnyFilter::from_keys(FilterKind::BlockedBloom { bits_per_key: 8 }, &members),
+            keys.clone(),
+        ),
+    ];
+
+    let mut group = c.benchmark_group("fig_probe_throughput/kernel");
+    group.sample_size(10);
+    for (label, filter, probe_keys) in &shapes {
+        // The two shapes must agree before either is worth timing.
+        let scalar_survivors: u64 = probe_keys
+            .iter()
+            .map(|&k| filter.maybe_contains(k) as u64)
+            .sum();
+        let mut words = Vec::new();
+        filter.probe_words(probe_keys, &mut words);
+        let vector_survivors: u64 = words.iter().map(|w| w.count_ones() as u64).sum();
+        assert_eq!(scalar_survivors, vector_survivors, "{label}");
+
+        group.bench_function(format!("{label}/scalar"), |b| {
+            b.iter(|| {
+                black_box(
+                    probe_keys
+                        .iter()
+                        .map(|&k| filter.maybe_contains(k) as u64)
+                        .sum::<u64>(),
+                )
+            })
+        });
+        group.bench_function(format!("{label}/word"), |b| {
+            let mut words = Vec::new();
+            b.iter(|| {
+                filter.probe_words(probe_keys, &mut words);
+                black_box(words.iter().map(|w| w.count_ones() as u64).sum::<u64>())
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_end_to_end(c: &mut Criterion) {
+    let workload = star::generate(Scale(0.1), 4, 4, 11);
+    let engine = Engine::from_catalog(workload.catalog.clone());
+    let session = engine.session();
+    let prepared: Vec<_> = workload
+        .queries
+        .iter()
+        .map(|q| engine.prepare(q, OptimizerChoice::Bqo).unwrap())
+        .collect();
+    let base = ExecConfig::default()
+        .with_batch_size(usize::MAX)
+        .with_num_threads(1);
+
+    let run_all = |config: ExecConfig| -> (u64, u64) {
+        prepared
+            .iter()
+            .map(|p| {
+                let out = session
+                    .execute(p, RunOptions::new().with_exec_config(config))
+                    .unwrap();
+                (
+                    out.result.output_rows,
+                    out.result.metrics.filter_stats.probed,
+                )
+            })
+            .fold((0, 0), |(r, p), (dr, dp)| (r + dr, p + dp))
+    };
+
+    let scalar = run_all(base.with_kernel_mode(KernelMode::Scalar));
+    let vectorized = run_all(base.with_kernel_mode(KernelMode::Vectorized));
+    assert_eq!(scalar, vectorized, "kernel modes must agree bit for bit");
+
+    let mut group = c.benchmark_group("fig_probe_throughput/end_to_end");
+    group.sample_size(10);
+    for (label, mode) in [
+        ("scalar", KernelMode::Scalar),
+        ("vectorized", KernelMode::Vectorized),
+    ] {
+        let config = base.with_kernel_mode(mode);
+        group.bench_function(label, |b| b.iter(|| black_box(run_all(config))));
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_probe_kernels, bench_end_to_end);
+criterion_main!(benches);

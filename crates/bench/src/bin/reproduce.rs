@@ -9,7 +9,11 @@
 //!
 //! Available experiments: `fig2`, `table2`, `table3`, `fig7`, `fig8`, `fig9`,
 //! `fig10`, `table4`, `parallel_scaling`, `serving_throughput`, `scheduling`,
-//! `ablation_threshold`, `ablation_fpr`, `all`.
+//! `probe_throughput`, `ablation_threshold`, `ablation_fpr`, `all`.
+//!
+//! `probe_throughput` additionally writes the machine-readable
+//! `BENCH_probe.json` (rows/sec per kernel, scalar vs vectorized) next to
+//! `EXPERIMENTS.md` so later PRs have a perf trajectory to regress against.
 //!
 //! Full (`all`) runs write the Markdown record to `EXPERIMENTS.md` in the
 //! current directory. Partial runs leave the committed record alone unless
@@ -93,6 +97,15 @@ fn paper_reference(section: &str) -> Option<&'static str> {
              probes past a slow batch backlog while FIFO drains the backlog \
              first, with bit-identical answers either way \
              (tests/tests/server_oracle.rs).",
+        ),
+        "probe_throughput" => Some(
+            "Paper (Section 6 setup): the evaluation ran inside SQL Server, \
+             whose batch-mode execution probes bitmap filters over vectors of \
+             rows rather than row-at-a-time. This reproduction's word-level \
+             probe kernels (selection-vector batches, 64 rows per survivor \
+             word) play that role; the scalar kernels remain as the \
+             differential oracle and both modes are bit-identical \
+             (tests/tests/kernel_oracle.rs).",
         ),
         "ablation_threshold" => Some(
             "Paper (Section 6.3): the λ threshold trades filter count against \
@@ -229,6 +242,13 @@ fn main() {
             "scheduling",
             report::render_scheduling(&experiments::run_scheduling(scale, 4)),
         );
+    }
+    if wants("probe_throughput") {
+        let result = experiments::run_probe_throughput(scale);
+        record("probe_throughput", report::render_probe_throughput(&result));
+        let json = report::render_probe_json(&result);
+        std::fs::write("BENCH_probe.json", &json).expect("write BENCH_probe.json");
+        println!("wrote BENCH_probe.json");
     }
     if wants("ablation_threshold") {
         record(

@@ -6,8 +6,9 @@
 //! a `print_*` convenience wrapper.
 
 use crate::experiments::{
-    Figure2Result, Figure7Point, FilterKindAblationRow, ParallelScalingResult, SchedulingResult,
-    ServingThroughputResult, Table2Row, ThresholdAblationRow,
+    Figure2Result, Figure7Point, FilterKindAblationRow, ParallelScalingResult,
+    ProbeThroughputResult, SchedulingResult, ServingThroughputResult, Table2Row,
+    ThresholdAblationRow,
 };
 use bqo_core::experiment::{BitvectorEffectReport, WorkloadReport};
 use bqo_core::workloads::WorkloadStats;
@@ -546,6 +547,93 @@ pub fn render_scheduling(result: &SchedulingResult) -> String {
     out
 }
 
+/// Renders the probe-throughput comparison (ISSUE 8 acceptance: ≥2x on the
+/// scan+probe kernel path at scale 0.1).
+pub fn print_probe_throughput(result: &ProbeThroughputResult) {
+    print!("{}", render_probe_throughput(result));
+}
+
+/// Render variant of [`print_probe_throughput`], returning the section text.
+pub fn render_probe_throughput(result: &ProbeThroughputResult) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "Probe throughput — scalar row-at-a-time vs vectorized word-level kernels \
+         ({} keys per round)",
+        result.keys_per_round
+    );
+    let _ = writeln!(
+        out,
+        "{:>26} {:>16} {:>16} {:>9} {:>12}",
+        "kernel", "scalar Mrows/s", "vector Mrows/s", "speedup", "survivors"
+    );
+    for point in result
+        .kernels
+        .iter()
+        .chain(std::iter::once(&result.end_to_end))
+    {
+        let _ = writeln!(
+            out,
+            "{:>26} {:>16.1} {:>16.1} {:>8.2}x {:>12}",
+            point.kernel,
+            point.scalar_mrows_per_sec,
+            point.vectorized_mrows_per_sec,
+            point.speedup,
+            point.survivors
+        );
+    }
+    let _ = writeln!(
+        out,
+        "(survivor counts are asserted identical between the two shapes; \
+         end-to-end rows/sec counts bitvector-probed tuples per second across \
+         the star workload's BQO plans)"
+    );
+    let _ = writeln!(out);
+    out
+}
+
+/// Machine-readable record of the probe-throughput run (`BENCH_probe.json`):
+/// rows/sec per kernel, scalar vs vectorized, so later PRs can regress
+/// against the trajectory. Hand-rolled JSON — the build has no serde.
+pub fn render_probe_json(result: &ProbeThroughputResult) -> String {
+    fn entry(out: &mut String, point: &crate::experiments::ProbeKernelPoint) {
+        let _ = write!(
+            out,
+            "    {{\"kernel\": \"{}\", \"scalar_rows_per_sec\": {:.0}, \
+             \"vectorized_rows_per_sec\": {:.0}, \"speedup\": {:.3}, \
+             \"survivors\": {}}}",
+            point.kernel,
+            point.scalar_mrows_per_sec * 1e6,
+            point.vectorized_mrows_per_sec * 1e6,
+            point.speedup,
+            point.survivors
+        );
+    }
+    let mut out = String::new();
+    let _ = writeln!(out, "{{");
+    let _ = writeln!(out, "  \"experiment\": \"probe_throughput\",");
+    let _ = writeln!(out, "  \"keys_per_round\": {},", result.keys_per_round);
+    let _ = writeln!(out, "  \"kernels\": [");
+    for (i, point) in result.kernels.iter().enumerate() {
+        entry(&mut out, point);
+        let _ = writeln!(
+            out,
+            "{}",
+            if i + 1 < result.kernels.len() {
+                ","
+            } else {
+                ""
+            }
+        );
+    }
+    let _ = writeln!(out, "  ],");
+    let _ = writeln!(out, "  \"end_to_end\":");
+    entry(&mut out, &result.end_to_end);
+    let _ = writeln!(out);
+    let _ = writeln!(out, "}}");
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -566,5 +654,22 @@ mod tests {
         print_parallel_scaling(&experiments::run_parallel_scaling(Scale(0.01), 1));
         print_serving_throughput(&experiments::run_serving_throughput(Scale(0.01), 8));
         print_scheduling(&experiments::run_scheduling(Scale(0.01), 2));
+        print_probe_throughput(&experiments::run_probe_throughput(Scale(0.01)));
+    }
+
+    #[test]
+    fn probe_json_is_well_formed() {
+        let result = experiments::run_probe_throughput(Scale(0.01));
+        let json = render_probe_json(&result);
+        // Structural smoke checks (no JSON parser in the build): balanced
+        // braces/brackets, one object per kernel plus the end-to-end entry.
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        assert_eq!(json.matches('[').count(), json.matches(']').count());
+        assert_eq!(
+            json.matches("\"kernel\":").count(),
+            result.kernels.len() + 1
+        );
+        assert!(json.contains("\"experiment\": \"probe_throughput\""));
+        assert!(json.contains("end_to_end(scan+probe)"));
     }
 }

@@ -71,6 +71,27 @@ impl RangeBitmapFilter {
     }
 }
 
+/// Branchless dense probe of up to 64 keys: out-of-range offsets are clamped
+/// to 0 (so the word load stays in bounds without a data-dependent branch)
+/// and the loaded bit is ANDed with the range check. `words` must be
+/// non-empty for the clamp to be valid; the empty bitmap rejects everything.
+#[inline]
+fn dense_probe_word(min: i64, words: &[u64], keys: &[i64]) -> u64 {
+    if words.is_empty() {
+        return 0;
+    }
+    let limit = (words.len() * 64) as u64;
+    let mut mask = 0u64;
+    for (i, &k) in keys.iter().enumerate() {
+        let offset = k.wrapping_sub(min) as u64;
+        let in_range = (offset < limit) as u64;
+        let safe = if offset < limit { offset } else { 0 };
+        let bit = (words[(safe / 64) as usize] >> (safe % 64)) & 1;
+        mask |= (bit & in_range) << i;
+    }
+    mask
+}
+
 impl BitvectorFilter for RangeBitmapFilter {
     fn insert(&mut self, key: i64) {
         match self {
@@ -119,6 +140,53 @@ impl BitvectorFilter for RangeBitmapFilter {
                 words[offset / 64] & (1u64 << (offset % 64)) != 0
             }
             RangeBitmapFilter::Sparse(set) => set.contains(&key),
+        }
+    }
+
+    // Word-level probe: the representation dispatch, `min` and the bit-count
+    // limit are hoisted out of the per-key loop, and the dense inner loop is
+    // branchless — a negative offset wraps to a huge unsigned value, so a
+    // single unsigned compare performs both range checks (bit-identical to
+    // the scalar probe above: `words.len() * 64 <= i64::MAX - 1 < 2^63`,
+    // while any negative offset reinterprets to `>= 2^63`). Out-of-range
+    // offsets are clamped to 0 before the word load and the loaded bit is
+    // masked by the range check, so the loop has no data-dependent branch to
+    // mispredict (the scalar probe's early return costs ~1 mispredict per
+    // probe on mixed hit/miss streams).
+    fn probe_word(&self, keys: &[i64]) -> u64 {
+        debug_assert!(keys.len() <= 64, "probe_word takes at most 64 keys");
+        match self {
+            RangeBitmapFilter::Bitmap { min, words, .. } => dense_probe_word(*min, words, keys),
+            RangeBitmapFilter::Sparse(set) => {
+                let mut mask = 0u64;
+                for (i, &k) in keys.iter().enumerate() {
+                    mask |= (set.contains(&k) as u64) << i;
+                }
+                mask
+            }
+        }
+    }
+
+    // Whole-slice override: one representation dispatch for the entire key
+    // slice instead of one per 64-key chunk.
+    fn probe_words(&self, keys: &[i64], out: &mut Vec<u64>) {
+        out.clear();
+        out.reserve(keys.len().div_ceil(64));
+        match self {
+            RangeBitmapFilter::Bitmap { min, words, .. } => {
+                for chunk in keys.chunks(64) {
+                    out.push(dense_probe_word(*min, words, chunk));
+                }
+            }
+            RangeBitmapFilter::Sparse(set) => {
+                for chunk in keys.chunks(64) {
+                    let mut mask = 0u64;
+                    for (i, &k) in chunk.iter().enumerate() {
+                        mask |= (set.contains(&k) as u64) << i;
+                    }
+                    out.push(mask);
+                }
+            }
         }
     }
 

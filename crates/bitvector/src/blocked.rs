@@ -71,6 +71,30 @@ impl BitvectorFilter for BlockedBloomFilter {
             .all(|&pos| self.words[base + (pos / 64) as usize] & (1u64 << (pos % 64)) != 0)
     }
 
+    // Word-level probe over the cache-line blocked layout: every key still
+    // touches exactly one block, but the hash-count load and word slice are
+    // hoisted and the per-key early-exit loop is inlined. Bit-identical to
+    // `maybe_contains` per key.
+    fn probe_word(&self, keys: &[i64]) -> u64 {
+        debug_assert!(keys.len() <= 64, "probe_word takes at most 64 keys");
+        let hashes = self.hashes_per_key as usize;
+        let words = self.words.as_slice();
+        let mut mask = 0u64;
+        for (i, &k) in keys.iter().enumerate() {
+            let (block, positions) = self.block_and_bits(k);
+            let base = block * BLOCK_WORDS;
+            let mut hit = true;
+            for &pos in positions.iter().take(hashes) {
+                if words[base + (pos / 64) as usize] & (1u64 << (pos % 64)) == 0 {
+                    hit = false;
+                    break;
+                }
+            }
+            mask |= (hit as u64) << i;
+        }
+        mask
+    }
+
     fn inserted(&self) -> usize {
         self.inserted
     }

@@ -83,6 +83,32 @@ impl BitvectorFilter for BloomFilter {
             .all(|pos| self.bits[(pos / 64) as usize] & (1u64 << (pos % 64)) != 0)
     }
 
+    // Word-level probe: hoists the mask / hash-count loads out of the loop
+    // and inlines the double-hashing scheme, computing one survivor mask for
+    // up to 64 keys. Bit-identical to `maybe_contains` per key.
+    fn probe_word(&self, keys: &[i64]) -> u64 {
+        debug_assert!(keys.len() <= 64, "probe_word takes at most 64 keys");
+        let bit_mask = self.bit_mask;
+        let num_hashes = self.num_hashes as u64;
+        let bits = self.bits.as_slice();
+        let mut mask = 0u64;
+        for (i, &k) in keys.iter().enumerate() {
+            let h = hash_key(k);
+            let h1 = h & 0xffff_ffff;
+            let h2 = (h >> 32) | 1;
+            let mut hit = true;
+            for j in 0..num_hashes {
+                let pos = h1.wrapping_add(j.wrapping_mul(h2)) & bit_mask;
+                if bits[(pos / 64) as usize] & (1u64 << (pos % 64)) == 0 {
+                    hit = false;
+                    break;
+                }
+            }
+            mask |= (hit as u64) << i;
+        }
+        mask
+    }
+
     fn inserted(&self) -> usize {
         self.inserted
     }

@@ -41,6 +41,18 @@ impl BitvectorFilter for ExactFilter {
         self.keys.contains(&key)
     }
 
+    // Word-level probe entry point: the set lookup cannot be batched, but
+    // overriding keeps the mask assembly loop free of the trait-object
+    // indirection the default would pay per key.
+    fn probe_word(&self, keys: &[i64]) -> u64 {
+        debug_assert!(keys.len() <= 64, "probe_word takes at most 64 keys");
+        let mut mask = 0u64;
+        for (i, k) in keys.iter().enumerate() {
+            mask |= (self.keys.contains(k) as u64) << i;
+        }
+        mask
+    }
+
     fn inserted(&self) -> usize {
         self.keys.len()
     }

@@ -104,6 +104,26 @@ pub fn combine_key(parts: &[i64]) -> i64 {
     }
 }
 
+/// Chunked composite-key hashing: folds one key column's parts into the
+/// per-row accumulators, element-wise (`acc[i] = hash_pair(acc[i],
+/// parts[i])`). Calling this once per key column over accumulators that
+/// start at zero and then casting to `i64` reproduces [`combine_key`]'s
+/// multi-part fold exactly, column-at-a-time instead of row-at-a-time.
+///
+/// # Panics
+/// Panics if the slices have different lengths.
+#[inline]
+pub fn fold_parts(acc: &mut [u64], parts: &[i64]) {
+    assert_eq!(
+        acc.len(),
+        parts.len(),
+        "accumulator / parts length mismatch"
+    );
+    for (a, &p) in acc.iter_mut().zip(parts) {
+        *a = hash_pair(*a, p);
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -136,6 +156,32 @@ mod tests {
         assert_ne!(combine_key(&[1, 2]), combine_key(&[2, 1]));
         assert_ne!(combine_key(&[1, 2]), combine_key(&[1, 3]));
         assert_eq!(combine_key(&[5, 9]), combine_key(&[5, 9]));
+    }
+
+    #[test]
+    fn fold_parts_matches_combine_key() {
+        let cols = [
+            vec![1i64, -2, 3, i64::MAX],
+            vec![9i64, 0, i64::MIN, -1],
+            vec![7i64, 7, 7, 7],
+        ];
+        let mut acc = vec![0u64; 4];
+        for col in &cols {
+            fold_parts(&mut acc, col);
+        }
+        for i in 0..4 {
+            assert_eq!(
+                acc[i] as i64,
+                combine_key(&[cols[0][i], cols[1][i], cols[2][i]])
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn fold_parts_rejects_length_mismatch() {
+        let mut acc = vec![0u64; 2];
+        fold_parts(&mut acc, &[1]);
     }
 
     #[test]

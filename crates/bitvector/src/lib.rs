@@ -46,6 +46,38 @@ pub trait BitvectorFilter: Send + Sync {
     /// it is present (exact filter) or probably present (Bloom variants).
     fn maybe_contains(&self, key: i64) -> bool;
 
+    /// Probes up to 64 keys at once, returning a survivor mask: bit `i` is
+    /// set iff `maybe_contains(keys[i])` would return true. Bits at
+    /// positions `>= keys.len()` are always zero.
+    ///
+    /// The default delegates to the scalar probe; implementations override
+    /// it with loops that hoist representation dispatch and field loads out
+    /// of the per-key work. Overrides must stay bit-identical to the scalar
+    /// probe — the kernel differential suite pins this.
+    ///
+    /// # Panics
+    /// Debug-asserts `keys.len() <= 64`.
+    fn probe_word(&self, keys: &[i64]) -> u64 {
+        debug_assert!(keys.len() <= 64, "probe_word takes at most 64 keys");
+        let mut mask = 0u64;
+        for (i, &k) in keys.iter().enumerate() {
+            mask |= (self.maybe_contains(k) as u64) << i;
+        }
+        mask
+    }
+
+    /// Probes an arbitrary number of keys, appending one survivor word per
+    /// 64-key chunk to `out` (which is cleared first). Bit `i` of word `w`
+    /// corresponds to `keys[w * 64 + i]`; unused high bits of a tail word
+    /// are zero.
+    fn probe_words(&self, keys: &[i64], out: &mut Vec<u64>) {
+        out.clear();
+        out.reserve(keys.len().div_ceil(64));
+        for chunk in keys.chunks(64) {
+            out.push(self.probe_word(chunk));
+        }
+    }
+
     /// Number of keys inserted.
     fn inserted(&self) -> usize;
 
@@ -132,6 +164,25 @@ impl BitvectorFilter for AnyFilter {
         }
     }
 
+    fn probe_word(&self, keys: &[i64]) -> u64 {
+        match self {
+            AnyFilter::Bitmap(f) => f.probe_word(keys),
+            AnyFilter::Exact(f) => f.probe_word(keys),
+            AnyFilter::Bloom(f) => f.probe_word(keys),
+            AnyFilter::BlockedBloom(f) => f.probe_word(keys),
+        }
+    }
+
+    // Dispatch once per key slice instead of once per 64-key word.
+    fn probe_words(&self, keys: &[i64], out: &mut Vec<u64>) {
+        match self {
+            AnyFilter::Bitmap(f) => f.probe_words(keys, out),
+            AnyFilter::Exact(f) => f.probe_words(keys, out),
+            AnyFilter::Bloom(f) => f.probe_words(keys, out),
+            AnyFilter::BlockedBloom(f) => f.probe_words(keys, out),
+        }
+    }
+
     fn inserted(&self) -> usize {
         match self {
             AnyFilter::Bitmap(f) => f.inserted(),
@@ -205,6 +256,47 @@ mod tests {
     #[test]
     fn default_kind_is_bitmap() {
         assert_eq!(FilterKind::default(), FilterKind::Bitmap);
+    }
+
+    #[test]
+    fn probe_words_match_scalar_probes_for_all_kinds() {
+        let kinds = [
+            FilterKind::Bitmap,
+            FilterKind::Exact,
+            FilterKind::Bloom { bits_per_key: 8 },
+            FilterKind::BlockedBloom { bits_per_key: 8 },
+        ];
+        for kind in kinds {
+            let keys: Vec<i64> = (0..300).map(|i| i * 3).collect();
+            let f = AnyFilter::from_keys(kind, &keys);
+            // 210 probes: non-word-aligned tail, mix of hits and misses,
+            // negative keys.
+            let probes: Vec<i64> = (-10..200).collect();
+            let mut words = Vec::new();
+            f.probe_words(&probes, &mut words);
+            assert_eq!(words.len(), probes.len().div_ceil(64));
+            for (i, &p) in probes.iter().enumerate() {
+                let bit = (words[i / 64] >> (i % 64)) & 1 == 1;
+                assert_eq!(bit, f.maybe_contains(p), "{kind:?} key {p}");
+            }
+            // Tail word's unused high bits stay zero.
+            let tail = probes.len() % 64;
+            assert_eq!(*words.last().unwrap() >> tail, 0);
+            // Empty probe slice produces no words.
+            f.probe_words(&[], &mut words);
+            assert!(words.is_empty());
+        }
+    }
+
+    #[test]
+    fn probe_word_covers_sparse_bitmap_fallback() {
+        let keys: Vec<i64> = (0..100).map(|i| i * 1_000_000_000).collect();
+        let f = AnyFilter::from_keys(FilterKind::Bitmap, &keys);
+        let probes: Vec<i64> = vec![0, 1, 1_000_000_000, 5, 2_000_000_000];
+        let mask = f.probe_word(&probes);
+        for (i, &p) in probes.iter().enumerate() {
+            assert_eq!((mask >> i) & 1 == 1, f.maybe_contains(p));
+        }
     }
 
     #[test]

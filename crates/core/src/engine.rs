@@ -425,11 +425,16 @@ fn render_rows(n: usize) -> String {
 
 /// Renders the execution-configuration line appended to EXPLAIN output.
 fn render_exec_config(config: ExecConfig) -> String {
+    let kernels = match config.kernel_mode {
+        bqo_exec::KernelMode::Vectorized => "vectorized",
+        bqo_exec::KernelMode::Scalar => "scalar",
+    };
     format!(
-        "execution: batch_size={}, num_threads={}, morsel_size={}\n",
+        "execution: batch_size={}, num_threads={}, morsel_size={}, kernels={}\n",
         render_rows(config.batch_size),
         config.num_threads,
-        render_rows(config.effective_morsel_size())
+        render_rows(config.effective_morsel_size()),
+        kernels
     )
 }
 
@@ -846,5 +851,9 @@ mod tests {
         assert!(line.contains("batch_size=unbatched"), "{line}");
         assert!(line.contains("num_threads=4"), "{line}");
         assert!(line.contains("morsel_size=64"), "{line}");
+        let line = render_exec_config(
+            ExecConfig::default().with_kernel_mode(bqo_exec::KernelMode::Scalar),
+        );
+        assert!(line.contains("kernels=scalar"), "{line}");
     }
 }

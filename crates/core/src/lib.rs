@@ -138,7 +138,8 @@ pub use server::{
 };
 
 pub use bqo_exec::{
-    BoundPlan, CancelToken, ExecConfig, ExecutionMetrics, OperatorKind, QueryResult, WorkerPool,
+    BoundPlan, CancelToken, ExecConfig, ExecutionMetrics, KernelMode, OperatorKind, QueryResult,
+    WorkerPool,
 };
 pub use bqo_optimizer::{BaselineOptimizer, BqoOptimizer, Optimizer};
 pub use bqo_plan::{

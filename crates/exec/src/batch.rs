@@ -1,40 +1,69 @@
 //! Materialized intermediate results.
+//!
+//! A [`Batch`] owns its columns behind `Arc` handles and may carry an
+//! optional *selection vector*: a list of physical row indices that are
+//! logically alive. Filters (predicate evaluation, pushed-down bitvector
+//! probes, hash-probe residuals) mark survivors by refining the selection
+//! instead of copying every surviving row; compaction to a dense layout
+//! happens only at operator boundaries that need it (build-side concat,
+//! join output assembly). Two batches compare equal iff their *logical*
+//! content matches, so a fully-selected or zero-survivor batch is
+//! indistinguishable from its dense equivalent.
 
 use bqo_plan::{ColumnRef, RelId};
 use bqo_storage::{Column, Table};
+use std::sync::Arc;
 
 /// A fully materialized intermediate result: a set of columns, each tagged
-/// with the base relation and column name it originated from.
+/// with the base relation and column name it originated from, plus an
+/// optional selection vector of logically-alive physical rows.
 ///
-/// `PartialEq` compares schema and cell values exactly — the
+/// `PartialEq` compares schema and *logical* cell values exactly — the
 /// differential-testing harness uses it to assert bit-identical output rows
-/// across execution configurations.
-#[derive(Debug, Clone, PartialEq)]
+/// across execution configurations, including dense-vs-selected layouts.
+#[derive(Debug, Clone)]
 pub struct Batch {
     schema: Vec<ColumnRef>,
-    columns: Vec<Column>,
-    num_rows: usize,
+    columns: Vec<Arc<Column>>,
+    physical_rows: usize,
+    selection: Option<Vec<u32>>,
 }
 
 impl Batch {
-    /// Creates a batch from matching schema and columns.
+    /// Creates a dense batch from matching schema and columns.
     ///
     /// # Panics
     /// Panics if lengths are inconsistent.
     pub fn new(schema: Vec<ColumnRef>, columns: Vec<Column>) -> Self {
+        Batch::from_shared(schema, columns.into_iter().map(Arc::new).collect())
+    }
+
+    /// Creates a dense batch from matching schema and shared column handles.
+    ///
+    /// Cloning the `Arc`s is a refcount bump — scans use this to emit
+    /// batches over table columns without copying them.
+    ///
+    /// # Panics
+    /// Panics if lengths are inconsistent.
+    pub fn from_shared(schema: Vec<ColumnRef>, columns: Vec<Arc<Column>>) -> Self {
         assert_eq!(
             schema.len(),
             columns.len(),
             "schema / column count mismatch"
         );
-        let num_rows = columns.first().map(|c| c.len()).unwrap_or(0);
+        let physical_rows = columns.first().map(|c| c.len()).unwrap_or(0);
         for c in &columns {
-            assert_eq!(c.len(), num_rows, "all columns must have the same length");
+            assert_eq!(
+                c.len(),
+                physical_rows,
+                "all columns must have the same length"
+            );
         }
         Batch {
             schema,
             columns,
-            num_rows,
+            physical_rows,
+            selection: None,
         }
     }
 
@@ -43,12 +72,14 @@ impl Batch {
         Batch {
             schema: Vec::new(),
             columns: Vec::new(),
-            num_rows: 0,
+            physical_rows: 0,
+            selection: None,
         }
     }
 
     /// Materializes a base table into a batch, qualifying every column with
-    /// the relation id it belongs to in the current query.
+    /// the relation id it belongs to in the current query. The table's
+    /// columns are shared, not copied.
     pub fn from_table(relation: RelId, table: &Table) -> Self {
         let schema = table
             .schema()
@@ -56,12 +87,54 @@ impl Batch {
             .iter()
             .map(|f| ColumnRef::new(relation, f.name.clone()))
             .collect();
-        Batch::new(schema, table.columns().to_vec())
+        Batch::from_shared(schema, table.columns().to_vec())
     }
 
-    /// Number of rows.
+    /// Restricts this batch to the given physical row indices.
+    ///
+    /// Replaces any existing selection — indices are interpreted against the
+    /// *physical* columns (use [`Batch::filter_select`] to refine logically).
+    ///
+    /// # Panics
+    /// Debug-asserts that every index is in bounds.
+    pub fn with_selection(mut self, selection: Vec<u32>) -> Self {
+        debug_assert!(
+            selection.iter().all(|&p| (p as usize) < self.physical_rows),
+            "selection index out of bounds"
+        );
+        self.selection = Some(selection);
+        self
+    }
+
+    /// Number of logical rows (selection length when selected).
     pub fn num_rows(&self) -> usize {
-        self.num_rows
+        match &self.selection {
+            Some(sel) => sel.len(),
+            None => self.physical_rows,
+        }
+    }
+
+    /// Number of physical rows backing this batch.
+    pub fn physical_rows(&self) -> usize {
+        self.physical_rows
+    }
+
+    /// Whether every physical row is logically alive (no selection vector).
+    pub fn is_dense(&self) -> bool {
+        self.selection.is_none()
+    }
+
+    /// The selection vector, if any.
+    pub fn selection(&self) -> Option<&[u32]> {
+        self.selection.as_deref()
+    }
+
+    /// Maps a logical row index to the physical row it references.
+    pub fn physical_row(&self, logical: usize) -> usize {
+        match &self.selection {
+            Some(sel) => sel[logical] as usize,
+            None => logical,
+        }
     }
 
     /// Number of columns.
@@ -74,8 +147,11 @@ impl Batch {
         &self.schema
     }
 
-    /// All columns.
-    pub fn columns(&self) -> &[Column] {
+    /// All physical columns as shared handles.
+    ///
+    /// When the batch carries a selection vector, these are the *physical*
+    /// columns — index them via [`Batch::physical_row`].
+    pub fn columns(&self) -> &[Arc<Column>] {
         &self.columns
     }
 
@@ -84,57 +160,151 @@ impl Batch {
         self.schema.iter().position(|c| c == column)
     }
 
-    /// A column by qualified reference.
+    /// A column by qualified reference (physical rows).
     pub fn column(&self, column: &ColumnRef) -> Option<&Column> {
-        self.index_of(column).map(|i| &self.columns[i])
+        self.index_of(column).map(|i| &*self.columns[i])
     }
 
-    /// Index of a column by relation and name, ignoring qualification helper.
+    /// A column by relation and name (physical rows).
     pub fn column_by_parts(&self, relation: RelId, name: &str) -> Option<&Column> {
         self.schema
             .iter()
             .position(|c| c.relation == relation && c.column == name)
-            .map(|i| &self.columns[i])
+            .map(|i| &*self.columns[i])
     }
 
-    /// Keeps only the rows where `mask` is true.
+    /// Keeps only the logical rows where `mask` is true, materializing a
+    /// dense batch. This is the scalar-oracle path; [`Batch::filter_select`]
+    /// is the lazy equivalent.
     pub fn filter(&self, mask: &[bool]) -> Batch {
-        assert_eq!(mask.len(), self.num_rows, "mask length mismatch");
-        let columns: Vec<Column> = self.columns.iter().map(|c| c.filter(mask)).collect();
-        let num_rows = mask.iter().filter(|&&b| b).count();
-        Batch {
-            schema: self.schema.clone(),
-            columns,
-            num_rows,
+        assert_eq!(mask.len(), self.num_rows(), "mask length mismatch");
+        match &self.selection {
+            None => {
+                let columns: Vec<Arc<Column>> = self
+                    .columns
+                    .iter()
+                    .map(|c| Arc::new(c.filter(mask)))
+                    .collect();
+                let num_rows = mask.iter().filter(|&&b| b).count();
+                Batch {
+                    schema: self.schema.clone(),
+                    columns,
+                    physical_rows: num_rows,
+                    selection: None,
+                }
+            }
+            Some(sel) => {
+                let indices: Vec<usize> = sel
+                    .iter()
+                    .zip(mask)
+                    .filter_map(|(&p, &keep)| keep.then_some(p as usize))
+                    .collect();
+                let columns: Vec<Arc<Column>> = self
+                    .columns
+                    .iter()
+                    .map(|c| Arc::new(c.take(&indices)))
+                    .collect();
+                Batch {
+                    schema: self.schema.clone(),
+                    columns,
+                    physical_rows: indices.len(),
+                    selection: None,
+                }
+            }
         }
     }
 
-    /// Builds a new batch taking rows at `indices` (duplicates allowed).
+    /// Keeps only the logical rows where `mask` is true *without copying any
+    /// column data*: survivors are recorded in the selection vector. The
+    /// result is logically identical to [`Batch::filter`] on the same mask.
+    pub fn filter_select(mut self, mask: &[bool]) -> Batch {
+        assert_eq!(mask.len(), self.num_rows(), "mask length mismatch");
+        let selection: Vec<u32> = match self.selection.take() {
+            None => mask
+                .iter()
+                .enumerate()
+                .filter_map(|(i, &keep)| keep.then_some(i as u32))
+                .collect(),
+            Some(sel) => sel
+                .into_iter()
+                .zip(mask)
+                .filter_map(|(p, &keep)| keep.then_some(p))
+                .collect(),
+        };
+        self.selection = Some(selection);
+        self
+    }
+
+    /// Builds a dense batch taking *logical* rows at `indices` (duplicates
+    /// allowed).
     pub fn take(&self, indices: &[usize]) -> Batch {
-        let columns: Vec<Column> = self.columns.iter().map(|c| c.take(indices)).collect();
+        let columns: Vec<Arc<Column>> = match &self.selection {
+            None => self
+                .columns
+                .iter()
+                .map(|c| Arc::new(c.take(indices)))
+                .collect(),
+            Some(sel) => {
+                let phys: Vec<usize> = indices.iter().map(|&i| sel[i] as usize).collect();
+                self.columns
+                    .iter()
+                    .map(|c| Arc::new(c.take(&phys)))
+                    .collect()
+            }
+        };
         Batch {
             schema: self.schema.clone(),
             columns,
-            num_rows: indices.len(),
+            physical_rows: indices.len(),
+            selection: None,
         }
     }
 
-    /// Concatenates a sequence of schema-identical batches row-wise (used to
-    /// drain a hash join's build side into one materialized batch).
+    /// Compacts this batch to a dense layout, gathering the selected rows.
+    /// A no-op for batches that are already dense.
+    pub fn into_dense(self) -> Batch {
+        match self.selection {
+            None => self,
+            Some(sel) => {
+                let phys: Vec<usize> = sel.iter().map(|&p| p as usize).collect();
+                let columns: Vec<Arc<Column>> = self
+                    .columns
+                    .iter()
+                    .map(|c| Arc::new(c.take(&phys)))
+                    .collect();
+                Batch {
+                    schema: self.schema,
+                    columns,
+                    physical_rows: phys.len(),
+                    selection: None,
+                }
+            }
+        }
+    }
+
+    /// Concatenates a sequence of schema-identical batches row-wise into a
+    /// dense batch (used to drain a hash join's build side into one
+    /// materialized batch). Selected inputs are compacted first, so a
+    /// zero-survivor or fully-selected batch contributes exactly its logical
+    /// rows.
     ///
     /// # Panics
     /// Panics if the batches disagree on schema or column types.
     pub fn concat(batches: Vec<Batch>) -> Batch {
         let mut iter = batches.into_iter();
-        let Some(mut first) = iter.next() else {
+        let Some(first) = iter.next() else {
             return Batch::empty();
         };
+        let mut first = first.into_dense();
         for batch in iter {
             assert_eq!(first.schema, batch.schema, "schema mismatch in concat");
+            let batch = batch.into_dense();
             for (dst, src) in first.columns.iter_mut().zip(batch.columns.iter()) {
-                dst.append(src).expect("column type mismatch in concat");
+                Arc::make_mut(dst)
+                    .append(src)
+                    .expect("column type mismatch in concat");
             }
-            first.num_rows += batch.num_rows;
+            first.physical_rows += batch.physical_rows;
         }
         first
     }
@@ -142,7 +312,13 @@ impl Batch {
     /// Concatenates the columns of two row-aligned batches (used by hash join
     /// output assembly after both sides were `take`n to the same length).
     pub fn zip(left: Batch, right: Batch) -> Batch {
-        assert_eq!(left.num_rows, right.num_rows, "row count mismatch in zip");
+        assert_eq!(
+            left.num_rows(),
+            right.num_rows(),
+            "row count mismatch in zip"
+        );
+        let left = left.into_dense();
+        let right = right.into_dense();
         let mut schema = left.schema;
         schema.extend(right.schema);
         let mut columns = left.columns;
@@ -150,26 +326,80 @@ impl Batch {
         Batch {
             schema,
             columns,
-            num_rows: left.num_rows,
+            physical_rows: left.physical_rows,
+            selection: None,
         }
     }
 
-    /// Extracts the join-key values for every row, collapsing composite keys
-    /// into a single `i64` via hashing (see [`row_key`]).
-    pub fn key_values(&self, key_columns: &[ColumnRef]) -> Vec<i64> {
-        let cols: Vec<&Column> = key_columns
+    fn key_cols(&self, key_columns: &[ColumnRef]) -> Vec<&Column> {
+        key_columns
             .iter()
             .map(|c| {
                 self.column(c)
                     .unwrap_or_else(|| panic!("key column {c:?} not found in batch"))
             })
-            .collect();
-        if cols.len() == 1 {
-            if let Column::Int64(values) = cols[0] {
-                return values.clone();
+            .collect()
+    }
+
+    /// Extracts the join-key values for every logical row, collapsing
+    /// composite keys into a single `i64` via hashing (see [`row_key`]).
+    /// Scalar row-at-a-time reference implementation.
+    pub fn key_values(&self, key_columns: &[ColumnRef]) -> Vec<i64> {
+        let cols = self.key_cols(key_columns);
+        if self.selection.is_none() {
+            if let [Column::Int64(values)] = cols.as_slice() {
+                return values.to_vec();
             }
         }
-        (0..self.num_rows).map(|row| row_key(&cols, row)).collect()
+        match &self.selection {
+            None => (0..self.physical_rows)
+                .map(|row| row_key(&cols, row))
+                .collect(),
+            Some(sel) => sel.iter().map(|&p| row_key(&cols, p as usize)).collect(),
+        }
+    }
+
+    /// Column-at-a-time equivalent of [`Batch::key_values`]: the per-column
+    /// type dispatch is hoisted out of the row loop and composite keys are
+    /// folded one key column at a time over the whole batch. Bit-identical
+    /// to the scalar path (the kernel differential suite pins this).
+    pub fn key_values_vectorized(&self, key_columns: &[ColumnRef]) -> Vec<i64> {
+        let cols = self.key_cols(key_columns);
+        let mut out = Vec::new();
+        match &self.selection {
+            None => gather_keys_impl(&cols, 0..self.physical_rows, self.physical_rows, &mut out),
+            Some(sel) => {
+                gather_keys_impl(&cols, sel.iter().map(|&p| p as usize), sel.len(), &mut out)
+            }
+        }
+        out
+    }
+}
+
+impl PartialEq for Batch {
+    fn eq(&self, other: &Self) -> bool {
+        if self.schema != other.schema || self.num_rows() != other.num_rows() {
+            return false;
+        }
+        if self.is_dense() && other.is_dense() {
+            return self.columns == other.columns;
+        }
+        if self
+            .columns
+            .iter()
+            .zip(other.columns.iter())
+            .any(|(a, b)| a.data_type() != b.data_type())
+        {
+            return false;
+        }
+        (0..self.num_rows()).all(|r| {
+            let pa = self.physical_row(r);
+            let pb = other.physical_row(r);
+            self.columns
+                .iter()
+                .zip(other.columns.iter())
+                .all(|(a, b)| a.value(pa) == b.value(pb))
+        })
     }
 }
 
@@ -182,23 +412,78 @@ pub fn row_key(cols: &[&Column], row: usize) -> i64 {
     if let [Column::Int64(values)] = cols {
         return values[row];
     }
-    let parts: Vec<i64> = cols
-        .iter()
-        .map(|c| match c {
-            Column::Int64(v) => v[row],
-            Column::Bool(v) => v[row] as i64,
-            Column::Float64(v) => v[row].to_bits() as i64,
-            Column::Utf8(v) => {
-                let mut h: i64 = 1469598103934665603;
-                for b in v[row].as_bytes() {
-                    h ^= *b as i64;
-                    h = h.wrapping_mul(1099511628211);
-                }
-                h
-            }
-        })
-        .collect();
+    let parts: Vec<i64> = cols.iter().map(|c| part_at(c, row)).collect();
     bqo_bitvector::hash::combine_key(&parts)
+}
+
+/// One column's contribution to a composite key for one physical row.
+/// Shared by the scalar [`row_key`] and the columnar gather so the two key
+/// extraction paths are the same conversion by construction.
+#[inline]
+fn part_at(col: &Column, row: usize) -> i64 {
+    match col {
+        Column::Int64(v) => v[row],
+        Column::Bool(v) => v[row] as i64,
+        Column::Float64(v) => v[row].to_bits() as i64,
+        Column::Utf8(v) => fnv1a(&v[row]),
+    }
+}
+
+#[inline]
+fn fnv1a(s: &str) -> i64 {
+    let mut h: i64 = 1469598103934665603;
+    for b in s.as_bytes() {
+        h ^= *b as i64;
+        h = h.wrapping_mul(1099511628211);
+    }
+    h
+}
+
+/// Gathers one column's key parts for a set of physical rows with the type
+/// dispatch hoisted out of the loop.
+fn gather_parts<I: Iterator<Item = usize>>(col: &Column, rows: I, out: &mut Vec<i64>) {
+    out.clear();
+    match col {
+        Column::Int64(v) => out.extend(rows.map(|r| v[r])),
+        Column::Bool(v) => out.extend(rows.map(|r| v[r] as i64)),
+        Column::Float64(v) => out.extend(rows.map(|r| v[r].to_bits() as i64)),
+        Column::Utf8(v) => out.extend(rows.map(|r| fnv1a(&v[r]))),
+    }
+}
+
+fn gather_keys_impl<I: Iterator<Item = usize> + Clone>(
+    cols: &[&Column],
+    rows: I,
+    len: usize,
+    out: &mut Vec<i64>,
+) {
+    if let [Column::Int64(values)] = cols {
+        out.clear();
+        out.extend(rows.map(|r| values[r]));
+        return;
+    }
+    if let [col] = cols {
+        // combine_key of a single part is the identity, so a lone non-integer
+        // key column's parts are the keys.
+        gather_parts(col, rows, out);
+        return;
+    }
+    let mut acc = vec![0u64; len];
+    let mut parts = Vec::with_capacity(len);
+    for col in cols {
+        gather_parts(col, rows.clone(), &mut parts);
+        bqo_bitvector::hash::fold_parts(&mut acc, &parts);
+    }
+    out.clear();
+    out.extend(acc.into_iter().map(|a| a as i64));
+}
+
+/// Gathers the collapsed join keys for `rows` (physical indices) over the
+/// given key columns, column-at-a-time. Bit-identical to calling [`row_key`]
+/// per row; the scan's vectorized probe kernel uses this to feed word-level
+/// bitvector probes.
+pub fn gather_keys(cols: &[&Column], rows: &[usize], out: &mut Vec<i64>) {
+    gather_keys_impl(cols, rows.iter().copied(), rows.len(), out);
 }
 
 #[cfg(test)]
@@ -251,6 +536,75 @@ mod tests {
     }
 
     #[test]
+    fn filter_select_matches_filter() {
+        let b = sample();
+        let mask = [true, false, true, false];
+        let dense = b.filter(&mask);
+        let lazy = b.clone().filter_select(&mask);
+        assert!(!lazy.is_dense());
+        assert_eq!(lazy.num_rows(), 2);
+        assert_eq!(lazy.selection(), Some(&[0u32, 2][..]));
+        assert_eq!(lazy, dense);
+        assert_eq!(lazy.into_dense(), dense);
+    }
+
+    #[test]
+    fn filter_select_refines_existing_selection() {
+        let b = sample().filter_select(&[true, true, false, true]); // rows 1,2,4
+        let refined = b.filter_select(&[false, true, true]); // rows 2,4
+        assert_eq!(refined.selection(), Some(&[1u32, 3][..]));
+        assert_eq!(refined, sample().filter(&[false, true, false, true]));
+    }
+
+    #[test]
+    fn filter_on_selected_batch_compacts() {
+        let b = sample().filter_select(&[true, true, false, true]); // rows 1,2,4
+        let dense = b.filter(&[false, true, true]); // rows 2,4
+        assert!(dense.is_dense());
+        assert_eq!(
+            dense
+                .column(&ColumnRef::new(RelId(0), "id"))
+                .unwrap()
+                .as_i64()
+                .unwrap(),
+            &[2, 4]
+        );
+    }
+
+    #[test]
+    fn take_maps_through_selection() {
+        let b = sample().filter_select(&[false, true, true, true]); // rows 2,3,4
+        let taken = b.take(&[2, 0]);
+        assert!(taken.is_dense());
+        assert_eq!(
+            taken
+                .column(&ColumnRef::new(RelId(0), "id"))
+                .unwrap()
+                .as_i64()
+                .unwrap(),
+            &[4, 2]
+        );
+    }
+
+    #[test]
+    fn selected_batch_equals_dense_equivalent() {
+        let b = sample();
+        // Fully selected == dense.
+        let full = b.clone().with_selection(vec![0, 1, 2, 3]);
+        assert_eq!(full, b);
+        assert_eq!(b, full);
+        // Zero survivors == empty dense batch with the same schema.
+        let none = b.clone().with_selection(Vec::new());
+        let empty_dense = b.filter(&[false; 4]);
+        assert_eq!(none, empty_dense);
+        assert_eq!(empty_dense, none);
+        // Different logical content != equal.
+        let some = b.clone().with_selection(vec![1]);
+        assert_ne!(some, b);
+        assert_ne!(some, none);
+    }
+
+    #[test]
     fn zip_concatenates_columns() {
         let left = sample().take(&[0, 1]);
         let t2 = TableBuilder::new("u")
@@ -262,6 +616,17 @@ mod tests {
         assert_eq!(zipped.num_rows(), 2);
         assert_eq!(zipped.num_columns(), 3);
         assert!(zipped.column(&ColumnRef::new(RelId(1), "x")).is_some());
+    }
+
+    #[test]
+    fn zip_compacts_selected_inputs() {
+        let left = sample().filter_select(&[true, false, true, false]);
+        let right = sample().filter_select(&[false, true, false, true]);
+        let zipped = Batch::zip(left, right);
+        assert_eq!(zipped.num_rows(), 2);
+        assert!(zipped.is_dense());
+        assert_eq!(zipped.columns()[0].as_i64().unwrap(), &[1, 3]);
+        assert_eq!(zipped.columns()[2].as_i64().unwrap(), &[2, 4]);
     }
 
     #[test]
@@ -277,6 +642,70 @@ mod tests {
         let b = sample();
         let keys = b.key_values(&[ColumnRef::new(RelId(0), "id")]);
         assert_eq!(keys, vec![1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn key_values_respect_selection() {
+        let b = sample().filter_select(&[false, true, false, true]);
+        let refs = [ColumnRef::new(RelId(0), "id")];
+        assert_eq!(b.key_values(&refs), vec![2, 4]);
+        assert_eq!(b.key_values_vectorized(&refs), vec![2, 4]);
+    }
+
+    #[test]
+    fn vectorized_keys_match_scalar() {
+        let t = TableBuilder::new("t")
+            .with_i64("a", vec![1, 1, 2, -9, i64::MAX])
+            .with_i64("b", vec![1, 2, 1, 0, i64::MIN])
+            .with_utf8(
+                "s",
+                vec!["".into(), "x".into(), "yy".into(), "zzz".into(), "w".into()],
+            )
+            .with_f64("f", vec![0.0, -0.0, f64::NAN, 1.5, -2.5])
+            .with_bool("q", vec![true, false, true, false, true])
+            .build()
+            .unwrap();
+        let b = Batch::from_table(RelId(0), &t);
+        let combos: Vec<Vec<ColumnRef>> = vec![
+            vec![ColumnRef::new(RelId(0), "a")],
+            vec![ColumnRef::new(RelId(0), "s")],
+            vec![ColumnRef::new(RelId(0), "a"), ColumnRef::new(RelId(0), "b")],
+            vec![
+                ColumnRef::new(RelId(0), "a"),
+                ColumnRef::new(RelId(0), "s"),
+                ColumnRef::new(RelId(0), "f"),
+                ColumnRef::new(RelId(0), "q"),
+            ],
+        ];
+        for refs in &combos {
+            assert_eq!(b.key_values(refs), b.key_values_vectorized(refs));
+        }
+        // And with a selection applied.
+        let sel = b.clone().with_selection(vec![4, 0, 2, 2]);
+        for refs in &combos {
+            assert_eq!(sel.key_values(refs), sel.key_values_vectorized(refs));
+        }
+    }
+
+    #[test]
+    fn gather_keys_matches_row_key() {
+        let t = TableBuilder::new("t")
+            .with_i64("a", vec![5, 6, 7, 8])
+            .with_i64("b", vec![1, 2, 3, 4])
+            .build()
+            .unwrap();
+        let b = Batch::from_table(RelId(0), &t);
+        let refs = [ColumnRef::new(RelId(0), "a"), ColumnRef::new(RelId(0), "b")];
+        let cols: Vec<&Column> = refs.iter().map(|c| b.column(c).unwrap()).collect();
+        let rows = [3usize, 0, 0, 2];
+        let mut out = Vec::new();
+        gather_keys(&cols, &rows, &mut out);
+        let expected: Vec<i64> = rows.iter().map(|&r| row_key(&cols, r)).collect();
+        assert_eq!(out, expected);
+        // Single-column fast path.
+        let one = [cols[0]];
+        gather_keys(&one, &rows, &mut out);
+        assert_eq!(out, vec![8, 5, 5, 7]);
     }
 
     #[test]
@@ -313,6 +742,43 @@ mod tests {
             &[1, 2, 3, 4]
         );
         assert_eq!(Batch::concat(Vec::new()).num_rows(), 0);
+    }
+
+    #[test]
+    fn concat_is_selection_aware() {
+        let b = sample();
+        // Selected batches contribute exactly their logical rows, and
+        // zero-survivor batches contribute nothing — regression test for the
+        // selection-aware concat bugfix.
+        let stacked = Batch::concat(vec![
+            b.clone().filter_select(&[true, false, false, false]), // row 1
+            b.clone().with_selection(Vec::new()),                  // nothing
+            b.clone().filter_select(&[false, true, true, true]),   // rows 2,3,4
+        ]);
+        assert!(stacked.is_dense());
+        assert_eq!(stacked, b);
+        // A lone selected batch compacts too.
+        let single = Batch::concat(vec![b.clone().filter_select(&[false, true, false, false])]);
+        assert!(single.is_dense());
+        assert_eq!(single.num_rows(), 1);
+        // Leading zero-survivor batch followed by dense rows.
+        let led = Batch::concat(vec![b.clone().with_selection(Vec::new()), b.clone()]);
+        assert_eq!(led, b);
+    }
+
+    #[test]
+    fn concat_does_not_mutate_shared_table_columns() {
+        let t = TableBuilder::new("t")
+            .with_i64("id", vec![1, 2])
+            .build()
+            .unwrap();
+        let a = Batch::from_table(RelId(0), &t);
+        let b = Batch::from_table(RelId(0), &t);
+        let stacked = Batch::concat(vec![a, b]);
+        assert_eq!(stacked.num_rows(), 4);
+        // The original table still has its own rows.
+        assert_eq!(t.num_rows(), 2);
+        assert_eq!(t.column("id").unwrap().as_i64().unwrap(), &[1, 2]);
     }
 
     #[test]

@@ -18,6 +18,12 @@
 //!   hash-probe loops run as shared-state-free kernels over fixed-size row
 //!   morsels, fanned out across [`ExecConfig::num_threads`] workers with a
 //!   deterministic in-morsel-order merge,
+//! * **vectorized probe kernels** (see [`kernels`]): [`Batch`]es carry
+//!   optional selection vectors so filters mark survivors without copying
+//!   rows, bitvector membership is probed 64 rows per survivor word
+//!   and composite join keys are hashed column-at-a-time — with the
+//!   row-at-a-time scalar kernels retained as a differential oracle behind
+//!   [`ExecConfig::kernel_mode`] / `BQO_FORCE_SCALAR`,
 //! * a persistent [`WorkerPool`] (see [`pool`]): helper workers for the
 //!   parallel sections are parked pool threads woken per section instead of
 //!   freshly spawned ones, so a serving workload of many small queries stops
@@ -49,6 +55,7 @@
 pub mod batch;
 pub mod cancel;
 pub mod executor;
+pub mod kernels;
 pub mod metrics;
 pub mod morsel;
 pub mod operators;
@@ -58,8 +65,8 @@ pub mod pool;
 pub use batch::Batch;
 pub use cancel::{CancelToken, Interrupted};
 pub use executor::{
-    execute_plan, BoundPlan, ExecConfig, ExecError, Executor, QueryResult, DEFAULT_BATCH_SIZE,
-    DEFAULT_PARALLEL_THRESHOLD,
+    execute_plan, BoundPlan, ExecConfig, ExecError, Executor, KernelMode, QueryResult,
+    DEFAULT_BATCH_SIZE, DEFAULT_PARALLEL_THRESHOLD,
 };
 pub use metrics::{ExecutionMetrics, OperatorKind, OperatorMetrics};
 pub use morsel::{chunk_morsels, morsels, run_morsels, run_morsels_with, Morsel};

@@ -210,6 +210,34 @@ mod tests {
     }
 
     #[test]
+    fn operator_counts_from_selection_batches_match_dense() {
+        use crate::batch::Batch;
+        use bqo_plan::{ColumnRef, RelId};
+        use bqo_storage::Column;
+        // Regression: operators record `batch.num_rows()`, which must be the
+        // *logical* (selection-aware) count — a fully-selected shared batch
+        // and a zero-survivor selection batch must produce exactly the
+        // metrics their dense equivalents would, so merged totals cannot
+        // depend on which kernel mode produced the batches.
+        let schema = vec![ColumnRef::new(RelId(0), "k")];
+        let dense = Batch::new(schema, vec![Column::Int64(vec![1, 2, 3])]);
+        let full = dense.clone().with_selection(vec![0, 1, 2]);
+        let none = dense.clone().with_selection(Vec::new());
+        let mut from_selected = ExecutionMetrics::new();
+        from_selected.record_operator(NodeId(0), OperatorKind::Leaf, full.num_rows() as u64, 0, 0);
+        from_selected.record_operator(NodeId(1), OperatorKind::Leaf, none.num_rows() as u64, 0, 0);
+        let mut from_dense = ExecutionMetrics::new();
+        from_dense.record_operator(NodeId(0), OperatorKind::Leaf, dense.num_rows() as u64, 0, 0);
+        from_dense.record_operator(NodeId(1), OperatorKind::Leaf, 0, 0, 0);
+        let mut merged_selected = ExecutionMetrics::new();
+        merged_selected.merge(&from_selected);
+        let mut merged_dense = ExecutionMetrics::new();
+        merged_dense.merge(&from_dense);
+        assert_eq!(merged_selected, merged_dense);
+        assert_eq!(merged_selected.total_tuples(), 3);
+    }
+
+    #[test]
     fn merge_keeps_counters_of_zero_row_morsels() {
         // A morsel can survive no rows yet still have probed (and eliminated)
         // every one of them — those counters must not be dropped.

@@ -29,6 +29,8 @@
 //! order.
 
 use crate::batch::{row_key, Batch};
+use crate::executor::KernelMode;
+use crate::kernels::{probe_mask_range, probe_retain, ProbeScratch};
 use crate::metrics::OperatorKind;
 use crate::morsel::{chunk_morsels, morsels};
 use crate::pipeline::ExecContext;
@@ -158,6 +160,7 @@ impl PhysicalOperator for ScanOp<'_> {
         let num_threads = ctx.config.workers_for(self.table.num_rows());
         let predicates = &self.info.predicates;
         let throttle = ctx.config.scan_throttle;
+        let kernel_mode = ctx.config.kernel_mode;
         let (survivors, merged_stats) = {
             let filters: Vec<Option<&AnyFilter>> = self
                 .placements
@@ -188,19 +191,41 @@ impl PhysicalOperator for ScanOp<'_> {
 
                 // ...then every pushed-down bitvector filter, in placement
                 // order (a row eliminated by one filter is never probed by
-                // the next). Counters stay morsel-local.
+                // the next). Counters stay morsel-local. The two kernel
+                // modes produce identical survivors, order and counters.
                 let mut stats = vec![FilterStats::new(); filters.len()];
-                for (slot, filter) in filters.iter().enumerate() {
-                    let Some(filter) = filter else {
-                        continue;
-                    };
-                    let columns = &probe_cols[slot];
-                    let slot_stats = &mut stats[slot];
-                    rows.retain(|&row| {
-                        let keep = filter.maybe_contains(row_key(columns, row));
-                        slot_stats.record(!keep);
-                        keep
-                    });
+                match kernel_mode {
+                    KernelMode::Scalar => {
+                        for (slot, filter) in filters.iter().enumerate() {
+                            let Some(filter) = filter else {
+                                continue;
+                            };
+                            let columns = &probe_cols[slot];
+                            let slot_stats = &mut stats[slot];
+                            rows.retain(|&row| {
+                                let keep = filter.maybe_contains(row_key(columns, row));
+                                slot_stats.record(!keep);
+                                keep
+                            });
+                        }
+                    }
+                    KernelMode::Vectorized => {
+                        // Gather keys column-at-a-time, probe 64 rows per
+                        // survivor word, compact in place.
+                        let mut scratch = ProbeScratch::default();
+                        for (slot, filter) in filters.iter().enumerate() {
+                            let Some(filter) = filter else {
+                                continue;
+                            };
+                            probe_retain(
+                                *filter,
+                                &probe_cols[slot],
+                                &mut rows,
+                                &mut stats[slot],
+                                &mut scratch,
+                            );
+                        }
+                    }
                 }
                 (rows, stats)
             })?;
@@ -248,8 +273,20 @@ impl PhysicalOperator for ScanOp<'_> {
                 continue;
             }
             let rows = &self.survivors[from..self.pos];
-            let columns: Vec<Column> = self.table.columns().iter().map(|c| c.take(rows)).collect();
-            let batch = Batch::new(self.schema.clone(), columns);
+            let vectorized =
+                ctx.config.kernel_mode == KernelMode::Vectorized && num_rows <= u32::MAX as usize;
+            let batch = if vectorized {
+                // Zero-copy emission: share the table's columns and mark the
+                // survivors in a selection vector. Logically identical to the
+                // dense batch the scalar path materializes below.
+                let selection: Vec<u32> = rows.iter().map(|&r| r as u32).collect();
+                Batch::from_shared(self.schema.clone(), self.table.columns().to_vec())
+                    .with_selection(selection)
+            } else {
+                let columns: Vec<Column> =
+                    self.table.columns().iter().map(|c| c.take(rows)).collect();
+                Batch::new(self.schema.clone(), columns)
+            };
             self.output_rows += batch.num_rows() as u64;
             self.emitted_any = true;
             return Ok(Some(batch));
@@ -322,6 +359,16 @@ impl<'p> HashJoinOp<'p> {
     }
 }
 
+/// Extracts collapsed join keys from a batch with the kernel-mode-selected
+/// implementation; both produce identical keys (the kernel differential
+/// suite pins this).
+fn batch_keys(mode: KernelMode, batch: &Batch, cols: &[ColumnRef]) -> Vec<i64> {
+    match mode {
+        KernelMode::Scalar => batch.key_values(cols),
+        KernelMode::Vectorized => batch.key_values_vectorized(cols),
+    }
+}
+
 impl PhysicalOperator for HashJoinOp<'_> {
     fn open(&mut self, ctx: &mut ExecContext) -> Result<(), StorageError> {
         // 1. Drain the build side completely.
@@ -336,7 +383,11 @@ impl PhysicalOperator for HashJoinOp<'_> {
         // 2. Publish the bitvector filters sourced at this join, so they are
         //    in place before any probe-side operator produces rows.
         for &(idx, placement) in &self.source_placements {
-            let build_keys = self.build_batch.key_values(&placement.build_columns);
+            let build_keys = batch_keys(
+                ctx.config.kernel_mode,
+                &self.build_batch,
+                &placement.build_columns,
+            );
             let filter = AnyFilter::from_keys(ctx.config.filter_kind, &build_keys);
             ctx.publish_filter(idx, filter);
         }
@@ -347,7 +398,11 @@ impl PhysicalOperator for HashJoinOp<'_> {
         //    order, exactly as the serial insertion loop produced it. (The
         //    filters of step 2 are always published single-threaded, keeping
         //    publication order deterministic.)
-        let build_keys = self.build_batch.key_values(&self.build_key_cols);
+        let build_keys = batch_keys(
+            ctx.config.kernel_mode,
+            &self.build_batch,
+            &self.build_key_cols,
+        );
         self.build_rows = build_keys.len() as u64;
         let workers = ctx.config.workers_for(build_keys.len());
         let chunks = chunk_morsels(build_keys.len(), workers);
@@ -380,8 +435,9 @@ impl PhysicalOperator for HashJoinOp<'_> {
     fn next_batch(&mut self, ctx: &mut ExecContext) -> Result<Option<Batch>, StorageError> {
         // The serial-loop cancellation seam: one check per probe batch.
         ctx.check_cancelled()?;
+        let kernel_mode = ctx.config.kernel_mode;
         while let Some(probe_batch) = self.probe.next_batch(ctx)? {
-            let probe_keys = probe_batch.key_values(&self.probe_key_cols);
+            let probe_keys = batch_keys(kernel_mode, &probe_batch, &self.probe_key_cols);
             self.probe_rows += probe_keys.len() as u64;
 
             // Probe the hash table one contiguous row chunk per worker; the
@@ -424,19 +480,32 @@ impl PhysicalOperator for HashJoinOp<'_> {
                     let Some(filter) = ctx.filter(idx) else {
                         continue;
                     };
-                    let keys = output.key_values(&placement.probe_columns);
+                    let keys = batch_keys(kernel_mode, &output, &placement.probe_columns);
                     let workers = ctx.config.workers_for(keys.len());
                     let chunks = chunk_morsels(keys.len(), workers);
                     let parts = ctx.run_morsels(workers, &chunks, |m| {
                         let mut stats = FilterStats::new();
-                        let mask: Vec<bool> = m
-                            .rows()
-                            .map(|row| {
-                                let keep = filter.maybe_contains(keys[row]);
-                                stats.record(!keep);
-                                keep
-                            })
-                            .collect();
+                        let mask: Vec<bool> = match kernel_mode {
+                            KernelMode::Scalar => m
+                                .rows()
+                                .map(|row| {
+                                    let keep = filter.maybe_contains(keys[row]);
+                                    stats.record(!keep);
+                                    keep
+                                })
+                                .collect(),
+                            KernelMode::Vectorized => {
+                                let mut scratch = ProbeScratch::default();
+                                probe_mask_range(
+                                    filter,
+                                    &keys,
+                                    m.start,
+                                    m.end,
+                                    &mut stats,
+                                    &mut scratch,
+                                )
+                            }
+                        };
                         (mask, stats)
                     })?;
                     let mut mask: Vec<bool> = Vec::with_capacity(keys.len());
@@ -444,7 +513,13 @@ impl PhysicalOperator for HashJoinOp<'_> {
                         mask.extend(part);
                         merged.merge(&stats);
                     }
-                    output = output.filter(&mask);
+                    // Vectorized mode refines the selection vector in place
+                    // instead of materializing the survivors; logically
+                    // identical output either way.
+                    output = match kernel_mode {
+                        KernelMode::Scalar => output.filter(&mask),
+                        KernelMode::Vectorized => output.filter_select(&mask),
+                    };
                 }
                 ctx.merge_filter_stats(&merged);
                 self.residual_rows[slot].0 += output.num_rows() as u64;

@@ -5,13 +5,19 @@ use crate::schema::{Field, Schema};
 use crate::stats::TableStats;
 use crate::value::{DataType, Value};
 use crate::{Result, StorageError};
+use std::sync::Arc;
 
 /// An immutable, fully materialized table.
+///
+/// Columns are stored behind `Arc` so execution-layer batches can reference
+/// them without copying: a scan that marks survivors with a selection vector
+/// shares the table's columns across every emitted batch for free, and
+/// cloning a `Table` never duplicates column data.
 #[derive(Debug, Clone)]
 pub struct Table {
     name: String,
     schema: Schema,
-    columns: Vec<Column>,
+    columns: Vec<Arc<Column>>,
     num_rows: usize,
 }
 
@@ -45,7 +51,7 @@ impl Table {
         Ok(Table {
             name,
             schema,
-            columns,
+            columns: columns.into_iter().map(Arc::new).collect(),
             num_rows,
         })
     }
@@ -65,8 +71,12 @@ impl Table {
         self.num_rows
     }
 
-    /// All columns in schema order.
-    pub fn columns(&self) -> &[Column] {
+    /// All columns in schema order, as shared handles.
+    ///
+    /// Cloning an element is a refcount bump, not a data copy — batches that
+    /// reference table columns (e.g. selection-vector scan output) do so
+    /// through these handles.
+    pub fn columns(&self) -> &[Arc<Column>] {
         &self.columns
     }
 
@@ -80,6 +90,18 @@ impl Table {
                 column: name.to_string(),
             })?;
         Ok(&self.columns[idx])
+    }
+
+    /// Shared handle to a column by name.
+    pub fn shared_column(&self, name: &str) -> Result<Arc<Column>> {
+        let idx = self
+            .schema
+            .index_of(name)
+            .ok_or_else(|| StorageError::ColumnNotFound {
+                table: self.name.clone(),
+                column: name.to_string(),
+            })?;
+        Ok(Arc::clone(&self.columns[idx]))
     }
 
     /// Column by positional index.

@@ -105,10 +105,13 @@ pub fn canonical_rows(graph: &JoinGraph, batch: &Batch) -> Vec<String> {
         .collect();
     let mut rows: Vec<String> = (0..batch.num_rows())
         .map(|r| {
+            // Map the logical row through the selection vector (if any) so
+            // selection-carrying batches render like their dense equivalents.
+            let physical = batch.physical_row(r);
             let mut cells: Vec<String> = names
                 .iter()
                 .zip(batch.columns())
-                .map(|(n, col)| format!("{n}={}", col.value(r)))
+                .map(|(n, col)| format!("{n}={}", col.value(physical)))
                 .collect();
             cells.sort();
             cells.join("|")

@@ -1,15 +1,17 @@
 //! Differential-testing oracle harness for morsel-driven parallel execution.
 //!
 //! Every workload query is executed once through the serial path
-//! (`num_threads = 1`, unbatched) as the **oracle**, then re-executed across
-//! the full `{1, 2, 4, 8} × {1, 7, 1024, usize::MAX}` thread/batch matrix
-//! (plus the `BQO_TEST_THREADS` CI override). Each cell must reproduce the
-//! oracle **bit for bit**: the concatenated output rows, the per-operator
-//! counter list, and every aggregate filter counter. A single probe counted
-//! twice, a row emitted out of order, or a morsel dropped by the scheduler
-//! fails this harness.
+//! (`num_threads = 1`, unbatched, **scalar kernels**) as the **oracle**, then
+//! re-executed across the full `{1, 2, 4, 8} × {1, 7, 1024, usize::MAX}`
+//! thread/batch matrix (plus the `BQO_TEST_THREADS` CI override) under
+//! **both kernel modes** — vectorized (selection vectors + word-level
+//! probes) and scalar. Each cell must reproduce the oracle **bit for bit**:
+//! the concatenated output rows, the per-operator counter list, and every
+//! aggregate filter counter. A single probe counted twice, a row emitted out
+//! of order, a morsel dropped by the scheduler, or a word-probe tail bit
+//! miscounted fails this harness.
 
-use bqo_core::exec::ExecConfig;
+use bqo_core::exec::{ExecConfig, KernelMode};
 use bqo_core::workloads::{star, tpcds_like, Scale};
 use bqo_core::{Engine, OptimizerChoice, QuerySpec, RunOptions};
 use bqo_integration_tests::env_threads;
@@ -45,50 +47,57 @@ fn assert_parallel_matches_serial_oracle(
                 .execute(
                     &prepared,
                     RunOptions::new()
-                        .with_exec_config(base.with_batch_size(usize::MAX).with_num_threads(1))
+                        .with_exec_config(
+                            base.with_batch_size(usize::MAX)
+                                .with_num_threads(1)
+                                .with_kernel_mode(KernelMode::Scalar),
+                        )
                         .collecting_rows(),
                 )
                 .unwrap();
             let (oracle, oracle_rows) = (oracle_out.result, oracle_out.rows.unwrap());
-            for &num_threads in &thread_counts() {
-                for &batch_size in &BATCH_MATRIX {
-                    let config = base
-                        .with_batch_size(batch_size)
-                        .with_num_threads(num_threads);
-                    let out = session
-                        .execute(
-                            &prepared,
-                            RunOptions::new().with_exec_config(config).collecting_rows(),
-                        )
-                        .unwrap();
-                    let (result, rows) = (out.result, out.rows.unwrap());
-                    let label = format!(
-                        "{} / {:?} / threads {num_threads} / batch {batch_size}",
-                        query.name, choice
-                    );
-                    // Results: identical rows in identical order.
-                    assert_eq!(result.output_rows, oracle.output_rows, "{label}");
-                    assert_eq!(rows, oracle_rows, "{label}");
-                    // Counters: the full per-operator list (output, build and
-                    // probe tuple counts per plan node, in close order) and
-                    // every aggregate.
-                    assert_eq!(
-                        result.metrics.operators, oracle.metrics.operators,
-                        "{label}"
-                    );
-                    assert_eq!(
-                        result.metrics.filter_stats, oracle.metrics.filter_stats,
-                        "{label}"
-                    );
-                    assert_eq!(
-                        result.metrics.filters_created, oracle.metrics.filters_created,
-                        "{label}"
-                    );
-                    assert_eq!(
-                        result.metrics.logical_work(),
-                        oracle.metrics.logical_work(),
-                        "{label}"
-                    );
+            for kernel_mode in [KernelMode::Vectorized, KernelMode::Scalar] {
+                for &num_threads in &thread_counts() {
+                    for &batch_size in &BATCH_MATRIX {
+                        let config = base
+                            .with_batch_size(batch_size)
+                            .with_num_threads(num_threads)
+                            .with_kernel_mode(kernel_mode);
+                        let out = session
+                            .execute(
+                                &prepared,
+                                RunOptions::new().with_exec_config(config).collecting_rows(),
+                            )
+                            .unwrap();
+                        let (result, rows) = (out.result, out.rows.unwrap());
+                        let label = format!(
+                            "{} / {:?} / {kernel_mode:?} / threads {num_threads} / batch {batch_size}",
+                            query.name, choice
+                        );
+                        // Results: identical rows in identical order.
+                        assert_eq!(result.output_rows, oracle.output_rows, "{label}");
+                        assert_eq!(rows, oracle_rows, "{label}");
+                        // Counters: the full per-operator list (output, build
+                        // and probe tuple counts per plan node, in close
+                        // order) and every aggregate.
+                        assert_eq!(
+                            result.metrics.operators, oracle.metrics.operators,
+                            "{label}"
+                        );
+                        assert_eq!(
+                            result.metrics.filter_stats, oracle.metrics.filter_stats,
+                            "{label}"
+                        );
+                        assert_eq!(
+                            result.metrics.filters_created, oracle.metrics.filters_created,
+                            "{label}"
+                        );
+                        assert_eq!(
+                            result.metrics.logical_work(),
+                            oracle.metrics.logical_work(),
+                            "{label}"
+                        );
+                    }
                 }
             }
         }

@@ -93,10 +93,11 @@ fn canonical_rows(batch: &Batch) -> Vec<Vec<(String, String)>> {
         .collect();
     let mut rows: Vec<Vec<(String, String)>> = (0..batch.num_rows())
         .map(|r| {
+            let physical = batch.physical_row(r);
             let mut row: Vec<(String, String)> = schema
                 .iter()
                 .zip(batch.columns())
-                .map(|(name, col)| (name.clone(), col.value(r).to_string()))
+                .map(|(name, col)| (name.clone(), col.value(physical).to_string()))
                 .collect();
             row.sort();
             row

@@ -2,15 +2,17 @@
 //!
 //! Every `tests/slt/*.slt` case is executed twice — once through the SQL
 //! frontend (`Engine::prepare_sql` / `Engine::bind_sql`) and once through a
-//! hand-built [`QuerySpec`] oracle — at 1 and 4 worker threads. The harness
-//! asserts, per case:
+//! hand-built [`QuerySpec`] oracle — at 1 and 4 worker threads, under both
+//! the vectorized (selection vector + word-level probe) and scalar kernel
+//! modes. The harness asserts, per case:
 //!
 //! * the lowered SQL and the oracle spec have the same plan-cache
 //!   fingerprint;
 //! * both executions return **bit-identical** row batches (same column
-//!   order, same row order, same cells) at each thread count;
+//!   order, same row order, same cells) at each (thread count, kernel mode)
+//!   cell, with identical `FilterStats` across cells;
 //! * the canonical row rendering matches the rows recorded in the file and
-//!   is invariant across thread counts;
+//!   is invariant across thread counts and kernel modes;
 //! * preparing the same SQL a second time on the same engine is a plan-cache
 //!   **hit**;
 //! * error cases fail to prepare with a diagnostic containing the recorded
@@ -20,8 +22,8 @@
 //! file from the spec oracle's actual output (useful when adding cases).
 
 use bqo_core::{
-    CacheStatus, Engine, ExecConfig, OptimizerChoice, Params, QueryPhase, Request, RunOptions,
-    Server, ServerConfig,
+    CacheStatus, Engine, ExecConfig, KernelMode, OptimizerChoice, Params, QueryPhase, Request,
+    RunOptions, Server, ServerConfig,
 };
 use bqo_integration_tests::mini::mini_catalog;
 use bqo_integration_tests::slt::{canonical_rows, SltCase, SltExpect, SltFile};
@@ -76,67 +78,82 @@ fn run_query_case(ctx: &str, case: &SltCase) -> Vec<String> {
     );
 
     let mut canonical_at_one: Option<Vec<String>> = None;
+    let mut reference_stats = None;
     for threads in THREAD_COUNTS {
-        let config = ExecConfig::default().with_num_threads(threads);
-        let run = RunOptions::new().with_exec_config(config).collecting_rows();
-        let (sql_stmt, spec_stmt) = if binds.is_empty() {
-            (
+        for kernel_mode in [KernelMode::Vectorized, KernelMode::Scalar] {
+            let config = ExecConfig::default()
+                .with_num_threads(threads)
+                .with_kernel_mode(kernel_mode);
+            let run = RunOptions::new().with_exec_config(config).collecting_rows();
+            let (sql_stmt, spec_stmt) = if binds.is_empty() {
+                (
+                    sql_engine
+                        .prepare_sql(&case.sql, OptimizerChoice::Bqo)
+                        .unwrap_or_else(|e| panic!("{ctx}: prepare_sql failed: {e}")),
+                    spec_engine
+                        .prepare(spec, OptimizerChoice::Bqo)
+                        .unwrap_or_else(|e| panic!("{ctx}: oracle prepare failed: {e}")),
+                )
+            } else {
+                (
+                    sql_engine
+                        .bind_sql(&case.sql, &params, OptimizerChoice::Bqo)
+                        .unwrap_or_else(|e| panic!("{ctx}: bind_sql failed: {e}")),
+                    spec_engine
+                        .bind(spec, &params, OptimizerChoice::Bqo)
+                        .unwrap_or_else(|e| panic!("{ctx}: oracle bind failed: {e}")),
+                )
+            };
+            let sql_out = sql_engine
+                .session()
+                .execute(&sql_stmt, run.clone())
+                .unwrap_or_else(|e| panic!("{ctx}: SQL execution failed: {e}"));
+            let spec_out = spec_engine
+                .session()
+                .execute(&spec_stmt, run)
+                .unwrap_or_else(|e| panic!("{ctx}: oracle execution failed: {e}"));
+            let sql_rows = sql_out.rows.expect("collected rows");
+            let spec_rows = spec_out.rows.expect("collected rows");
+            assert_eq!(
+                sql_rows, spec_rows,
+                "{ctx}: SQL and oracle batches differ at {threads} thread(s), {kernel_mode:?}"
+            );
+            // Filter accounting must be identical across every
+            // (thread count, kernel mode) cell — word-level probes may not
+            // change what gets probed or eliminated.
+            match &reference_stats {
+                None => reference_stats = Some(sql_out.result.metrics.filter_stats),
+                Some(first) => assert_eq!(
+                    first, &sql_out.result.metrics.filter_stats,
+                    "{ctx}: FilterStats changed at {threads} thread(s), {kernel_mode:?}"
+                ),
+            }
+
+            let canonical = canonical_rows(sql_stmt.graph(), &sql_rows);
+            match &canonical_at_one {
+                None => canonical_at_one = Some(canonical),
+                Some(first) => assert_eq!(
+                    first, &canonical,
+                    "{ctx}: canonical rows changed between thread counts/kernel modes"
+                ),
+            }
+
+            // Same SQL again on the same engine: must be served from the cache.
+            let again = if binds.is_empty() {
                 sql_engine
                     .prepare_sql(&case.sql, OptimizerChoice::Bqo)
-                    .unwrap_or_else(|e| panic!("{ctx}: prepare_sql failed: {e}")),
-                spec_engine
-                    .prepare(spec, OptimizerChoice::Bqo)
-                    .unwrap_or_else(|e| panic!("{ctx}: oracle prepare failed: {e}")),
-            )
-        } else {
-            (
+                    .unwrap()
+            } else {
                 sql_engine
                     .bind_sql(&case.sql, &params, OptimizerChoice::Bqo)
-                    .unwrap_or_else(|e| panic!("{ctx}: bind_sql failed: {e}")),
-                spec_engine
-                    .bind(spec, &params, OptimizerChoice::Bqo)
-                    .unwrap_or_else(|e| panic!("{ctx}: oracle bind failed: {e}")),
-            )
-        };
-        let sql_out = sql_engine
-            .session()
-            .execute(&sql_stmt, run.clone())
-            .unwrap_or_else(|e| panic!("{ctx}: SQL execution failed: {e}"));
-        let spec_out = spec_engine
-            .session()
-            .execute(&spec_stmt, run)
-            .unwrap_or_else(|e| panic!("{ctx}: oracle execution failed: {e}"));
-        let sql_rows = sql_out.rows.expect("collected rows");
-        let spec_rows = spec_out.rows.expect("collected rows");
-        assert_eq!(
-            sql_rows, spec_rows,
-            "{ctx}: SQL and oracle batches differ at {threads} thread(s)"
-        );
-
-        let canonical = canonical_rows(sql_stmt.graph(), &sql_rows);
-        match &canonical_at_one {
-            None => canonical_at_one = Some(canonical),
-            Some(first) => assert_eq!(
-                first, &canonical,
-                "{ctx}: canonical rows changed between thread counts"
-            ),
+                    .unwrap()
+            };
+            assert_eq!(
+                again.cache_status(),
+                CacheStatus::Hit,
+                "{ctx}: re-preparing identical SQL missed the plan cache"
+            );
         }
-
-        // Same SQL again on the same engine: must be served from the cache.
-        let again = if binds.is_empty() {
-            sql_engine
-                .prepare_sql(&case.sql, OptimizerChoice::Bqo)
-                .unwrap()
-        } else {
-            sql_engine
-                .bind_sql(&case.sql, &params, OptimizerChoice::Bqo)
-                .unwrap()
-        };
-        assert_eq!(
-            again.cache_status(),
-            CacheStatus::Hit,
-            "{ctx}: re-preparing identical SQL missed the plan cache"
-        );
     }
 
     let actual = canonical_at_one.expect("at least one thread count ran");
