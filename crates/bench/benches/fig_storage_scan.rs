@@ -1,0 +1,125 @@
+//! Storage scan — in-memory tables versus `.bqo` files (ISSUE 9 tentpole).
+//!
+//! A fact table clustered by its join key is written to disk with 1024-row
+//! chunks, then a selective dimension-filtered join runs against four
+//! backings: the in-memory table, the file through buffered reads, the file
+//! through mmap, and the buffered file with zone-map pruning force-disabled.
+//! Output rows are asserted identical across all four before anything is
+//! timed; the pruned runs skip most fact chunks outright because the
+//! pushed-down bitvector filter empties their zone-map key ranges.
+//!
+//! `cargo run -p bqo-bench --bin reproduce --release -- storage_scan` prints
+//! the measured table over the full TPC-DS-like workload and writes
+//! `BENCH_storage.json`.
+
+use bqo_core::exec::ExecConfig;
+use bqo_core::format::{write_table, AccessMode, CatalogExt};
+use bqo_core::storage::Catalog;
+use bqo_core::{
+    ColumnPredicate, CompareOp, Engine, OptimizerChoice, QuerySpec, RunOptions, TableBuilder,
+};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+const FACT_ROWS: usize = 256_000;
+const DIM_ROWS: usize = 1000;
+const CHUNK_ROWS: usize = 1024;
+
+/// The in-memory catalog: `fact(fk)` clustered by join key over `dim(sk)`.
+fn memory_catalog() -> Catalog {
+    let per_key = FACT_ROWS / DIM_ROWS;
+    let mut catalog = Catalog::new();
+    catalog.register_table(
+        TableBuilder::new("dim")
+            .with_i64("sk", (0..DIM_ROWS as i64).collect())
+            .build()
+            .expect("dim"),
+    );
+    catalog.register_table(
+        TableBuilder::new("fact")
+            .with_i64("fk", (0..FACT_ROWS).map(|i| (i / per_key) as i64).collect())
+            .build()
+            .expect("fact"),
+    );
+    catalog.declare_primary_key("dim", "sk").expect("pk");
+    catalog
+}
+
+fn file_catalog(dir: &std::path::Path, mode: AccessMode) -> Catalog {
+    let mut catalog = Catalog::new();
+    for name in ["dim", "fact"] {
+        catalog
+            .register_file_with(dir.join(format!("{name}.bqo")), mode)
+            .expect("register file");
+    }
+    catalog.declare_primary_key("dim", "sk").expect("pk");
+    catalog
+}
+
+fn bench_storage_scan(c: &mut Criterion) {
+    let dir = std::env::temp_dir().join(format!("bqo-bench-storage-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("bench dir");
+    let memory = memory_catalog();
+    for name in ["dim", "fact"] {
+        write_table(
+            dir.join(format!("{name}.bqo")),
+            &memory.table(name).expect("table"),
+            CHUNK_ROWS,
+        )
+        .expect("write table");
+    }
+
+    let query = QuerySpec::new("selective_scan")
+        .table("fact")
+        .table("dim")
+        .join("fact", "fk", "dim", "sk")
+        .predicate("dim", ColumnPredicate::new("sk", CompareOp::Lt, 100i64));
+    let pruned = ExecConfig::default();
+    let unpruned = pruned.with_zone_map_pruning(false);
+    let backings: Vec<(&str, Engine, ExecConfig)> = vec![
+        ("memory", Engine::from_catalog(memory.clone()), pruned),
+        (
+            "file_buffered",
+            Engine::from_catalog(file_catalog(&dir, AccessMode::Buffered)),
+            pruned,
+        ),
+        (
+            "file_mmap",
+            Engine::from_catalog(file_catalog(&dir, AccessMode::Mmap)),
+            pruned,
+        ),
+        (
+            "file_buffered_unpruned",
+            Engine::from_catalog(file_catalog(&dir, AccessMode::Buffered)),
+            unpruned,
+        ),
+    ];
+
+    let mut group = c.benchmark_group("fig_storage_scan");
+    group.sample_size(10);
+    let mut expected_rows = None;
+    for (label, engine, config) in &backings {
+        let stmt = engine.prepare(&query, OptimizerChoice::Bqo).expect("plan");
+        let session = engine.session();
+        // Every backing must compute the same answer before it is timed.
+        let out = session
+            .execute(&stmt, RunOptions::new().with_exec_config(*config))
+            .expect("executes");
+        let rows = expected_rows.get_or_insert(out.result.output_rows);
+        assert_eq!(out.result.output_rows, *rows, "{label}");
+        group.bench_function(*label, |b| {
+            b.iter(|| {
+                let out = session
+                    .execute(&stmt, RunOptions::new().with_exec_config(*config))
+                    .expect("executes");
+                black_box(out.result.output_rows)
+            })
+        });
+    }
+    group.finish();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+criterion_group!(benches, bench_storage_scan);
+criterion_main!(benches);

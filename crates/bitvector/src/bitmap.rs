@@ -190,6 +190,49 @@ impl BitvectorFilter for RangeBitmapFilter {
         }
     }
 
+    // Exact range-emptiness in both representations: the dense bitmap scans
+    // the words overlapping the (clamped) offset window, the sparse set
+    // iterates whichever of {stored keys, probe range} is smaller. Arithmetic
+    // goes through i128 so extreme `[lo, hi]` bounds cannot overflow.
+    fn probe_range_empty(&self, lo: i64, hi: i64) -> bool {
+        if lo > hi {
+            return true;
+        }
+        match self {
+            RangeBitmapFilter::Bitmap { min, words, .. } => {
+                let limit = (words.len() as i128) * 64;
+                let lo_off = ((lo as i128) - (*min as i128)).max(0);
+                let hi_off = ((hi as i128) - (*min as i128)).min(limit - 1);
+                if lo_off > hi_off {
+                    return true;
+                }
+                let (lo_off, hi_off) = (lo_off as usize, hi_off as usize);
+                let (lo_word, hi_word) = (lo_off / 64, hi_off / 64);
+                for (w, &stored) in words.iter().enumerate().take(hi_word + 1).skip(lo_word) {
+                    let mut word = stored;
+                    if w == lo_word {
+                        word &= u64::MAX << (lo_off % 64);
+                    }
+                    if w == hi_word && hi_off % 64 != 63 {
+                        word &= (1u64 << (hi_off % 64 + 1)) - 1;
+                    }
+                    if word != 0 {
+                        return false;
+                    }
+                }
+                true
+            }
+            RangeBitmapFilter::Sparse(set) => {
+                let width = (hi as i128) - (lo as i128) + 1;
+                if width <= set.len() as i128 {
+                    (lo..=hi).all(|k| !set.contains(&k))
+                } else {
+                    set.iter().all(|&k| k < lo || k > hi)
+                }
+            }
+        }
+    }
+
     fn inserted(&self) -> usize {
         match self {
             RangeBitmapFilter::Bitmap { inserted, .. } => *inserted,
@@ -279,6 +322,37 @@ mod tests {
         }
         assert!(f.maybe_contains(1_000_000));
         assert!(!f.maybe_contains(17));
+    }
+
+    #[test]
+    fn probe_range_empty_dense_matches_scalar_sweep() {
+        let keys: Vec<i64> = (0..500).filter(|k| k % 7 == 0).collect();
+        let f = RangeBitmapFilter::from_keys(&keys);
+        assert!(f.is_dense());
+        for lo in (-20..520).step_by(13) {
+            for width in [0i64, 1, 5, 63, 64, 65, 200] {
+                let hi = lo + width;
+                let expected = (lo..=hi).all(|k| !f.maybe_contains(k));
+                assert_eq!(f.probe_range_empty(lo, hi), expected, "[{lo},{hi}]");
+            }
+        }
+        assert!(f.probe_range_empty(i64::MIN, -1));
+        assert!(f.probe_range_empty(498, i64::MAX));
+        assert!(!f.probe_range_empty(i64::MIN, i64::MAX));
+    }
+
+    #[test]
+    fn probe_range_empty_sparse_matches_scalar_sweep() {
+        let keys: Vec<i64> = (0..50).map(|i| i * 1_000_000_000).collect();
+        let f = RangeBitmapFilter::from_keys(&keys);
+        assert!(!f.is_dense());
+        // Narrow range: iterates the range.
+        assert!(f.probe_range_empty(1, 999_999_999));
+        assert!(!f.probe_range_empty(999_999_999, 1_000_000_001));
+        // Wide range: iterates the set.
+        assert!(!f.probe_range_empty(i64::MIN, i64::MAX));
+        assert!(f.probe_range_empty(49_000_000_001, i64::MAX));
+        assert!(f.probe_range_empty(i64::MIN, -1));
     }
 
     #[test]

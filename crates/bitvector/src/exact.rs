@@ -53,6 +53,21 @@ impl BitvectorFilter for ExactFilter {
         mask
     }
 
+    // Exact range-emptiness: iterate whichever of {stored keys, probe range}
+    // is smaller. Width math goes through i128 so extreme bounds cannot
+    // overflow.
+    fn probe_range_empty(&self, lo: i64, hi: i64) -> bool {
+        if lo > hi {
+            return true;
+        }
+        let width = (hi as i128) - (lo as i128) + 1;
+        if width <= self.keys.len() as i128 {
+            (lo..=hi).all(|k| !self.keys.contains(&k))
+        } else {
+            self.keys.iter().all(|&k| k < lo || k > hi)
+        }
+    }
+
     fn inserted(&self) -> usize {
         self.keys.len()
     }
@@ -105,6 +120,22 @@ mod tests {
         assert!(f.maybe_contains(-42));
         assert!(f.maybe_contains(i64::MIN));
         assert!(!f.maybe_contains(i64::MAX));
+    }
+
+    #[test]
+    fn probe_range_empty_is_exact() {
+        let mut f = ExactFilter::new();
+        for i in 0..100 {
+            f.insert(i * 2);
+        }
+        // Narrow range (iterates the range) and wide range (iterates the
+        // set) must agree with the scalar sweep.
+        assert!(f.probe_range_empty(1, 1));
+        assert!(!f.probe_range_empty(0, 3));
+        assert!(!f.probe_range_empty(i64::MIN, i64::MAX));
+        assert!(f.probe_range_empty(199, i64::MAX));
+        assert!(f.probe_range_empty(i64::MIN, -1));
+        assert!(f.probe_range_empty(10, 9));
     }
 
     #[test]

@@ -78,6 +78,31 @@ pub trait BitvectorFilter: Send + Sync {
         }
     }
 
+    /// Returns `true` only when the filter can prove that **every** key in
+    /// the inclusive range `[lo, hi]` is definitely absent — i.e.
+    /// `maybe_contains(k)` would return `false` for all `lo <= k <= hi`.
+    /// Returning `false` carries no information ("cannot prove emptiness"),
+    /// so any implementation may fall back to `false` and stay sound.
+    ///
+    /// This is the zone-map pruning hook: a scan over chunked storage asks
+    /// whether a chunk's `[min, max]` key range can survive a pushed-down
+    /// filter, and skips reading the chunk when it provably cannot. The
+    /// default sweeps `maybe_contains` over narrow ranges (so even
+    /// false-positive-prone Bloom variants answer exactly for small zones)
+    /// and gives up on wide ones.
+    fn probe_range_empty(&self, lo: i64, hi: i64) -> bool {
+        if lo > hi {
+            return true;
+        }
+        // Sweeping an unbounded range would turn one pruning decision into
+        // billions of probes; beyond this width the default just declines.
+        const MAX_SWEEP: i128 = 1024;
+        if (hi as i128) - (lo as i128) + 1 > MAX_SWEEP {
+            return false;
+        }
+        (lo..=hi).all(|k| !self.maybe_contains(k))
+    }
+
     /// Number of keys inserted.
     fn inserted(&self) -> usize;
 
@@ -180,6 +205,15 @@ impl BitvectorFilter for AnyFilter {
             AnyFilter::Exact(f) => f.probe_words(keys, out),
             AnyFilter::Bloom(f) => f.probe_words(keys, out),
             AnyFilter::BlockedBloom(f) => f.probe_words(keys, out),
+        }
+    }
+
+    fn probe_range_empty(&self, lo: i64, hi: i64) -> bool {
+        match self {
+            AnyFilter::Bitmap(f) => f.probe_range_empty(lo, hi),
+            AnyFilter::Exact(f) => f.probe_range_empty(lo, hi),
+            AnyFilter::Bloom(f) => f.probe_range_empty(lo, hi),
+            AnyFilter::BlockedBloom(f) => f.probe_range_empty(lo, hi),
         }
     }
 
@@ -296,6 +330,55 @@ mod tests {
         let mask = f.probe_word(&probes);
         for (i, &p) in probes.iter().enumerate() {
             assert_eq!((mask >> i) & 1 == 1, f.maybe_contains(p));
+        }
+    }
+
+    #[test]
+    fn probe_range_empty_is_sound_for_all_kinds() {
+        // Soundness contract: whenever probe_range_empty says `true`, every
+        // scalar probe in the range must be `false`. Exactness (saying
+        // `true` whenever it holds) is only required of the exact kinds.
+        let kinds = [
+            FilterKind::Bitmap,
+            FilterKind::Exact,
+            FilterKind::Bloom { bits_per_key: 8 },
+            FilterKind::BlockedBloom { bits_per_key: 8 },
+        ];
+        let keys: Vec<i64> = (100..200).map(|i| i * 3).collect();
+        for kind in kinds {
+            let f = AnyFilter::from_keys(kind, &keys);
+            for (lo, hi) in [
+                (-50i64, 50i64),
+                (0, 299),
+                (300, 600),
+                (299, 301),
+                (601, 10_000),
+                (i64::MIN, 0),
+                (598, i64::MAX),
+                (5, 4), // empty range is trivially empty
+            ] {
+                if f.probe_range_empty(lo, hi) {
+                    // Sweep a bounded window of the claim (the full range
+                    // may be astronomically wide; the keys all lie in
+                    // [300, 597] so checking near the key span suffices).
+                    let sweep_lo = lo.max(250);
+                    let sweep_hi = hi.min(650);
+                    for k in sweep_lo..=sweep_hi {
+                        assert!(
+                            !f.maybe_contains(k),
+                            "{kind:?} claimed [{lo},{hi}] empty but contains {k}"
+                        );
+                    }
+                }
+            }
+            // Exact kinds must also be complete on ranges that do hit keys.
+            if matches!(kind, FilterKind::Bitmap | FilterKind::Exact) {
+                assert!(!f.probe_range_empty(300, 300));
+                assert!(!f.probe_range_empty(0, i64::MAX));
+                assert!(f.probe_range_empty(301, 302));
+                assert!(f.probe_range_empty(i64::MIN, 299));
+                assert!(f.probe_range_empty(598, i64::MAX));
+            }
         }
     }
 

@@ -11,7 +11,9 @@
 
 use crate::cache::{CacheStats, CacheStatus, PlanCache};
 use crate::{BqoError, OptimizerChoice};
-use bqo_exec::{Batch, BoundPlan, CancelToken, ExecConfig, Executor, QueryResult, WorkerPool};
+use bqo_exec::{
+    Batch, BoundPlan, CancelToken, ExecConfig, ExecutionMetrics, Executor, QueryResult, WorkerPool,
+};
 use bqo_optimizer::{BaselineOptimizer, BqoOptimizer, Optimizer};
 use bqo_plan::{CostModel, CoutBreakdown, JoinGraph, Params, PhysicalPlan, QuerySpec};
 use bqo_storage::{Catalog, ForeignKey, Table};
@@ -430,11 +432,25 @@ fn render_exec_config(config: ExecConfig) -> String {
         bqo_exec::KernelMode::Scalar => "scalar",
     };
     format!(
-        "execution: batch_size={}, num_threads={}, morsel_size={}, kernels={}\n",
+        "execution: batch_size={}, num_threads={}, morsel_size={}, kernels={}, zone_map_pruning={}\n",
         render_rows(config.batch_size),
         config.num_threads,
         render_rows(config.effective_morsel_size()),
-        kernels
+        kernels,
+        if config.zone_map_pruning { "on" } else { "off" }
+    )
+}
+
+/// Renders the storage-counter line appended to EXPLAIN ANALYZE output:
+/// chunks read vs pruned by zone maps (with the pruning ratio) and bytes
+/// fetched. Purely in-memory plans report zero chunks.
+fn render_storage_counters(metrics: &ExecutionMetrics) -> String {
+    format!(
+        "storage: chunks_read={}, chunks_pruned={} (pruned {:.1}%), bytes_read={}\n",
+        metrics.chunks_read,
+        metrics.chunks_pruned,
+        metrics.chunk_pruning_ratio() * 100.0,
+        metrics.bytes_read
     )
 }
 
@@ -806,6 +822,18 @@ impl Session {
     /// execution configuration.
     pub fn explain(&self, stmt: &PreparedStatement) -> String {
         stmt.explain_with(self.exec_config)
+    }
+
+    /// EXPLAIN ANALYZE: renders the plan (each scan labelled with its
+    /// backing, `scan=memory` or `scan=file`), executes the statement under
+    /// the session's configuration, and appends the observed storage
+    /// counters — chunks read vs pruned by zone maps, the pruning ratio and
+    /// bytes fetched. Purely in-memory plans report zero chunks.
+    pub fn explain_analyze(&self, stmt: &PreparedStatement) -> Result<String, BqoError> {
+        let out = self.execute(stmt, RunOptions::new())?;
+        let mut text = stmt.explain_with(self.exec_config);
+        text.push_str(&render_storage_counters(&out.result.metrics));
+        Ok(text)
     }
 }
 

@@ -58,6 +58,13 @@
 //!   binary: run a whole workload under both optimizers and collect the
 //!   per-query and aggregate comparisons the paper reports (Figures 8–10,
 //!   Table 4).
+//! * [`mod@format`] — the on-disk columnar file format (`.bqo`): chunked
+//!   columns with per-chunk zone maps and checksums, written with
+//!   [`format::FileWriter`] and registered into a catalog via
+//!   [`format::CatalogExt`] (`register_file` / `attach_dir`). File-backed
+//!   tables execute out of core through chunk-streaming scans with
+//!   zone-map pruning ([`ExecConfig::zone_map_pruning`]), bit-identically
+//!   to their in-memory twins.
 //!
 //! ## Quick example
 //!
@@ -119,6 +126,7 @@ pub mod server;
 // need to depend on `bqo-core`.
 pub use bqo_bitvector as bitvector;
 pub use bqo_exec as exec;
+pub use bqo_format as format;
 pub use bqo_optimizer as optimizer;
 pub use bqo_plan as plan;
 pub use bqo_sql as sql;

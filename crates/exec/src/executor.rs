@@ -101,6 +101,15 @@ pub struct ExecConfig {
     /// ([`KernelMode::Vectorized`] by default, unless `BQO_FORCE_SCALAR` is
     /// set). Results and counters are bit-identical in both modes.
     pub kernel_mode: KernelMode,
+    /// Zone-map chunk pruning for file-backed scans (`true` by default). A
+    /// chunk whose min/max bounds prove that no row can satisfy a local
+    /// predicate — or that no surviving build key of a pushed-down
+    /// bitvector filter can fall in the chunk's key range — is skipped
+    /// without being read. Rows, batch boundaries and `FilterStats` are
+    /// identical with pruning on or off (pruning only removes provably
+    /// dead work); `false` force-disables it for A/B measurements and
+    /// oracle tests.
+    pub zone_map_pruning: bool,
 }
 
 impl Default for ExecConfig {
@@ -114,6 +123,7 @@ impl Default for ExecConfig {
             parallel_threshold: DEFAULT_PARALLEL_THRESHOLD,
             scan_throttle: None,
             kernel_mode: KernelMode::from_env(),
+            zone_map_pruning: true,
         }
     }
 }
@@ -187,6 +197,14 @@ impl ExecConfig {
     /// to sweep vectorized vs scalar kernels within one process.
     pub fn with_kernel_mode(mut self, kernel_mode: KernelMode) -> Self {
         self.kernel_mode = kernel_mode;
+        self
+    }
+
+    /// The same configuration with zone-map chunk pruning switched on or
+    /// off. Off is the A/B baseline: identical rows and counters except
+    /// `chunks_pruned`, which stays 0.
+    pub fn with_zone_map_pruning(mut self, enabled: bool) -> Self {
+        self.zone_map_pruning = enabled;
         self
     }
 

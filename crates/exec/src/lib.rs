@@ -70,6 +70,6 @@ pub use executor::{
 };
 pub use metrics::{ExecutionMetrics, OperatorKind, OperatorMetrics};
 pub use morsel::{chunk_morsels, morsels, run_morsels, run_morsels_with, Morsel};
-pub use operators::{HashJoinOp, PhysicalOperator, ScanOp};
+pub use operators::{FileScanOp, HashJoinOp, PhysicalOperator, ScanOp};
 pub use pipeline::{ExecContext, PipelineBuilder};
 pub use pool::WorkerPool;

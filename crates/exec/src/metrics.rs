@@ -42,6 +42,15 @@ pub struct ExecutionMetrics {
     pub filter_stats: FilterStats,
     /// Number of bitvector filters that were actually created.
     pub filters_created: usize,
+    /// File-backed scans: chunks whose data was fetched and scanned.
+    pub chunks_read: u64,
+    /// File-backed scans: chunks skipped entirely because their zone maps
+    /// proved no row could survive the scan's predicates or a pushed-down
+    /// bitvector filter.
+    pub chunks_pruned: u64,
+    /// File-backed scans: bytes of chunk data fetched (pruned chunks
+    /// contribute nothing).
+    pub bytes_read: u64,
     /// Wall-clock execution time.
     pub elapsed: Duration,
 }
@@ -84,6 +93,9 @@ impl ExecutionMetrics {
         self.operators.extend(other.operators.iter().cloned());
         self.filter_stats.merge(&other.filter_stats);
         self.filters_created += other.filters_created;
+        self.chunks_read += other.chunks_read;
+        self.chunks_pruned += other.chunks_pruned;
+        self.bytes_read += other.bytes_read;
         self.elapsed += other.elapsed;
     }
 
@@ -120,6 +132,18 @@ impl ExecutionMetrics {
             + self.total_probe_rows()
             + self.total_tuples()
             + self.filter_stats.probed / 4
+    }
+
+    /// Fraction of file-scan chunks that zone maps pruned:
+    /// `chunks_pruned / (chunks_read + chunks_pruned)`. Zero when no
+    /// file-backed scan ran.
+    pub fn chunk_pruning_ratio(&self) -> f64 {
+        let total = self.chunks_read + self.chunks_pruned;
+        if total == 0 {
+            0.0
+        } else {
+            self.chunks_pruned as f64 / total as f64
+        }
     }
 
     /// Elapsed time in seconds as f64 (convenience for reports).
@@ -171,6 +195,9 @@ mod tests {
         m.filter_stats.probed = probed;
         m.filter_stats.eliminated = eliminated;
         m.filters_created = 1;
+        m.chunks_read = rows / 10;
+        m.chunks_pruned = probed / 4;
+        m.bytes_read = rows * 100;
         m.elapsed = Duration::from_millis(rows);
         m
     }
@@ -207,6 +234,19 @@ mod tests {
         assert_eq!(ab_c, a_bc);
         assert_eq!(ab_c.total_tuples(), 30);
         assert_eq!(ab_c.filter_stats.probed, 17);
+        // The chunk counters sum like every other counter.
+        assert_eq!(ab_c.chunks_read, 1 + 2);
+        assert_eq!(ab_c.chunks_pruned, 1 + 2 + 1);
+        assert_eq!(ab_c.bytes_read, 3000);
+    }
+
+    #[test]
+    fn chunk_pruning_ratio_handles_empty_and_mixed() {
+        let mut m = ExecutionMetrics::new();
+        assert_eq!(m.chunk_pruning_ratio(), 0.0);
+        m.chunks_read = 3;
+        m.chunks_pruned = 9;
+        assert!((m.chunk_pruning_ratio() - 0.75).abs() < 1e-12);
     }
 
     #[test]

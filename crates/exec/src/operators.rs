@@ -32,12 +32,12 @@ use crate::batch::{row_key, Batch};
 use crate::executor::KernelMode;
 use crate::kernels::{probe_mask_range, probe_retain, ProbeScratch};
 use crate::metrics::OperatorKind;
-use crate::morsel::{chunk_morsels, morsels};
+use crate::morsel::{chunk_morsels, morsels, Morsel};
 use crate::pipeline::ExecContext;
 use bqo_bitvector::hash::FxHashMap;
 use bqo_bitvector::{AnyFilter, BitvectorFilter, FilterStats};
 use bqo_plan::{BitvectorPlacement, ColumnRef, NodeId, RelId, RelationInfo};
-use bqo_storage::{Column, StorageError, Table};
+use bqo_storage::{ChunkSource, Column, StorageError, Table, Value};
 use std::sync::Arc;
 
 /// A pull-based physical operator producing batches of rows.
@@ -287,6 +287,385 @@ impl PhysicalOperator for ScanOp<'_> {
                     self.table.columns().iter().map(|c| c.take(rows)).collect();
                 Batch::new(self.schema.clone(), columns)
             };
+            self.output_rows += batch.num_rows() as u64;
+            self.emitted_any = true;
+            return Ok(Some(batch));
+        }
+        if !self.emitted_any {
+            self.emitted_any = true;
+            return Ok(Some(self.empty_batch()));
+        }
+        Ok(None)
+    }
+
+    fn close(&mut self, ctx: &mut ExecContext) {
+        ctx.metrics
+            .record_operator(self.node, OperatorKind::Leaf, self.output_rows, 0, 0);
+    }
+}
+
+/// Why a pruned-by-filter chunk's counters are exact: pruning runs only
+/// when the scan has no local predicates and only against the *first*
+/// placement, so on the in-memory path every row of the chunk would be
+/// probed by (and, since `probe_range_empty` proved the whole key range
+/// empty, eliminated at) that placement — and would never reach any later
+/// placement. Crediting `chunk_rows` probed + eliminated to slot 0 and
+/// nothing to later slots reproduces those counters without reading a byte.
+enum ChunkDecision {
+    /// Read and scan the chunk.
+    Scan,
+    /// A local predicate can match no row in the chunk's value ranges.
+    /// Predicate evaluation keeps no counters, so skipping is free.
+    PrunedByPredicate,
+    /// The first pushed-down bitvector filter has no surviving build key in
+    /// the chunk's join-key range; counters are credited as above.
+    PrunedByFilter,
+}
+
+/// Per-chunk kernel output of a file scan's filter pass.
+struct ChunkScan {
+    /// Surviving rows as global row ids (ascending).
+    rows: Vec<usize>,
+    /// The survivors' values, dense, one column per schema field.
+    columns: Vec<Column>,
+    /// Morsel-local bitvector counters, one per placement slot.
+    stats: Vec<FilterStats>,
+    /// Whether the chunk's data was actually fetched.
+    read: bool,
+    /// Bytes fetched (0 for pruned chunks).
+    bytes: u64,
+}
+
+/// Out-of-core scan of a chunked table source ([`ChunkSource`], i.e. an
+/// on-disk columnar file): the file-backed counterpart of [`ScanOp`].
+///
+/// Morsels are chunk-aligned — one morsel per chunk — so a worker fetches,
+/// filters and compacts one chunk end to end and at most
+/// `num_threads` chunks are in memory at once. Before fetching, each
+/// chunk's zone maps are tested against the scan's local predicates *and*
+/// against the first pushed-down bitvector filter's surviving key range
+/// ([`BitvectorFilter::probe_range_empty`]); a chunk that provably
+/// contributes nothing is skipped entirely. Rows, batch boundaries,
+/// `FilterStats` and operator counters are bit-identical to running
+/// [`ScanOp`] over the same rows in memory, for every `(num_threads,
+/// batch_size, kernel_mode, zone_map_pruning)` combination.
+pub struct FileScanOp<'p> {
+    node: NodeId,
+    info: &'p RelationInfo,
+    source: Arc<dyn ChunkSource>,
+    schema: Vec<ColumnRef>,
+    placements: Vec<(usize, &'p BitvectorPlacement)>,
+    placement_cols: Vec<Vec<usize>>,
+    /// Global row ids surviving all predicates and filters (ascending).
+    survivors: Vec<usize>,
+    /// The survivors' values, dense, aligned with `survivors`.
+    survivor_cols: Vec<Column>,
+    pos: usize,
+    cursor: usize,
+    emitted_any: bool,
+    output_rows: u64,
+}
+
+impl<'p> FileScanOp<'p> {
+    /// Creates a file scan over `source`.
+    pub fn new(
+        node: NodeId,
+        relation: RelId,
+        info: &'p RelationInfo,
+        source: Arc<dyn ChunkSource>,
+        placements: Vec<(usize, &'p BitvectorPlacement)>,
+    ) -> Self {
+        let schema = source
+            .schema()
+            .fields()
+            .iter()
+            .map(|f| ColumnRef::new(relation, f.name.clone()))
+            .collect();
+        FileScanOp {
+            node,
+            info,
+            source,
+            schema,
+            placements,
+            placement_cols: Vec::new(),
+            survivors: Vec::new(),
+            survivor_cols: Vec::new(),
+            pos: 0,
+            cursor: 0,
+            emitted_any: false,
+            output_rows: 0,
+        }
+    }
+
+    fn empty_batch(&self) -> Batch {
+        let columns = self
+            .source
+            .schema()
+            .fields()
+            .iter()
+            .map(|f| Column::empty(f.data_type))
+            .collect();
+        Batch::new(self.schema.clone(), columns)
+    }
+
+    /// Resolves `column` to its schema index.
+    fn column_index(&self, column: &str) -> Result<usize, StorageError> {
+        self.source
+            .schema()
+            .index_of(column)
+            .ok_or_else(|| StorageError::ColumnNotFound {
+                table: self.info.name.clone(),
+                column: column.to_string(),
+            })
+    }
+}
+
+impl PhysicalOperator for FileScanOp<'_> {
+    fn open(&mut self, ctx: &mut ExecContext) -> Result<(), StorageError> {
+        // Resolve predicate and placement columns once, before any I/O.
+        let pred_cols: Vec<usize> = self
+            .info
+            .predicates
+            .iter()
+            .map(|p| self.column_index(&p.column))
+            .collect::<Result<_, _>>()?;
+        self.placement_cols = self
+            .placements
+            .iter()
+            .map(|(_, placement)| {
+                placement
+                    .probe_columns
+                    .iter()
+                    .map(|c| self.column_index(&c.column))
+                    .collect()
+            })
+            .collect::<Result<_, _>>()?;
+
+        // One morsel per chunk: fetch granularity, work granularity and
+        // cancellation granularity coincide out-of-core.
+        let chunk_list: Vec<Morsel> = (0..self.source.num_chunks())
+            .map(|i| {
+                let (start, end) = self.source.chunk_range(i);
+                Morsel {
+                    index: i,
+                    start,
+                    end,
+                }
+            })
+            .collect();
+        let num_threads = ctx.config.workers_for(self.source.num_rows());
+        let predicates = &self.info.predicates;
+        let throttle = ctx.config.scan_throttle;
+        let kernel_mode = ctx.config.kernel_mode;
+        let prune = ctx.config.zone_map_pruning;
+        let source = &self.source;
+        let placement_cols = &self.placement_cols;
+
+        let (survivors, survivor_cols, merged_stats, chunks_read, chunks_pruned, bytes_read) = {
+            let filters: Vec<Option<&AnyFilter>> = self
+                .placements
+                .iter()
+                .map(|&(idx, _)| ctx.filter(idx))
+                .collect();
+
+            // Pruning decisions from the footer's zone maps — no chunk data
+            // is touched here.
+            let decisions: Vec<ChunkDecision> = chunk_list
+                .iter()
+                .map(|m| {
+                    if !prune {
+                        return ChunkDecision::Scan;
+                    }
+                    for (p, &ci) in predicates.iter().zip(&pred_cols) {
+                        if let Some((min, max)) = source.zone_map(m.index, ci) {
+                            if !p.range_may_pass(&min, &max) {
+                                return ChunkDecision::PrunedByPredicate;
+                            }
+                        }
+                    }
+                    // Bitvector-range pruning is counter-exact only with no
+                    // local predicates, only for the first placement, and
+                    // only for a single-column integer join key.
+                    if predicates.is_empty() {
+                        if let (Some(Some(filter)), Some(cols)) =
+                            (filters.first(), placement_cols.first())
+                        {
+                            if let [ci] = cols[..] {
+                                if let Some((Value::Int64(lo), Value::Int64(hi))) =
+                                    source.zone_map(m.index, ci)
+                                {
+                                    if filter.probe_range_empty(lo, hi) {
+                                        return ChunkDecision::PrunedByFilter;
+                                    }
+                                }
+                            }
+                        }
+                    }
+                    ChunkDecision::Scan
+                })
+                .collect();
+
+            let per_chunk = ctx.run_morsels(num_threads, &chunk_list, |m| {
+                if let Some(throttle) = throttle {
+                    std::thread::sleep(throttle);
+                }
+                let mut stats = vec![FilterStats::new(); filters.len()];
+                match decisions[m.index] {
+                    ChunkDecision::PrunedByPredicate => Ok(ChunkScan {
+                        rows: Vec::new(),
+                        columns: Vec::new(),
+                        stats,
+                        read: false,
+                        bytes: 0,
+                    }),
+                    ChunkDecision::PrunedByFilter => {
+                        // See `ChunkDecision`: slot 0 probed and eliminated
+                        // every row of this chunk.
+                        stats[0].probed += m.len() as u64;
+                        stats[0].eliminated += m.len() as u64;
+                        Ok(ChunkScan {
+                            rows: Vec::new(),
+                            columns: Vec::new(),
+                            stats,
+                            read: false,
+                            bytes: 0,
+                        })
+                    }
+                    ChunkDecision::Scan => {
+                        let columns = source.read_chunk(m.index)?;
+                        let mut mask = vec![true; m.len()];
+                        for (predicate, &ci) in predicates.iter().zip(&pred_cols) {
+                            let predicate_mask = predicate.evaluate_range(&columns[ci], 0, m.len());
+                            for (acc, p) in mask.iter_mut().zip(predicate_mask) {
+                                *acc &= p;
+                            }
+                        }
+                        let mut rows: Vec<usize> = (0..m.len()).filter(|&r| mask[r]).collect();
+                        let probe_cols: Vec<Vec<&Column>> = placement_cols
+                            .iter()
+                            .map(|idxs| idxs.iter().map(|&i| columns[i].as_ref()).collect())
+                            .collect();
+                        match kernel_mode {
+                            KernelMode::Scalar => {
+                                for (slot, filter) in filters.iter().enumerate() {
+                                    let Some(filter) = filter else {
+                                        continue;
+                                    };
+                                    let columns = &probe_cols[slot];
+                                    let slot_stats = &mut stats[slot];
+                                    rows.retain(|&row| {
+                                        let keep = filter.maybe_contains(row_key(columns, row));
+                                        slot_stats.record(!keep);
+                                        keep
+                                    });
+                                }
+                            }
+                            KernelMode::Vectorized => {
+                                let mut scratch = ProbeScratch::default();
+                                for (slot, filter) in filters.iter().enumerate() {
+                                    let Some(filter) = filter else {
+                                        continue;
+                                    };
+                                    probe_retain(
+                                        *filter,
+                                        &probe_cols[slot],
+                                        &mut rows,
+                                        &mut stats[slot],
+                                        &mut scratch,
+                                    );
+                                }
+                            }
+                        }
+                        // Compact the survivors before the chunk's columns
+                        // are dropped — this is what bounds memory to the
+                        // survivor set plus `num_threads` in-flight chunks.
+                        let dense: Vec<Column> = columns.iter().map(|c| c.take(&rows)).collect();
+                        let global: Vec<usize> = rows.iter().map(|&r| m.start + r).collect();
+                        Ok(ChunkScan {
+                            rows: global,
+                            columns: dense,
+                            stats,
+                            read: true,
+                            bytes: source.chunk_byte_size(m.index),
+                        })
+                    }
+                }
+            })?;
+
+            // Deterministic merge in chunk order.
+            let mut survivors = Vec::new();
+            let mut survivor_cols: Vec<Column> = self
+                .source
+                .schema()
+                .fields()
+                .iter()
+                .map(|f| Column::empty(f.data_type))
+                .collect();
+            let mut merged = vec![FilterStats::new(); self.placements.len()];
+            let (mut chunks_read, mut chunks_pruned, mut bytes_read) = (0u64, 0u64, 0u64);
+            for result in per_chunk {
+                let chunk: ChunkScan = result?;
+                if chunk.read {
+                    chunks_read += 1;
+                    bytes_read += chunk.bytes;
+                } else {
+                    chunks_pruned += 1;
+                }
+                survivors.extend(chunk.rows);
+                for (acc, c) in survivor_cols.iter_mut().zip(&chunk.columns) {
+                    acc.append(c)?;
+                }
+                for (acc, s) in merged.iter_mut().zip(&chunk.stats) {
+                    acc.merge(s);
+                }
+            }
+            (
+                survivors,
+                survivor_cols,
+                merged,
+                chunks_read,
+                chunks_pruned,
+                bytes_read,
+            )
+        };
+        for stats in &merged_stats {
+            ctx.merge_filter_stats(stats);
+        }
+        ctx.metrics.chunks_read += chunks_read;
+        ctx.metrics.chunks_pruned += chunks_pruned;
+        ctx.metrics.bytes_read += bytes_read;
+
+        self.survivors = survivors;
+        self.survivor_cols = survivor_cols;
+        self.pos = 0;
+        self.cursor = 0;
+        Ok(())
+    }
+
+    fn next_batch(&mut self, ctx: &mut ExecContext) -> Result<Option<Batch>, StorageError> {
+        ctx.check_cancelled()?;
+        // Identical batch boundaries to ScanOp: one batch per `batch_size`
+        // range of the *global* row space with at least one survivor. The
+        // batches are dense; a dense batch and a selection batch over the
+        // same logical rows are interchangeable downstream.
+        let num_rows = self.source.num_rows();
+        let batch_size = ctx.config.batch_size.max(1);
+        while self.cursor < num_rows {
+            let end = num_rows.min(self.cursor.saturating_add(batch_size));
+            self.cursor = end;
+
+            let from = self.pos;
+            while self.pos < self.survivors.len() && self.survivors[self.pos] < end {
+                self.pos += 1;
+            }
+            if self.pos == from {
+                continue;
+            }
+            // Survivor values are already compacted in survivor order, so a
+            // batch is a contiguous slice of the survivor columns.
+            let idx: Vec<usize> = (from..self.pos).collect();
+            let columns: Vec<Column> = self.survivor_cols.iter().map(|c| c.take(&idx)).collect();
+            let batch = Batch::new(self.schema.clone(), columns);
             self.output_rows += batch.num_rows() as u64;
             self.emitted_any = true;
             return Ok(Some(batch));

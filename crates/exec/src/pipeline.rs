@@ -4,12 +4,13 @@ use crate::cancel::CancelToken;
 use crate::executor::ExecConfig;
 use crate::metrics::ExecutionMetrics;
 use crate::morsel::{run_morsels_with, Morsel};
-use crate::operators::{HashJoinOp, PhysicalOperator, ScanOp};
+use crate::operators::{FileScanOp, HashJoinOp, PhysicalOperator, ScanOp};
 use crate::pool::WorkerPool;
 use bqo_bitvector::{AnyFilter, FilterStats};
 use bqo_plan::{JoinGraph, NodeId, PhysicalNode, PhysicalPlan};
-use bqo_storage::{Catalog, StorageError};
+use bqo_storage::{Catalog, StorageError, TableBacking};
 use std::collections::HashMap;
+use std::sync::Arc;
 
 /// State shared by every operator of one running pipeline: the execution
 /// configuration, the worker pool supplying parallel-section helpers (if
@@ -161,15 +162,27 @@ impl<'p> PipelineBuilder<'p> {
         match self.plan.node(node) {
             PhysicalNode::Scan { relation } => {
                 let info = self.graph.relation(*relation);
-                let table = self.catalog.table(&info.name)?;
                 let placements = if self.config.enable_bitvectors {
                     self.plan.indexed_placements_at(node).collect()
                 } else {
                     Vec::new()
                 };
-                Ok(Box::new(ScanOp::new(
-                    node, *relation, info, table, placements,
-                )))
+                match &self.catalog.table_meta(&info.name)?.backing {
+                    TableBacking::Memory(table) => Ok(Box::new(ScanOp::new(
+                        node,
+                        *relation,
+                        info,
+                        Arc::clone(table),
+                        placements,
+                    ))),
+                    TableBacking::Source(source) => Ok(Box::new(FileScanOp::new(
+                        node,
+                        *relation,
+                        info,
+                        Arc::clone(source),
+                        placements,
+                    ))),
+                }
             }
             PhysicalNode::HashJoin { build, probe, keys } => {
                 let build_op = self.lower(*build)?;

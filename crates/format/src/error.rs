@@ -1,0 +1,241 @@
+//! Typed errors for the on-disk columnar format.
+
+use bqo_storage::StorageError;
+use std::fmt;
+use std::path::PathBuf;
+
+/// Everything that can go wrong opening, reading or writing a format file.
+///
+/// Every variant carries the file path, and chunk-level failures carry the
+/// chunk (and column) index, so a corrupted warehouse names the exact file
+/// and chunk in its error message. Corruption is always an `Err`, never a
+/// panic — the corruption fuzz suite flips arbitrary bytes and asserts this.
+#[derive(Debug)]
+pub enum FormatError {
+    /// An OS-level I/O failure.
+    Io {
+        path: PathBuf,
+        source: std::io::Error,
+    },
+    /// The file does not start with the format's magic bytes.
+    BadMagic { path: PathBuf },
+    /// The file is too short to hold a footer, the footer trailer is
+    /// malformed, or the footer's own checksum does not match.
+    TruncatedFooter { path: PathBuf, detail: String },
+    /// The file's format version is one this reader does not understand.
+    VersionSkew {
+        path: PathBuf,
+        found: u32,
+        expected: u32,
+    },
+    /// A chunk's stored checksum does not match the bytes on disk.
+    ChecksumMismatch {
+        path: PathBuf,
+        chunk: usize,
+        column: usize,
+    },
+    /// The footer or a chunk decodes to something structurally invalid.
+    Corrupt {
+        path: PathBuf,
+        chunk: Option<usize>,
+        detail: String,
+    },
+    /// A chunk index past the end of the chunk directory was requested.
+    ChunkOutOfBounds {
+        path: PathBuf,
+        chunk: usize,
+        chunks: usize,
+    },
+}
+
+impl FormatError {
+    /// The offending file.
+    pub fn path(&self) -> &PathBuf {
+        match self {
+            FormatError::Io { path, .. }
+            | FormatError::BadMagic { path }
+            | FormatError::TruncatedFooter { path, .. }
+            | FormatError::VersionSkew { path, .. }
+            | FormatError::ChecksumMismatch { path, .. }
+            | FormatError::Corrupt { path, .. }
+            | FormatError::ChunkOutOfBounds { path, .. } => path,
+        }
+    }
+
+    /// The chunk index, for chunk-level failures.
+    pub fn chunk(&self) -> Option<usize> {
+        match self {
+            FormatError::ChecksumMismatch { chunk, .. }
+            | FormatError::ChunkOutOfBounds { chunk, .. } => Some(*chunk),
+            FormatError::Corrupt { chunk, .. } => *chunk,
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for FormatError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FormatError::Io { path, source } => {
+                write!(f, "I/O error on `{}`: {source}", path.display())
+            }
+            FormatError::BadMagic { path } => {
+                write!(
+                    f,
+                    "`{}` is not a bqo-format file (bad magic)",
+                    path.display()
+                )
+            }
+            FormatError::TruncatedFooter { path, detail } => {
+                write!(
+                    f,
+                    "truncated or corrupt footer in `{}`: {detail}",
+                    path.display()
+                )
+            }
+            FormatError::VersionSkew {
+                path,
+                found,
+                expected,
+            } => {
+                write!(
+                    f,
+                    "`{}` has format version {found}, this reader expects {expected}",
+                    path.display()
+                )
+            }
+            FormatError::ChecksumMismatch {
+                path,
+                chunk,
+                column,
+            } => {
+                write!(
+                    f,
+                    "checksum mismatch in `{}` chunk {chunk} column {column}",
+                    path.display()
+                )
+            }
+            FormatError::Corrupt {
+                path,
+                chunk,
+                detail,
+            } => match chunk {
+                Some(chunk) => {
+                    write!(
+                        f,
+                        "corrupt data in `{}` chunk {chunk}: {detail}",
+                        path.display()
+                    )
+                }
+                None => write!(f, "corrupt data in `{}`: {detail}", path.display()),
+            },
+            FormatError::ChunkOutOfBounds {
+                path,
+                chunk,
+                chunks,
+            } => {
+                write!(
+                    f,
+                    "chunk {chunk} out of bounds in `{}` ({chunks} chunks)",
+                    path.display()
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for FormatError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            FormatError::Io { source, .. } => Some(source),
+            _ => None,
+        }
+    }
+}
+
+// The executor and catalog speak `StorageError`; format failures fold into
+// its `Format` variant, keeping the path and chunk context in the message.
+impl From<FormatError> for StorageError {
+    fn from(e: FormatError) -> Self {
+        let path = e.path().display().to_string();
+        let detail = match &e {
+            FormatError::Io { source, .. } => format!("I/O error: {source}"),
+            FormatError::BadMagic { .. } => "bad magic".to_string(),
+            FormatError::TruncatedFooter { detail, .. } => {
+                format!("truncated or corrupt footer: {detail}")
+            }
+            FormatError::VersionSkew {
+                found, expected, ..
+            } => {
+                format!("format version {found}, expected {expected}")
+            }
+            FormatError::ChecksumMismatch { chunk, column, .. } => {
+                format!("checksum mismatch in chunk {chunk} column {column}")
+            }
+            FormatError::Corrupt {
+                chunk: Some(chunk),
+                detail,
+                ..
+            } => {
+                format!("corrupt data in chunk {chunk}: {detail}")
+            }
+            FormatError::Corrupt {
+                chunk: None,
+                detail,
+                ..
+            } => {
+                format!("corrupt data: {detail}")
+            }
+            FormatError::ChunkOutOfBounds { chunk, chunks, .. } => {
+                format!("chunk {chunk} out of bounds ({chunks} chunks)")
+            }
+        };
+        StorageError::Format { path, detail }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_accessors_carry_context() {
+        let e = FormatError::ChecksumMismatch {
+            path: PathBuf::from("/w/t.bqo"),
+            chunk: 3,
+            column: 1,
+        };
+        assert!(e.to_string().contains("/w/t.bqo"));
+        assert!(e.to_string().contains("chunk 3"));
+        assert_eq!(e.chunk(), Some(3));
+        assert_eq!(e.path(), &PathBuf::from("/w/t.bqo"));
+        let bad = FormatError::BadMagic {
+            path: PathBuf::from("x"),
+        };
+        assert_eq!(bad.chunk(), None);
+    }
+
+    #[test]
+    fn maps_into_storage_error_with_path_and_chunk() {
+        let e = FormatError::ChecksumMismatch {
+            path: PathBuf::from("/w/t.bqo"),
+            chunk: 7,
+            column: 0,
+        };
+        let s: StorageError = e.into();
+        match &s {
+            StorageError::Format { path, detail } => {
+                assert_eq!(path, "/w/t.bqo");
+                assert!(detail.contains("chunk 7"));
+            }
+            other => panic!("unexpected mapping {other:?}"),
+        }
+        let v: StorageError = FormatError::VersionSkew {
+            path: PathBuf::from("v"),
+            found: 9,
+            expected: 1,
+        }
+        .into();
+        assert!(v.to_string().contains("version 9"));
+    }
+}

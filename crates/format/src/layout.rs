@@ -1,0 +1,49 @@
+//! On-disk layout constants and the chunk directory entry.
+//!
+//! File layout, start to end:
+//!
+//! ```text
+//! [MAGIC: 8 bytes]
+//! [chunk 0, column 0 run][chunk 0, column 1 run]...[chunk N-1, column C-1]
+//! [footer]
+//! [footer_len: u64][xxh64(footer): u64][MAGIC: 8 bytes]   <- trailer
+//! ```
+//!
+//! The footer holds the format version, chunk size, table name, schema,
+//! row count, per-(chunk, column) directory entries (absolute offset, byte
+//! length, xxh64 checksum, optional zone-map min/max), and the table
+//! statistics computed at write time. Readers locate it from the fixed-size
+//! trailer at the end of the file and verify its checksum before parsing,
+//! so truncation and footer corruption are detected up front.
+
+use bqo_storage::Value;
+
+/// Magic bytes opening and closing every format file.
+pub const MAGIC: &[u8; 8] = b"BQOCOL01";
+
+/// Current format version, written to and checked against the footer.
+pub const FORMAT_VERSION: u32 = 1;
+
+/// Default rows per chunk: 64Ki, sized so a chunk of 8-byte values is a
+/// 512KiB sequential read and morsels stay chunk-aligned.
+pub const DEFAULT_CHUNK_ROWS: usize = 64 * 1024;
+
+/// File extension `Catalog::attach_dir` looks for.
+pub const FILE_EXTENSION: &str = "bqo";
+
+/// Byte length of the fixed trailer: footer length + footer checksum +
+/// closing magic.
+pub const TRAILER_LEN: u64 = 8 + 8 + MAGIC.len() as u64;
+
+/// Directory entry for one (chunk, column) run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ChunkEntry {
+    /// Absolute file offset of the encoded run.
+    pub offset: u64,
+    /// Encoded length in bytes.
+    pub len: u64,
+    /// xxh64 (seed 0) of the encoded bytes.
+    pub checksum: u64,
+    /// Inclusive min/max of the run's values, `None` when untracked.
+    pub zone: Option<(Value, Value)>,
+}

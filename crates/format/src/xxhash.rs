@@ -1,0 +1,131 @@
+//! XXH64 checksum.
+//!
+//! The format's per-chunk and footer checksums use the XXH64 algorithm — the
+//! same one Parquet and LZ4 frames use for integrity — implemented here
+//! directly because the build environment vendors no external crates. Only
+//! the one-shot slice entry point is needed.
+
+const PRIME_1: u64 = 0x9E37_79B1_85EB_CA87;
+const PRIME_2: u64 = 0xC2B2_AE3D_27D4_EB4F;
+const PRIME_3: u64 = 0x1656_67B1_9E37_79F9;
+const PRIME_4: u64 = 0x85EB_CA77_C2B2_AE63;
+const PRIME_5: u64 = 0x27D4_EB2F_1656_67C5;
+
+#[inline]
+fn round(acc: u64, input: u64) -> u64 {
+    acc.wrapping_add(input.wrapping_mul(PRIME_2))
+        .rotate_left(31)
+        .wrapping_mul(PRIME_1)
+}
+
+#[inline]
+fn merge_round(acc: u64, val: u64) -> u64 {
+    (acc ^ round(0, val))
+        .wrapping_mul(PRIME_1)
+        .wrapping_add(PRIME_4)
+}
+
+#[inline]
+fn read_u64(bytes: &[u8], at: usize) -> u64 {
+    u64::from_le_bytes(bytes[at..at + 8].try_into().unwrap())
+}
+
+#[inline]
+fn read_u32(bytes: &[u8], at: usize) -> u32 {
+    u32::from_le_bytes(bytes[at..at + 4].try_into().unwrap())
+}
+
+/// One-shot XXH64 of `bytes` with the given `seed`.
+pub fn xxh64(bytes: &[u8], seed: u64) -> u64 {
+    let len = bytes.len();
+    let mut hash;
+    let mut at = 0usize;
+    if len >= 32 {
+        let mut v1 = seed.wrapping_add(PRIME_1).wrapping_add(PRIME_2);
+        let mut v2 = seed.wrapping_add(PRIME_2);
+        let mut v3 = seed;
+        let mut v4 = seed.wrapping_sub(PRIME_1);
+        while at + 32 <= len {
+            v1 = round(v1, read_u64(bytes, at));
+            v2 = round(v2, read_u64(bytes, at + 8));
+            v3 = round(v3, read_u64(bytes, at + 16));
+            v4 = round(v4, read_u64(bytes, at + 24));
+            at += 32;
+        }
+        hash = v1
+            .rotate_left(1)
+            .wrapping_add(v2.rotate_left(7))
+            .wrapping_add(v3.rotate_left(12))
+            .wrapping_add(v4.rotate_left(18));
+        hash = merge_round(hash, v1);
+        hash = merge_round(hash, v2);
+        hash = merge_round(hash, v3);
+        hash = merge_round(hash, v4);
+    } else {
+        hash = seed.wrapping_add(PRIME_5);
+    }
+    hash = hash.wrapping_add(len as u64);
+    while at + 8 <= len {
+        hash = (hash ^ round(0, read_u64(bytes, at)))
+            .rotate_left(27)
+            .wrapping_mul(PRIME_1)
+            .wrapping_add(PRIME_4);
+        at += 8;
+    }
+    if at + 4 <= len {
+        hash = (hash ^ (read_u32(bytes, at) as u64).wrapping_mul(PRIME_1))
+            .rotate_left(23)
+            .wrapping_mul(PRIME_2)
+            .wrapping_add(PRIME_3);
+        at += 4;
+    }
+    while at < len {
+        hash = (hash ^ (bytes[at] as u64).wrapping_mul(PRIME_5))
+            .rotate_left(11)
+            .wrapping_mul(PRIME_1);
+        at += 1;
+    }
+    hash ^= hash >> 33;
+    hash = hash.wrapping_mul(PRIME_2);
+    hash ^= hash >> 29;
+    hash = hash.wrapping_mul(PRIME_3);
+    hash ^= hash >> 32;
+    hash
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_and_seeded() {
+        let data = b"the quick brown fox jumps over the lazy dog";
+        assert_eq!(xxh64(data, 0), xxh64(data, 0));
+        assert_ne!(xxh64(data, 0), xxh64(data, 1));
+        assert_ne!(xxh64(data, 0), xxh64(b"", 0));
+    }
+
+    #[test]
+    fn sensitive_to_single_bit_flips_at_every_length() {
+        // Cover every length class of the algorithm: empty, sub-4, sub-8,
+        // sub-32 and the 32-byte stripe loop with ragged tails.
+        for len in [0usize, 1, 3, 4, 7, 8, 15, 31, 32, 33, 64, 100] {
+            let base: Vec<u8> = (0..len).map(|i| (i * 37) as u8).collect();
+            let h = xxh64(&base, 0);
+            for i in 0..len {
+                let mut flipped = base.clone();
+                flipped[i] ^= 0x01;
+                assert_ne!(xxh64(&flipped, 0), h, "len {len} byte {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn distinct_inputs_rarely_collide() {
+        let mut seen = std::collections::HashSet::new();
+        for i in 0u64..1000 {
+            seen.insert(xxh64(&i.to_le_bytes(), 0));
+        }
+        assert_eq!(seen.len(), 1000);
+    }
+}

@@ -180,8 +180,14 @@ impl QuerySpec {
                 selectivity *= p.estimate_selectivity(col_stats);
             }
             let filtered = (base_rows * selectivity).max(1.0).min(base_rows.max(1.0));
+            let backing = if meta.is_file_backed() {
+                crate::graph::ScanBacking::File
+            } else {
+                crate::graph::ScanBacking::Memory
+            };
             let info = RelationInfo::new(table_name.clone(), base_rows, filtered)
-                .with_predicates(predicates);
+                .with_predicates(predicates)
+                .with_backing(backing);
             ids.insert(table_name.clone(), graph.add_relation(info));
         }
         for join in &self.joins {

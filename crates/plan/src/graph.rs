@@ -21,6 +21,30 @@ impl fmt::Display for RelId {
     }
 }
 
+/// Where a scanned relation's rows live. The planner's costs are
+/// backing-agnostic (the paper's model counts rows, not pages), but the
+/// physical lowering needs to know whether to emit an in-memory scan or a
+/// chunked out-of-core file scan, and `explain` reports it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ScanBacking {
+    /// The relation is an in-memory `Table`.
+    #[default]
+    Memory,
+    /// The relation is a `ChunkSource` (on-disk columnar file): scans
+    /// stream chunk-aligned morsels and may prune whole chunks via zone
+    /// maps.
+    File,
+}
+
+impl fmt::Display for ScanBacking {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ScanBacking::Memory => write!(f, "memory"),
+            ScanBacking::File => write!(f, "file"),
+        }
+    }
+}
+
 /// Statistics and predicates of one relation participating in a query.
 ///
 /// `filtered_rows` is the estimated cardinality after local predicates
@@ -32,6 +56,7 @@ pub struct RelationInfo {
     pub base_rows: f64,
     pub filtered_rows: f64,
     pub predicates: Vec<ColumnPredicate>,
+    pub backing: ScanBacking,
 }
 
 impl RelationInfo {
@@ -42,6 +67,7 @@ impl RelationInfo {
             base_rows: base_rows.max(1.0),
             filtered_rows: filtered_rows.max(0.0),
             predicates: Vec::new(),
+            backing: ScanBacking::Memory,
         }
     }
 
@@ -49,6 +75,12 @@ impl RelationInfo {
     /// planner only looks at `filtered_rows`).
     pub fn with_predicates(mut self, predicates: Vec<ColumnPredicate>) -> Self {
         self.predicates = predicates;
+        self
+    }
+
+    /// Records where the relation's rows live (defaults to memory).
+    pub fn with_backing(mut self, backing: ScanBacking) -> Self {
+        self.backing = backing;
         self
     }
 

@@ -40,7 +40,7 @@ pub use cost::{CostModel, CoutBreakdown};
 pub use estimator::{
     local_selectivities, CardinalityEstimator, SelectivityBand, SelectivityEnvelope,
 };
-pub use graph::{GraphShape, JoinEdge, JoinGraph, RelId, RelationInfo};
+pub use graph::{GraphShape, JoinEdge, JoinGraph, RelId, RelationInfo, ScanBacking};
 pub use physical::{
     BitvectorPlacement, ColumnRef, JoinKeyPair, NodeId, PhysicalNode, PhysicalPlan,
 };

@@ -322,9 +322,10 @@ impl PhysicalPlan {
         let indent = "  ".repeat(depth);
         match self.node(id) {
             PhysicalNode::Scan { relation } => {
+                let info = graph.relation(*relation);
                 out.push_str(&format!(
-                    "{indent}{id}: Scan {}\n",
-                    graph.relation(*relation).name
+                    "{indent}{id}: Scan {} [scan={}]\n",
+                    info.name, info.backing
                 ));
             }
             PhysicalNode::HashJoin { build, probe, keys } => {

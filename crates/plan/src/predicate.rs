@@ -234,6 +234,61 @@ impl ColumnPredicate {
         mask
     }
 
+    /// Zone-map test: can *any* value `v` with `min <= v <= max` (under
+    /// [`Value::total_cmp`], the order zone maps are computed in) satisfy
+    /// this predicate? `false` proves the whole range fails, so a scan may
+    /// skip a chunk with these bounds without reading it.
+    ///
+    /// Mirrors [`ColumnPredicate::evaluate_range`] arm by arm: the typed
+    /// comparisons match, a type-mismatched predicate selects nothing (so
+    /// the range is prunable), and an unbound parameter likewise selects
+    /// nothing. The monotone `i64 -> f64` casts keep the mixed-numeric
+    /// arms consistent with row-at-a-time evaluation.
+    pub fn range_may_pass(&self, min: &Value, max: &Value) -> bool {
+        let PredicateValue::Literal(value) = &self.value else {
+            return false;
+        };
+        // Orderings of the range endpoints against the literal, in the
+        // same typed comparison evaluate_range uses. `None` is the
+        // type-mismatch arm: no row can pass.
+        let bounds = match (min, max, value) {
+            (Value::Int64(lo), Value::Int64(hi), Value::Int64(lit)) => {
+                Some((lo.cmp(lit), hi.cmp(lit)))
+            }
+            (Value::Int64(lo), Value::Int64(hi), Value::Float64(lit)) => {
+                Some(((*lo as f64).total_cmp(lit), (*hi as f64).total_cmp(lit)))
+            }
+            (Value::Float64(lo), Value::Float64(hi), Value::Float64(lit)) => {
+                Some((lo.total_cmp(lit), hi.total_cmp(lit)))
+            }
+            (Value::Float64(lo), Value::Float64(hi), Value::Int64(lit)) => {
+                let lit = *lit as f64;
+                Some((lo.total_cmp(&lit), hi.total_cmp(&lit)))
+            }
+            (Value::Utf8(lo), Value::Utf8(hi), Value::Utf8(lit)) => {
+                Some((lo.as_str().cmp(lit.as_str()), hi.as_str().cmp(lit.as_str())))
+            }
+            (Value::Bool(lo), Value::Bool(hi), Value::Bool(lit)) => {
+                Some((lo.cmp(lit), hi.cmp(lit)))
+            }
+            _ => None,
+        };
+        let Some((lo_ord, hi_ord)) = bounds else {
+            return false;
+        };
+        use std::cmp::Ordering::*;
+        match self.op {
+            // lit inside [min, max]?
+            CompareOp::Eq => lo_ord != Greater && hi_ord != Less,
+            // Only an all-lit chunk fails `<> lit`.
+            CompareOp::NotEq => !(lo_ord == Equal && hi_ord == Equal),
+            CompareOp::Lt => lo_ord == Less,
+            CompareOp::Le => lo_ord != Greater,
+            CompareOp::Gt => hi_ord == Greater,
+            CompareOp::Ge => hi_ord != Less,
+        }
+    }
+
     /// Estimates the selectivity of this predicate from column statistics.
     ///
     /// A still-parameterized predicate has no value to estimate from; it
@@ -377,6 +432,81 @@ mod tests {
         assert!((gt - 0.25).abs() < 0.05);
         let ne = ColumnPredicate::new("x", CompareOp::NotEq, 5i64).estimate_selectivity(&stats);
         assert!(ne > 0.98);
+    }
+
+    /// Soundness of zone-map pruning: whenever `range_may_pass` says a
+    /// chunk's `[min, max]` cannot satisfy the predicate, evaluating the
+    /// predicate over that chunk must select nothing — for every operator,
+    /// every typed arm, and the mismatch/param fallbacks.
+    #[test]
+    fn range_may_pass_is_sound_against_evaluate() {
+        use bqo_storage::Value;
+        let ops = [
+            CompareOp::Eq,
+            CompareOp::NotEq,
+            CompareOp::Lt,
+            CompareOp::Le,
+            CompareOp::Gt,
+            CompareOp::Ge,
+        ];
+        let columns = [
+            Column::from(vec![3i64, 7, 7, 12]),
+            Column::from(vec![7i64, 7]),
+            Column::from(vec![-2.5f64, 0.0, 7.0]),
+            Column::from(vec!["kiwi".to_string(), "mango".into()]),
+            Column::from(vec![true, true]),
+        ];
+        let literals = [
+            Value::Int64(7),
+            Value::Int64(-100),
+            Value::Float64(7.0),
+            Value::Float64(0.25),
+            Value::Utf8("mango".into()),
+            Value::Bool(true),
+            Value::Bool(false),
+        ];
+        for column in &columns {
+            // The chunk's zone bounds under the same order zone maps use.
+            let mut min = column.value(0);
+            let mut max = column.value(0);
+            for i in 1..column.len() {
+                let v = column.value(i);
+                if v.total_cmp(&min) == std::cmp::Ordering::Less {
+                    min = v.clone();
+                }
+                if v.total_cmp(&max) == std::cmp::Ordering::Greater {
+                    max = v;
+                }
+            }
+            for op in ops {
+                for lit in &literals {
+                    let p = ColumnPredicate {
+                        column: "c".into(),
+                        op,
+                        value: PredicateValue::Literal(lit.clone()),
+                    };
+                    if !p.range_may_pass(&min, &max) {
+                        assert!(
+                            p.evaluate(column).iter().all(|&m| !m),
+                            "pruned a passing chunk: {p} over {min:?}..{max:?}"
+                        );
+                    }
+                }
+                // Unbound parameters select nothing, so pruning is sound.
+                let p = ColumnPredicate::param("c", op, "unbound");
+                assert!(!p.range_may_pass(&min, &max));
+            }
+        }
+        // Completeness spot-checks: in-range chunks are not prunable.
+        let p = ColumnPredicate::new("c", CompareOp::Eq, 7i64);
+        assert!(p.range_may_pass(&Value::Int64(3), &Value::Int64(12)));
+        assert!(!p.range_may_pass(&Value::Int64(8), &Value::Int64(12)));
+        let p = ColumnPredicate::new("c", CompareOp::NotEq, 7i64);
+        assert!(!p.range_may_pass(&Value::Int64(7), &Value::Int64(7)));
+        assert!(p.range_may_pass(&Value::Int64(7), &Value::Int64(8)));
+        let p = ColumnPredicate::new("c", CompareOp::Lt, 5.5f64);
+        assert!(p.range_may_pass(&Value::Int64(5), &Value::Int64(9)));
+        assert!(!p.range_may_pass(&Value::Int64(6), &Value::Int64(9)));
     }
 
     #[test]

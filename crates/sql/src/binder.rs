@@ -110,7 +110,7 @@ impl<'a> Binder<'a> {
     fn has_column(&self, table: &str, column: &str) -> bool {
         self.catalog
             .table_meta(table)
-            .map(|meta| meta.table.schema().contains(column))
+            .map(|meta| meta.schema().contains(column))
             .unwrap_or(false)
     }
 
@@ -170,7 +170,6 @@ impl<'a> Binder<'a> {
         self.catalog
             .table_meta(table)
             .expect("resolved table exists")
-            .table
             .schema()
             .field(column)
             .expect("resolved column exists")

@@ -1,5 +1,7 @@
 //! The catalog: tables, primary keys, foreign keys and statistics.
 
+use crate::schema::Schema;
+use crate::source::ChunkSource;
 use crate::stats::TableStats;
 use crate::table::Table;
 use crate::{Result, StorageError};
@@ -36,13 +38,73 @@ impl ForeignKey {
     }
 }
 
-/// Catalog entry for one table: data, statistics and key metadata.
+/// What holds a registered table's rows: fully materialized memory, or a
+/// chunked source (an on-disk columnar file) read on demand.
+#[derive(Debug, Clone)]
+pub enum TableBacking {
+    /// The table's columns live in memory.
+    Memory(Arc<Table>),
+    /// The table's rows are materialized chunk by chunk through a
+    /// [`ChunkSource`] (e.g. a `bqo-format` file reader).
+    Source(Arc<dyn ChunkSource>),
+}
+
+/// Catalog entry for one table: data (or its source), statistics and key
+/// metadata.
 #[derive(Debug, Clone)]
 pub struct TableMeta {
-    pub table: Arc<Table>,
+    /// Where the rows live.
+    pub backing: TableBacking,
     pub stats: Arc<TableStats>,
     /// Name of the primary-key column, if declared.
     pub primary_key: Option<String>,
+}
+
+impl TableMeta {
+    /// The table's schema, regardless of backing.
+    pub fn schema(&self) -> &Schema {
+        match &self.backing {
+            TableBacking::Memory(t) => t.schema(),
+            TableBacking::Source(s) => s.schema(),
+        }
+    }
+
+    /// The table's row count, regardless of backing.
+    pub fn num_rows(&self) -> usize {
+        match &self.backing {
+            TableBacking::Memory(t) => t.num_rows(),
+            TableBacking::Source(s) => s.num_rows(),
+        }
+    }
+
+    /// Approximate size in bytes (in memory or on disk).
+    pub fn byte_size(&self) -> usize {
+        match &self.backing {
+            TableBacking::Memory(t) => t.byte_size(),
+            TableBacking::Source(s) => s.byte_size(),
+        }
+    }
+
+    /// The in-memory table, when this entry is memory-backed.
+    pub fn memory_table(&self) -> Option<&Arc<Table>> {
+        match &self.backing {
+            TableBacking::Memory(t) => Some(t),
+            TableBacking::Source(_) => None,
+        }
+    }
+
+    /// The chunk source, when this entry is file-backed.
+    pub fn source(&self) -> Option<&Arc<dyn ChunkSource>> {
+        match &self.backing {
+            TableBacking::Memory(_) => None,
+            TableBacking::Source(s) => Some(s),
+        }
+    }
+
+    /// True when the rows are materialized on demand from a chunk source.
+    pub fn is_file_backed(&self) -> bool {
+        matches!(self.backing, TableBacking::Source(_))
+    }
 }
 
 /// The database catalog.
@@ -73,7 +135,26 @@ impl Catalog {
         self.tables.insert(
             name,
             TableMeta {
-                table: Arc::new(table),
+                backing: TableBacking::Memory(Arc::new(table)),
+                stats,
+                primary_key: None,
+            },
+        );
+        self.version += 1;
+    }
+
+    /// Registers a chunked (file-backed) table source alongside the
+    /// in-memory tables. Statistics come from the source itself — on-disk
+    /// formats persist them at write time — so registration reads no row
+    /// data. The executor scans such tables chunk by chunk through the
+    /// source instead of through an `Arc<Table>`.
+    pub fn register_source(&mut self, source: Arc<dyn ChunkSource>) {
+        let stats = Arc::new(source.table_stats());
+        let name = source.name().to_string();
+        self.tables.insert(
+            name,
+            TableMeta {
+                backing: TableBacking::Source(source),
                 stats,
                 primary_key: None,
             },
@@ -116,11 +197,17 @@ impl Catalog {
             let meta = &self.tables[name];
             mix_bytes(name.as_bytes());
             mix_bytes(&meta.stats.row_count.to_le_bytes());
-            for column in meta.table.schema().names() {
+            for column in meta.schema().names() {
                 mix_bytes(column.as_bytes());
             }
             if let Some(pk) = &meta.primary_key {
                 mix_bytes(pk.as_bytes());
+            }
+            // File-backed tables fold in the backing file's content
+            // fingerprint, so re-registering a *different* file under the
+            // same name changes the tag (and invalidates cached plans).
+            if let TableBacking::Source(source) = &meta.backing {
+                mix_bytes(&source.fingerprint().to_le_bytes());
             }
         }
         for fk in &self.foreign_keys {
@@ -140,7 +227,7 @@ impl Catalog {
             .ok_or_else(|| StorageError::TableNotFound {
                 table: table.to_string(),
             })?;
-        if !meta.table.schema().contains(column) {
+        if !meta.schema().contains(column) {
             return Err(StorageError::ColumnNotFound {
                 table: table.to_string(),
                 column: column.to_string(),
@@ -158,7 +245,7 @@ impl Catalog {
                 .tables
                 .get(t)
                 .ok_or_else(|| StorageError::TableNotFound { table: t.clone() })?;
-            if !meta.table.schema().contains(c) {
+            if !meta.schema().contains(c) {
                 return Err(StorageError::ColumnNotFound {
                     table: t.clone(),
                     column: c.clone(),
@@ -179,9 +266,16 @@ impl Catalog {
             })
     }
 
-    /// Looks up a table's data.
+    /// Looks up a table's in-memory data. File-backed tables have no
+    /// materialized `Table` — read those chunk by chunk through
+    /// [`TableMeta::source`] instead (the executor's file scan does).
     pub fn table(&self, name: &str) -> Result<Arc<Table>> {
-        Ok(Arc::clone(&self.table_meta(name)?.table))
+        match &self.table_meta(name)?.backing {
+            TableBacking::Memory(t) => Ok(Arc::clone(t)),
+            TableBacking::Source(_) => Err(StorageError::InvalidArgument(format!(
+                "table `{name}` is file-backed; read it through its chunk source"
+            ))),
+        }
     }
 
     /// Looks up a table's statistics.
@@ -232,9 +326,10 @@ impl Catalog {
         self.tables.is_empty()
     }
 
-    /// Total approximate size of all registered tables in bytes.
+    /// Total approximate size of all registered tables in bytes (in memory
+    /// or on disk, depending on each table's backing).
     pub fn total_byte_size(&self) -> usize {
-        self.tables.values().map(|m| m.table.byte_size()).sum()
+        self.tables.values().map(|m| m.byte_size()).sum()
     }
 }
 
@@ -352,6 +447,86 @@ mod tests {
         let mut keyed = base.clone();
         keyed.declare_primary_key("dim", "id").unwrap();
         assert_ne!(keyed.schema_tag(), base.schema_tag());
+    }
+
+    #[test]
+    fn register_source_behaves_like_a_table() {
+        use crate::source::ChunkSource;
+        use crate::Value;
+
+        #[derive(Debug)]
+        struct FakeSource {
+            table: Table,
+            fingerprint: u64,
+        }
+        impl ChunkSource for FakeSource {
+            fn name(&self) -> &str {
+                self.table.name()
+            }
+            fn schema(&self) -> &crate::Schema {
+                self.table.schema()
+            }
+            fn num_rows(&self) -> usize {
+                self.table.num_rows()
+            }
+            fn chunk_rows(&self) -> usize {
+                2
+            }
+            fn zone_map(&self, _c: usize, _col: usize) -> Option<(Value, Value)> {
+                None
+            }
+            fn read_chunk(&self, chunk: usize) -> crate::Result<Vec<Arc<crate::Column>>> {
+                let (start, end) = self.chunk_range(chunk);
+                let rows: Vec<usize> = (start..end).collect();
+                Ok(self
+                    .table
+                    .columns()
+                    .iter()
+                    .map(|c| Arc::new(c.take(&rows)))
+                    .collect())
+            }
+            fn chunk_byte_size(&self, _chunk: usize) -> u64 {
+                16
+            }
+            fn fingerprint(&self) -> u64 {
+                self.fingerprint
+            }
+            fn table_stats(&self) -> TableStats {
+                self.table.compute_stats()
+            }
+        }
+
+        let table = TableBuilder::new("disk")
+            .with_i64("id", vec![1, 2, 3, 4, 5])
+            .build()
+            .unwrap();
+        let mut c = catalog();
+        let tag_before = c.schema_tag();
+        c.register_source(Arc::new(FakeSource {
+            table: table.clone(),
+            fingerprint: 7,
+        }));
+        // Stats, schema and keys work through the meta accessors…
+        let meta = c.table_meta("disk").unwrap();
+        assert!(meta.is_file_backed());
+        assert!(meta.memory_table().is_none());
+        assert!(meta.source().is_some());
+        assert_eq!(meta.num_rows(), 5);
+        assert_eq!(c.stats("disk").unwrap().row_count, 5);
+        c.declare_primary_key("disk", "id").unwrap();
+        assert!(c.is_unique_column("disk", "id"));
+        // …but a materialized Table lookup is an error.
+        assert!(c.table("disk").is_err());
+        // The schema tag folds in the source fingerprint: a different file
+        // under the same name re-tags the catalog.
+        let tag_a = c.schema_tag();
+        assert_ne!(tag_a, tag_before);
+        c.register_source(Arc::new(FakeSource {
+            table,
+            fingerprint: 8,
+        }));
+        assert_ne!(c.schema_tag(), tag_a);
+        assert!(c.total_byte_size() > 0);
     }
 
     #[test]

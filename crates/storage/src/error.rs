@@ -20,6 +20,12 @@ pub enum StorageError {
     InvalidArgument(String),
     /// A query references a parameter placeholder that has no bound value.
     UnboundParameter { name: String },
+    /// An on-disk columnar file failed to open, parse or verify. `path` is
+    /// the offending file and `detail` the format layer's description
+    /// (including the chunk index for chunk-level failures). Produced by
+    /// mapping `bqo-format`'s typed `FormatError` into the storage error
+    /// channel.
+    Format { path: String, detail: String },
     /// Execution was interrupted cooperatively (a cancel token fired or a
     /// deadline passed) before the query completed. Raised by the execution
     /// layer's morsel scheduler and batch loops, never by storage itself; it
@@ -50,6 +56,9 @@ impl fmt::Display for StorageError {
             StorageError::InvalidArgument(msg) => write!(f, "invalid argument: {msg}"),
             StorageError::UnboundParameter { name } => {
                 write!(f, "parameter `${name}` has no bound value")
+            }
+            StorageError::Format { path, detail } => {
+                write!(f, "format error in `{path}`: {detail}")
             }
             StorageError::Cancelled => write!(f, "execution was cancelled"),
         }
@@ -91,6 +100,18 @@ mod tests {
     fn display_unbound_parameter() {
         let e = StorageError::UnboundParameter { name: "cat".into() };
         assert_eq!(e.to_string(), "parameter `$cat` has no bound value");
+    }
+
+    #[test]
+    fn display_format_error() {
+        let e = StorageError::Format {
+            path: "/tmp/t.bqo".into(),
+            detail: "checksum mismatch in chunk 3".into(),
+        };
+        assert_eq!(
+            e.to_string(),
+            "format error in `/tmp/t.bqo`: checksum mismatch in chunk 3"
+        );
     }
 
     #[test]

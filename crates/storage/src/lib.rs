@@ -23,14 +23,16 @@ pub mod column;
 pub mod error;
 pub mod generator;
 pub mod schema;
+pub mod source;
 pub mod stats;
 pub mod table;
 pub mod value;
 
-pub use catalog::{Catalog, ForeignKey, TableMeta};
+pub use catalog::{Catalog, ForeignKey, TableBacking, TableMeta};
 pub use column::Column;
 pub use error::StorageError;
 pub use schema::{Field, Schema};
+pub use source::ChunkSource;
 pub use stats::{ColumnStats, TableStats};
 pub use table::{Table, TableBuilder};
 pub use value::{DataType, Value};

@@ -14,10 +14,18 @@
 //! `sales` references every item in stores 0–2; store 3 (`region = 30`)
 //! has no sales, which gives joins a natural empty-result path.
 
+use bqo_format::CatalogExt;
 use bqo_storage::{Catalog, ForeignKey, TableBuilder};
+use std::path::{Path, PathBuf};
+use std::sync::OnceLock;
 
 /// Number of rows in the `sales` fact table.
 pub const SALES_ROWS: usize = 24;
+
+/// Chunk size used for the on-disk mini warehouse: deliberately tiny and
+/// not a divisor of any table's row count, so every file has several chunks
+/// plus a ragged tail chunk.
+pub const MINI_CHUNK_ROWS: usize = 7;
 
 /// Builds the mini warehouse catalog (see module docs).
 pub fn mini_catalog() -> Catalog {
@@ -60,6 +68,13 @@ pub fn mini_catalog() -> Catalog {
             .build()
             .expect("sales table"),
     );
+    declare_mini_keys(&mut catalog);
+    catalog
+}
+
+/// Declares the mini warehouse's primary and foreign keys on `catalog` —
+/// shared between the in-memory and on-disk builds so both plan identically.
+fn declare_mini_keys(catalog: &mut Catalog) {
     catalog
         .declare_primary_key("brand", "brand_sk")
         .expect("brand pk");
@@ -78,6 +93,46 @@ pub fn mini_catalog() -> Catalog {
     catalog
         .declare_foreign_key(ForeignKey::new("item", "brand_sk", "brand", "brand_sk"))
         .expect("item->brand fk");
+}
+
+/// Writes every mini-warehouse table to a `.bqo` file in a per-process temp
+/// directory (once; later calls reuse the files) and returns the directory.
+pub fn mini_warehouse_dir() -> &'static Path {
+    static DIR: OnceLock<PathBuf> = OnceLock::new();
+    DIR.get_or_init(|| {
+        let dir = std::env::temp_dir().join(format!("bqo-mini-warehouse-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).expect("create mini warehouse dir");
+        let memory = mini_catalog();
+        for name in ["brand", "item", "store", "sales"] {
+            let table = memory.table(name).expect("mini table");
+            bqo_format::write_table(
+                dir.join(format!("{name}.{}", bqo_format::FILE_EXTENSION)),
+                &table,
+                MINI_CHUNK_ROWS,
+            )
+            .expect("write mini table");
+        }
+        dir
+    })
+}
+
+/// The mini warehouse with every table file-backed: each table is written
+/// to disk ([`mini_warehouse_dir`]) and registered through its file reader,
+/// with the same key declarations as [`mini_catalog`]. Queries over this
+/// catalog run out of core through chunk-streaming scans and must return
+/// bit-identical results to the in-memory catalog.
+pub fn mini_catalog_on_disk() -> Catalog {
+    let mut catalog = Catalog::new();
+    let names = catalog
+        .attach_dir(mini_warehouse_dir())
+        .expect("attach mini warehouse");
+    assert_eq!(
+        names,
+        vec!["brand", "item", "sales", "store"],
+        "attach_dir registers files in name order"
+    );
+    declare_mini_keys(&mut catalog);
     catalog
 }
 
@@ -97,7 +152,7 @@ mod tests {
         );
         assert!(catalog.is_unique_column("item", "item_sk"));
         // Store 3 never appears in sales (the empty-result join path).
-        let sales = &catalog.table_meta("sales").unwrap().table;
+        let sales = catalog.table("sales").unwrap();
         let store_col = sales.column("store_sk").unwrap();
         assert!((0..SALES_ROWS).all(|r| store_col.value(r) != bqo_storage::Value::Int64(3)));
     }

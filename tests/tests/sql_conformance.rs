@@ -1,16 +1,19 @@
 //! File-driven SQL conformance harness.
 //!
-//! Every `tests/slt/*.slt` case is executed twice — once through the SQL
-//! frontend (`Engine::prepare_sql` / `Engine::bind_sql`) and once through a
-//! hand-built [`QuerySpec`] oracle — at 1 and 4 worker threads, under both
-//! the vectorized (selection vector + word-level probe) and scalar kernel
-//! modes. The harness asserts, per case:
+//! Every `tests/slt/*.slt` case is executed three ways — through the SQL
+//! frontend (`Engine::prepare_sql` / `Engine::bind_sql`), through a
+//! hand-built [`QuerySpec`] oracle, and through a **file-registered** mini
+//! warehouse (every table written to a `.bqo` file and scanned out of
+//! core) — at 1 and 4 worker threads, under both the vectorized (selection
+//! vector + word-level probe) and scalar kernel modes. The harness asserts,
+//! per case:
 //!
 //! * the lowered SQL and the oracle spec have the same plan-cache
 //!   fingerprint;
-//! * both executions return **bit-identical** row batches (same column
+//! * all three executions return **bit-identical** row batches (same column
 //!   order, same row order, same cells) at each (thread count, kernel mode)
-//!   cell, with identical `FilterStats` across cells;
+//!   cell, with identical `FilterStats` across cells — and the disk-backed
+//!   run actually streamed file chunks (`chunks_read > 0`);
 //! * the canonical row rendering matches the rows recorded in the file and
 //!   is invariant across thread counts and kernel modes;
 //! * preparing the same SQL a second time on the same engine is a plan-cache
@@ -25,7 +28,7 @@ use bqo_core::{
     CacheStatus, Engine, ExecConfig, KernelMode, OptimizerChoice, Params, QueryPhase, Request,
     RunOptions, Server, ServerConfig,
 };
-use bqo_integration_tests::mini::mini_catalog;
+use bqo_integration_tests::mini::{mini_catalog, mini_catalog_on_disk};
 use bqo_integration_tests::slt::{canonical_rows, SltCase, SltExpect, SltFile};
 use std::path::{Path, PathBuf};
 
@@ -63,6 +66,7 @@ fn run_query_case(ctx: &str, case: &SltCase) -> Vec<String> {
     let catalog = mini_catalog();
     let sql_engine = Engine::from_catalog(catalog.clone());
     let spec_engine = Engine::from_catalog(catalog);
+    let file_engine = Engine::from_catalog(mini_catalog_on_disk());
     let params = binds
         .iter()
         .fold(Params::new(), |p, (n, v)| p.set(n.clone(), v.clone()));
@@ -110,13 +114,44 @@ fn run_query_case(ctx: &str, case: &SltCase) -> Vec<String> {
                 .unwrap_or_else(|e| panic!("{ctx}: SQL execution failed: {e}"));
             let spec_out = spec_engine
                 .session()
-                .execute(&spec_stmt, run)
+                .execute(&spec_stmt, run.clone())
                 .unwrap_or_else(|e| panic!("{ctx}: oracle execution failed: {e}"));
             let sql_rows = sql_out.rows.expect("collected rows");
             let spec_rows = spec_out.rows.expect("collected rows");
             assert_eq!(
                 sql_rows, spec_rows,
                 "{ctx}: SQL and oracle batches differ at {threads} thread(s), {kernel_mode:?}"
+            );
+
+            // Third leg: the same spec against the file-registered warehouse
+            // must stream its chunks from disk and still match bit for bit.
+            let file_stmt = if binds.is_empty() {
+                file_engine
+                    .prepare(spec, OptimizerChoice::Bqo)
+                    .unwrap_or_else(|e| panic!("{ctx}: file-backed prepare failed: {e}"))
+            } else {
+                file_engine
+                    .bind(spec, &params, OptimizerChoice::Bqo)
+                    .unwrap_or_else(|e| panic!("{ctx}: file-backed bind failed: {e}"))
+            };
+            let file_out = file_engine
+                .session()
+                .execute(&file_stmt, run)
+                .unwrap_or_else(|e| panic!("{ctx}: file-backed execution failed: {e}"));
+            let file_rows = file_out.rows.expect("collected rows");
+            assert_eq!(
+                file_rows, spec_rows,
+                "{ctx}: disk-backed batches differ at {threads} thread(s), {kernel_mode:?}"
+            );
+            assert_eq!(
+                file_out.result.metrics.filter_stats, spec_out.result.metrics.filter_stats,
+                "{ctx}: disk-backed FilterStats differ at {threads} thread(s), {kernel_mode:?}"
+            );
+            // Every chunk was either fetched or zone-map pruned (a case
+            // with an impossible predicate can legitimately prune them all).
+            assert!(
+                file_out.result.metrics.chunks_read + file_out.result.metrics.chunks_pruned > 0,
+                "{ctx}: the file-backed run visited no chunks"
             );
             // Filter accounting must be identical across every
             // (thread count, kernel mode) cell — word-level probes may not
