@@ -7,6 +7,9 @@
 //! these functions; EXPERIMENTS.md records their output next to the paper's
 //! numbers.
 
+#![deny(unsafe_op_in_unsafe_fn)]
+#![warn(missing_debug_implementations)]
+
 pub mod experiments;
 pub mod report;
 

@@ -22,8 +22,11 @@ const MAX_RANGE_EXPANSION: i64 = 64;
 pub enum RangeBitmapFilter {
     /// Dense representation: bit `key - min` is set for every inserted key.
     Bitmap {
+        /// Smallest key the bitmap can represent (bit 0).
         min: i64,
+        /// The bit words; bit `key - min` is set for inserted keys.
         words: Vec<u64>,
+        /// Number of distinct keys inserted.
         inserted: usize,
     },
     /// Sparse fallback.
@@ -44,13 +47,13 @@ impl RangeBitmapFilter {
         let min = keys.iter().copied().min().unwrap();
         let max = keys.iter().copied().max().unwrap();
         let range = (max - min).saturating_add(1);
-        let dense_enough = range <= (keys.len() as i64).saturating_mul(MAX_RANGE_EXPANSION)
+        let dense_enough = range <= (keys.len() as i64).saturating_mul(MAX_RANGE_EXPANSION) // CAST-OK: value bounded below 2^63
             && range <= i64::MAX - 64;
         if dense_enough {
-            let num_words = (range as usize).div_ceil(64);
+            let num_words = (range as usize).div_ceil(64); // CAST-OK: range > 0 and bounded by the density check above
             let mut words = vec![0u64; num_words];
             for &k in keys {
-                let offset = (k - min) as usize;
+                let offset = (k - min) as usize; // CAST-OK: k - min in [0, range) for keys that built this bitmap
                 words[offset / 64] |= 1u64 << (offset % 64);
             }
             RangeBitmapFilter::Bitmap {
@@ -80,13 +83,13 @@ fn dense_probe_word(min: i64, words: &[u64], keys: &[i64]) -> u64 {
     if words.is_empty() {
         return 0;
     }
-    let limit = (words.len() * 64) as u64;
+    let limit = (words.len() * 64) as u64; // CAST-OK: usize widens losslessly into u64 on supported targets
     let mut mask = 0u64;
     for (i, &k) in keys.iter().enumerate() {
-        let offset = k.wrapping_sub(min) as u64;
-        let in_range = (offset < limit) as u64;
+        let offset = k.wrapping_sub(min) as u64; // CAST-OK: two's-complement reinterpret; out-of-range keys fail the limit test
+        let in_range = u64::from(offset < limit);
         let safe = if offset < limit { offset } else { 0 };
-        let bit = (words[(safe / 64) as usize] >> (safe % 64)) & 1;
+        let bit = (words[(safe / 64) as usize] >> (safe % 64)) & 1; // CAST-OK: word index; bounded by the range/mask check
         mask |= (bit & in_range) << i;
     }
     mask
@@ -103,8 +106,9 @@ impl BitvectorFilter for RangeBitmapFilter {
                 inserted,
             } => {
                 let offset = key - *min;
+                // CAST-OK: offset checked non-negative on this line
                 if offset >= 0 && (offset as usize) < words.len() * 64 {
-                    words[offset as usize / 64] |= 1u64 << (offset as usize % 64);
+                    words[offset as usize / 64] |= 1u64 << (offset as usize % 64); // CAST-OK: offset checked non-negative and in bounds above
                     *inserted += 1;
                 } else {
                     // Degrade to the sparse representation, keeping the
@@ -113,8 +117,8 @@ impl BitvectorFilter for RangeBitmapFilter {
                     for (w, word) in words.iter().enumerate() {
                         let mut bits = *word;
                         while bits != 0 {
-                            let b = bits.trailing_zeros() as i64;
-                            set.insert(*min + w as i64 * 64 + b);
+                            let b = bits.trailing_zeros() as i64; // CAST-OK: trailing_zeros() <= 64 fits i64
+                            set.insert(*min + w as i64 * 64 + b); // CAST-OK: word index; words.len() * 64 fits i64 (range check at build)
                             bits &= bits - 1;
                         }
                     }
@@ -133,10 +137,11 @@ impl BitvectorFilter for RangeBitmapFilter {
         match self {
             RangeBitmapFilter::Bitmap { min, words, .. } => {
                 let offset = key.wrapping_sub(*min);
+                // CAST-OK: short-circuit: only evaluated when offset >= 0
                 if offset < 0 || offset as usize >= words.len() * 64 {
                     return false;
                 }
-                let offset = offset as usize;
+                let offset = offset as usize; // CAST-OK: offset checked non-negative and in bounds above
                 words[offset / 64] & (1u64 << (offset % 64)) != 0
             }
             RangeBitmapFilter::Sparse(set) => set.contains(&key),
@@ -160,7 +165,7 @@ impl BitvectorFilter for RangeBitmapFilter {
             RangeBitmapFilter::Sparse(set) => {
                 let mut mask = 0u64;
                 for (i, &k) in keys.iter().enumerate() {
-                    mask |= (set.contains(&k) as u64) << i;
+                    mask |= u64::from(set.contains(&k)) << i;
                 }
                 mask
             }
@@ -182,7 +187,7 @@ impl BitvectorFilter for RangeBitmapFilter {
                 for chunk in keys.chunks(64) {
                     let mut mask = 0u64;
                     for (i, &k) in chunk.iter().enumerate() {
-                        mask |= (set.contains(&k) as u64) << i;
+                        mask |= u64::from(set.contains(&k)) << i;
                     }
                     out.push(mask);
                 }
@@ -200,13 +205,13 @@ impl BitvectorFilter for RangeBitmapFilter {
         }
         match self {
             RangeBitmapFilter::Bitmap { min, words, .. } => {
-                let limit = (words.len() as i128) * 64;
-                let lo_off = ((lo as i128) - (*min as i128)).max(0);
-                let hi_off = ((hi as i128) - (*min as i128)).min(limit - 1);
+                let limit = (words.len() as i128) * 64; // CAST-OK: widening; i128 holds any value involved
+                let lo_off = (i128::from(lo) - i128::from(*min)).max(0);
+                let hi_off = (i128::from(hi) - i128::from(*min)).min(limit - 1);
                 if lo_off > hi_off {
                     return true;
                 }
-                let (lo_off, hi_off) = (lo_off as usize, hi_off as usize);
+                let (lo_off, hi_off) = (lo_off as usize, hi_off as usize); // CAST-OK: both clamped to [0, words.len() * 64) above
                 let (lo_word, hi_word) = (lo_off / 64, hi_off / 64);
                 for (w, &stored) in words.iter().enumerate().take(hi_word + 1).skip(lo_word) {
                     let mut word = stored;
@@ -223,7 +228,8 @@ impl BitvectorFilter for RangeBitmapFilter {
                 true
             }
             RangeBitmapFilter::Sparse(set) => {
-                let width = (hi as i128) - (lo as i128) + 1;
+                let width = i128::from(hi) - i128::from(lo) + 1;
+                // CAST-OK: widening; i128 holds any value involved
                 if width <= set.len() as i128 {
                     (lo..=hi).all(|k| !set.contains(&k))
                 } else {

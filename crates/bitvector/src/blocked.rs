@@ -5,7 +5,7 @@ use crate::BitvectorFilter;
 
 /// Bits per block: one 512-bit cache line.
 const BLOCK_BITS: u64 = 512;
-const BLOCK_WORDS: usize = (BLOCK_BITS / 64) as usize;
+const BLOCK_WORDS: usize = (BLOCK_BITS / 64) as usize; // CAST-OK: constant 512 / 64 = 8
 
 /// A blocked Bloom filter: every key touches a single 64-byte block, so a
 /// probe costs at most one cache miss. This mirrors the
@@ -25,12 +25,12 @@ impl BlockedBloomFilter {
     /// block index is a bit mask rather than a modulo.
     pub fn with_capacity(expected_keys: usize, bits_per_key: usize) -> Self {
         let bits_per_key = bits_per_key.max(1);
-        let total_bits = ((expected_keys.max(1) * bits_per_key) as u64).max(BLOCK_BITS);
+        let total_bits = ((expected_keys.max(1) * bits_per_key) as u64).max(BLOCK_BITS); // CAST-OK: usize widens losslessly into u64 on supported targets
         let num_blocks = total_bits.div_ceil(BLOCK_BITS).next_power_of_two();
         let hashes_per_key =
-            ((bits_per_key as f64 * std::f64::consts::LN_2).round() as u32).clamp(1, 8);
+            ((bits_per_key as f64 * std::f64::consts::LN_2).round() as u32).clamp(1, 8); // CAST-OK: small positive count; rounded then clamped to 1..=8
         BlockedBloomFilter {
-            words: vec![0u64; (num_blocks as usize) * BLOCK_WORDS],
+            words: vec![0u64; (num_blocks as usize) * BLOCK_WORDS], // CAST-OK: block count is bounded by the filter's in-memory size
             num_blocks,
             hashes_per_key,
             inserted: 0,
@@ -40,12 +40,12 @@ impl BlockedBloomFilter {
     #[inline]
     fn block_and_bits(&self, key: i64) -> (usize, [u16; 8]) {
         let h = hash_key(key);
-        let block = (h & (self.num_blocks - 1)) as usize;
-        // Derive up to 8 intra-block bit positions from the upper bits.
+        let block = (h & (self.num_blocks - 1)) as usize; // CAST-OK: masked to num_blocks - 1, which fits usize
+                                                          // Derive up to 8 intra-block bit positions from the upper bits.
         let mut positions = [0u16; 8];
         let mut x = h.rotate_left(21) ^ h.wrapping_mul(0x9E3779B97F4A7C15);
         for p in positions.iter_mut() {
-            *p = (x % BLOCK_BITS) as u16;
+            *p = (x % BLOCK_BITS) as u16; // CAST-OK: value < BLOCK_BITS (512) after the modulo
             x = x.rotate_left(9).wrapping_mul(0xD1B54A32D192ED03);
         }
         (block, positions)
@@ -56,8 +56,9 @@ impl BitvectorFilter for BlockedBloomFilter {
     fn insert(&mut self, key: i64) {
         let (block, positions) = self.block_and_bits(key);
         let base = block * BLOCK_WORDS;
+        // CAST-OK: hashes_per_key is clamped to 1..=8 at construction
         for &pos in positions.iter().take(self.hashes_per_key as usize) {
-            self.words[base + (pos / 64) as usize] |= 1u64 << (pos % 64);
+            self.words[base + (pos / 64) as usize] |= 1u64 << (pos % 64); // CAST-OK: word index; bounded by the range/mask check
         }
         self.inserted += 1;
     }
@@ -67,7 +68,8 @@ impl BitvectorFilter for BlockedBloomFilter {
         let base = block * BLOCK_WORDS;
         positions
             .iter()
-            .take(self.hashes_per_key as usize)
+            .take(self.hashes_per_key as usize) // CAST-OK: hashes_per_key is clamped to 1..=8 at construction
+            // CAST-OK: word index; bounded by the range/mask check
             .all(|&pos| self.words[base + (pos / 64) as usize] & (1u64 << (pos % 64)) != 0)
     }
 
@@ -77,7 +79,7 @@ impl BitvectorFilter for BlockedBloomFilter {
     // `maybe_contains` per key.
     fn probe_word(&self, keys: &[i64]) -> u64 {
         debug_assert!(keys.len() <= 64, "probe_word takes at most 64 keys");
-        let hashes = self.hashes_per_key as usize;
+        let hashes = self.hashes_per_key as usize; // CAST-OK: hashes_per_key is clamped to 1..=8 at construction
         let words = self.words.as_slice();
         let mut mask = 0u64;
         for (i, &k) in keys.iter().enumerate() {
@@ -85,12 +87,13 @@ impl BitvectorFilter for BlockedBloomFilter {
             let base = block * BLOCK_WORDS;
             let mut hit = true;
             for &pos in positions.iter().take(hashes) {
+                // CAST-OK: word index; bounded by the range/mask check
                 if words[base + (pos / 64) as usize] & (1u64 << (pos % 64)) == 0 {
                     hit = false;
                     break;
                 }
             }
-            mask |= (hit as u64) << i;
+            mask |= u64::from(hit) << i;
         }
         mask
     }
@@ -106,9 +109,9 @@ impl BitvectorFilter for BlockedBloomFilter {
     fn expected_fpr(&self) -> f64 {
         // Approximate with the classic formula on the average block load;
         // blocked filters have a slightly higher true FPR due to block skew.
-        let k = self.hashes_per_key as f64;
-        let n = self.inserted as f64;
-        let m = (self.num_blocks * BLOCK_BITS) as f64;
+        let k = self.hashes_per_key as f64; // CAST-OK: estimate math; f64 rounding is acceptable here
+        let n = self.inserted as f64; // CAST-OK: estimate math; f64 rounding is acceptable here
+        let m = (self.num_blocks * BLOCK_BITS) as f64; // CAST-OK: estimate math; f64 rounding is acceptable here
         (1.0 - (-k * n / m).exp()).powf(k)
     }
 }

@@ -29,11 +29,11 @@ impl BloomFilter {
     /// sane minima so tiny builds still work.
     pub fn with_capacity(expected_keys: usize, bits_per_key: usize) -> Self {
         let bits_per_key = bits_per_key.max(1);
-        let requested = ((expected_keys.max(1) * bits_per_key) as u64).max(64);
+        let requested = ((expected_keys.max(1) * bits_per_key) as u64).max(64); // CAST-OK: usize widens losslessly into u64 on supported targets
         let num_bits = requested.next_power_of_two();
-        let num_words = (num_bits / 64) as usize;
+        let num_words = (num_bits / 64) as usize; // CAST-OK: bit count is bounded by the filter's in-memory size
         let num_hashes =
-            ((bits_per_key as f64 * std::f64::consts::LN_2).round() as u32).clamp(1, 4);
+            ((bits_per_key as f64 * std::f64::consts::LN_2).round() as u32).clamp(1, 4); // CAST-OK: small positive count; rounded then clamped to 1..=4
         BloomFilter {
             bits: vec![0u64; num_words],
             bit_mask: num_bits - 1,
@@ -55,8 +55,8 @@ impl BloomFilter {
 
     /// Fraction of bits set to one (filter load).
     pub fn load_factor(&self) -> f64 {
-        let ones: u64 = self.bits.iter().map(|w| w.count_ones() as u64).sum();
-        ones as f64 / self.num_bits as f64
+        let ones: u64 = self.bits.iter().map(|w| u64::from(w.count_ones())).sum();
+        ones as f64 / self.num_bits as f64 // CAST-OK: estimate math; f64 rounding is acceptable here
     }
 
     #[inline]
@@ -65,6 +65,7 @@ impl BloomFilter {
         let h1 = h & 0xffff_ffff;
         let h2 = (h >> 32) | 1; // force odd so the stride visits all positions
         let mask = self.bit_mask;
+        // CAST-OK: u32 widens losslessly into u64
         (0..self.num_hashes as u64).map(move |i| h1.wrapping_add(i.wrapping_mul(h2)) & mask)
     }
 }
@@ -73,13 +74,14 @@ impl BitvectorFilter for BloomFilter {
     fn insert(&mut self, key: i64) {
         let positions: Vec<u64> = self.probes(key).collect();
         for pos in positions {
-            self.bits[(pos / 64) as usize] |= 1u64 << (pos % 64);
+            self.bits[(pos / 64) as usize] |= 1u64 << (pos % 64); // CAST-OK: word index; bounded by the range/mask check
         }
         self.inserted += 1;
     }
 
     fn maybe_contains(&self, key: i64) -> bool {
         self.probes(key)
+            // CAST-OK: word index; bounded by the range/mask check
             .all(|pos| self.bits[(pos / 64) as usize] & (1u64 << (pos % 64)) != 0)
     }
 
@@ -89,7 +91,7 @@ impl BitvectorFilter for BloomFilter {
     fn probe_word(&self, keys: &[i64]) -> u64 {
         debug_assert!(keys.len() <= 64, "probe_word takes at most 64 keys");
         let bit_mask = self.bit_mask;
-        let num_hashes = self.num_hashes as u64;
+        let num_hashes = self.num_hashes as u64; // CAST-OK: u32 widens losslessly into u64
         let bits = self.bits.as_slice();
         let mut mask = 0u64;
         for (i, &k) in keys.iter().enumerate() {
@@ -99,12 +101,13 @@ impl BitvectorFilter for BloomFilter {
             let mut hit = true;
             for j in 0..num_hashes {
                 let pos = h1.wrapping_add(j.wrapping_mul(h2)) & bit_mask;
+                // CAST-OK: word index; bounded by the range/mask check
                 if bits[(pos / 64) as usize] & (1u64 << (pos % 64)) == 0 {
                     hit = false;
                     break;
                 }
             }
-            mask |= (hit as u64) << i;
+            mask |= u64::from(hit) << i;
         }
         mask
     }
@@ -119,9 +122,9 @@ impl BitvectorFilter for BloomFilter {
 
     fn expected_fpr(&self) -> f64 {
         // (1 - e^{-kn/m})^k
-        let k = self.num_hashes as f64;
-        let n = self.inserted as f64;
-        let m = self.num_bits as f64;
+        let k = self.num_hashes as f64; // CAST-OK: estimate math; f64 rounding is acceptable here
+        let n = self.inserted as f64; // CAST-OK: estimate math; f64 rounding is acceptable here
+        let m = self.num_bits as f64; // CAST-OK: estimate math; f64 rounding is acceptable here
         (1.0 - (-k * n / m).exp()).powf(k)
     }
 }

@@ -48,7 +48,7 @@ impl BitvectorFilter for ExactFilter {
         debug_assert!(keys.len() <= 64, "probe_word takes at most 64 keys");
         let mut mask = 0u64;
         for (i, k) in keys.iter().enumerate() {
-            mask |= (self.keys.contains(k) as u64) << i;
+            mask |= u64::from(self.keys.contains(k)) << i;
         }
         mask
     }
@@ -60,7 +60,8 @@ impl BitvectorFilter for ExactFilter {
         if lo > hi {
             return true;
         }
-        let width = (hi as i128) - (lo as i128) + 1;
+        let width = i128::from(hi) - i128::from(lo) + 1;
+        // CAST-OK: widening; i128 holds any value involved
         if width <= self.keys.len() as i128 {
             (lo..=hi).all(|k| !self.keys.contains(&k))
         } else {

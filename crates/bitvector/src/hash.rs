@@ -49,12 +49,12 @@ impl Hasher for FxHasher64 {
 
     #[inline]
     fn write_i64(&mut self, v: i64) {
-        self.mix(v as u64);
+        self.mix(v as u64); // CAST-OK: two's-complement bit reinterpret; hashing is bit-uniform
     }
 
     #[inline]
     fn write_usize(&mut self, v: usize) {
-        self.mix(v as u64);
+        self.mix(v as u64); // CAST-OK: usize widens losslessly into u64 on supported targets
     }
 }
 
@@ -71,7 +71,7 @@ pub type FxHashSet<K> = std::collections::HashSet<K, FxBuildHasher>;
 /// (SplitMix64 finalizer).
 #[inline]
 pub fn hash_key(key: i64) -> u64 {
-    let mut z = (key as u64).wrapping_add(0x9e3779b97f4a7c15);
+    let mut z = (key as u64).wrapping_add(0x9e3779b97f4a7c15); // CAST-OK: two's-complement bit reinterpret; hashing is bit-uniform
     z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
     z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
     z ^ (z >> 31)
@@ -99,7 +99,7 @@ pub fn combine_key(parts: &[i64]) -> i64 {
             for &p in parts {
                 acc = hash_pair(acc, p);
             }
-            acc as i64
+            acc as i64 // CAST-OK: two's-complement reinterpret of a digest; keys are opaque bits here
         }
     }
 }

@@ -23,6 +23,10 @@
 //! All filters operate on 64-bit keys. Multi-column join keys are combined
 //! into one 64-bit hash by the executor before reaching the filter.
 
+#![deny(unsafe_op_in_unsafe_fn)]
+#![warn(missing_debug_implementations)]
+#![warn(missing_docs)]
+
 pub mod bitmap;
 pub mod blocked;
 pub mod bloom;
@@ -125,17 +129,27 @@ pub enum FilterKind {
     /// Hash-set filter with no false positives (the analysis assumption).
     Exact,
     /// Classic Bloom filter with the given bits per key.
-    Bloom { bits_per_key: usize },
+    Bloom {
+        /// Filter bits allocated per expected key.
+        bits_per_key: usize,
+    },
     /// Cache-line blocked Bloom filter with the given bits per key.
-    BlockedBloom { bits_per_key: usize },
+    BlockedBloom {
+        /// Filter bits allocated per expected key.
+        bits_per_key: usize,
+    },
 }
 
 /// Runtime-dispatched filter built from a [`FilterKind`].
 #[derive(Debug, Clone)]
 pub enum AnyFilter {
+    /// Range-anchored bitmap (or sparse hash set) — no false positives.
     Bitmap(RangeBitmapFilter),
+    /// Hash-set filter — no false positives.
     Exact(ExactFilter),
+    /// Classic Bloom filter.
     Bloom(BloomFilter),
+    /// Cache-line blocked Bloom filter.
     BlockedBloom(BlockedBloomFilter),
 }
 

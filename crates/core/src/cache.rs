@@ -179,22 +179,30 @@ impl PlanCache {
 
     /// Number of lookups served from the cache without running the optimizer.
     pub fn hits(&self) -> u64 {
+        // ORDERING: Relaxed — monotonic statistics counter; readers want
+        // a recent value, not a synchronized snapshot.
         self.inner.hits.load(Ordering::Relaxed)
     }
 
     /// Number of lookups that found no entry and ran the optimizer.
     pub fn misses(&self) -> u64 {
+        // ORDERING: Relaxed — monotonic statistics counter; readers want
+        // a recent value, not a synchronized snapshot.
         self.inner.misses.load(Ordering::Relaxed)
     }
 
     /// Number of lookups that found an entry but re-optimized because the
     /// bind's selectivities left the stored envelope.
     pub fn reoptimizations(&self) -> u64 {
+        // ORDERING: Relaxed — monotonic statistics counter; readers want
+        // a recent value, not a synchronized snapshot.
         self.inner.reoptimizations.load(Ordering::Relaxed)
     }
 
     /// Number of entries evicted to keep the cache within its capacity.
     pub fn evictions(&self) -> u64 {
+        // ORDERING: Relaxed — monotonic statistics counter; readers want
+        // a recent value, not a synchronized snapshot.
         self.inner.evictions.load(Ordering::Relaxed)
     }
 
@@ -260,6 +268,9 @@ impl PlanCache {
                 // stamp is drawn *inside* the lock — a stamp taken earlier
                 // could move `last_used` backwards past concurrent touches
                 // and turn a hot entry into the LRU victim.
+                // ORDERING: Relaxed — the clock only needs unique, roughly
+                // increasing stamps; `last_used` itself is written under the
+                // entries lock, which orders it.
                 entry.last_used = self.inner.clock.fetch_add(1, Ordering::Relaxed);
                 entry.clone()
             })
@@ -270,6 +281,7 @@ impl PlanCache {
                 // relation name the graph lacks) — fall through and
                 // re-optimize rather than serving an inapplicable plan.
                 if let Some(plan) = entry.plan_for(graph) {
+                    // ORDERING: Relaxed — statistics counter.
                     self.inner.hits.fetch_add(1, Ordering::Relaxed);
                     return (plan, CacheStatus::Hit);
                 }
@@ -294,6 +306,8 @@ impl PlanCache {
                     plan: plan.clone(),
                     envelope,
                     relation_names,
+                    // ORDERING: Relaxed — unique stamp; entry publication
+                    // happens under the entries lock.
                     last_used: self.inner.clock.fetch_add(1, Ordering::Relaxed),
                 },
             );
@@ -307,16 +321,19 @@ impl PlanCache {
                     .map(|(key, _)| key.clone())
                     .expect("cache over capacity implies a victim");
                 entries.remove(&victim);
+                // ORDERING: Relaxed — statistics counter.
                 self.inner.evictions.fetch_add(1, Ordering::Relaxed);
             }
             // Account the lookup before releasing the lock so a snapshot
             // never observes this insertion's eviction without its
             // miss/re-optimization.
+            // ORDERING: Relaxed — statistics counters (the comment above
+            // explains why they are bumped while still holding the lock).
             match status {
                 CacheStatus::Reoptimized => {
-                    self.inner.reoptimizations.fetch_add(1, Ordering::Relaxed)
+                    self.inner.reoptimizations.fetch_add(1, Ordering::Relaxed) // ORDERING: see above
                 }
-                _ => self.inner.misses.fetch_add(1, Ordering::Relaxed),
+                _ => self.inner.misses.fetch_add(1, Ordering::Relaxed), // ORDERING: see above
             };
         }
         (plan, status)

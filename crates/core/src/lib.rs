@@ -116,6 +116,9 @@
 //! counters are bit-identical for every
 //! `(batch_size, morsel_size, num_threads, parallel_threshold)` combination.
 
+#![deny(unsafe_op_in_unsafe_fn)]
+#![warn(missing_debug_implementations)]
+
 pub mod cache;
 pub mod engine;
 pub mod error;

@@ -679,12 +679,12 @@ impl Ticket {
                         let mut state = server.state.lock().expect("server queue poisoned");
                         state.remove_queued(&self.shared);
                     }
-                    server.counters.cancelled.fetch_add(1, Ordering::Relaxed);
+                    server.counters.cancelled.fetch_add(1, Ordering::Relaxed); // ORDERING: monotonic stats counter; needs no synchronization
                     if let Some(tenant) = self.tenant.as_deref() {
                         server
                             .tenant_cell(tenant)
                             .cancelled
-                            .fetch_add(1, Ordering::Relaxed);
+                            .fetch_add(1, Ordering::Relaxed); // ORDERING: monotonic stats counter; needs no synchronization
                     }
                 }
             }
@@ -708,12 +708,12 @@ impl Ticket {
             server
                 .counters
                 .deadline_expired
-                .fetch_add(1, Ordering::Relaxed);
+                .fetch_add(1, Ordering::Relaxed); // ORDERING: monotonic stats counter; needs no synchronization
             if let Some(tenant) = self.tenant.as_deref() {
                 server
                     .tenant_cell(tenant)
                     .deadline_expired
-                    .fetch_add(1, Ordering::Relaxed);
+                    .fetch_add(1, Ordering::Relaxed); // ORDERING: monotonic stats counter; needs no synchronization
             }
         }
     }
@@ -829,17 +829,17 @@ impl LatencyHistogram {
     fn record(&self, sample: Duration) {
         let micros = u64::try_from(sample.as_micros()).unwrap_or(u64::MAX);
         let bucket = (64 - micros.leading_zeros() as usize).min(Self::BUCKETS - 1);
-        self.buckets[bucket].fetch_add(1, Ordering::Relaxed);
+        self.buckets[bucket].fetch_add(1, Ordering::Relaxed); // ORDERING: monotonic stats counter; needs no synchronization
         let nanos = u64::try_from(sample.as_nanos()).unwrap_or(u64::MAX);
-        self.total_nanos.fetch_add(nanos, Ordering::Relaxed);
-        self.max_nanos.fetch_max(nanos, Ordering::Relaxed);
+        self.total_nanos.fetch_add(nanos, Ordering::Relaxed); // ORDERING: monotonic stats counter; needs no synchronization
+        self.max_nanos.fetch_max(nanos, Ordering::Relaxed); // ORDERING: running max over independent samples; relaxed suffices
     }
 
     fn snapshot(&self) -> LatencyStats {
         let counts: Vec<u64> = self
             .buckets
             .iter()
-            .map(|b| b.load(Ordering::Relaxed))
+            .map(|b| b.load(Ordering::Relaxed)) // ORDERING: stats snapshot read; a recent value suffices
             .collect();
         let count: u64 = counts.iter().sum();
         if count == 0 {
@@ -859,8 +859,8 @@ impl LatencyHistogram {
         };
         LatencyStats {
             count,
-            mean: Duration::from_nanos(self.total_nanos.load(Ordering::Relaxed) / count),
-            max: Duration::from_nanos(self.max_nanos.load(Ordering::Relaxed)),
+            mean: Duration::from_nanos(self.total_nanos.load(Ordering::Relaxed) / count), // ORDERING: stats snapshot read; a recent value suffices
+            max: Duration::from_nanos(self.max_nanos.load(Ordering::Relaxed)), // ORDERING: stats snapshot read; a recent value suffices
             p50: quantile(0.50),
             p95: quantile(0.95),
             p99: quantile(0.99),
@@ -1135,14 +1135,14 @@ impl Server {
                 self.shared
                     .counters
                     .rejected
-                    .fetch_add(1, Ordering::Relaxed);
+                    .fetch_add(1, Ordering::Relaxed); // ORDERING: monotonic stats counter; needs no synchronization
                 return Err(SubmitError::ShutDown);
             }
             if state.queue.len() >= self.shared.config.queue_capacity {
                 self.shared
                     .counters
                     .rejected
-                    .fetch_add(1, Ordering::Relaxed);
+                    .fetch_add(1, Ordering::Relaxed); // ORDERING: monotonic stats counter; needs no synchronization
                 return Err(SubmitError::QueueFull {
                     capacity: self.shared.config.queue_capacity,
                 });
@@ -1155,11 +1155,11 @@ impl Server {
                     self.shared
                         .counters
                         .rejected
-                        .fetch_add(1, Ordering::Relaxed);
+                        .fetch_add(1, Ordering::Relaxed); // ORDERING: monotonic stats counter; needs no synchronization
                     self.shared
                         .tenant_cell(tenant)
                         .rejected
-                        .fetch_add(1, Ordering::Relaxed);
+                        .fetch_add(1, Ordering::Relaxed); // ORDERING: monotonic stats counter; needs no synchronization
                     return Err(SubmitError::TenantQuotaExceeded);
                 }
             }
@@ -1181,12 +1181,12 @@ impl Server {
             self.shared
                 .counters
                 .admitted
-                .fetch_add(1, Ordering::Relaxed);
+                .fetch_add(1, Ordering::Relaxed); // ORDERING: monotonic stats counter; needs no synchronization
             if let Some(tenant) = tenant.as_deref() {
                 self.shared
                     .tenant_cell(tenant)
                     .admitted
-                    .fetch_add(1, Ordering::Relaxed);
+                    .fetch_add(1, Ordering::Relaxed); // ORDERING: monotonic stats counter; needs no synchronization
             }
         }
         self.shared.work.notify_one();
@@ -1227,16 +1227,16 @@ impl Server {
         };
         let c = &self.shared.counters;
         ServerStats {
-            admitted: c.admitted.load(Ordering::Relaxed),
-            completed: c.completed.load(Ordering::Relaxed),
-            rejected: c.rejected.load(Ordering::Relaxed),
-            cancelled: c.cancelled.load(Ordering::Relaxed),
-            deadline_expired: c.deadline_expired.load(Ordering::Relaxed),
-            failed: c.failed.load(Ordering::Relaxed),
-            panicked: c.panicked.load(Ordering::Relaxed),
+            admitted: c.admitted.load(Ordering::Relaxed), // ORDERING: stats snapshot read; a recent value suffices
+            completed: c.completed.load(Ordering::Relaxed), // ORDERING: stats snapshot read; a recent value suffices
+            rejected: c.rejected.load(Ordering::Relaxed), // ORDERING: stats snapshot read; a recent value suffices
+            cancelled: c.cancelled.load(Ordering::Relaxed), // ORDERING: stats snapshot read; a recent value suffices
+            deadline_expired: c.deadline_expired.load(Ordering::Relaxed), // ORDERING: stats snapshot read; a recent value suffices
+            failed: c.failed.load(Ordering::Relaxed), // ORDERING: stats snapshot read; a recent value suffices
+            panicked: c.panicked.load(Ordering::Relaxed), // ORDERING: stats snapshot read; a recent value suffices
             queue_depth,
             running,
-            total_wall: Duration::from_nanos(c.total_wall_nanos.load(Ordering::Relaxed)),
+            total_wall: Duration::from_nanos(c.total_wall_nanos.load(Ordering::Relaxed)), // ORDERING: stats snapshot read; a recent value suffices
             queue_wait: self.shared.queue_wait.snapshot(),
             run_time: self.shared.run_time.snapshot(),
         }
@@ -1259,12 +1259,12 @@ impl Server {
         };
         match cell {
             Some(cell) => TenantStats {
-                admitted: cell.admitted.load(Ordering::Relaxed),
-                completed: cell.completed.load(Ordering::Relaxed),
-                rejected: cell.rejected.load(Ordering::Relaxed),
-                cancelled: cell.cancelled.load(Ordering::Relaxed),
-                deadline_expired: cell.deadline_expired.load(Ordering::Relaxed),
-                failed: cell.failed.load(Ordering::Relaxed),
+                admitted: cell.admitted.load(Ordering::Relaxed), // ORDERING: stats snapshot read; a recent value suffices
+                completed: cell.completed.load(Ordering::Relaxed), // ORDERING: stats snapshot read; a recent value suffices
+                rejected: cell.rejected.load(Ordering::Relaxed), // ORDERING: stats snapshot read; a recent value suffices
+                cancelled: cell.cancelled.load(Ordering::Relaxed), // ORDERING: stats snapshot read; a recent value suffices
+                deadline_expired: cell.deadline_expired.load(Ordering::Relaxed), // ORDERING: stats snapshot read; a recent value suffices
+                failed: cell.failed.load(Ordering::Relaxed), // ORDERING: stats snapshot read; a recent value suffices
                 queued,
                 running,
                 queue_wait: cell.queue_wait.snapshot(),
@@ -1305,12 +1305,12 @@ fn expire_queued(shared: &ServerShared, state: &mut QueueState) {
                 shared
                     .counters
                     .deadline_expired
-                    .fetch_add(1, Ordering::Relaxed);
+                    .fetch_add(1, Ordering::Relaxed); // ORDERING: monotonic stats counter; needs no synchronization
                 if let Some(tenant) = request.options.tenant.as_deref() {
                     shared
                         .tenant_cell(tenant)
                         .deadline_expired
-                        .fetch_add(1, Ordering::Relaxed);
+                        .fetch_add(1, Ordering::Relaxed); // ORDERING: monotonic stats counter; needs no synchronization
                 }
             }
         } else {
@@ -1431,13 +1431,13 @@ fn serve_one(shared: &ServerShared, request: QueuedRequest) {
             output.total_wall = request.submitted.elapsed();
             let run_time = run_start.elapsed();
             shared.run_time.record(run_time);
-            shared.counters.completed.fetch_add(1, Ordering::Relaxed);
+            shared.counters.completed.fetch_add(1, Ordering::Relaxed); // ORDERING: monotonic stats counter; needs no synchronization
             shared.counters.total_wall_nanos.fetch_add(
                 u64::try_from(output.total_wall.as_nanos()).unwrap_or(u64::MAX),
-                Ordering::Relaxed,
+                Ordering::Relaxed, // ORDERING: monotonic stats counter; needs no synchronization
             );
             if let Some(cell) = &tenant_cell {
-                cell.completed.fetch_add(1, Ordering::Relaxed);
+                cell.completed.fetch_add(1, Ordering::Relaxed); // ORDERING: monotonic stats counter; needs no synchronization
                 cell.run_time.record(run_time);
             }
             Ok(output)
@@ -1445,31 +1445,31 @@ fn serve_one(shared: &ServerShared, request: QueuedRequest) {
         Ok(Err(mut e)) if e.is_cancelled() => {
             let partial = e.take_partial_metrics();
             if request.cancel.cancel_requested() {
-                shared.counters.cancelled.fetch_add(1, Ordering::Relaxed);
+                shared.counters.cancelled.fetch_add(1, Ordering::Relaxed); // ORDERING: monotonic stats counter; needs no synchronization
                 if let Some(cell) = &tenant_cell {
-                    cell.cancelled.fetch_add(1, Ordering::Relaxed);
+                    cell.cancelled.fetch_add(1, Ordering::Relaxed); // ORDERING: monotonic stats counter; needs no synchronization
                 }
                 Err(ServeError::Cancelled { partial })
             } else {
                 shared
                     .counters
                     .deadline_expired
-                    .fetch_add(1, Ordering::Relaxed);
+                    .fetch_add(1, Ordering::Relaxed); // ORDERING: monotonic stats counter; needs no synchronization
                 if let Some(cell) = &tenant_cell {
-                    cell.deadline_expired.fetch_add(1, Ordering::Relaxed);
+                    cell.deadline_expired.fetch_add(1, Ordering::Relaxed); // ORDERING: monotonic stats counter; needs no synchronization
                 }
                 Err(ServeError::DeadlineExceeded { partial })
             }
         }
         Ok(Err(e)) => {
-            shared.counters.failed.fetch_add(1, Ordering::Relaxed);
+            shared.counters.failed.fetch_add(1, Ordering::Relaxed); // ORDERING: monotonic stats counter; needs no synchronization
             if let Some(cell) = &tenant_cell {
-                cell.failed.fetch_add(1, Ordering::Relaxed);
+                cell.failed.fetch_add(1, Ordering::Relaxed); // ORDERING: monotonic stats counter; needs no synchronization
             }
             Err(ServeError::Query(e))
         }
         Err(payload) => {
-            shared.counters.panicked.fetch_add(1, Ordering::Relaxed);
+            shared.counters.panicked.fetch_add(1, Ordering::Relaxed); // ORDERING: monotonic stats counter; needs no synchronization
             Err(ServeError::Panicked(panic_message(payload.as_ref())))
         }
     };

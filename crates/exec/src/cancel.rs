@@ -61,12 +61,16 @@ impl CancelToken {
     /// Requests cancellation: every clone's [`CancelToken::is_cancelled`]
     /// reads `true` from now on. Idempotent.
     pub fn cancel(&self) {
+        // ORDERING: Release pairs with the Acquire loads in `is_cancelled` /
+        // `cancel_requested`, so an observer of the flag also observes every
+        // write the cancelling thread made before raising it.
         self.inner.cancelled.store(true, Ordering::Release);
     }
 
     /// Whether execution should stop: the flag was raised or the deadline
     /// (if any) has passed.
     pub fn is_cancelled(&self) -> bool {
+        // ORDERING: Acquire pairs with the Release store in `cancel`.
         self.inner.cancelled.load(Ordering::Acquire) || self.deadline_passed()
     }
 
@@ -74,6 +78,7 @@ impl CancelToken {
     /// a user-initiated abort from a deadline expiry, so the serving layer
     /// can report `Cancelled` vs `DeadlineExceeded`.
     pub fn cancel_requested(&self) -> bool {
+        // ORDERING: Acquire pairs with the Release store in `cancel`.
         self.inner.cancelled.load(Ordering::Acquire)
     }
 

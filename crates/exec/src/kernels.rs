@@ -60,8 +60,8 @@ pub fn probe_retain<F: BitvectorFilter + ?Sized>(
     gather_keys(columns, rows, &mut scratch.keys);
     filter.probe_words(&scratch.keys, &mut scratch.words);
     let kept = compact_by_mask(rows, &scratch.words);
-    stats.probed += before as u64;
-    stats.eliminated += (before - kept) as u64;
+    stats.probed += before as u64; // CAST-OK: usize widens losslessly into u64 on supported targets
+    stats.eliminated += (before - kept) as u64; // CAST-OK: usize widens losslessly into u64 on supported targets
 }
 
 /// Vectorized mask computation for a contiguous key range: returns the
@@ -93,9 +93,9 @@ pub fn probe_mask_range<F: BitvectorFilter + ?Sized>(
     for (i, _) in slice.iter().enumerate() {
         mask.push((scratch.words[i / 64] >> (i % 64)) & 1 == 1);
     }
-    let kept: usize = scratch.words.iter().map(|w| w.count_ones() as usize).sum();
-    stats.probed += slice.len() as u64;
-    stats.eliminated += (slice.len() - kept) as u64;
+    let kept: usize = scratch.words.iter().map(|w| w.count_ones() as usize).sum(); // CAST-OK: popcount <= 64 fits usize
+    stats.probed += slice.len() as u64; // CAST-OK: usize widens losslessly into u64 on supported targets
+    stats.eliminated += (slice.len() - kept) as u64; // CAST-OK: usize widens losslessly into u64 on supported targets
     mask
 }
 

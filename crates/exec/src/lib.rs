@@ -52,6 +52,9 @@
 //! concatenated output rows for differential testing); user-facing code goes
 //! through the `Engine` facade in `bqo-core`.
 
+#![deny(unsafe_op_in_unsafe_fn)]
+#![warn(missing_debug_implementations)]
+
 pub mod batch;
 pub mod cancel;
 pub mod executor;

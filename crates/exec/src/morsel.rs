@@ -195,6 +195,9 @@ where
             if cancel.is_some_and(CancelToken::is_cancelled) {
                 break;
             }
+            // ORDERING: Relaxed — the counter only allocates a unique
+            // morsel index; the produced results are published via the
+            // section's join/latch, which supplies the happens-before edge.
             let i = cursor.fetch_add(1, Ordering::Relaxed);
             let Some(morsel) = morsels.get(i) else {
                 break;
@@ -238,6 +241,9 @@ where
             if cancel.is_some_and(CancelToken::is_cancelled) {
                 break;
             }
+            // ORDERING: Relaxed — the counter only allocates a unique
+            // morsel index; the produced results are published via the
+            // section's join/latch, which supplies the happens-before edge.
             let i = cursor.fetch_add(1, Ordering::Relaxed);
             let Some(morsel) = morsels.get(i) else {
                 break;

@@ -76,6 +76,14 @@ pub struct ScanOp<'p> {
     output_rows: u64,
 }
 
+impl std::fmt::Debug for ScanOp<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ScanOp")
+            .field("node", &self.node)
+            .finish_non_exhaustive()
+    }
+}
+
 impl<'p> ScanOp<'p> {
     /// Creates a scan operator for `relation`.
     pub fn new(
@@ -364,6 +372,14 @@ pub struct FileScanOp<'p> {
     cursor: usize,
     emitted_any: bool,
     output_rows: u64,
+}
+
+impl std::fmt::Debug for FileScanOp<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FileScanOp")
+            .field("node", &self.node)
+            .finish_non_exhaustive()
+    }
 }
 
 impl<'p> FileScanOp<'p> {
@@ -706,6 +722,14 @@ pub struct HashJoinOp<'p> {
     /// Per residual placement: rows surviving it (summed over batches), and
     /// whether its filter was available so it actually ran.
     residual_rows: Vec<(u64, bool)>,
+}
+
+impl std::fmt::Debug for HashJoinOp<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("HashJoinOp")
+            .field("node", &self.node)
+            .finish_non_exhaustive()
+    }
 }
 
 impl<'p> HashJoinOp<'p> {

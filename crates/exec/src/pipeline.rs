@@ -27,6 +27,14 @@ pub struct ExecContext {
     cancel: CancelToken,
 }
 
+impl std::fmt::Debug for ExecContext {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ExecContext")
+            .field("config", &self.config)
+            .finish_non_exhaustive()
+    }
+}
+
 impl ExecContext {
     /// Creates a fresh context for one query execution (no worker pool —
     /// parallel sections spawn scoped helpers).
@@ -134,6 +142,14 @@ pub struct PipelineBuilder<'p> {
     graph: &'p JoinGraph,
     plan: &'p PhysicalPlan,
     config: ExecConfig,
+}
+
+impl std::fmt::Debug for PipelineBuilder<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PipelineBuilder")
+            .field("config", &self.config)
+            .finish_non_exhaustive()
+    }
 }
 
 impl<'p> PipelineBuilder<'p> {

@@ -164,6 +164,9 @@ impl PoolOwner {
             let mut state = self.shared.state.lock().expect("worker pool poisoned");
             state.shutdown = true;
         }
+        // ORDERING: Release pairs with the Acquire in `num_workers`: a
+        // caller that reads 0 also sees the `shutdown = true` state written
+        // above (the mutex already orders the workers themselves).
         self.workers.store(0, Ordering::Release);
         self.shared.work_available.notify_all();
         let handles = std::mem::take(&mut *self.handles.lock().expect("worker pool poisoned"));
@@ -228,6 +231,7 @@ impl WorkerPool {
 
     /// Number of live pool workers (0 after [`WorkerPool::shutdown`]).
     pub fn num_workers(&self) -> usize {
+        // ORDERING: Acquire pairs with the Release store in `shutdown`.
         self.owner.workers.load(Ordering::Acquire)
     }
 

@@ -16,6 +16,15 @@ pub struct Cursor<'a> {
     at: usize,
 }
 
+impl std::fmt::Debug for Cursor<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Cursor")
+            .field("len", &self.bytes.len())
+            .field("at", &self.at)
+            .finish()
+    }
+}
+
 impl<'a> Cursor<'a> {
     pub fn new(bytes: &'a [u8]) -> Self {
         Cursor { bytes, at: 0 }
@@ -63,14 +72,15 @@ impl<'a> Cursor<'a> {
     /// sanity bound so corrupt counts cannot drive huge allocations).
     pub fn bounded_len(&mut self, limit: usize, what: &str) -> Result<usize, String> {
         let v = self.u64()?;
+        // CAST-OK: usize widens losslessly into u64 on supported targets
         if v > limit as u64 {
             return Err(format!("{what} {v} exceeds limit {limit}"));
         }
-        Ok(v as usize)
+        Ok(v as usize) // CAST-OK: v <= limit (a usize), checked above
     }
 
     pub fn string(&mut self, limit: usize) -> Result<String, String> {
-        let len = self.u32()? as usize;
+        let len = self.u32()? as usize; // CAST-OK: u32 fits usize on supported targets
         if len > limit {
             return Err(format!("string length {len} exceeds limit {limit}"));
         }
@@ -88,7 +98,7 @@ pub fn put_u64(out: &mut Vec<u8>, v: u64) {
 }
 
 pub fn put_string(out: &mut Vec<u8>, s: &str) {
-    put_u32(out, s.len() as u32);
+    put_u32(out, s.len() as u32); // CAST-OK: u32 length field; readers cap strings far below it
     out.extend_from_slice(s.as_bytes());
 }
 
@@ -132,7 +142,7 @@ pub fn encode_column_range(column: &Column, start: usize, end: usize, out: &mut 
         }
         Column::Bool(v) => {
             for &b in &v[start..end] {
-                out.push(b as u8);
+                out.push(u8::from(b));
             }
         }
     }
@@ -202,7 +212,7 @@ pub fn encode_value(value: &Value, out: &mut Vec<u8>) {
         }
         Value::Bool(b) => {
             out.push(type_code(DataType::Bool));
-            out.push(*b as u8);
+            out.push(u8::from(*b));
         }
     }
 }

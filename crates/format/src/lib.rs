@@ -21,6 +21,9 @@
 //! — never a panic; the corruption test suite flips arbitrary bytes to pin
 //! this down.
 
+#![deny(unsafe_op_in_unsafe_fn)]
+#![warn(missing_debug_implementations)]
+
 pub mod codec;
 pub mod error;
 pub mod layout;

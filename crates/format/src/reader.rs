@@ -84,13 +84,25 @@ mod mapping {
         len: usize,
     }
 
-    // The mapping is read-only for its whole lifetime.
+    // SAFETY: the mapping is `PROT_READ`-only for its whole lifetime — no
+    // alias can observe a write through it — and `munmap` runs exactly once
+    // in `Drop`, so moving the owner across threads is sound.
     unsafe impl Send for Mapping {}
+    // SAFETY: all access goes through `&self -> &[u8]` over immutable,
+    // kernel-backed read-only pages; concurrent reads involve no data race.
     unsafe impl Sync for Mapping {}
 
     impl Mapping {
         pub fn map(file: &File, len: u64) -> std::io::Result<Mapping> {
-            let len = len as usize;
+            // Reject (rather than truncate) lengths a 32-bit usize can't
+            // hold: a silent wrap here would under-map the file and move the
+            // out-of-bounds fault from `Err` to a SIGSEGV on first access.
+            let len = usize::try_from(len).map_err(|_| {
+                std::io::Error::new(
+                    std::io::ErrorKind::InvalidInput,
+                    "file too large to map on this target",
+                )
+            })?;
             if len == 0 {
                 // mmap rejects zero-length maps; an empty slice serves.
                 return Ok(Mapping {
@@ -98,6 +110,10 @@ mod mapping {
                     len: 0,
                 });
             }
+            // SAFETY: plain FFI call; `addr = null` lets the kernel pick the
+            // placement, `len > 0` was checked above, and `fd` is a live
+            // borrowed descriptor. The kernel validates everything else and
+            // reports failure via MAP_FAILED, handled below.
             let ptr = unsafe {
                 mmap(
                     std::ptr::null_mut(),
@@ -108,6 +124,7 @@ mod mapping {
                     0,
                 )
             };
+            // CAST-OK: MAP_FAILED (-1) sentinel comparison
             if ptr as isize == -1 {
                 return Err(std::io::Error::last_os_error());
             }
@@ -118,6 +135,11 @@ mod mapping {
             if self.len == 0 {
                 &[]
             } else {
+                // SAFETY: `ptr` came from a successful mmap of exactly `len`
+                // readable bytes and stays mapped until `Drop`; the returned
+                // slice's lifetime is tied to `&self`, so it cannot outlive
+                // the unmap. Pages are read-only, so `&[u8]` immutability
+                // holds.
                 unsafe { std::slice::from_raw_parts(self.ptr, self.len) }
             }
         }
@@ -126,6 +148,9 @@ mod mapping {
     impl Drop for Mapping {
         fn drop(&mut self) {
             if self.len != 0 {
+                // SAFETY: `(ptr, len)` is exactly the region the successful
+                // mmap returned, unmapped once here; no slice into it can
+                // outlive `self` (see `as_slice`), so nothing dangles.
                 unsafe {
                     munmap(self.ptr, self.len);
                 }
@@ -183,6 +208,7 @@ impl FileReader {
             path: path.clone(),
             detail,
         };
+        // CAST-OK: constant 8-byte magic
         if file_len < MAGIC.len() as u64 {
             return Err(truncated(format!(
                 "file is {file_len} bytes, smaller than the {}-byte header",
@@ -194,25 +220,27 @@ impl FileReader {
         if &header != MAGIC {
             return Err(FormatError::BadMagic { path });
         }
+        // CAST-OK: constant 8-byte magic
         if file_len < MAGIC.len() as u64 + TRAILER_LEN {
             return Err(truncated(format!(
                 "file is {file_len} bytes, no room for the {TRAILER_LEN}-byte trailer"
             )));
         }
-        let mut trailer = [0u8; TRAILER_LEN as usize];
+        let mut trailer = [0u8; TRAILER_LEN as usize]; // CAST-OK: small constant trailer length
         read_exact_at(&file, &path, file_len - TRAILER_LEN, &mut trailer).map_err(io)?;
         if &trailer[16..24] != MAGIC {
             return Err(truncated("closing magic missing".to_string()));
         }
         let footer_len = u64::from_le_bytes(trailer[0..8].try_into().unwrap());
         let footer_checksum = u64::from_le_bytes(trailer[8..16].try_into().unwrap());
+        // CAST-OK: constant 8-byte magic
         if footer_len + TRAILER_LEN + MAGIC.len() as u64 > file_len {
             return Err(truncated(format!(
                 "footer length {footer_len} does not fit in a {file_len}-byte file"
             )));
         }
         let footer_start = file_len - TRAILER_LEN - footer_len;
-        let mut footer = vec![0u8; footer_len as usize];
+        let mut footer = vec![0u8; footer_len as usize]; // CAST-OK: checked against file_len above; fits usize on 64-bit targets
         read_exact_at(&file, &path, footer_start, &mut footer).map_err(io)?;
         if xxh64(&footer, 0) != footer_checksum {
             return Err(truncated("footer checksum mismatch".to_string()));
@@ -228,7 +256,13 @@ impl FileReader {
                 }
                 #[cfg(not(unix))]
                 {
-                    let mut bytes = vec![0u8; file_len as usize];
+                    let file_len_usize =
+                        usize::try_from(file_len).map_err(|_| FormatError::Corrupt {
+                            path: path.to_path_buf(),
+                            chunk: None,
+                            detail: "file too large to buffer on this target".to_string(),
+                        })?;
+                    let mut bytes = vec![0u8; file_len_usize];
                     read_exact_at(&file, &path, 0, &mut bytes).map_err(io)?;
                     Backing::Owned(bytes)
                 }
@@ -291,7 +325,7 @@ impl FileReader {
         for (column, entry) in entries.iter().enumerate() {
             let bytes: &[u8] = match &self.backing {
                 Backing::Buffered(file) => {
-                    buf.resize(entry.len as usize, 0);
+                    buf.resize(entry.len as usize, 0); // CAST-OK: entry validated against the data region in parse_footer
                     read_exact_at(file, &self.path, entry.offset, &mut buf).map_err(|source| {
                         FormatError::Io {
                             path: self.path.clone(),
@@ -302,9 +336,11 @@ impl FileReader {
                 }
                 #[cfg(unix)]
                 Backing::Mapped(mapping) => {
+                    // CAST-OK: entry validated against the data region in parse_footer
                     &mapping.as_slice()[entry.offset as usize..(entry.offset + entry.len) as usize]
                 }
                 Backing::Owned(bytes) => {
+                    // CAST-OK: entry validated against the data region in parse_footer
                     &bytes[entry.offset as usize..(entry.offset + entry.len) as usize]
                 }
             };
@@ -443,6 +479,7 @@ fn parse_footer(footer: &[u8], path: &Path, data_end: u64) -> Result<ParsedFoote
     }
     let name = cur.string(MAX_NAME_LEN).map_err(&corrupt)?;
     let num_fields = cur.u32().map_err(&corrupt)?;
+    // CAST-OK: u32 fits usize on supported targets
     if num_fields as usize > MAX_COLUMNS {
         return Err(corrupt(format!(
             "field count {num_fields} exceeds limit {MAX_COLUMNS}"
@@ -488,10 +525,14 @@ fn parse_footer(footer: &[u8], path: &Path, data_end: u64) -> Result<ParsedFoote
                 }
                 other => return Err(corrupt(format!("invalid zone flag {other}"))),
             };
-            if offset < MAGIC.len() as u64 || offset + len > data_end {
+            // `checked_add`: a crafted footer with `offset + len` wrapping
+            // u64 would otherwise pass this bound and index out of range
+            // when the run is sliced.
+            let end = offset.checked_add(len);
+            // CAST-OK: constant 8-byte magic
+            if offset < MAGIC.len() as u64 || end.is_none_or(|end| end > data_end) {
                 return Err(corrupt(format!(
-                    "chunk {chunk} run [{offset}, {}) lies outside the data region",
-                    offset + len
+                    "chunk {chunk} run at {offset} (+{len}) lies outside the data region"
                 )));
             }
             entries.push(ChunkEntry {
@@ -528,7 +569,7 @@ fn parse_footer(footer: &[u8], path: &Path, data_end: u64) -> Result<ParsedFoote
 
 fn parse_stats(cur: &mut Cursor<'_>, schema: &Schema) -> Result<TableStats, String> {
     let row_count = cur.bounded_len(usize::MAX / 2, "stats row_count")?;
-    let num_cols = cur.u32()? as usize;
+    let num_cols = cur.u32()? as usize; // CAST-OK: u32 fits usize on supported targets
     if num_cols != schema.len() {
         return Err(format!(
             "stats cover {num_cols} columns, schema has {}",
@@ -554,12 +595,13 @@ fn parse_stats(cur: &mut Cursor<'_>, schema: &Schema) -> Result<TableStats, Stri
             other => return Err(format!("invalid max flag {other}")),
         };
         let hist_len = cur.u32()?;
+        // CAST-OK: u32 fits usize on supported targets
         if hist_len as usize > MAX_HISTOGRAM_LEN {
             return Err(format!(
                 "histogram length {hist_len} exceeds limit {MAX_HISTOGRAM_LEN}"
             ));
         }
-        let mut histogram = Vec::with_capacity(hist_len as usize);
+        let mut histogram = Vec::with_capacity(hist_len as usize); // CAST-OK: checked against MAX_HISTOGRAM_LEN above
         for _ in 0..hist_len {
             histogram.push(cur.bounded_len(usize::MAX / 2, "histogram bucket")?);
         }

@@ -70,7 +70,7 @@ impl ColAcc {
                 for &x in &v[start..end] {
                     set.insert(x);
                     self.any_numeric = true;
-                    let f = x as f64;
+                    let f = x as f64; // CAST-OK: estimate math; f64 rounding is acceptable here
                     if f < self.min {
                         self.min = f;
                     }
@@ -100,7 +100,7 @@ impl ColAcc {
             }
             (DistinctAcc::Bool(seen), Column::Bool(v)) => {
                 for &b in &v[start..end] {
-                    seen[b as usize] = true;
+                    seen[usize::from(b)] = true;
                 }
             }
             _ => unreachable!("append validated the column type against the schema"),
@@ -160,6 +160,15 @@ pub struct FileWriter {
     accs: Vec<ColAcc>,
 }
 
+impl std::fmt::Debug for FileWriter {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FileWriter")
+            .field("path", &self.path)
+            .field("name", &self.name)
+            .finish_non_exhaustive()
+    }
+}
+
 impl FileWriter {
     /// Creates a file for table `name` with the given schema, using the
     /// default chunk size of 64Ki rows.
@@ -204,7 +213,7 @@ impl FileWriter {
             name: name.into(),
             schema,
             chunk_rows: chunk_rows.max(1),
-            offset: MAGIC.len() as u64,
+            offset: MAGIC.len() as u64, // CAST-OK: constant 8-byte magic
             rows_written: 0,
             pending,
             pending_rows: 0,
@@ -293,7 +302,7 @@ impl FileWriter {
             encode_column_range(column, 0, rows, &mut encoded);
             let entry = ChunkEntry {
                 offset: self.offset,
-                len: encoded.len() as u64,
+                len: encoded.len() as u64, // CAST-OK: usize widens losslessly into u64 on supported targets
                 checksum: xxh64(&encoded, 0),
                 zone: Some(zone_of(column, 0, rows)),
             };
@@ -340,15 +349,15 @@ impl FileWriter {
         )?;
         let mut footer = Vec::new();
         put_u32(&mut footer, FORMAT_VERSION);
-        put_u64(&mut footer, self.chunk_rows as u64);
+        put_u64(&mut footer, self.chunk_rows as u64); // CAST-OK: usize widens losslessly into u64 on supported targets
         put_string(&mut footer, &self.name);
-        put_u32(&mut footer, self.schema.len() as u32);
+        put_u32(&mut footer, self.schema.len() as u32); // CAST-OK: column count capped at MAX_COLUMNS (2^16)
         for field in self.schema.fields() {
             put_string(&mut footer, &field.name);
             footer.push(type_code(field.data_type));
         }
-        put_u64(&mut footer, self.rows_written as u64);
-        put_u64(&mut footer, self.directory.len() as u64);
+        put_u64(&mut footer, self.rows_written as u64); // CAST-OK: usize widens losslessly into u64 on supported targets
+        put_u64(&mut footer, self.directory.len() as u64); // CAST-OK: usize widens losslessly into u64 on supported targets
         for entries in &self.directory {
             for entry in entries {
                 put_u64(&mut footer, entry.offset);
@@ -367,7 +376,7 @@ impl FileWriter {
         encode_stats(&stats, &self.schema, &mut footer);
         let footer_checksum = xxh64(&footer, 0);
         let mut trailer = Vec::new();
-        put_u64(&mut trailer, footer.len() as u64);
+        put_u64(&mut trailer, footer.len() as u64); // CAST-OK: usize widens losslessly into u64 on supported targets
         put_u64(&mut trailer, footer_checksum);
         trailer.extend_from_slice(MAGIC);
         file.write_all(&footer).map_err(|source| FormatError::Io {
@@ -382,7 +391,7 @@ impl FileWriter {
             path: self.path.clone(),
             source,
         })?;
-        let bytes = self.offset + footer.len() as u64 + trailer.len() as u64;
+        let bytes = self.offset + footer.len() as u64 + trailer.len() as u64; // CAST-OK: usize widens losslessly into u64 on supported targets
         Ok(FileSummary {
             rows: self.rows_written,
             chunks: self.directory.len(),
@@ -394,15 +403,15 @@ impl FileWriter {
 /// Serializes `TableStats` into the footer, in schema order (deterministic
 /// bytes for a deterministic file fingerprint).
 fn encode_stats(stats: &TableStats, schema: &Schema, out: &mut Vec<u8>) {
-    put_u64(out, stats.row_count as u64);
-    put_u32(out, schema.len() as u32);
+    put_u64(out, stats.row_count as u64); // CAST-OK: usize widens losslessly into u64 on supported targets
+    put_u32(out, schema.len() as u32); // CAST-OK: column count capped at MAX_COLUMNS (2^16)
     for field in schema.fields() {
         let col = stats
             .column(&field.name)
             .expect("stats cover every schema column");
         put_string(out, &field.name);
-        put_u64(out, col.row_count as u64);
-        put_u64(out, col.distinct_count as u64);
+        put_u64(out, col.row_count as u64); // CAST-OK: usize widens losslessly into u64 on supported targets
+        put_u64(out, col.distinct_count as u64); // CAST-OK: usize widens losslessly into u64 on supported targets
         match col.min {
             Some(v) => {
                 out.push(1);
@@ -417,9 +426,9 @@ fn encode_stats(stats: &TableStats, schema: &Schema, out: &mut Vec<u8>) {
             }
             None => out.push(0),
         }
-        put_u32(out, col.histogram.len() as u32);
+        put_u32(out, col.histogram.len() as u32); // CAST-OK: histogram length is the small HISTOGRAM_BUCKETS constant
         for &bucket in &col.histogram {
-            put_u64(out, bucket as u64);
+            put_u64(out, bucket as u64); // CAST-OK: usize widens losslessly into u64 on supported targets
         }
     }
 }
@@ -464,8 +473,8 @@ fn build_stats(
                     continue;
                 }
                 let acc = &accs[col_idx];
-                let width = (acc.max - acc.min) / HISTOGRAM_BUCKETS as f64;
-                buf.resize(entry.len as usize, 0);
+                let width = (acc.max - acc.min) / HISTOGRAM_BUCKETS as f64; // CAST-OK: small constant bucket count
+                buf.resize(entry.len as usize, 0); // CAST-OK: entry lengths are writer-produced and bounded by chunk size
                 read_exact_at(&file, path, entry.offset, &mut buf).map_err(|source| {
                     FormatError::Io {
                         path: path.to_path_buf(),
@@ -484,12 +493,13 @@ fn build_stats(
                     let idx = if width <= 0.0 {
                         0
                     } else {
+                        // CAST-OK: quotient >= 0 (v >= min, width > 0), capped right after
                         (((v - acc.min) / width) as usize).min(HISTOGRAM_BUCKETS - 1)
                     };
                     histogram[idx] += 1;
                 };
                 match &column {
-                    Column::Int64(v) => v.iter().for_each(|&x| bucket(x as f64)),
+                    Column::Int64(v) => v.iter().for_each(|&x| bucket(x as f64)), // CAST-OK: estimate math; f64 rounding is acceptable here
                     Column::Float64(v) => v.iter().for_each(|&x| bucket(x)),
                     _ => unreachable!("histograms only for numeric columns"),
                 }

@@ -64,7 +64,7 @@ pub fn xxh64(bytes: &[u8], seed: u64) -> u64 {
     } else {
         hash = seed.wrapping_add(PRIME_5);
     }
-    hash = hash.wrapping_add(len as u64);
+    hash = hash.wrapping_add(len as u64); // CAST-OK: usize widens losslessly into u64 on supported targets
     while at + 8 <= len {
         hash = (hash ^ round(0, read_u64(bytes, at)))
             .rotate_left(27)
@@ -73,14 +73,14 @@ pub fn xxh64(bytes: &[u8], seed: u64) -> u64 {
         at += 8;
     }
     if at + 4 <= len {
-        hash = (hash ^ (read_u32(bytes, at) as u64).wrapping_mul(PRIME_1))
+        hash = (hash ^ u64::from(read_u32(bytes, at)).wrapping_mul(PRIME_1))
             .rotate_left(23)
             .wrapping_mul(PRIME_2)
             .wrapping_add(PRIME_3);
         at += 4;
     }
     while at < len {
-        hash = (hash ^ (bytes[at] as u64).wrapping_mul(PRIME_5))
+        hash = (hash ^ u64::from(bytes[at]).wrapping_mul(PRIME_5))
             .rotate_left(11)
             .wrapping_mul(PRIME_1);
         at += 1;

@@ -121,6 +121,42 @@ fn version_skew_is_typed() {
     std::fs::remove_dir_all(&dir).unwrap();
 }
 
+/// Regression test: a crafted directory entry whose `offset + len` wraps
+/// around `u64` must be rejected by the footer bounds check, not slip past
+/// it and panic when the run is sliced. Patches chunk 0 / column 0's `len`
+/// to `u64::MAX - 4` (so `8 + len` wraps to `3`, inside the data region)
+/// and re-seals the footer checksum so only the bounds check can catch it.
+#[test]
+fn wrapping_chunk_run_is_rejected_not_a_panic() {
+    let dir = temp_dir("wrap");
+    let (path, mut bytes) = valid_file(&dir);
+    let n = bytes.len();
+    let footer_len = u64::from_le_bytes(bytes[n - 24..n - 16].try_into().unwrap()) as usize;
+    let footer_start = n - 24 - footer_len;
+    // Locate chunk 0 / column 0's directory entry inside the footer: its
+    // offset is 8 (the first run starts right after the magic). Validate the
+    // candidate by checking its `len` lands inside the file and the zone
+    // flag that follows the checksum is 0 or 1.
+    let footer = &bytes[footer_start..footer_start + footer_len];
+    let entry_at = (0..footer.len().saturating_sub(25))
+        .find(|&i| {
+            let offset = u64::from_le_bytes(footer[i..i + 8].try_into().unwrap());
+            let len = u64::from_le_bytes(footer[i + 8..i + 16].try_into().unwrap());
+            offset == 8 && len > 0 && 8 + len <= n as u64 && matches!(footer[i + 24], 0 | 1)
+        })
+        .expect("chunk 0 / column 0 directory entry not found in footer");
+    let len_pos = footer_start + entry_at + 8;
+    bytes[len_pos..len_pos + 8].copy_from_slice(&(u64::MAX - 4).to_le_bytes());
+    let reseal = xxh64(&bytes[footer_start..footer_start + footer_len], 0);
+    bytes[n - 16..n - 8].copy_from_slice(&reseal.to_le_bytes());
+    std::fs::write(&path, &bytes).unwrap();
+    match FileReader::open(&path) {
+        Err(FormatError::Corrupt { path: p, .. }) => assert_eq!(p, path),
+        other => panic!("expected Corrupt (run outside data region), got {other:?}"),
+    }
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
 #[test]
 fn chunk_out_of_bounds_is_typed() {
     let dir = temp_dir("oob");

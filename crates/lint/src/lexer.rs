@@ -1,0 +1,612 @@
+//! A small hand-rolled Rust lexer — just enough syntax awareness for the
+//! lint rules in this crate, with zero dependencies (the build environment
+//! has no registry access, so `syn` is not an option).
+//!
+//! The lexer's one job is to separate **code** from **non-code** reliably:
+//! identifiers and punctuation must never be reported from inside string
+//! literals, char literals, raw strings, or comments, and comments must be
+//! recoverable with exact line spans so rules can look for justification
+//! markers (`// SAFETY:`, `// ORDERING:`, `// CAST-OK:`) adjacent to a
+//! flagged site. It handles the full literal surface that matters for that
+//! job:
+//!
+//! * line (`//`, `///`, `//!`) and nested block (`/* /* */ */`) comments,
+//! * string/byte-string literals with escapes (`"a \" b"`, `b"…"`),
+//! * raw strings with arbitrary hash fences (`r"…"`, `r#"…"#`, `br##"…"##`),
+//! * char literals vs. lifetimes (`'a'`, `'\n'` vs. `'static`),
+//! * raw identifiers (`r#type`),
+//! * numeric literals (loosely — rules only care that they are not idents).
+//!
+//! It deliberately does **not** build an AST: rules work on the flat token
+//! stream plus line-indexed comment text, which is robust to code it has
+//! never seen and keeps the whole engine a few hundred lines.
+
+/// What a [`Token`] is. Only the distinctions the rules need.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokenKind {
+    /// An identifier or keyword (`unsafe`, `as`, `Ordering`, …).
+    Ident,
+    /// A single punctuation character (`.`, `!`, `:`, `{`, …).
+    Punct,
+    /// A string, byte-string, or raw-string literal.
+    Str,
+    /// A char literal (`'x'`, `'\n'`).
+    Char,
+    /// A lifetime (`'a`, `'static`).
+    Lifetime,
+    /// A numeric literal.
+    Number,
+}
+
+/// One lexed token with its 1-based source position.
+#[derive(Debug, Clone)]
+pub struct Token {
+    /// The token's text. For [`TokenKind::Str`] the text is the opening
+    /// delimiter only — rules never need string contents, and dropping them
+    /// keeps token streams small.
+    pub text: String,
+    /// Which kind of token this is.
+    pub kind: TokenKind,
+    /// 1-based line of the token's first character.
+    pub line: usize,
+    /// 1-based column (in characters) of the token's first character.
+    pub col: usize,
+}
+
+/// One comment with its exact line span.
+#[derive(Debug, Clone)]
+pub struct Comment {
+    /// The comment's text, including its delimiters.
+    pub text: String,
+    /// 1-based first line the comment covers.
+    pub line: usize,
+    /// 1-based last line the comment covers (same as `line` for line
+    /// comments; block comments may span many).
+    pub end_line: usize,
+    /// 1-based column of the opening delimiter.
+    pub col: usize,
+}
+
+/// A fatal lexing problem (unterminated literal or comment). Reported as a
+/// diagnostic rather than panicking: a lint must never crash on weird input.
+#[derive(Debug, Clone)]
+pub struct LexError {
+    /// Human-readable description of what was left unterminated.
+    pub message: String,
+    /// 1-based line where the offending construct started.
+    pub line: usize,
+    /// 1-based column where the offending construct started.
+    pub col: usize,
+}
+
+/// The output of [`lex`]: tokens and comments, in source order.
+#[derive(Debug, Default)]
+pub struct Lexed {
+    /// All non-comment tokens, in order.
+    pub tokens: Vec<Token>,
+    /// All comments, in order.
+    pub comments: Vec<Comment>,
+}
+
+struct Scanner<'a> {
+    chars: std::iter::Peekable<std::str::Chars<'a>>,
+    line: usize,
+    col: usize,
+}
+
+impl<'a> Scanner<'a> {
+    fn new(source: &'a str) -> Self {
+        Scanner {
+            chars: source.chars().peekable(),
+            line: 1,
+            col: 1,
+        }
+    }
+
+    fn peek(&mut self) -> Option<char> {
+        self.chars.peek().copied()
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.chars.next()?;
+        if c == '\n' {
+            self.line += 1;
+            self.col = 1;
+        } else {
+            self.col += 1;
+        }
+        Some(c)
+    }
+}
+
+fn is_ident_start(c: char) -> bool {
+    c.is_alphabetic() || c == '_'
+}
+
+fn is_ident_continue(c: char) -> bool {
+    c.is_alphanumeric() || c == '_'
+}
+
+/// Lexes `source` into tokens and comments.
+pub fn lex(source: &str) -> Result<Lexed, LexError> {
+    let mut s = Scanner::new(source);
+    let mut out = Lexed::default();
+    while let Some(c) = s.peek() {
+        let (line, col) = (s.line, s.col);
+        match c {
+            c if c.is_whitespace() => {
+                s.bump();
+            }
+            '/' => {
+                s.bump();
+                match s.peek() {
+                    Some('/') => lex_line_comment(&mut s, &mut out, line, col),
+                    Some('*') => lex_block_comment(&mut s, &mut out, line, col)?,
+                    _ => push_punct(&mut out, '/', line, col),
+                }
+            }
+            '"' => lex_string(&mut s, &mut out, line, col, "\"")?,
+            '\'' => lex_quote(&mut s, &mut out, line, col)?,
+            'r' | 'b' => lex_maybe_prefixed(&mut s, &mut out, line, col)?,
+            c if is_ident_start(c) => lex_ident(&mut s, &mut out, line, col),
+            c if c.is_ascii_digit() => lex_number(&mut s, &mut out, line, col),
+            c => {
+                s.bump();
+                push_punct(&mut out, c, line, col);
+            }
+        }
+    }
+    Ok(out)
+}
+
+fn push_punct(out: &mut Lexed, c: char, line: usize, col: usize) {
+    out.tokens.push(Token {
+        text: c.to_string(),
+        kind: TokenKind::Punct,
+        line,
+        col,
+    });
+}
+
+fn lex_line_comment(s: &mut Scanner<'_>, out: &mut Lexed, line: usize, col: usize) {
+    let mut text = String::from("/");
+    while let Some(c) = s.peek() {
+        if c == '\n' {
+            break;
+        }
+        text.push(c);
+        s.bump();
+    }
+    out.comments.push(Comment {
+        text,
+        line,
+        end_line: line,
+        col,
+    });
+}
+
+fn lex_block_comment(
+    s: &mut Scanner<'_>,
+    out: &mut Lexed,
+    line: usize,
+    col: usize,
+) -> Result<(), LexError> {
+    // The leading `/` was consumed by the caller; `*` is next. Rust block
+    // comments nest.
+    let mut text = String::from("/");
+    let mut depth = 0usize;
+    let mut prev = '/';
+    while let Some(c) = s.bump() {
+        text.push(c);
+        if prev == '/' && c == '*' {
+            depth += 1;
+            // Guard against `/*/` counting its `/` twice.
+            prev = '\0';
+        } else if prev == '*' && c == '/' {
+            depth -= 1;
+            if depth == 0 {
+                out.comments.push(Comment {
+                    text,
+                    line,
+                    end_line: s.line,
+                    col,
+                });
+                return Ok(());
+            }
+            prev = '\0';
+        } else {
+            prev = c;
+        }
+    }
+    Err(LexError {
+        message: "unterminated block comment".to_string(),
+        line,
+        col,
+    })
+}
+
+fn lex_string(
+    s: &mut Scanner<'_>,
+    out: &mut Lexed,
+    line: usize,
+    col: usize,
+    open: &str,
+) -> Result<(), LexError> {
+    // The opening `"` is still pending.
+    s.bump();
+    while let Some(c) = s.bump() {
+        match c {
+            '\\' => {
+                // Skip the escaped character (covers \" and \\).
+                s.bump();
+            }
+            '"' => {
+                out.tokens.push(Token {
+                    text: open.to_string(),
+                    kind: TokenKind::Str,
+                    line,
+                    col,
+                });
+                return Ok(());
+            }
+            _ => {}
+        }
+    }
+    Err(LexError {
+        message: "unterminated string literal".to_string(),
+        line,
+        col,
+    })
+}
+
+/// Raw string bodies end only at `"` followed by `hashes` `#`s — escapes are
+/// inert, which is exactly why rules must not scan their contents.
+fn lex_raw_string(
+    s: &mut Scanner<'_>,
+    out: &mut Lexed,
+    line: usize,
+    col: usize,
+    hashes: usize,
+    open: &str,
+) -> Result<(), LexError> {
+    // The opening `"` is still pending.
+    s.bump();
+    while let Some(c) = s.bump() {
+        if c == '"' {
+            let mut seen = 0;
+            while seen < hashes && s.peek() == Some('#') {
+                s.bump();
+                seen += 1;
+            }
+            if seen == hashes {
+                out.tokens.push(Token {
+                    text: open.to_string(),
+                    kind: TokenKind::Str,
+                    line,
+                    col,
+                });
+                return Ok(());
+            }
+        }
+    }
+    Err(LexError {
+        message: "unterminated raw string literal".to_string(),
+        line,
+        col,
+    })
+}
+
+/// `'` starts either a char literal or a lifetime. Heuristic (the same one
+/// rustc uses): `'x` followed by another `'` is a char literal; otherwise an
+/// ident-like run after `'` is a lifetime.
+fn lex_quote(
+    s: &mut Scanner<'_>,
+    out: &mut Lexed,
+    line: usize,
+    col: usize,
+) -> Result<(), LexError> {
+    s.bump(); // the opening '
+    match s.peek() {
+        Some('\\') => {
+            // Escaped char literal: '\n', '\\', '\'', '\x41', '\u{…}'.
+            s.bump(); // the backslash
+            match s.bump() {
+                Some('u') => {
+                    while let Some(c) = s.bump() {
+                        if c == '}' {
+                            break;
+                        }
+                    }
+                }
+                Some('x') => {
+                    s.bump();
+                    s.bump();
+                }
+                _ => {}
+            }
+            if s.bump() == Some('\'') {
+                out.tokens.push(Token {
+                    text: "'".to_string(),
+                    kind: TokenKind::Char,
+                    line,
+                    col,
+                });
+                Ok(())
+            } else {
+                Err(LexError {
+                    message: "unterminated char literal".to_string(),
+                    line,
+                    col,
+                })
+            }
+        }
+        Some(c) if is_ident_continue(c) => {
+            let mut name = String::new();
+            while let Some(c) = s.peek() {
+                if is_ident_continue(c) {
+                    name.push(c);
+                    s.bump();
+                } else {
+                    break;
+                }
+            }
+            if s.peek() == Some('\'') {
+                // 'x' — a char literal ('ab' is not valid Rust; the single
+                // trailing quote disambiguates).
+                s.bump();
+                out.tokens.push(Token {
+                    text: "'".to_string(),
+                    kind: TokenKind::Char,
+                    line,
+                    col,
+                });
+            } else {
+                out.tokens.push(Token {
+                    text: format!("'{name}"),
+                    kind: TokenKind::Lifetime,
+                    line,
+                    col,
+                });
+            }
+            Ok(())
+        }
+        _ => {
+            // A bare `'` (macro land); treat as punctuation.
+            push_punct(out, '\'', line, col);
+            Ok(())
+        }
+    }
+}
+
+/// `r` / `b` may prefix raw strings, byte strings, or raw identifiers — or
+/// just start a plain identifier.
+fn lex_maybe_prefixed(
+    s: &mut Scanner<'_>,
+    out: &mut Lexed,
+    line: usize,
+    col: usize,
+) -> Result<(), LexError> {
+    let first = s.bump().expect("caller peeked");
+    // Collect what the prefix could be: r, b, br, rb (only r, b, br are
+    // real), then decide by the next character.
+    let mut prefix = String::new();
+    prefix.push(first);
+    if first == 'b' && s.peek() == Some('r') {
+        prefix.push('r');
+        s.bump();
+    }
+    match s.peek() {
+        Some('"') => {
+            if prefix.ends_with('r') {
+                lex_raw_string(s, out, line, col, 0, &format!("{prefix}\""))
+            } else {
+                lex_string(s, out, line, col, &format!("{prefix}\""))
+            }
+        }
+        Some('#') if prefix.ends_with('r') => {
+            // Raw string with hash fence — or (for plain `r#`) a raw
+            // identifier.
+            let mut hashes = 0;
+            while s.peek() == Some('#') {
+                s.bump();
+                hashes += 1;
+            }
+            match s.peek() {
+                Some('"') => lex_raw_string(
+                    s,
+                    out,
+                    line,
+                    col,
+                    hashes,
+                    &format!("{}{}\"", prefix, "#".repeat(hashes)),
+                ),
+                Some(c) if prefix == "r" && hashes == 1 && is_ident_start(c) => {
+                    // Raw identifier r#type: lex as the ident it names.
+                    lex_ident(s, out, line, col);
+                    Ok(())
+                }
+                _ => Err(LexError {
+                    message: "stray raw-string prefix".to_string(),
+                    line,
+                    col,
+                }),
+            }
+        }
+        Some('\'') if prefix == "b" => {
+            // Byte char literal b'x'.
+            lex_quote(s, out, line, col)?;
+            // lex_quote pushed a Char/Lifetime token for the quote; either
+            // way the contents were consumed safely.
+            Ok(())
+        }
+        _ => {
+            // Just an identifier starting with r/b.
+            let mut name = prefix;
+            while let Some(c) = s.peek() {
+                if is_ident_continue(c) {
+                    name.push(c);
+                    s.bump();
+                } else {
+                    break;
+                }
+            }
+            out.tokens.push(Token {
+                text: name,
+                kind: TokenKind::Ident,
+                line,
+                col,
+            });
+            Ok(())
+        }
+    }
+}
+
+fn lex_ident(s: &mut Scanner<'_>, out: &mut Lexed, line: usize, col: usize) {
+    let mut name = String::new();
+    while let Some(c) = s.peek() {
+        if is_ident_continue(c) {
+            name.push(c);
+            s.bump();
+        } else {
+            break;
+        }
+    }
+    out.tokens.push(Token {
+        text: name,
+        kind: TokenKind::Ident,
+        line,
+        col,
+    });
+}
+
+fn lex_number(s: &mut Scanner<'_>, out: &mut Lexed, line: usize, col: usize) {
+    let mut text = String::new();
+    // Loose: digits, underscores, alphanumerics (hex, suffixes like u64),
+    // and a fractional `.` only when followed by a digit (so `0..10` lexes
+    // as number, punct, punct, number).
+    while let Some(c) = s.peek() {
+        if c.is_alphanumeric() || c == '_' {
+            text.push(c);
+            s.bump();
+        } else if c == '.' {
+            let mut lookahead = s.chars.clone();
+            lookahead.next();
+            match lookahead.peek() {
+                Some(d) if d.is_ascii_digit() && !text.contains('.') => {
+                    text.push(c);
+                    s.bump();
+                }
+                _ => break,
+            }
+        } else {
+            break;
+        }
+    }
+    out.tokens.push(Token {
+        text,
+        kind: TokenKind::Number,
+        line,
+        col,
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(source: &str) -> Vec<String> {
+        lex(source)
+            .expect("lexes")
+            .tokens
+            .into_iter()
+            .filter(|t| t.kind == TokenKind::Ident)
+            .map(|t| t.text)
+            .collect()
+    }
+
+    #[test]
+    fn code_in_strings_and_comments_is_not_tokenized() {
+        let source = r###"
+            let a = "unsafe { panic!() }";
+            // unsafe in a line comment
+            /* unsafe /* nested */ still comment */
+            let b = r#"Ordering::Relaxed "quoted" inside raw"#;
+            let c = 'u';
+            let d: &'static str = "x";
+            real_ident();
+        "###;
+        let names = idents(source);
+        assert!(!names.contains(&"unsafe".to_string()), "{names:?}");
+        assert!(!names.contains(&"panic".to_string()));
+        assert!(!names.contains(&"Ordering".to_string()));
+        assert!(names.contains(&"real_ident".to_string()));
+        assert!(names.contains(&"str".to_string()));
+    }
+
+    #[test]
+    fn comments_carry_their_line_spans() {
+        let source = "let x = 1; // trailing\n/* spans\ntwo lines */\nlet y = 2;\n";
+        let lexed = lex(source).expect("lexes");
+        assert_eq!(lexed.comments.len(), 2);
+        assert_eq!((lexed.comments[0].line, lexed.comments[0].end_line), (1, 1));
+        assert_eq!((lexed.comments[1].line, lexed.comments[1].end_line), (2, 3));
+    }
+
+    #[test]
+    fn raw_strings_with_fences_and_escapes() {
+        let source = r####"let a = r##"contains "# and \ freely"##; done();"####;
+        let names = idents(source);
+        assert_eq!(names, vec!["let", "a", "done"]);
+    }
+
+    #[test]
+    fn byte_and_raw_prefixes() {
+        let source = "let a = b\"bytes\"; let b = br#\"raw bytes\"#; let c = b'x'; r#type();";
+        let names = idents(source);
+        assert!(names.contains(&"type".to_string()));
+        assert!(!names.contains(&"bytes".to_string()));
+    }
+
+    #[test]
+    fn lifetimes_are_not_char_literals() {
+        let lexed = lex("fn f<'a>(x: &'a str) -> char { 'y' }").expect("lexes");
+        let lifetimes: Vec<_> = lexed
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokenKind::Lifetime)
+            .collect();
+        assert_eq!(lifetimes.len(), 2);
+        let chars: Vec<_> = lexed
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokenKind::Char)
+            .collect();
+        assert_eq!(chars.len(), 1);
+    }
+
+    #[test]
+    fn positions_are_one_based_lines_and_columns() {
+        let lexed = lex("ab cd\n  ef").expect("lexes");
+        let positions: Vec<_> = lexed.tokens.iter().map(|t| (t.line, t.col)).collect();
+        assert_eq!(positions, vec![(1, 1), (1, 4), (2, 3)]);
+    }
+
+    #[test]
+    fn ranges_do_not_glue_into_floats() {
+        let lexed = lex("for i in 0..10 { x(1.5); }").expect("lexes");
+        let numbers: Vec<_> = lexed
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokenKind::Number)
+            .map(|t| t.text.clone())
+            .collect();
+        assert_eq!(numbers, vec!["0", "10", "1.5"]);
+    }
+
+    #[test]
+    fn unterminated_constructs_error_instead_of_hanging() {
+        assert!(lex("let x = \"open").is_err());
+        assert!(lex("/* never closed").is_err());
+        assert!(lex("let r = r#\"open").is_err());
+    }
+}

@@ -1,0 +1,56 @@
+//! **L003** — every atomic-ordering use in library code carries a
+//! `// ORDERING:` justification. The comment must say why the chosen
+//! ordering is sufficient (what the operation synchronizes with, or why it
+//! needs no synchronization at all), turning every atomic site into a
+//! reviewable race-audit entry.
+
+use crate::source::SourceFile;
+use crate::{Diagnostic, Rule};
+
+/// The marker comment an atomic-ordering site must carry.
+pub const MARKER: &str = "ORDERING:";
+
+/// The `std::sync::atomic::Ordering` variants. `std::cmp::Ordering`'s
+/// `Less`/`Equal`/`Greater` never match, so comparator code is untouched.
+const VARIANTS: [&str; 5] = ["Relaxed", "Acquire", "Release", "AcqRel", "SeqCst"];
+
+/// Runs the rule over the parsed workspace.
+pub fn check(files: &[SourceFile]) -> Vec<Diagnostic> {
+    let mut diagnostics = Vec::new();
+    for file in files {
+        let tokens = &file.tokens;
+        for i in 0..tokens.len() {
+            // Match `Ordering :: <variant>` (`::` lexes as two `:` puncts).
+            if tokens[i].text != "Ordering" {
+                continue;
+            }
+            let Some(variant) = tokens.get(i + 3) else {
+                continue;
+            };
+            if tokens[i + 1].text != ":"
+                || tokens[i + 2].text != ":"
+                || !VARIANTS.contains(&variant.text.as_str())
+            {
+                continue;
+            }
+            if file.is_test_line(variant.line) {
+                continue;
+            }
+            if file.has_marker(variant.line, MARKER) {
+                continue;
+            }
+            diagnostics.push(Diagnostic::new(
+                Rule::L003,
+                &file.rel_path,
+                variant.line,
+                variant.col,
+                format!(
+                    "`Ordering::{}` without a `// {MARKER}` justification; state what \
+                     this synchronizes with (or why it need not)",
+                    variant.text
+                ),
+            ));
+        }
+    }
+    diagnostics
+}

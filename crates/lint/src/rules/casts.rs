@@ -1,0 +1,63 @@
+//! **L004** — no bare `as` numeric casts in the kernel/format hot paths.
+//! Silent truncation and sign-change bugs hide in `as`; lossless conversions
+//! should use `From`/`try_from`, and genuinely truncating casts must carry a
+//! `// CAST-OK:` marker explaining why the narrowing is safe.
+
+use crate::source::SourceFile;
+use crate::{Config, Diagnostic, Rule};
+
+/// The marker comment a deliberate numeric cast must carry.
+pub const MARKER: &str = "CAST-OK:";
+
+/// Primitive numeric types: `expr as <one of these>` is a flagged cast.
+const NUMERIC_TYPES: [&str; 14] = [
+    "u8", "u16", "u32", "u64", "u128", "usize", "i8", "i16", "i32", "i64", "i128", "isize", "f32",
+    "f64",
+];
+
+/// Runs the rule over the parsed workspace.
+pub fn check(config: &Config, files: &[SourceFile]) -> Vec<Diagnostic> {
+    let mut diagnostics = Vec::new();
+    for file in files {
+        if !config.cast_audited_files.contains(&file.rel_path) {
+            continue;
+        }
+        for (i, token) in file.tokens.iter().enumerate() {
+            if token.text != "as" {
+                continue;
+            }
+            let Some(target) = file.tokens.get(i + 1) else {
+                continue;
+            };
+            if !NUMERIC_TYPES.contains(&target.text.as_str()) {
+                continue;
+            }
+            // `use x as u32`-style renames don't exist for primitives, and
+            // `as` only appears as the cast operator or in imports; an import
+            // is preceded by an ident path, but so is a cast, so rely on the
+            // target-type check alone (imports of primitive names are not a
+            // thing in this codebase).
+            if file.is_test_line(token.line) {
+                continue;
+            }
+            if file.has_marker(token.line, MARKER) {
+                continue;
+            }
+            diagnostics.push(
+                Diagnostic::new(
+                    Rule::L004,
+                    &file.rel_path,
+                    token.line,
+                    token.col,
+                    format!(
+                        "bare `as {}` cast in a hot path; use `From`/`try_from`, or \
+                         mark the narrowing `// {MARKER}` with a reason",
+                        target.text
+                    ),
+                )
+                .with_note(format!("in: {}", file.line_text(token.line).trim())),
+            );
+        }
+    }
+    diagnostics
+}

@@ -1,0 +1,60 @@
+//! **L005** — every integration-test suite under `tests/tests/` must be
+//! referenced by name in the CI workflow, so a suite can never silently drop
+//! out of the gate.
+
+use crate::{Config, Diagnostic, Rule};
+
+/// Runs the rule (purely file-system based; no lexing needed).
+pub fn check(config: &Config) -> std::io::Result<Vec<Diagnostic>> {
+    let mut diagnostics = Vec::new();
+    let ci_path = config.root.join(&config.ci_file);
+    let ci_text = match std::fs::read_to_string(&ci_path) {
+        Ok(text) => text,
+        Err(_) => {
+            return Ok(vec![Diagnostic::new(
+                Rule::L005,
+                &config.ci_file,
+                1,
+                1,
+                format!("missing CI workflow `{}`", config.ci_file),
+            )]);
+        }
+    };
+
+    let suites_dir = config.root.join(&config.suites_dir);
+    let mut suites = Vec::new();
+    if let Ok(entries) = std::fs::read_dir(&suites_dir) {
+        for entry in entries.flatten() {
+            let name = entry.file_name();
+            let name = name.to_string_lossy().into_owned();
+            if let Some(stem) = name.strip_suffix(".rs") {
+                suites.push(stem.to_string());
+            }
+        }
+    }
+    suites.sort();
+
+    for stem in suites {
+        if !ci_text.contains(&stem) {
+            diagnostics.push(
+                Diagnostic::new(
+                    Rule::L005,
+                    &format!("{}/{stem}.rs", config.suites_dir),
+                    1,
+                    1,
+                    format!(
+                        "test suite `{stem}` is not referenced in `{}`; list it in the \
+                         suite enumeration so CI provably runs it",
+                        config.ci_file
+                    ),
+                )
+                .with_note(
+                    "reference the suite by name (e.g. `cargo test --test <name>` or a \
+                     suites list)"
+                        .to_string(),
+                ),
+            );
+        }
+    }
+    Ok(diagnostics)
+}

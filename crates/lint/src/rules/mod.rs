@@ -1,0 +1,9 @@
+//! The individual lint rules. Each module exposes a `check` function that
+//! inspects the parsed workspace and returns [`crate::Diagnostic`]s.
+
+pub mod atomics;
+pub mod casts;
+pub mod ci_coverage;
+pub mod panics;
+pub mod safety;
+pub mod wall;

@@ -1,0 +1,119 @@
+//! **L002** — panic-freedom in the serving-path library code. The engine's
+//! contract is that malformed inputs surface as `Err`, not process aborts;
+//! deliberate exceptions live in an allowlist with per-entry reasons.
+
+use crate::source::SourceFile;
+use crate::{Config, Diagnostic, Rule};
+
+/// Macros that abort the process (flagged when followed by `!`).
+const PANIC_MACROS: [&str; 4] = ["panic", "todo", "unimplemented", "unreachable"];
+/// Methods that abort on the error/none path (flagged after `.` or `::`).
+const PANIC_METHODS: [&str; 2] = ["unwrap", "expect"];
+
+/// Runs the rule over the parsed workspace.
+pub fn check(config: &Config, files: &[SourceFile]) -> std::io::Result<Vec<Diagnostic>> {
+    let allowlist_path = config.root.join(&config.allowlist_file);
+    let mut allowlist = match std::fs::read_to_string(&allowlist_path) {
+        Ok(text) => parse_allowlist(&text),
+        Err(_) => Vec::new(),
+    };
+
+    let mut diagnostics = Vec::new();
+    for file in files {
+        if !config
+            .panic_free_prefixes
+            .iter()
+            .any(|p| file.rel_path.starts_with(p))
+        {
+            continue;
+        }
+        for (i, token) in file.tokens.iter().enumerate() {
+            let name = token.text.as_str();
+            let is_macro = PANIC_MACROS.contains(&name)
+                && file.tokens.get(i + 1).is_some_and(|t| t.text == "!");
+            let is_method = PANIC_METHODS.contains(&name)
+                && i > 0
+                && matches!(file.tokens[i - 1].text.as_str(), "." | ":");
+            if !(is_macro || is_method) {
+                continue;
+            }
+            if file.is_test_line(token.line) {
+                continue;
+            }
+            let line_text = file.line_text(token.line);
+            if let Some(entry) = allowlist.iter_mut().find(|e| {
+                e.path == file.rel_path && !e.snippet.is_empty() && line_text.contains(&e.snippet)
+            }) {
+                entry.used = true;
+                continue;
+            }
+            diagnostics.push(
+                Diagnostic::new(
+                    Rule::L002,
+                    &file.rel_path,
+                    token.line,
+                    token.col,
+                    format!(
+                        "`{name}` can abort the serving path; return an error instead \
+                         (or allowlist it with a reason in `{}`)",
+                        config.allowlist_file
+                    ),
+                )
+                .with_note(format!("in: {}", line_text.trim())),
+            );
+        }
+    }
+
+    // Unused entries are findings too: the allowlist must shrink as code
+    // improves, never accrete dead exemptions.
+    for entry in &allowlist {
+        if !entry.used {
+            diagnostics.push(Diagnostic::new(
+                Rule::L002,
+                &config.allowlist_file,
+                entry.list_line,
+                1,
+                format!(
+                    "unused allowlist entry for `{}` (snippet `{}`); remove it",
+                    entry.path, entry.snippet
+                ),
+            ));
+        }
+    }
+    Ok(diagnostics)
+}
+
+struct AllowEntry {
+    path: String,
+    snippet: String,
+    list_line: usize,
+    used: bool,
+}
+
+/// Parses `path :: snippet :: reason` lines; `#` starts a comment. An entry
+/// exempts every flagged call in `path` whose source line contains `snippet`,
+/// and must carry a non-empty reason to count at all.
+fn parse_allowlist(text: &str) -> Vec<AllowEntry> {
+    let mut entries = Vec::new();
+    for (idx, line) in text.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let mut parts = line.splitn(3, " :: ");
+        let (Some(path), Some(snippet), Some(reason)) = (parts.next(), parts.next(), parts.next())
+        else {
+            continue;
+        };
+        if reason.trim().is_empty() {
+            continue;
+        }
+        entries.push(AllowEntry {
+            path: path.trim().to_string(),
+            snippet: snippet.trim().to_string(),
+            list_line: idx + 1,
+            used: false,
+        });
+    }
+    entries
+}

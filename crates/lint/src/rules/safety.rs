@@ -1,0 +1,141 @@
+//! **L001** — every `unsafe` site carries a `// SAFETY:` comment and an
+//! `UNSAFE_AUDIT.md` entry; every audit entry points at a live site.
+
+use crate::source::SourceFile;
+use crate::{Config, Diagnostic, Rule};
+use std::collections::BTreeSet;
+
+/// The marker comment an `unsafe` site must carry.
+pub const MARKER: &str = "SAFETY:";
+
+/// Runs the rule over the parsed workspace.
+pub fn check(config: &Config, files: &[SourceFile]) -> std::io::Result<Vec<Diagnostic>> {
+    let mut diagnostics = Vec::new();
+    // One site per (path, line): `unsafe impl … { unsafe fn … }` on a single
+    // line is one audit entry, not two.
+    let mut sites: BTreeSet<(String, usize)> = BTreeSet::new();
+    for file in files {
+        let mut flagged_lines = BTreeSet::new();
+        for token in &file.tokens {
+            if token.text != "unsafe" {
+                continue;
+            }
+            sites.insert((file.rel_path.clone(), token.line));
+            if !flagged_lines.insert(token.line) {
+                continue;
+            }
+            if !file.has_marker(token.line, MARKER) {
+                diagnostics.push(Diagnostic::new(
+                    Rule::L001,
+                    &file.rel_path,
+                    token.line,
+                    token.col,
+                    format!(
+                        "`unsafe` without a `// {MARKER}` comment; justify why the \
+                         invariants hold"
+                    ),
+                ));
+            }
+        }
+    }
+
+    let audit_path = config.root.join(&config.audit_file);
+    let audit = match std::fs::read_to_string(&audit_path) {
+        Ok(text) => text,
+        Err(_) => {
+            let mut d = Diagnostic::new(
+                Rule::L001,
+                &config.audit_file,
+                1,
+                1,
+                format!("missing `{}` unsafe-site inventory", config.audit_file),
+            );
+            if !sites.is_empty() {
+                d = d.with_note(format!(
+                    "{} unsafe site(s) in the workspace need entries",
+                    sites.len()
+                ));
+            }
+            diagnostics.push(d);
+            return Ok(diagnostics);
+        }
+    };
+
+    let entries = parse_audit_entries(&audit);
+    for (path, line) in &sites {
+        if !entries
+            .iter()
+            .any(|e| e.site.0 == *path && e.site.1 == *line)
+        {
+            diagnostics.push(
+                Diagnostic::new(
+                    Rule::L001,
+                    path,
+                    *line,
+                    1,
+                    format!(
+                        "unsafe site not listed in `{}`; add a `{path}:{line}` entry",
+                        config.audit_file
+                    ),
+                )
+                .with_note("the audit inventory must name every unsafe site".to_string()),
+            );
+        }
+    }
+    for entry in &entries {
+        let (path, line) = &entry.site;
+        if !sites.contains(&(path.clone(), *line)) {
+            diagnostics.push(
+                Diagnostic::new(
+                    Rule::L001,
+                    &config.audit_file,
+                    entry.audit_line,
+                    1,
+                    format!(
+                        "stale audit entry `{path}:{line}`: no unsafe site there; \
+                         update the inventory"
+                    ),
+                )
+                .with_note(
+                    "entries use exact line numbers so the audit is re-reviewed when \
+                     code moves"
+                        .to_string(),
+                ),
+            );
+        }
+    }
+    Ok(diagnostics)
+}
+
+struct AuditEntry {
+    /// `(workspace-relative path, line)` named by the entry.
+    site: (String, usize),
+    /// Where in the audit file the entry appears.
+    audit_line: usize,
+}
+
+/// Extracts every backtick-quoted `` `path:line` `` reference from the audit
+/// markdown.
+fn parse_audit_entries(audit: &str) -> Vec<AuditEntry> {
+    let mut entries = Vec::new();
+    for (idx, line) in audit.lines().enumerate() {
+        let mut rest = line;
+        while let Some(open) = rest.find('`') {
+            let after = &rest[open + 1..];
+            let Some(close) = after.find('`') else { break };
+            let code = &after[..close];
+            if let Some((path, line_no)) = code.rsplit_once(':') {
+                if let Ok(line_no) = line_no.parse::<usize>() {
+                    if path.ends_with(".rs") {
+                        entries.push(AuditEntry {
+                            site: (path.to_string(), line_no),
+                            audit_line: idx + 1,
+                        });
+                    }
+                }
+            }
+            rest = &after[close + 1..];
+        }
+    }
+    entries
+}

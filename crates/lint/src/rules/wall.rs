@@ -1,0 +1,55 @@
+//! **L006** — the strict lint wall stands. Every workspace crate root must
+//! carry the wall's inner attributes, and every crate root must be covered
+//! by the wall configuration (so a new crate can't dodge it by omission).
+
+use crate::source::SourceFile;
+use crate::{Config, Diagnostic, Rule};
+
+/// Runs the rule over the parsed workspace.
+pub fn check(config: &Config, files: &[SourceFile]) -> Vec<Diagnostic> {
+    let mut diagnostics = Vec::new();
+    for (lib_path, attrs) in &config.wall {
+        let Some(file) = files.iter().find(|f| &f.rel_path == lib_path) else {
+            diagnostics.push(Diagnostic::new(
+                Rule::L006,
+                lib_path,
+                1,
+                1,
+                "crate root named in the lint-wall config does not exist".to_string(),
+            ));
+            continue;
+        };
+        for attr in attrs {
+            if !file.lines.iter().any(|l| l.trim() == *attr) {
+                diagnostics.push(Diagnostic::new(
+                    Rule::L006,
+                    lib_path,
+                    1,
+                    1,
+                    format!("crate root is missing the lint-wall attribute `{attr}`"),
+                ));
+            }
+        }
+    }
+
+    // Coverage check: any crate root not named in the wall config is a
+    // finding — new crates must opt in to the wall explicitly.
+    for file in files {
+        let is_crate_root = file.rel_path.ends_with("/src/lib.rs");
+        if !is_crate_root {
+            continue;
+        }
+        if !config.wall.iter().any(|(p, _)| p == &file.rel_path) {
+            diagnostics.push(Diagnostic::new(
+                Rule::L006,
+                &file.rel_path,
+                1,
+                1,
+                "crate root is not covered by the lint-wall configuration; add it to \
+                 `Config::workspace`"
+                    .to_string(),
+            ));
+        }
+    }
+    diagnostics
+}

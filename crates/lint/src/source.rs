@@ -1,0 +1,336 @@
+//! Workspace file discovery and the per-file view the rules operate on.
+
+use crate::lexer::{lex, Comment, LexError, Token, TokenKind};
+use std::path::{Path, PathBuf};
+
+/// A lexed workspace source file, with the derived per-line views the rules
+/// need: which lines are comments (and what they say), and which lines
+/// belong to `#[cfg(test)]` items.
+#[derive(Debug)]
+pub struct SourceFile {
+    /// Workspace-relative path with `/` separators (stable across hosts, and
+    /// the form used in `UNSAFE_AUDIT.md` and the allowlist).
+    pub rel_path: String,
+    /// The file's lines (for snippet matching in allowlists).
+    pub lines: Vec<String>,
+    /// All non-comment tokens, in order.
+    pub tokens: Vec<Token>,
+    /// All comments, in order.
+    pub comments: Vec<Comment>,
+    /// `test_lines[line - 1]` is true when the line sits inside a
+    /// `#[cfg(test)]` item (or the whole file is test/bench/example code).
+    test_lines: Vec<bool>,
+    /// `comment_lines[line - 1]` holds the concatenated text of every
+    /// comment covering that line, if any.
+    comment_lines: Vec<Option<String>>,
+    /// `code_lines[line - 1]` is true when the line carries at least one
+    /// non-comment token.
+    code_lines: Vec<bool>,
+}
+
+impl SourceFile {
+    /// Lexes `source` into a [`SourceFile`]. `all_test` marks every line as
+    /// test code (integration tests, benches, examples).
+    pub fn parse(rel_path: String, source: &str, all_test: bool) -> Result<SourceFile, LexError> {
+        let lexed = lex(source)?;
+        let lines: Vec<String> = source.lines().map(str::to_string).collect();
+        let num_lines = lines.len().max(1);
+        let mut comment_lines: Vec<Option<String>> = vec![None; num_lines];
+        for comment in &lexed.comments {
+            for line in comment.line..=comment.end_line.min(num_lines) {
+                match &mut comment_lines[line - 1] {
+                    Some(text) => {
+                        text.push('\n');
+                        text.push_str(&comment.text);
+                    }
+                    slot => *slot = Some(comment.text.clone()),
+                }
+            }
+        }
+        let test_lines = if all_test {
+            vec![true; num_lines]
+        } else {
+            cfg_test_lines(&lexed.tokens, num_lines)
+        };
+        let mut code_lines = vec![false; num_lines];
+        for token in &lexed.tokens {
+            if token.line <= num_lines {
+                code_lines[token.line - 1] = true;
+            }
+        }
+        Ok(SourceFile {
+            rel_path,
+            lines,
+            tokens: lexed.tokens,
+            comments: lexed.comments,
+            test_lines,
+            comment_lines,
+            code_lines,
+        })
+    }
+
+    /// Whether 1-based `line` belongs to test code.
+    pub fn is_test_line(&self, line: usize) -> bool {
+        self.test_lines
+            .get(line.wrapping_sub(1))
+            .copied()
+            .unwrap_or(false)
+    }
+
+    /// The text of the comment(s) covering 1-based `line`, if any.
+    pub fn comment_on(&self, line: usize) -> Option<&str> {
+        self.comment_lines
+            .get(line.wrapping_sub(1))
+            .and_then(|slot| slot.as_deref())
+    }
+
+    /// The source text of 1-based `line` (empty for out-of-range).
+    pub fn line_text(&self, line: usize) -> &str {
+        self.lines
+            .get(line.wrapping_sub(1))
+            .map(String::as_str)
+            .unwrap_or("")
+    }
+
+    /// Whether a justification `marker` (e.g. `"SAFETY:"`) is attached to the
+    /// site on 1-based `line`: either a comment on the line itself (trailing,
+    /// or mid-statement directly above the flagged expression) or in the
+    /// contiguous comment block ending on the previous line.
+    pub fn has_marker(&self, line: usize, marker: &str) -> bool {
+        if self
+            .comment_on(line)
+            .is_some_and(|text| text.contains(marker))
+        {
+            return true;
+        }
+        let mut cursor = line;
+        while cursor > 1 {
+            cursor -= 1;
+            let has_code = self.code_lines.get(cursor - 1).copied().unwrap_or(false);
+            match self.comment_on(cursor) {
+                // Only comment-only lines form the attached block: a comment
+                // trailing a previous *code* line belongs to that line.
+                Some(text) if !has_code => {
+                    if text.contains(marker) {
+                        return true;
+                    }
+                }
+                _ => {
+                    // Blank lines do not break a comment block; code does.
+                    if !has_code && self.line_text(cursor).trim().is_empty() {
+                        continue;
+                    }
+                    return false;
+                }
+            }
+        }
+        false
+    }
+}
+
+/// Derives which lines sit inside `#[cfg(test)]` items by brace-matching the
+/// block that follows each such attribute.
+fn cfg_test_lines(tokens: &[Token], num_lines: usize) -> Vec<bool> {
+    let mut test_lines = vec![false; num_lines];
+    let mut i = 0;
+    while i < tokens.len() {
+        if let Some(after_attr) = match_cfg_test_attr(tokens, i) {
+            // Find the item's opening brace (a `#[cfg(test)] mod m;` without
+            // a body would hit `;` first — mark just the attribute lines).
+            let mut j = after_attr;
+            let mut open = None;
+            while j < tokens.len() {
+                match tokens[j].text.as_str() {
+                    "{" => {
+                        open = Some(j);
+                        break;
+                    }
+                    ";" => break,
+                    _ => j += 1,
+                }
+            }
+            let end_line = match open {
+                Some(open) => {
+                    let mut depth = 0usize;
+                    let mut k = open;
+                    let mut end = tokens[open].line;
+                    while k < tokens.len() {
+                        match tokens[k].text.as_str() {
+                            "{" => depth += 1,
+                            "}" => {
+                                depth -= 1;
+                                if depth == 0 {
+                                    end = tokens[k].line;
+                                    break;
+                                }
+                            }
+                            _ => {}
+                        }
+                        k = k.saturating_add(1);
+                    }
+                    if k >= tokens.len() {
+                        // Unbalanced braces: conservatively run to EOF.
+                        end = num_lines;
+                    }
+                    end
+                }
+                None => tokens.get(j).map_or(num_lines, |t| t.line),
+            };
+            for line in tokens[i].line..=end_line.min(num_lines) {
+                test_lines[line - 1] = true;
+            }
+            i = after_attr;
+        } else {
+            i += 1;
+        }
+    }
+    test_lines
+}
+
+/// If tokens at `i` start a `#[cfg(…test…)]` attribute, returns the index
+/// just past its closing `]`.
+fn match_cfg_test_attr(tokens: &[Token], i: usize) -> Option<usize> {
+    if tokens.get(i)?.text != "#" || tokens.get(i + 1)?.text != "[" {
+        return None;
+    }
+    if tokens.get(i + 2)?.text != "cfg" || tokens.get(i + 3)?.text != "(" {
+        return None;
+    }
+    // Scan to the matching `]`, looking for a `test` ident anywhere inside
+    // (covers `cfg(test)` and `cfg(any(test, …))`).
+    let mut depth = 1usize; // the `[`
+    let mut j = i + 3;
+    let mut saw_test = false;
+    while depth > 0 {
+        j += 1;
+        let token = tokens.get(j)?;
+        match token.text.as_str() {
+            "[" => depth += 1,
+            "]" => depth -= 1,
+            "test" if token.kind == TokenKind::Ident => saw_test = true,
+            _ => {}
+        }
+    }
+    saw_test.then_some(j + 1)
+}
+
+/// Recursively collects workspace `.rs` files under `root`, skipping build
+/// output, VCS internals, and this crate's lint-rule fixtures (which contain
+/// seeded violations by design).
+pub fn discover_rs_files(root: &Path) -> std::io::Result<Vec<PathBuf>> {
+    let mut out = Vec::new();
+    let mut stack = vec![root.to_path_buf()];
+    while let Some(dir) = stack.pop() {
+        for entry in std::fs::read_dir(&dir)? {
+            let entry = entry?;
+            let path = entry.path();
+            let name = entry.file_name();
+            let name = name.to_string_lossy();
+            if entry.file_type()?.is_dir() {
+                if name == "target" || name == ".git" || name == "fixtures" {
+                    continue;
+                }
+                stack.push(path);
+            } else if name.ends_with(".rs") {
+                out.push(path);
+            }
+        }
+    }
+    out.sort();
+    Ok(out)
+}
+
+/// Converts an absolute path under `root` to the workspace-relative,
+/// `/`-separated form used in diagnostics and inventories.
+pub fn rel_path(root: &Path, path: &Path) -> String {
+    let rel = path.strip_prefix(root).unwrap_or(path);
+    rel.components()
+        .map(|c| c.as_os_str().to_string_lossy())
+        .collect::<Vec<_>>()
+        .join("/")
+}
+
+/// Whether a workspace-relative path is integration-test, bench, or example
+/// code (every line counts as test code for the panic-freedom and atomics
+/// rules).
+pub fn is_test_path(rel: &str) -> bool {
+    rel.starts_with("tests/")
+        || rel.contains("/tests/")
+        || rel.contains("/benches/")
+        || rel.starts_with("examples/")
+        || rel.contains("/examples/")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn file(source: &str) -> SourceFile {
+        SourceFile::parse("test.rs".to_string(), source, false).expect("parses")
+    }
+
+    #[test]
+    fn cfg_test_mod_lines_are_marked() {
+        let f = file(
+            "pub fn library() {}\n\
+             #[cfg(test)]\n\
+             mod tests {\n\
+                 fn helper() {}\n\
+             }\n\
+             pub fn more_library() {}\n",
+        );
+        assert!(!f.is_test_line(1));
+        assert!(f.is_test_line(2));
+        assert!(f.is_test_line(3));
+        assert!(f.is_test_line(4));
+        assert!(f.is_test_line(5));
+        assert!(!f.is_test_line(6));
+    }
+
+    #[test]
+    fn cfg_any_including_test_is_marked() {
+        let f = file("#[cfg(any(test, feature = \"x\"))]\nmod helpers {\n fn h() {}\n}\n");
+        assert!(f.is_test_line(3));
+    }
+
+    #[test]
+    fn non_test_cfg_is_not_marked() {
+        let f = file("#[cfg(unix)]\nmod unix_only {\n fn h() {}\n}\n");
+        assert!(!f.is_test_line(3));
+    }
+
+    #[test]
+    fn markers_attach_through_comment_blocks_and_trailing_comments() {
+        let f = file(
+            "// SAFETY: the pointer is valid because\n\
+             // the latch blocks until completion.\n\
+             fn site_below_block() {}\n\
+             fn trailing() {} // SAFETY: inline case\n\
+             fn bare() {}\n",
+        );
+        assert!(f.has_marker(3, "SAFETY:"));
+        assert!(f.has_marker(4, "SAFETY:"));
+        assert!(!f.has_marker(5, "SAFETY:"));
+    }
+
+    #[test]
+    fn markers_do_not_leak_across_code_lines() {
+        let f = file(
+            "// SAFETY: belongs to the next line only\n\
+             fn documented() {}\n\
+             fn undocumented() {}\n",
+        );
+        assert!(f.has_marker(2, "SAFETY:"));
+        assert!(!f.has_marker(3, "SAFETY:"));
+    }
+
+    #[test]
+    fn mid_statement_marker_on_the_line_above_attaches() {
+        let f = file(
+            "let i = cursor\n\
+             // ORDERING: claim index only; results merge under the latch.\n\
+             .fetch_add(1, Ordering::Relaxed);\n",
+        );
+        assert!(f.has_marker(3, "ORDERING:"));
+    }
+}

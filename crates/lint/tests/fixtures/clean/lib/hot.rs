@@ -1,0 +1,13 @@
+pub fn trailing(x: u64) -> u32 {
+    x as u32 // CAST-OK: fixture narrowing justified inline
+}
+
+pub fn block_above(x: u64) -> u16 {
+    // CAST-OK: fixture narrowing justified by the comment block
+    // ending on the previous line.
+    x as u16
+}
+
+pub fn widen(x: u32) -> u64 {
+    u64::from(x)
+}

@@ -1,0 +1,11 @@
+//! Clean fixture crate root: the full wall, plus decoys that merely
+//! mention trigger words inside comments and string literals.
+#![deny(unsafe_op_in_unsafe_fn)]
+#![warn(missing_debug_implementations)]
+
+/// Strings and comments mentioning the trigger words must stay quiet.
+pub fn decoys() -> &'static str {
+    // A line comment saying .unwrap() or panic!("x") is not a finding.
+    /* Nor is a block comment with unsafe { } or Ordering::Relaxed. */
+    "string decoys: .unwrap() panic!(\"x\") unsafe { } Ordering::SeqCst as u32"
+}

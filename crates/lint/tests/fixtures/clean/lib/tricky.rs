@@ -1,0 +1,50 @@
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Raw strings mentioning markers and triggers are inert.
+pub const DECOY: &str = r#"unsafe { } Ordering::Relaxed .unwrap() as u64"#;
+
+pub fn read_byte(p: *const u8) -> u8 {
+    // SAFETY: fixture callers pass a pointer to a live byte; this block
+    // also proves marker attachment through a multi-line comment block.
+    unsafe { *p }
+}
+
+pub fn counter_bump(c: &AtomicUsize) -> usize {
+    c.fetch_add(1, Ordering::Relaxed) // ORDERING: monotonic fixture counter; needs no synchronization
+}
+
+pub fn acquire_load(c: &AtomicUsize) -> usize {
+    // ORDERING: pairs with a Release store elsewhere; the blank line below
+    // must not detach this justification from the load.
+
+    c.load(Ordering::Acquire)
+}
+
+/// `std::cmp::Ordering` variants never look like atomic orderings.
+pub fn compare(a: i32, b: i32) -> std::cmp::Ordering {
+    a.cmp(&b)
+}
+
+/// Idents that merely contain a panic-method name are not findings.
+pub fn unwrap_like_names(v: Option<i32>) -> i32 {
+    v.unwrap_or_default()
+}
+
+/// Covered by the fixture allowlist entry, with a reason.
+pub fn allowlisted(v: Option<u32>) -> u32 {
+    v.expect("fixture invariant")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn panics_and_bare_orderings_are_fine_in_tests() {
+        assert_eq!(read_byte(&7u8), 7);
+        let v: Vec<i32> = vec![1];
+        v.first().unwrap();
+        let c = AtomicUsize::new(0);
+        c.fetch_add(1, Ordering::Relaxed);
+    }
+}

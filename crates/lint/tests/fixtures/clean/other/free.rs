@@ -1,0 +1,9 @@
+// Outside the panic-free prefixes and the cast-audited file list: bare
+// casts and unwraps here are not findings.
+pub fn last(v: &[u8]) -> u8 {
+    *v.last().unwrap()
+}
+
+pub fn widen_len(v: &[u8]) -> u64 {
+    v.len() as u64
+}

@@ -1,0 +1,8 @@
+// Vendored-prefix file: modelled external code is exempt from every rule.
+pub fn evil(p: *const u8) -> u8 {
+    let x = unsafe { *p };
+    if x == 255 {
+        panic!("vendored shims are exempt");
+    }
+    x
+}

@@ -1,0 +1,2 @@
+//! A crate root that is not named in the lint-wall configuration, so the
+//! L006 coverage check fires.

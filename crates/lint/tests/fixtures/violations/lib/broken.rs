@@ -1,0 +1,1 @@
+pub const MESSAGE: &str = "unterminated

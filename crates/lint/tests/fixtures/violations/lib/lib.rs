@@ -1,0 +1,3 @@
+//! Fixture crate root carrying only half the lint wall, so L006 reports
+//! the missing `missing_debug_implementations` attribute.
+#![deny(unsafe_op_in_unsafe_fn)]

@@ -1,0 +1,7 @@
+pub fn first(v: &[i32]) -> i32 {
+    *v.first().unwrap()
+}
+
+pub fn boom() {
+    panic!("fixture violation");
+}

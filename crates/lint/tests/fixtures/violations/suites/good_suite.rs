@@ -1,0 +1,1 @@
+pub fn referenced_in_ci() {}

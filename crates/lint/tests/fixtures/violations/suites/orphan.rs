@@ -1,0 +1,1 @@
+pub fn not_referenced_anywhere() {}

@@ -1,0 +1,131 @@
+//! Fixture-driven rule tests: every rule must fire on the seeded violations
+//! and stay quiet on the tricky negatives (markers inside strings, raw
+//! strings and block comments, `#[cfg(test)]` code, vendored prefixes,
+//! blank-line-separated justification blocks).
+//!
+//! The fixture trees under `tests/fixtures/` are deliberately excluded from
+//! the real workspace walk (`discover_rs_files` skips `fixtures` dirs), so
+//! the seeded violations never leak into `cargo run -p bqo-lint`.
+
+use bqo_lint::{run, Config, Diagnostic, Rule, WALL_BASE};
+use std::path::PathBuf;
+
+fn fixture_config(name: &str) -> Config {
+    Config {
+        root: PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+            .join("tests/fixtures")
+            .join(name),
+        audit_file: "UNSAFE_AUDIT.md".to_string(),
+        allowlist_file: "panic_allowlist.txt".to_string(),
+        panic_free_prefixes: vec!["lib/".to_string()],
+        cast_audited_files: vec!["lib/hot.rs".to_string()],
+        ci_file: "ci.yml".to_string(),
+        suites_dir: "suites".to_string(),
+        wall: vec![("lib/lib.rs".to_string(), WALL_BASE.to_vec())],
+        vendored_prefixes: vec!["vendored/".to_string()],
+    }
+}
+
+fn at(findings: &[Diagnostic], rule: Rule) -> Vec<&Diagnostic> {
+    findings.iter().filter(|d| d.rule == rule).collect()
+}
+
+#[test]
+fn every_rule_fires_on_the_violation_fixture() {
+    let findings = run(&fixture_config("violations")).expect("fixture walk");
+
+    // L001: missing SAFETY marker + missing audit entry on the live site,
+    // plus the stale inventory entry pointing at nothing.
+    let l001 = at(&findings, Rule::L001);
+    assert_eq!(l001.len(), 3, "{l001:#?}");
+    assert!(l001
+        .iter()
+        .any(|d| d.path == "lib/unsafe_bad.rs" && d.line == 2 && d.message.contains("SAFETY")));
+    assert!(l001
+        .iter()
+        .any(|d| d.path == "lib/unsafe_bad.rs" && d.line == 2 && d.message.contains("not listed")));
+    assert!(l001
+        .iter()
+        .any(|d| d.path == "UNSAFE_AUDIT.md" && d.message.contains("stale audit entry")));
+
+    // L002: the unwrap, the panic!, and the unused allowlist entry. The
+    // empty-reason entry must not exempt the unwrap.
+    let l002 = at(&findings, Rule::L002);
+    assert_eq!(l002.len(), 3, "{l002:#?}");
+    assert!(l002
+        .iter()
+        .any(|d| d.path == "lib/panics.rs" && d.line == 2 && d.message.contains("`unwrap`")));
+    assert!(l002
+        .iter()
+        .any(|d| d.path == "lib/panics.rs" && d.line == 6 && d.message.contains("`panic`")));
+    assert!(l002
+        .iter()
+        .any(|d| d.path == "panic_allowlist.txt" && d.message.contains("unused allowlist entry")));
+
+    // L003: the unannotated Relaxed fetch_add.
+    let l003 = at(&findings, Rule::L003);
+    assert_eq!(l003.len(), 1, "{l003:#?}");
+    assert_eq!((l003[0].path.as_str(), l003[0].line), ("lib/atomics.rs", 4));
+    assert!(l003[0].message.contains("Ordering::Relaxed"));
+
+    // L004: the bare narrowing cast in the audited hot file.
+    let l004 = at(&findings, Rule::L004);
+    assert_eq!(l004.len(), 1, "{l004:#?}");
+    assert_eq!((l004[0].path.as_str(), l004[0].line), ("lib/hot.rs", 2));
+    assert!(l004[0].message.contains("`as u32`"));
+
+    // L005: the suite CI never mentions.
+    let l005 = at(&findings, Rule::L005);
+    assert_eq!(l005.len(), 1, "{l005:#?}");
+    assert!(l005[0].message.contains("`orphan`"));
+
+    // L006: the half-built wall and the uncovered crate root.
+    let l006 = at(&findings, Rule::L006);
+    assert_eq!(l006.len(), 2, "{l006:#?}");
+    assert!(l006
+        .iter()
+        .any(|d| d.path == "lib/lib.rs" && d.message.contains("missing_debug_implementations")));
+    assert!(l006
+        .iter()
+        .any(|d| d.path == "extra/src/lib.rs" && d.message.contains("not covered")));
+
+    // Lex: the unterminated string literal is reported, not a crash.
+    let lex = at(&findings, Rule::Lex);
+    assert_eq!(lex.len(), 1, "{lex:#?}");
+    assert_eq!(lex[0].path, "lib/broken.rs");
+}
+
+#[test]
+fn tricky_negatives_stay_quiet() {
+    let findings = run(&fixture_config("clean")).expect("fixture walk");
+    assert!(
+        findings.is_empty(),
+        "clean fixture produced findings:\n{}",
+        findings
+            .iter()
+            .map(|d| d.to_string())
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+}
+
+#[test]
+fn diagnostics_render_rustc_style() {
+    let findings = run(&fixture_config("violations")).expect("fixture walk");
+    let cast = at(&findings, Rule::L004)[0].to_string();
+    assert!(cast.starts_with("error[L004]: "), "{cast}");
+    assert!(cast.contains("\n  --> lib/hot.rs:2:"), "{cast}");
+    assert!(cast.contains("\n  note: in: x as u32"), "{cast}");
+}
+
+#[test]
+fn findings_are_sorted_by_path_and_position() {
+    let findings = run(&fixture_config("violations")).expect("fixture walk");
+    let keys: Vec<_> = findings
+        .iter()
+        .map(|d| (d.path.clone(), d.line, d.col))
+        .collect();
+    let mut sorted = keys.clone();
+    sorted.sort();
+    assert_eq!(keys, sorted);
+}

@@ -18,6 +18,9 @@
 //! used by the tests and the Table 2 experiment to verify that the candidate
 //! sets really contain a minimum-cost plan.
 
+#![deny(unsafe_op_in_unsafe_fn)]
+#![warn(missing_debug_implementations)]
+
 pub mod candidates;
 pub mod costed_bv;
 pub mod dp;

@@ -16,9 +16,13 @@ use std::collections::{BTreeSet, HashMap};
 /// One equi-join condition `left_table.left_column = right_table.right_column`.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct JoinCondition {
+    /// Table on the left-hand side of the equality.
     pub left_table: String,
+    /// Column of `left_table` being joined.
     pub left_column: String,
+    /// Table on the right-hand side of the equality.
     pub right_table: String,
+    /// Column of `right_table` being joined.
     pub right_column: String,
 }
 
@@ -43,9 +47,13 @@ impl JoinCondition {
 /// predicates restrict them.
 #[derive(Debug, Clone, Default)]
 pub struct QuerySpec {
+    /// Query name (used for plan-cache keys and reporting).
     pub name: String,
+    /// Tables referenced by the query.
     pub tables: Vec<String>,
+    /// Equi-join conditions between the tables.
     pub joins: Vec<JoinCondition>,
+    /// Local predicates, keyed by table name.
     pub predicates: HashMap<String, Vec<ColumnPredicate>>,
 }
 

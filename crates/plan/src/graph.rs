@@ -52,10 +52,15 @@ impl fmt::Display for ScanBacking {
 /// function starts from for base tables.
 #[derive(Debug, Clone)]
 pub struct RelationInfo {
+    /// Table name in the catalog.
     pub name: String,
+    /// Cardinality of the base table, `|R|`.
     pub base_rows: f64,
+    /// Estimated cardinality after local predicates.
     pub filtered_rows: f64,
+    /// Local predicates restricting this relation.
     pub predicates: Vec<ColumnPredicate>,
+    /// Whether the scan reads memory or a columnar file.
     pub backing: ScanBacking,
 }
 
@@ -98,9 +103,13 @@ impl RelationInfo {
 /// the statistics the estimator needs.
 #[derive(Debug, Clone)]
 pub struct JoinEdge {
+    /// Relation on the left-hand side of the equality.
     pub left: RelId,
+    /// Relation on the right-hand side of the equality.
     pub right: RelId,
+    /// Join column of `left`.
     pub left_column: String,
+    /// Join column of `right`.
     pub right_column: String,
     /// Distinct values of `left_column` in the *base* (unfiltered) relation.
     pub left_distinct: f64,
@@ -205,10 +214,16 @@ impl JoinEdge {
 pub enum GraphShape {
     /// Star query with PKFK joins (Definition 1): one fact table, every
     /// dimension joins only the fact on the dimension's key.
-    Star { fact: RelId, dimensions: Vec<RelId> },
+    Star {
+        /// The fact table every dimension joins.
+        fact: RelId,
+        /// The dimension tables.
+        dimensions: Vec<RelId>,
+    },
     /// Snowflake query with PKFK joins (Definition 2): one fact table and
     /// chains ("branches") of dimensions.
     Snowflake {
+        /// The fact table the branches hang off.
         fact: RelId,
         /// Each branch ordered from the relation adjacent to the fact
         /// (`R_{i,1}`) outwards (`R_{i,n_i}`).
@@ -216,7 +231,10 @@ pub enum GraphShape {
     },
     /// A single chain `R_0 -> R_1 -> ... -> R_n` (Definition 4), ordered
     /// from `R_0`.
-    Branch { order: Vec<RelId> },
+    Branch {
+        /// The chain ordered from `R_0`.
+        order: Vec<RelId>,
+    },
     /// Anything else: multiple fact tables, dimension-dimension cycles,
     /// non-PKFK joins, disconnected graphs, ...
     General,

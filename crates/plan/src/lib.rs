@@ -24,6 +24,10 @@
 //! * [`unparse`] — [`QuerySpec::to_sql`] / `Display`: renders a spec back to
 //!   SQL text for the `bqo-sql` frontend's round-trip fuzzing.
 
+#![deny(unsafe_op_in_unsafe_fn)]
+#![warn(missing_debug_implementations)]
+#![warn(missing_docs)]
+
 pub mod builder;
 pub mod cost;
 pub mod estimator;

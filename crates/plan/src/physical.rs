@@ -23,7 +23,9 @@ impl fmt::Display for NodeId {
 /// A fully qualified column reference `relation.column`.
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct ColumnRef {
+    /// The relation the column belongs to.
     pub relation: RelId,
+    /// Column name within that relation.
     pub column: String,
 }
 
@@ -40,7 +42,9 @@ impl ColumnRef {
 /// One equi-join key pair of a hash join: `build.column = probe.column`.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct JoinKeyPair {
+    /// Key column on the build (hashed) side.
     pub build: ColumnRef,
+    /// Key column on the probe (streamed) side.
     pub probe: ColumnRef,
 }
 
@@ -49,11 +53,17 @@ pub struct JoinKeyPair {
 pub enum PhysicalNode {
     /// Scan of a base relation, applying its local predicates and any
     /// bitvector filters pushed down to it.
-    Scan { relation: RelId },
+    Scan {
+        /// The relation being scanned.
+        relation: RelId,
+    },
     /// Hash join: build a hash table from `build`, probe with `probe`.
     HashJoin {
+        /// Node producing the build side.
         build: NodeId,
+        /// Node producing the probe side.
         probe: NodeId,
+        /// Equi-join key pairs.
         keys: Vec<JoinKeyPair>,
     },
 }
@@ -80,6 +90,7 @@ pub struct BitvectorPlacement {
 pub struct PhysicalPlan {
     nodes: Vec<PhysicalNode>,
     root: Option<NodeId>,
+    /// Bitvector filter placements chosen by Algorithm 1 for this plan.
     pub placements: Vec<BitvectorPlacement>,
 }
 

@@ -6,11 +6,17 @@ use std::collections::BTreeMap;
 /// Comparison operators supported by local predicates.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum CompareOp {
+    /// `=`
     Eq,
+    /// `<>`
     NotEq,
+    /// `<`
     Lt,
+    /// `<=`
     Le,
+    /// `>`
     Gt,
+    /// `>=`
     Ge,
 }
 
@@ -120,8 +126,11 @@ impl Params {
 /// form.
 #[derive(Debug, Clone, PartialEq)]
 pub struct ColumnPredicate {
+    /// Column the predicate restricts.
     pub column: String,
+    /// Comparison operator.
     pub op: CompareOp,
+    /// Literal or `$param` placeholder compared against.
     pub value: PredicateValue,
 }
 

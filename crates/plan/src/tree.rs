@@ -112,9 +112,13 @@ impl fmt::Display for RightDeepTree {
 /// build side; the right child is the probe side.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum JoinTree {
+    /// A base relation.
     Leaf(RelId),
+    /// A hash join of two subtrees.
     Join {
+        /// Build-side subtree (hashed at open).
         build: Box<JoinTree>,
+        /// Probe-side subtree (streamed).
         probe: Box<JoinTree>,
     },
 }

@@ -31,6 +31,9 @@
 //! for most callers — `Engine::prepare_sql` / `Engine::bind_sql` in
 //! `bqo-core`, which add plan caching and execution.
 
+#![deny(unsafe_op_in_unsafe_fn)]
+#![warn(missing_debug_implementations)]
+
 pub mod ast;
 mod binder;
 mod error;

@@ -18,6 +18,9 @@
 //! * There are no nulls. Synthetic generators always produce values, and the
 //!   paper's analysis does not depend on null semantics.
 
+#![deny(unsafe_op_in_unsafe_fn)]
+#![warn(missing_debug_implementations)]
+
 pub mod catalog;
 pub mod column;
 pub mod error;

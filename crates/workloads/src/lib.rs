@@ -20,6 +20,9 @@
 //! * [`microbench`] — the two-table workload of Figure 7 with a dial for the
 //!   bitvector filter's selectivity.
 
+#![deny(unsafe_op_in_unsafe_fn)]
+#![warn(missing_debug_implementations)]
+
 pub mod customer_like;
 pub mod job_like;
 pub mod microbench;

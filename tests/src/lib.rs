@@ -4,6 +4,9 @@
 //! random join-graph construction used by the property-based tests of the
 //! paper's theorems.
 
+#![deny(unsafe_op_in_unsafe_fn)]
+#![warn(missing_debug_implementations)]
+
 pub mod mini;
 pub mod slt;
 

@@ -1,0 +1,29 @@
+//! Tier-1 guard: the workspace must be clean under `bqo-lint`.
+//!
+//! This is the same pass CI runs as `cargo run -p bqo-lint`, wired into the
+//! test suite so that a plain `cargo test` also refuses unsafe blocks
+//! without `// SAFETY:` comments, unannotated atomic orderings, bare casts
+//! in audited hot paths, panics in library code outside the allowlist,
+//! suites missing from CI, and crate roots missing the lint wall.
+
+use std::path::Path;
+
+#[test]
+fn workspace_is_lint_clean() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .expect("tests crate lives one level below the workspace root")
+        .to_path_buf();
+    let config = bqo_lint::Config::workspace(&root);
+    let findings = bqo_lint::run(&config).expect("lint walk failed");
+    assert!(
+        findings.is_empty(),
+        "bqo-lint found {} issue(s):\n{}",
+        findings.len(),
+        findings
+            .iter()
+            .map(|d| d.to_string())
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+}
